@@ -1,0 +1,62 @@
+// Ablation for the paper's Sec. 4.2.1 efficiency remark: "downward
+// binning may have efficiency advantage over previous work that bins
+// upward along the tree (e.g., [19])".
+//
+// Both directions find the same minimal generalization nodes under the
+// simple minimality rationale (verified in tests); the work they spend —
+// measured as the number of node-count inspections — differs with k:
+// upward starts at the leaves and is cheap when the answer is deep (small
+// k); downward starts at the maximal generalization nodes the off-line
+// usage metrics provide and is cheap when the answer is shallow (large
+// k). The expected crossover is the point of the paper's remark.
+
+#include "bench_util.h"
+
+#include "binning/mono_attribute.h"
+#include "binning/upward_baseline.h"
+#include "common/strings.h"
+
+namespace privmark {
+namespace bench {
+namespace {
+
+int Run() {
+  Environment env = MakeEnvironment();
+  const size_t symptom_col = 4;
+  const size_t symptom_qi = 3;
+  const GeneralizationSet root_metrics =
+      GeneralizationSet::RootOnly(env.metrics.trees[symptom_qi]);
+  const std::vector<Value> values =
+      env.original().ColumnValues(symptom_col);
+
+  TextTable table;
+  table.SetHeader({"k", "downward_inspections", "upward_inspections",
+                   "same_result", "minimal_nodes"});
+  for (size_t k : {2, 10, 50, 200, 1000, 5000, 20000}) {
+    MonoBinningOptions options;
+    options.k = k;
+    const MonoBinningResult down =
+        Unwrap(MonoAttributeBin(root_metrics, values, options), "downward");
+    const UpwardBinningResult up =
+        Unwrap(UpwardAttributeBin(root_metrics, values, k), "upward");
+    table.AddRow({std::to_string(k), std::to_string(down.nodes_inspected),
+                  std::to_string(up.nodes_inspected),
+                  down.minimal.nodes() == up.minimal.nodes() ? "yes" : "NO",
+                  std::to_string(down.minimal.size())});
+  }
+
+  PrintResult(
+      "Ablation: downward (paper) vs upward ([19]) mono-attribute binning "
+      "(symptom column)",
+      table);
+  std::printf(
+      "expected: identical results; downward inspects fewer nodes at large "
+      "k (answer near the maximal nodes), upward fewer at small k\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privmark
+
+int main() { return privmark::bench::Run(); }

@@ -1,0 +1,73 @@
+// Ablation for Sec. 6's conservative k+epsilon adjustment: bins can dip
+// below k under aggressive watermarking unless binning over-provisions by
+// epsilon = (s / S) * |wmd|.
+//
+// Expected outcome: with a small eta (many marked tuples) and small k,
+// some threshold bins fall below k without the adjustment; with
+// auto-epsilon, violations drop to zero at a modest extra information
+// loss.
+
+#include "bench_util.h"
+
+#include "common/strings.h"
+
+namespace privmark {
+namespace bench {
+namespace {
+
+struct RunStats {
+  size_t below_k = 0;
+  size_t epsilon = 0;
+  double loss_pct = 0;
+};
+
+RunStats RunOnce(const Environment& env, size_t k, uint64_t eta,
+                 bool auto_epsilon) {
+  FrameworkConfig config = MakeConfig(k, eta);
+  config.auto_epsilon = auto_epsilon;
+  ProtectionFramework framework(env.metrics, config);
+  const ProtectionOutcome outcome =
+      Unwrap(framework.Protect(env.original()), "protect");
+  RunStats stats;
+  stats.epsilon = outcome.epsilon_used;
+  stats.loss_pct = outcome.binning.multi_normalized_loss * 100.0;
+  for (const AttributeSeamlessness& row : outcome.seamlessness) {
+    stats.below_k += row.bins_below_k;
+  }
+  return stats;
+}
+
+int Run() {
+  // A smaller table makes the failure mode visible: at 20k rows the
+  // per-attribute bins sit comfortably above k, while at 2.5k rows many
+  // bins hug the threshold and watermark permutation pushes some below it.
+  Environment env = MakeEnvironment(/*rows=*/2500);
+
+  TextTable table;
+  table.SetHeader({"k", "eta", "belowk_no_eps", "belowk_with_eps",
+                   "epsilon_used", "loss_no_eps_pct", "loss_with_eps_pct"});
+  for (size_t k : {10, 20, 45}) {
+    for (uint64_t eta : {8u, 25u, 75u}) {
+      const RunStats plain = RunOnce(env, k, eta, false);
+      const RunStats adjusted = RunOnce(env, k, eta, true);
+      table.AddRow({std::to_string(k), std::to_string(eta),
+                    std::to_string(plain.below_k),
+                    std::to_string(adjusted.below_k),
+                    std::to_string(adjusted.epsilon),
+                    FormatDouble(plain.loss_pct, 2),
+                    FormatDouble(adjusted.loss_pct, 2)});
+    }
+  }
+
+  PrintResult("Ablation: Sec. 6 k+epsilon adjustment", table);
+  std::printf(
+      "expected: belowk_with_eps always 0; violations without epsilon only "
+      "at aggressive (small) eta; modest loss increase\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privmark
+
+int main() { return privmark::bench::Run(); }

@@ -1,0 +1,96 @@
+// Shared scaffolding for the experiment harnesses in bench/.
+//
+// Every fig*/ablation* binary regenerates one table or figure of the
+// paper's Sec. 7 evaluation on the synthetic 20k-tuple clinical data set
+// (see DESIGN.md, "Substitutions"). The helpers here pin the common
+// experimental setup so all experiments share one environment:
+//
+//   - data: GenerateMedicalDataset (20000 rows, fixed seed)
+//   - usage metrics: maximal generalization nodes handed directly per
+//     column ("a main simplification we made", Sec. 7), at natural
+//     ontology levels: age width-20 intervals, zip regions, doctor roles,
+//     ICD-9 chapters, drug classes
+//   - k-anonymity: per-attribute (the setup implied by Fig. 14's bin
+//     counts; see DESIGN.md item 5)
+//
+// Binaries print an aligned table followed by a CSV block so results can
+// be scraped.
+
+#ifndef PRIVMARK_BENCH_BENCH_UTIL_H_
+#define PRIVMARK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/text_table.h"
+#include "core/framework.h"
+#include "datagen/medical_data.h"
+
+namespace privmark {
+namespace bench {
+
+/// \brief Aborts the bench with a readable message on error (bench
+/// binaries have no business continuing past a broken setup).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).ValueOrDie();
+}
+
+/// \brief The shared experiment environment.
+struct Environment {
+  std::unique_ptr<MedicalDataset> dataset;
+  UsageMetrics metrics;
+
+  const Table& original() const { return dataset->table; }
+};
+
+/// \brief Builds the standard 20k-row environment. Deterministic.
+inline Environment MakeEnvironment(size_t rows = 20000,
+                                   uint64_t seed = 20050405) {
+  Environment env;
+  MedicalDataSpec spec;
+  spec.num_rows = rows;
+  spec.seed = seed;
+  env.dataset = std::make_unique<MedicalDataset>(
+      Unwrap(GenerateMedicalDataset(spec), "generate dataset"));
+  // Maximal generalization nodes at natural ontology levels (depth cuts):
+  // age -> depth 2 (intervals of width 20-40 in the 30-leaf binary tree),
+  // zip -> regions, doctor -> roles, symptom -> chapters, rx -> classes.
+  env.metrics = Unwrap(
+      MetricsFromDepthCuts(env.dataset->trees(), {2, 1, 2, 1, 1}),
+      "depth-cut metrics");
+  return env;
+}
+
+/// \brief Standard framework configuration used across experiments.
+inline FrameworkConfig MakeConfig(size_t k, uint64_t eta) {
+  FrameworkConfig config;
+  config.binning.k = k;
+  config.binning.enforce_joint = false;  // the paper's evaluation setup
+  config.binning.encryption_passphrase = "bench-owner-passphrase";
+  config.key.k1 = "bench-k1";
+  config.key.k2 = "bench-k2";
+  config.key.eta = eta;
+  return config;
+}
+
+/// \brief Prints the aligned table and its CSV twin under a banner.
+inline void PrintResult(const std::string& title, const TextTable& table) {
+  std::printf("== %s ==\n%s\n[csv]\n%s\n", title.c_str(),
+              table.ToAligned().c_str(), table.ToCsv().c_str());
+}
+
+}  // namespace bench
+}  // namespace privmark
+
+#endif  // PRIVMARK_BENCH_BENCH_UTIL_H_

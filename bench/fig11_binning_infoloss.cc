@@ -1,0 +1,65 @@
+// Regenerates Figure 11: k vs. information loss, for mono-attribute and
+// multi-attribute binning.
+//
+// Paper result (shape): mono-attribute loss stays low and grows slowly
+// with k; multi-attribute (joint) loss is far higher, rises quickly, then
+// saturates once k forces near-total generalization.
+//
+// Setup notes: the mono series bins each attribute individually under the
+// standard depth-cut usage metrics. The multi series must be *binnable*
+// at every k up to 350 (joint 5-column k-anonymity), so — like the paper,
+// which reaches >90% information loss in this figure — its usage metrics
+// allow generalization up to the tree roots.
+
+#include "bench_util.h"
+
+#include "binning/binning_engine.h"
+#include "common/strings.h"
+
+namespace privmark {
+namespace bench {
+namespace {
+
+int Run() {
+  Environment env = MakeEnvironment();
+  const UsageMetrics unconstrained =
+      UnconstrainedMetrics(env.dataset->trees());
+
+  TextTable table;
+  table.SetHeader({"k", "mono_info_loss_pct", "multi_info_loss_pct"});
+
+  for (size_t k : {2, 5, 10, 20, 45, 75, 100, 150, 200, 250, 300, 350}) {
+    // Mono-attribute series: each column individually k-anonymous.
+    BinningConfig mono_config;
+    mono_config.k = k;
+    mono_config.enforce_joint = false;
+    BinningAgent mono_agent(env.metrics, mono_config);
+    const BinningOutcome mono =
+        Unwrap(mono_agent.Run(env.original()), "mono binning");
+
+    // Multi-attribute series: joint k-anonymity over all 5 columns.
+    BinningConfig multi_config;
+    multi_config.k = k;
+    multi_config.enforce_joint = true;
+    BinningAgent multi_agent(unconstrained, multi_config);
+    const BinningOutcome multi =
+        Unwrap(multi_agent.Run(env.original()), "multi binning");
+
+    table.AddRow({std::to_string(k),
+                  FormatDouble(mono.mono_normalized_loss * 100.0, 2),
+                  FormatDouble(multi.multi_normalized_loss * 100.0, 2)});
+  }
+
+  PrintResult("Figure 11: k vs. information loss (20000 tuples, 5 QI columns)",
+              table);
+  std::printf(
+      "expected shape: mono low & slowly growing; multi much higher, "
+      "saturating at large k\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privmark
+
+int main() { return privmark::bench::Run(); }

@@ -1,0 +1,128 @@
+// Regenerates Figure 12: robustness of the hierarchical watermarking to
+// (a) subset alteration, (b) subset addition, (c) subset deletion, for
+// eta in {50, 75, 100} and a 20-bit multiply-embedded mark.
+//
+// Paper result (shape): mark loss grows slowly with attack strength —
+// roughly 30% bit loss at 70%+ alteration, under ~30% at 80% addition,
+// near-linear growth to ~35% at 80% deletion — and *smaller eta (more
+// marked tuples) gives more resilience*.
+//
+// Setup notes: the paper's Fig. 9 embeds into one quasi-identifying
+// column ("Take tbl.c ... for example"); we do the same here (symptom,
+// the deepest ontology) so the bandwidth, and hence the copy count l,
+// matches the paper's regime — with all five columns embedded the copy
+// count is ~5x higher and every attack curve collapses to ~0 (the scheme
+// only becomes stronger; the single-column setting is the harder case).
+
+#include "bench_util.h"
+
+#include "attack/attacks.h"
+#include "common/strings.h"
+#include "watermark/hierarchical.h"
+
+namespace privmark {
+namespace bench {
+namespace {
+
+constexpr size_t kMarkBits = 20;
+constexpr size_t kSymptomColumn = 4;  // schema order: ssn,age,zip,doc,sym,rx
+constexpr size_t kSymptomQiIndex = 3;  // among the 5 QI columns
+
+struct MarkedSet {
+  Table table;
+  BitVector mark;
+  size_t wmd_size = 0;
+  std::unique_ptr<HierarchicalWatermarker> watermarker;
+};
+
+MarkedSet Prepare(Environment* env, uint64_t eta) {
+  FrameworkConfig config = MakeConfig(/*k=*/20, eta);
+  BinningAgent agent(env->metrics, config.binning);
+  BinningOutcome binned = Unwrap(agent.Run(env->original()), "binning");
+
+  MarkedSet out;
+  out.mark = Unwrap(
+      BitVector::FromString("10110010011010111001"), "mark");
+  // Single-column watermarker on `symptom`.
+  out.watermarker = std::make_unique<HierarchicalWatermarker>(
+      std::vector<size_t>{kSymptomColumn},
+      *binned.binned.schema().IdentifyingColumn(),
+      std::vector<GeneralizationSet>{env->metrics.maximal[kSymptomQiIndex]},
+      std::vector<GeneralizationSet>{binned.ultimate[kSymptomQiIndex]},
+      config.key, config.watermark);
+  out.table = std::move(binned.binned);
+  const EmbedReport report =
+      Unwrap(out.watermarker->Embed(&out.table, out.mark), "embed");
+  out.wmd_size = report.wmd_size;
+  return out;
+}
+
+double DetectLoss(const MarkedSet& set, const Table& attacked) {
+  const DetectReport report = Unwrap(
+      set.watermarker->Detect(attacked, kMarkBits, set.wmd_size), "detect");
+  // Strict accounting: a bit left with no votes (deleted bandwidth) counts
+  // as lost, matching the paper's "mark loss" that rises with deletion.
+  return Unwrap(StrictMarkLoss(set.mark, report), "loss");
+}
+
+int Run() {
+  Environment env = MakeEnvironment();
+  // eta 50/75/100 are the paper's series; eta=200 is added to expose the
+  // low-bandwidth regime: expected bit survival under erasure attacks is
+  // governed by votes-per-bit ~ rows/(eta * |wm|), so the highest eta
+  // shows the paper's loss magnitudes most clearly.
+  const std::vector<uint64_t> etas = {200, 100, 75, 50};
+  const std::vector<double> fractions = {0.0, 0.1, 0.2, 0.3, 0.4,
+                                         0.5, 0.6, 0.7, 0.8};
+
+  std::vector<MarkedSet> sets;
+  for (uint64_t eta : etas) sets.push_back(Prepare(&env, eta));
+
+  const char* section_names[] = {"(a) subset alteration",
+                                 "(b) subset addition",
+                                 "(c) subset deletion"};
+  for (int section = 0; section < 3; ++section) {
+    TextTable table;
+    table.SetHeader({"attack_pct", "markloss_eta200_pct",
+                     "markloss_eta100_pct", "markloss_eta75_pct",
+                     "markloss_eta50_pct"});
+    for (double fraction : fractions) {
+      std::vector<std::string> row = {
+          FormatDouble(fraction * 100.0, 0)};
+      for (size_t i = 0; i < etas.size(); ++i) {
+        Table attacked = sets[i].table.Clone();
+        Random rng(1000 + section * 100 + static_cast<uint64_t>(
+                                              fraction * 10));
+        switch (section) {
+          case 0:
+            CheckOk(SubsetAlterationAttack(&attacked, {kSymptomColumn},
+                                           fraction, &rng)
+                        .status(),
+                    "alteration");
+            break;
+          case 1:
+            CheckOk(SubsetAdditionAttack(&attacked, fraction, &rng).status(),
+                    "addition");
+            break;
+          case 2:
+            CheckOk(SubsetDeletionAttack(&attacked, fraction, &rng).status(),
+                    "deletion");
+            break;
+        }
+        row.push_back(FormatDouble(DetectLoss(sets[i], attacked) * 100.0, 1));
+      }
+      table.AddRow(std::move(row));
+    }
+    PrintResult(std::string("Figure 12 ") + section_names[section], table);
+  }
+  std::printf(
+      "expected shape: loss grows with attack strength; eta=50 (more "
+      "bandwidth) is the most resilient curve\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privmark
+
+int main() { return privmark::bench::Run(); }

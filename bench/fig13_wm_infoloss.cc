@@ -1,0 +1,69 @@
+// Regenerates Figure 13: information loss caused by watermarking, as a
+// function of eta.
+//
+// Paper result (shape): minor loss, monotonically decreasing in eta —
+// roughly 8-10% at eta=50 down to ~1-2% at eta=200 (the paper's y-axis
+// tops out at 10%).
+//
+// Loss model: watermark permutation moves a cell to a label that may no
+// longer cover the record's true value; we measure the Eq. (1)/(2)-style
+// loss of the transformed column against the *original* values
+// (ColumnLossAgainstOriginal) and report the watermarked-minus-binned
+// difference, averaged over the five quasi-identifying columns.
+
+#include "bench_util.h"
+
+#include "common/strings.h"
+#include "metrics/info_loss.h"
+
+namespace privmark {
+namespace bench {
+namespace {
+
+int Run() {
+  Environment env = MakeEnvironment();
+
+  TextTable table;
+  table.SetHeader({"eta", "binned_loss_pct", "watermarked_loss_pct",
+                   "wm_extra_loss_pct", "cells_changed"});
+
+  for (uint64_t eta : {50, 75, 100, 125, 150, 175, 200}) {
+    FrameworkConfig config = MakeConfig(/*k=*/20, eta);
+    ProtectionFramework framework(env.metrics, config);
+    const ProtectionOutcome outcome =
+        Unwrap(framework.Protect(env.original()), "protect");
+
+    double binned_loss = 0;
+    double marked_loss = 0;
+    for (size_t c = 0; c < outcome.binning.qi_columns.size(); ++c) {
+      const size_t col = outcome.binning.qi_columns[c];
+      binned_loss += Unwrap(
+          ColumnLossAgainstOriginal(env.original().ColumnValues(col),
+                                    outcome.binning.binned.ColumnValues(col),
+                                    *env.metrics.trees[c]),
+          "binned loss");
+      marked_loss += Unwrap(
+          ColumnLossAgainstOriginal(env.original().ColumnValues(col),
+                                    outcome.watermarked.ColumnValues(col),
+                                    *env.metrics.trees[c]),
+          "marked loss");
+    }
+    binned_loss /= 5.0;
+    marked_loss /= 5.0;
+    table.AddRow({std::to_string(eta), FormatDouble(binned_loss * 100.0, 2),
+                  FormatDouble(marked_loss * 100.0, 2),
+                  FormatDouble((marked_loss - binned_loss) * 100.0, 2),
+                  std::to_string(outcome.embed.cells_changed)});
+  }
+
+  PrintResult("Figure 13: information loss of watermarking vs. eta", table);
+  std::printf(
+      "expected shape: extra loss is minor and decreases as eta grows\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privmark
+
+int main() { return privmark::bench::Run(); }

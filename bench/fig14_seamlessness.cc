@@ -1,0 +1,59 @@
+// Regenerates Figure 14: the effect of watermarking on binning — for each
+// quasi-identifying attribute and k in {10, 20, 45, 100}: the total number
+// of bins, the number of bins whose size changed during watermarking, and
+// the number of bins left smaller than k.
+//
+// Paper result (shape): a majority of bins change size, yet *zero* bins
+// fall below k — watermarking does not break the k-anonymity binning
+// established. Paper's own bin-count scale at k=10: age 73 / zip 96 /
+// doctor 20 / symptom 56 / prescription 97 (our zip and doctor ontologies
+// match those counts exactly; age differs because the paper's age tree
+// used narrower intervals than its Fig. 3).
+
+#include "bench_util.h"
+
+#include "common/strings.h"
+
+namespace privmark {
+namespace bench {
+namespace {
+
+int Run() {
+  Environment env = MakeEnvironment();
+
+  TextTable table;
+  table.SetHeader({"k", "attribute", "total_bins", "bins_size_changed",
+                   "bins_below_k"});
+
+  bool any_violation = false;
+  for (size_t k : {10, 20, 45, 100}) {
+    FrameworkConfig config = MakeConfig(k, /*eta=*/75);
+    // The paper's all-zero "bins below k" column is the Sec. 6 guarantee;
+    // threshold bins are protected by the conservative k+epsilon
+    // adjustment (see bench/ablation_epsilon_adjustment for the no-epsilon
+    // failure mode).
+    config.auto_epsilon = true;
+    ProtectionFramework framework(env.metrics, config);
+    const ProtectionOutcome outcome =
+        Unwrap(framework.Protect(env.original()), "protect");
+    for (const AttributeSeamlessness& row : outcome.seamlessness) {
+      table.AddRow({std::to_string(k), row.attribute,
+                    std::to_string(row.total_bins),
+                    std::to_string(row.bins_size_changed),
+                    std::to_string(row.bins_below_k)});
+      if (row.bins_below_k > 0) any_violation = true;
+    }
+  }
+
+  PrintResult("Figure 14: effect of watermarking on binning", table);
+  std::printf("expected shape: most bins change size; bins_below_k all 0\n");
+  std::printf("k-anonymity violations observed: %s\n",
+              any_violation ? "YES (unexpected)" : "none");
+  return any_violation ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privmark
+
+int main() { return privmark::bench::Run(); }

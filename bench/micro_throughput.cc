@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark): throughput of the pipeline stages
+// on the standard 20k-tuple data set. The paper reports no absolute
+// timings (its testbed was a 2G-CPU/512M-RAM 2005 PC); these numbers
+// document the cost profile of this implementation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "binning/binning_engine.h"
+#include "crypto/aes128.h"
+#include "crypto/sha1.h"
+#include "watermark/hierarchical.h"
+
+namespace privmark {
+namespace bench {
+namespace {
+
+struct SharedState {
+  Environment env;
+  BinningOutcome binned;
+  std::unique_ptr<HierarchicalWatermarker> watermarker;
+  Table marked;
+  BitVector mark;
+  size_t wmd_size = 0;
+};
+
+SharedState& State() {
+  static SharedState* state = [] {
+    auto* s = new SharedState;
+    s->env = MakeEnvironment();
+    FrameworkConfig config = MakeConfig(20, 75);
+    BinningAgent agent(s->env.metrics, config.binning);
+    s->binned = Unwrap(agent.Run(s->env.original()), "binning");
+    s->watermarker = std::make_unique<HierarchicalWatermarker>(
+        s->binned.qi_columns,
+        *s->binned.binned.schema().IdentifyingColumn(),
+        s->env.metrics.maximal, s->binned.ultimate, config.key,
+        config.watermark);
+    s->mark = Unwrap(BitVector::FromString("10110010011010111001"), "mark");
+    s->marked = s->binned.binned.Clone();
+    s->wmd_size =
+        Unwrap(s->watermarker->Embed(&s->marked, s->mark), "embed").wmd_size;
+    return s;
+  }();
+  return *state;
+}
+
+void BM_GenerateDataset(benchmark::State& state) {
+  for (auto _ : state) {
+    MedicalDataSpec spec;
+    spec.num_rows = static_cast<size_t>(state.range(0));
+    auto ds = GenerateMedicalDataset(spec);
+    benchmark::DoNotOptimize(ds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GenerateDataset)
+    ->Arg(1000)
+    ->Arg(20000)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonoBinning20k(benchmark::State& state) {
+  SharedState& s = State();
+  BinningConfig config;
+  config.k = static_cast<size_t>(state.range(0));
+  config.enforce_joint = false;
+  BinningAgent agent(s.env.metrics, config);
+  for (auto _ : state) {
+    auto outcome = agent.Run(s.env.original());
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations() * s.env.original().num_rows());
+}
+BENCHMARK(BM_MonoBinning20k)
+    ->Arg(10)
+    ->Arg(100)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JointBinning20k(benchmark::State& state) {
+  SharedState& s = State();
+  const UsageMetrics unconstrained =
+      UnconstrainedMetrics(s.env.dataset->trees());
+  BinningConfig config;
+  config.k = static_cast<size_t>(state.range(0));
+  config.enforce_joint = true;
+  BinningAgent agent(unconstrained, config);
+  for (auto _ : state) {
+    auto outcome = agent.Run(s.env.original());
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetItemsProcessed(state.iterations() * s.env.original().num_rows());
+}
+BENCHMARK(BM_JointBinning20k)->Arg(10)->Iterations(2)->Unit(
+    benchmark::kMillisecond);
+
+void BM_WatermarkEmbed20k(benchmark::State& state) {
+  SharedState& s = State();
+  for (auto _ : state) {
+    Table table = s.binned.binned.Clone();
+    auto report = s.watermarker->Embed(&table, s.mark);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * s.binned.binned.num_rows());
+}
+BENCHMARK(BM_WatermarkEmbed20k)->Iterations(5)->Unit(benchmark::kMillisecond);
+
+void BM_WatermarkDetect20k(benchmark::State& state) {
+  SharedState& s = State();
+  for (auto _ : state) {
+    auto report = s.watermarker->Detect(s.marked, s.mark.size(), s.wmd_size);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() * s.marked.num_rows());
+}
+BENCHMARK(BM_WatermarkDetect20k)->Iterations(5)->Unit(benchmark::kMillisecond);
+
+void BM_AesEncryptValue(benchmark::State& state) {
+  const Aes128 cipher = Aes128::FromPassphrase("bench");
+  size_t i = 0;
+  for (auto _ : state) {
+    auto out = cipher.EncryptValue("12345678" + std::to_string(i++ % 10));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AesEncryptValue);
+
+void BM_Sha1Hash(benchmark::State& state) {
+  std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    auto digest = Sha1::Hash(payload);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha1Hash)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace bench
+}  // namespace privmark
+
+BENCHMARK_MAIN();

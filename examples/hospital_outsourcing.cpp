@@ -1,0 +1,127 @@
+// Scenario: a hospital outsources clinical records to a research
+// institute (the paper's Sec. 1 motivating workload).
+//
+// The example walks through the privacy side of the framework:
+//   - the re-identification (linking) risk of the raw table
+//   - binning to k-anonymity under usage metrics
+//   - what the research institute actually receives (CSV export)
+//   - the post-hoc proof that no quasi-identifier combination can be
+//     narrowed below k individuals
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/framework.h"
+#include "datagen/medical_data.h"
+#include "metrics/privacy.h"
+#include "relation/csv.h"
+
+using namespace privmark;  // NOLINT — example brevity
+
+namespace {
+
+// A linking adversary who knows a target's age, zip and doctor (say from
+// voter rolls plus casual knowledge): how many records match?
+size_t MatchingRecords(const Table& table, const Value& age,
+                       const Value& zip, const Value& doctor) {
+  size_t matches = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (table.at(r, 1) == age && table.at(r, 2) == zip &&
+        table.at(r, 3) == doctor) {
+      ++matches;
+    }
+  }
+  return matches;
+}
+
+}  // namespace
+
+int main() {
+  MedicalDataSpec spec;
+  spec.num_rows = 20000;
+  auto dataset = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+
+  // --- The threat: linking on the raw table -------------------------------
+  // Take an arbitrary patient; the adversary knows age+zip+doctor.
+  const Value target_age = dataset.table.at(7, 1);
+  const Value target_zip = dataset.table.at(7, 2);
+  const Value target_doctor = dataset.table.at(7, 3);
+  const size_t raw_matches =
+      MatchingRecords(dataset.table, target_age, target_zip, target_doctor);
+  std::printf("raw table: a (age, zip, doctor) linking query matches %zu "
+              "record(s)%s\n",
+              raw_matches,
+              raw_matches <= 3 ? "  <-- re-identification risk" : "");
+
+  // --- Protection ----------------------------------------------------------
+  FrameworkConfig config;
+  config.binning.k = 20;
+  config.binning.enforce_joint = true;  // defeat multi-attribute linking
+  config.binning.encryption_passphrase = "hospital-vault-passphrase";
+  config.key = {"hospital-k1", "hospital-k2", /*eta=*/75};
+  // Joint 5-column k-anonymity needs generalization headroom: metrics
+  // allow up to the tree roots here (Sec. 4: the tradeoff between privacy
+  // and information loss).
+  ProtectionFramework framework(UnconstrainedMetrics(dataset.trees()),
+                                config);
+  auto outcome = std::move(framework.Protect(dataset.table)).ValueOrDie();
+  std::printf("binned + watermarked %zu tuples (info loss %.1f%%)\n",
+              outcome.watermarked.num_rows(),
+              outcome.binning.multi_normalized_loss * 100);
+
+  // --- What the institute receives -----------------------------------------
+  const std::string path = "/tmp/privmark_outsourced.csv";
+  if (auto st = WriteTableCsv(outcome.watermarked, path); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("outsourced table written to %s\n", path.c_str());
+  std::printf("first outsourced record: ssn=%.24s... age=%s zip=%s\n",
+              outcome.watermarked.at(0, 0).ToString().c_str(),
+              outcome.watermarked.at(0, 1).ToString().c_str(),
+              outcome.watermarked.at(0, 2).ToString().c_str());
+
+  // --- The guarantee --------------------------------------------------------
+  // Every combination of all five quasi-identifiers matches >= k records.
+  const auto qi = outcome.binning.qi_columns;
+  const size_t min_bin = outcome.watermarked.MinBinSize(qi);
+  std::printf("smallest joint quasi-identifier bin: %zu (k = %zu) -> %s\n",
+              min_bin, config.binning.k,
+              min_bin >= config.binning.k ? "k-anonymous" : "VIOLATION");
+
+  // Quantified: before vs after privacy profile.
+  auto raw_privacy =
+      std::move(EvaluatePrivacy(dataset.table, qi)).ValueOrDie();
+  auto safe_privacy =
+      std::move(EvaluatePrivacy(outcome.watermarked, qi)).ValueOrDie();
+  std::printf("re-identification risk (prosecutor model): raw avg %.3f / "
+              "max %.2f, protected avg %.5f / max %.3f\n",
+              raw_privacy.average_risk, raw_privacy.max_risk,
+              safe_privacy.average_risk, safe_privacy.max_risk);
+  std::printf("unique records: raw %zu -> protected %zu\n",
+              raw_privacy.unique_records, safe_privacy.unique_records);
+
+  // The same linking query now returns a crowd, not a person. The
+  // adversary must first generalize their external knowledge the same way.
+  std::map<std::vector<Value>, size_t> bins;
+  for (size_t r = 0; r < outcome.watermarked.num_rows(); ++r) {
+    bins[{outcome.watermarked.at(r, 1), outcome.watermarked.at(r, 2),
+          outcome.watermarked.at(r, 3)}]++;
+  }
+  size_t smallest = outcome.watermarked.num_rows();
+  for (const auto& [key, n] : bins) smallest = std::min(smallest, n);
+  std::printf("smallest (age, zip, doctor) linking crowd after protection: "
+              "%zu record(s)\n",
+              smallest);
+
+  // Usability: the institute can still run aggregate epidemiology, e.g.
+  // symptom-chapter frequencies.
+  std::map<std::string, size_t> by_symptom;
+  for (size_t r = 0; r < outcome.watermarked.num_rows(); ++r) {
+    ++by_symptom[outcome.watermarked.at(r, 4).ToString()];
+  }
+  std::printf("symptom groups available for research: %zu\n",
+              by_symptom.size());
+  return 0;
+}

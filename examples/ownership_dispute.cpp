@@ -1,0 +1,116 @@
+// Scenario: data theft and the rightful-ownership dispute (Sec. 5.4).
+//
+// A data broker ("Mallory") obtains the hospital's outsourced table,
+// deletes a chunk of it, pads it with fabricated records, inserts *her
+// own* watermark (rightful-ownership Attack 1), and resells it. In court,
+// both parties claim the data. The judge runs the paper's dispute
+// protocol:
+//   1. each claimant presents their statistic v,
+//   2. decrypts the identifying column with their key and recomputes v',
+//   3. extracts their mark and compares it with F(v).
+// Only the hospital passes all three steps.
+
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "core/framework.h"
+#include "datagen/medical_data.h"
+#include "watermark/ownership.h"
+
+using namespace privmark;  // NOLINT — example brevity
+
+int main() {
+  // --- The hospital publishes a protected table ---------------------------
+  MedicalDataSpec spec;
+  spec.num_rows = 10000;
+  auto dataset = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  FrameworkConfig config;
+  config.binning.k = 20;
+  config.binning.enforce_joint = false;
+  config.binning.encryption_passphrase = "hospital-vault";
+  config.key = {"hospital-k1", "hospital-k2", /*eta=*/40};
+  auto metrics = std::move(
+      MetricsFromDepthCuts(dataset.trees(), {2, 1, 2, 1, 1})).ValueOrDie();
+  ProtectionFramework framework(std::move(metrics), config);
+  auto published = std::move(framework.Protect(dataset.table)).ValueOrDie();
+  std::printf("hospital publishes %zu tuples; v = %.2f; mark = %s\n",
+              published.watermarked.num_rows(),
+              published.identifier_statistic,
+              published.mark.ToString().c_str());
+
+  // --- Mallory pirates it ---------------------------------------------------
+  Table pirated = published.watermarked.Clone();
+  Random rng(666);
+  (void)*SubsetDeletionAttack(&pirated, 0.15, &rng);
+  (void)*SubsetAdditionAttack(&pirated, 0.10, &rng);
+  WatermarkKey mallory_key{"mallory-k1", "mallory-k2", 40};
+  HierarchicalWatermarker mallory_marker(
+      published.binning.qi_columns,
+      *pirated.schema().IdentifyingColumn(), framework.metrics().maximal,
+      published.binning.ultimate, mallory_key, WatermarkOptions{});
+  const BitVector mallory_mark =
+      BitVector::FromString("11001100110011001100").ValueOrDie();
+  auto mallory_embed = mallory_marker.Embed(&pirated, mallory_mark);
+  std::printf("mallory deletes 15%%, adds 10%%, inserts her own mark, and "
+              "resells %zu tuples\n",
+              pirated.num_rows());
+
+  // Both marks are now detectable in the pirated table — detection alone
+  // cannot settle ownership (the paper's Attack 1).
+  HierarchicalWatermarker hospital_marker =
+      framework.MakeWatermarker(published.binning);
+  auto hospital_det = hospital_marker.Detect(pirated, 20,
+                                             published.embed.wmd_size);
+  auto mallory_det =
+      mallory_marker.Detect(pirated, 20, mallory_embed->wmd_size);
+  std::printf("hospital mark loss in pirated table: %.0f%%\n",
+              *MarkLossAgainst(published.mark, hospital_det->recovered) *
+                  100);
+  std::printf("mallory  mark loss in pirated table: %.0f%%\n",
+              *MarkLossAgainst(mallory_mark, mallory_det->recovered) * 100);
+
+  // --- The court ------------------------------------------------------------
+  OwnershipConfig oc;
+  oc.tau = 0.03;
+  oc.match_threshold = 0.8;
+
+  std::printf("\n-- dispute: hospital's claim --\n");
+  const Aes128 hospital_cipher = Aes128::FromPassphrase("hospital-vault");
+  auto hospital_verdict = std::move(
+      ResolveDispute(pirated, hospital_marker, hospital_cipher,
+                     published.identifier_statistic,
+                     published.embed.wmd_size, oc)).ValueOrDie();
+  std::printf("statistic consistent: %s (claimed %.2f, recomputed %.2f)\n",
+              hospital_verdict.statistic_consistent ? "yes" : "no",
+              hospital_verdict.claimed_v, hospital_verdict.recomputed_v);
+  std::printf("mark match: %.0f%% (chance probability %.2e)  ->  "
+              "ownership %s\n",
+              hospital_verdict.mark_match * 100, hospital_verdict.p_value,
+              hospital_verdict.ownership_established ? "ESTABLISHED"
+                                                     : "rejected");
+
+  std::printf("\n-- dispute: mallory's claim --\n");
+  // Mallory cannot decrypt the identifiers; her "statistic" is fabricated
+  // and her F(v) cannot be made to match her inserted mark (F is one-way).
+  const Aes128 mallory_cipher = Aes128::FromPassphrase("mallory-vault");
+  auto mallory_verdict = std::move(
+      ResolveDispute(pirated, mallory_marker, mallory_cipher,
+                     /*claimed_v=*/123456789.0, mallory_embed->wmd_size, oc))
+      .ValueOrDie();
+  std::printf("statistic consistent: %s\n",
+              mallory_verdict.statistic_consistent ? "yes" : "no");
+  std::printf("ownership %s\n", mallory_verdict.ownership_established
+                                    ? "ESTABLISHED (bug!)"
+                                    : "rejected");
+
+  // And brute-forcing a v whose F(v) matches her mark is hopeless:
+  Random forge_rng(13);
+  auto forgery = std::move(
+      AttemptStatisticForgery(mallory_det->recovered, 20,
+                              HashAlgorithm::kSha1, 0.95, 5000, &forge_rng))
+      .ValueOrDie();
+  std::printf("mallory's offline forgery attempts: %zu trials, best match "
+              "%.0f%%, successes at 95%%: %zu\n",
+              forgery.trials, forgery.best_match * 100, forgery.successes);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: protect a medical table for outsourcing in ~40 lines.
+//
+//   1. generate (or load) a relation R(ssn, age, zip, doctor, symptom, rx)
+//   2. declare usage metrics (maximal generalization nodes per column)
+//   3. run the ProtectionFramework: binning (k-anonymity + identifier
+//      encryption) followed by hierarchical watermarking
+//   4. later, verify the mark with the secret key
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/framework.h"
+#include "datagen/medical_data.h"
+
+using namespace privmark;  // NOLINT — example brevity
+
+int main() {
+  // 1. A 5000-tuple synthetic clinical data set (deterministic).
+  MedicalDataSpec spec;
+  spec.num_rows = 5000;
+  auto dataset = GenerateMedicalDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Usage metrics: each column may be generalized at most up to a
+  //    natural ontology level (zip regions, ICD-9 chapters, ...).
+  auto metrics = MetricsFromDepthCuts(dataset->trees(), {2, 1, 2, 1, 1});
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "%s\n", metrics.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Configure and run the framework.
+  FrameworkConfig config;
+  config.binning.k = 20;                    // k-anonymity parameter
+  config.binning.enforce_joint = false;     // per-attribute k-anonymity
+  config.binning.encryption_passphrase = "hospital-secret";
+  config.key = {"selection-key", "permutation-key", /*eta=*/50};
+  ProtectionFramework framework(std::move(metrics).ValueOrDie(), config);
+
+  auto outcome = framework.Protect(dataset->table);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("protected %zu tuples\n", outcome->watermarked.num_rows());
+  std::printf("  information loss (binning): %.2f%%\n",
+              outcome->binning.multi_normalized_loss * 100);
+  std::printf("  embedded mark: %s (%zu bits, %zu copies)\n",
+              outcome->mark.ToString().c_str(), outcome->mark.size(),
+              outcome->embed.copies);
+  std::printf("  sample row before: age=%s zip=%s symptom=%s\n",
+              dataset->table.at(0, 1).ToString().c_str(),
+              dataset->table.at(0, 2).ToString().c_str(),
+              dataset->table.at(0, 4).ToString().c_str());
+  std::printf("  sample row after:  age=%s zip=%s symptom=%s\n",
+              outcome->watermarked.at(0, 1).ToString().c_str(),
+              outcome->watermarked.at(0, 2).ToString().c_str(),
+              outcome->watermarked.at(0, 4).ToString().c_str());
+
+  // 4. Detection with the secret key recovers the mark exactly.
+  HierarchicalWatermarker watermarker =
+      framework.MakeWatermarker(outcome->binning);
+  auto detection = watermarker.Detect(
+      outcome->watermarked, outcome->mark.size(), outcome->embed.wmd_size);
+  if (!detection.ok()) {
+    std::fprintf(stderr, "%s\n", detection.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  recovered mark: %s (%s)\n",
+              detection->recovered.ToString().c_str(),
+              detection->recovered == outcome->mark ? "exact match"
+                                                    : "MISMATCH");
+  return 0;
+}

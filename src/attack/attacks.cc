@@ -1,0 +1,213 @@
+#include "attack/attacks.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "watermark/ownership.h"
+
+namespace privmark {
+
+Result<AttackReport> SubsetAlterationAttack(
+    Table* table, const std::vector<size_t>& qi_columns, double fraction,
+    Random* rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("alteration fraction must be in [0,1]");
+  }
+  AttackReport report;
+  if (table->num_rows() == 0 || fraction == 0.0) return report;
+
+  // Distinct labels currently visible per column.
+  std::vector<std::vector<Value>> label_pool(qi_columns.size());
+  for (size_t c = 0; c < qi_columns.size(); ++c) {
+    std::set<std::string> seen;
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      const std::string label = table->at(r, qi_columns[c]).ToString();
+      if (seen.insert(label).second) {
+        label_pool[c].push_back(Value::String(label));
+      }
+    }
+  }
+
+  const size_t count =
+      static_cast<size_t>(fraction * static_cast<double>(table->num_rows()));
+  const std::vector<size_t> victims =
+      rng->SampleWithoutReplacement(table->num_rows(), count);
+  for (size_t r : victims) {
+    ++report.rows_affected;
+    for (size_t c = 0; c < qi_columns.size(); ++c) {
+      const Value& replacement =
+          label_pool[c][rng->Uniform(label_pool[c].size())];
+      if (table->at(r, qi_columns[c]) != replacement) {
+        table->Set(r, qi_columns[c], replacement);
+        ++report.cells_changed;
+      }
+    }
+  }
+  return report;
+}
+
+Result<AttackReport> SubsetAdditionAttack(Table* table, double fraction,
+                                          Random* rng) {
+  if (fraction < 0.0) {
+    return Status::InvalidArgument("addition fraction must be >= 0");
+  }
+  AttackReport report;
+  const size_t original_rows = table->num_rows();
+  if (original_rows == 0 || fraction == 0.0) return report;
+  PRIVMARK_ASSIGN_OR_RETURN(size_t ident_column,
+                            table->schema().IdentifyingColumn());
+
+  const size_t to_add =
+      static_cast<size_t>(fraction * static_cast<double>(original_rows));
+  for (size_t i = 0; i < to_add; ++i) {
+    // Copy a random donor row, then replace its identifier with a fresh
+    // random hex string the same length as the donor's (so bogus tuples are
+    // indistinguishable in format from real encrypted identifiers).
+    const size_t donor = rng->Uniform(original_rows);
+    Row row = table->row(donor);
+    const size_t ident_len =
+        std::max<size_t>(2, row[ident_column].ToString().size());
+    std::string fake;
+    fake.reserve(ident_len);
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (size_t j = 0; j < ident_len; ++j) {
+      fake += kHex[rng->Uniform(16)];
+    }
+    row[ident_column] = Value::String(std::move(fake));
+    PRIVMARK_RETURN_NOT_OK(table->AppendRow(std::move(row)));
+    ++report.rows_affected;
+  }
+  return report;
+}
+
+Result<AttackReport> SubsetDeletionAttack(Table* table, double fraction,
+                                          Random* rng) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("deletion fraction must be in [0,1]");
+  }
+  AttackReport report;
+  const size_t num_rows = table->num_rows();
+  if (num_rows == 0 || fraction == 0.0) return report;
+  PRIVMARK_ASSIGN_OR_RETURN(size_t ident_column,
+                            table->schema().IdentifyingColumn());
+
+  // Order rows by identifier, then drop a contiguous range (the paper's
+  // SQL `WHERE SSN > lval AND SSN < uval` deletions).
+  std::vector<size_t> order(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) order[r] = r;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return table->at(a, ident_column).ToString() <
+           table->at(b, ident_column).ToString();
+  });
+  const size_t count =
+      static_cast<size_t>(fraction * static_cast<double>(num_rows));
+  if (count == 0) return report;
+  const size_t start = rng->Uniform(num_rows - count + 1);
+  std::vector<size_t> doomed(order.begin() + static_cast<std::ptrdiff_t>(start),
+                             order.begin() +
+                                 static_cast<std::ptrdiff_t>(start + count));
+  table->RemoveRows(doomed);
+  report.rows_affected = count;
+  return report;
+}
+
+Result<AttackReport> GeneralizationAttack(
+    Table* table, const std::vector<size_t>& qi_columns,
+    const std::vector<GeneralizationSet>& maximal, int levels) {
+  if (qi_columns.size() != maximal.size()) {
+    return Status::InvalidArgument(
+        "GeneralizationAttack: column/maximal count mismatch");
+  }
+  if (levels < 1) {
+    return Status::InvalidArgument("GeneralizationAttack: levels must be >= 1");
+  }
+  AttackReport report;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    bool row_touched = false;
+    for (size_t c = 0; c < qi_columns.size(); ++c) {
+      const DomainHierarchy& tree = *maximal[c].tree();
+      auto node = tree.FindByLabel(table->at(r, qi_columns[c]).ToString());
+      if (!node.ok()) continue;  // altered beyond the domain; leave it
+      NodeId cur = *node;
+      for (int step = 0; step < levels; ++step) {
+        if (maximal[c].Contains(cur)) break;  // ceiling: stay within metrics
+        const NodeId parent = tree.Parent(cur);
+        if (parent == kInvalidNode) break;
+        cur = parent;
+      }
+      if (cur != *node) {
+        table->Set(r, qi_columns[c], Value::String(tree.node(cur).label));
+        ++report.cells_changed;
+        row_touched = true;
+      }
+    }
+    if (row_touched) ++report.rows_affected;
+  }
+  return report;
+}
+
+Result<AttackReport> SiblingSwapAttack(Table* table,
+                                       const std::vector<size_t>& qi_columns,
+                                       const std::vector<GeneralizationSet>& ultimate,
+                                       double fraction, Random* rng) {
+  if (qi_columns.size() != ultimate.size()) {
+    return Status::InvalidArgument(
+        "SiblingSwapAttack: column/generalization count mismatch");
+  }
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("swap fraction must be in [0,1]");
+  }
+  AttackReport report;
+  if (table->num_rows() == 0 || fraction == 0.0) return report;
+  const size_t count =
+      static_cast<size_t>(fraction * static_cast<double>(table->num_rows()));
+  const std::vector<size_t> victims =
+      rng->SampleWithoutReplacement(table->num_rows(), count);
+  for (size_t r : victims) {
+    bool touched = false;
+    for (size_t c = 0; c < qi_columns.size(); ++c) {
+      const DomainHierarchy& tree = *ultimate[c].tree();
+      auto node = tree.FindByLabel(table->at(r, qi_columns[c]).ToString());
+      if (!node.ok()) continue;
+      // Siblings that are themselves ultimate nodes (so the table stays a
+      // plausible binned table).
+      std::vector<NodeId> candidates;
+      for (NodeId sib : tree.Siblings(*node)) {
+        if (sib != *node && ultimate[c].Contains(sib)) {
+          candidates.push_back(sib);
+        }
+      }
+      if (candidates.empty()) continue;
+      const NodeId target = candidates[rng->Uniform(candidates.size())];
+      table->Set(r, qi_columns[c], Value::String(tree.node(target).label));
+      ++report.cells_changed;
+      touched = true;
+    }
+    if (touched) ++report.rows_affected;
+  }
+  return report;
+}
+
+Result<ForgeryReport> AttemptStatisticForgery(const BitVector& recovered_mark,
+                                              size_t mark_bits,
+                                              HashAlgorithm algo,
+                                              double match_threshold,
+                                              size_t trials, Random* rng) {
+  ForgeryReport report;
+  report.trials = trials;
+  for (size_t t = 0; t < trials; ++t) {
+    // A bogus claim: any statistic the attacker could plausibly present.
+    const double fake_v = rng->NextDouble() * 1e9;
+    PRIVMARK_ASSIGN_OR_RETURN(BitVector fake_mark,
+                              DeriveOwnershipMark(fake_v, mark_bits, algo));
+    PRIVMARK_ASSIGN_OR_RETURN(double loss,
+                              fake_mark.LossFraction(recovered_mark));
+    const double match = 1.0 - loss;
+    report.best_match = std::max(report.best_match, match);
+    if (match >= match_threshold) ++report.successes;
+  }
+  return report;
+}
+
+}  // namespace privmark

@@ -1,0 +1,162 @@
+#include "binning/mono_attribute.h"
+
+#include <map>
+
+namespace privmark {
+
+namespace {
+
+// Per-node tuple counts for the whole tree in O(nodes + values): leaves get
+// direct counts, interior nodes subtree sums (children always have larger
+// ids than parents, so one reverse pass suffices).
+Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
+                                         const std::vector<Value>& values) {
+  std::vector<size_t> counts(tree.num_nodes(), 0);
+  for (const Value& v : values) {
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId leaf, tree.LeafForValue(v));
+    ++counts[leaf];
+  }
+  for (size_t i = tree.num_nodes(); i-- > 1;) {
+    const NodeId parent = tree.Parent(static_cast<NodeId>(i));
+    if (parent != kInvalidNode) counts[parent] += counts[i];
+  }
+  return counts;
+}
+
+// The paper's SubGMN for the simple strategy: returns the minimal
+// generalization nodes within the subtree rooted at `root`, assuming
+// counts[root] >= k. `inspected` counts how many node counts the search
+// reads (the downward-vs-upward work metric).
+void SubGmnSimple(const DomainHierarchy& tree,
+                  const std::vector<size_t>& counts, size_t k, NodeId root,
+                  std::vector<NodeId>* out, size_t* inspected) {
+  if (tree.IsLeaf(root)) {
+    out->push_back(root);
+    return;
+  }
+  // forany child with < k tuples: this node is minimal (Fig. 5 line 3-5).
+  for (NodeId child : tree.Children(root)) {
+    ++*inspected;
+    if (counts[child] < k) {
+      out->push_back(root);
+      return;
+    }
+  }
+  for (NodeId child : tree.Children(root)) {
+    SubGmnSimple(tree, counts, k, child, out, inspected);
+  }
+}
+
+// Aggressive strategy: descend whenever any child satisfies k; children
+// with 0 < count < k are recorded for suppression, empty children kept.
+void SubGmnAggressive(const DomainHierarchy& tree,
+                      const std::vector<size_t>& counts, size_t k,
+                      NodeId root, std::vector<NodeId>* out,
+                      std::vector<NodeId>* suppressed) {
+  if (tree.IsLeaf(root)) {
+    out->push_back(root);
+    return;
+  }
+  bool any_child_satisfies = false;
+  for (NodeId child : tree.Children(root)) {
+    if (counts[child] >= k) {
+      any_child_satisfies = true;
+      break;
+    }
+  }
+  if (!any_child_satisfies) {
+    out->push_back(root);
+    return;
+  }
+  for (NodeId child : tree.Children(root)) {
+    if (counts[child] >= k) {
+      SubGmnAggressive(tree, counts, k, child, out, suppressed);
+    } else {
+      // Keep the node so the cover stays valid; 0 < count < k means its
+      // tuples get suppressed.
+      out->push_back(child);
+      if (counts[child] > 0) suppressed->push_back(child);
+    }
+  }
+}
+
+}  // namespace
+
+Result<size_t> NumTuple(const DomainHierarchy& tree, NodeId node,
+                        const std::vector<Value>& values) {
+  if (node < 0 || static_cast<size_t>(node) >= tree.num_nodes()) {
+    return Status::OutOfRange("NumTuple: node id out of range");
+  }
+  PRIVMARK_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                            CountPerNode(tree, values));
+  return counts[node];
+}
+
+Result<MonoBinningResult> MonoAttributeBin(const GeneralizationSet& maximal,
+                                           const std::vector<Value>& values,
+                                           const MonoBinningOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("MonoAttributeBin: k must be >= 1");
+  }
+  const DomainHierarchy& tree = *maximal.tree();
+  PRIVMARK_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                            CountPerNode(tree, values));
+
+  std::vector<NodeId> mingends;
+  std::vector<NodeId> suppressed;
+  size_t suppressed_tuples = 0;
+
+  size_t nodes_inspected = 0;
+  // GenMinNd (Fig. 5): process each maximal generalization node's subtree.
+  for (NodeId max_node : maximal.nodes()) {
+    ++nodes_inspected;
+    const size_t count = counts[max_node];
+    if (count == 0) {
+      // Empty subtree: keep the maximal node so the cover stays valid.
+      mingends.push_back(max_node);
+      continue;
+    }
+    if (count < options.k) {
+      if (options.on_unbinnable == UnbinnablePolicy::kError) {
+        return Status::Unbinnable(
+            "attribute '" + tree.attribute() + "': subtree '" +
+            tree.node(max_node).label + "' holds " + std::to_string(count) +
+            " tuple(s) < k=" + std::to_string(options.k) +
+            " within the usage metrics");
+      }
+      mingends.push_back(max_node);
+      suppressed.push_back(max_node);
+      suppressed_tuples += count;
+      continue;
+    }
+    if (options.strategy == MinimalityStrategy::kSimple) {
+      SubGmnSimple(tree, counts, options.k, max_node, &mingends,
+                   &nodes_inspected);
+    } else {
+      std::vector<NodeId> agg_suppressed;
+      SubGmnAggressive(tree, counts, options.k, max_node, &mingends,
+                       &agg_suppressed);
+      if (!agg_suppressed.empty() &&
+          options.on_unbinnable == UnbinnablePolicy::kError) {
+        return Status::Unbinnable(
+            "attribute '" + tree.attribute() +
+            "': aggressive strategy requires suppressing " +
+            std::to_string(agg_suppressed.size()) +
+            " sub-k node(s); rerun with UnbinnablePolicy::kSuppress");
+      }
+      for (NodeId nd : agg_suppressed) {
+        suppressed.push_back(nd);
+        suppressed_tuples += counts[nd];
+      }
+    }
+  }
+
+  PRIVMARK_ASSIGN_OR_RETURN(
+      GeneralizationSet minimal,
+      GeneralizationSet::Create(&tree, std::move(mingends)));
+  MonoBinningResult result{std::move(minimal), std::move(suppressed),
+                           suppressed_tuples, nodes_inspected};
+  return result;
+}
+
+}  // namespace privmark

@@ -1,0 +1,87 @@
+// Mono-attribute binning (paper Sec. 4.2.1, Fig. 5).
+//
+// For one quasi-identifying attribute, binning starts at the maximal
+// generalization nodes (the off-line usage-metric output) and searches
+// *downward* for the lowest valid generalization satisfying k-anonymity:
+// the minimal generalization nodes. The recursion mirrors the paper's
+// GenMinNd / SubGMN / NumTuple exactly; deviations for degenerate inputs are
+// documented on the options below.
+
+#ifndef PRIVMARK_BINNING_MONO_ATTRIBUTE_H_
+#define PRIVMARK_BINNING_MONO_ATTRIBUTE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/generalization.h"
+#include "relation/value.h"
+
+namespace privmark {
+
+/// \brief What to do when a maximal-node subtree holds 0 < count < k tuples
+/// (the data cannot be binned within the usage metrics).
+enum class UnbinnablePolicy {
+  /// Fail the whole binning run with Status::Unbinnable.
+  kError,
+  /// Suppress (drop) the offending tuples, the classical fallback the
+  /// paper's generalization-and-suppression ancestry provides.
+  kSuppress,
+};
+
+/// \brief Which minimality rationale to use (paper Sec. 4.2.1, last
+/// paragraph).
+enum class MinimalityStrategy {
+  /// "A node is minimal if itself meets k-anonymity, but not all of its
+  /// child nodes do." May over-generalize.
+  kSimple,
+  /// The paper's sketched aggressive variant: "a node is not minimal if any
+  /// of its child nodes satisfies k-anonymity". We descend into satisfying
+  /// children; empty children are kept as (vacuous) generalization nodes;
+  /// children with 0 < count < k are suppressed per UnbinnablePolicy.
+  kAggressive,
+};
+
+struct MonoBinningOptions {
+  size_t k = 2;
+  UnbinnablePolicy on_unbinnable = UnbinnablePolicy::kError;
+  MinimalityStrategy strategy = MinimalityStrategy::kSimple;
+};
+
+struct MonoBinningResult {
+  /// The minimal generalization nodes (a valid generalization).
+  GeneralizationSet minimal;
+  /// Leaves whose tuples must be suppressed (only under kSuppress); the
+  /// corresponding nodes are still members of `minimal` so the cover stays
+  /// valid — their bins are simply empty after suppression.
+  std::vector<NodeId> suppressed_nodes;
+  /// Number of tuples falling under suppressed_nodes.
+  size_t suppressed_tuples = 0;
+  /// Nodes whose tuple count the search inspected — the work metric behind
+  /// the paper's claim that "downward binning may have efficiency
+  /// advantage over previous work that bins upward" (compare with
+  /// UpwardAttributeBin's figure in bench/ablation_binning_direction).
+  size_t nodes_inspected = 0;
+};
+
+/// \brief Runs mono-attribute binning for one column.
+///
+/// \param maximal the column's maximal generalization nodes (usage metrics)
+/// \param values the column's original (leaf-level) values
+///
+/// Degenerate-input handling beyond the paper's pseudocode:
+///  - a maximal subtree with zero tuples keeps its maximal node (a valid
+///    cover needs it; k-anonymity is vacuous for an empty bin);
+///  - a maximal subtree with 0 < count < k triggers `on_unbinnable`;
+///  - a leaf with count >= k is its own minimal node.
+Result<MonoBinningResult> MonoAttributeBin(const GeneralizationSet& maximal,
+                                           const std::vector<Value>& values,
+                                           const MonoBinningOptions& options);
+
+/// \brief The paper's NumTuple: tuples of `values` whose leaf lies in the
+/// subtree rooted at `node`. Exposed for tests and diagnostics.
+Result<size_t> NumTuple(const DomainHierarchy& tree, NodeId node,
+                        const std::vector<Value>& values);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_BINNING_MONO_ATTRIBUTE_H_

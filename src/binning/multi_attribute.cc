@@ -1,0 +1,305 @@
+#include "binning/multi_attribute.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace privmark {
+
+namespace {
+
+// Per-row leaf ids for one column (computed once; generalizations change,
+// leaves do not).
+Result<std::vector<NodeId>> RowLeaves(const Table& table, size_t column,
+                                      const DomainHierarchy& tree) {
+  std::vector<NodeId> leaves(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    PRIVMARK_ASSIGN_OR_RETURN(leaves[r], tree.LeafForValue(table.at(r, column)));
+  }
+  return leaves;
+}
+
+// Groups rows by their generalization-node vector; returns bin sizes keyed
+// by the node vector.
+Result<std::map<std::vector<NodeId>, size_t>> BinSizes(
+    const std::vector<std::vector<NodeId>>& row_leaves,
+    const std::vector<GeneralizationSet>& gens) {
+  std::map<std::vector<NodeId>, size_t> bins;
+  if (row_leaves.empty()) return bins;
+  const size_t num_rows = row_leaves[0].size();
+  std::vector<NodeId> key(gens.size());
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t c = 0; c < gens.size(); ++c) {
+      PRIVMARK_ASSIGN_OR_RETURN(key[c], gens[c].NodeForLeaf(row_leaves[c][r]));
+    }
+    ++bins[key];
+  }
+  return bins;
+}
+
+double TotalSpecificityLoss(const std::vector<GeneralizationSet>& gens) {
+  double total = 0;
+  for (const auto& g : gens) total += g.SpecificityLoss();
+  return total;
+}
+
+// One greedy merge step: replace all members under `parent` with `parent`.
+struct MergeStep {
+  size_t column;
+  NodeId parent;
+  size_t members_merged;   // how many current members the step removes
+  double delta_loss;       // specificity-loss increase
+  size_t violating_covered;  // rows in sub-k bins whose node is under parent
+};
+
+}  // namespace
+
+Result<bool> IsJointlyKAnonymous(const Table& table,
+                                 const std::vector<size_t>& qi_columns,
+                                 const std::vector<GeneralizationSet>& gens,
+                                 size_t k) {
+  std::vector<std::vector<NodeId>> row_leaves;
+  row_leaves.reserve(qi_columns.size());
+  for (size_t c = 0; c < qi_columns.size(); ++c) {
+    PRIVMARK_ASSIGN_OR_RETURN(
+        std::vector<NodeId> leaves,
+        RowLeaves(table, qi_columns[c], *gens[c].tree()));
+    row_leaves.push_back(std::move(leaves));
+  }
+  PRIVMARK_ASSIGN_OR_RETURN(auto bins, BinSizes(row_leaves, gens));
+  for (const auto& [key, size] : bins) {
+    if (size < k) return false;
+  }
+  return true;
+}
+
+Result<MultiBinningResult> MultiAttributeBin(
+    const Table& table, const std::vector<size_t>& qi_columns,
+    const std::vector<GeneralizationSet>& minimal,
+    const std::vector<GeneralizationSet>& maximal,
+    const MultiBinningOptions& options) {
+  const size_t num_cols = qi_columns.size();
+  if (minimal.size() != num_cols || maximal.size() != num_cols) {
+    return Status::InvalidArgument(
+        "MultiAttributeBin: minimal/maximal size mismatch with qi_columns");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("MultiAttributeBin: k must be >= 1");
+  }
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (!minimal[c].IsRefinementOf(maximal[c])) {
+      return Status::InvalidArgument(
+          "MultiAttributeBin: minimal nodes of column " + std::to_string(c) +
+          " are not a refinement of its maximal nodes");
+    }
+  }
+
+  // Precompute row leaves per column.
+  std::vector<std::vector<NodeId>> row_leaves;
+  row_leaves.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    PRIVMARK_ASSIGN_OR_RETURN(
+        std::vector<NodeId> leaves,
+        RowLeaves(table, qi_columns[c], *minimal[c].tree()));
+    row_leaves.push_back(std::move(leaves));
+  }
+
+  auto jointly_k_anonymous =
+      [&](const std::vector<GeneralizationSet>& gens) -> Result<bool> {
+    PRIVMARK_ASSIGN_OR_RETURN(auto bins, BinSizes(row_leaves, gens));
+    for (const auto& [key, size] : bins) {
+      if (size < options.k) return false;
+    }
+    return true;
+  };
+
+  MultiBinningResult result;
+
+  // Fast path: the minimal nodes may already be jointly k-anonymous.
+  PRIVMARK_ASSIGN_OR_RETURN(bool min_ok, jointly_k_anonymous(minimal));
+  if (min_ok) {
+    result.ultimate = minimal;
+    result.candidates_considered = 1;
+    result.already_satisfied = true;
+    result.total_specificity_loss = TotalSpecificityLoss(minimal);
+    return result;
+  }
+
+  // The data is binnable only if the all-maximal combination works.
+  PRIVMARK_ASSIGN_OR_RETURN(bool max_ok, jointly_k_anonymous(maximal));
+  if (!max_ok) {
+    return Status::Unbinnable(
+        "even the maximal generalization nodes are not jointly " +
+        std::to_string(options.k) + "-anonymous; the data is not binnable "
+        "within the usage metrics");
+  }
+
+  if (options.strategy == SearchStrategy::kExhaustive) {
+    // Fig. 7: enumerate allowable generalizations per column, take the
+    // cross product, keep valid ones, select the least specificity loss.
+    std::vector<std::vector<GeneralizationSet>> allowable(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      PRIVMARK_ASSIGN_OR_RETURN(
+          allowable[c],
+          EnumerateBetween(minimal[c], maximal[c], options.max_enumerations));
+    }
+    size_t combo_count = 1;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (combo_count > options.max_enumerations / allowable[c].size() + 1) {
+        return Status::CapacityExceeded(
+            "exhaustive multi-attribute binning would evaluate more than " +
+            std::to_string(options.max_enumerations) + " combinations");
+      }
+      combo_count *= allowable[c].size();
+    }
+    if (combo_count > options.max_enumerations) {
+      return Status::CapacityExceeded(
+          "exhaustive multi-attribute binning would evaluate " +
+          std::to_string(combo_count) + " combinations (cap " +
+          std::to_string(options.max_enumerations) + ")");
+    }
+
+    double best_loss = std::numeric_limits<double>::infinity();
+    std::vector<GeneralizationSet> best;
+    std::vector<size_t> odometer(num_cols, 0);
+    std::vector<GeneralizationSet> candidate(num_cols);
+    for (size_t iter = 0; iter < combo_count; ++iter) {
+      for (size_t c = 0; c < num_cols; ++c) {
+        candidate[c] = allowable[c][odometer[c]];
+      }
+      ++result.candidates_considered;
+      const double loss = TotalSpecificityLoss(candidate);
+      if (loss < best_loss) {
+        PRIVMARK_ASSIGN_OR_RETURN(bool ok, jointly_k_anonymous(candidate));
+        if (ok) {
+          best_loss = loss;
+          best = candidate;
+        }
+      }
+      // Advance odometer.
+      for (size_t c = 0; c < num_cols; ++c) {
+        if (++odometer[c] < allowable[c].size()) break;
+        odometer[c] = 0;
+      }
+    }
+    if (best.empty()) {
+      return Status::Unbinnable(
+          "no allowable generalization combination is jointly k-anonymous");
+    }
+    result.ultimate = std::move(best);
+    result.total_specificity_loss = best_loss;
+    return result;
+  }
+
+  // Greedy strategy: start at the minimal nodes; while some bin is smaller
+  // than k, apply the parent-merge with the best
+  // (violating-rows-covered / specificity-loss) ratio.
+  std::vector<GeneralizationSet> current = minimal;
+  for (;;) {
+    PRIVMARK_ASSIGN_OR_RETURN(auto bins, BinSizes(row_leaves, current));
+    // Per-row current nodes and per-row violation flags.
+    const size_t num_rows = table.num_rows();
+    std::vector<std::vector<NodeId>> row_nodes(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      row_nodes[c].resize(num_rows);
+      for (size_t r = 0; r < num_rows; ++r) {
+        PRIVMARK_ASSIGN_OR_RETURN(row_nodes[c][r],
+                                  current[c].NodeForLeaf(row_leaves[c][r]));
+      }
+    }
+    std::vector<char> violating(num_rows, 0);
+    size_t num_violating = 0;
+    {
+      std::vector<NodeId> key(num_cols);
+      for (size_t r = 0; r < num_rows; ++r) {
+        for (size_t c = 0; c < num_cols; ++c) key[c] = row_nodes[c][r];
+        if (bins.at(key) < options.k) {
+          violating[r] = 1;
+          ++num_violating;
+        }
+      }
+    }
+    if (num_violating == 0) break;
+
+    // Enumerate candidate merge steps.
+    std::vector<MergeStep> steps;
+    for (size_t c = 0; c < num_cols; ++c) {
+      const DomainHierarchy& tree = *current[c].tree();
+      std::set<NodeId> parents;
+      for (NodeId member : current[c].nodes()) {
+        const NodeId p = tree.Parent(member);
+        if (p != kInvalidNode) parents.insert(p);
+      }
+      for (NodeId p : parents) {
+        // Eligible iff p's leaves are currently covered strictly below p
+        // (checking one leaf suffices for a valid antichain) and p stays at
+        // or below the maximal nodes.
+        const std::vector<NodeId> leaves = tree.LeavesUnder(p);
+        PRIVMARK_ASSIGN_OR_RETURN(NodeId cover,
+                                  current[c].NodeForLeaf(leaves.front()));
+        if (cover == p || !tree.IsAncestorOrSelf(p, cover)) continue;
+        PRIVMARK_ASSIGN_OR_RETURN(NodeId max_cover,
+                                  maximal[c].NodeForLeaf(leaves.front()));
+        if (!tree.IsAncestorOrSelf(max_cover, p)) continue;
+
+        size_t members_merged = 0;
+        for (NodeId member : current[c].nodes()) {
+          if (tree.IsAncestorOrSelf(p, member)) ++members_merged;
+        }
+        size_t covered = 0;
+        for (size_t r = 0; r < num_rows; ++r) {
+          if (violating[r] && tree.IsAncestorOrSelf(p, row_nodes[c][r])) {
+            ++covered;
+          }
+        }
+        const double n_leaves = static_cast<double>(tree.Leaves().size());
+        steps.push_back(MergeStep{
+            c, p, members_merged,
+            static_cast<double>(members_merged - 1) / n_leaves, covered});
+      }
+    }
+    if (steps.empty()) {
+      return Status::Unbinnable(
+          "greedy multi-attribute binning ran out of merge steps before "
+          "reaching joint k-anonymity");
+    }
+    // Best ratio of violating rows fixed per unit of specificity loss;
+    // deterministic tie-breaks (smaller loss, then column, then node id).
+    const MergeStep* best = &steps[0];
+    auto better = [](const MergeStep& a, const MergeStep& b) {
+      const double score_a =
+          static_cast<double>(a.violating_covered) / (a.delta_loss + 1e-12);
+      const double score_b =
+          static_cast<double>(b.violating_covered) / (b.delta_loss + 1e-12);
+      if (score_a != score_b) return score_a > score_b;
+      if (a.delta_loss != b.delta_loss) return a.delta_loss < b.delta_loss;
+      if (a.column != b.column) return a.column < b.column;
+      return a.parent < b.parent;
+    };
+    for (const MergeStep& step : steps) {
+      if (better(step, *best)) best = &step;
+    }
+
+    // Apply the step: members under `parent` are replaced by `parent`.
+    const DomainHierarchy& tree = *current[best->column].tree();
+    std::vector<NodeId> next_nodes;
+    next_nodes.reserve(current[best->column].nodes().size());
+    for (NodeId member : current[best->column].nodes()) {
+      if (!tree.IsAncestorOrSelf(best->parent, member)) {
+        next_nodes.push_back(member);
+      }
+    }
+    next_nodes.push_back(best->parent);
+    PRIVMARK_ASSIGN_OR_RETURN(
+        current[best->column],
+        GeneralizationSet::Create(&tree, std::move(next_nodes)));
+    ++result.candidates_considered;
+  }
+
+  result.ultimate = std::move(current);
+  result.total_specificity_loss = TotalSpecificityLoss(result.ultimate);
+  return result;
+}
+
+}  // namespace privmark

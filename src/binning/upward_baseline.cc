@@ -1,0 +1,81 @@
+#include "binning/upward_baseline.h"
+
+#include <set>
+
+namespace privmark {
+
+Result<UpwardBinningResult> UpwardAttributeBin(
+    const GeneralizationSet& maximal, const std::vector<Value>& values,
+    size_t k) {
+  if (k < 1) {
+    return Status::InvalidArgument("UpwardAttributeBin: k must be >= 1");
+  }
+  const DomainHierarchy& tree = *maximal.tree();
+
+  // Per-node counts (one pass; the work metric counts *inspections*, not
+  // this precomputation, mirroring how the downward search is measured).
+  std::vector<size_t> counts(tree.num_nodes(), 0);
+  for (const Value& v : values) {
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId leaf, tree.LeafForValue(v));
+    ++counts[leaf];
+  }
+  for (size_t i = tree.num_nodes(); i-- > 1;) {
+    const NodeId parent = tree.Parent(static_cast<NodeId>(i));
+    if (parent != kInvalidNode) counts[parent] += counts[i];
+  }
+
+  UpwardBinningResult result;
+
+  // Start at the leaves under each maximal node; merge violators upward.
+  std::set<NodeId> members;
+  for (NodeId max_node : maximal.nodes()) {
+    ++result.nodes_inspected;
+    if (counts[max_node] == 0) {
+      // Whole region empty: keep the maximal node (vacuous bin), matching
+      // the downward algorithm's handling.
+      members.insert(max_node);
+      continue;
+    }
+    if (counts[max_node] < k) {
+      return Status::Unbinnable(
+          "attribute '" + tree.attribute() + "': subtree '" +
+          tree.node(max_node).label + "' holds " +
+          std::to_string(counts[max_node]) +
+          " tuple(s) < k=" + std::to_string(k));
+    }
+    for (NodeId leaf : tree.LeavesUnder(max_node)) {
+      members.insert(leaf);
+    }
+  }
+
+  // Iterate: find any member below its maximal node with count < k and
+  // merge its parent's whole frontier into the parent.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId member : members) {
+      ++result.nodes_inspected;
+      if (counts[member] >= k) continue;
+      if (maximal.Contains(member)) continue;  // cannot rise further
+      const NodeId parent = tree.Parent(member);
+      // Replace every member under `parent` by `parent`. All of them are
+      // in the current antichain (the antichain exactly tiles the tree).
+      std::set<NodeId> next;
+      for (NodeId m : members) {
+        if (!tree.IsAncestorOrSelf(parent, m)) next.insert(m);
+      }
+      next.insert(parent);
+      members = std::move(next);
+      changed = true;
+      break;  // restart the scan: the antichain changed under us
+    }
+  }
+
+  PRIVMARK_ASSIGN_OR_RETURN(
+      result.minimal,
+      GeneralizationSet::Create(&tree, std::vector<NodeId>(members.begin(),
+                                                           members.end())));
+  return result;
+}
+
+}  // namespace privmark

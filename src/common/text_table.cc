@@ -1,0 +1,66 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace privmark {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToAligned() const {
+  // Compute column widths across header and all rows.
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out;
+  auto emit = [&out, &widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += "  ";
+      out += row[i];
+      if (i + 1 < row.size()) {
+        out.append(widths[i] - row[i].size(), ' ');
+      }
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i > 0 ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  if (!header_.empty()) {
+    out += Join(header_, ",");
+    out += '\n';
+  }
+  for (const auto& row : rows_) {
+    out += Join(row, ",");
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace privmark

@@ -1,0 +1,38 @@
+// Aligned plain-text table writer used by bench binaries and examples so
+// that regenerated paper tables/figures print readably and diff cleanly.
+
+#ifndef PRIVMARK_COMMON_TEXT_TABLE_H_
+#define PRIVMARK_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace privmark {
+
+/// \brief Collects rows of string cells and renders them column-aligned.
+///
+/// Also renders as CSV so experiment outputs can be post-processed.
+class TextTable {
+ public:
+  /// \brief Sets the header row (optional).
+  void SetHeader(std::vector<std::string> header);
+
+  /// \brief Appends one data row; rows may have differing cell counts.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// \brief Space-padded aligned rendering with a header underline.
+  std::string ToAligned() const;
+
+  /// \brief RFC-4180-ish CSV rendering (no quoting needed for our cells).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_COMMON_TEXT_TABLE_H_

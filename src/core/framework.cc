@@ -1,0 +1,157 @@
+#include "core/framework.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "crypto/aes128.h"
+
+namespace privmark {
+
+ProtectionFramework::ProtectionFramework(UsageMetrics metrics,
+                                         FrameworkConfig config)
+    : metrics_(std::move(metrics)), config_(std::move(config)) {}
+
+HierarchicalWatermarker ProtectionFramework::MakeWatermarker(
+    const BinningOutcome& binning) const {
+  // The identifying column index comes from the binned table's schema; the
+  // binning agent guarantees exactly one.
+  const size_t ident_column =
+      binning.binned.schema().IdentifyingColumn().ValueOrDie();
+  return HierarchicalWatermarker(binning.qi_columns, ident_column,
+                                 metrics_.maximal, binning.ultimate,
+                                 config_.key, config_.watermark);
+}
+
+Result<ProtectionOutcome> ProtectionFramework::Protect(
+    const Table& original) const {
+  ProtectionOutcome outcome;
+
+  // The mark: F(identifier statistic) per Sec. 5.4, or an explicit mark.
+  PRIVMARK_ASSIGN_OR_RETURN(size_t ident_column,
+                            original.schema().IdentifyingColumn());
+  if (config_.derive_mark_from_identifiers) {
+    PRIVMARK_ASSIGN_OR_RETURN(outcome.identifier_statistic,
+                              StatisticFromTable(original, ident_column));
+    PRIVMARK_ASSIGN_OR_RETURN(
+        outcome.mark,
+        DeriveOwnershipMark(outcome.identifier_statistic, config_.mark_bits,
+                            config_.watermark.hash));
+  } else {
+    if (config_.explicit_mark.empty()) {
+      return Status::InvalidArgument(
+          "Protect: explicit_mark is empty but mark derivation is disabled");
+    }
+    outcome.mark = config_.explicit_mark;
+  }
+
+  // Binning pass (possibly twice, for the Sec. 6 epsilon adjustment).
+  BinningConfig binning_config = config_.binning;
+  BinningAgent agent(metrics_, binning_config);
+  PRIVMARK_ASSIGN_OR_RETURN(outcome.binning, agent.Run(original));
+  outcome.epsilon_used = binning_config.epsilon;
+
+  if (config_.auto_epsilon) {
+    // Estimate |wmd| on the first pass, derive epsilon, re-bin.
+    HierarchicalWatermarker probe = MakeWatermarker(outcome.binning);
+    PRIVMARK_ASSIGN_OR_RETURN(size_t bandwidth,
+                              probe.EstimateBandwidth(outcome.binning.binned));
+    size_t copies = config_.copies;
+    if (copies == 0) {
+      copies = std::max<size_t>(1, bandwidth / config_.mark_bits);
+    }
+    const size_t wmd_size = copies * config_.mark_bits;
+    size_t epsilon = 0;
+    if (config_.binning.enforce_joint) {
+      PRIVMARK_ASSIGN_OR_RETURN(
+          epsilon, ConservativeEpsilon(outcome.binning.binned,
+                                       outcome.binning.qi_columns, wmd_size));
+    } else {
+      // Per-attribute k-anonymity: a column sees roughly wmd/|columns| of
+      // the moves, and its own biggest bin bounds any bin's exposure.
+      const size_t per_column_moves =
+          wmd_size / std::max<size_t>(1, outcome.binning.qi_columns.size());
+      for (size_t col : outcome.binning.qi_columns) {
+        PRIVMARK_ASSIGN_OR_RETURN(
+            size_t col_epsilon,
+            ConservativeEpsilon(outcome.binning.binned, {col},
+                                per_column_moves));
+        epsilon = std::max(epsilon, col_epsilon);
+      }
+    }
+    if (epsilon > binning_config.epsilon) {
+      binning_config.epsilon = epsilon;
+      BinningAgent adjusted(metrics_, binning_config);
+      PRIVMARK_ASSIGN_OR_RETURN(outcome.binning, adjusted.Run(original));
+      outcome.epsilon_used = epsilon;
+    }
+  }
+
+  // Watermarking pass.
+  outcome.watermarked = outcome.binning.binned.Clone();
+  HierarchicalWatermarker watermarker = MakeWatermarker(outcome.binning);
+  PRIVMARK_ASSIGN_OR_RETURN(
+      outcome.embed,
+      watermarker.Embed(&outcome.watermarked, outcome.mark, config_.copies));
+
+  // Fig. 14 seamlessness rows.
+  PRIVMARK_ASSIGN_OR_RETURN(
+      outcome.seamlessness,
+      MeasureSeamlessness(outcome.binning.binned, outcome.watermarked,
+                          outcome.binning.qi_columns, config_.binning.k));
+  return outcome;
+}
+
+Result<std::vector<AttributeSeamlessness>> MeasureSeamlessness(
+    const Table& binned, const Table& watermarked,
+    const std::vector<size_t>& qi_columns, size_t k) {
+  if (binned.num_rows() != watermarked.num_rows()) {
+    return Status::InvalidArgument(
+        "MeasureSeamlessness: tables have different row counts");
+  }
+  std::vector<AttributeSeamlessness> rows;
+  rows.reserve(qi_columns.size());
+  for (size_t col : qi_columns) {
+    AttributeSeamlessness row;
+    row.attribute = binned.schema().column(col).name;
+
+    std::map<std::string, size_t> before;
+    for (size_t r = 0; r < binned.num_rows(); ++r) {
+      ++before[binned.at(r, col).ToString()];
+    }
+    std::map<std::string, size_t> after;
+    for (size_t r = 0; r < watermarked.num_rows(); ++r) {
+      ++after[watermarked.at(r, col).ToString()];
+    }
+
+    row.total_bins = before.size();
+    // Changed = union of labels whose before/after sizes differ.
+    std::map<std::string, std::pair<size_t, size_t>> merged;
+    for (const auto& [label, n] : before) merged[label].first = n;
+    for (const auto& [label, n] : after) merged[label].second = n;
+    for (const auto& [label, sizes] : merged) {
+      if (sizes.first != sizes.second) ++row.bins_size_changed;
+    }
+    for (const auto& [label, n] : after) {
+      if (n < k) ++row.bins_below_k;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<size_t> ConservativeEpsilon(const Table& binned,
+                                   const std::vector<size_t>& qi_columns,
+                                   size_t wmd_size) {
+  if (binned.num_rows() == 0) return size_t{0};
+  size_t largest = 0;
+  for (const Bin& bin : binned.GroupBy(qi_columns)) {
+    largest = std::max(largest, bin.size());
+  }
+  const double s = static_cast<double>(largest);
+  const double total = static_cast<double>(binned.num_rows());
+  return static_cast<size_t>(
+      std::ceil(s / total * static_cast<double>(wmd_size)));
+}
+
+}  // namespace privmark

@@ -1,0 +1,44 @@
+#include "crypto/keyed_hash.h"
+
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+
+namespace privmark {
+
+const char* HashAlgorithmToString(HashAlgorithm algo) {
+  switch (algo) {
+    case HashAlgorithm::kSha1:
+      return "SHA1";
+    case HashAlgorithm::kMd5:
+      return "MD5";
+  }
+  return "Unknown";
+}
+
+std::vector<uint8_t> KeyedDigest(HashAlgorithm algo, const std::string& key,
+                                 const std::string& message) {
+  std::string input;
+  input.reserve(key.size() + 1 + message.size());
+  input += key;
+  input.push_back('\0');
+  input += message;
+  switch (algo) {
+    case HashAlgorithm::kSha1:
+      return Sha1::Hash(input);
+    case HashAlgorithm::kMd5:
+      return Md5::Hash(input);
+  }
+  return {};
+}
+
+uint64_t KeyedHash64(HashAlgorithm algo, const std::string& key,
+                     const std::string& message) {
+  const std::vector<uint8_t> digest = KeyedDigest(algo, key, message);
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out = (out << 8) | digest[i];
+  }
+  return out;
+}
+
+}  // namespace privmark

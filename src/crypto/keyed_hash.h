@@ -1,0 +1,39 @@
+// Keyed hashing used by the watermarking algorithm.
+//
+// The paper (Eq. 5 and Fig. 9) computes H(ti.ident, k1) and H(ti.ident, k2)
+// where H is "a cryptographic hash function e.g., MD5 or SHA1" and k1/k2 are
+// elements of the secret watermarking key. We realize H(m, k) as
+// Hash(k || 0x00 || m) truncated to a uint64 (big-endian leading bytes);
+// the 0x00 separator prevents key/message boundary ambiguity.
+
+#ifndef PRIVMARK_CRYPTO_KEYED_HASH_H_
+#define PRIVMARK_CRYPTO_KEYED_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace privmark {
+
+/// \brief Which underlying hash the watermarking pipeline uses.
+enum class HashAlgorithm {
+  kSha1,
+  kMd5,
+};
+
+const char* HashAlgorithmToString(HashAlgorithm algo);
+
+/// \brief Full digest of key || 0x00 || message.
+std::vector<uint8_t> KeyedDigest(HashAlgorithm algo, const std::string& key,
+                                 const std::string& message);
+
+/// \brief First 8 digest bytes as a big-endian uint64.
+///
+/// This is the quantity the paper reduces mod eta (selection) or mod |S| /
+/// |wmd| (permutation and position choice).
+uint64_t KeyedHash64(HashAlgorithm algo, const std::string& key,
+                     const std::string& message);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_CRYPTO_KEYED_HASH_H_

@@ -1,0 +1,46 @@
+// MD5 (RFC 1321), implemented from scratch.
+//
+// Provided because the paper names "MD5 or SHA1" as the hash H() used for
+// tuple selection and permutation (Eq. 5). Selectable via HashAlgorithm.
+//
+// MD5 is cryptographically broken for collision resistance; as in the paper
+// it is only used as a keyed selector.
+
+#ifndef PRIVMARK_CRYPTO_MD5_H_
+#define PRIVMARK_CRYPTO_MD5_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace privmark {
+
+/// \brief Incremental MD5 hasher.
+class Md5 {
+ public:
+  static constexpr size_t kDigestSize = 16;
+
+  Md5();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const std::string& data);
+
+  /// \brief Finishes and returns the 16-byte digest.
+  std::vector<uint8_t> Finish();
+
+  void Reset();
+
+  static std::vector<uint8_t> Hash(const std::string& data);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[4];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_CRYPTO_MD5_H_

@@ -1,0 +1,121 @@
+#include "datagen/medical_data.h"
+
+#include <set>
+
+#include "common/random.h"
+
+namespace privmark {
+
+Schema MedicalSchema() {
+  Schema schema;
+  // AddColumn only fails on duplicate names; these are statically distinct.
+  (void)schema.AddColumn({"ssn", ColumnRole::kIdentifying, ValueType::kString});
+  (void)schema.AddColumn({"age", ColumnRole::kQuasiNumeric, ValueType::kInt64});
+  (void)schema.AddColumn(
+      {"zip_code", ColumnRole::kQuasiCategorical, ValueType::kString});
+  (void)schema.AddColumn(
+      {"doctor", ColumnRole::kQuasiCategorical, ValueType::kString});
+  (void)schema.AddColumn(
+      {"symptom", ColumnRole::kQuasiCategorical, ValueType::kString});
+  (void)schema.AddColumn(
+      {"prescription", ColumnRole::kQuasiCategorical, ValueType::kString});
+  return schema;
+}
+
+namespace {
+
+// Draws leaf labels Zipf-skewed over a *shuffled* rank order, so frequency
+// is not correlated with the tree's left-to-right leaf layout.
+class LeafSampler {
+ public:
+  LeafSampler(const DomainHierarchy& tree, double skew, Random* rng)
+      : tree_(tree),
+        order_(rng->Permutation(tree.Leaves().size())),
+        zipf_(tree.Leaves().size(), skew) {}
+
+  const std::string& Sample(Random* rng) const {
+    const size_t rank = zipf_.Sample(rng);
+    const NodeId leaf = tree_.Leaves()[order_[rank]];
+    return tree_.node(leaf).label;
+  }
+
+ private:
+  const DomainHierarchy& tree_;
+  std::vector<size_t> order_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace
+
+Result<MedicalDataset> GenerateMedicalDataset(const MedicalDataSpec& spec) {
+  MedicalDataset out;
+  PRIVMARK_ASSIGN_OR_RETURN(DomainHierarchy age_tree, BuildAgeHierarchy());
+  PRIVMARK_ASSIGN_OR_RETURN(DomainHierarchy zip_tree, BuildZipHierarchy());
+  PRIVMARK_ASSIGN_OR_RETURN(DomainHierarchy doctor_tree,
+                            BuildDoctorHierarchy());
+  PRIVMARK_ASSIGN_OR_RETURN(DomainHierarchy symptom_tree,
+                            BuildSymptomHierarchy());
+  PRIVMARK_ASSIGN_OR_RETURN(DomainHierarchy prescription_tree,
+                            BuildPrescriptionHierarchy());
+  out.age = std::make_unique<DomainHierarchy>(std::move(age_tree));
+  out.zip = std::make_unique<DomainHierarchy>(std::move(zip_tree));
+  out.doctor = std::make_unique<DomainHierarchy>(std::move(doctor_tree));
+  out.symptom = std::make_unique<DomainHierarchy>(std::move(symptom_tree));
+  out.prescription =
+      std::make_unique<DomainHierarchy>(std::move(prescription_tree));
+
+  Random rng(spec.seed);
+  LeafSampler zip_sampler(*out.zip, spec.zipf_skew, &rng);
+  LeafSampler doctor_sampler(*out.doctor, spec.zipf_skew, &rng);
+  LeafSampler symptom_sampler(*out.symptom, spec.zipf_skew, &rng);
+  LeafSampler prescription_sampler(*out.prescription, spec.zipf_skew, &rng);
+
+  // Age: mixture of three normal-ish humps (pediatric, adult, elderly)
+  // clamped to [0, 150) — clinical age profiles are multimodal, and the
+  // mixture exercises uneven leaf counts in the binary interval tree.
+  auto sample_age = [&rng]() -> int64_t {
+    const double u = rng.NextDouble();
+    double center, spread;
+    if (u < 0.15) {
+      center = 8;
+      spread = 6;
+    } else if (u < 0.70) {
+      center = 42;
+      spread = 15;
+    } else {
+      center = 74;
+      spread = 9;
+    }
+    // Sum of 4 uniforms approximates a normal cheaply and determinism is
+    // all we need.
+    double z = 0;
+    for (int i = 0; i < 4; ++i) z += rng.NextDouble();
+    const double v = center + (z - 2.0) * spread;
+    if (v < 0) return 0;
+    if (v >= 149) return 149;
+    return static_cast<int64_t>(v);
+  };
+
+  Table table(MedicalSchema());
+  std::set<std::string> used_ssns;
+  for (size_t r = 0; r < spec.num_rows; ++r) {
+    // Unique 9-digit SSNs.
+    std::string ssn;
+    do {
+      ssn = rng.DigitString(9);
+    } while (!used_ssns.insert(ssn).second);
+
+    Row row;
+    row.push_back(Value::String(std::move(ssn)));
+    row.push_back(Value::Int64(sample_age()));
+    row.push_back(Value::String(zip_sampler.Sample(&rng)));
+    row.push_back(Value::String(doctor_sampler.Sample(&rng)));
+    row.push_back(Value::String(symptom_sampler.Sample(&rng)));
+    row.push_back(Value::String(prescription_sampler.Sample(&rng)));
+    PRIVMARK_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  out.table = std::move(table);
+  return out;
+}
+
+}  // namespace privmark

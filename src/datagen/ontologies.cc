@@ -1,0 +1,335 @@
+#include "datagen/ontologies.h"
+
+namespace privmark {
+
+Result<DomainHierarchy> BuildAgeHierarchy() {
+  std::vector<double> boundaries;
+  for (int b = 0; b <= 150; b += 5) boundaries.push_back(b);
+  return BuildNumericHierarchy("age", boundaries);
+}
+
+Result<DomainHierarchy> BuildZipHierarchy() {
+  // 8 two-digit regions x 3 three-digit districts x 4 five-digit zips = 96.
+  static const char* kRegions[] = {"02", "10", "19", "27",
+                                   "33", "48", "60", "94"};
+  static const char* kDistrictDigits[] = {"1", "4", "7"};
+  static const char* kLeafSuffixes[] = {"03", "26", "59", "88"};
+
+  HierarchyBuilder builder("zip_code", "ZIP-*");
+  for (const char* region : kRegions) {
+    PRIVMARK_ASSIGN_OR_RETURN(
+        NodeId region_node,
+        builder.AddChild(0, std::string(region) + "***"));
+    for (const char* district : kDistrictDigits) {
+      PRIVMARK_ASSIGN_OR_RETURN(
+          NodeId district_node,
+          builder.AddChild(region_node,
+                           std::string(region) + district + "**"));
+      for (const char* suffix : kLeafSuffixes) {
+        PRIVMARK_RETURN_NOT_OK(
+            builder.AddChild(district_node,
+                             std::string(region) + district + suffix)
+                .status());
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<DomainHierarchy> BuildDoctorHierarchy() {
+  // Paper Fig. 1 arranges person roles in a DHT; we extend its role tree
+  // one level down to 20 named practitioners (Fig. 14 reports 20 doctor
+  // bins).
+  static const char kOutline[] = R"(Person
+  Medical Practitioner
+    General Practitioner
+      Dr. Adams
+      Dr. Baker
+      Dr. Chen
+      Dr. Davis
+    Medical Specialist
+      Cardiologist
+        Dr. Evans
+        Dr. Flores
+      Oncologist
+        Dr. Garcia
+        Dr. Huang
+      Neurologist
+        Dr. Ivanov
+        Dr. Jackson
+  Paramedic
+    Pharmacist
+      Ph. Kim
+      Ph. Lopez
+    Nurse
+      N. Miller
+      N. Nguyen
+      N. O'Brien
+    Consultant
+      C. Patel
+      C. Quinn
+  Administrative Staff
+    Registrar
+      R. Roberts
+      R. Silva
+    Records Officer
+      O. Turner)";
+  return HierarchyBuilder::FromOutline("doctor", kOutline);
+}
+
+Result<DomainHierarchy> BuildSymptomHierarchy() {
+  // Condensed ICD-9 structure: chapters -> blocks -> conditions (~100
+  // leaves). Chapter and block names follow the ICD-9 chapter headings.
+  static const char kOutline[] = R"(All Conditions
+  Infectious And Parasitic Diseases
+    Intestinal Infectious Diseases
+      Cholera
+      Typhoid Fever
+      Salmonella Enteritis
+      Shigellosis
+      Viral Gastroenteritis
+    Tuberculosis
+      Pulmonary Tuberculosis
+      Tuberculous Pleurisy
+      Miliary Tuberculosis
+    Viral Diseases
+      Varicella
+      Herpes Zoster
+      Measles
+      Viral Hepatitis B
+      Infectious Mononucleosis
+  Neoplasms
+    Malignant Neoplasms Digestive
+      Gastric Carcinoma
+      Colon Carcinoma
+      Pancreatic Carcinoma
+      Hepatocellular Carcinoma
+    Malignant Neoplasms Respiratory
+      Laryngeal Carcinoma
+      Bronchogenic Carcinoma
+      Pleural Mesothelioma
+    Benign Neoplasms
+      Lipoma
+      Uterine Leiomyoma
+      Colonic Polyp
+      Meningioma
+  Endocrine And Metabolic Diseases
+    Thyroid Disorders
+      Simple Goiter
+      Thyrotoxicosis
+      Hypothyroidism
+      Thyroiditis
+    Diabetes Mellitus
+      Type 1 Diabetes
+      Type 2 Diabetes
+      Diabetic Ketoacidosis
+      Diabetic Nephropathy
+    Lipid Metabolism Disorders
+      Hypercholesterolemia
+      Hypertriglyceridemia
+      Mixed Hyperlipidemia
+  Diseases Of The Circulatory System
+    Hypertensive Disease
+      Essential Hypertension
+      Hypertensive Heart Disease
+      Secondary Hypertension
+    Ischemic Heart Disease
+      Acute Myocardial Infarction
+      Unstable Angina
+      Chronic Ischemic Heart Disease
+      Coronary Atherosclerosis
+    Cerebrovascular Disease
+      Subarachnoid Hemorrhage
+      Intracerebral Hemorrhage
+      Cerebral Infarction
+      Transient Ischemic Attack
+  Diseases Of The Respiratory System
+    Acute Respiratory Infections
+      Acute Nasopharyngitis
+      Acute Sinusitis
+      Acute Pharyngitis
+      Acute Bronchitis
+    Pneumonia And Influenza
+      Viral Pneumonia
+      Pneumococcal Pneumonia
+      Bacterial Pneumonia
+      Influenza
+    Chronic Obstructive Disease
+      Chronic Bronchitis
+      Emphysema
+      Asthma
+      Bronchiectasis
+  Diseases Of The Digestive System
+    Upper Gastrointestinal Diseases
+      Esophagitis
+      Gastric Ulcer
+      Duodenal Ulcer
+      Acute Gastritis
+    Noninfective Enteritis And Colitis
+      Crohn Disease
+      Ulcerative Colitis
+      Irritable Bowel Syndrome
+    Diseases Of Liver And Pancreas
+      Alcoholic Cirrhosis
+      Acute Pancreatitis
+      Cholelithiasis
+      Acute Cholecystitis
+  Diseases Of The Musculoskeletal System
+    Arthropathies
+      Rheumatoid Arthritis
+      Osteoarthrosis
+      Gouty Arthritis
+    Dorsopathies
+      Cervical Disc Degeneration
+      Lumbar Disc Displacement
+      Sciatica
+      Lumbago
+    Osteopathies
+      Osteoporosis
+      Osteomyelitis
+      Paget Disease Of Bone
+  Injury And Poisoning
+    Fractures
+      Fracture Of Radius
+      Fracture Of Femur
+      Fracture Of Ankle
+      Vertebral Fracture
+    Sprains And Strains
+      Ankle Sprain
+      Knee Sprain
+      Shoulder Strain
+    Burns And Poisoning
+      Second Degree Burn
+      Drug Poisoning
+      Food Poisoning)";
+  return HierarchyBuilder::FromOutline("symptom", kOutline);
+}
+
+Result<DomainHierarchy> BuildPrescriptionHierarchy() {
+  // Drug ontology: therapeutic class -> subclass -> product (~100 leaves,
+  // matching Fig. 14's 97 prescription bins).
+  static const char kOutline[] = R"(All Drugs
+  Analgesics
+    Nonsteroidal Antiinflammatory
+      Ibuprofen
+      Naproxen
+      Diclofenac
+      Celecoxib
+    Opioid Analgesics
+      Morphine
+      Oxycodone
+      Tramadol
+      Fentanyl
+    Simple Analgesics
+      Paracetamol
+      Aspirin
+      Metamizole
+  Antibacterials
+    Penicillins
+      Amoxicillin
+      Ampicillin
+      Piperacillin
+      Flucloxacillin
+    Cephalosporins
+      Cefalexin
+      Cefuroxime
+      Ceftriaxone
+      Cefepime
+    Macrolides And Quinolones
+      Azithromycin
+      Clarithromycin
+      Ciprofloxacin
+      Levofloxacin
+  Antivirals And Antifungals
+    Antivirals
+      Aciclovir
+      Oseltamivir
+      Lamivudine
+      Ribavirin
+    Antifungals
+      Fluconazole
+      Itraconazole
+      Amphotericin B
+    Antiretrovirals
+      Zidovudine
+      Efavirenz
+      Lopinavir
+  Cardiovascular Agents
+    Antihypertensives
+      Lisinopril
+      Losartan
+      Amlodipine
+      Hydrochlorothiazide
+    Beta Blockers
+      Atenolol
+      Metoprolol
+      Bisoprolol
+      Carvedilol
+    Lipid Modifying Agents
+      Simvastatin
+      Atorvastatin
+      Rosuvastatin
+      Fenofibrate
+  Psychotropics
+    Antidepressants
+      Fluoxetine
+      Sertraline
+      Venlafaxine
+      Amitriptyline
+    Anxiolytics And Hypnotics
+      Diazepam
+      Lorazepam
+      Zolpidem
+    Antipsychotics
+      Haloperidol
+      Risperidone
+      Olanzapine
+      Quetiapine
+  Respiratory Agents
+    Bronchodilators
+      Salbutamol
+      Salmeterol
+      Ipratropium
+      Tiotropium
+    Inhaled Corticosteroids
+      Beclometasone
+      Budesonide
+      Fluticasone
+    Antihistamines
+      Loratadine
+      Cetirizine
+      Fexofenadine
+      Diphenhydramine
+  Gastrointestinal Agents
+    Acid Suppressants
+      Omeprazole
+      Pantoprazole
+      Ranitidine
+      Famotidine
+    Antiemetics
+      Ondansetron
+      Metoclopramide
+      Domperidone
+    Laxatives And Antidiarrheals
+      Lactulose
+      Loperamide
+      Mesalazine
+  Endocrine Agents
+    Antidiabetics
+      Metformin
+      Glibenclamide
+      Insulin Glargine
+      Sitagliptin
+    Thyroid Agents
+      Levothyroxine
+      Carbimazole
+      Propylthiouracil
+    Corticosteroids
+      Prednisolone
+      Dexamethasone
+      Hydrocortisone
+      Methylprednisolone)";
+  return HierarchyBuilder::FromOutline("prescription", kOutline);
+}
+
+}  // namespace privmark

@@ -1,0 +1,46 @@
+// Domain ontologies for the synthetic clinical data set (paper Sec. 7).
+//
+// The paper's evaluation uses a real ~20k-tuple relation
+//   R(ssn, age, zip code, doctor, symptom, prescription)
+// with a DHT per quasi-identifying column: ICD-9 for symptom, self-defined
+// ontologies for the others, and a Fig. 3-style binary interval tree with
+// "narrower intervals" for age. We rebuild each at the same scale:
+//
+//   age          : binary tree over [0, 150), 30 leaves of width 5
+//   zip_code     : 4-level prefix tree, 96 five-digit leaves
+//   doctor       : Fig. 1-style person-role tree, 20 named leaves
+//   symptom      : condensed ICD-9 (chapters -> blocks -> conditions),
+//                  ~100 leaves
+//   prescription : drug classes -> subclasses -> products, ~100 leaves
+//
+// Leaf counts mirror the bin totals reported in the paper's Fig. 14
+// (e.g. 20 doctors, 96 zip bins, 97 prescription bins at k=10).
+
+#ifndef PRIVMARK_DATAGEN_ONTOLOGIES_H_
+#define PRIVMARK_DATAGEN_ONTOLOGIES_H_
+
+#include "common/status.h"
+#include "hierarchy/domain_hierarchy.h"
+
+namespace privmark {
+
+/// \brief Binary interval DHT for age over [0, 150), leaf width 5.
+Result<DomainHierarchy> BuildAgeHierarchy();
+
+/// \brief Prefix tree for 5-digit zip codes (region -> 3-digit prefix ->
+/// zip), 96 leaves.
+Result<DomainHierarchy> BuildZipHierarchy();
+
+/// \brief Person-role tree in the style of the paper's Fig. 1, with 20
+/// individual practitioners as leaves.
+Result<DomainHierarchy> BuildDoctorHierarchy();
+
+/// \brief Condensed ICD-9-style condition ontology, ~100 leaves.
+Result<DomainHierarchy> BuildSymptomHierarchy();
+
+/// \brief Drug ontology (class -> subclass -> product), ~100 leaves.
+Result<DomainHierarchy> BuildPrescriptionHierarchy();
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_DATAGEN_ONTOLOGIES_H_

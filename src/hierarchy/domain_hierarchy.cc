@@ -1,0 +1,352 @@
+#include "hierarchy/domain_hierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace privmark {
+
+std::vector<NodeId> DomainHierarchy::Siblings(NodeId id) const {
+  const NodeId parent = nodes_[id].parent;
+  if (parent == kInvalidNode) return {id};
+  return nodes_[parent].children;
+}
+
+size_t DomainHierarchy::SiblingIndex(NodeId id) const {
+  const std::vector<NodeId> sibs = Siblings(id);
+  for (size_t i = 0; i < sibs.size(); ++i) {
+    if (sibs[i] == id) return i;
+  }
+  assert(false && "node not found among its siblings");
+  return 0;
+}
+
+std::vector<NodeId> DomainHierarchy::LeavesUnder(NodeId id) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    const NodeId nd = stack.back();
+    stack.pop_back();
+    if (nodes_[nd].is_leaf()) {
+      out.push_back(nd);
+      continue;
+    }
+    // Push children in reverse so leaves come out left-to-right.
+    const auto& children = nodes_[nd].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+Result<NodeId> DomainHierarchy::FindByLabel(const std::string& label) const {
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) {
+    return Status::KeyError("tree '" + attribute_ + "' has no node labeled '" +
+                            label + "'");
+  }
+  return it->second;
+}
+
+Result<NodeId> DomainHierarchy::LeafForValue(const Value& value) const {
+  if (numeric_ && value.type() != ValueType::kString) {
+    const double v = value.AsDouble();
+    // leaf_lower_bounds_[i] is the lower bound of leaves_[i].
+    auto it = std::upper_bound(leaf_lower_bounds_.begin(),
+                               leaf_lower_bounds_.end(), v);
+    if (it == leaf_lower_bounds_.begin()) {
+      return Status::OutOfRange("value " + value.ToString() +
+                                " below the domain of '" + attribute_ + "'");
+    }
+    const size_t idx = static_cast<size_t>(it - leaf_lower_bounds_.begin()) - 1;
+    const NodeId leaf = leaves_[idx];
+    if (v >= nodes_[leaf].hi) {
+      return Status::OutOfRange("value " + value.ToString() +
+                                " above the domain of '" + attribute_ + "'");
+    }
+    return leaf;
+  }
+  // Categorical (or an already-labelled cell in a numeric tree).
+  PRIVMARK_ASSIGN_OR_RETURN(NodeId id, FindByLabel(value.ToString()));
+  if (!nodes_[id].is_leaf()) {
+    return Status::InvalidArgument("value '" + value.ToString() +
+                                   "' names an interior node of '" +
+                                   attribute_ + "', not a leaf");
+  }
+  return id;
+}
+
+bool DomainHierarchy::IsAncestorOrSelf(NodeId ancestor,
+                                       NodeId descendant) const {
+  NodeId cur = descendant;
+  while (cur != kInvalidNode) {
+    if (cur == ancestor) return true;
+    // Depth check lets us stop early instead of walking to the root.
+    if (nodes_[cur].depth <= nodes_[ancestor].depth) return false;
+    cur = nodes_[cur].parent;
+  }
+  return false;
+}
+
+int DomainHierarchy::LevelsBetween(NodeId ancestor, NodeId descendant) const {
+  assert(IsAncestorOrSelf(ancestor, descendant));
+  return nodes_[descendant].depth - nodes_[ancestor].depth;
+}
+
+std::string DomainHierarchy::ToString() const {
+  std::string out;
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    const NodeId nd = stack.back();
+    stack.pop_back();
+    out.append(static_cast<size_t>(nodes_[nd].depth) * 2, ' ');
+    out += nodes_[nd].label;
+    out += '\n';
+    const auto& children = nodes_[nd].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+HierarchyBuilder::HierarchyBuilder(std::string attribute,
+                                   std::string root_label) {
+  tree_.attribute_ = std::move(attribute);
+  HierarchyNode root;
+  root.label = std::move(root_label);
+  tree_.nodes_.push_back(root);
+  tree_.label_index_[tree_.nodes_[0].label] = 0;
+}
+
+Result<NodeId> HierarchyBuilder::AddChild(NodeId parent,
+                                          const std::string& label) {
+  assert(!built_);
+  if (parent < 0 || static_cast<size_t>(parent) >= tree_.nodes_.size()) {
+    return Status::OutOfRange("AddChild: parent id " + std::to_string(parent) +
+                              " out of range");
+  }
+  if (tree_.label_index_.count(label) > 0) {
+    return Status::AlreadyExists("label '" + label +
+                                 "' already used in tree '" +
+                                 tree_.attribute_ + "'");
+  }
+  HierarchyNode node;
+  node.label = label;
+  node.parent = parent;
+  const NodeId id = static_cast<NodeId>(tree_.nodes_.size());
+  tree_.nodes_.push_back(std::move(node));
+  tree_.nodes_[parent].children.push_back(id);
+  tree_.label_index_[label] = id;
+  return id;
+}
+
+Result<NodeId> HierarchyBuilder::AddPath(const std::vector<std::string>& labels) {
+  NodeId cur = tree_.root();
+  for (const auto& label : labels) {
+    auto it = tree_.label_index_.find(label);
+    if (it != tree_.label_index_.end()) {
+      if (tree_.nodes_[it->second].parent != cur) {
+        return Status::InvalidArgument("AddPath: label '" + label +
+                                       "' exists under a different parent");
+      }
+      cur = it->second;
+    } else {
+      PRIVMARK_ASSIGN_OR_RETURN(cur, AddChild(cur, label));
+    }
+  }
+  return cur;
+}
+
+Result<DomainHierarchy> HierarchyBuilder::Build() {
+  assert(!built_);
+  built_ = true;
+  // Depths by BFS from the root (children ids are always larger than their
+  // parent's id, so a single forward pass also works).
+  for (size_t i = 1; i < tree_.nodes_.size(); ++i) {
+    tree_.nodes_[i].depth = tree_.nodes_[tree_.nodes_[i].parent].depth + 1;
+  }
+  // Leaves, left-to-right.
+  tree_.leaves_ = tree_.LeavesUnder(tree_.root());
+  // Leaf counts via reverse pass (children have larger ids than parents).
+  tree_.leaf_counts_.assign(tree_.nodes_.size(), 0);
+  for (size_t i = tree_.nodes_.size(); i-- > 0;) {
+    if (tree_.nodes_[i].is_leaf()) {
+      tree_.leaf_counts_[i] = 1;
+    }
+    const NodeId parent = tree_.nodes_[i].parent;
+    if (parent != kInvalidNode) {
+      tree_.leaf_counts_[parent] += tree_.leaf_counts_[i];
+    }
+  }
+  return std::move(tree_);
+}
+
+Result<DomainHierarchy> HierarchyBuilder::FromOutline(
+    const std::string& attribute, const std::string& outline) {
+  std::vector<std::string> lines = Split(outline, '\n');
+  // Drop blank lines.
+  std::vector<std::string> kept;
+  for (auto& line : lines) {
+    if (!Trim(line).empty()) kept.push_back(line);
+  }
+  if (kept.empty()) {
+    return Status::InvalidArgument("FromOutline: empty outline");
+  }
+  auto indent_of = [](const std::string& line) -> Result<int> {
+    size_t spaces = 0;
+    for (char c : line) {
+      if (c == ' ') {
+        ++spaces;
+      } else if (c == '\t') {
+        return Status::InvalidArgument("FromOutline: tabs not allowed");
+      } else {
+        break;
+      }
+    }
+    if (spaces % 2 != 0) {
+      return Status::InvalidArgument("FromOutline: odd indentation");
+    }
+    return static_cast<int>(spaces / 2);
+  };
+
+  PRIVMARK_ASSIGN_OR_RETURN(int root_indent, indent_of(kept[0]));
+  if (root_indent != 0) {
+    return Status::InvalidArgument("FromOutline: root must not be indented");
+  }
+  HierarchyBuilder builder(attribute, Trim(kept[0]));
+  // Stack of (indent level -> node) along the current path.
+  std::vector<NodeId> path = {0};
+  for (size_t i = 1; i < kept.size(); ++i) {
+    PRIVMARK_ASSIGN_OR_RETURN(int indent, indent_of(kept[i]));
+    if (indent < 1 || static_cast<size_t>(indent) > path.size()) {
+      return Status::InvalidArgument(
+          "FromOutline: bad indentation at line " + std::to_string(i + 1));
+    }
+    path.resize(static_cast<size_t>(indent));
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId id,
+                              builder.AddChild(path.back(), Trim(kept[i])));
+    path.push_back(id);
+  }
+  return builder.Build();
+}
+
+std::string IntervalLabel(double lo, double hi) {
+  auto fmt = [](double v) {
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+      return std::to_string(static_cast<long long>(v));
+    }
+    std::string s = FormatDouble(v, 6);
+    // Strip trailing zeros and a trailing dot.
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+  };
+  std::string out = "[";
+  out += fmt(lo);
+  out += ',';
+  out += fmt(hi);
+  out += ')';
+  return out;
+}
+
+Result<DomainHierarchy> BuildNumericHierarchy(
+    const std::string& attribute, const std::vector<double>& boundaries) {
+  if (boundaries.size() < 2) {
+    return Status::InvalidArgument(
+        "BuildNumericHierarchy: need at least 2 boundaries");
+  }
+  for (size_t i = 1; i < boundaries.size(); ++i) {
+    if (!(boundaries[i - 1] < boundaries[i])) {
+      return Status::InvalidArgument(
+          "BuildNumericHierarchy: boundaries must be strictly increasing");
+    }
+  }
+
+  // We build bottom-up conceptually but materialize top-down so that node
+  // ids still satisfy parent-id < child-id. First compute the interval of
+  // every node of the final tree level by level.
+  struct ProtoNode {
+    double lo, hi;
+    int left = -1, right = -1;  // indices into protos (children), -1 = none
+  };
+  std::vector<ProtoNode> protos;
+  std::vector<int> level;  // current level, as proto indices
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    protos.push_back(ProtoNode{boundaries[i], boundaries[i + 1], -1, -1});
+    level.push_back(static_cast<int>(protos.size()) - 1);
+  }
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      const ProtoNode& a = protos[level[i]];
+      const ProtoNode& b = protos[level[i + 1]];
+      protos.push_back(ProtoNode{a.lo, b.hi, level[i], level[i + 1]});
+      next.push_back(static_cast<int>(protos.size()) - 1);
+    }
+    if (level.size() % 2 == 1) {
+      // Odd node carried upward unchanged.
+      next.push_back(level.back());
+    }
+    level = std::move(next);
+  }
+  const int proto_root = level[0];
+
+  // Materialize with a builder, descending from the proto root.
+  HierarchyBuilder builder(
+      attribute, IntervalLabel(protos[proto_root].lo, protos[proto_root].hi));
+  // DFS pairing proto index with materialized node id.
+  std::vector<std::pair<int, NodeId>> stack = {{proto_root, 0}};
+  while (!stack.empty()) {
+    const auto [pidx, nid] = stack.back();
+    stack.pop_back();
+    const ProtoNode& proto = protos[pidx];
+    for (int child : {proto.left, proto.right}) {
+      if (child < 0) continue;
+      PRIVMARK_ASSIGN_OR_RETURN(
+          NodeId cid,
+          builder.AddChild(nid, IntervalLabel(protos[child].lo,
+                                              protos[child].hi)));
+      stack.push_back({child, cid});
+    }
+  }
+  PRIVMARK_ASSIGN_OR_RETURN(DomainHierarchy tree, builder.Build());
+
+  // Fill numeric metadata: intervals per node, sorted leaf bounds.
+  tree.numeric_ = true;
+  for (size_t i = 0; i < tree.nodes_.size(); ++i) {
+    // Parse the label back; cheaper to recompute from children, so walk
+    // leaves first (reverse pass like leaf counts).
+    (void)i;
+  }
+  // Assign intervals: leaves in left-to-right order match boundary order
+  // only if children were pushed so that the left child is visited first.
+  // The DFS above pushes {left, right} then pops right first, so child
+  // insertion order is left-then... verify via labels instead: parse labels.
+  for (size_t i = 0; i < tree.nodes_.size(); ++i) {
+    const std::string& label = tree.nodes_[i].label;
+    // label is "[lo,hi)"
+    const size_t comma = label.find(',');
+    tree.nodes_[i].lo = std::stod(label.substr(1, comma - 1));
+    tree.nodes_[i].hi =
+        std::stod(label.substr(comma + 1, label.size() - comma - 2));
+  }
+  // Re-sort children by interval lower bound for deterministic order.
+  for (auto& node : tree.nodes_) {
+    std::sort(node.children.begin(), node.children.end(),
+              [&tree](NodeId a, NodeId b) {
+                return tree.nodes_[a].lo < tree.nodes_[b].lo;
+              });
+  }
+  tree.leaves_ = tree.LeavesUnder(tree.root());
+  tree.leaf_lower_bounds_.clear();
+  for (NodeId leaf : tree.leaves_) {
+    tree.leaf_lower_bounds_.push_back(tree.nodes_[leaf].lo);
+  }
+  return tree;
+}
+
+}  // namespace privmark

@@ -1,0 +1,182 @@
+// Domain hierarchy trees (DHTs).
+//
+// The paper (Sec. 2, Fig. 1) arranges each quasi-identifying attribute's
+// domain in a tree: leaves are the most specific values, the root the most
+// general description. Categorical attributes get hand-built ontologies;
+// numeric attributes get a binary tree of intervals (Sec. 4, Fig. 3).
+//
+// Nodes live in an arena (vector indexed by NodeId) and each node's children
+// are kept in a deterministic sorted order. Order stability matters: the
+// hierarchical watermark encodes bits in the *parity of a node's index among
+// its sorted siblings* (Fig. 9), so embedding and detection must see the same
+// order in every process.
+
+#ifndef PRIVMARK_HIERARCHY_DOMAIN_HIERARCHY_H_
+#define PRIVMARK_HIERARCHY_DOMAIN_HIERARCHY_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace privmark {
+
+/// \brief Index of a node within its DomainHierarchy.
+using NodeId = int32_t;
+
+/// \brief Sentinel for "no node" (e.g. the root's parent).
+constexpr NodeId kInvalidNode = -1;
+
+/// \brief One node of a domain hierarchy tree.
+struct HierarchyNode {
+  /// Unique label within the tree; doubles as the generalized cell value.
+  std::string label;
+  NodeId parent = kInvalidNode;
+  /// Children in deterministic order (insertion order for categorical
+  /// ontologies, interval order for numeric trees).
+  std::vector<NodeId> children;
+  /// Distance from the root (root = 0).
+  int depth = 0;
+  /// Numeric trees only: the half-open interval [lo, hi) this node covers.
+  /// NaN for categorical nodes.
+  double lo = std::numeric_limits<double>::quiet_NaN();
+  double hi = std::numeric_limits<double>::quiet_NaN();
+
+  bool is_leaf() const { return children.empty(); }
+  bool has_interval() const { return lo == lo; }  // NaN check
+};
+
+/// \brief Immutable domain hierarchy tree over one attribute's domain.
+class DomainHierarchy {
+ public:
+  /// \brief The attribute name this tree describes (e.g. "age").
+  const std::string& attribute() const { return attribute_; }
+
+  /// \brief True for trees built over numeric intervals.
+  bool is_numeric() const { return numeric_; }
+
+  NodeId root() const { return 0; }
+  size_t num_nodes() const { return nodes_.size(); }
+  const HierarchyNode& node(NodeId id) const { return nodes_[id]; }
+
+  NodeId Parent(NodeId id) const { return nodes_[id].parent; }
+  const std::vector<NodeId>& Children(NodeId id) const {
+    return nodes_[id].children;
+  }
+
+  /// \brief The node together with its siblings, in the parent's child
+  /// order (the paper's Siblings(nd, tr)). For the root: {root}.
+  std::vector<NodeId> Siblings(NodeId id) const;
+
+  /// \brief Index of `id` within Siblings(id) (the paper's Index(nd, S)).
+  size_t SiblingIndex(NodeId id) const;
+
+  bool IsLeaf(NodeId id) const { return nodes_[id].is_leaf(); }
+  int Depth(NodeId id) const { return nodes_[id].depth; }
+
+  /// \brief All leaves of the tree, in left-to-right order.
+  const std::vector<NodeId>& Leaves() const { return leaves_; }
+
+  /// \brief Leaves of the subtree rooted at `id`, left-to-right.
+  std::vector<NodeId> LeavesUnder(NodeId id) const;
+
+  /// \brief |LeavesUnder(id)| in O(1) (precomputed).
+  size_t LeafCountUnder(NodeId id) const { return leaf_counts_[id]; }
+
+  /// \brief Node with the given label.
+  Result<NodeId> FindByLabel(const std::string& label) const;
+
+  /// \brief Maps an original cell value to its leaf.
+  ///
+  /// Categorical: leaf whose label equals the value's string. Numeric: the
+  /// leaf interval containing the value. KeyError / OutOfRange on no match.
+  Result<NodeId> LeafForValue(const Value& value) const;
+
+  /// \brief True iff `ancestor` lies on the path from `descendant` to the
+  /// root (inclusive of descendant == ancestor).
+  bool IsAncestorOrSelf(NodeId ancestor, NodeId descendant) const;
+
+  /// \brief Number of edges from `descendant` up to `ancestor`; requires
+  /// IsAncestorOrSelf(ancestor, descendant).
+  int LevelsBetween(NodeId ancestor, NodeId descendant) const;
+
+  /// \brief ASCII rendering (one node per line, indented), for debugging.
+  std::string ToString() const;
+
+ private:
+  friend class HierarchyBuilder;
+  friend Result<DomainHierarchy> BuildNumericHierarchy(
+      const std::string& attribute, const std::vector<double>& boundaries);
+  DomainHierarchy() = default;
+
+  std::string attribute_;
+  bool numeric_ = false;
+  std::vector<HierarchyNode> nodes_;
+  std::vector<NodeId> leaves_;
+  std::vector<size_t> leaf_counts_;
+  std::map<std::string, NodeId> label_index_;
+  // Numeric trees: leaves_ sorted by interval; lower bounds for binary search.
+  std::vector<double> leaf_lower_bounds_;
+};
+
+/// \brief Incremental constructor for categorical DHTs (Fig. 1 style).
+class HierarchyBuilder {
+ public:
+  /// \param attribute column name the tree describes
+  /// \param root_label label of the root (most general description)
+  HierarchyBuilder(std::string attribute, std::string root_label);
+
+  /// \brief Adds a child under `parent`; labels must be unique in the tree.
+  Result<NodeId> AddChild(NodeId parent, const std::string& label);
+
+  /// \brief Convenience: adds a chain of children under the root, e.g.
+  /// AddPath({"Paramedic", "Nurse"}) creates/reuses "Paramedic" under the
+  /// root and "Nurse" under it, returning the last node.
+  Result<NodeId> AddPath(const std::vector<std::string>& labels);
+
+  /// \brief Finalizes: computes depths, leaf lists/counts and label index.
+  /// The builder must not be reused afterwards.
+  Result<DomainHierarchy> Build();
+
+  /// \brief Parses an indented outline (2 spaces per level) into a tree:
+  ///
+  ///   Person
+  ///     Medical Practitioner
+  ///       General Practitioner
+  ///       Specialist
+  ///     Paramedic
+  ///
+  /// The first line is the root. Tabs are rejected.
+  static Result<DomainHierarchy> FromOutline(const std::string& attribute,
+                                             const std::string& outline);
+
+ private:
+  DomainHierarchy tree_;
+  bool built_ = false;
+};
+
+/// \brief Builds the binary interval DHT of Fig. 3 for a numeric attribute.
+///
+/// \param attribute column name
+/// \param boundaries ascending cut points; leaf i covers
+///        [boundaries[i], boundaries[i+1]). Requires >= 2 strictly
+///        increasing values. Intervals "need not be of equal size" (paper).
+///
+/// Leaves are combined pairwise, left to right, into parents one level up;
+/// an odd node is carried upward unchanged; repeat until a single root
+/// covers [first, last). Node labels are "[lo,hi)" with trailing-zero-free
+/// formatting.
+Result<DomainHierarchy> BuildNumericHierarchy(
+    const std::string& attribute, const std::vector<double>& boundaries);
+
+/// \brief Formats a numeric interval label exactly as BuildNumericHierarchy
+/// does ("[25,50)"); exposed so tests and generators can predict labels.
+std::string IntervalLabel(double lo, double hi);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_HIERARCHY_DOMAIN_HIERARCHY_H_

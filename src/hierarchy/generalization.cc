@@ -1,0 +1,238 @@
+#include "hierarchy/generalization.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace privmark {
+
+GeneralizationSet::GeneralizationSet(const DomainHierarchy* tree,
+                                     std::vector<NodeId> nodes)
+    : tree_(tree), nodes_(std::move(nodes)) {
+  std::sort(nodes_.begin(), nodes_.end());
+  IndexLeaves();
+}
+
+void GeneralizationSet::IndexLeaves() {
+  is_member_.assign(tree_->num_nodes(), 0);
+  for (NodeId id : nodes_) is_member_[id] = 1;
+  leaf_to_node_.assign(tree_->num_nodes(), kInvalidNode);
+  for (NodeId member : nodes_) {
+    for (NodeId leaf : tree_->LeavesUnder(member)) {
+      leaf_to_node_[leaf] = member;
+    }
+  }
+}
+
+Status GeneralizationSet::ValidateCover(const DomainHierarchy& tree,
+                                        const std::vector<NodeId>& nodes) {
+  std::vector<char> member(tree.num_nodes(), 0);
+  for (NodeId id : nodes) {
+    if (id < 0 || static_cast<size_t>(id) >= tree.num_nodes()) {
+      return Status::OutOfRange("generalization node id " +
+                                std::to_string(id) + " out of range");
+    }
+    if (member[id]) {
+      return Status::InvalidArgument("node '" + tree.node(id).label +
+                                     "' listed twice in generalization");
+    }
+    member[id] = 1;
+  }
+  // Each leaf->root path must meet exactly one member (paper Sec. 4).
+  for (NodeId leaf : tree.Leaves()) {
+    int hits = 0;
+    for (NodeId cur = leaf; cur != kInvalidNode; cur = tree.Parent(cur)) {
+      hits += member[cur];
+    }
+    if (hits == 0) {
+      return Status::InvalidArgument(
+          "leaf '" + tree.node(leaf).label +
+          "' is not covered by the generalization (tree '" +
+          tree.attribute() + "')");
+    }
+    if (hits > 1) {
+      return Status::InvalidArgument(
+          "leaf '" + tree.node(leaf).label +
+          "' is covered more than once (non-deterministic generalization)");
+    }
+  }
+  return Status::OK();
+}
+
+Result<GeneralizationSet> GeneralizationSet::Create(
+    const DomainHierarchy* tree, std::vector<NodeId> nodes) {
+  if (tree == nullptr) {
+    return Status::InvalidArgument("GeneralizationSet: null tree");
+  }
+  PRIVMARK_RETURN_NOT_OK(ValidateCover(*tree, nodes));
+  return GeneralizationSet(tree, std::move(nodes));
+}
+
+GeneralizationSet GeneralizationSet::AllLeaves(const DomainHierarchy* tree) {
+  return GeneralizationSet(tree, tree->Leaves());
+}
+
+GeneralizationSet GeneralizationSet::RootOnly(const DomainHierarchy* tree) {
+  return GeneralizationSet(tree, {tree->root()});
+}
+
+bool GeneralizationSet::Contains(NodeId id) const {
+  return id >= 0 && static_cast<size_t>(id) < is_member_.size() &&
+         is_member_[id] != 0;
+}
+
+Result<NodeId> GeneralizationSet::NodeForLeaf(NodeId leaf) const {
+  if (leaf < 0 || static_cast<size_t>(leaf) >= leaf_to_node_.size() ||
+      leaf_to_node_[leaf] == kInvalidNode) {
+    return Status::KeyError("no generalization node covers leaf id " +
+                            std::to_string(leaf));
+  }
+  return leaf_to_node_[leaf];
+}
+
+Result<NodeId> GeneralizationSet::NodeForValue(const Value& value) const {
+  PRIVMARK_ASSIGN_OR_RETURN(NodeId leaf, tree_->LeafForValue(value));
+  return NodeForLeaf(leaf);
+}
+
+Result<NodeId> GeneralizationSet::NodeForLabel(const std::string& label) const {
+  PRIVMARK_ASSIGN_OR_RETURN(NodeId id, tree_->FindByLabel(label));
+  if (!Contains(id)) {
+    return Status::KeyError("label '" + label +
+                            "' is not a member of this generalization");
+  }
+  return id;
+}
+
+Result<Value> GeneralizationSet::Generalize(const Value& value) const {
+  PRIVMARK_ASSIGN_OR_RETURN(NodeId node, NodeForValue(value));
+  return Value::String(tree_->node(node).label);
+}
+
+bool GeneralizationSet::IsRefinementOf(const GeneralizationSet& other) const {
+  assert(tree_ == other.tree_);
+  for (NodeId node : nodes_) {
+    // Take any leaf under `node`; its cover in `other` must sit at or above
+    // `node`, which implies all of node's leaves share that cover.
+    const std::vector<NodeId> leaves = tree_->LeavesUnder(node);
+    auto cover = other.NodeForLeaf(leaves.front());
+    if (!cover.ok()) return false;
+    if (!tree_->IsAncestorOrSelf(*cover, node)) return false;
+  }
+  return true;
+}
+
+double GeneralizationSet::SpecificityLoss() const {
+  const double n = static_cast<double>(tree_->Leaves().size());
+  const double ng = static_cast<double>(nodes_.size());
+  return (n - ng) / n;
+}
+
+GeneralizationSet CutAtDepth(const DomainHierarchy* tree, int depth) {
+  std::vector<NodeId> members;
+  std::vector<NodeId> stack = {tree->root()};
+  while (!stack.empty()) {
+    const NodeId nd = stack.back();
+    stack.pop_back();
+    if (tree->Depth(nd) == depth || tree->IsLeaf(nd)) {
+      members.push_back(nd);
+      continue;
+    }
+    for (NodeId child : tree->Children(nd)) stack.push_back(child);
+  }
+  // By construction every leaf->root path crosses exactly one member.
+  return GeneralizationSet::Create(tree, std::move(members)).ValueOrDie();
+}
+
+namespace {
+
+// All antichains within the subtree rooted at `v`, floored by members of
+// `lower` (recursion stops at a lower member: it must be taken as-is).
+// Appends complete antichains to `out`; honors the result cap.
+Status OptionsUnder(const DomainHierarchy& tree, const GeneralizationSet& lower,
+                    NodeId v, size_t max_results,
+                    std::vector<std::vector<NodeId>>* out) {
+  if (lower.Contains(v)) {
+    out->push_back({v});
+    return Status::OK();
+  }
+  // Option 1: keep v itself.
+  out->push_back({v});
+  // Option 2..: cross product of children's options.
+  std::vector<std::vector<NodeId>> partial = {{}};
+  for (NodeId child : tree.Children(v)) {
+    std::vector<std::vector<NodeId>> child_opts;
+    PRIVMARK_RETURN_NOT_OK(
+        OptionsUnder(tree, lower, child, max_results, &child_opts));
+    std::vector<std::vector<NodeId>> next;
+    next.reserve(partial.size() * child_opts.size());
+    for (const auto& p : partial) {
+      for (const auto& o : child_opts) {
+        if (next.size() + out->size() > max_results) {
+          return Status::CapacityExceeded(
+              "generalization enumeration exceeded " +
+              std::to_string(max_results) + " results");
+        }
+        std::vector<NodeId> merged = p;
+        merged.insert(merged.end(), o.begin(), o.end());
+        next.push_back(std::move(merged));
+      }
+    }
+    partial = std::move(next);
+  }
+  for (auto& p : partial) out->push_back(std::move(p));
+  if (out->size() > max_results) {
+    return Status::CapacityExceeded("generalization enumeration exceeded " +
+                                    std::to_string(max_results) + " results");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<GeneralizationSet>> EnumerateBetween(
+    const GeneralizationSet& lower, const GeneralizationSet& upper,
+    size_t max_results) {
+  if (lower.tree() != upper.tree() || lower.tree() == nullptr) {
+    return Status::InvalidArgument(
+        "EnumerateBetween: bounds must share a tree");
+  }
+  const DomainHierarchy& tree = *lower.tree();
+  if (!lower.IsRefinementOf(upper)) {
+    return Status::InvalidArgument(
+        "EnumerateBetween: lower bound is not a refinement of upper bound");
+  }
+
+  // Per upper member, the antichain options under it; then cross product.
+  std::vector<std::vector<NodeId>> combos = {{}};
+  for (NodeId member : upper.nodes()) {
+    std::vector<std::vector<NodeId>> opts;
+    PRIVMARK_RETURN_NOT_OK(
+        OptionsUnder(tree, lower, member, max_results, &opts));
+    std::vector<std::vector<NodeId>> next;
+    next.reserve(combos.size() * opts.size());
+    for (const auto& c : combos) {
+      for (const auto& o : opts) {
+        if (next.size() > max_results) {
+          return Status::CapacityExceeded(
+              "generalization enumeration exceeded " +
+              std::to_string(max_results) + " results");
+        }
+        std::vector<NodeId> merged = c;
+        merged.insert(merged.end(), o.begin(), o.end());
+        next.push_back(std::move(merged));
+      }
+    }
+    combos = std::move(next);
+  }
+
+  std::vector<GeneralizationSet> out;
+  out.reserve(combos.size());
+  for (auto& combo : combos) {
+    PRIVMARK_ASSIGN_OR_RETURN(GeneralizationSet gs,
+                              GeneralizationSet::Create(&tree, std::move(combo)));
+    out.push_back(std::move(gs));
+  }
+  return out;
+}
+
+}  // namespace privmark

@@ -1,0 +1,115 @@
+// Generalizations over a domain hierarchy tree.
+//
+// The paper (Sec. 4) uses the *broader* notion of generalization from
+// Iyengar'02: a valid generalization is a set of nodes such that the path
+// from every leaf to the root encounters exactly one of them — one
+// occurrence guarantees generalizability, only-one guarantees determinism.
+// Nodes need not share a tree level, and a leaf may itself be a
+// generalization node.
+
+#ifndef PRIVMARK_HIERARCHY_GENERALIZATION_H_
+#define PRIVMARK_HIERARCHY_GENERALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/domain_hierarchy.h"
+#include "relation/value.h"
+
+namespace privmark {
+
+/// \brief A validated generalization: an antichain of nodes covering every
+/// leaf of its tree exactly once.
+///
+/// Holds a non-owning pointer to its DomainHierarchy; the tree must outlive
+/// the set (trees are immutable and owned by the pipeline/config).
+class GeneralizationSet {
+ public:
+  GeneralizationSet() = default;
+
+  /// \brief Validates and builds. InvalidArgument if `nodes` is not a valid
+  /// generalization of `tree`.
+  static Result<GeneralizationSet> Create(const DomainHierarchy* tree,
+                                          std::vector<NodeId> nodes);
+
+  /// \brief Checks the cover property without building.
+  static Status ValidateCover(const DomainHierarchy& tree,
+                              const std::vector<NodeId>& nodes);
+
+  /// \brief The trivial generalization: every leaf is its own node.
+  static GeneralizationSet AllLeaves(const DomainHierarchy* tree);
+
+  /// \brief The fully generalized set: just the root.
+  static GeneralizationSet RootOnly(const DomainHierarchy* tree);
+
+  const DomainHierarchy* tree() const { return tree_; }
+
+  /// \brief Member nodes in ascending NodeId order.
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+
+  bool Contains(NodeId id) const;
+
+  /// \brief The member node covering this leaf (O(1), precomputed).
+  Result<NodeId> NodeForLeaf(NodeId leaf) const;
+
+  /// \brief The member node covering an *original* cell value (maps the
+  /// value to its leaf first). This is the paper's Val2Nd(v, nds[]) for
+  /// raw values.
+  Result<NodeId> NodeForValue(const Value& value) const;
+
+  /// \brief The member node whose label equals an already-generalized cell
+  /// (a binned table stores node labels). KeyError if the label is not a
+  /// member's label.
+  Result<NodeId> NodeForLabel(const std::string& label) const;
+
+  /// \brief Generalizes a raw value to its member node's label.
+  Result<Value> Generalize(const Value& value) const;
+
+  /// \brief True iff every node of *this is a descendant-or-self of some
+  /// node of `other` (i.e. *this is at least as specific). Both sets must
+  /// share a tree.
+  bool IsRefinementOf(const GeneralizationSet& other) const;
+
+  /// \brief Specificity loss (N - Ng) / N from Sec. 4.2.2, where N is the
+  /// tree's leaf count and Ng the generalization's node count.
+  double SpecificityLoss() const;
+
+  bool operator==(const GeneralizationSet& other) const {
+    return tree_ == other.tree_ && nodes_ == other.nodes_;
+  }
+
+ private:
+  GeneralizationSet(const DomainHierarchy* tree, std::vector<NodeId> nodes);
+  void IndexLeaves();
+
+  const DomainHierarchy* tree_ = nullptr;
+  std::vector<NodeId> nodes_;
+  std::vector<char> is_member_;        // by NodeId
+  std::vector<NodeId> leaf_to_node_;   // by NodeId (leaves filled)
+};
+
+/// \brief The "cut at depth d" generalization: every node at depth d, plus
+/// any leaf shallower than d. Always a valid generalization; a convenient
+/// way to pin maximal generalization nodes at a natural ontology level
+/// (e.g. ICD-9 chapters, zip regions) the way the paper's experiments hand
+/// maximal nodes directly to each column.
+GeneralizationSet CutAtDepth(const DomainHierarchy* tree, int depth);
+
+/// \brief Enumerates every valid generalization lying between `lower`
+/// (more specific) and `upper` (more general): each output contains, for
+/// every leaf, a covering node n with lower_cover(n ancestor-or-self) and
+/// n descendant-or-self of its upper cover.
+///
+/// This is the set of "allowable generalizations" of Sec. 4.2.2 when called
+/// with lower = minimal generalization nodes and upper = maximal
+/// generalization nodes. Output size can be exponential in tree width;
+/// enumeration aborts with CapacityExceeded once `max_results` is passed.
+Result<std::vector<GeneralizationSet>> EnumerateBetween(
+    const GeneralizationSet& lower, const GeneralizationSet& upper,
+    size_t max_results);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_HIERARCHY_GENERALIZATION_H_

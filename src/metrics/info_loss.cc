@@ -1,0 +1,142 @@
+#include "metrics/info_loss.h"
+
+#include <map>
+
+namespace privmark {
+
+Result<double> ColumnInfoLoss(const std::vector<Value>& values,
+                              const GeneralizationSet& gen) {
+  if (values.empty()) return 0.0;
+  const DomainHierarchy& tree = *gen.tree();
+
+  // n_i per generalization node.
+  std::map<NodeId, size_t> counts;
+  for (const Value& v : values) {
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId node, gen.NodeForValue(v));
+    ++counts[node];
+  }
+
+  double numerator = 0;
+  double denominator = 0;
+  if (tree.is_numeric()) {
+    // Eq. (2): width fractions of the column's domain [L, U).
+    const HierarchyNode& root = tree.node(tree.root());
+    const double domain_width = root.hi - root.lo;
+    for (const auto& [node, n] : counts) {
+      const HierarchyNode& nd = tree.node(node);
+      numerator += static_cast<double>(n) * (nd.hi - nd.lo) / domain_width;
+      denominator += static_cast<double>(n);
+    }
+  } else {
+    // Eq. (1): (|S_i| - 1) / |S| with S the union of all leaves.
+    const double total_leaves = static_cast<double>(tree.Leaves().size());
+    for (const auto& [node, n] : counts) {
+      const double si = static_cast<double>(tree.LeafCountUnder(node));
+      numerator += static_cast<double>(n) * (si - 1.0) / total_leaves;
+      denominator += static_cast<double>(n);
+    }
+  }
+  return numerator / denominator;
+}
+
+Result<double> ColumnInfoLossOfLabels(const std::vector<Value>& labels,
+                                      const DomainHierarchy& tree) {
+  if (labels.empty()) return 0.0;
+  std::map<NodeId, size_t> counts;
+  for (const Value& v : labels) {
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId node, tree.FindByLabel(v.ToString()));
+    ++counts[node];
+  }
+  double numerator = 0;
+  double denominator = 0;
+  if (tree.is_numeric()) {
+    const HierarchyNode& root = tree.node(tree.root());
+    const double domain_width = root.hi - root.lo;
+    for (const auto& [node, n] : counts) {
+      const HierarchyNode& nd = tree.node(node);
+      numerator += static_cast<double>(n) * (nd.hi - nd.lo) / domain_width;
+      denominator += static_cast<double>(n);
+    }
+  } else {
+    const double total_leaves = static_cast<double>(tree.Leaves().size());
+    for (const auto& [node, n] : counts) {
+      const double si = static_cast<double>(tree.LeafCountUnder(node));
+      numerator += static_cast<double>(n) * (si - 1.0) / total_leaves;
+      denominator += static_cast<double>(n);
+    }
+  }
+  return numerator / denominator;
+}
+
+Result<double> ColumnLossAgainstOriginal(
+    const std::vector<Value>& original_values,
+    const std::vector<Value>& transformed_labels,
+    const DomainHierarchy& tree) {
+  if (original_values.size() != transformed_labels.size()) {
+    return Status::InvalidArgument(
+        "ColumnLossAgainstOriginal: value/label count mismatch");
+  }
+  if (original_values.empty()) return 0.0;
+
+  const double total_leaves = static_cast<double>(tree.Leaves().size());
+  const HierarchyNode& root = tree.node(tree.root());
+  const double domain_width = tree.is_numeric() ? root.hi - root.lo : 0.0;
+
+  double numerator = 0;
+  for (size_t i = 0; i < original_values.size(); ++i) {
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId leaf,
+                              tree.LeafForValue(original_values[i]));
+    PRIVMARK_ASSIGN_OR_RETURN(
+        NodeId node, tree.FindByLabel(transformed_labels[i].ToString()));
+    if (!tree.IsAncestorOrSelf(node, leaf)) {
+      // The label no longer covers the true value: the entry is wrong, not
+      // just generalized — full loss.
+      numerator += 1.0;
+      continue;
+    }
+    if (tree.is_numeric()) {
+      const HierarchyNode& nd = tree.node(node);
+      numerator += (nd.hi - nd.lo) / domain_width;
+    } else {
+      numerator +=
+          (static_cast<double>(tree.LeafCountUnder(node)) - 1.0) /
+          total_leaves;
+    }
+  }
+  return numerator / static_cast<double>(original_values.size());
+}
+
+double NormalizedInfoLoss(const std::vector<double>& per_column_losses) {
+  if (per_column_losses.empty()) return 0.0;
+  double total = 0;
+  for (double loss : per_column_losses) total += loss;
+  return total / static_cast<double>(per_column_losses.size());
+}
+
+Status CheckUsageBounds(const std::vector<double>& per_column_losses,
+                        const UsageBounds& bounds) {
+  if (!bounds.per_column.empty() &&
+      bounds.per_column.size() != per_column_losses.size()) {
+    return Status::InvalidArgument(
+        "CheckUsageBounds: " + std::to_string(bounds.per_column.size()) +
+        " bounds for " + std::to_string(per_column_losses.size()) +
+        " columns");
+  }
+  for (size_t i = 0; i < bounds.per_column.size(); ++i) {
+    if (per_column_losses[i] > bounds.per_column[i]) {
+      return Status::Unbinnable(
+          "column " + std::to_string(i) + " information loss " +
+          std::to_string(per_column_losses[i]) + " exceeds bound " +
+          std::to_string(bounds.per_column[i]));
+    }
+  }
+  const double avg = NormalizedInfoLoss(per_column_losses);
+  if (avg > bounds.average) {
+    return Status::Unbinnable("normalized information loss " +
+                              std::to_string(avg) + " exceeds bound " +
+                              std::to_string(bounds.average));
+  }
+  return Status::OK();
+}
+
+}  // namespace privmark

@@ -1,0 +1,81 @@
+// Usage metrics: information loss model (paper Sec. 4.1).
+//
+// Eq. (1): categorical column c generalized into nodes {p1..pM}:
+//   InfLoss_c = sum_i( n_i * (|S_i| - 1) / |S| ) / sum_i(n_i)
+// where S_i are the leaves under p_i, n_i the entries whose values fall in
+// S_i, and S the union of all leaves.
+//
+// Eq. (2): numeric column generalized to intervals [L_i, U_i) of domain
+// [L, U): InfLoss_c = sum_i( n_i * (U_i - L_i) / (U - L) ) / sum_i(n_i).
+//
+// Eq. (3): normalized loss = average of the per-column losses.
+
+#ifndef PRIVMARK_METRICS_INFO_LOSS_H_
+#define PRIVMARK_METRICS_INFO_LOSS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/generalization.h"
+#include "relation/table.h"
+
+namespace privmark {
+
+/// \brief Eq. (1)/(2) information loss of one column under a generalization.
+///
+/// \param values the column's *original* (leaf-level) values
+/// \param gen the generalization applied to the column
+///
+/// Uses Eq. (2) when the tree is numeric, Eq. (1) otherwise. Ungeneralized
+/// leaves contribute |S_i| = 1 (categorical) or their own narrow interval
+/// (numeric), so a leaf-identity generalization has loss 0 under Eq. (1).
+/// Returns 0 for an empty column.
+Result<double> ColumnInfoLoss(const std::vector<Value>& values,
+                              const GeneralizationSet& gen);
+
+/// \brief Same as ColumnInfoLoss but the cells already hold generalized
+/// labels (a binned or watermarked table); each label must name a node at
+/// or below `gen`'s tree... precisely: a node of the tree; its contribution
+/// is computed from that node's own leaf span. Used to measure the loss a
+/// *transformed* table actually exhibits (Fig. 13 measures watermarking's
+/// extra loss this way).
+Result<double> ColumnInfoLossOfLabels(const std::vector<Value>& labels,
+                                      const DomainHierarchy& tree);
+
+/// \brief Eq. (3): average of per-column losses. Empty input -> 0.
+double NormalizedInfoLoss(const std::vector<double>& per_column_losses);
+
+/// \brief Information loss of a *transformed* column measured against the
+/// original values (used for Fig. 13, the extra loss watermarking causes).
+///
+/// Watermark permutation can move a cell to a label that no longer covers
+/// the record's true value — that entry's information is not merely less
+/// specific but wrong, so it contributes a full loss of 1. Entries whose
+/// label still covers the original value contribute the ordinary Eq. (1)/(2)
+/// specificity term of that label's node.
+///
+/// \param original_values the column's original (leaf-level) values
+/// \param transformed_labels the binned/watermarked cells (node labels)
+Result<double> ColumnLossAgainstOriginal(
+    const std::vector<Value>& original_values,
+    const std::vector<Value>& transformed_labels, const DomainHierarchy& tree);
+
+/// \brief Bounds of Eq. (4): per-column caps plus a cap on the average.
+struct UsageBounds {
+  /// bd_i, parallel to the pipeline's quasi-identifier column list.
+  std::vector<double> per_column;
+  /// bd_avg.
+  double average = 1.0;
+};
+
+/// \brief Checks Eq. (4) against measured losses.
+///
+/// \return OK if every per-column loss is within its bound and the average
+/// is within bd_avg; Unbinnable otherwise (with a message naming the first
+/// violated bound).
+Status CheckUsageBounds(const std::vector<double>& per_column_losses,
+                        const UsageBounds& bounds);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_METRICS_INFO_LOSS_H_

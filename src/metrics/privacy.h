@@ -1,0 +1,64 @@
+// Privacy evaluation of (binned) tables: how anonymous is a release,
+// really?
+//
+// The paper's guarantee is k-anonymity over the quasi-identifying columns
+// (Sec. 2/Sec. 4). This module provides the measurement side a data
+// holder runs before outsourcing: the achieved k, the re-identification
+// risk profile under the standard prosecutor model (the adversary knows
+// their target is in the table; the chance of pinning the target down is
+// 1/|bin|), and the rows that would violate a required k.
+
+#ifndef PRIVMARK_METRICS_PRIVACY_H_
+#define PRIVMARK_METRICS_PRIVACY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace privmark {
+
+/// \brief Privacy profile of a table w.r.t. a quasi-identifier set.
+struct PrivacyReport {
+  /// The achieved k: the smallest equivalence-class size (0 for an empty
+  /// table). The table is k-anonymous for every k <= this value.
+  size_t k_anonymity_level = 0;
+  /// Number of equivalence classes (bins).
+  size_t num_bins = 0;
+  /// Prosecutor-model re-identification risk, averaged over *records*:
+  /// mean of 1/|bin(record)|.
+  double average_risk = 0.0;
+  /// Worst-case record risk: 1 / k_anonymity_level (1.0 if any record is
+  /// unique).
+  double max_risk = 0.0;
+  /// Records whose risk exceeds 1/2 (bins of size 1: unique records).
+  size_t unique_records = 0;
+};
+
+/// \brief Measures the privacy profile over the given columns.
+Result<PrivacyReport> EvaluatePrivacy(const Table& table,
+                                      const std::vector<size_t>& qi_columns);
+
+/// \brief Indices of all rows living in bins smaller than k — the rows a
+/// suppression pass would have to drop to reach k-anonymity without
+/// further generalization.
+Result<std::vector<size_t>> RowsBelowK(const Table& table,
+                                       const std::vector<size_t>& qi_columns,
+                                       size_t k);
+
+/// \brief l-diversity level of a sensitive column: the minimum number of
+/// distinct sensitive values within any quasi-identifier bin.
+///
+/// The paper restricts itself to identity disclosure and defers attribute
+/// disclosure to the statistical-disclosure literature (its ref [31]);
+/// this measurement is the standard first-order check for the deferred
+/// problem — a k-anonymous bin whose members all share one diagnosis
+/// still discloses that diagnosis. Returns 0 for an empty table.
+Result<size_t> LDiversityLevel(const Table& table,
+                               const std::vector<size_t>& qi_columns,
+                               size_t sensitive_column);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_METRICS_PRIVACY_H_

@@ -1,0 +1,130 @@
+#include "metrics/usage_metrics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace privmark {
+
+Result<GeneralizationSet> DeriveMaximalNodes(const DomainHierarchy* tree,
+                                             const std::vector<Value>& values,
+                                             double bound) {
+  if (tree == nullptr) {
+    return Status::InvalidArgument("DeriveMaximalNodes: null tree");
+  }
+  // Count values per leaf once; node counts are subtree sums.
+  std::map<NodeId, size_t> leaf_counts;
+  for (const Value& v : values) {
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId leaf, tree->LeafForValue(v));
+    ++leaf_counts[leaf];
+  }
+  const double total = static_cast<double>(values.size());
+  const double total_leaves = static_cast<double>(tree->Leaves().size());
+  const HierarchyNode& root_node = tree->node(tree->root());
+  const double domain_width =
+      tree->is_numeric() ? root_node.hi - root_node.lo : 0.0;
+
+  auto count_under = [&](NodeId node) {
+    size_t n = 0;
+    for (NodeId leaf : tree->LeavesUnder(node)) {
+      auto it = leaf_counts.find(leaf);
+      if (it != leaf_counts.end()) n += it->second;
+    }
+    return n;
+  };
+  // Contribution of one member node to the Eq. (1)/(2) numerator, divided
+  // by the total count (so summing members yields the column loss).
+  auto contribution = [&](NodeId node) {
+    if (total == 0) return 0.0;
+    const double n = static_cast<double>(count_under(node));
+    if (tree->is_numeric()) {
+      const HierarchyNode& nd = tree->node(node);
+      return n * (nd.hi - nd.lo) / domain_width / total;
+    }
+    const double si = static_cast<double>(tree->LeafCountUnder(node));
+    return n * (si - 1.0) / total_leaves / total;
+  };
+
+  std::vector<NodeId> members = {tree->root()};
+  double loss = contribution(tree->root());
+  while (loss > bound) {
+    // Split the splittable member with the largest contribution.
+    size_t best = members.size();
+    double best_contrib = -1.0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (tree->IsLeaf(members[i])) continue;
+      const double c = contribution(members[i]);
+      if (c > best_contrib) {
+        best_contrib = c;
+        best = i;
+      }
+    }
+    if (best == members.size()) break;  // all leaves: as specific as possible
+    const NodeId victim = members[best];
+    members.erase(members.begin() + static_cast<std::ptrdiff_t>(best));
+    loss -= best_contrib;
+    for (NodeId child : tree->Children(victim)) {
+      members.push_back(child);
+      loss += contribution(child);
+    }
+  }
+  return GeneralizationSet::Create(tree, std::move(members));
+}
+
+UsageMetrics UnconstrainedMetrics(
+    const std::vector<const DomainHierarchy*>& trees) {
+  UsageMetrics metrics;
+  metrics.trees = trees;
+  metrics.maximal.reserve(trees.size());
+  for (const DomainHierarchy* tree : trees) {
+    metrics.maximal.push_back(GeneralizationSet::RootOnly(tree));
+  }
+  return metrics;
+}
+
+Result<UsageMetrics> MetricsFromDepthCuts(
+    const std::vector<const DomainHierarchy*>& trees,
+    const std::vector<int>& depths) {
+  if (trees.size() != depths.size()) {
+    return Status::InvalidArgument(
+        "MetricsFromDepthCuts: tree/depth count mismatch");
+  }
+  UsageMetrics metrics;
+  metrics.trees = trees;
+  metrics.maximal.reserve(trees.size());
+  for (size_t i = 0; i < trees.size(); ++i) {
+    if (depths[i] < 0) {
+      return Status::InvalidArgument("MetricsFromDepthCuts: negative depth");
+    }
+    metrics.maximal.push_back(CutAtDepth(trees[i], depths[i]));
+  }
+  return metrics;
+}
+
+Result<UsageMetrics> MetricsFromBounds(
+    const Table& table, const std::vector<size_t>& column_indices,
+    const std::vector<const DomainHierarchy*>& trees,
+    const UsageBounds& bounds) {
+  if (column_indices.size() != trees.size()) {
+    return Status::InvalidArgument(
+        "MetricsFromBounds: column/tree count mismatch");
+  }
+  if (!bounds.per_column.empty() &&
+      bounds.per_column.size() != trees.size()) {
+    return Status::InvalidArgument(
+        "MetricsFromBounds: bound/tree count mismatch");
+  }
+  UsageMetrics metrics;
+  metrics.trees = trees;
+  for (size_t i = 0; i < trees.size(); ++i) {
+    const double bound =
+        bounds.per_column.empty() ? bounds.average : bounds.per_column[i];
+    PRIVMARK_ASSIGN_OR_RETURN(
+        GeneralizationSet gs,
+        DeriveMaximalNodes(trees[i], table.ColumnValues(column_indices[i]),
+                           bound));
+    metrics.maximal.push_back(std::move(gs));
+  }
+  return metrics;
+}
+
+}  // namespace privmark

@@ -1,0 +1,77 @@
+// Off-line enforcement of usage metrics (paper Sec. 4.1).
+//
+// Rather than re-checking Eq. (4) after every binning step, the paper
+// converts the bounds once into *maximal generalization nodes*: a valid
+// generalization in which each node is the highest ancestor its leaves may
+// ever be generalized to. Binning then only has to stay at or below these
+// nodes. The paper notes it is "preferable that the maximal generalization
+// nodes are directly given" — DeriveMaximalNodes covers the case where only
+// Eq. (4) bounds are known.
+
+#ifndef PRIVMARK_METRICS_USAGE_METRICS_H_
+#define PRIVMARK_METRICS_USAGE_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/generalization.h"
+#include "metrics/info_loss.h"
+#include "relation/table.h"
+
+namespace privmark {
+
+/// \brief Derives maximal generalization nodes for one column from a
+/// per-column information-loss bound.
+///
+/// Top-down refinement: start from {root}; while the generalization's
+/// Eq. (1)/(2) loss over `values` exceeds `bound`, split the member node
+/// contributing the most loss into its children; stop when within bound.
+/// The result is a valid generalization whose loss is <= bound (leaf-level
+/// loss is 0/minimal, so termination is guaranteed for bound >= leaf loss;
+/// otherwise returns the all-leaves set, whose loss for categorical data is
+/// exactly 0).
+///
+/// The derived nodes are *maximal-by-construction* under this refinement
+/// order; like the paper's off-line step it is a practical heuristic, not a
+/// global optimum over all antichains.
+Result<GeneralizationSet> DeriveMaximalNodes(const DomainHierarchy* tree,
+                                             const std::vector<Value>& values,
+                                             double bound);
+
+/// \brief The usage metrics handed to the pipeline: one maximal
+/// generalization per quasi-identifying column (parallel vectors).
+struct UsageMetrics {
+  /// Trees, parallel to the pipeline's quasi-identifier column list. Not
+  /// owned; must outlive the pipeline.
+  std::vector<const DomainHierarchy*> trees;
+  /// Maximal generalization nodes per column.
+  std::vector<GeneralizationSet> maximal;
+
+  size_t num_columns() const { return maximal.size(); }
+};
+
+/// \brief Builds UsageMetrics with every column capped at its tree root
+/// (no usage constraint), the loosest possible metrics.
+UsageMetrics UnconstrainedMetrics(
+    const std::vector<const DomainHierarchy*>& trees);
+
+/// \brief Builds UsageMetrics with per-column depth cuts as the maximal
+/// generalization nodes (the paper's experimental setup: "a set of maximal
+/// generalization nodes is directly given to each column").
+Result<UsageMetrics> MetricsFromDepthCuts(
+    const std::vector<const DomainHierarchy*>& trees,
+    const std::vector<int>& depths);
+
+/// \brief Builds UsageMetrics by deriving maximal nodes from Eq. (4)
+/// per-column bounds over the table's current column values.
+///
+/// \param table source of the per-column value distributions
+/// \param column_indices quasi-identifying columns, parallel to trees/bounds
+Result<UsageMetrics> MetricsFromBounds(
+    const Table& table, const std::vector<size_t>& column_indices,
+    const std::vector<const DomainHierarchy*>& trees,
+    const UsageBounds& bounds);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_METRICS_USAGE_METRICS_H_

@@ -1,0 +1,32 @@
+#include "metrics/utility.h"
+
+namespace privmark {
+
+double TotalInfoLoss(const std::vector<double>& per_column_losses) {
+  double total = 0;
+  for (double loss : per_column_losses) total += loss;
+  return total;
+}
+
+size_t DiscernibilityMetric(const Table& table,
+                            const std::vector<size_t>& columns) {
+  size_t dm = 0;
+  for (const Bin& bin : table.GroupBy(columns)) {
+    dm += bin.size() * bin.size();
+  }
+  return dm;
+}
+
+Result<double> NormalizedAvgClassSize(const Table& table,
+                                      const std::vector<size_t>& columns,
+                                      size_t k) {
+  if (k < 1) {
+    return Status::InvalidArgument("NormalizedAvgClassSize: k must be >= 1");
+  }
+  if (table.num_rows() == 0) return 0.0;
+  const size_t bins = table.GroupBy(columns).size();
+  return static_cast<double>(table.num_rows()) /
+         static_cast<double>(bins) / static_cast<double>(k);
+}
+
+}  // namespace privmark

@@ -1,0 +1,44 @@
+// Additional data-quality metrics beyond the paper's Eq. (1)-(3).
+//
+// Sec. 4.1 notes "Likewise, other forms of information loss, e.g., total
+// information loss can be defined"; this module provides that variant
+// plus the two classical k-anonymity quality measures used to evaluate
+// binned tables in the surrounding literature:
+//
+//  - total information loss: the Eq. (1)/(2) per-column losses summed
+//    rather than averaged;
+//  - discernibility metric (DM): sum over bins of |bin|^2 — penalizes
+//    over-large equivalence classes;
+//  - normalized average equivalence-class size C_avg = (N / #bins) / k —
+//    1.0 means bins are exactly as large as k-anonymity requires.
+
+#ifndef PRIVMARK_METRICS_UTILITY_H_
+#define PRIVMARK_METRICS_UTILITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace privmark {
+
+/// \brief Sum (not average) of per-column losses — the paper's "total
+/// information loss" variant. Empty input -> 0.
+double TotalInfoLoss(const std::vector<double>& per_column_losses);
+
+/// \brief Discernibility metric over the equivalence classes induced by
+/// `columns`: sum over bins of size^2. Lower is better; the minimum for a
+/// k-anonymous table of N rows is N*k (all bins exactly k).
+size_t DiscernibilityMetric(const Table& table,
+                            const std::vector<size_t>& columns);
+
+/// \brief Normalized average equivalence-class size
+/// C_avg = (N / number_of_bins) / k. 1.0 is ideal; larger means
+/// over-generalization. Requires k >= 1; returns 0 for an empty table.
+Result<double> NormalizedAvgClassSize(const Table& table,
+                                      const std::vector<size_t>& columns,
+                                      size_t k);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_METRICS_UTILITY_H_

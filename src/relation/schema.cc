@@ -1,0 +1,79 @@
+#include "relation/schema.h"
+
+namespace privmark {
+
+const char* ColumnRoleToString(ColumnRole role) {
+  switch (role) {
+    case ColumnRole::kIdentifying:
+      return "identifying";
+    case ColumnRole::kQuasiCategorical:
+      return "quasi-categorical";
+    case ColumnRole::kQuasiNumeric:
+      return "quasi-numeric";
+    case ColumnRole::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {}
+
+Status Schema::AddColumn(ColumnSpec spec) {
+  for (const auto& existing : columns_) {
+    if (existing.name == spec.name) {
+      return Status::AlreadyExists("column '" + spec.name +
+                                   "' already present");
+    }
+  }
+  columns_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::KeyError("no column named '" + name + "'");
+}
+
+std::vector<size_t> Schema::ColumnsWithRole(ColumnRole role) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].role == role) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Schema::QuasiIdentifyingColumns() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].role == ColumnRole::kQuasiCategorical ||
+        columns_[i].role == ColumnRole::kQuasiNumeric) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<size_t> Schema::IdentifyingColumn() const {
+  const std::vector<size_t> ids = ColumnsWithRole(ColumnRole::kIdentifying);
+  if (ids.empty()) {
+    return Status::KeyError("schema has no identifying column");
+  }
+  if (ids.size() > 1) {
+    return Status::InvalidArgument(
+        "schema has " + std::to_string(ids.size()) +
+        " identifying columns; exactly one is expected");
+  }
+  return ids[0];
+}
+
+bool operator==(const ColumnSpec& a, const ColumnSpec& b) {
+  return a.name == b.name && a.role == b.role && a.type == b.type;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  return columns_ == other.columns_;
+}
+
+}  // namespace privmark

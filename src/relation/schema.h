@@ -1,0 +1,80 @@
+// Relational schema with the paper's column taxonomy.
+//
+// Section 2 of the paper categorizes columns into identifying columns
+// (explicit identifiers such as SSN), quasi-identifying columns (linkable
+// attributes such as zip code or birth date), and the rest. Binning operates
+// on quasi-identifying columns; the identifying column is encrypted and then
+// drives watermark tuple selection.
+
+#ifndef PRIVMARK_RELATION_SCHEMA_H_
+#define PRIVMARK_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace privmark {
+
+/// \brief Privacy role of a column (paper Sec. 2).
+enum class ColumnRole {
+  /// Explicitly identifies an individual (e.g. SSN). Encrypted by binning.
+  kIdentifying,
+  /// Quasi-identifying categorical attribute; generalized along a DHT.
+  kQuasiCategorical,
+  /// Quasi-identifying numeric attribute; generalized along a binary
+  /// interval DHT (paper Fig. 3).
+  kQuasiNumeric,
+  /// Carries no identifying information; passed through untouched.
+  kOther,
+};
+
+const char* ColumnRoleToString(ColumnRole role);
+
+/// \brief Declaration of one column.
+struct ColumnSpec {
+  std::string name;
+  ColumnRole role = ColumnRole::kOther;
+  /// Declared type of the *original* data. After binning, generalized cells
+  /// hold string labels regardless of the declared type.
+  ValueType type = ValueType::kString;
+};
+
+/// \brief Ordered collection of column specs with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  /// \brief Appends a column; rejects duplicate names.
+  Status AddColumn(ColumnSpec spec);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// \brief Index of the column with this name.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// \brief Indices of all columns with the given role, in schema order.
+  std::vector<size_t> ColumnsWithRole(ColumnRole role) const;
+
+  /// \brief Indices of all quasi-identifying columns (categorical+numeric).
+  std::vector<size_t> QuasiIdentifyingColumns() const;
+
+  /// \brief Index of the identifying column; KeyError if absent, and
+  /// InvalidArgument if there are several (the pipeline expects exactly one).
+  Result<size_t> IdentifyingColumn() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+bool operator==(const ColumnSpec& a, const ColumnSpec& b);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_RELATION_SCHEMA_H_

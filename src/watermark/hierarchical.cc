@@ -1,0 +1,272 @@
+#include "watermark/hierarchical.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace privmark {
+
+HierarchicalWatermarker::HierarchicalWatermarker(
+    std::vector<size_t> qi_columns, size_t ident_column,
+    std::vector<GeneralizationSet> maximal,
+    std::vector<GeneralizationSet> ultimate, WatermarkKey key,
+    WatermarkOptions options)
+    : qi_columns_(std::move(qi_columns)),
+      ident_column_(ident_column),
+      maximal_(std::move(maximal)),
+      ultimate_(std::move(ultimate)),
+      key_(std::move(key)),
+      options_(options) {
+  assert(qi_columns_.size() == maximal_.size());
+  assert(qi_columns_.size() == ultimate_.size());
+}
+
+NodeId HierarchicalWatermarker::MaximalAbove(size_t c, NodeId node) const {
+  const DomainHierarchy& tree = *maximal_[c].tree();
+  for (NodeId cur = node; cur != kInvalidNode; cur = tree.Parent(cur)) {
+    if (maximal_[c].Contains(cur)) return cur;
+  }
+  return kInvalidNode;
+}
+
+Result<size_t> HierarchicalWatermarker::EstimateBandwidth(
+    const Table& table) const {
+  size_t slots = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const std::string ident = table.at(r, ident_column_).ToString();
+    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    for (size_t c = 0; c < qi_columns_.size(); ++c) {
+      auto node = ultimate_[c].NodeForLabel(
+          table.at(r, qi_columns_[c]).ToString());
+      if (!node.ok()) continue;
+      const NodeId max_node = MaximalAbove(c, *node);
+      if (max_node == kInvalidNode || max_node == *node) continue;
+      ++slots;
+    }
+  }
+  return slots;
+}
+
+Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
+                                                   const BitVector& wm,
+                                                   size_t copies) const {
+  if (wm.empty()) {
+    return Status::InvalidArgument("Embed: empty watermark");
+  }
+  EmbedReport report;
+  if (copies == 0) {
+    PRIVMARK_ASSIGN_OR_RETURN(size_t bandwidth, EstimateBandwidth(*table));
+    copies = bandwidth / wm.size();
+    if (copies == 0) copies = 1;
+  }
+  report.copies = copies;
+  const BitVector wmd = wm.Duplicate(copies);
+  report.wmd_size = wmd.size();
+
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const std::string ident = table->at(r, ident_column_).ToString();
+    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    ++report.tuples_selected;
+
+    for (size_t c = 0; c < qi_columns_.size(); ++c) {
+      const size_t col = qi_columns_[c];
+      const std::string& column_name = table->schema().column(col).name;
+      const std::string label = table->at(r, col).ToString();
+      PRIVMARK_ASSIGN_OR_RETURN(NodeId node, ultimate_[c].NodeForLabel(label));
+      const NodeId max_node = MaximalAbove(c, node);
+      if (max_node == kInvalidNode || max_node == node) {
+        // Zero-gap special case (Sec. 5.2): permutation here would exceed
+        // the usage metrics, so the slot carries no bit.
+        ++report.slots_skipped_no_gap;
+        continue;
+      }
+
+      const bool bit =
+          wmd.Get(WmdPosition(key_, options_.hash, ident, column_name,
+                              wmd.size()));
+      const DomainHierarchy& tree = *ultimate_[c].tree();
+      NodeId cur = max_node;
+      bool encoded_any = false;
+      while (!ultimate_[c].Contains(cur)) {
+        const std::vector<NodeId>& children = tree.Children(cur);
+        assert(!children.empty() &&
+               "a leaf must be covered by an ultimate node at or above it");
+        if (children.size() == 1) {
+          cur = children[0];
+          continue;
+        }
+        size_t idx = PermutationIndex(key_, options_.hash, ident, column_name,
+                                      tree.Depth(cur), children.size());
+        // SetMuBit with in-range correction: force the parity, stepping
+        // back by 2 if that overruns the sibling count (safe: >= 2 children
+        // means both parities exist).
+        idx = (idx & ~size_t{1}) | static_cast<size_t>(bit);
+        if (idx >= children.size()) idx -= 2;
+        cur = children[idx];
+        encoded_any = true;
+      }
+      if (encoded_any) ++report.slots_embedded;
+      const std::string& new_label = tree.node(cur).label;
+      if (new_label != label) {
+        table->Set(r, col, Value::String(new_label));
+        ++report.cells_changed;
+      }
+    }
+  }
+  return report;
+}
+
+Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
+                                                     size_t wm_size,
+                                                     size_t wmd_size) const {
+  if (wm_size == 0 || wmd_size == 0 || wmd_size % wm_size != 0) {
+    return Status::InvalidArgument(
+        "Detect: wmd_size must be a positive multiple of wm_size");
+  }
+  DetectReport report;
+  // Weighted votes per wmd position: [position] -> (zeros, ones).
+  std::vector<double> zeros(wmd_size, 0.0);
+  std::vector<double> ones(wmd_size, 0.0);
+
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const std::string ident = table.at(r, ident_column_).ToString();
+    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    ++report.tuples_selected;
+
+    for (size_t c = 0; c < qi_columns_.size(); ++c) {
+      const size_t col = qi_columns_[c];
+      const std::string& column_name = table.schema().column(col).name;
+      const DomainHierarchy& tree = *ultimate_[c].tree();
+
+      auto node_result = tree.FindByLabel(table.at(r, col).ToString());
+      if (!node_result.ok()) {
+        // Altered beyond the domain: no votes from this slot.
+        ++report.slots_skipped;
+        continue;
+      }
+      NodeId cur = *node_result;
+      if (maximal_[c].Contains(cur)) {
+        ++report.slots_skipped;
+        continue;
+      }
+
+      // Walk up to the maximal node, reading a parity bit per level with
+      // >= 2 siblings (Fig. 9's Detection inner loop). The embedding wrote
+      // the same bit at every level, so majority-vote the levels.
+      double zero_weight = 0.0;
+      double one_weight = 0.0;
+      bool reached_maximal = false;
+      std::vector<std::pair<bool, int>> level_bits;  // (bit, depth)
+      while (cur != kInvalidNode) {
+        const NodeId parent = tree.Parent(cur);
+        if (parent == kInvalidNode) break;
+        const std::vector<NodeId> sibs = tree.Siblings(cur);
+        if (sibs.size() >= 2) {
+          level_bits.push_back(
+              {(tree.SiblingIndex(cur) & 1) != 0, tree.Depth(cur)});
+        }
+        if (maximal_[c].Contains(parent)) {
+          reached_maximal = true;
+          break;
+        }
+        cur = parent;
+      }
+      if (!reached_maximal || level_bits.empty()) {
+        ++report.slots_skipped;
+        continue;
+      }
+      // Weight by distance from the top of the walk (highest level first).
+      const int top_depth = level_bits.back().second;
+      for (const auto& [bit, depth] : level_bits) {
+        const double weight =
+            options_.weighted_voting
+                ? std::pow(options_.level_weight_decay, depth - top_depth)
+                : 1.0;
+        (bit ? one_weight : zero_weight) += weight;
+      }
+      const bool slot_bit = one_weight > zero_weight;
+      if (one_weight == zero_weight) {
+        // Tied levels: the slot abstains.
+        ++report.slots_skipped;
+        continue;
+      }
+      const size_t pos =
+          WmdPosition(key_, options_.hash, ident, column_name, wmd_size);
+      (slot_bit ? ones[pos] : zeros[pos]) += 1.0;
+      ++report.slots_read;
+    }
+  }
+
+  // Fold wmd votes down to wm bits: copy t of bit j lives at j + t*wm_size.
+  report.recovered = BitVector(wm_size);
+  report.vote_margin.assign(wm_size, 0.0);
+  report.bit_voted.assign(wm_size, false);
+  for (size_t j = 0; j < wm_size; ++j) {
+    double zero_total = 0.0;
+    double one_total = 0.0;
+    for (size_t pos = j; pos < wmd_size; pos += wm_size) {
+      zero_total += zeros[pos];
+      one_total += ones[pos];
+    }
+    report.vote_margin[j] = one_total - zero_total;
+    report.bit_voted[j] = (zero_total + one_total) > 0.0;
+    report.recovered.Set(j, one_total > zero_total);
+  }
+  return report;
+}
+
+Result<double> MarkLossAgainst(const BitVector& reference,
+                               const BitVector& recovered) {
+  return reference.LossFraction(recovered);
+}
+
+Result<double> DetectionPValue(const BitVector& reference,
+                               const DetectReport& report) {
+  if (reference.size() != report.recovered.size() ||
+      reference.size() != report.bit_voted.size()) {
+    return Status::InvalidArgument("DetectionPValue: size mismatch");
+  }
+  size_t voted = 0;
+  size_t matches = 0;
+  for (size_t j = 0; j < reference.size(); ++j) {
+    if (!report.bit_voted[j]) continue;
+    ++voted;
+    if (reference.Get(j) == report.recovered.Get(j)) ++matches;
+  }
+  if (voted == 0) return 1.0;
+
+  // P[Bin(voted, 1/2) >= matches] = sum_{i=matches..voted} C(voted,i)/2^v,
+  // computed in log space to stay stable for large vote counts.
+  double tail = 0.0;
+  double log_choose = 0.0;  // log C(voted, 0) = 0
+  const double log_half_pow = -static_cast<double>(voted) * std::log(2.0);
+  for (size_t i = 0; i <= voted; ++i) {
+    if (i >= matches) {
+      tail += std::exp(log_choose + log_half_pow);
+    }
+    // C(v, i+1) = C(v, i) * (v - i) / (i + 1).
+    if (i < voted) {
+      log_choose += std::log(static_cast<double>(voted - i)) -
+                    std::log(static_cast<double>(i + 1));
+    }
+  }
+  return std::min(tail, 1.0);
+}
+
+Result<double> StrictMarkLoss(const BitVector& reference,
+                              const DetectReport& report) {
+  if (reference.size() != report.recovered.size() ||
+      reference.size() != report.bit_voted.size()) {
+    return Status::InvalidArgument("StrictMarkLoss: size mismatch");
+  }
+  if (reference.empty()) return 0.0;
+  size_t lost = 0;
+  for (size_t j = 0; j < reference.size(); ++j) {
+    if (!report.bit_voted[j] ||
+        reference.Get(j) != report.recovered.Get(j)) {
+      ++lost;
+    }
+  }
+  return static_cast<double>(lost) / static_cast<double>(reference.size());
+}
+
+}  // namespace privmark

@@ -1,0 +1,159 @@
+#include "watermark/single_level.h"
+
+#include <cassert>
+
+namespace privmark {
+
+SingleLevelWatermarker::SingleLevelWatermarker(
+    std::vector<size_t> qi_columns, size_t ident_column,
+    std::vector<GeneralizationSet> ultimate, WatermarkKey key,
+    WatermarkOptions options)
+    : qi_columns_(std::move(qi_columns)),
+      ident_column_(ident_column),
+      ultimate_(std::move(ultimate)),
+      key_(std::move(key)),
+      options_(options) {
+  assert(qi_columns_.size() == ultimate_.size());
+}
+
+std::vector<NodeId> SingleLevelWatermarker::ParityCandidates(size_t c,
+                                                             NodeId node,
+                                                             bool bit) const {
+  const DomainHierarchy& tree = *ultimate_[c].tree();
+  const std::vector<NodeId> sibs = tree.Siblings(node);
+  std::vector<NodeId> candidates;
+  for (size_t i = 0; i < sibs.size(); ++i) {
+    if (((i & 1) != 0) == bit && ultimate_[c].Contains(sibs[i])) {
+      candidates.push_back(sibs[i]);
+    }
+  }
+  return candidates;
+}
+
+Result<size_t> SingleLevelWatermarker::EstimateBandwidth(
+    const Table& table) const {
+  size_t slots = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const std::string ident = table.at(r, ident_column_).ToString();
+    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    for (size_t c = 0; c < qi_columns_.size(); ++c) {
+      auto node =
+          ultimate_[c].NodeForLabel(table.at(r, qi_columns_[c]).ToString());
+      if (!node.ok()) continue;
+      // Encodable iff both parities are reachable among ultimate siblings.
+      if (!ParityCandidates(c, *node, false).empty() &&
+          !ParityCandidates(c, *node, true).empty()) {
+        ++slots;
+      }
+    }
+  }
+  return slots;
+}
+
+Result<EmbedReport> SingleLevelWatermarker::Embed(Table* table,
+                                                  const BitVector& wm,
+                                                  size_t copies) const {
+  if (wm.empty()) {
+    return Status::InvalidArgument("Embed: empty watermark");
+  }
+  EmbedReport report;
+  if (copies == 0) {
+    PRIVMARK_ASSIGN_OR_RETURN(size_t bandwidth, EstimateBandwidth(*table));
+    copies = bandwidth / wm.size();
+    if (copies == 0) copies = 1;
+  }
+  report.copies = copies;
+  const BitVector wmd = wm.Duplicate(copies);
+  report.wmd_size = wmd.size();
+
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const std::string ident = table->at(r, ident_column_).ToString();
+    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    ++report.tuples_selected;
+
+    for (size_t c = 0; c < qi_columns_.size(); ++c) {
+      const size_t col = qi_columns_[c];
+      const std::string& column_name = table->schema().column(col).name;
+      const std::string label = table->at(r, col).ToString();
+      PRIVMARK_ASSIGN_OR_RETURN(NodeId node, ultimate_[c].NodeForLabel(label));
+
+      const bool bit =
+          wmd.Get(WmdPosition(key_, options_.hash, ident, column_name,
+                              wmd.size()));
+      const std::vector<NodeId> candidates = ParityCandidates(c, node, bit);
+      if (candidates.empty()) {
+        ++report.slots_skipped_no_gap;
+        continue;
+      }
+      const DomainHierarchy& tree = *ultimate_[c].tree();
+      const size_t pick =
+          PermutationIndex(key_, options_.hash, ident, column_name,
+                           tree.Depth(node), candidates.size());
+      const NodeId target = candidates[pick];
+      ++report.slots_embedded;
+      const std::string& new_label = tree.node(target).label;
+      if (new_label != label) {
+        table->Set(r, col, Value::String(new_label));
+        ++report.cells_changed;
+      }
+    }
+  }
+  return report;
+}
+
+Result<DetectReport> SingleLevelWatermarker::Detect(const Table& table,
+                                                    size_t wm_size,
+                                                    size_t wmd_size) const {
+  if (wm_size == 0 || wmd_size == 0 || wmd_size % wm_size != 0) {
+    return Status::InvalidArgument(
+        "Detect: wmd_size must be a positive multiple of wm_size");
+  }
+  DetectReport report;
+  std::vector<double> zeros(wmd_size, 0.0);
+  std::vector<double> ones(wmd_size, 0.0);
+
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const std::string ident = table.at(r, ident_column_).ToString();
+    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    ++report.tuples_selected;
+
+    for (size_t c = 0; c < qi_columns_.size(); ++c) {
+      const size_t col = qi_columns_[c];
+      const std::string& column_name = table.schema().column(col).name;
+      const DomainHierarchy& tree = *ultimate_[c].tree();
+      auto node = tree.FindByLabel(table.at(r, col).ToString());
+      if (!node.ok()) {
+        ++report.slots_skipped;
+        continue;
+      }
+      const std::vector<NodeId> sibs = tree.Siblings(*node);
+      if (sibs.size() < 2) {
+        ++report.slots_skipped;
+        continue;
+      }
+      const bool slot_bit = (tree.SiblingIndex(*node) & 1) != 0;
+      const size_t pos =
+          WmdPosition(key_, options_.hash, ident, column_name, wmd_size);
+      (slot_bit ? ones[pos] : zeros[pos]) += 1.0;
+      ++report.slots_read;
+    }
+  }
+
+  report.recovered = BitVector(wm_size);
+  report.vote_margin.assign(wm_size, 0.0);
+  report.bit_voted.assign(wm_size, false);
+  for (size_t j = 0; j < wm_size; ++j) {
+    double zero_total = 0.0;
+    double one_total = 0.0;
+    for (size_t pos = j; pos < wmd_size; pos += wm_size) {
+      zero_total += zeros[pos];
+      one_total += ones[pos];
+    }
+    report.vote_margin[j] = one_total - zero_total;
+    report.bit_voted[j] = (zero_total + one_total) > 0.0;
+    report.recovered.Set(j, one_total > zero_total);
+  }
+  return report;
+}
+
+}  // namespace privmark

@@ -1,0 +1,85 @@
+#include "watermark/virtual_key.h"
+
+namespace privmark {
+
+Result<std::string> VirtualIdentifier(
+    const Table& table, size_t row, const std::vector<size_t>& qi_columns,
+    const std::vector<GeneralizationSet>& maximal) {
+  if (qi_columns.size() != maximal.size()) {
+    return Status::InvalidArgument(
+        "VirtualIdentifier: column/generalization count mismatch");
+  }
+  if (row >= table.num_rows()) {
+    return Status::OutOfRange("VirtualIdentifier: row " + std::to_string(row) +
+                              " out of range");
+  }
+  std::string key;
+  for (size_t c = 0; c < qi_columns.size(); ++c) {
+    const DomainHierarchy& tree = *maximal[c].tree();
+    const std::string cell = table.at(row, qi_columns[c]).ToString();
+    if (c > 0) key += '|';
+    auto node = tree.FindByLabel(cell);
+    if (!node.ok()) {
+      // Out-of-domain (attacked) cell: keep the literal text so only this
+      // component of the key degrades.
+      key += cell;
+      continue;
+    }
+    // Walk up to the maximal cover; a node above every maximal member
+    // (should not occur in well-formed tables) falls back to its own label.
+    NodeId cover = kInvalidNode;
+    for (NodeId cur = *node; cur != kInvalidNode; cur = tree.Parent(cur)) {
+      if (maximal[c].Contains(cur)) {
+        cover = cur;
+        break;
+      }
+    }
+    key += tree.node(cover == kInvalidNode ? *node : cover).label;
+  }
+  return key;
+}
+
+Result<Table> MaterializeVirtualIdentifiers(
+    const Table& table, const std::vector<size_t>& qi_columns,
+    const std::vector<GeneralizationSet>& maximal) {
+  PRIVMARK_ASSIGN_OR_RETURN(size_t ident_column,
+                            table.schema().IdentifyingColumn());
+  Table out = table.Clone();
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    PRIVMARK_ASSIGN_OR_RETURN(
+        std::string key, VirtualIdentifier(table, r, qi_columns, maximal));
+    out.Set(r, ident_column, Value::String(std::move(key)));
+  }
+  return out;
+}
+
+Result<EmbedReport> EmbedWithVirtualKeys(
+    const HierarchicalWatermarker& watermarker, Table* table,
+    const BitVector& mark, size_t copies) {
+  PRIVMARK_ASSIGN_OR_RETURN(
+      Table materialized,
+      MaterializeVirtualIdentifiers(*table, watermarker.qi_columns(),
+                                    watermarker.maximal()));
+  PRIVMARK_ASSIGN_OR_RETURN(EmbedReport report,
+                            watermarker.Embed(&materialized, mark, copies));
+  // Publish only the quasi-identifier changes; the identifying column of
+  // the caller's table is left exactly as it was.
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    for (size_t col : watermarker.qi_columns()) {
+      table->Set(r, col, materialized.at(r, col));
+    }
+  }
+  return report;
+}
+
+Result<DetectReport> DetectWithVirtualKeys(
+    const HierarchicalWatermarker& watermarker, const Table& table,
+    size_t wm_size, size_t wmd_size) {
+  PRIVMARK_ASSIGN_OR_RETURN(
+      Table materialized,
+      MaterializeVirtualIdentifiers(table, watermarker.qi_columns(),
+                                    watermarker.maximal()));
+  return watermarker.Detect(materialized, wm_size, wmd_size);
+}
+
+}  // namespace privmark

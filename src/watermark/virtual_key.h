@@ -1,0 +1,74 @@
+// Virtual primary keys (paper footnote 1, after Li-Swarup-Jajodia '03).
+//
+// Eq. (5) keys tuple selection on the encrypted identifying column,
+// assumed to "keep intact". When the identifying column cannot be relied
+// on (an attacker might drop or re-encrypt it), the paper points to
+// constructing *virtual* key attributes from other columns.
+//
+// Our construction leans on the framework's own invariant: the
+// hierarchical watermark never moves a cell outside its maximal
+// generalization subtree (Sec. 5.1), so the *maximal-node cover label* of
+// every quasi-identifying cell is untouched by embedding. The virtual
+// identifier of a tuple is the concatenation of those cover labels —
+// stable under watermarking by construction, and degraded only where an
+// attacker alters cells (the classic fragility of virtual keys: colliding
+// tuples share selection decisions, altered tuples fall out of sync).
+//
+// Diversity requirement: the key space is the cross product of the
+// maximal-node sets of the columns used, so virtual keys only make sense
+// over *several* quasi-identifying columns (the medical schema's five
+// columns give thousands of combinations). With a single column the keys
+// collapse to a handful of values, whole cover-groups of tuples move in
+// lockstep, and most of the mark cannot be embedded — use the encrypted
+// identifying column whenever it is available, as the paper recommends.
+
+#ifndef PRIVMARK_WATERMARK_VIRTUAL_KEY_H_
+#define PRIVMARK_WATERMARK_VIRTUAL_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/generalization.h"
+#include "relation/table.h"
+#include "watermark/hierarchical.h"
+
+namespace privmark {
+
+/// \brief The virtual identifier of one row: "label0|label1|..." where
+/// label_c is the maximal-generalization cover of the row's cell in
+/// quasi-identifying column c. Cells whose label is unknown to the tree
+/// contribute the literal cell text (attacked cells degrade gracefully
+/// instead of failing the whole row).
+Result<std::string> VirtualIdentifier(
+    const Table& table, size_t row, const std::vector<size_t>& qi_columns,
+    const std::vector<GeneralizationSet>& maximal);
+
+/// \brief Clones `table` with the identifying column overwritten by each
+/// row's virtual identifier.
+///
+/// The result can be fed to HierarchicalWatermarker directly: embedding
+/// does not change any cover label, so recomputing the virtual identifiers
+/// on the *watermarked* table reproduces the same keys and detection
+/// stays aligned.
+Result<Table> MaterializeVirtualIdentifiers(
+    const Table& table, const std::vector<size_t>& qi_columns,
+    const std::vector<GeneralizationSet>& maximal);
+
+/// \brief Embeds using virtual keys without publishing them: selection and
+/// positions are computed from materialized virtual identifiers, then only
+/// the quasi-identifying cells are written back to `table` — the real
+/// (encrypted) identifying column stays untouched in the output.
+Result<EmbedReport> EmbedWithVirtualKeys(
+    const HierarchicalWatermarker& watermarker, Table* table,
+    const BitVector& mark, size_t copies = 0);
+
+/// \brief Detection counterpart: recomputes virtual identifiers on the
+/// (possibly attacked) table, then runs ordinary detection.
+Result<DetectReport> DetectWithVirtualKeys(
+    const HierarchicalWatermarker& watermarker, const Table& table,
+    size_t wm_size, size_t wmd_size);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_WATERMARK_VIRTUAL_KEY_H_

@@ -1,0 +1,30 @@
+#include "watermark/watermark_key.h"
+
+#include <cassert>
+
+namespace privmark {
+
+bool IsTupleSelected(const WatermarkKey& key, HashAlgorithm algo,
+                     const std::string& ident) {
+  assert(key.eta > 0);
+  return KeyedHash64(algo, key.k1, ident) % key.eta == 0;
+}
+
+size_t WmdPosition(const WatermarkKey& key, HashAlgorithm algo,
+                   const std::string& ident, const std::string& column,
+                   size_t wmd_size) {
+  assert(wmd_size > 0);
+  const std::string msg = "pos:" + ident + ":" + column;
+  return static_cast<size_t>(KeyedHash64(algo, key.k2, msg) % wmd_size);
+}
+
+size_t PermutationIndex(const WatermarkKey& key, HashAlgorithm algo,
+                        const std::string& ident, const std::string& column,
+                        int depth, size_t set_size) {
+  assert(set_size > 0);
+  const std::string msg =
+      "perm:" + ident + ":" + column + ":" + std::to_string(depth);
+  return static_cast<size_t>(KeyedHash64(algo, key.k2, msg) % set_size);
+}
+
+}  // namespace privmark

@@ -1,0 +1,63 @@
+// Watermarking key material and tuple selection (paper Sec. 5, Eq. 5).
+
+#ifndef PRIVMARK_WATERMARK_WATERMARK_KEY_H_
+#define PRIVMARK_WATERMARK_WATERMARK_KEY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/keyed_hash.h"
+
+namespace privmark {
+
+/// \brief The secret watermarking key (paper Table 1: k1, k2, eta).
+///
+/// k1 drives tuple selection (Eq. 5), k2 drives bit positions and
+/// permutation indices (Fig. 9); the paper stresses that distinct keys keep
+/// these calculations uncorrelated. eta tunes the marked fraction: a tuple
+/// is selected iff H(k1, ident) mod eta == 0, so roughly 1/eta of tuples are
+/// marked — smaller eta means more bandwidth but more distortion (Fig. 12
+/// vs. Fig. 13 trade-off).
+struct WatermarkKey {
+  std::string k1 = "k1-secret";
+  std::string k2 = "k2-secret";
+  uint64_t eta = 100;
+};
+
+/// \brief Detection-voting and hashing options.
+struct WatermarkOptions {
+  /// Hash H() used for Eq. (5) and Fig. 9 ("e.g., MD5 or SHA1").
+  HashAlgorithm hash = HashAlgorithm::kSha1;
+  /// Weighted per-level voting (Sec. 5.3: "the copy from a higher level is
+  /// more reliable than that from a lower level"). When false, all levels
+  /// vote equally.
+  bool weighted_voting = false;
+  /// With weighted voting, a level's weight is decay^(distance from the
+  /// maximal node); decay in (0, 1] — 1.0 degenerates to plain voting.
+  double level_weight_decay = 0.5;
+};
+
+/// \brief Eq. (5): true iff the tuple with this (encrypted) identifier is
+/// chosen for embedding.
+bool IsTupleSelected(const WatermarkKey& key, HashAlgorithm algo,
+                     const std::string& ident);
+
+/// \brief Position of this tuple/column slot's bit within wmd:
+/// H(k2, "pos:" ident ":" column) mod wmd_size.
+///
+/// The paper uses H(ti.ident, k2) mod |wmd| for a single column; the
+/// purpose-prefix and column name extend it to multi-column embedding while
+/// keeping positions independent of the permutation hashes below.
+size_t WmdPosition(const WatermarkKey& key, HashAlgorithm algo,
+                   const std::string& ident, const std::string& column,
+                   size_t wmd_size);
+
+/// \brief Pseudo-random index for the permutation at one tree level:
+/// H(k2, "perm:" ident ":" column ":" depth) mod set_size.
+size_t PermutationIndex(const WatermarkKey& key, HashAlgorithm algo,
+                        const std::string& ident, const std::string& column,
+                        int depth, size_t set_size);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_WATERMARK_WATERMARK_KEY_H_

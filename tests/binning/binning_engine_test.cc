@@ -1,0 +1,199 @@
+#include "binning/binning_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/aes128.h"
+#include "datagen/medical_data.h"
+
+namespace privmark {
+namespace {
+
+// A compact data set so engine tests stay fast.
+MedicalDataset SmallDataset() {
+  MedicalDataSpec spec;
+  spec.num_rows = 1500;
+  spec.seed = 7;
+  return std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+}
+
+TEST(BinningEngineTest, EncryptsIdentifiersReversibly) {
+  MedicalDataset ds = SmallDataset();
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  BinningAgent agent(UnconstrainedMetrics(ds.trees()), config);
+  auto outcome = agent.Run(ds.table);
+  ASSERT_TRUE(outcome.ok());
+
+  const Aes128 cipher = Aes128::FromPassphrase(config.encryption_passphrase);
+  const size_t ident = *ds.table.schema().IdentifyingColumn();
+  for (size_t r = 0; r < 20; ++r) {
+    const std::string encrypted = outcome->binned.at(r, ident).ToString();
+    EXPECT_NE(encrypted, ds.table.at(r, ident).ToString());
+    auto decrypted = cipher.DecryptValue(encrypted);
+    ASSERT_TRUE(decrypted.ok());
+    EXPECT_EQ(*decrypted, ds.table.at(r, ident).ToString());
+  }
+}
+
+TEST(BinningEngineTest, QiCellsHoldUltimateLabels) {
+  MedicalDataset ds = SmallDataset();
+  BinningConfig config;
+  config.k = 10;
+  config.enforce_joint = false;
+  BinningAgent agent(UnconstrainedMetrics(ds.trees()), config);
+  auto outcome = agent.Run(ds.table);
+  ASSERT_TRUE(outcome.ok());
+  for (size_t c = 0; c < outcome->qi_columns.size(); ++c) {
+    const size_t col = outcome->qi_columns[c];
+    for (size_t r = 0; r < outcome->binned.num_rows(); ++r) {
+      EXPECT_TRUE(outcome->ultimate[c]
+                      .NodeForLabel(outcome->binned.at(r, col).ToString())
+                      .ok())
+          << "row " << r << " column " << col;
+    }
+  }
+}
+
+TEST(BinningEngineTest, PerAttributeKAnonymityHolds) {
+  MedicalDataset ds = SmallDataset();
+  BinningConfig config;
+  config.k = 15;
+  config.enforce_joint = false;
+  BinningAgent agent(UnconstrainedMetrics(ds.trees()), config);
+  auto outcome = agent.Run(ds.table);
+  ASSERT_TRUE(outcome.ok());
+  for (size_t col : outcome->qi_columns) {
+    EXPECT_GE(outcome->binned.MinBinSize({col}), config.k) << col;
+  }
+}
+
+TEST(BinningEngineTest, JointKAnonymityWhenEnforced) {
+  MedicalDataset ds = SmallDataset();
+  BinningConfig config;
+  config.k = 8;
+  config.enforce_joint = true;
+  BinningAgent agent(UnconstrainedMetrics(ds.trees()), config);
+  auto outcome = agent.Run(ds.table);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->binned.MinBinSize(outcome->qi_columns), config.k);
+}
+
+TEST(BinningEngineTest, LossesAreOrderedAndBounded) {
+  MedicalDataset ds = SmallDataset();
+  BinningConfig config;
+  config.k = 8;
+  config.enforce_joint = true;
+  BinningAgent agent(UnconstrainedMetrics(ds.trees()), config);
+  auto outcome = agent.Run(ds.table);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GE(outcome->mono_normalized_loss, 0.0);
+  EXPECT_LE(outcome->mono_normalized_loss, 1.0);
+  // Joint binning can only generalize further.
+  EXPECT_GE(outcome->multi_normalized_loss,
+            outcome->mono_normalized_loss - 1e-12);
+  EXPECT_LE(outcome->multi_normalized_loss, 1.0);
+}
+
+TEST(BinningEngineTest, EpsilonRaisesEffectiveK) {
+  MedicalDataset ds = SmallDataset();
+  BinningConfig config;
+  config.k = 10;
+  config.epsilon = 5;
+  config.enforce_joint = false;
+  BinningAgent agent(UnconstrainedMetrics(ds.trees()), config);
+  auto outcome = agent.Run(ds.table);
+  ASSERT_TRUE(outcome.ok());
+  for (size_t col : outcome->qi_columns) {
+    EXPECT_GE(outcome->binned.MinBinSize({col}), config.k + config.epsilon);
+  }
+}
+
+TEST(BinningEngineTest, MetricsCountMismatchRejected) {
+  MedicalDataset ds = SmallDataset();
+  auto trees = ds.trees();
+  trees.pop_back();
+  BinningConfig config;
+  BinningAgent agent(UnconstrainedMetrics(trees), config);
+  EXPECT_FALSE(agent.Run(ds.table).ok());
+}
+
+TEST(BinningEngineTest, RowCountPreservedWithoutSuppression) {
+  MedicalDataset ds = SmallDataset();
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  BinningAgent agent(UnconstrainedMetrics(ds.trees()), config);
+  auto outcome = agent.Run(ds.table);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->suppressed_rows, 0u);
+  EXPECT_EQ(outcome->binned.num_rows(), ds.table.num_rows());
+}
+
+TEST(ApplyGeneralizationTest, ReplacesCellsWithLabels) {
+  auto tree = HierarchyBuilder::FromOutline("role", R"(Person
+  Doctor
+  Nurse)").ValueOrDie();
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"role", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value::String("Doctor")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::String("Nurse")}).ok());
+  const GeneralizationSet root = GeneralizationSet::RootOnly(&tree);
+  ASSERT_TRUE(ApplyGeneralization(&t, {0}, {root}).ok());
+  EXPECT_EQ(t.at(0, 0).AsString(), "Person");
+  EXPECT_EQ(t.at(1, 0).AsString(), "Person");
+}
+
+TEST(ApplyGeneralizationTest, CountMismatchRejected) {
+  auto tree = HierarchyBuilder::FromOutline("x", "r\n  a\n  b").ValueOrDie();
+  Table t{Schema{}};
+  EXPECT_FALSE(ApplyGeneralization(&t, {0}, {}).ok());
+}
+
+TEST(BinningEngineTest, SuppressionPathDropsRows) {
+  // Craft a table with one rare symptom leaf under a depth-capped maximal
+  // node, k too large for it.
+  auto tree = HierarchyBuilder::FromOutline("sym", R"(All
+  A
+    a1
+    a2
+  B
+    b1)").ValueOrDie();
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"id", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  ASSERT_TRUE(schema.AddColumn({"sym", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  Table t(schema);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::String("i" + std::to_string(i)),
+                             Value::String(i < 9 ? (i % 2 ? "a1" : "a2")
+                                                 : "b1")}).ok());
+  }
+  // Maximal at depth 1: {A, B}; B holds 1 < k = 3 tuples.
+  UsageMetrics metrics;
+  metrics.trees = {&tree};
+  metrics.maximal = {CutAtDepth(&tree, 1)};
+  BinningConfig config;
+  config.k = 3;
+  config.enforce_joint = false;
+  config.mono.on_unbinnable = UnbinnablePolicy::kSuppress;
+  BinningAgent agent(metrics, config);
+  auto outcome = agent.Run(t);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->suppressed_rows, 1u);
+  EXPECT_EQ(outcome->binned.num_rows(), 9u);
+
+  // Same run with the error policy refuses.
+  BinningConfig strict = config;
+  strict.mono.on_unbinnable = UnbinnablePolicy::kError;
+  BinningAgent strict_agent(metrics, strict);
+  EXPECT_EQ(strict_agent.Run(t).status().code(), StatusCode::kUnbinnable);
+}
+
+}  // namespace
+}  // namespace privmark

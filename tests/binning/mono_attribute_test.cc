@@ -1,0 +1,245 @@
+#include "binning/mono_attribute.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+namespace privmark {
+namespace {
+
+// Role tree with known leaf counts.
+DomainHierarchy RoleTree() {
+  return HierarchyBuilder::FromOutline("role", R"(Person
+  Medical Practitioner
+    GP
+    Specialist
+  Paramedic
+    Pharmacist
+    Nurse
+    Consultant)").ValueOrDie();
+}
+
+std::vector<Value> Repeat(const std::vector<std::pair<std::string, int>>&
+                              label_counts) {
+  std::vector<Value> out;
+  for (const auto& [label, count] : label_counts) {
+    for (int i = 0; i < count; ++i) out.push_back(Value::String(label));
+  }
+  return out;
+}
+
+std::set<std::string> Labels(const DomainHierarchy& tree,
+                             const GeneralizationSet& gs) {
+  std::set<std::string> out;
+  for (NodeId id : gs.nodes()) out.insert(tree.node(id).label);
+  return out;
+}
+
+TEST(NumTupleTest, CountsSubtreeValues) {
+  DomainHierarchy tree = RoleTree();
+  const std::vector<Value> values =
+      Repeat({{"GP", 3}, {"Nurse", 2}, {"Pharmacist", 1}});
+  EXPECT_EQ(*NumTuple(tree, *tree.FindByLabel("Paramedic"), values), 3u);
+  EXPECT_EQ(*NumTuple(tree, *tree.FindByLabel("GP"), values), 3u);
+  EXPECT_EQ(*NumTuple(tree, tree.root(), values), 6u);
+  EXPECT_EQ(*NumTuple(tree, *tree.FindByLabel("Consultant"), values), 0u);
+}
+
+TEST(NumTupleTest, RejectsBadNode) {
+  DomainHierarchy tree = RoleTree();
+  EXPECT_FALSE(NumTuple(tree, 999, {}).ok());
+}
+
+TEST(MonoBinTest, AllLeavesSatisfyK) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  MonoBinningOptions options;
+  options.k = 2;
+  // Every leaf has >= 2 tuples: minimal nodes are the leaves themselves.
+  auto result = MonoAttributeBin(
+      maximal,
+      Repeat({{"GP", 2}, {"Specialist", 2}, {"Pharmacist", 2},
+              {"Nurse", 3}, {"Consultant", 2}}),
+      options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->minimal.size(), 5u);
+  EXPECT_EQ(result->suppressed_tuples, 0u);
+}
+
+TEST(MonoBinTest, SparseLeafForcesParent) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  MonoBinningOptions options;
+  options.k = 2;
+  // Pharmacist has only 1 tuple -> Paramedic cannot split; MP side can.
+  auto result = MonoAttributeBin(
+      maximal,
+      Repeat({{"GP", 2}, {"Specialist", 2}, {"Pharmacist", 1},
+              {"Nurse", 3}, {"Consultant", 2}}),
+      options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Labels(tree, result->minimal),
+            (std::set<std::string>{"GP", "Specialist", "Paramedic"}));
+}
+
+TEST(MonoBinTest, EmptyChildAlsoForcesParentUnderSimpleStrategy) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  MonoBinningOptions options;
+  options.k = 2;
+  // Consultant has 0 tuples: Fig. 5's rule treats count < k as a stop, so
+  // Paramedic stays whole even though Pharmacist/Nurse are rich.
+  auto result = MonoAttributeBin(
+      maximal,
+      Repeat({{"GP", 5}, {"Specialist", 5}, {"Pharmacist", 5}, {"Nurse", 5}}),
+      options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Labels(tree, result->minimal),
+            (std::set<std::string>{"GP", "Specialist", "Paramedic"}));
+}
+
+TEST(MonoBinTest, AggressiveStrategyDescendsAndSuppresses) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  MonoBinningOptions options;
+  options.k = 2;
+  options.strategy = MinimalityStrategy::kAggressive;
+  options.on_unbinnable = UnbinnablePolicy::kSuppress;
+  // Pharmacist: 1 tuple (suppressed); Nurse: 5 (kept); Consultant: 0 (kept
+  // empty). Aggressive descends because Nurse satisfies k.
+  auto result = MonoAttributeBin(
+      maximal,
+      Repeat({{"GP", 5}, {"Specialist", 5}, {"Pharmacist", 1}, {"Nurse", 5}}),
+      options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Labels(tree, result->minimal),
+            (std::set<std::string>{"GP", "Specialist", "Pharmacist", "Nurse",
+                                   "Consultant"}));
+  EXPECT_EQ(result->suppressed_tuples, 1u);
+  ASSERT_EQ(result->suppressed_nodes.size(), 1u);
+  EXPECT_EQ(tree.node(result->suppressed_nodes[0]).label, "Pharmacist");
+}
+
+TEST(MonoBinTest, AggressiveWithErrorPolicyRefuses) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  MonoBinningOptions options;
+  options.k = 2;
+  options.strategy = MinimalityStrategy::kAggressive;
+  options.on_unbinnable = UnbinnablePolicy::kError;
+  auto result = MonoAttributeBin(
+      maximal,
+      Repeat({{"GP", 5}, {"Specialist", 5}, {"Pharmacist", 1}, {"Nurse", 5}}),
+      options);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnbinnable);
+}
+
+TEST(MonoBinTest, UnbinnableSubtreeErrorsByDefault) {
+  DomainHierarchy tree = RoleTree();
+  // Maximal nodes at depth 1: {Medical Practitioner, Paramedic}.
+  auto maximal =
+      GeneralizationSet::Create(&tree,
+                                {*tree.FindByLabel("Medical Practitioner"),
+                                 *tree.FindByLabel("Paramedic")})
+          .ValueOrDie();
+  MonoBinningOptions options;
+  options.k = 5;
+  // Paramedic subtree holds only 2 tuples < k: not binnable within metrics.
+  auto result = MonoAttributeBin(
+      maximal, Repeat({{"GP", 5}, {"Nurse", 2}}), options);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnbinnable);
+}
+
+TEST(MonoBinTest, UnbinnableSubtreeSuppressedOnRequest) {
+  DomainHierarchy tree = RoleTree();
+  auto maximal =
+      GeneralizationSet::Create(&tree,
+                                {*tree.FindByLabel("Medical Practitioner"),
+                                 *tree.FindByLabel("Paramedic")})
+          .ValueOrDie();
+  MonoBinningOptions options;
+  options.k = 5;
+  options.on_unbinnable = UnbinnablePolicy::kSuppress;
+  auto result = MonoAttributeBin(
+      maximal, Repeat({{"GP", 5}, {"Nurse", 2}}), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->suppressed_tuples, 2u);
+  // The suppressed maximal node stays in the cover.
+  EXPECT_TRUE(result->minimal.Contains(*tree.FindByLabel("Paramedic")));
+}
+
+TEST(MonoBinTest, EmptyMaximalSubtreeKeptWithoutSuppression) {
+  DomainHierarchy tree = RoleTree();
+  auto maximal =
+      GeneralizationSet::Create(&tree,
+                                {*tree.FindByLabel("Medical Practitioner"),
+                                 *tree.FindByLabel("Paramedic")})
+          .ValueOrDie();
+  MonoBinningOptions options;
+  options.k = 2;
+  // No paramedics at all: the Paramedic node is kept, nothing suppressed.
+  auto result =
+      MonoAttributeBin(maximal, Repeat({{"GP", 3}, {"Specialist", 3}}),
+                       options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->suppressed_tuples, 0u);
+  EXPECT_TRUE(result->minimal.Contains(*tree.FindByLabel("Paramedic")));
+}
+
+TEST(MonoBinTest, ResultRespectsMaximalCeiling) {
+  DomainHierarchy tree = RoleTree();
+  auto maximal =
+      GeneralizationSet::Create(&tree,
+                                {*tree.FindByLabel("Medical Practitioner"),
+                                 *tree.FindByLabel("Paramedic")})
+          .ValueOrDie();
+  MonoBinningOptions options;
+  options.k = 100;  // huge k: everything collapses to the maximal nodes
+  auto result = MonoAttributeBin(
+      maximal, Repeat({{"GP", 60}, {"Specialist", 60}, {"Nurse", 120}}),
+      options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->minimal.IsRefinementOf(maximal));
+  EXPECT_EQ(Labels(tree, result->minimal),
+            (std::set<std::string>{"Medical Practitioner", "Paramedic"}));
+}
+
+TEST(MonoBinTest, MinimalityHolds) {
+  // Property: the result satisfies k-anonymity per node, and no member
+  // node's children all satisfy k (simple-strategy minimality).
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  const std::vector<Value> values = Repeat(
+      {{"GP", 7}, {"Specialist", 1}, {"Pharmacist", 4}, {"Nurse", 4},
+       {"Consultant", 9}});
+  MonoBinningOptions options;
+  options.k = 3;
+  auto result = MonoAttributeBin(maximal, values, options);
+  ASSERT_TRUE(result.ok());
+  for (NodeId member : result->minimal.nodes()) {
+    const size_t count = *NumTuple(tree, member, values);
+    if (count > 0) EXPECT_GE(count, options.k);
+    if (!tree.IsLeaf(member)) {
+      bool all_children_satisfy = true;
+      for (NodeId child : tree.Children(member)) {
+        if (*NumTuple(tree, child, values) < options.k) {
+          all_children_satisfy = false;
+        }
+      }
+      EXPECT_FALSE(all_children_satisfy)
+          << tree.node(member).label << " is not minimal";
+    }
+  }
+}
+
+TEST(MonoBinTest, RejectsZeroK) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  MonoBinningOptions options;
+  options.k = 0;
+  EXPECT_FALSE(MonoAttributeBin(maximal, {}, options).ok());
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,161 @@
+#include "binning/upward_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "datagen/medical_data.h"
+
+namespace privmark {
+namespace {
+
+DomainHierarchy RoleTree() {
+  return HierarchyBuilder::FromOutline("role", R"(Person
+  Medical Practitioner
+    GP
+    Specialist
+  Paramedic
+    Pharmacist
+    Nurse
+    Consultant)").ValueOrDie();
+}
+
+std::vector<Value> Repeat(
+    const std::vector<std::pair<std::string, int>>& label_counts) {
+  std::vector<Value> out;
+  for (const auto& [label, count] : label_counts) {
+    for (int i = 0; i < count; ++i) out.push_back(Value::String(label));
+  }
+  return out;
+}
+
+TEST(UpwardBaselineTest, KeepsRichLeaves) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  auto result = UpwardAttributeBin(
+      maximal,
+      Repeat({{"GP", 5}, {"Specialist", 5}, {"Pharmacist", 5},
+              {"Nurse", 5}, {"Consultant", 5}}),
+      3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->minimal.size(), 5u);
+}
+
+TEST(UpwardBaselineTest, MergesViolatorsUpward) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  auto result = UpwardAttributeBin(
+      maximal,
+      Repeat({{"GP", 5}, {"Specialist", 5}, {"Pharmacist", 1},
+              {"Nurse", 5}, {"Consultant", 5}}),
+      3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->minimal.Contains(*tree.FindByLabel("Paramedic")));
+  EXPECT_TRUE(result->minimal.Contains(*tree.FindByLabel("GP")));
+}
+
+TEST(UpwardBaselineTest, UnbinnableDetected) {
+  DomainHierarchy tree = RoleTree();
+  auto maximal = GeneralizationSet::Create(
+                     &tree, {*tree.FindByLabel("Medical Practitioner"),
+                             *tree.FindByLabel("Paramedic")})
+                     .ValueOrDie();
+  auto result =
+      UpwardAttributeBin(maximal, Repeat({{"GP", 5}, {"Nurse", 2}}), 4);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnbinnable);
+}
+
+TEST(UpwardBaselineTest, EmptyRegionKeepsMaximalNode) {
+  DomainHierarchy tree = RoleTree();
+  auto maximal = GeneralizationSet::Create(
+                     &tree, {*tree.FindByLabel("Medical Practitioner"),
+                             *tree.FindByLabel("Paramedic")})
+                     .ValueOrDie();
+  auto result = UpwardAttributeBin(
+      maximal, Repeat({{"GP", 3}, {"Specialist", 3}}), 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->minimal.Contains(*tree.FindByLabel("Paramedic")));
+}
+
+TEST(UpwardBaselineTest, AgreesWithDownwardOnHandCases) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  const std::vector<std::vector<std::pair<std::string, int>>> cases = {
+      {{"GP", 5}, {"Specialist", 5}, {"Pharmacist", 5}, {"Nurse", 5},
+       {"Consultant", 5}},
+      {{"GP", 5}, {"Specialist", 1}, {"Nurse", 9}},
+      {{"GP", 2}, {"Specialist", 2}, {"Pharmacist", 2}, {"Nurse", 2},
+       {"Consultant", 2}},
+      {{"Consultant", 50}},
+  };
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const std::vector<Value> values = Repeat(cases[i]);
+    for (size_t k : {2, 3, 10}) {
+      MonoBinningOptions options;
+      options.k = k;
+      auto down = MonoAttributeBin(maximal, values, options);
+      auto up = UpwardAttributeBin(maximal, values, k);
+      ASSERT_EQ(down.ok(), up.ok()) << "case " << i << " k " << k;
+      if (!down.ok()) continue;
+      EXPECT_EQ(down->minimal.nodes(), up->minimal.nodes())
+          << "case " << i << " k " << k;
+    }
+  }
+}
+
+TEST(UpwardBaselineTest, AgreesWithDownwardOnMedicalOntologies) {
+  // Property check across the real ontologies and several k.
+  MedicalDataSpec spec;
+  spec.num_rows = 1500;
+  spec.seed = 13;
+  auto ds = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  const auto qi = ds.table.schema().QuasiIdentifyingColumns();
+  const auto trees = ds.trees();
+  for (size_t c = 0; c < qi.size(); ++c) {
+    const GeneralizationSet maximal = GeneralizationSet::RootOnly(trees[c]);
+    const std::vector<Value> values = ds.table.ColumnValues(qi[c]);
+    for (size_t k : {2, 8, 40}) {
+      MonoBinningOptions options;
+      options.k = k;
+      auto down = MonoAttributeBin(maximal, values, options);
+      auto up = UpwardAttributeBin(maximal, values, k);
+      ASSERT_TRUE(down.ok()) << c << " " << k;
+      ASSERT_TRUE(up.ok()) << c << " " << k;
+      EXPECT_EQ(down->minimal.nodes(), up->minimal.nodes())
+          << "column " << c << " k " << k;
+      EXPECT_GT(down->nodes_inspected, 0u);
+      EXPECT_GT(up->nodes_inspected, 0u);
+    }
+  }
+}
+
+TEST(UpwardBaselineTest, DownwardInspectsFewerNodesAtLargeK) {
+  // The paper's efficiency claim: starting from the maximal nodes pays off
+  // when the answer lies near them, i.e. at large k.
+  MedicalDataSpec spec;
+  spec.num_rows = 2000;
+  spec.seed = 5;
+  auto ds = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  const size_t symptom = *ds.table.schema().ColumnIndex("symptom");
+  const GeneralizationSet maximal =
+      GeneralizationSet::RootOnly(ds.symptom.get());
+  const std::vector<Value> values = ds.table.ColumnValues(symptom);
+  // k large enough that the answer sits just below the maximal node.
+  MonoBinningOptions options;
+  options.k = 800;
+  auto down = MonoAttributeBin(maximal, values, options);
+  auto up = UpwardAttributeBin(maximal, values, 800);
+  ASSERT_TRUE(down.ok());
+  ASSERT_TRUE(up.ok());
+  EXPECT_LT(down->nodes_inspected, up->nodes_inspected);
+}
+
+TEST(UpwardBaselineTest, RejectsZeroK) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet maximal = GeneralizationSet::RootOnly(&tree);
+  EXPECT_FALSE(UpwardAttributeBin(maximal, {}, 0).ok());
+}
+
+}  // namespace
+}  // namespace privmark

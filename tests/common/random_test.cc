@@ -1,0 +1,158 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace privmark {
+namespace {
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversAllResidues) {
+  Random rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RandomTest, UniformIsApproximatelyUniform) {
+  Random rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.10);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversInclusiveRange) {
+  Random rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRateRoughlyMatchesP) {
+  Random rng(17);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(RandomTest, WeightedIndexRespectsWeights) {
+  Random rng(21);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RandomTest, PermutationIsAPermutation) {
+  Random rng(13);
+  const std::vector<size_t> perm = rng.Permutation(100);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RandomTest, SampleWithoutReplacementSortedUnique) {
+  Random rng(31);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(1000, 50);
+  EXPECT_EQ(sample.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  const std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+  EXPECT_LT(sample.back(), 1000u);
+}
+
+TEST(RandomTest, SampleAllIsIdentitySet) {
+  Random rng(31);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(sample, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RandomTest, DigitStringFormat) {
+  Random rng(41);
+  const std::string s = rng.DigitString(9);
+  EXPECT_EQ(s.size(), 9u);
+  for (char c : s) {
+    EXPECT_GE(c, '0');
+    EXPECT_LE(c, '9');
+  }
+}
+
+TEST(ZipfSamplerTest, UniformWhenSkewZero) {
+  Random rng(51);
+  ZipfSampler zipf(4, 0.0);
+  int counts[4] = {0};
+  for (int i = 0; i < 40000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(ZipfSamplerTest, SkewFavorsLowRanks) {
+  Random rng(61);
+  ZipfSampler zipf(10, 1.2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(ZipfSamplerTest, SingleRank) {
+  Random rng(71);
+  ZipfSampler zipf(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,53 @@
+#include "common/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace privmark {
+namespace {
+
+TEST(TextTableTest, AlignedColumnsPadToWidest) {
+  TextTable t;
+  t.SetHeader({"k", "loss"});
+  t.AddRow({"10", "0.1"});
+  t.AddRow({"350", "0.85"});
+  const std::string out = t.ToAligned();
+  EXPECT_NE(out.find("k    loss"), std::string::npos);
+  EXPECT_NE(out.find("10   0.1"), std::string::npos);
+  EXPECT_NE(out.find("350  0.85"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvRendering) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTableTest, NoHeaderWorks) {
+  TextTable t;
+  t.AddRow({"x", "y"});
+  EXPECT_EQ(t.ToCsv(), "x,y\n");
+  EXPECT_EQ(t.ToAligned(), "x  y\n");
+}
+
+TEST(TextTableTest, RowCountTracksAdds) {
+  TextTable t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, RaggedRowsDoNotCrash) {
+  TextTable t;
+  t.AddRow({"a", "b", "c"});
+  t.AddRow({"longer"});
+  const std::string out = t.ToAligned();
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,116 @@
+#include "crypto/aes128.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/strings.h"
+
+namespace privmark {
+namespace {
+
+// FIPS-197 Appendix C.1 vector.
+TEST(Aes128Test, Fips197KnownAnswer) {
+  std::array<uint8_t, 16> key = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                                 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                                 0x0e, 0x0f};
+  uint8_t block[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                       0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  Aes128 cipher(key);
+  cipher.EncryptBlock(block);
+  const std::vector<uint8_t> got(block, block + 16);
+  EXPECT_EQ(HexEncode(got), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128Test, DecryptInvertsEncrypt) {
+  std::array<uint8_t, 16> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                                 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                                 0x4f, 0x3c};
+  Aes128 cipher(key);
+  uint8_t block[16];
+  for (int i = 0; i < 16; ++i) block[i] = static_cast<uint8_t>(i * 17);
+  uint8_t original[16];
+  std::memcpy(original, block, 16);
+  cipher.EncryptBlock(block);
+  EXPECT_NE(std::memcmp(block, original, 16), 0);
+  cipher.DecryptBlock(block);
+  EXPECT_EQ(std::memcmp(block, original, 16), 0);
+}
+
+TEST(Aes128Test, ValueRoundTrip) {
+  const Aes128 cipher = Aes128::FromPassphrase("hospital-secret");
+  for (const std::string value :
+       {std::string(""), std::string("123456789"), std::string("short"),
+        std::string("a-longer-identifier-spanning-multiple-aes-blocks-xyz"),
+        std::string(255, 'z')}) {
+    auto encrypted = cipher.EncryptValue(value);
+    ASSERT_TRUE(encrypted.ok()) << value.size();
+    auto decrypted = cipher.DecryptValue(*encrypted);
+    ASSERT_TRUE(decrypted.ok());
+    EXPECT_EQ(*decrypted, value);
+  }
+}
+
+TEST(Aes128Test, EncryptValueRejectsOverlong) {
+  const Aes128 cipher = Aes128::FromPassphrase("p");
+  EXPECT_FALSE(cipher.EncryptValue(std::string(256, 'a')).ok());
+}
+
+TEST(Aes128Test, EncryptionIsDeterministicAndInjective) {
+  const Aes128 cipher = Aes128::FromPassphrase("p");
+  std::set<std::string> ciphertexts;
+  for (int i = 0; i < 500; ++i) {
+    const std::string ssn = std::to_string(100000000 + i * 7);
+    auto a = cipher.EncryptValue(ssn);
+    auto b = cipher.EncryptValue(ssn);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(*a, *b);  // deterministic: one-to-one replacement (Fig. 8)
+    ciphertexts.insert(*a);
+  }
+  EXPECT_EQ(ciphertexts.size(), 500u);  // injective
+}
+
+TEST(Aes128Test, SamePlaintextDifferentKeyDiffers) {
+  const Aes128 a = Aes128::FromPassphrase("alpha");
+  const Aes128 b = Aes128::FromPassphrase("beta");
+  EXPECT_NE(*a.EncryptValue("123456789"), *b.EncryptValue("123456789"));
+}
+
+TEST(Aes128Test, WrongKeyDecryptionFailsOrGarbles) {
+  const Aes128 owner = Aes128::FromPassphrase("owner");
+  const Aes128 thief = Aes128::FromPassphrase("thief");
+  auto encrypted = owner.EncryptValue("987654321");
+  ASSERT_TRUE(encrypted.ok());
+  auto decrypted = thief.DecryptValue(*encrypted);
+  if (decrypted.ok()) {
+    EXPECT_NE(*decrypted, "987654321");
+  } else {
+    EXPECT_EQ(decrypted.status().code(), StatusCode::kVerificationFailed);
+  }
+}
+
+TEST(Aes128Test, DecryptValueRejectsMalformedInput) {
+  const Aes128 cipher = Aes128::FromPassphrase("p");
+  EXPECT_FALSE(cipher.DecryptValue("").ok());
+  EXPECT_FALSE(cipher.DecryptValue("abcd").ok());     // not a block multiple
+  EXPECT_FALSE(cipher.DecryptValue("zz").ok());       // not hex
+}
+
+TEST(Aes128Test, DistinctValuesNeverCollide) {
+  // Values of different lengths sharing prefixes must stay distinct: the
+  // length header guarantees injectivity.
+  const Aes128 cipher = Aes128::FromPassphrase("p");
+  const std::string a = *cipher.EncryptValue("1234");
+  const std::string b = *cipher.EncryptValue("12340");
+  EXPECT_NE(a, b);
+}
+
+TEST(Aes128Test, PassphraseDerivationIsDeterministic) {
+  const Aes128 a = Aes128::FromPassphrase("same");
+  const Aes128 b = Aes128::FromPassphrase("same");
+  EXPECT_EQ(*a.EncryptValue("v"), *b.EncryptValue("v"));
+}
+
+}  // namespace
+}  // namespace privmark

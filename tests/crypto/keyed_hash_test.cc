@@ -1,0 +1,83 @@
+#include "crypto/keyed_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace privmark {
+namespace {
+
+TEST(KeyedHashTest, Deterministic) {
+  EXPECT_EQ(KeyedHash64(HashAlgorithm::kSha1, "k", "m"),
+            KeyedHash64(HashAlgorithm::kSha1, "k", "m"));
+  EXPECT_EQ(KeyedHash64(HashAlgorithm::kMd5, "k", "m"),
+            KeyedHash64(HashAlgorithm::kMd5, "k", "m"));
+}
+
+TEST(KeyedHashTest, KeySeparation) {
+  EXPECT_NE(KeyedHash64(HashAlgorithm::kSha1, "k1", "m"),
+            KeyedHash64(HashAlgorithm::kSha1, "k2", "m"));
+}
+
+TEST(KeyedHashTest, MessageSeparation) {
+  EXPECT_NE(KeyedHash64(HashAlgorithm::kSha1, "k", "m1"),
+            KeyedHash64(HashAlgorithm::kSha1, "k", "m2"));
+}
+
+TEST(KeyedHashTest, BoundarySeparator) {
+  // ("ab", "c") and ("a", "bc") must hash differently thanks to the \0
+  // separator between key and message.
+  EXPECT_NE(KeyedHash64(HashAlgorithm::kSha1, "ab", "c"),
+            KeyedHash64(HashAlgorithm::kSha1, "a", "bc"));
+}
+
+TEST(KeyedHashTest, AlgorithmsDiffer) {
+  EXPECT_NE(KeyedHash64(HashAlgorithm::kSha1, "k", "m"),
+            KeyedHash64(HashAlgorithm::kMd5, "k", "m"));
+}
+
+TEST(KeyedHashTest, DigestSizesMatchAlgorithm) {
+  EXPECT_EQ(KeyedDigest(HashAlgorithm::kSha1, "k", "m").size(), 20u);
+  EXPECT_EQ(KeyedDigest(HashAlgorithm::kMd5, "k", "m").size(), 16u);
+}
+
+TEST(KeyedHashTest, Hash64UsesLeadingDigestBytes) {
+  const auto digest = KeyedDigest(HashAlgorithm::kSha1, "k", "m");
+  uint64_t expected = 0;
+  for (int i = 0; i < 8; ++i) expected = (expected << 8) | digest[i];
+  EXPECT_EQ(KeyedHash64(HashAlgorithm::kSha1, "k", "m"), expected);
+}
+
+TEST(KeyedHashTest, ModuloSelectionRateApproximatesOneOverEta) {
+  // Eq. (5)'s selection rate over many identifiers should be ~1/eta.
+  constexpr uint64_t kEta = 50;
+  size_t selected = 0;
+  constexpr size_t kIdents = 20000;
+  for (size_t i = 0; i < kIdents; ++i) {
+    const std::string ident = "ident-" + std::to_string(i);
+    if (KeyedHash64(HashAlgorithm::kSha1, "secret", ident) % kEta == 0) {
+      ++selected;
+    }
+  }
+  const double rate = static_cast<double>(selected) / kIdents;
+  EXPECT_NEAR(rate, 1.0 / kEta, 0.006);
+}
+
+TEST(KeyedHashTest, OutputsSpreadAcrossRange) {
+  // Sanity check against gross bias: bucket the top byte.
+  std::set<uint8_t> top_bytes;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t h =
+        KeyedHash64(HashAlgorithm::kSha1, "k", "msg" + std::to_string(i));
+    top_bytes.insert(static_cast<uint8_t>(h >> 56));
+  }
+  EXPECT_GT(top_bytes.size(), 200u);
+}
+
+TEST(HashAlgorithmTest, Names) {
+  EXPECT_STREQ(HashAlgorithmToString(HashAlgorithm::kSha1), "SHA1");
+  EXPECT_STREQ(HashAlgorithmToString(HashAlgorithm::kMd5), "MD5");
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,69 @@
+#include "crypto/md5.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace privmark {
+namespace {
+
+std::string HashHex(const std::string& input) {
+  return HexEncode(Md5::Hash(input));
+}
+
+// RFC 1321 Appendix A.5 test suite.
+TEST(Md5Test, EmptyString) {
+  EXPECT_EQ(HashHex(""), "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(Md5Test, A) {
+  EXPECT_EQ(HashHex("a"), "0cc175b9c0f1b6a831c399e269772661");
+}
+
+TEST(Md5Test, Abc) {
+  EXPECT_EQ(HashHex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, MessageDigest) {
+  EXPECT_EQ(HashHex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(Md5Test, Alphabet) {
+  EXPECT_EQ(HashHex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Md5Test, AlphaNumeric) {
+  EXPECT_EQ(
+      HashHex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(Md5Test, RepeatedDigits) {
+  EXPECT_EQ(HashHex("1234567890123456789012345678901234567890123456789012345678"
+                    "9012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalEqualsOneShot) {
+  Md5 hasher;
+  hasher.Update("message ");
+  hasher.Update("digest");
+  EXPECT_EQ(HexEncode(hasher.Finish()), "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(Md5Test, ResetRestoresInitialState) {
+  Md5 hasher;
+  hasher.Update("junk");
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(HexEncode(hasher.Finish()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5Test, DigestSizeIsSixteenBytes) {
+  EXPECT_EQ(Md5::Hash("x").size(), Md5::kDigestSize);
+  EXPECT_EQ(Md5::kDigestSize, 16u);
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,81 @@
+#include "crypto/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace privmark {
+namespace {
+
+std::string HashHex(const std::string& input) {
+  return HexEncode(Sha1::Hash(input));
+}
+
+// FIPS 180-1 / RFC 3174 test vectors.
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(HashHex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(HashHex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(HexEncode(hasher.Finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalEqualsOneShot) {
+  Sha1 hasher;
+  hasher.Update("hello ");
+  hasher.Update("world");
+  EXPECT_EQ(hasher.Finish(), Sha1::Hash("hello world"));
+}
+
+TEST(Sha1Test, ByteBoundarySplitDoesNotMatter) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, until the "
+      "block boundary at 64 bytes has certainly been crossed.";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 hasher;
+    hasher.Update(msg.substr(0, split));
+    hasher.Update(msg.substr(split));
+    EXPECT_EQ(hasher.Finish(), Sha1::Hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha1Test, ResetRestoresInitialState) {
+  Sha1 hasher;
+  hasher.Update("garbage");
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(HexEncode(hasher.Finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, DigestSizeIsTwentyBytes) {
+  EXPECT_EQ(Sha1::Hash("x").size(), Sha1::kDigestSize);
+  EXPECT_EQ(Sha1::kDigestSize, 20u);
+}
+
+TEST(Sha1Test, ExactBlockLengthMessage) {
+  // 64-byte message exercises the padding-into-new-block path.
+  const std::string msg(64, 'q');
+  Sha1 a;
+  a.Update(msg);
+  const auto digest = a.Finish();
+  EXPECT_EQ(digest.size(), 20u);
+  // Deterministic.
+  EXPECT_EQ(digest, Sha1::Hash(msg));
+}
+
+}  // namespace
+}  // namespace privmark

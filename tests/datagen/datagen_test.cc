@@ -1,0 +1,181 @@
+#include "datagen/medical_data.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace privmark {
+namespace {
+
+TEST(OntologyTest, AgeTreeShape) {
+  auto tree = BuildAgeHierarchy().ValueOrDie();
+  EXPECT_TRUE(tree.is_numeric());
+  EXPECT_EQ(tree.Leaves().size(), 30u);  // [0,150) in width-5 strips
+  EXPECT_EQ(tree.node(tree.root()).label, "[0,150)");
+  // Every age in-domain maps to a leaf.
+  for (int age = 0; age < 150; age += 7) {
+    EXPECT_TRUE(tree.LeafForValue(Value::Int64(age)).ok()) << age;
+  }
+  EXPECT_FALSE(tree.LeafForValue(Value::Int64(150)).ok());
+}
+
+TEST(OntologyTest, ZipTreeShape) {
+  auto tree = BuildZipHierarchy().ValueOrDie();
+  EXPECT_EQ(tree.Leaves().size(), 96u);  // matches Fig. 14's zip bin count
+  // 8 regions at depth 1, 3 districts each.
+  EXPECT_EQ(tree.Children(tree.root()).size(), 8u);
+  for (NodeId region : tree.Children(tree.root())) {
+    EXPECT_EQ(tree.Children(region).size(), 3u);
+    for (NodeId district : tree.Children(region)) {
+      EXPECT_EQ(tree.Children(district).size(), 4u);
+    }
+  }
+  // Leaves are 5-digit codes consistent with their district prefix.
+  for (NodeId leaf : tree.Leaves()) {
+    const std::string& label = tree.node(leaf).label;
+    EXPECT_EQ(label.size(), 5u);
+    const std::string& district = tree.node(tree.Parent(leaf)).label;
+    EXPECT_EQ(label.substr(0, 3), district.substr(0, 3));
+  }
+}
+
+TEST(OntologyTest, DoctorTreeHasTwentyPractitioners) {
+  auto tree = BuildDoctorHierarchy().ValueOrDie();
+  EXPECT_EQ(tree.Leaves().size(), 20u);  // Fig. 14: 20 doctor bins
+  EXPECT_EQ(tree.node(tree.root()).label, "Person");
+  EXPECT_TRUE(tree.FindByLabel("Paramedic").ok());
+  EXPECT_TRUE(tree.FindByLabel("Medical Practitioner").ok());
+}
+
+TEST(OntologyTest, SymptomTreeIcd9Shape) {
+  auto tree = BuildSymptomHierarchy().ValueOrDie();
+  EXPECT_GE(tree.Leaves().size(), 80u);
+  EXPECT_LE(tree.Leaves().size(), 120u);
+  EXPECT_EQ(tree.Children(tree.root()).size(), 8u);  // chapters
+  // Conditions are exactly three levels down: chapter -> block -> leaf.
+  for (NodeId leaf : tree.Leaves()) {
+    EXPECT_EQ(tree.Depth(leaf), 3) << tree.node(leaf).label;
+  }
+}
+
+TEST(OntologyTest, PrescriptionTreeShape) {
+  auto tree = BuildPrescriptionHierarchy().ValueOrDie();
+  EXPECT_GE(tree.Leaves().size(), 80u);
+  EXPECT_LE(tree.Leaves().size(), 120u);
+  EXPECT_EQ(tree.Children(tree.root()).size(), 8u);  // drug classes
+}
+
+TEST(MedicalSchemaTest, MatchesPaperSchema) {
+  const Schema schema = MedicalSchema();
+  ASSERT_EQ(schema.num_columns(), 6u);
+  EXPECT_EQ(schema.column(0).name, "ssn");
+  EXPECT_EQ(schema.column(0).role, ColumnRole::kIdentifying);
+  EXPECT_EQ(schema.column(1).name, "age");
+  EXPECT_EQ(schema.column(1).role, ColumnRole::kQuasiNumeric);
+  EXPECT_EQ(schema.QuasiIdentifyingColumns().size(), 5u);
+  EXPECT_EQ(*schema.IdentifyingColumn(), 0u);
+}
+
+TEST(GeneratorTest, ProducesRequestedRows) {
+  MedicalDataSpec spec;
+  spec.num_rows = 500;
+  auto ds = GenerateMedicalDataset(spec);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->table.num_rows(), 500u);
+  EXPECT_EQ(ds->table.num_columns(), 6u);
+}
+
+TEST(GeneratorTest, SsnsAreUniqueNineDigitStrings) {
+  MedicalDataSpec spec;
+  spec.num_rows = 800;
+  auto ds = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  std::set<std::string> ssns;
+  for (size_t r = 0; r < ds.table.num_rows(); ++r) {
+    const std::string ssn = ds.table.at(r, 0).ToString();
+    EXPECT_EQ(ssn.size(), 9u);
+    for (char c : ssn) EXPECT_TRUE(c >= '0' && c <= '9');
+    ssns.insert(ssn);
+  }
+  EXPECT_EQ(ssns.size(), 800u);
+}
+
+TEST(GeneratorTest, AllValuesLieInTheirDomains) {
+  MedicalDataSpec spec;
+  spec.num_rows = 400;
+  auto ds = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  const auto trees = ds.trees();
+  const auto qi = ds.table.schema().QuasiIdentifyingColumns();
+  ASSERT_EQ(qi.size(), trees.size());
+  for (size_t r = 0; r < ds.table.num_rows(); ++r) {
+    for (size_t c = 0; c < qi.size(); ++c) {
+      EXPECT_TRUE(trees[c]->LeafForValue(ds.table.at(r, qi[c])).ok())
+          << "row " << r << " column " << qi[c];
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicForEqualSeeds) {
+  MedicalDataSpec spec;
+  spec.num_rows = 200;
+  spec.seed = 4242;
+  auto a = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  auto b = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  ASSERT_EQ(a.table.num_rows(), b.table.num_rows());
+  for (size_t r = 0; r < a.table.num_rows(); ++r) {
+    for (size_t c = 0; c < a.table.num_columns(); ++c) {
+      EXPECT_EQ(a.table.at(r, c), b.table.at(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  MedicalDataSpec a_spec;
+  a_spec.num_rows = 200;
+  a_spec.seed = 1;
+  MedicalDataSpec b_spec = a_spec;
+  b_spec.seed = 2;
+  auto a = std::move(GenerateMedicalDataset(a_spec)).ValueOrDie();
+  auto b = std::move(GenerateMedicalDataset(b_spec)).ValueOrDie();
+  int differing = 0;
+  for (size_t r = 0; r < 200; ++r) {
+    if (a.table.at(r, 0) != b.table.at(r, 0)) ++differing;
+  }
+  EXPECT_GT(differing, 150);
+}
+
+TEST(GeneratorTest, ValueFrequenciesAreSkewed) {
+  // Zipf skew: the most common symptom should dominate the median one.
+  MedicalDataSpec spec;
+  spec.num_rows = 5000;
+  auto ds = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  const size_t symptom_col = *ds.table.schema().ColumnIndex("symptom");
+  std::map<std::string, size_t> counts;
+  for (size_t r = 0; r < ds.table.num_rows(); ++r) {
+    ++counts[ds.table.at(r, symptom_col).ToString()];
+  }
+  std::vector<size_t> sorted;
+  for (const auto& [label, n] : counts) sorted.push_back(n);
+  std::sort(sorted.rbegin(), sorted.rend());
+  ASSERT_GT(sorted.size(), 10u);
+  EXPECT_GT(sorted[0], 3 * sorted[sorted.size() / 2]);
+}
+
+TEST(GeneratorTest, AgeDistributionIsMultimodalAdultHeavy) {
+  MedicalDataSpec spec;
+  spec.num_rows = 5000;
+  auto ds = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  const size_t age_col = *ds.table.schema().ColumnIndex("age");
+  size_t adults = 0;
+  for (size_t r = 0; r < ds.table.num_rows(); ++r) {
+    const int64_t age = ds.table.at(r, age_col).AsInt64();
+    EXPECT_GE(age, 0);
+    EXPECT_LT(age, 150);
+    if (age >= 18 && age < 65) ++adults;
+  }
+  EXPECT_GT(adults, ds.table.num_rows() / 2);
+}
+
+}  // namespace
+}  // namespace privmark

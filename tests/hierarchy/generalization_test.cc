@@ -1,0 +1,246 @@
+#include "hierarchy/generalization.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace privmark {
+namespace {
+
+// The paper's Fig. 6 tree: maximal generalization nodes {20, 21, 22},
+// minimal generalization nodes {30, 31, 45, 46, 33, 22}.
+//
+//            root
+//        /    |    \
+//      20    21    22
+//     /  \  /  \
+//    30 31 32  33
+//          / \
+//        45   46
+DomainHierarchy Fig6Tree() {
+  return HierarchyBuilder::FromOutline("fig6", R"(root
+  20
+    30
+    31
+  21
+    32
+      45
+      46
+    33
+  22)").ValueOrDie();
+}
+
+std::vector<NodeId> Ids(const DomainHierarchy& tree,
+                        const std::vector<std::string>& labels) {
+  std::vector<NodeId> ids;
+  for (const auto& label : labels) ids.push_back(*tree.FindByLabel(label));
+  return ids;
+}
+
+TEST(GeneralizationSetTest, ValidCoverAccepted) {
+  DomainHierarchy tree = Fig6Tree();
+  EXPECT_TRUE(GeneralizationSet::Create(&tree, Ids(tree, {"20", "21", "22"}))
+                  .ok());
+  EXPECT_TRUE(GeneralizationSet::Create(
+                  &tree, Ids(tree, {"30", "31", "45", "46", "33", "22"}))
+                  .ok());
+  EXPECT_TRUE(GeneralizationSet::Create(&tree, {tree.root()}).ok());
+}
+
+TEST(GeneralizationSetTest, MixedLevelsAreValid) {
+  // The broader notion of generalization: nodes need not share a level.
+  DomainHierarchy tree = Fig6Tree();
+  EXPECT_TRUE(
+      GeneralizationSet::Create(&tree, Ids(tree, {"20", "32", "33", "22"}))
+          .ok());
+}
+
+TEST(GeneralizationSetTest, UncoveredLeafRejected) {
+  DomainHierarchy tree = Fig6Tree();
+  // Missing the subtree of 22.
+  auto r = GeneralizationSet::Create(&tree, Ids(tree, {"20", "21"}));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GeneralizationSetTest, DoubleCoverRejected) {
+  DomainHierarchy tree = Fig6Tree();
+  // 21 covers 45 already; adding 45 double-covers it.
+  auto r = GeneralizationSet::Create(&tree,
+                                     Ids(tree, {"20", "21", "22", "45"}));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GeneralizationSetTest, DuplicateNodeRejected) {
+  DomainHierarchy tree = Fig6Tree();
+  auto r = GeneralizationSet::Create(&tree,
+                                     Ids(tree, {"20", "20", "21", "22"}));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GeneralizationSetTest, OutOfRangeNodeRejected) {
+  DomainHierarchy tree = Fig6Tree();
+  auto r = GeneralizationSet::Create(&tree, {999});
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GeneralizationSetTest, AllLeavesAndRootOnly) {
+  DomainHierarchy tree = Fig6Tree();
+  const GeneralizationSet leaves = GeneralizationSet::AllLeaves(&tree);
+  EXPECT_EQ(leaves.size(), tree.Leaves().size());
+  EXPECT_DOUBLE_EQ(leaves.SpecificityLoss(), 0.0);
+  const GeneralizationSet root = GeneralizationSet::RootOnly(&tree);
+  EXPECT_EQ(root.size(), 1u);
+}
+
+TEST(GeneralizationSetTest, NodeForLeafAndContains) {
+  DomainHierarchy tree = Fig6Tree();
+  auto gs =
+      GeneralizationSet::Create(&tree, Ids(tree, {"20", "32", "33", "22"}))
+          .ValueOrDie();
+  EXPECT_TRUE(gs.Contains(*tree.FindByLabel("32")));
+  EXPECT_FALSE(gs.Contains(*tree.FindByLabel("45")));
+  EXPECT_EQ(*gs.NodeForLeaf(*tree.FindByLabel("45")),
+            *tree.FindByLabel("32"));
+  EXPECT_EQ(*gs.NodeForLeaf(*tree.FindByLabel("30")),
+            *tree.FindByLabel("20"));
+  EXPECT_EQ(*gs.NodeForLeaf(*tree.FindByLabel("22")),
+            *tree.FindByLabel("22"));
+}
+
+TEST(GeneralizationSetTest, GeneralizeValue) {
+  DomainHierarchy tree = Fig6Tree();
+  auto gs = GeneralizationSet::Create(&tree, Ids(tree, {"20", "21", "22"}))
+                .ValueOrDie();
+  auto v = gs.Generalize(Value::String("45"));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "21");
+}
+
+TEST(GeneralizationSetTest, NodeForLabelChecksMembership) {
+  DomainHierarchy tree = Fig6Tree();
+  auto gs = GeneralizationSet::Create(&tree, Ids(tree, {"20", "21", "22"}))
+                .ValueOrDie();
+  EXPECT_TRUE(gs.NodeForLabel("21").ok());
+  EXPECT_EQ(gs.NodeForLabel("32").status().code(), StatusCode::kKeyError);
+  EXPECT_EQ(gs.NodeForLabel("no-such").status().code(), StatusCode::kKeyError);
+}
+
+TEST(GeneralizationSetTest, RefinementOrder) {
+  DomainHierarchy tree = Fig6Tree();
+  auto minimal = GeneralizationSet::Create(
+                     &tree, Ids(tree, {"30", "31", "45", "46", "33", "22"}))
+                     .ValueOrDie();
+  auto middle =
+      GeneralizationSet::Create(&tree, Ids(tree, {"20", "32", "33", "22"}))
+          .ValueOrDie();
+  auto maximal = GeneralizationSet::Create(&tree, Ids(tree, {"20", "21", "22"}))
+                     .ValueOrDie();
+  EXPECT_TRUE(minimal.IsRefinementOf(middle));
+  EXPECT_TRUE(minimal.IsRefinementOf(maximal));
+  EXPECT_TRUE(middle.IsRefinementOf(maximal));
+  EXPECT_FALSE(maximal.IsRefinementOf(minimal));
+  EXPECT_FALSE(middle.IsRefinementOf(minimal));
+  EXPECT_TRUE(minimal.IsRefinementOf(minimal));
+}
+
+TEST(GeneralizationSetTest, SpecificityLossFormula) {
+  DomainHierarchy tree = Fig6Tree();
+  // N = 6 leaves; Ng = 3 -> (6-3)/6 = 0.5 (Sec. 4.2.2).
+  auto gs = GeneralizationSet::Create(&tree, Ids(tree, {"20", "21", "22"}))
+                .ValueOrDie();
+  EXPECT_DOUBLE_EQ(gs.SpecificityLoss(), 0.5);
+}
+
+TEST(CutAtDepthTest, DepthOneCut) {
+  DomainHierarchy tree = Fig6Tree();
+  const GeneralizationSet cut = CutAtDepth(&tree, 1);
+  std::set<std::string> labels;
+  for (NodeId id : cut.nodes()) labels.insert(tree.node(id).label);
+  EXPECT_EQ(labels, (std::set<std::string>{"20", "21", "22"}));
+}
+
+TEST(CutAtDepthTest, DeepCutKeepsShallowLeaves) {
+  DomainHierarchy tree = Fig6Tree();
+  const GeneralizationSet cut = CutAtDepth(&tree, 2);
+  std::set<std::string> labels;
+  for (NodeId id : cut.nodes()) labels.insert(tree.node(id).label);
+  // 22 is a depth-1 leaf and must be kept; others cut at depth 2.
+  EXPECT_EQ(labels, (std::set<std::string>{"30", "31", "32", "33", "22"}));
+}
+
+TEST(CutAtDepthTest, DepthZeroIsRoot) {
+  DomainHierarchy tree = Fig6Tree();
+  EXPECT_EQ(CutAtDepth(&tree, 0).nodes(), std::vector<NodeId>{tree.root()});
+}
+
+TEST(EnumerateBetweenTest, ReproducesFig6Enumeration) {
+  DomainHierarchy tree = Fig6Tree();
+  auto minimal = GeneralizationSet::Create(
+                     &tree, Ids(tree, {"30", "31", "45", "46", "33", "22"}))
+                     .ValueOrDie();
+  auto maximal = GeneralizationSet::Create(&tree, Ids(tree, {"20", "21", "22"}))
+                     .ValueOrDie();
+  auto all = EnumerateBetween(minimal, maximal, 1000);
+  ASSERT_TRUE(all.ok());
+  // The paper enumerates exactly these six allowable generalizations.
+  const std::set<std::set<std::string>> expected = {
+      {"30", "31", "45", "46", "33", "22"},
+      {"30", "31", "32", "33", "22"},
+      {"30", "31", "21", "22"},
+      {"20", "45", "46", "33", "22"},
+      {"20", "32", "33", "22"},
+      {"20", "21", "22"}};
+  std::set<std::set<std::string>> got;
+  for (const auto& gs : *all) {
+    std::set<std::string> labels;
+    for (NodeId id : gs.nodes()) labels.insert(tree.node(id).label);
+    got.insert(std::move(labels));
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(EnumerateBetweenTest, TrivialWhenBoundsEqual) {
+  DomainHierarchy tree = Fig6Tree();
+  auto bound = GeneralizationSet::Create(&tree, Ids(tree, {"20", "21", "22"}))
+                   .ValueOrDie();
+  auto all = EnumerateBetween(bound, bound, 10);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1u);
+}
+
+TEST(EnumerateBetweenTest, CapEnforced) {
+  DomainHierarchy tree = Fig6Tree();
+  auto minimal = GeneralizationSet::AllLeaves(&tree);
+  auto maximal = GeneralizationSet::RootOnly(&tree);
+  auto all = EnumerateBetween(minimal, maximal, 2);
+  EXPECT_EQ(all.status().code(), StatusCode::kCapacityExceeded);
+}
+
+TEST(EnumerateBetweenTest, RejectsInvertedBounds) {
+  DomainHierarchy tree = Fig6Tree();
+  auto minimal = GeneralizationSet::AllLeaves(&tree);
+  auto maximal = GeneralizationSet::RootOnly(&tree);
+  auto all = EnumerateBetween(maximal, minimal, 100);
+  EXPECT_EQ(all.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EnumerateBetweenTest, EveryResultIsValidAndBounded) {
+  DomainHierarchy tree = Fig6Tree();
+  auto minimal = GeneralizationSet::AllLeaves(&tree);
+  auto maximal = GeneralizationSet::RootOnly(&tree);
+  auto all = EnumerateBetween(minimal, maximal, 100000).ValueOrDie();
+  EXPECT_GT(all.size(), 6u);
+  for (const auto& gs : all) {
+    EXPECT_TRUE(GeneralizationSet::ValidateCover(tree, gs.nodes()).ok());
+    EXPECT_TRUE(minimal.IsRefinementOf(gs));
+    EXPECT_TRUE(gs.IsRefinementOf(maximal));
+  }
+  // No duplicates.
+  std::set<std::vector<NodeId>> unique;
+  for (const auto& gs : all) unique.insert(gs.nodes());
+  EXPECT_EQ(unique.size(), all.size());
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,161 @@
+// Failure-injection suite: every component must reject malformed inputs
+// with a clean Status instead of crashing or silently mis-protecting.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "binning/binning_engine.h"
+#include "core/framework.h"
+#include "core/manifest.h"
+#include "datagen/medical_data.h"
+#include "relation/csv.h"
+#include "watermark/ownership.h"
+
+namespace privmark {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MedicalDataSpec spec;
+    spec.num_rows = 800;
+    spec.seed = 55;
+    dataset_ = std::make_unique<MedicalDataset>(
+        std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+  }
+  std::unique_ptr<MedicalDataset> dataset_;
+};
+
+TEST_F(FailureInjectionTest, SchemaWithoutIdentifierRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"age", ColumnRole::kQuasiNumeric,
+                                ValueType::kInt64}).ok());
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value::Int64(30)}).ok());
+  BinningAgent agent(UnconstrainedMetrics({dataset_->age.get()}),
+                     BinningConfig{});
+  EXPECT_EQ(agent.Run(t).status().code(), StatusCode::kKeyError);
+}
+
+TEST_F(FailureInjectionTest, OutOfDomainValueFailsBinningCleanly) {
+  Table t = dataset_->table.Clone();
+  t.Set(17, 1, Value::Int64(9999));  // age way outside [0,150)
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  BinningAgent agent(UnconstrainedMetrics(dataset_->trees()), config);
+  const Status status = agent.Run(t).status();
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(status.message().find("age"), std::string::npos);
+}
+
+TEST_F(FailureInjectionTest, UnknownCategoricalValueFailsBinningCleanly) {
+  Table t = dataset_->table.Clone();
+  t.Set(3, 3, Value::String("Dr. Nobody"));
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  BinningAgent agent(UnconstrainedMetrics(dataset_->trees()), config);
+  EXPECT_EQ(agent.Run(t).status().code(), StatusCode::kKeyError);
+}
+
+TEST_F(FailureInjectionTest, EmbedOnRawTableFailsCleanly) {
+  // Watermarking expects a *binned* table (labels from the ultimate
+  // generalization); feeding the raw table must error, not corrupt.
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  FrameworkConfig fw_config;
+  fw_config.binning = config;
+  auto metrics =
+      MetricsFromDepthCuts(dataset_->trees(), {2, 1, 2, 1, 1}).ValueOrDie();
+  ProtectionFramework framework(metrics, fw_config);
+  auto outcome = std::move(framework.Protect(dataset_->table)).ValueOrDie();
+  HierarchicalWatermarker wm = framework.MakeWatermarker(outcome.binning);
+  Table raw = dataset_->table.Clone();
+  const BitVector mark = BitVector::FromString("1010").ValueOrDie();
+  EXPECT_FALSE(wm.Embed(&raw, mark).ok());
+}
+
+TEST_F(FailureInjectionTest, DetectOnForeignTableYieldsNoVotesNotCrash) {
+  // Detection on a completely unrelated table (all labels unknown) must
+  // succeed structurally and report zero read slots.
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  FrameworkConfig fw_config;
+  fw_config.binning = config;
+  auto metrics =
+      MetricsFromDepthCuts(dataset_->trees(), {2, 1, 2, 1, 1}).ValueOrDie();
+  ProtectionFramework framework(metrics, fw_config);
+  auto outcome = std::move(framework.Protect(dataset_->table)).ValueOrDie();
+  HierarchicalWatermarker wm = framework.MakeWatermarker(outcome.binning);
+
+  Table foreign = outcome.watermarked.Clone();
+  for (size_t r = 0; r < foreign.num_rows(); ++r) {
+    for (size_t c : outcome.binning.qi_columns) {
+      foreign.Set(r, c, Value::String("junk-" + std::to_string(r % 7)));
+    }
+  }
+  auto detect = wm.Detect(foreign, 20, outcome.embed.wmd_size);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_EQ(detect->slots_read, 0u);
+  for (bool voted : detect->bit_voted) EXPECT_FALSE(voted);
+}
+
+TEST_F(FailureInjectionTest, CsvWithWrongSchemaRejected) {
+  const std::string csv = "colA,colB\n1,2\n";
+  EXPECT_FALSE(TableFromCsv(csv, MedicalSchema()).ok());
+}
+
+TEST_F(FailureInjectionTest, ManifestAgainstWrongTreesRejected) {
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  FrameworkConfig fw_config;
+  fw_config.binning = config;
+  auto metrics =
+      MetricsFromDepthCuts(dataset_->trees(), {2, 1, 2, 1, 1}).ValueOrDie();
+  ProtectionFramework framework(metrics, fw_config);
+  auto outcome = std::move(framework.Protect(dataset_->table)).ValueOrDie();
+  auto manifest = BuildManifest(outcome, metrics, fw_config).ValueOrDie();
+
+  // Swap two trees: labels will not resolve -> KeyError.
+  auto trees = dataset_->trees();
+  std::swap(trees[0], trees[1]);
+  EXPECT_FALSE(WatermarkerFromManifest(manifest, outcome.watermarked, trees,
+                                       fw_config.key, fw_config.watermark)
+                   .ok());
+}
+
+TEST_F(FailureInjectionTest, DisputeWithCorruptedIdentifiersRejectsClaim) {
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  config.encryption_passphrase = "fi-pass";
+  FrameworkConfig fw_config;
+  fw_config.binning = config;
+  auto metrics =
+      MetricsFromDepthCuts(dataset_->trees(), {2, 1, 2, 1, 1}).ValueOrDie();
+  ProtectionFramework framework(metrics, fw_config);
+  auto outcome = std::move(framework.Protect(dataset_->table)).ValueOrDie();
+
+  // Attacker re-encrypts/corrupts the whole identifying column.
+  Table corrupted = outcome.watermarked.Clone();
+  for (size_t r = 0; r < corrupted.num_rows(); ++r) {
+    corrupted.Set(r, 0, Value::String("feedfacefeedface"));
+  }
+  HierarchicalWatermarker wm = framework.MakeWatermarker(outcome.binning);
+  OwnershipConfig oc;
+  auto verdict = ResolveDispute(corrupted, wm,
+                                Aes128::FromPassphrase("fi-pass"),
+                                outcome.identifier_statistic,
+                                outcome.embed.wmd_size, oc);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_FALSE(verdict->statistic_consistent);
+  EXPECT_FALSE(verdict->ownership_established);
+}
+
+}  // namespace
+}  // namespace privmark

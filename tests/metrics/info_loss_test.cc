@@ -1,0 +1,182 @@
+#include "metrics/info_loss.h"
+
+#include <gtest/gtest.h>
+
+namespace privmark {
+namespace {
+
+// Fig. 1-style tree: Person -> {Medical Practitioner -> {GP, Specialist},
+// Paramedic -> {Pharmacist, Nurse, Consultant}}.
+DomainHierarchy RoleTree() {
+  return HierarchyBuilder::FromOutline("role", R"(Person
+  Medical Practitioner
+    GP
+    Specialist
+  Paramedic
+    Pharmacist
+    Nurse
+    Consultant)").ValueOrDie();
+}
+
+std::vector<Value> Strings(const std::vector<std::string>& values) {
+  std::vector<Value> out;
+  for (const auto& v : values) out.push_back(Value::String(v));
+  return out;
+}
+
+TEST(ColumnInfoLossTest, LeafGeneralizationHasZeroLoss) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet gs = GeneralizationSet::AllLeaves(&tree);
+  auto loss = ColumnInfoLoss(
+      Strings({"GP", "Nurse", "Nurse", "Pharmacist"}), gs);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_DOUBLE_EQ(*loss, 0.0);
+}
+
+TEST(ColumnInfoLossTest, Eq1HandComputedExample) {
+  // Generalization {Medical Practitioner, Paramedic}: |S| = 5 leaves.
+  // Medical Practitioner: |S_i| = 2, Paramedic: |S_i| = 3.
+  // Values: 2x GP (node MP), 2x Nurse (node P) ->
+  // loss = (2*(2-1)/5 + 2*(3-1)/5) / 4 = (0.4 + 0.8)/4 = 0.3.
+  DomainHierarchy tree = RoleTree();
+  auto gs = GeneralizationSet::Create(
+                &tree, {*tree.FindByLabel("Medical Practitioner"),
+                        *tree.FindByLabel("Paramedic")})
+                .ValueOrDie();
+  auto loss = ColumnInfoLoss(Strings({"GP", "GP", "Nurse", "Nurse"}), gs);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_DOUBLE_EQ(*loss, 0.3);
+}
+
+TEST(ColumnInfoLossTest, RootGeneralizationApproachesOne) {
+  // Root: |S_i| = |S| = 5 -> every entry contributes (5-1)/5 = 0.8.
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet root = GeneralizationSet::RootOnly(&tree);
+  auto loss = ColumnInfoLoss(Strings({"GP", "Nurse"}), root);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_DOUBLE_EQ(*loss, 0.8);
+}
+
+TEST(ColumnInfoLossTest, MixedLevels) {
+  // {Medical Practitioner, Pharmacist, Nurse, Consultant}: values at MP
+  // contribute (2-1)/5, leaf values contribute 0.
+  DomainHierarchy tree = RoleTree();
+  auto gs = GeneralizationSet::Create(
+                &tree, {*tree.FindByLabel("Medical Practitioner"),
+                        *tree.FindByLabel("Pharmacist"),
+                        *tree.FindByLabel("Nurse"),
+                        *tree.FindByLabel("Consultant")})
+                .ValueOrDie();
+  auto loss = ColumnInfoLoss(Strings({"GP", "Nurse"}), gs);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_DOUBLE_EQ(*loss, 0.5 * (1.0 / 5.0));
+}
+
+TEST(ColumnInfoLossTest, EmptyColumnIsZero) {
+  DomainHierarchy tree = RoleTree();
+  const GeneralizationSet gs = GeneralizationSet::RootOnly(&tree);
+  EXPECT_DOUBLE_EQ(*ColumnInfoLoss({}, gs), 0.0);
+}
+
+TEST(ColumnInfoLossTest, Eq2NumericExample) {
+  // Domain [0,100); generalization {[0,50), [50,100)}.
+  // Values 10, 20 in [0,50): width fraction 0.5 each -> loss 0.5.
+  auto tree = BuildNumericHierarchy("x", {0, 50, 100}).ValueOrDie();
+  const GeneralizationSet gs = GeneralizationSet::RootOnly(&tree);
+  auto leaves = GeneralizationSet::AllLeaves(&tree);
+  auto loss_leaves =
+      ColumnInfoLoss({Value::Int64(10), Value::Int64(20)}, leaves);
+  ASSERT_TRUE(loss_leaves.ok());
+  EXPECT_DOUBLE_EQ(*loss_leaves, 0.5);  // each leaf is half the domain
+  auto loss_root = ColumnInfoLoss({Value::Int64(10), Value::Int64(20)}, gs);
+  EXPECT_DOUBLE_EQ(*loss_root, 1.0);  // root spans the whole domain
+}
+
+TEST(ColumnInfoLossOfLabelsTest, MatchesValueBasedLoss) {
+  DomainHierarchy tree = RoleTree();
+  auto gs = GeneralizationSet::Create(
+                &tree, {*tree.FindByLabel("Medical Practitioner"),
+                        *tree.FindByLabel("Paramedic")})
+                .ValueOrDie();
+  const std::vector<Value> original =
+      Strings({"GP", "GP", "Nurse", "Nurse"});
+  // Binned labels.
+  std::vector<Value> labels;
+  for (const Value& v : original) {
+    labels.push_back(gs.Generalize(v).ValueOrDie());
+  }
+  auto from_labels = ColumnInfoLossOfLabels(labels, tree);
+  ASSERT_TRUE(from_labels.ok());
+  EXPECT_DOUBLE_EQ(*from_labels, 0.3);
+}
+
+TEST(NormalizedInfoLossTest, Eq3Average) {
+  EXPECT_DOUBLE_EQ(NormalizedInfoLoss({0.2, 0.4}), 0.3);
+  EXPECT_DOUBLE_EQ(NormalizedInfoLoss({}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedInfoLoss({0.7}), 0.7);
+}
+
+TEST(CheckUsageBoundsTest, WithinBounds) {
+  UsageBounds bounds;
+  bounds.per_column = {0.5, 0.5};
+  bounds.average = 0.4;
+  EXPECT_TRUE(CheckUsageBounds({0.3, 0.45}, bounds).ok());
+}
+
+TEST(CheckUsageBoundsTest, PerColumnViolation) {
+  UsageBounds bounds;
+  bounds.per_column = {0.3, 0.5};
+  bounds.average = 1.0;
+  EXPECT_EQ(CheckUsageBounds({0.4, 0.2}, bounds).code(),
+            StatusCode::kUnbinnable);
+}
+
+TEST(CheckUsageBoundsTest, AverageViolation) {
+  UsageBounds bounds;
+  bounds.average = 0.25;
+  EXPECT_EQ(CheckUsageBounds({0.3, 0.3}, bounds).code(),
+            StatusCode::kUnbinnable);
+}
+
+TEST(CheckUsageBoundsTest, CountMismatchRejected) {
+  UsageBounds bounds;
+  bounds.per_column = {0.5};
+  EXPECT_EQ(CheckUsageBounds({0.1, 0.1}, bounds).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ColumnLossAgainstOriginalTest, CoveringLabelUsesSpecificityTerm) {
+  DomainHierarchy tree = RoleTree();
+  // Original GP; label "Medical Practitioner" covers it: (2-1)/5 = 0.2.
+  auto loss = ColumnLossAgainstOriginal(
+      Strings({"GP"}), Strings({"Medical Practitioner"}), tree);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_DOUBLE_EQ(*loss, 0.2);
+}
+
+TEST(ColumnLossAgainstOriginalTest, NonCoveringLabelIsFullLoss) {
+  DomainHierarchy tree = RoleTree();
+  // Original GP but the label says Paramedic: the entry is wrong -> 1.0.
+  auto loss =
+      ColumnLossAgainstOriginal(Strings({"GP"}), Strings({"Paramedic"}), tree);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_DOUBLE_EQ(*loss, 1.0);
+}
+
+TEST(ColumnLossAgainstOriginalTest, MixAverages) {
+  DomainHierarchy tree = RoleTree();
+  auto loss = ColumnLossAgainstOriginal(
+      Strings({"GP", "Nurse"}),
+      Strings({"Medical Practitioner", "Medical Practitioner"}), tree);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_DOUBLE_EQ(*loss, (0.2 + 1.0) / 2.0);
+}
+
+TEST(ColumnLossAgainstOriginalTest, SizeMismatchRejected) {
+  DomainHierarchy tree = RoleTree();
+  EXPECT_FALSE(
+      ColumnLossAgainstOriginal(Strings({"GP"}), Strings({}), tree).ok());
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,154 @@
+#include "metrics/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include "binning/binning_engine.h"
+#include "datagen/medical_data.h"
+
+namespace privmark {
+namespace {
+
+Schema OneColumnSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn({"g", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  return schema;
+}
+
+Table TableWithBins(const std::vector<std::pair<std::string, int>>& bins) {
+  Table t(OneColumnSchema());
+  for (const auto& [label, count] : bins) {
+    for (int i = 0; i < count; ++i) {
+      EXPECT_TRUE(t.AppendRow({Value::String(label)}).ok());
+    }
+  }
+  return t;
+}
+
+TEST(EvaluatePrivacyTest, BasicProfile) {
+  // Bins: 4, 2, 1 -> k-level 1, one unique record.
+  const Table t = TableWithBins({{"a", 4}, {"b", 2}, {"c", 1}});
+  auto report = EvaluatePrivacy(t, {0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->k_anonymity_level, 1u);
+  EXPECT_EQ(report->num_bins, 3u);
+  EXPECT_EQ(report->unique_records, 1u);
+  EXPECT_DOUBLE_EQ(report->max_risk, 1.0);
+  // Average risk: (4*(1/4) + 2*(1/2) + 1*1) / 7 = 3/7.
+  EXPECT_DOUBLE_EQ(report->average_risk, 3.0 / 7.0);
+}
+
+TEST(EvaluatePrivacyTest, UniformBins) {
+  const Table t = TableWithBins({{"a", 5}, {"b", 5}});
+  auto report = EvaluatePrivacy(t, {0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->k_anonymity_level, 5u);
+  EXPECT_DOUBLE_EQ(report->max_risk, 0.2);
+  EXPECT_DOUBLE_EQ(report->average_risk, 0.2);
+  EXPECT_EQ(report->unique_records, 0u);
+}
+
+TEST(EvaluatePrivacyTest, EmptyTable) {
+  Table t(OneColumnSchema());
+  auto report = EvaluatePrivacy(t, {0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->k_anonymity_level, 0u);
+  EXPECT_EQ(report->num_bins, 0u);
+}
+
+TEST(EvaluatePrivacyTest, Validation) {
+  const Table t = TableWithBins({{"a", 2}});
+  EXPECT_FALSE(EvaluatePrivacy(t, {}).ok());
+  EXPECT_FALSE(EvaluatePrivacy(t, {5}).ok());
+}
+
+TEST(RowsBelowKTest, FindsViolatingRows) {
+  const Table t = TableWithBins({{"a", 3}, {"b", 1}, {"c", 2}});
+  // Rows: a a a b c c (indices 0,1,2 = a; 3 = b; 4,5 = c).
+  auto rows = RowsBelowK(t, {0}, 3);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, (std::vector<size_t>{3, 4, 5}));
+  EXPECT_TRUE(RowsBelowK(t, {0}, 1)->empty());
+  EXPECT_FALSE(RowsBelowK(t, {0}, 0).ok());
+}
+
+Schema TwoColumnSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn({"g", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  EXPECT_TRUE(schema.AddColumn({"diag", ColumnRole::kOther,
+                                ValueType::kString}).ok());
+  return schema;
+}
+
+TEST(LDiversityTest, MinimumDistinctSensitiveValuesPerBin) {
+  Table t(TwoColumnSchema());
+  // Bin "a": diagnoses {flu, flu, cold} -> 2 distinct.
+  // Bin "b": diagnoses {hiv} -> 1 distinct (homogeneity disclosure!).
+  for (const char* d : {"flu", "flu", "cold"}) {
+    ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::String(d)}).ok());
+  }
+  ASSERT_TRUE(t.AppendRow({Value::String("b"), Value::String("hiv")}).ok());
+  auto level = LDiversityLevel(t, {0}, 1);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(*level, 1u);
+}
+
+TEST(LDiversityTest, DiverseTableScoresHigher) {
+  Table t(TwoColumnSchema());
+  for (const char* d : {"flu", "cold", "covid"}) {
+    ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::String(d)}).ok());
+    ASSERT_TRUE(t.AppendRow({Value::String("b"), Value::String(d)}).ok());
+  }
+  EXPECT_EQ(*LDiversityLevel(t, {0}, 1), 3u);
+}
+
+TEST(LDiversityTest, Validation) {
+  Table t(TwoColumnSchema());
+  ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::String("x")}).ok());
+  EXPECT_FALSE(LDiversityLevel(t, {0}, 9).ok());
+  EXPECT_FALSE(LDiversityLevel(t, {0, 1}, 1).ok());  // sensitive inside QI
+  Table empty(TwoColumnSchema());
+  EXPECT_EQ(*LDiversityLevel(empty, {0}, 1), 0u);
+}
+
+TEST(LDiversityTest, KAnonymityDoesNotImplyDiversity) {
+  // The motivating gap: a 3-anonymous table can still be 1-diverse.
+  Table t(TwoColumnSchema());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::String("a"), Value::String("hiv")}).ok());
+  }
+  auto privacy = EvaluatePrivacy(t, {0});
+  ASSERT_TRUE(privacy.ok());
+  EXPECT_EQ(privacy->k_anonymity_level, 3u);
+  EXPECT_EQ(*LDiversityLevel(t, {0}, 1), 1u);
+}
+
+TEST(PrivacyPipelineTest, RawTableRiskyBinnedTableSafe) {
+  MedicalDataSpec spec;
+  spec.num_rows = 2000;
+  spec.seed = 3;
+  auto ds = std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  const auto qi = ds.table.schema().QuasiIdentifyingColumns();
+
+  auto raw = EvaluatePrivacy(ds.table, qi);
+  ASSERT_TRUE(raw.ok());
+  // Raw clinical data is nearly unique per quasi-identifier combination.
+  EXPECT_EQ(raw->k_anonymity_level, 1u);
+  EXPECT_GT(raw->unique_records, 1000u);
+
+  BinningConfig config;
+  config.k = 10;
+  config.enforce_joint = true;
+  BinningAgent agent(UnconstrainedMetrics(ds.trees()), config);
+  auto outcome = std::move(agent.Run(ds.table)).ValueOrDie();
+  auto binned = EvaluatePrivacy(outcome.binned, qi);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_GE(binned->k_anonymity_level, 10u);
+  EXPECT_LE(binned->max_risk, 0.1);
+  EXPECT_EQ(binned->unique_records, 0u);
+  EXPECT_TRUE(RowsBelowK(outcome.binned, qi, 10)->empty());
+}
+
+}  // namespace
+}  // namespace privmark

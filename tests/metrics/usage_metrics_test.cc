@@ -1,0 +1,117 @@
+#include "metrics/usage_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace privmark {
+namespace {
+
+DomainHierarchy RoleTree() {
+  return HierarchyBuilder::FromOutline("role", R"(Person
+  Medical Practitioner
+    GP
+    Specialist
+  Paramedic
+    Pharmacist
+    Nurse
+    Consultant)").ValueOrDie();
+}
+
+std::vector<Value> Strings(const std::vector<std::string>& values) {
+  std::vector<Value> out;
+  for (const auto& v : values) out.push_back(Value::String(v));
+  return out;
+}
+
+TEST(DeriveMaximalNodesTest, LooseBoundKeepsRoot) {
+  DomainHierarchy tree = RoleTree();
+  auto gs = DeriveMaximalNodes(&tree, Strings({"GP", "Nurse"}), 0.9);
+  ASSERT_TRUE(gs.ok());
+  EXPECT_EQ(gs->nodes(), std::vector<NodeId>{tree.root()});
+}
+
+TEST(DeriveMaximalNodesTest, TightBoundDescends) {
+  DomainHierarchy tree = RoleTree();
+  // Root loss for any data = 0.8; bound 0.5 forces a split below the root.
+  auto gs = DeriveMaximalNodes(&tree, Strings({"GP", "Nurse"}), 0.5);
+  ASSERT_TRUE(gs.ok());
+  EXPECT_GT(gs->size(), 1u);
+  // The result must actually satisfy the bound.
+  auto loss = ColumnInfoLoss(Strings({"GP", "Nurse"}), *gs);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_LE(*loss, 0.5);
+}
+
+TEST(DeriveMaximalNodesTest, ZeroBoundGoesToLeaves) {
+  DomainHierarchy tree = RoleTree();
+  auto gs = DeriveMaximalNodes(&tree, Strings({"GP", "Nurse", "Consultant"}),
+                               0.0);
+  ASSERT_TRUE(gs.ok());
+  EXPECT_EQ(gs->size(), tree.Leaves().size());
+  EXPECT_DOUBLE_EQ(gs->SpecificityLoss(), 0.0);
+}
+
+TEST(DeriveMaximalNodesTest, ResultIsAlwaysValidCover) {
+  DomainHierarchy tree = RoleTree();
+  for (double bound : {0.0, 0.1, 0.3, 0.5, 0.8, 1.0}) {
+    auto gs = DeriveMaximalNodes(&tree, Strings({"GP", "GP", "Nurse"}), bound);
+    ASSERT_TRUE(gs.ok()) << bound;
+    EXPECT_TRUE(GeneralizationSet::ValidateCover(tree, gs->nodes()).ok())
+        << bound;
+  }
+}
+
+TEST(DeriveMaximalNodesTest, NumericTree) {
+  auto tree = BuildNumericHierarchy("age", {0, 25, 50, 75, 100}).ValueOrDie();
+  std::vector<Value> values = {Value::Int64(10), Value::Int64(30),
+                               Value::Int64(60), Value::Int64(90)};
+  // Bound 0.5: intervals of width <= 50 are fine.
+  auto gs = DeriveMaximalNodes(&tree, values, 0.5);
+  ASSERT_TRUE(gs.ok());
+  auto loss = ColumnInfoLoss(values, *gs);
+  EXPECT_LE(*loss, 0.5);
+  EXPECT_GT(gs->size(), 1u);
+}
+
+TEST(UnconstrainedMetricsTest, EveryColumnAtRoot) {
+  DomainHierarchy role = RoleTree();
+  auto age = BuildNumericHierarchy("age", {0, 50, 100}).ValueOrDie();
+  const UsageMetrics metrics = UnconstrainedMetrics({&role, &age});
+  ASSERT_EQ(metrics.num_columns(), 2u);
+  EXPECT_EQ(metrics.maximal[0].nodes(), std::vector<NodeId>{role.root()});
+  EXPECT_EQ(metrics.maximal[1].nodes(), std::vector<NodeId>{age.root()});
+}
+
+TEST(MetricsFromDepthCutsTest, CutsPerColumn) {
+  DomainHierarchy role = RoleTree();
+  auto age = BuildNumericHierarchy("age", {0, 25, 50, 75, 100}).ValueOrDie();
+  auto metrics = MetricsFromDepthCuts({&role, &age}, {1, 1});
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->maximal[0].size(), 2u);  // MP, Paramedic
+  EXPECT_EQ(metrics->maximal[1].size(), 2u);  // [0,50), [50,100)
+}
+
+TEST(MetricsFromDepthCutsTest, MismatchRejected) {
+  DomainHierarchy role = RoleTree();
+  EXPECT_FALSE(MetricsFromDepthCuts({&role}, {1, 2}).ok());
+  EXPECT_FALSE(MetricsFromDepthCuts({&role}, {-1}).ok());
+}
+
+TEST(MetricsFromBoundsTest, DerivesPerColumn) {
+  DomainHierarchy role = RoleTree();
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"role", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  Table table(schema);
+  for (const char* v : {"GP", "Specialist", "Nurse", "Pharmacist"}) {
+    ASSERT_TRUE(table.AppendRow({Value::String(v)}).ok());
+  }
+  UsageBounds bounds;
+  bounds.per_column = {0.5};
+  auto metrics = MetricsFromBounds(table, {0}, {&role}, bounds);
+  ASSERT_TRUE(metrics.ok());
+  auto loss = ColumnInfoLoss(table.ColumnValues(0), metrics->maximal[0]);
+  EXPECT_LE(*loss, 0.5);
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,67 @@
+#include "metrics/utility.h"
+
+#include <gtest/gtest.h>
+
+namespace privmark {
+namespace {
+
+Schema OneColumnSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn({"g", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  return schema;
+}
+
+Table TableWithBins(const std::vector<std::pair<std::string, int>>& bins) {
+  Table t(OneColumnSchema());
+  for (const auto& [label, count] : bins) {
+    for (int i = 0; i < count; ++i) {
+      EXPECT_TRUE(t.AppendRow({Value::String(label)}).ok());
+    }
+  }
+  return t;
+}
+
+TEST(TotalInfoLossTest, SumsPerColumnLosses) {
+  EXPECT_DOUBLE_EQ(TotalInfoLoss({0.2, 0.4, 0.1}), 0.7);
+  EXPECT_DOUBLE_EQ(TotalInfoLoss({}), 0.0);
+}
+
+TEST(DiscernibilityTest, SumOfSquaredBinSizes) {
+  const Table t = TableWithBins({{"a", 3}, {"b", 2}, {"c", 5}});
+  EXPECT_EQ(DiscernibilityMetric(t, {0}), 9u + 4u + 25u);
+}
+
+TEST(DiscernibilityTest, EmptyTableIsZero) {
+  Table t(OneColumnSchema());
+  EXPECT_EQ(DiscernibilityMetric(t, {0}), 0u);
+}
+
+TEST(DiscernibilityTest, SingleBinIsNSquared) {
+  const Table t = TableWithBins({{"a", 10}});
+  EXPECT_EQ(DiscernibilityMetric(t, {0}), 100u);
+}
+
+TEST(NormalizedAvgClassSizeTest, IdealIsOne) {
+  // 3 bins of exactly k = 4 rows: C_avg = (12 / 3) / 4 = 1.
+  const Table t = TableWithBins({{"a", 4}, {"b", 4}, {"c", 4}});
+  auto c_avg = NormalizedAvgClassSize(t, {0}, 4);
+  ASSERT_TRUE(c_avg.ok());
+  EXPECT_DOUBLE_EQ(*c_avg, 1.0);
+}
+
+TEST(NormalizedAvgClassSizeTest, OverGeneralizationGrowsCavg) {
+  // One bin of 12 at k = 4: C_avg = 3.
+  const Table t = TableWithBins({{"a", 12}});
+  EXPECT_DOUBLE_EQ(*NormalizedAvgClassSize(t, {0}, 4), 3.0);
+}
+
+TEST(NormalizedAvgClassSizeTest, Validation) {
+  const Table t = TableWithBins({{"a", 4}});
+  EXPECT_FALSE(NormalizedAvgClassSize(t, {0}, 0).ok());
+  Table empty(OneColumnSchema());
+  EXPECT_DOUBLE_EQ(*NormalizedAvgClassSize(empty, {0}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,101 @@
+// Property-style sweeps (TEST_P) over the binning stack: for a grid of
+// (k, seed) configurations, the pipeline must uphold its invariants —
+// valid generalizations, k-anonymity, refinement ordering, bounded losses.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "binning/binning_engine.h"
+#include "datagen/medical_data.h"
+
+namespace privmark {
+namespace {
+
+class BinningPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {
+ protected:
+  size_t k() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+
+  MedicalDataset Generate() const {
+    MedicalDataSpec spec;
+    spec.num_rows = 900;
+    spec.seed = seed();
+    return std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+  }
+};
+
+TEST_P(BinningPropertyTest, PerAttributeBinningInvariants) {
+  MedicalDataset ds = Generate();
+  const UsageMetrics metrics = UnconstrainedMetrics(ds.trees());
+  BinningConfig config;
+  config.k = k();
+  config.enforce_joint = false;
+  BinningAgent agent(metrics, config);
+  auto outcome = agent.Run(ds.table);
+  ASSERT_TRUE(outcome.ok());
+
+  for (size_t c = 0; c < outcome->qi_columns.size(); ++c) {
+    // (1) Ultimate generalization is a valid cover.
+    EXPECT_TRUE(GeneralizationSet::ValidateCover(
+                    *metrics.trees[c], outcome->ultimate[c].nodes())
+                    .ok());
+    // (2) Bounded by the maximal nodes.
+    EXPECT_TRUE(outcome->ultimate[c].IsRefinementOf(metrics.maximal[c]));
+    // (3) Per-attribute k-anonymity.
+    EXPECT_GE(outcome->binned.MinBinSize({outcome->qi_columns[c]}), k());
+    // (4) Loss in [0, 1].
+    EXPECT_GE(outcome->multi_column_loss[c], 0.0);
+    EXPECT_LE(outcome->multi_column_loss[c], 1.0);
+  }
+}
+
+TEST_P(BinningPropertyTest, JointBinningInvariants) {
+  MedicalDataset ds = Generate();
+  const UsageMetrics metrics = UnconstrainedMetrics(ds.trees());
+  BinningConfig config;
+  config.k = k();
+  config.enforce_joint = true;
+  BinningAgent agent(metrics, config);
+  auto outcome = agent.Run(ds.table);
+  ASSERT_TRUE(outcome.ok());
+
+  // Joint k-anonymity over all quasi-identifying columns.
+  EXPECT_GE(outcome->binned.MinBinSize(outcome->qi_columns), k());
+  // Joint generalization can only be at or above the mono-attribute one.
+  for (size_t c = 0; c < outcome->qi_columns.size(); ++c) {
+    EXPECT_TRUE(outcome->minimal[c].IsRefinementOf(outcome->ultimate[c]));
+  }
+  EXPECT_GE(outcome->multi_normalized_loss,
+            outcome->mono_normalized_loss - 1e-12);
+}
+
+TEST_P(BinningPropertyTest, MonotoneLossInK) {
+  // Larger k must not reduce information loss (same data, same metrics).
+  MedicalDataset ds = Generate();
+  const UsageMetrics metrics = UnconstrainedMetrics(ds.trees());
+  BinningConfig small_config;
+  small_config.k = k();
+  small_config.enforce_joint = false;
+  BinningConfig big_config = small_config;
+  big_config.k = k() * 2;
+  auto small = BinningAgent(metrics, small_config).Run(ds.table);
+  auto big = BinningAgent(metrics, big_config).Run(ds.table);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GE(big->mono_normalized_loss, small->mono_normalized_loss - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndSeedGrid, BinningPropertyTest,
+    ::testing::Combine(::testing::Values(2, 5, 10, 25),
+                       ::testing::Values(1u, 42u, 20050405u)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, uint64_t>>& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace privmark

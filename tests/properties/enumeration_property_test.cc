@@ -1,0 +1,142 @@
+// Property checks on generalization enumeration: the enumerated count must
+// equal the closed-form antichain count, and greedy multi-attribute binning
+// must never beat the exhaustive optimum.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "binning/multi_attribute.h"
+#include "common/random.h"
+#include "hierarchy/generalization.h"
+
+namespace privmark {
+namespace {
+
+// Builds a random tree with `max_children` fanout and about `target_leaves`
+// leaves; deterministic in `seed`.
+DomainHierarchy RandomTree(uint64_t seed, size_t target_leaves,
+                           size_t max_children) {
+  Random rng(seed);
+  HierarchyBuilder builder("rand", "root");
+  std::vector<NodeId> frontier = {0};
+  size_t next_label = 0;
+  size_t leaves = 1;  // the root counts until it gets children
+  while (leaves < target_leaves && !frontier.empty()) {
+    const size_t pick = rng.Uniform(frontier.size());
+    const NodeId parent = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+    const size_t fanout = 2 + rng.Uniform(max_children - 1);
+    leaves += fanout - 1;  // parent stops being a leaf, fanout children are
+    for (size_t i = 0; i < fanout; ++i) {
+      const NodeId child =
+          builder.AddChild(parent, "n" + std::to_string(next_label++))
+              .ValueOrDie();
+      frontier.push_back(child);
+    }
+  }
+  return builder.Build().ValueOrDie();
+}
+
+// Closed form: the number of antichains covering all leaves of the subtree
+// at v (each leaf exactly once) is count(v) = 1 + prod(count(children)),
+// with count(leaf) = 1.
+size_t AntichainCount(const DomainHierarchy& tree, NodeId v) {
+  if (tree.IsLeaf(v)) return 1;
+  size_t product = 1;
+  for (NodeId child : tree.Children(v)) {
+    product *= AntichainCount(tree, child);
+  }
+  return 1 + product;
+}
+
+class EnumerationCountTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnumerationCountTest, MatchesClosedFormCount) {
+  auto tree = std::make_unique<DomainHierarchy>(
+      RandomTree(GetParam(), 9, 3));
+  const GeneralizationSet lower = GeneralizationSet::AllLeaves(tree.get());
+  const GeneralizationSet upper = GeneralizationSet::RootOnly(tree.get());
+  auto all = EnumerateBetween(lower, upper, 1000000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), AntichainCount(*tree, tree->root()));
+  // Every enumerated generalization is valid and distinct.
+  std::set<std::vector<NodeId>> unique;
+  for (const auto& gs : *all) {
+    EXPECT_TRUE(GeneralizationSet::ValidateCover(*tree, gs.nodes()).ok());
+    unique.insert(gs.nodes());
+  }
+  EXPECT_EQ(unique.size(), all->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumerationCountTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+class GreedyVsExhaustiveTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyVsExhaustiveTest, GreedyNeverBeatsExhaustive) {
+  const uint64_t seed = GetParam();
+  auto tree_a =
+      std::make_unique<DomainHierarchy>(RandomTree(seed * 11 + 1, 6, 3));
+  auto tree_b =
+      std::make_unique<DomainHierarchy>(RandomTree(seed * 13 + 2, 6, 3));
+
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"id", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  ASSERT_TRUE(schema.AddColumn({"a", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  ASSERT_TRUE(schema.AddColumn({"b", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  Table table(schema);
+  Random rng(seed);
+  const auto& leaves_a = tree_a->Leaves();
+  const auto& leaves_b = tree_b->Leaves();
+  for (size_t r = 0; r < 60; ++r) {
+    ASSERT_TRUE(
+        table
+            .AppendRow(
+                {Value::String("id" + std::to_string(r)),
+                 Value::String(
+                     tree_a->node(leaves_a[rng.Uniform(leaves_a.size())])
+                         .label),
+                 Value::String(
+                     tree_b->node(leaves_b[rng.Uniform(leaves_b.size())])
+                         .label)})
+            .ok());
+  }
+
+  const std::vector<GeneralizationSet> minimal = {
+      GeneralizationSet::AllLeaves(tree_a.get()),
+      GeneralizationSet::AllLeaves(tree_b.get())};
+  const std::vector<GeneralizationSet> maximal = {
+      GeneralizationSet::RootOnly(tree_a.get()),
+      GeneralizationSet::RootOnly(tree_b.get())};
+
+  MultiBinningOptions exhaustive_options;
+  exhaustive_options.k = 4;
+  exhaustive_options.strategy = SearchStrategy::kExhaustive;
+  exhaustive_options.max_enumerations = 500000;
+  MultiBinningOptions greedy_options = exhaustive_options;
+  greedy_options.strategy = SearchStrategy::kGreedy;
+
+  auto exhaustive = MultiAttributeBin(table, {1, 2}, minimal, maximal,
+                                      exhaustive_options);
+  auto greedy =
+      MultiAttributeBin(table, {1, 2}, minimal, maximal, greedy_options);
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_TRUE(greedy.ok());
+  // Both must be valid solutions...
+  EXPECT_TRUE(
+      *IsJointlyKAnonymous(table, {1, 2}, exhaustive->ultimate, 4));
+  EXPECT_TRUE(*IsJointlyKAnonymous(table, {1, 2}, greedy->ultimate, 4));
+  // ...and the exhaustive optimum can only be at most as lossy as greedy.
+  EXPECT_LE(exhaustive->total_specificity_loss,
+            greedy->total_specificity_loss + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsExhaustiveTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,97 @@
+#include "relation/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace privmark {
+namespace {
+
+Schema MakeTestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn({"ssn", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  EXPECT_TRUE(schema.AddColumn({"age", ColumnRole::kQuasiNumeric,
+                                ValueType::kInt64}).ok());
+  EXPECT_TRUE(schema.AddColumn({"doctor", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  EXPECT_TRUE(schema.AddColumn({"notes", ColumnRole::kOther,
+                                ValueType::kString}).ok());
+  return schema;
+}
+
+TEST(SchemaTest, ColumnCountAndAccess) {
+  const Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.num_columns(), 4u);
+  EXPECT_EQ(schema.column(0).name, "ssn");
+  EXPECT_EQ(schema.column(1).role, ColumnRole::kQuasiNumeric);
+  EXPECT_EQ(schema.column(3).role, ColumnRole::kOther);
+}
+
+TEST(SchemaTest, DuplicateNameRejected) {
+  Schema schema = MakeTestSchema();
+  const Status st =
+      schema.AddColumn({"age", ColumnRole::kOther, ValueType::kInt64});
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  const Schema schema = MakeTestSchema();
+  ASSERT_TRUE(schema.ColumnIndex("doctor").ok());
+  EXPECT_EQ(*schema.ColumnIndex("doctor"), 2u);
+  EXPECT_EQ(schema.ColumnIndex("nope").status().code(), StatusCode::kKeyError);
+}
+
+TEST(SchemaTest, ColumnsWithRole) {
+  const Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.ColumnsWithRole(ColumnRole::kIdentifying),
+            (std::vector<size_t>{0}));
+  EXPECT_EQ(schema.ColumnsWithRole(ColumnRole::kOther),
+            (std::vector<size_t>{3}));
+}
+
+TEST(SchemaTest, QuasiIdentifyingColumnsInSchemaOrder) {
+  const Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.QuasiIdentifyingColumns(), (std::vector<size_t>{1, 2}));
+}
+
+TEST(SchemaTest, IdentifyingColumnExactlyOne) {
+  const Schema schema = MakeTestSchema();
+  ASSERT_TRUE(schema.IdentifyingColumn().ok());
+  EXPECT_EQ(*schema.IdentifyingColumn(), 0u);
+}
+
+TEST(SchemaTest, IdentifyingColumnMissing) {
+  Schema schema;
+  ASSERT_TRUE(
+      schema.AddColumn({"a", ColumnRole::kOther, ValueType::kString}).ok());
+  EXPECT_EQ(schema.IdentifyingColumn().status().code(), StatusCode::kKeyError);
+}
+
+TEST(SchemaTest, IdentifyingColumnDuplicatedIsError) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"id1", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  ASSERT_TRUE(schema.AddColumn({"id2", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  EXPECT_EQ(schema.IdentifyingColumn().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  EXPECT_EQ(MakeTestSchema(), MakeTestSchema());
+  Schema other = MakeTestSchema();
+  ASSERT_TRUE(
+      other.AddColumn({"extra", ColumnRole::kOther, ValueType::kString}).ok());
+  EXPECT_FALSE(MakeTestSchema() == other);
+}
+
+TEST(ColumnRoleTest, Names) {
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kIdentifying), "identifying");
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kQuasiCategorical),
+               "quasi-categorical");
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kQuasiNumeric),
+               "quasi-numeric");
+  EXPECT_STREQ(ColumnRoleToString(ColumnRole::kOther), "other");
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,96 @@
+#include "relation/value.h"
+
+#include <gtest/gtest.h>
+
+namespace privmark {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, Int64Accessors) {
+  const Value v = Value::Int64(-42);
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), -42);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), -42.0);
+  EXPECT_EQ(v.ToString(), "-42");
+}
+
+TEST(ValueTest, DoubleAccessors) {
+  const Value v = Value::Double(2.5);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(ValueTest, StringAccessors) {
+  const Value v = Value::String("Pharmacist");
+  EXPECT_EQ(v.type(), ValueType::kString);
+  EXPECT_EQ(v.AsString(), "Pharmacist");
+  EXPECT_EQ(v.ToString(), "Pharmacist");
+}
+
+TEST(ValueTest, EqualityWithinTypes) {
+  EXPECT_EQ(Value::Int64(5), Value::Int64(5));
+  EXPECT_NE(Value::Int64(5), Value::Int64(6));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeInequality) {
+  // Int64(5) and Double(5.0) are distinct values (distinct types).
+  EXPECT_NE(Value::Int64(5), Value::Double(5.0));
+  EXPECT_NE(Value::Int64(5), Value::String("5"));
+}
+
+TEST(ValueTest, OrderingIsTotalAndTypeFirst) {
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  // Null sorts before typed values; int before double before string (by
+  // variant index).
+  EXPECT_LT(Value::Null(), Value::Int64(0));
+  EXPECT_LT(Value::Int64(999), Value::Double(0.0));
+  EXPECT_LT(Value::Double(999.0), Value::String(""));
+}
+
+TEST(ValueParseTest, Int64) {
+  auto v = Value::Parse("123", ValueType::kInt64);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt64(), 123);
+  EXPECT_FALSE(Value::Parse("12x", ValueType::kInt64).ok());
+  EXPECT_FALSE(Value::Parse("[25,50)", ValueType::kInt64).ok());
+}
+
+TEST(ValueParseTest, Double) {
+  auto v = Value::Parse("2.75", ValueType::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 2.75);
+  EXPECT_FALSE(Value::Parse("abc", ValueType::kDouble).ok());
+}
+
+TEST(ValueParseTest, EmptyBecomesNullForNumerics) {
+  EXPECT_TRUE(Value::Parse("", ValueType::kInt64)->is_null());
+  EXPECT_TRUE(Value::Parse("", ValueType::kDouble)->is_null());
+  // But an empty string cell stays a string.
+  EXPECT_EQ(Value::Parse("", ValueType::kString)->type(), ValueType::kString);
+}
+
+TEST(ValueParseTest, StringPassthrough) {
+  auto v = Value::Parse("anything at all", ValueType::kString);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "anything at all");
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace privmark

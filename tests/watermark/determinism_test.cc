@@ -1,0 +1,174 @@
+// Determinism and key-parameter sensitivity of the watermarking stack:
+// embedding must be a pure function of (table, key, mark), and every key
+// component — k1, k2, eta — must independently gate detection.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "watermark/hierarchical.h"
+
+namespace privmark {
+namespace {
+
+DomainHierarchy Tree() {
+  return HierarchyBuilder::FromOutline("sym", R"(All
+  C1
+    a1
+    a2
+    a3
+  C2
+    b1
+    b2
+    b3)").ValueOrDie();
+}
+
+Schema OneQiSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn({"id", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  EXPECT_TRUE(schema.AddColumn({"sym", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  return schema;
+}
+
+struct Env {
+  std::unique_ptr<DomainHierarchy> tree;
+  Table table;
+
+  HierarchicalWatermarker Marker(const WatermarkKey& key) const {
+    return HierarchicalWatermarker(
+        std::vector<size_t>{1}, 0,
+        std::vector<GeneralizationSet>{CutAtDepth(tree.get(), 1)},
+        std::vector<GeneralizationSet>{
+            GeneralizationSet::AllLeaves(tree.get())},
+        key, WatermarkOptions{});
+  }
+};
+
+Env MakeEnv() {
+  Env env;
+  env.tree = std::make_unique<DomainHierarchy>(Tree());
+  Table t(OneQiSchema());
+  Random rng(31337);
+  const auto& leaves = env.tree->Leaves();
+  for (size_t r = 0; r < 500; ++r) {
+    EXPECT_TRUE(
+        t.AppendRow(
+             {Value::String("row-" + std::to_string(r)),
+              Value::String(
+                  env.tree->node(leaves[rng.Uniform(leaves.size())]).label)})
+            .ok());
+  }
+  env.table = std::move(t);
+  return env;
+}
+
+BitVector Mark() {
+  return BitVector::FromString("11010011100101100011").ValueOrDie();
+}
+
+TEST(WatermarkDeterminismTest, EmbeddingIsAPureFunction) {
+  Env env = MakeEnv();
+  const WatermarkKey key{"det-k1", "det-k2", 4};
+  Table a = env.table.Clone();
+  Table b = env.table.Clone();
+  auto marker = env.Marker(key);
+  auto report_a = marker.Embed(&a, Mark());
+  auto report_b = marker.Embed(&b, Mark());
+  ASSERT_TRUE(report_a.ok());
+  ASSERT_TRUE(report_b.ok());
+  EXPECT_EQ(report_a->slots_embedded, report_b->slots_embedded);
+  EXPECT_EQ(report_a->cells_changed, report_b->cells_changed);
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    ASSERT_EQ(a.at(r, 1), b.at(r, 1)) << r;
+  }
+}
+
+TEST(WatermarkDeterminismTest, DoubleEmbeddingSameKeyIsIdempotent) {
+  // Re-embedding the same mark with the same key must leave the table
+  // unchanged: every selected slot already sits at its target node.
+  Env env = MakeEnv();
+  const WatermarkKey key{"det-k1", "det-k2", 4};
+  auto marker = env.Marker(key);
+  Table once = env.table.Clone();
+  auto first = marker.Embed(&once, Mark());
+  ASSERT_TRUE(first.ok());
+  Table twice = once.Clone();
+  auto second = marker.Embed(&twice, Mark(), first->copies);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cells_changed, 0u);
+  for (size_t r = 0; r < once.num_rows(); ++r) {
+    ASSERT_EQ(once.at(r, 1), twice.at(r, 1)) << r;
+  }
+}
+
+TEST(WatermarkDeterminismTest, EtaMismatchBreaksDetection) {
+  // eta is part of the secret: detecting with the right k1/k2 but the
+  // wrong eta selects a different tuple population and degrades recovery
+  // (bits lose their votes or pick up unrelated ones).
+  Env env = MakeEnv();
+  const WatermarkKey key{"det-k1", "det-k2", 3};
+  auto marker = env.Marker(key);
+  Table marked = env.table.Clone();
+  auto embed = marker.Embed(&marked, Mark());
+  ASSERT_TRUE(embed.ok());
+
+  WatermarkKey wrong_eta = key;
+  wrong_eta.eta = 7;
+  auto detect =
+      env.Marker(wrong_eta).Detect(marked, Mark().size(), embed->wmd_size);
+  ASSERT_TRUE(detect.ok());
+  // Some eta-7-selected tuples were never embedded: strict loss appears.
+  EXPECT_GT(*StrictMarkLoss(Mark(), *detect), 0.1);
+
+  // The correct eta still recovers exactly.
+  auto correct = marker.Detect(marked, Mark().size(), embed->wmd_size);
+  ASSERT_TRUE(correct.ok());
+  EXPECT_EQ(correct->recovered, Mark());
+}
+
+TEST(WatermarkDeterminismTest, DetectionInvariantToWmdMultiple) {
+  // A robustness property of multiple embedding: since wmd is the mark
+  // duplicated, a slot's wm-bit index is (H mod |wmd|) mod |wm| =
+  // H mod |wm| for ANY |wmd| that is a multiple of |wm|. Detection with a
+  // different multiple therefore still recovers the mark exactly — the
+  // recorded wmd_size is a convenience, not a secret, and losing it is
+  // survivable as long as a multiple of |wm| is used.
+  Env env = MakeEnv();
+  const WatermarkKey key{"det-k1", "det-k2", 2};
+  auto marker = env.Marker(key);
+  Table marked = env.table.Clone();
+  auto embed = marker.Embed(&marked, Mark());
+  ASSERT_TRUE(embed.ok());
+  ASSERT_GT(embed->copies, 2u);
+  for (size_t multiple : {1u, 2u, 7u}) {
+    auto detect = marker.Detect(marked, Mark().size(),
+                                Mark().size() * multiple);
+    ASSERT_TRUE(detect.ok()) << multiple;
+    EXPECT_EQ(detect->recovered, Mark()) << multiple;
+  }
+}
+
+TEST(WatermarkDeterminismTest, MarkContentChangesCells) {
+  // Different marks must produce different embeddings (the bit actually
+  // drives the permutation).
+  Env env = MakeEnv();
+  const WatermarkKey key{"det-k1", "det-k2", 2};
+  auto marker = env.Marker(key);
+  Table with_a = env.table.Clone();
+  Table with_b = env.table.Clone();
+  const BitVector mark_a(20, false);
+  const BitVector mark_b(20, true);
+  ASSERT_TRUE(marker.Embed(&with_a, mark_a).ok());
+  ASSERT_TRUE(marker.Embed(&with_b, mark_b).ok());
+  size_t differing = 0;
+  for (size_t r = 0; r < with_a.num_rows(); ++r) {
+    if (with_a.at(r, 1) != with_b.at(r, 1)) ++differing;
+  }
+  EXPECT_GT(differing, 50u);
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,170 @@
+#include "watermark/single_level.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/attacks.h"
+#include "common/random.h"
+
+namespace privmark {
+namespace {
+
+DomainHierarchy DeepTree() {
+  return HierarchyBuilder::FromOutline("sym", R"(All
+  C1
+    B11
+      s111
+      s112
+    B12
+      s121
+      s122
+  C2
+    B21
+      s211
+      s212
+    B22
+      s221
+      s222)").ValueOrDie();
+}
+
+Schema OneQiSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn({"id", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  EXPECT_TRUE(schema.AddColumn({"sym", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  return schema;
+}
+
+Table MakeBinnedTable(const DomainHierarchy& tree, size_t rows,
+                      uint64_t seed) {
+  Table t(OneQiSchema());
+  Random rng(seed);
+  const auto& leaves = tree.Leaves();
+  for (size_t r = 0; r < rows; ++r) {
+    const NodeId leaf = leaves[rng.Uniform(leaves.size())];
+    EXPECT_TRUE(t.AppendRow({Value::String("ident-" + std::to_string(r)),
+                             Value::String(tree.node(leaf).label)}).ok());
+  }
+  return t;
+}
+
+BitVector TestMark() {
+  return BitVector::FromString("10110010011010111001").ValueOrDie();
+}
+
+struct Env {
+  std::unique_ptr<DomainHierarchy> tree;
+  Table table;
+  WatermarkKey key;
+  std::unique_ptr<SingleLevelWatermarker> single;
+  std::unique_ptr<HierarchicalWatermarker> hierarchical;
+};
+
+Env MakeSetup() {
+  Env env;
+  env.tree = std::make_unique<DomainHierarchy>(DeepTree());
+  env.table = MakeBinnedTable(*env.tree, 600, 23);
+  env.key.k1 = "single-k1";
+  env.key.k2 = "single-k2";
+  env.key.eta = 3;
+  const GeneralizationSet ultimate =
+      GeneralizationSet::AllLeaves(env.tree.get());
+  const GeneralizationSet maximal = CutAtDepth(env.tree.get(), 1);
+  env.single = std::make_unique<SingleLevelWatermarker>(
+      std::vector<size_t>{1}, 0, std::vector<GeneralizationSet>{ultimate},
+      env.key, WatermarkOptions{});
+  env.hierarchical = std::make_unique<HierarchicalWatermarker>(
+      std::vector<size_t>{1}, 0, std::vector<GeneralizationSet>{maximal},
+      std::vector<GeneralizationSet>{ultimate}, env.key,
+      WatermarkOptions{});
+  return env;
+}
+
+TEST(SingleLevelTest, CleanRoundTripRecoversMark) {
+  Env env = MakeSetup();
+  Table marked = env.table.Clone();
+  const BitVector wm = TestMark();
+  auto embed = env.single->Embed(&marked, wm);
+  ASSERT_TRUE(embed.ok());
+  EXPECT_GT(embed->slots_embedded, 0u);
+  auto detect = env.single->Detect(marked, wm.size(), embed->wmd_size);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_EQ(detect->recovered, wm);
+}
+
+TEST(SingleLevelTest, PermutationStaysAmongSiblings) {
+  Env env = MakeSetup();
+  Table marked = env.table.Clone();
+  ASSERT_TRUE(env.single->Embed(&marked, TestMark()).ok());
+  for (size_t r = 0; r < marked.num_rows(); ++r) {
+    const NodeId before =
+        *env.tree->FindByLabel(env.table.at(r, 1).ToString());
+    const NodeId after = *env.tree->FindByLabel(marked.at(r, 1).ToString());
+    EXPECT_EQ(env.tree->Parent(before), env.tree->Parent(after))
+        << "row " << r;
+  }
+}
+
+TEST(SingleLevelTest, GeneralizationAttackDestroysSingleLevelMark) {
+  // The Sec. 5.2 claim: the key-free generalization attack erases a
+  // single-level watermark while the hierarchical scheme survives.
+  Env env = MakeSetup();
+  const BitVector wm = TestMark();
+
+  Table single_marked = env.table.Clone();
+  auto single_embed = env.single->Embed(&single_marked, wm);
+  ASSERT_TRUE(single_embed.ok());
+
+  Table hier_marked = env.table.Clone();
+  auto hier_embed = env.hierarchical->Embed(&hier_marked, wm);
+  ASSERT_TRUE(hier_embed.ok());
+
+  const GeneralizationSet maximal = CutAtDepth(env.tree.get(), 1);
+  auto attack1 = GeneralizationAttack(&single_marked, {1}, {maximal}, 1);
+  ASSERT_TRUE(attack1.ok());
+  EXPECT_GT(attack1->cells_changed, 0u);
+  auto attack2 = GeneralizationAttack(&hier_marked, {1}, {maximal}, 1);
+  ASSERT_TRUE(attack2.ok());
+
+  auto single_detect =
+      env.single->Detect(single_marked, wm.size(), single_embed->wmd_size);
+  ASSERT_TRUE(single_detect.ok());
+  const double single_loss = *MarkLossAgainst(wm, single_detect->recovered);
+
+  auto hier_detect = env.hierarchical->Detect(hier_marked, wm.size(),
+                                                hier_embed->wmd_size);
+  ASSERT_TRUE(hier_detect.ok());
+  const double hier_loss = *MarkLossAgainst(wm, hier_detect->recovered);
+
+  // Single-level: all embedded levels were erased; recovery is noise.
+  EXPECT_GT(single_loss, 0.2);
+  // Hierarchical: upper-level copies survive; the mark is intact.
+  EXPECT_DOUBLE_EQ(hier_loss, 0.0);
+}
+
+TEST(SingleLevelTest, BandwidthCountsEncodableSlots) {
+  Env env = MakeSetup();
+  auto bandwidth = env.single->EstimateBandwidth(env.table);
+  ASSERT_TRUE(bandwidth.ok());
+  EXPECT_GT(*bandwidth, 0u);
+  Table marked = env.table.Clone();
+  auto embed = env.single->Embed(&marked, TestMark());
+  ASSERT_TRUE(embed.ok());
+  EXPECT_EQ(embed->slots_embedded, *bandwidth);
+}
+
+TEST(SingleLevelTest, EmptyMarkRejected) {
+  Env env = MakeSetup();
+  Table marked = env.table.Clone();
+  EXPECT_FALSE(env.single->Embed(&marked, BitVector()).ok());
+}
+
+TEST(SingleLevelTest, DetectValidatesSizes) {
+  Env env = MakeSetup();
+  EXPECT_FALSE(env.single->Detect(env.table, 20, 30).ok());
+}
+
+}  // namespace
+}  // namespace privmark

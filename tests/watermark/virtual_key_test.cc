@@ -1,0 +1,236 @@
+#include "watermark/virtual_key.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/attacks.h"
+#include "common/random.h"
+#include "core/framework.h"
+#include "datagen/medical_data.h"
+
+namespace privmark {
+namespace {
+
+DomainHierarchy DeepTree() {
+  return HierarchyBuilder::FromOutline("sym", R"(All
+  C1
+    B11
+      s111
+      s112
+    B12
+      s121
+      s122
+  C2
+    B21
+      s211
+      s212
+    B22
+      s221
+      s222)").ValueOrDie();
+}
+
+Schema OneQiSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn({"id", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  EXPECT_TRUE(schema.AddColumn({"sym", ColumnRole::kQuasiCategorical,
+                                ValueType::kString}).ok());
+  return schema;
+}
+
+struct Env {
+  std::unique_ptr<DomainHierarchy> tree;
+  Table table;
+  WatermarkKey key;
+  std::unique_ptr<HierarchicalWatermarker> watermarker;
+};
+
+Env MakeEnv() {
+  Env env;
+  env.tree = std::make_unique<DomainHierarchy>(DeepTree());
+  Table t(OneQiSchema());
+  Random rng(5);
+  const auto& leaves = env.tree->Leaves();
+  for (size_t r = 0; r < 600; ++r) {
+    const NodeId leaf = leaves[rng.Uniform(leaves.size())];
+    EXPECT_TRUE(
+        t.AppendRow({Value::String("enc-" + std::to_string(r)),
+                     Value::String(env.tree->node(leaf).label)}).ok());
+  }
+  env.table = std::move(t);
+  env.key = {"vk-k1", "vk-k2", /*eta=*/2};
+  env.watermarker = std::make_unique<HierarchicalWatermarker>(
+      std::vector<size_t>{1}, 0,
+      std::vector<GeneralizationSet>{CutAtDepth(env.tree.get(), 1)},
+      std::vector<GeneralizationSet>{
+          GeneralizationSet::AllLeaves(env.tree.get())},
+      env.key, WatermarkOptions{});
+  return env;
+}
+
+TEST(VirtualKeyTest, CoversLabelOfMaximalNode) {
+  Env env = MakeEnv();
+  const GeneralizationSet maximal = CutAtDepth(env.tree.get(), 1);
+  auto key = VirtualIdentifier(env.table, 0, {1}, {maximal});
+  ASSERT_TRUE(key.ok());
+  // The cell is a leaf under C1 or C2; its cover label must be the key.
+  EXPECT_TRUE(*key == "C1" || *key == "C2") << *key;
+}
+
+TEST(VirtualKeyTest, InvariantUnderWatermarkEmbedding) {
+  Env env = MakeEnv();
+  const GeneralizationSet maximal = CutAtDepth(env.tree.get(), 1);
+  Table marked = env.table.Clone();
+  const BitVector mark = BitVector::FromString("1011001001").ValueOrDie();
+  ASSERT_TRUE(env.watermarker->Embed(&marked, mark).ok());
+  for (size_t r = 0; r < env.table.num_rows(); ++r) {
+    EXPECT_EQ(*VirtualIdentifier(env.table, r, {1}, {maximal}),
+              *VirtualIdentifier(marked, r, {1}, {maximal}))
+        << "row " << r;
+  }
+}
+
+TEST(VirtualKeyTest, DegradesGracefullyOnUnknownLabels) {
+  Env env = MakeEnv();
+  const GeneralizationSet maximal = CutAtDepth(env.tree.get(), 1);
+  Table attacked = env.table.Clone();
+  attacked.Set(0, 1, Value::String("out-of-domain-junk"));
+  auto key = VirtualIdentifier(attacked, 0, {1}, {maximal});
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, "out-of-domain-junk");
+}
+
+TEST(VirtualKeyTest, ValidationErrors) {
+  Env env = MakeEnv();
+  const GeneralizationSet maximal = CutAtDepth(env.tree.get(), 1);
+  EXPECT_FALSE(VirtualIdentifier(env.table, 9999, {1}, {maximal}).ok());
+  EXPECT_FALSE(VirtualIdentifier(env.table, 0, {1}, {}).ok());
+}
+
+TEST(VirtualKeyTest, MaterializeOverwritesIdentColumnOnly) {
+  Env env = MakeEnv();
+  const GeneralizationSet maximal = CutAtDepth(env.tree.get(), 1);
+  auto materialized = MaterializeVirtualIdentifiers(env.table, {1}, {maximal});
+  ASSERT_TRUE(materialized.ok());
+  for (size_t r = 0; r < env.table.num_rows(); ++r) {
+    EXPECT_NE(materialized->at(r, 0), env.table.at(r, 0));
+    EXPECT_EQ(materialized->at(r, 1), env.table.at(r, 1));
+  }
+}
+
+TEST(VirtualKeyTest, SingleColumnKeysCollapseByDesign) {
+  // With one QI column the virtual-key space equals the maximal-node set
+  // (here: {C1, C2}); whole cover groups move in lockstep and most mark
+  // positions never receive a vote. This is the documented diversity
+  // limitation — multi-column usage below is the supported regime.
+  Env env = MakeEnv();
+  Table published = env.table.Clone();
+  const BitVector mark = BitVector::FromString("10110010011010111001")
+                             .ValueOrDie();
+  auto embed = EmbedWithVirtualKeys(*env.watermarker, &published, mark);
+  ASSERT_TRUE(embed.ok());
+  auto detect = DetectWithVirtualKeys(*env.watermarker, published,
+                                      mark.size(), embed->wmd_size);
+  ASSERT_TRUE(detect.ok());
+  size_t voted = 0;
+  for (bool b : detect->bit_voted) voted += b ? 1 : 0;
+  EXPECT_LE(voted, 2u);  // at most one position per distinct key
+}
+
+// ---- Multi-column (supported) regime over the medical pipeline ----
+
+class VirtualKeyPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MedicalDataSpec spec;
+    spec.num_rows = 3000;
+    spec.seed = 21;
+    dataset_ = std::make_unique<MedicalDataset>(
+        std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+    config_.binning.k = 10;
+    config_.binning.enforce_joint = false;
+    config_.key = {"vk-k1", "vk-k2", /*eta=*/5};
+    metrics_ = std::make_unique<UsageMetrics>(
+        MetricsFromDepthCuts(dataset_->trees(), {2, 1, 2, 1, 1})
+            .ValueOrDie());
+    framework_ =
+        std::make_unique<ProtectionFramework>(*metrics_, config_);
+    BinningAgent agent(*metrics_, config_.binning);
+    binning_ = std::make_unique<BinningOutcome>(
+        std::move(agent.Run(dataset_->table)).ValueOrDie());
+    watermarker_ = std::make_unique<HierarchicalWatermarker>(
+        framework_->MakeWatermarker(*binning_));
+  }
+
+  std::unique_ptr<MedicalDataset> dataset_;
+  FrameworkConfig config_;
+  std::unique_ptr<UsageMetrics> metrics_;
+  std::unique_ptr<ProtectionFramework> framework_;
+  std::unique_ptr<BinningOutcome> binning_;
+  std::unique_ptr<HierarchicalWatermarker> watermarker_;
+};
+
+TEST_F(VirtualKeyPipelineTest, EmbedDetectRoundTripWithoutIdentColumn) {
+  // The headline property: embedding/detection work end to end keyed on
+  // virtual identifiers, and the published table's identifying column is
+  // untouched.
+  Table published = binning_->binned.Clone();
+  const BitVector mark = BitVector::FromString("10110010011010111001")
+                             .ValueOrDie();
+  auto embed = EmbedWithVirtualKeys(*watermarker_, &published, mark);
+  ASSERT_TRUE(embed.ok());
+  EXPECT_GT(embed->slots_embedded, 100u);
+  for (size_t r = 0; r < published.num_rows(); ++r) {
+    ASSERT_EQ(published.at(r, 0), binning_->binned.at(r, 0)) << r;
+  }
+  auto detect = DetectWithVirtualKeys(*watermarker_, published, mark.size(),
+                                      embed->wmd_size);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_LE(*MarkLossAgainst(mark, detect->recovered), 0.05);
+}
+
+TEST_F(VirtualKeyPipelineTest, DetectionSurvivesIdentifierColumnDestruction) {
+  // The scenario motivating virtual keys: the attacker strips/replaces
+  // the identifying column entirely; column-keyed detection dies, virtual
+  // keys do not care.
+  Table published = binning_->binned.Clone();
+  const BitVector mark = BitVector::FromString("10110010011010111001")
+                             .ValueOrDie();
+  auto embed = EmbedWithVirtualKeys(*watermarker_, &published, mark);
+  ASSERT_TRUE(embed.ok());
+  for (size_t r = 0; r < published.num_rows(); ++r) {
+    published.Set(r, 0, Value::String("wiped-" + std::to_string(r * 7)));
+  }
+  // Column-keyed detection is now uncorrelated...
+  auto column_keyed = watermarker_->Detect(published, mark.size(),
+                                           embed->wmd_size);
+  ASSERT_TRUE(column_keyed.ok());
+  EXPECT_GT(*StrictMarkLoss(mark, *column_keyed), 0.3);
+  // ...while virtual-key detection still recovers the mark.
+  auto detect = DetectWithVirtualKeys(*watermarker_, published, mark.size(),
+                                      embed->wmd_size);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_LE(*MarkLossAgainst(mark, detect->recovered), 0.05);
+}
+
+TEST_F(VirtualKeyPipelineTest, SiblingSwapDegradesButDoesNotDestroy) {
+  // Swapped cells keep their maximal cover, so virtual keys stay stable;
+  // the attack only injects level noise like in the column-keyed case.
+  Table published = binning_->binned.Clone();
+  const BitVector mark = BitVector::FromString("10110010011010111001")
+                             .ValueOrDie();
+  auto embed = EmbedWithVirtualKeys(*watermarker_, &published, mark);
+  ASSERT_TRUE(embed.ok());
+  Random rng(17);
+  ASSERT_TRUE(SiblingSwapAttack(&published, binning_->qi_columns,
+                                binning_->ultimate, 0.3, &rng)
+                  .ok());
+  auto detect = DetectWithVirtualKeys(*watermarker_, published, mark.size(),
+                                      embed->wmd_size);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_LE(*MarkLossAgainst(mark, detect->recovered), 0.25);
+}
+
+}  // namespace
+}  // namespace privmark
