@@ -15,6 +15,13 @@
 //
 // Binaries print an aligned table followed by a CSV block so results can
 // be scraped.
+//
+// micro_throughput is the one google-benchmark binary. Pass
+// --benchmark_min_time as a plain double in seconds (e.g.
+// --benchmark_min_time=0.01): that form works on benchmark 1.7.x and
+// 1.8.x alike, while the suffixed "0.01s"/"10x" spellings require
+// >= 1.8 and are rejected by 1.7.x. scripts/run_benches.sh always
+// passes the double form.
 
 #ifndef PRIVMARK_BENCH_BENCH_UTIL_H_
 #define PRIVMARK_BENCH_BENCH_UTIL_H_

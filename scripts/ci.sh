@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verify, runnable locally or from CI. Two configurations:
+#   1. Debug + address/undefined sanitizers
+#   2. Release
+# plus a short-min-time benchmark smoke run on the Release build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== Debug + sanitizers ==="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPRIVMARK_SANITIZE=address,undefined
+cmake --build build-asan -j "${JOBS}"
+(cd build-asan && ctest --output-on-failure -j "${JOBS}")
+
+echo "=== Release ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "=== Benchmark smoke (double-valued min_time: portable across 1.7/1.8) ==="
+MIN_TIME=0.01 scripts/run_benches.sh build BENCH_micro.json
+
+echo "CI OK"

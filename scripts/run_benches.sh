@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark microbenchmarks and writes the JSON that
+# seeds the repo's perf trajectory (BENCH_micro.json).
+#
+# Usage:
+#   scripts/run_benches.sh [build-dir] [out-json]
+#
+# Environment:
+#   MIN_TIME  per-benchmark minimum run time in seconds (default 0.05).
+#             NOTE: passed as a plain double (--benchmark_min_time=0.05),
+#             which works on google-benchmark 1.7.x and 1.8.x alike; the
+#             "0.05s"/"10x" suffix forms require >= 1.8.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_micro.json}"
+MIN_TIME="${MIN_TIME:-0.05}"
+
+BIN="${BUILD_DIR}/bench/micro_throughput"
+if [[ ! -x "${BIN}" ]]; then
+  echo "error: ${BIN} not built. Run: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+"${BIN}" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json \
+  --benchmark_out="${OUT_JSON}" \
+  --benchmark_out_format=json >/dev/null
+
+echo "wrote ${OUT_JSON}"

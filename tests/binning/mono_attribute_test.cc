@@ -219,7 +219,9 @@ TEST(MonoBinTest, MinimalityHolds) {
   ASSERT_TRUE(result.ok());
   for (NodeId member : result->minimal.nodes()) {
     const size_t count = *NumTuple(tree, member, values);
-    if (count > 0) EXPECT_GE(count, options.k);
+    if (count > 0) {
+      EXPECT_GE(count, options.k);
+    }
     if (!tree.IsLeaf(member)) {
       bool all_children_satisfy = true;
       for (NodeId child : tree.Children(member)) {

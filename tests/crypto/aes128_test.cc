@@ -40,7 +40,7 @@ TEST(Aes128Test, DecryptInvertsEncrypt) {
 
 TEST(Aes128Test, ValueRoundTrip) {
   const Aes128 cipher = Aes128::FromPassphrase("hospital-secret");
-  for (const std::string value :
+  for (const std::string& value :
        {std::string(""), std::string("123456789"), std::string("short"),
         std::string("a-longer-identifier-spanning-multiple-aes-blocks-xyz"),
         std::string(255, 'z')}) {

@@ -11,13 +11,15 @@ namespace {
 // The paper's Fig. 6 tree: maximal generalization nodes {20, 21, 22},
 // minimal generalization nodes {30, 31, 45, 46, 33, 22}.
 //
-//            root
-//        /    |    \
-//      20    21    22
-//     /  \  /  \
-//    30 31 32  33
-//          / \
-//        45   46
+/*
+ *            root
+ *        /    |    \
+ *      20    21    22
+ *     /  \  /  \
+ *    30 31 32  33
+ *          / \
+ *        45   46
+ */
 DomainHierarchy Fig6Tree() {
   return HierarchyBuilder::FromOutline("fig6", R"(root
   20
