@@ -88,11 +88,12 @@ int Run() {
 
   // The attack stays inside the usage metrics: measure the attacked
   // table's info loss on the symptom column.
-  const double attacked_loss =
-      Unwrap(ColumnInfoLossOfLabels(
-                 hier_attacked.ColumnValues(kSymptomColumn),
-                 *env.metrics.trees[kSymptomQiIndex]),
-             "attacked info loss");
+  const double attacked_loss = Unwrap(
+      ColumnInfoLossOfLabelsEncoded(
+          Unwrap(EncodedColumn::Labels(hier_attacked, kSymptomColumn,
+                                       env.metrics.trees[kSymptomQiIndex]),
+                 "encode attacked column")),
+      "attacked info loss");
   std::printf("attack changed %zu cells; attacked symptom info loss: %.2f%% "
               "(still within the maximal-generalization bound)\n",
               attack_report.cells_changed, attacked_loss * 100.0);

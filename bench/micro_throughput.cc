@@ -11,6 +11,7 @@
 #include "binning/binning_engine.h"
 #include "crypto/aes128.h"
 #include "crypto/sha1.h"
+#include "hierarchy/encoded_view.h"
 #include "watermark/hierarchical.h"
 
 namespace privmark {
@@ -139,8 +140,42 @@ void BM_Sha1Hash(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha1Hash)->Arg(64)->Arg(4096);
 
+void BM_EncodeView20k(benchmark::State& state) {
+  // Cost of the dictionary-encoding pass itself: resolving every QI cell
+  // of the 20k table to its leaf NodeId once. This is what each pipeline
+  // stage used to pay per pass and now pays once per run.
+  SharedState& s = State();
+  std::vector<const DomainHierarchy*> trees;
+  for (const auto& gs : s.env.metrics.maximal) trees.push_back(gs.tree());
+  const std::vector<size_t> qi_columns =
+      s.env.original().schema().QuasiIdentifyingColumns();
+  for (auto _ : state) {
+    auto view = EncodedView::Leaves(s.env.original(), qi_columns, trees);
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(state.iterations() * s.env.original().num_rows() *
+                          qi_columns.size());
+}
+BENCHMARK(BM_EncodeView20k)->Iterations(5)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace bench
 }  // namespace privmark
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): records whether *this library*
+// was compiled with optimizations into the JSON context. (The benchmark
+// library's own "library_build_type" field describes libbenchmark, not us —
+// distro packages often ship it assertion-enabled, which made Release runs
+// look like debug runs.)
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("privmark_build_type", "release");
+#else
+  benchmark::AddCustomContext("privmark_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

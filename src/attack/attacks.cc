@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string_view>
 
 #include "common/strings.h"
 #include "watermark/ownership.h"
@@ -17,14 +18,25 @@ Result<AttackReport> SubsetAlterationAttack(
   AttackReport report;
   if (table->num_rows() == 0 || fraction == 0.0) return report;
 
-  // Distinct labels currently visible per column.
+  // Distinct labels currently visible per column. Labels are read by
+  // reference; only first occurrences are copied into the pool.
   std::vector<std::vector<Value>> label_pool(qi_columns.size());
   for (size_t c = 0; c < qi_columns.size(); ++c) {
-    std::set<std::string> seen;
+    std::set<std::string, std::less<>> seen;  // transparent: view lookups
+    std::string scratch;
     for (size_t r = 0; r < table->num_rows(); ++r) {
-      const std::string label = table->at(r, qi_columns[c]).ToString();
-      if (seen.insert(label).second) {
-        label_pool[c].push_back(Value::String(label));
+      const Value& cell = table->at(r, qi_columns[c]);
+      std::string_view label;
+      if (cell.type() == ValueType::kString) {
+        label = cell.AsString();
+      } else {
+        scratch = cell.ToString();
+        label = scratch;
+      }
+      const auto it = seen.lower_bound(label);
+      if (it == seen.end() || *it != label) {
+        seen.emplace_hint(it, label);
+        label_pool[c].push_back(Value::String(std::string(label)));
       }
     }
   }
@@ -127,7 +139,10 @@ Result<AttackReport> GeneralizationAttack(
     bool row_touched = false;
     for (size_t c = 0; c < qi_columns.size(); ++c) {
       const DomainHierarchy& tree = *maximal[c].tree();
-      auto node = tree.FindByLabel(table->at(r, qi_columns[c]).ToString());
+      const Value& cell = table->at(r, qi_columns[c]);
+      auto node = cell.type() == ValueType::kString
+                      ? tree.FindByLabel(cell.AsString())
+                      : tree.FindByLabel(cell.ToString());
       if (!node.ok()) continue;  // altered beyond the domain; leave it
       NodeId cur = *node;
       for (int step = 0; step < levels; ++step) {
@@ -168,7 +183,10 @@ Result<AttackReport> SiblingSwapAttack(Table* table,
     bool touched = false;
     for (size_t c = 0; c < qi_columns.size(); ++c) {
       const DomainHierarchy& tree = *ultimate[c].tree();
-      auto node = tree.FindByLabel(table->at(r, qi_columns[c]).ToString());
+      const Value& cell = table->at(r, qi_columns[c]);
+      auto node = cell.type() == ValueType::kString
+                      ? tree.FindByLabel(cell.AsString())
+                      : tree.FindByLabel(cell.ToString());
       if (!node.ok()) continue;
       // Siblings that are themselves ultimate nodes (so the table stays a
       // plausible binned table).

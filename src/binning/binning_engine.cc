@@ -1,6 +1,7 @@
 #include "binning/binning_engine.h"
 
 #include "crypto/aes128.h"
+#include "hierarchy/encoded_view.h"
 #include "metrics/info_loss.h"
 
 namespace privmark {
@@ -38,7 +39,18 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
 
   BinningOutcome outcome;
   outcome.qi_columns = qi_columns;
-  Table working = input.Clone();
+
+  // Encode every quasi-identifying column to leaf NodeIds exactly once.
+  // Everything until materialization — both binning phases, suppression,
+  // information loss — runs on these integer columns; the cells' strings
+  // are only touched again when the output table is written.
+  std::vector<const DomainHierarchy*> trees;
+  trees.reserve(qi_columns.size());
+  for (const GeneralizationSet& gs : metrics_.maximal) {
+    trees.push_back(gs.tree());
+  }
+  PRIVMARK_ASSIGN_OR_RETURN(EncodedView view,
+                            EncodedView::Leaves(input, qi_columns, trees));
 
   // Phase 1: mono-attribute binning per column (Fig. 5), downward from the
   // maximal generalization nodes.
@@ -48,35 +60,53 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     PRIVMARK_ASSIGN_OR_RETURN(
         MonoBinningResult mono,
-        MonoAttributeBin(metrics_.maximal[c], working.ColumnValues(qi_columns[c]),
-                         mono_options));
-    // Collect rows under suppressed nodes.
+        MonoAttributeBinEncoded(metrics_.maximal[c], view.column(c),
+                                mono_options));
+    // Collect rows under suppressed nodes: mark the suppressed subtrees'
+    // leaves, then scan the encoded ids.
     if (!mono.suppressed_nodes.empty()) {
-      const DomainHierarchy& tree = *metrics_.trees[c];
-      for (size_t r = 0; r < working.num_rows(); ++r) {
-        PRIVMARK_ASSIGN_OR_RETURN(NodeId leaf,
-                                  tree.LeafForValue(working.at(r, qi_columns[c])));
-        for (NodeId suppressed : mono.suppressed_nodes) {
-          if (tree.IsAncestorOrSelf(suppressed, leaf)) {
-            rows_to_suppress.push_back(r);
-            break;
-          }
+      const DomainHierarchy& tree = *trees[c];
+      std::vector<char> dropped_leaf(tree.num_nodes(), 0);
+      for (NodeId suppressed : mono.suppressed_nodes) {
+        const auto [begin, end] = tree.LeafSpan(suppressed);
+        for (size_t i = begin; i < end; ++i) {
+          dropped_leaf[tree.Leaves()[i]] = 1;
         }
+      }
+      const std::vector<NodeId>& ids = view.column(c).ids();
+      for (size_t r = 0; r < ids.size(); ++r) {
+        if (dropped_leaf[ids[r]]) rows_to_suppress.push_back(r);
       }
     }
     outcome.minimal.push_back(std::move(mono.minimal));
   }
+
+  // The table the later phases operate on: the input itself, or — after
+  // suppression — a reduced copy. The encoded view is filtered in lock
+  // step so downstream phases never re-resolve cells.
+  const Table* working = &input;
+  Table reduced;
   if (!rows_to_suppress.empty()) {
-    working.RemoveRows(rows_to_suppress);
-    outcome.suppressed_rows = rows_to_suppress.size();
-    // Redo mono-attribute binning on the reduced table: suppression can
+    std::vector<char> keep(input.num_rows(), 1);
+    for (size_t r : rows_to_suppress) keep[r] = 0;
+    reduced = Table(schema);
+    for (size_t r = 0; r < input.num_rows(); ++r) {
+      if (!keep[r]) continue;
+      PRIVMARK_RETURN_NOT_OK(reduced.AppendRow(input.row(r)));
+    }
+    // Rows actually removed: a row suppressed via several columns is
+    // listed once per column above but must be counted once.
+    outcome.suppressed_rows = input.num_rows() - reduced.num_rows();
+    working = &reduced;
+    PRIVMARK_ASSIGN_OR_RETURN(view, view.Filtered(keep));
+    // Redo mono-attribute binning on the reduced data: suppression can
     // only shrink counts, but minimal nodes must reflect the final data.
     outcome.minimal.clear();
     for (size_t c = 0; c < qi_columns.size(); ++c) {
       PRIVMARK_ASSIGN_OR_RETURN(
           MonoBinningResult mono,
-          MonoAttributeBin(metrics_.maximal[c],
-                           working.ColumnValues(qi_columns[c]), mono_options));
+          MonoAttributeBinEncoded(metrics_.maximal[c], view.column(c),
+                                  mono_options));
       outcome.minimal.push_back(std::move(mono.minimal));
     }
   }
@@ -84,8 +114,7 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
   // Mono-phase information loss (Fig. 11 series 1).
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     PRIVMARK_ASSIGN_OR_RETURN(
-        double loss,
-        ColumnInfoLoss(working.ColumnValues(qi_columns[c]), outcome.minimal[c]));
+        double loss, ColumnInfoLossEncoded(view.column(c), outcome.minimal[c]));
     outcome.mono_column_loss.push_back(loss);
   }
   outcome.mono_normalized_loss = NormalizedInfoLoss(outcome.mono_column_loss);
@@ -97,8 +126,8 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
     multi_options.k = effective_k;
     PRIVMARK_ASSIGN_OR_RETURN(
         MultiBinningResult multi,
-        MultiAttributeBin(working, qi_columns, outcome.minimal,
-                          metrics_.maximal, multi_options));
+        MultiAttributeBin(*working, qi_columns, outcome.minimal,
+                          metrics_.maximal, multi_options, &view));
     outcome.ultimate = std::move(multi.ultimate);
     outcome.candidates_considered = multi.candidates_considered;
   } else {
@@ -109,23 +138,46 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     PRIVMARK_ASSIGN_OR_RETURN(
         double loss,
-        ColumnInfoLoss(working.ColumnValues(qi_columns[c]), outcome.ultimate[c]));
+        ColumnInfoLossEncoded(view.column(c), outcome.ultimate[c]));
     outcome.multi_column_loss.push_back(loss);
   }
   outcome.multi_normalized_loss = NormalizedInfoLoss(outcome.multi_column_loss);
 
-  // Phase 3 (Fig. 8): encrypt identifiers, generalize QI cells.
+  // Phase 3 (Fig. 8): materialize the protected table in one pass —
+  // encrypted identifiers, quasi-identifier cells rewritten to their
+  // ultimate generalization node's label, other cells copied through.
   const Aes128 cipher = Aes128::FromPassphrase(config_.encryption_passphrase);
-  for (size_t r = 0; r < working.num_rows(); ++r) {
-    PRIVMARK_ASSIGN_OR_RETURN(
-        std::string encrypted,
-        cipher.EncryptValue(working.at(r, ident_col).ToString()));
-    working.Set(r, ident_col, Value::String(std::move(encrypted)));
+  std::vector<int> qi_index_of_col(input.num_columns(), -1);
+  for (size_t c = 0; c < qi_columns.size(); ++c) {
+    qi_index_of_col[qi_columns[c]] = static_cast<int>(c);
   }
-  PRIVMARK_RETURN_NOT_OK(
-      ApplyGeneralization(&working, qi_columns, outcome.ultimate));
+  Table binned(schema);
+  for (size_t r = 0; r < working->num_rows(); ++r) {
+    Row row;
+    row.reserve(working->num_columns());
+    for (size_t col = 0; col < working->num_columns(); ++col) {
+      if (col == ident_col) {
+        PRIVMARK_ASSIGN_OR_RETURN(
+            std::string encrypted,
+            cipher.EncryptValue(working->at(r, col).ToString()));
+        row.push_back(Value::String(std::move(encrypted)));
+        continue;
+      }
+      const int c = qi_index_of_col[col];
+      if (c >= 0) {
+        PRIVMARK_ASSIGN_OR_RETURN(
+            NodeId node,
+            outcome.ultimate[c].NodeForLeaf(
+                view.column(static_cast<size_t>(c)).id(r)));
+        row.push_back(Value::String(trees[c]->node(node).label));
+        continue;
+      }
+      row.push_back(working->at(r, col));
+    }
+    PRIVMARK_RETURN_NOT_OK(binned.AppendRow(std::move(row)));
+  }
 
-  outcome.binned = std::move(working);
+  outcome.binned = std::move(binned);
   return outcome;
 }
 

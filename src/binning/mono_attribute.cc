@@ -1,26 +1,17 @@
 #include "binning/mono_attribute.h"
 
-#include <map>
-
 namespace privmark {
 
 namespace {
 
-// Per-node tuple counts for the whole tree in O(nodes + values): leaves get
-// direct counts, interior nodes subtree sums (children always have larger
-// ids than parents, so one reverse pass suffices).
-Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
-                                         const std::vector<Value>& values) {
-  std::vector<size_t> counts(tree.num_nodes(), 0);
-  for (const Value& v : values) {
-    PRIVMARK_ASSIGN_OR_RETURN(NodeId leaf, tree.LeafForValue(v));
-    ++counts[leaf];
-  }
+// Sums leaf counts into interior nodes: children always have larger ids
+// than parents, so one reverse pass suffices.
+void AccumulateSubtreeSums(const DomainHierarchy& tree,
+                           std::vector<size_t>* counts) {
   for (size_t i = tree.num_nodes(); i-- > 1;) {
     const NodeId parent = tree.Parent(static_cast<NodeId>(i));
-    if (parent != kInvalidNode) counts[parent] += counts[i];
+    if (parent != kInvalidNode) (*counts)[parent] += (*counts)[i];
   }
-  return counts;
 }
 
 // The paper's SubGMN for the simple strategy: returns the minimal
@@ -82,25 +73,84 @@ void SubGmnAggressive(const DomainHierarchy& tree,
 
 }  // namespace
 
+Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
+                                         const std::vector<Value>& values) {
+  std::vector<size_t> counts(tree.num_nodes(), 0);
+  for (const Value& v : values) {
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId leaf, tree.LeafForValue(v));
+    ++counts[leaf];
+  }
+  AccumulateSubtreeSums(tree, &counts);
+  return counts;
+}
+
+Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
+                                         const std::vector<NodeId>& leaf_ids) {
+  std::vector<size_t> counts(tree.num_nodes(), 0);
+  for (const NodeId leaf : leaf_ids) {
+    if (leaf < 0 || static_cast<size_t>(leaf) >= tree.num_nodes()) {
+      return Status::OutOfRange("CountPerNode: leaf id " +
+                                std::to_string(leaf) + " out of range");
+    }
+    ++counts[leaf];
+  }
+  AccumulateSubtreeSums(tree, &counts);
+  return counts;
+}
+
 Result<size_t> NumTuple(const DomainHierarchy& tree, NodeId node,
                         const std::vector<Value>& values) {
+  PRIVMARK_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                            CountPerNode(tree, values));
+  return NumTupleFromCounts(tree, node, counts);
+}
+
+Result<size_t> NumTupleFromCounts(const DomainHierarchy& tree, NodeId node,
+                                  const std::vector<size_t>& counts) {
   if (node < 0 || static_cast<size_t>(node) >= tree.num_nodes()) {
     return Status::OutOfRange("NumTuple: node id out of range");
   }
-  PRIVMARK_ASSIGN_OR_RETURN(std::vector<size_t> counts,
-                            CountPerNode(tree, values));
+  if (counts.size() != tree.num_nodes()) {
+    return Status::InvalidArgument(
+        "NumTuple: counts cover " + std::to_string(counts.size()) +
+        " nodes, tree has " + std::to_string(tree.num_nodes()));
+  }
   return counts[node];
 }
 
 Result<MonoBinningResult> MonoAttributeBin(const GeneralizationSet& maximal,
                                            const std::vector<Value>& values,
                                            const MonoBinningOptions& options) {
+  PRIVMARK_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                            CountPerNode(*maximal.tree(), values));
+  return MonoAttributeBinCounts(maximal, counts, options);
+}
+
+Result<MonoBinningResult> MonoAttributeBinEncoded(
+    const GeneralizationSet& maximal, const EncodedColumn& column,
+    const MonoBinningOptions& options) {
+  if (column.tree() != maximal.tree()) {
+    return Status::InvalidArgument(
+        "MonoAttributeBin: encoded column and maximal nodes use different "
+        "trees");
+  }
+  PRIVMARK_ASSIGN_OR_RETURN(std::vector<size_t> counts,
+                            CountPerNode(*maximal.tree(), column.ids()));
+  return MonoAttributeBinCounts(maximal, counts, options);
+}
+
+Result<MonoBinningResult> MonoAttributeBinCounts(
+    const GeneralizationSet& maximal, const std::vector<size_t>& counts,
+    const MonoBinningOptions& options) {
   if (options.k < 1) {
     return Status::InvalidArgument("MonoAttributeBin: k must be >= 1");
   }
   const DomainHierarchy& tree = *maximal.tree();
-  PRIVMARK_ASSIGN_OR_RETURN(std::vector<size_t> counts,
-                            CountPerNode(tree, values));
+  if (counts.size() != tree.num_nodes()) {
+    return Status::InvalidArgument(
+        "MonoAttributeBin: counts cover " + std::to_string(counts.size()) +
+        " nodes, tree has " + std::to_string(tree.num_nodes()));
+  }
 
   std::vector<NodeId> mingends;
   std::vector<NodeId> suppressed;

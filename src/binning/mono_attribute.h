@@ -6,6 +6,11 @@
 // the minimal generalization nodes. The recursion mirrors the paper's
 // GenMinNd / SubGMN / NumTuple exactly; deviations for degenerate inputs are
 // documented on the options below.
+//
+// Hot path: the search itself only ever touches per-node tuple counts, so
+// the Value-based entry points are thin wrappers that encode the column to
+// leaf NodeIds once (or accept a pre-encoded column) and hand a flat counts
+// vector to the integer-only kernel.
 
 #ifndef PRIVMARK_BINNING_MONO_ATTRIBUTE_H_
 #define PRIVMARK_BINNING_MONO_ATTRIBUTE_H_
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "hierarchy/encoded_view.h"
 #include "hierarchy/generalization.h"
 #include "relation/value.h"
 
@@ -63,6 +69,18 @@ struct MonoBinningResult {
   size_t nodes_inspected = 0;
 };
 
+/// \brief Per-node tuple counts for the whole tree in O(nodes + rows):
+/// leaves get direct counts, interior nodes subtree sums. Exposed so
+/// callers can compute counts once and reuse them across NumTuple calls
+/// and binning passes.
+Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
+                                         const std::vector<Value>& values);
+
+/// \brief Counts over a pre-encoded column of leaf ids (no string work).
+/// OutOfRange if an id is not a valid node of `tree`.
+Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
+                                         const std::vector<NodeId>& leaf_ids);
+
 /// \brief Runs mono-attribute binning for one column.
 ///
 /// \param maximal the column's maximal generalization nodes (usage metrics)
@@ -77,10 +95,31 @@ Result<MonoBinningResult> MonoAttributeBin(const GeneralizationSet& maximal,
                                            const std::vector<Value>& values,
                                            const MonoBinningOptions& options);
 
+/// \brief Same over a pre-encoded column (leaf ids); the hot-loop form the
+/// binning agent uses — the column is resolved to integers exactly once
+/// per pipeline run, not once per binning pass. (Distinct name rather than
+/// an overload: brace-initialized empty arguments would otherwise be
+/// ambiguous against the Value form.)
+Result<MonoBinningResult> MonoAttributeBinEncoded(
+    const GeneralizationSet& maximal, const EncodedColumn& column,
+    const MonoBinningOptions& options);
+
+/// \brief Same over precomputed per-node counts (from CountPerNode).
+Result<MonoBinningResult> MonoAttributeBinCounts(
+    const GeneralizationSet& maximal, const std::vector<size_t>& counts,
+    const MonoBinningOptions& options);
+
 /// \brief The paper's NumTuple: tuples of `values` whose leaf lies in the
 /// subtree rooted at `node`. Exposed for tests and diagnostics.
 Result<size_t> NumTuple(const DomainHierarchy& tree, NodeId node,
                         const std::vector<Value>& values);
+
+/// \brief Counts-reusing form: callers holding a CountPerNode result
+/// answer NumTuple queries in O(1) instead of recounting the column.
+/// (Distinct name: a brace-initialized empty argument would otherwise be
+/// ambiguous against the Value form.)
+Result<size_t> NumTupleFromCounts(const DomainHierarchy& tree, NodeId node,
+                                  const std::vector<size_t>& counts);
 
 }  // namespace privmark
 

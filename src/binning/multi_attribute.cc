@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <set>
+#include <unordered_map>
 
 namespace privmark {
 
 namespace {
 
 // Per-row leaf ids for one column (computed once; generalizations change,
-// leaves do not).
+// leaves do not). When the caller already holds an EncodedView, its column
+// is borrowed instead of re-resolving cells.
 Result<std::vector<NodeId>> RowLeaves(const Table& table, size_t column,
                                       const DomainHierarchy& tree) {
   std::vector<NodeId> leaves(table.num_rows());
@@ -20,18 +21,36 @@ Result<std::vector<NodeId>> RowLeaves(const Table& table, size_t column,
   return leaves;
 }
 
+// FNV-1a over the node-id vector; bins are only scanned for < k violations
+// and point-queried, so hashed (unordered) grouping is free speed.
+struct NodeVectorHash {
+  size_t operator()(const std::vector<NodeId>& key) const {
+    uint64_t h = 1469598103934665603ull;
+    for (const NodeId id : key) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(id));
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using BinSizeMap =
+    std::unordered_map<std::vector<NodeId>, size_t, NodeVectorHash>;
+
 // Groups rows by their generalization-node vector; returns bin sizes keyed
-// by the node vector.
-Result<std::map<std::vector<NodeId>, size_t>> BinSizes(
-    const std::vector<std::vector<NodeId>>& row_leaves,
+// by the node vector. Columns are borrowed (pointers), matching how the
+// search holds a caller's EncodedView without copying it.
+Result<BinSizeMap> BinSizes(
+    const std::vector<const std::vector<NodeId>*>& row_leaves,
     const std::vector<GeneralizationSet>& gens) {
-  std::map<std::vector<NodeId>, size_t> bins;
+  BinSizeMap bins;
   if (row_leaves.empty()) return bins;
-  const size_t num_rows = row_leaves[0].size();
+  const size_t num_rows = row_leaves[0]->size();
   std::vector<NodeId> key(gens.size());
   for (size_t r = 0; r < num_rows; ++r) {
     for (size_t c = 0; c < gens.size(); ++c) {
-      PRIVMARK_ASSIGN_OR_RETURN(key[c], gens[c].NodeForLeaf(row_leaves[c][r]));
+      PRIVMARK_ASSIGN_OR_RETURN(key[c],
+                                gens[c].NodeForLeaf((*row_leaves[c])[r]));
     }
     ++bins[key];
   }
@@ -59,13 +78,16 @@ Result<bool> IsJointlyKAnonymous(const Table& table,
                                  const std::vector<size_t>& qi_columns,
                                  const std::vector<GeneralizationSet>& gens,
                                  size_t k) {
-  std::vector<std::vector<NodeId>> row_leaves;
+  std::vector<std::vector<NodeId>> owned;
+  owned.reserve(qi_columns.size());
+  std::vector<const std::vector<NodeId>*> row_leaves;
   row_leaves.reserve(qi_columns.size());
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     PRIVMARK_ASSIGN_OR_RETURN(
         std::vector<NodeId> leaves,
         RowLeaves(table, qi_columns[c], *gens[c].tree()));
-    row_leaves.push_back(std::move(leaves));
+    owned.push_back(std::move(leaves));
+    row_leaves.push_back(&owned.back());
   }
   PRIVMARK_ASSIGN_OR_RETURN(auto bins, BinSizes(row_leaves, gens));
   for (const auto& [key, size] : bins) {
@@ -78,7 +100,7 @@ Result<MultiBinningResult> MultiAttributeBin(
     const Table& table, const std::vector<size_t>& qi_columns,
     const std::vector<GeneralizationSet>& minimal,
     const std::vector<GeneralizationSet>& maximal,
-    const MultiBinningOptions& options) {
+    const MultiBinningOptions& options, const EncodedView* view) {
   const size_t num_cols = qi_columns.size();
   if (minimal.size() != num_cols || maximal.size() != num_cols) {
     return Status::InvalidArgument(
@@ -95,14 +117,34 @@ Result<MultiBinningResult> MultiAttributeBin(
     }
   }
 
-  // Precompute row leaves per column.
-  std::vector<std::vector<NodeId>> row_leaves;
+  if (view != nullptr && view->num_columns() != num_cols) {
+    return Status::InvalidArgument(
+        "MultiAttributeBin: encoded view covers " +
+        std::to_string(view->num_columns()) + " columns, expected " +
+        std::to_string(num_cols));
+  }
+
+  // Per-column row leaves: borrowed by pointer from the caller's encoded
+  // view when available (no copies), resolved once into `owned` otherwise.
+  std::vector<std::vector<NodeId>> owned;
+  owned.reserve(num_cols);
+  std::vector<const std::vector<NodeId>*> row_leaves;
   row_leaves.reserve(num_cols);
   for (size_t c = 0; c < num_cols; ++c) {
+    if (view != nullptr) {
+      if (view->column(c).tree() != minimal[c].tree()) {
+        return Status::InvalidArgument(
+            "MultiAttributeBin: encoded view column " + std::to_string(c) +
+            " uses a different tree than its minimal nodes");
+      }
+      row_leaves.push_back(&view->column(c).ids());
+      continue;
+    }
     PRIVMARK_ASSIGN_OR_RETURN(
         std::vector<NodeId> leaves,
         RowLeaves(table, qi_columns[c], *minimal[c].tree()));
-    row_leaves.push_back(std::move(leaves));
+    owned.push_back(std::move(leaves));
+    row_leaves.push_back(&owned.back());
   }
 
   auto jointly_k_anonymous =
@@ -204,8 +246,8 @@ Result<MultiBinningResult> MultiAttributeBin(
     for (size_t c = 0; c < num_cols; ++c) {
       row_nodes[c].resize(num_rows);
       for (size_t r = 0; r < num_rows; ++r) {
-        PRIVMARK_ASSIGN_OR_RETURN(row_nodes[c][r],
-                                  current[c].NodeForLeaf(row_leaves[c][r]));
+        PRIVMARK_ASSIGN_OR_RETURN(
+            row_nodes[c][r], current[c].NodeForLeaf((*row_leaves[c])[r]));
       }
     }
     std::vector<char> violating(num_rows, 0);
@@ -235,12 +277,12 @@ Result<MultiBinningResult> MultiAttributeBin(
         // Eligible iff p's leaves are currently covered strictly below p
         // (checking one leaf suffices for a valid antichain) and p stays at
         // or below the maximal nodes.
-        const std::vector<NodeId> leaves = tree.LeavesUnder(p);
+        const NodeId first_leaf = tree.FirstLeafUnder(p);
         PRIVMARK_ASSIGN_OR_RETURN(NodeId cover,
-                                  current[c].NodeForLeaf(leaves.front()));
+                                  current[c].NodeForLeaf(first_leaf));
         if (cover == p || !tree.IsAncestorOrSelf(p, cover)) continue;
         PRIVMARK_ASSIGN_OR_RETURN(NodeId max_cover,
-                                  maximal[c].NodeForLeaf(leaves.front()));
+                                  maximal[c].NodeForLeaf(first_leaf));
         if (!tree.IsAncestorOrSelf(max_cover, p)) continue;
 
         size_t members_merged = 0;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "hierarchy/encoded_view.h"
 #include "hierarchy/generalization.h"
 #include "relation/table.h"
 
@@ -64,11 +65,15 @@ struct MultiBinningResult {
 ///
 /// Returns Unbinnable if even the all-maximal combination is not jointly
 /// k-anonymous (the paper's notion of "binnable data" requires it).
+///
+/// \param view optional pre-encoded leaf view of the table's qi_columns
+///        (parallel to them); when given, the search reuses it instead of
+///        re-resolving every cell through the label index.
 Result<MultiBinningResult> MultiAttributeBin(
     const Table& table, const std::vector<size_t>& qi_columns,
     const std::vector<GeneralizationSet>& minimal,
     const std::vector<GeneralizationSet>& maximal,
-    const MultiBinningOptions& options);
+    const MultiBinningOptions& options, const EncodedView* view = nullptr);
 
 /// \brief Checks whether a per-column generalization combination makes the
 /// table jointly k-anonymous; exposed for tests and the framework report.

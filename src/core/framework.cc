@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <string_view>
 
 #include "crypto/aes128.h"
 
@@ -115,18 +116,32 @@ Result<std::vector<AttributeSeamlessness>> MeasureSeamlessness(
     AttributeSeamlessness row;
     row.attribute = binned.schema().column(col).name;
 
-    std::map<std::string, size_t> before;
-    for (size_t r = 0; r < binned.num_rows(); ++r) {
-      ++before[binned.at(r, col).ToString()];
-    }
-    std::map<std::string, size_t> after;
-    for (size_t r = 0; r < watermarked.num_rows(); ++r) {
-      ++after[watermarked.at(r, col).ToString()];
-    }
+    // Count label frequencies. Binned cells are label strings, so counting
+    // by reference (transparent comparator) avoids one copy per cell.
+    auto count_labels = [col](const Table& table) {
+      std::map<std::string, size_t, std::less<>> counts;
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        const Value& cell = table.at(r, col);
+        if (cell.type() == ValueType::kString) {
+          const std::string_view label = cell.AsString();
+          auto it = counts.find(label);
+          if (it == counts.end()) {
+            counts.emplace(std::string(label), 1);
+          } else {
+            ++it->second;
+          }
+        } else {
+          ++counts[cell.ToString()];
+        }
+      }
+      return counts;
+    };
+    const auto before = count_labels(binned);
+    const auto after = count_labels(watermarked);
 
     row.total_bins = before.size();
     // Changed = union of labels whose before/after sizes differ.
-    std::map<std::string, std::pair<size_t, size_t>> merged;
+    std::map<std::string, std::pair<size_t, size_t>, std::less<>> merged;
     for (const auto& [label, n] : before) merged[label].first = n;
     for (const auto& [label, n] : after) merged[label].second = n;
     for (const auto& [label, sizes] : merged) {

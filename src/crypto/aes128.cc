@@ -62,17 +62,12 @@ constexpr uint8_t kInvSbox[256] = {
 constexpr uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
                                0x20, 0x40, 0x80, 0x1b, 0x36};
 
-// Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
-uint8_t GfMul(uint8_t a, uint8_t b) {
-  uint8_t p = 0;
-  while (b) {
-    if (b & 1) p ^= a;
-    const bool carry = a & 0x80;
-    a <<= 1;
-    if (carry) a ^= 0x1b;
-    b >>= 1;
-  }
-  return p;
+// Multiplication by x in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1
+// (the "xtime" primitive). Branch-free; all MixColumns coefficients (2, 3,
+// 9, 11, 13, 14) decompose into xtime chains, so no generic GF multiplier
+// is needed.
+inline uint8_t XTime(uint8_t a) {
+  return static_cast<uint8_t>((a << 1) ^ ((a >> 7) * 0x1b));
 }
 
 constexpr size_t kChunk = 15;  // plaintext bytes per block (1 byte header)
@@ -130,10 +125,11 @@ void Aes128::EncryptBlock(uint8_t block[kBlockSize]) const {
     for (int c = 0; c < 4; ++c) {
       uint8_t* col = block + 4 * c;
       const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-      col[0] = GfMul(a0, 2) ^ GfMul(a1, 3) ^ a2 ^ a3;
-      col[1] = a0 ^ GfMul(a1, 2) ^ GfMul(a2, 3) ^ a3;
-      col[2] = a0 ^ a1 ^ GfMul(a2, 2) ^ GfMul(a3, 3);
-      col[3] = GfMul(a0, 3) ^ a1 ^ a2 ^ GfMul(a3, 2);
+      // GfMul(a, 2) = XTime(a), GfMul(a, 3) = XTime(a) ^ a.
+      col[0] = XTime(a0) ^ (XTime(a1) ^ a1) ^ a2 ^ a3;
+      col[1] = a0 ^ XTime(a1) ^ (XTime(a2) ^ a2) ^ a3;
+      col[2] = a0 ^ a1 ^ XTime(a2) ^ (XTime(a3) ^ a3);
+      col[3] = (XTime(a0) ^ a0) ^ a1 ^ a2 ^ XTime(a3);
     }
   };
 
@@ -171,10 +167,30 @@ void Aes128::DecryptBlock(uint8_t block[kBlockSize]) const {
     for (int c = 0; c < 4; ++c) {
       uint8_t* col = block + 4 * c;
       const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-      col[0] = GfMul(a0, 14) ^ GfMul(a1, 11) ^ GfMul(a2, 13) ^ GfMul(a3, 9);
-      col[1] = GfMul(a0, 9) ^ GfMul(a1, 14) ^ GfMul(a2, 11) ^ GfMul(a3, 13);
-      col[2] = GfMul(a0, 13) ^ GfMul(a1, 9) ^ GfMul(a2, 14) ^ GfMul(a3, 11);
-      col[3] = GfMul(a0, 11) ^ GfMul(a1, 13) ^ GfMul(a2, 9) ^ GfMul(a3, 14);
+      // x1 = 2a, x2 = 4a, x3 = 8a; 9 = 8+1, 11 = 8+2+1, 13 = 8+4+1,
+      // 14 = 8+4+2 — the standard xtime decomposition of InvMixColumns.
+      auto mul = [](uint8_t a, uint8_t* m9, uint8_t* m11, uint8_t* m13,
+                    uint8_t* m14) {
+        const uint8_t x1 = XTime(a);
+        const uint8_t x2 = XTime(x1);
+        const uint8_t x3 = XTime(x2);
+        *m9 = x3 ^ a;
+        *m11 = x3 ^ x1 ^ a;
+        *m13 = x3 ^ x2 ^ a;
+        *m14 = x3 ^ x2 ^ x1;
+      };
+      uint8_t a0_9, a0_11, a0_13, a0_14;
+      uint8_t a1_9, a1_11, a1_13, a1_14;
+      uint8_t a2_9, a2_11, a2_13, a2_14;
+      uint8_t a3_9, a3_11, a3_13, a3_14;
+      mul(a0, &a0_9, &a0_11, &a0_13, &a0_14);
+      mul(a1, &a1_9, &a1_11, &a1_13, &a1_14);
+      mul(a2, &a2_9, &a2_11, &a2_13, &a2_14);
+      mul(a3, &a3_9, &a3_11, &a3_13, &a3_14);
+      col[0] = a0_14 ^ a1_11 ^ a2_13 ^ a3_9;
+      col[1] = a0_9 ^ a1_14 ^ a2_11 ^ a3_13;
+      col[2] = a0_13 ^ a1_9 ^ a2_14 ^ a3_11;
+      col[3] = a0_11 ^ a1_13 ^ a2_9 ^ a3_14;
     }
   };
 
@@ -195,10 +211,15 @@ Result<std::string> Aes128::EncryptValue(const std::string& value) const {
     return Status::InvalidArgument(
         "EncryptValue: value longer than 255 bytes");
   }
-  std::vector<uint8_t> out;
   // Chunk the plaintext into 15-byte pieces; each block stores
   // [remaining-length byte][15 bytes of payload, zero padded]. The length
-  // byte makes the overall mapping injective.
+  // byte makes the overall mapping injective. Hex digits are written
+  // straight into the output string (same encoding as HexEncode) — one
+  // allocation per value instead of three.
+  static constexpr char kHex[] = "0123456789abcdef";
+  const size_t blocks = value.size() / kChunk + 1;
+  std::string out;
+  out.reserve(blocks * kBlockSize * 2);
   size_t offset = 0;
   size_t remaining = value.size();
   do {
@@ -207,11 +228,14 @@ Result<std::string> Aes128::EncryptValue(const std::string& value) const {
     const size_t take = std::min(kChunk, value.size() - offset);
     std::memcpy(block + 1, value.data() + offset, take);
     EncryptBlock(block);
-    out.insert(out.end(), block, block + kBlockSize);
+    for (size_t i = 0; i < kBlockSize; ++i) {
+      out.push_back(kHex[block[i] >> 4]);
+      out.push_back(kHex[block[i] & 0xF]);
+    }
     offset += take;
     remaining = (remaining > kChunk) ? remaining - kChunk : 0;
   } while (remaining > 0);
-  return HexEncode(out);
+  return out;
 }
 
 Result<std::string> Aes128::DecryptValue(

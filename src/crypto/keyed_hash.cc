@@ -1,9 +1,28 @@
 #include "crypto/keyed_hash.h"
 
+#include <cstring>
+
 #include "crypto/md5.h"
 #include "crypto/sha1.h"
 
 namespace privmark {
+
+namespace {
+
+// Streams key || 0x00 || message into `hasher` and finishes into `out`
+// (which must hold the algorithm's digest size). No heap allocation.
+template <typename Hasher>
+void StreamKeyedDigest(Hasher& hasher, std::string_view key,
+                       std::string_view message, uint8_t* out) {
+  hasher.Update(reinterpret_cast<const uint8_t*>(key.data()), key.size());
+  const uint8_t sep = 0x00;
+  hasher.Update(&sep, 1);
+  hasher.Update(reinterpret_cast<const uint8_t*>(message.data()),
+                message.size());
+  hasher.FinishInto(out);
+}
+
+}  // namespace
 
 const char* HashAlgorithmToString(HashAlgorithm algo) {
   switch (algo) {
@@ -15,25 +34,53 @@ const char* HashAlgorithmToString(HashAlgorithm algo) {
   return "Unknown";
 }
 
-std::vector<uint8_t> KeyedDigest(HashAlgorithm algo, const std::string& key,
-                                 const std::string& message) {
-  std::string input;
-  input.reserve(key.size() + 1 + message.size());
-  input += key;
-  input.push_back('\0');
-  input += message;
+std::vector<uint8_t> KeyedDigest(HashAlgorithm algo, std::string_view key,
+                                 std::string_view message) {
   switch (algo) {
-    case HashAlgorithm::kSha1:
-      return Sha1::Hash(input);
-    case HashAlgorithm::kMd5:
-      return Md5::Hash(input);
+    case HashAlgorithm::kSha1: {
+      std::vector<uint8_t> digest(Sha1::kDigestSize);
+      Sha1 hasher;
+      StreamKeyedDigest(hasher, key, message, digest.data());
+      return digest;
+    }
+    case HashAlgorithm::kMd5: {
+      std::vector<uint8_t> digest(Md5::kDigestSize);
+      Md5 hasher;
+      StreamKeyedDigest(hasher, key, message, digest.data());
+      return digest;
+    }
   }
   return {};
 }
 
-uint64_t KeyedHash64(HashAlgorithm algo, const std::string& key,
-                     const std::string& message) {
-  const std::vector<uint8_t> digest = KeyedDigest(algo, key, message);
+uint64_t KeyedHash64(HashAlgorithm algo, std::string_view key,
+                     std::string_view message) {
+  // Both digests are >= 8 bytes; a stack buffer sized for the larger one
+  // keeps this allocation-free.
+  uint8_t digest[Sha1::kDigestSize];
+  switch (algo) {
+    case HashAlgorithm::kSha1: {
+      const size_t total = key.size() + 1 + message.size();
+      if (total <= 55) {
+        // Keyed inputs are tiny (key, separator, short message): assemble
+        // the padded block on the stack and compress exactly once.
+        uint8_t buf[55];
+        std::memcpy(buf, key.data(), key.size());
+        buf[key.size()] = 0x00;
+        std::memcpy(buf + key.size() + 1, message.data(), message.size());
+        Sha1::HashSingleBlock(buf, total, digest);
+        break;
+      }
+      Sha1 hasher;
+      StreamKeyedDigest(hasher, key, message, digest);
+      break;
+    }
+    case HashAlgorithm::kMd5: {
+      Md5 hasher;
+      StreamKeyedDigest(hasher, key, message, digest);
+      break;
+    }
+  }
   uint64_t out = 0;
   for (int i = 0; i < 8; ++i) {
     out = (out << 8) | digest[i];

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace privmark {
@@ -24,15 +25,18 @@ enum class HashAlgorithm {
 const char* HashAlgorithmToString(HashAlgorithm algo);
 
 /// \brief Full digest of key || 0x00 || message.
-std::vector<uint8_t> KeyedDigest(HashAlgorithm algo, const std::string& key,
-                                 const std::string& message);
+std::vector<uint8_t> KeyedDigest(HashAlgorithm algo, std::string_view key,
+                                 std::string_view message);
 
 /// \brief First 8 digest bytes as a big-endian uint64.
 ///
 /// This is the quantity the paper reduces mod eta (selection) or mod |S| /
-/// |wmd| (permutation and position choice).
-uint64_t KeyedHash64(HashAlgorithm algo, const std::string& key,
-                     const std::string& message);
+/// |wmd| (permutation and position choice). Streams key, separator and
+/// message into the hasher directly — no concatenation buffer, no digest
+/// allocation — so the watermarking hot loops can call it per tuple/slot
+/// without touching the heap.
+uint64_t KeyedHash64(HashAlgorithm algo, std::string_view key,
+                     std::string_view message);
 
 }  // namespace privmark
 

@@ -61,26 +61,36 @@ void Md5::Update(const std::string& data) {
   Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
 }
 
-std::vector<uint8_t> Md5::Finish() {
+void Md5::FinishInto(uint8_t* out) {
+  // Padding goes straight into the block buffer (buffer_len_ < 64 after
+  // any Update); see Sha1::FinishInto.
   const uint64_t bit_len = total_len_ * 8;
-  const uint8_t pad = 0x80;
-  Update(&pad, 1);
-  const uint8_t zero = 0x00;
-  while (buffer_len_ != 56) Update(&zero, 1);
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_ + buffer_len_, 0, sizeof(buffer_) - buffer_len_);
+    ProcessBlock(buffer_);
+    buffer_len_ = 0;
+  }
+  std::memset(buffer_ + buffer_len_, 0, 56 - buffer_len_);
   // MD5 appends the length little-endian (unlike SHA-1).
-  uint8_t len_bytes[8];
   for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<uint8_t>(bit_len >> (8 * i));
+    buffer_[56 + i] = static_cast<uint8_t>(bit_len >> (8 * i));
   }
-  Update(len_bytes, 8);
+  ProcessBlock(buffer_);
+  buffer_len_ = 0;
+  total_len_ = 0;
 
-  std::vector<uint8_t> digest(kDigestSize);
   for (int i = 0; i < 4; ++i) {
-    digest[4 * i + 0] = static_cast<uint8_t>(state_[i]);
-    digest[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 8);
-    digest[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 16);
-    digest[4 * i + 3] = static_cast<uint8_t>(state_[i] >> 24);
+    out[4 * i + 0] = static_cast<uint8_t>(state_[i]);
+    out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(state_[i] >> 24);
   }
+}
+
+std::vector<uint8_t> Md5::Finish() {
+  std::vector<uint8_t> digest(kDigestSize);
+  FinishInto(digest.data());
   return digest;
 }
 

@@ -28,6 +28,10 @@ class Md5 {
   /// \brief Finishes and returns the 16-byte digest.
   std::vector<uint8_t> Finish();
 
+  /// \brief Allocation-free Finish(): writes the digest into `out`
+  /// (kDigestSize bytes). Same reuse rule as Finish().
+  void FinishInto(uint8_t* out);
+
   void Reset();
 
   static std::vector<uint8_t> Hash(const std::string& data);

@@ -31,14 +31,25 @@ class Sha1 {
   /// reused after Finish() without Reset().
   std::vector<uint8_t> Finish();
 
+  /// \brief Allocation-free Finish(): writes the digest into `out`
+  /// (kDigestSize bytes). Same reuse rule as Finish().
+  void FinishInto(uint8_t* out);
+
   /// \brief Restores the initial state.
   void Reset();
 
   /// \brief One-shot convenience.
   static std::vector<uint8_t> Hash(const std::string& data);
 
+  /// \brief One-shot digest of a message short enough for a single padded
+  /// block (`len` <= 55 bytes): no state object, one compress call. This
+  /// is the watermarking hot path — every Eq. (5) / Fig. 9 hash input is a
+  /// few dozen bytes.
+  static void HashSingleBlock(const uint8_t* data, size_t len, uint8_t* out);
+
  private:
   void ProcessBlock(const uint8_t block[64]);
+  static void Compress(uint32_t h[5], const uint8_t block[64]);
 
   uint32_t h_[5];
   uint64_t total_len_ = 0;

@@ -8,47 +8,91 @@
 
 namespace privmark {
 
+// ---------------------------------------------------------------------------
+// LabelHashIndex
+
+uint64_t LabelHashIndex::HashLabel(std::string_view label) {
+  // FNV-1a 64. Labels are short (ontology terms, interval strings); a
+  // simple byte-wise hash beats std::hash's indirection here and is
+  // deterministic across processes, which keeps tree layouts reproducible.
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : label) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+NodeId LabelHashIndex::Find(std::string_view label,
+                            const std::vector<HierarchyNode>& nodes) const {
+  if (slots_.empty()) return kInvalidNode;
+  const uint64_t hash = HashLabel(label);
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    const Entry& entry = slots_[i];
+    if (entry.id == kInvalidNode) return kInvalidNode;
+    if (entry.hash == hash && nodes[entry.id].label == label) return entry.id;
+  }
+}
+
+void LabelHashIndex::Insert(std::string_view label, NodeId id,
+                            const std::vector<HierarchyNode>& nodes) {
+  if (slots_.empty() || size_ + 1 > slots_.size() - slots_.size() / 4) {
+    Grow(nodes);
+  }
+  const uint64_t hash = HashLabel(label);
+  const size_t mask = slots_.size() - 1;
+  size_t i = hash & mask;
+  while (slots_[i].id != kInvalidNode) i = (i + 1) & mask;
+  slots_[i] = Entry{hash, id};
+  ++size_;
+}
+
+void LabelHashIndex::Grow(const std::vector<HierarchyNode>& nodes) {
+  const size_t new_capacity = slots_.empty() ? 16 : slots_.size() * 2;
+  std::vector<Entry> old = std::move(slots_);
+  slots_.assign(new_capacity, Entry{});
+  const size_t mask = new_capacity - 1;
+  (void)nodes;  // content compares are unnecessary: stored labels are unique
+  for (const Entry& entry : old) {
+    if (entry.id == kInvalidNode) continue;
+    size_t i = entry.hash & mask;
+    while (slots_[i].id != kInvalidNode) i = (i + 1) & mask;
+    slots_[i] = entry;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DomainHierarchy
+
 std::vector<NodeId> DomainHierarchy::Siblings(NodeId id) const {
   const NodeId parent = nodes_[id].parent;
   if (parent == kInvalidNode) return {id};
   return nodes_[parent].children;
 }
 
-size_t DomainHierarchy::SiblingIndex(NodeId id) const {
-  const std::vector<NodeId> sibs = Siblings(id);
-  for (size_t i = 0; i < sibs.size(); ++i) {
-    if (sibs[i] == id) return i;
-  }
-  assert(false && "node not found among its siblings");
-  return 0;
-}
-
 std::vector<NodeId> DomainHierarchy::LeavesUnder(NodeId id) const {
-  std::vector<NodeId> out;
-  std::vector<NodeId> stack = {id};
-  while (!stack.empty()) {
-    const NodeId nd = stack.back();
-    stack.pop_back();
-    if (nodes_[nd].is_leaf()) {
-      out.push_back(nd);
-      continue;
-    }
-    // Push children in reverse so leaves come out left-to-right.
-    const auto& children = nodes_[nd].children;
-    for (auto it = children.rbegin(); it != children.rend(); ++it) {
-      stack.push_back(*it);
-    }
-  }
-  return out;
+  const auto [begin, end] = LeafSpan(id);
+  return std::vector<NodeId>(leaves_.begin() + begin, leaves_.begin() + end);
 }
 
-Result<NodeId> DomainHierarchy::FindByLabel(const std::string& label) const {
-  auto it = label_index_.find(label);
-  if (it == label_index_.end()) {
+Result<NodeId> DomainHierarchy::FindByLabel(std::string_view label) const {
+  const NodeId id = label_index_.Find(label, nodes_);
+  if (id == kInvalidNode) {
     return Status::KeyError("tree '" + attribute_ + "' has no node labeled '" +
-                            label + "'");
+                            std::string(label) + "'");
   }
-  return it->second;
+  return id;
+}
+
+Result<NodeId> DomainHierarchy::LeafForLabel(std::string_view label) const {
+  PRIVMARK_ASSIGN_OR_RETURN(NodeId id, FindByLabel(label));
+  if (!nodes_[id].is_leaf()) {
+    return Status::InvalidArgument("value '" + std::string(label) +
+                                   "' names an interior node of '" +
+                                   attribute_ + "', not a leaf");
+  }
+  return id;
 }
 
 Result<NodeId> DomainHierarchy::LeafForValue(const Value& value) const {
@@ -69,14 +113,12 @@ Result<NodeId> DomainHierarchy::LeafForValue(const Value& value) const {
     }
     return leaf;
   }
-  // Categorical (or an already-labelled cell in a numeric tree).
-  PRIVMARK_ASSIGN_OR_RETURN(NodeId id, FindByLabel(value.ToString()));
-  if (!nodes_[id].is_leaf()) {
-    return Status::InvalidArgument("value '" + value.ToString() +
-                                   "' names an interior node of '" +
-                                   attribute_ + "', not a leaf");
+  // Categorical (or an already-labelled cell in a numeric tree). String
+  // cells resolve by reference — no per-call label copy.
+  if (value.type() == ValueType::kString) {
+    return LeafForLabel(value.AsString());
   }
-  return id;
+  return LeafForLabel(value.ToString());
 }
 
 bool DomainHierarchy::IsAncestorOrSelf(NodeId ancestor,
@@ -113,13 +155,62 @@ std::string DomainHierarchy::ToString() const {
   return out;
 }
 
+void DomainHierarchy::FinalizeDerived() {
+  // Leaves, left-to-right (iterative DFS pushing children in reverse).
+  leaves_.clear();
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    const NodeId nd = stack.back();
+    stack.pop_back();
+    if (nodes_[nd].is_leaf()) {
+      leaves_.push_back(nd);
+      continue;
+    }
+    const auto& children = nodes_[nd].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+
+  // Leaf spans: a subtree's leaves are consecutive in leaves_, so spans
+  // merge bottom-up. Child ids are always larger than their parent's, so a
+  // single reverse pass folds each node's span into its parent's.
+  const uint32_t invalid_begin = static_cast<uint32_t>(leaves_.size());
+  leaf_span_begin_.assign(nodes_.size(), invalid_begin);
+  leaf_span_end_.assign(nodes_.size(), 0);
+  for (uint32_t i = 0; i < leaves_.size(); ++i) {
+    leaf_span_begin_[leaves_[i]] = i;
+    leaf_span_end_[leaves_[i]] = i + 1;
+  }
+  for (size_t i = nodes_.size(); i-- > 1;) {
+    const NodeId parent = nodes_[i].parent;
+    if (parent == kInvalidNode) continue;
+    leaf_span_begin_[parent] =
+        std::min(leaf_span_begin_[parent], leaf_span_begin_[i]);
+    leaf_span_end_[parent] = std::max(leaf_span_end_[parent], leaf_span_end_[i]);
+  }
+
+  // Sibling indices (root stays 0) and the dense-child-range check.
+  sibling_index_.assign(nodes_.size(), 0);
+  dense_children_ = true;
+  for (const HierarchyNode& node : nodes_) {
+    const auto& children = node.children;
+    for (size_t i = 0; i < children.size(); ++i) {
+      sibling_index_[children[i]] = static_cast<uint32_t>(i);
+      if (i > 0 && children[i] != children[i - 1] + 1) {
+        dense_children_ = false;
+      }
+    }
+  }
+}
+
 HierarchyBuilder::HierarchyBuilder(std::string attribute,
                                    std::string root_label) {
   tree_.attribute_ = std::move(attribute);
   HierarchyNode root;
   root.label = std::move(root_label);
   tree_.nodes_.push_back(root);
-  tree_.label_index_[tree_.nodes_[0].label] = 0;
+  tree_.label_index_.Insert(tree_.nodes_[0].label, 0, tree_.nodes_);
 }
 
 Result<NodeId> HierarchyBuilder::AddChild(NodeId parent,
@@ -129,7 +220,7 @@ Result<NodeId> HierarchyBuilder::AddChild(NodeId parent,
     return Status::OutOfRange("AddChild: parent id " + std::to_string(parent) +
                               " out of range");
   }
-  if (tree_.label_index_.count(label) > 0) {
+  if (tree_.label_index_.Find(label, tree_.nodes_) != kInvalidNode) {
     return Status::AlreadyExists("label '" + label +
                                  "' already used in tree '" +
                                  tree_.attribute_ + "'");
@@ -140,20 +231,20 @@ Result<NodeId> HierarchyBuilder::AddChild(NodeId parent,
   const NodeId id = static_cast<NodeId>(tree_.nodes_.size());
   tree_.nodes_.push_back(std::move(node));
   tree_.nodes_[parent].children.push_back(id);
-  tree_.label_index_[label] = id;
+  tree_.label_index_.Insert(label, id, tree_.nodes_);
   return id;
 }
 
 Result<NodeId> HierarchyBuilder::AddPath(const std::vector<std::string>& labels) {
   NodeId cur = tree_.root();
   for (const auto& label : labels) {
-    auto it = tree_.label_index_.find(label);
-    if (it != tree_.label_index_.end()) {
-      if (tree_.nodes_[it->second].parent != cur) {
+    const NodeId existing = tree_.label_index_.Find(label, tree_.nodes_);
+    if (existing != kInvalidNode) {
+      if (tree_.nodes_[existing].parent != cur) {
         return Status::InvalidArgument("AddPath: label '" + label +
                                        "' exists under a different parent");
       }
-      cur = it->second;
+      cur = existing;
     } else {
       PRIVMARK_ASSIGN_OR_RETURN(cur, AddChild(cur, label));
     }
@@ -169,19 +260,7 @@ Result<DomainHierarchy> HierarchyBuilder::Build() {
   for (size_t i = 1; i < tree_.nodes_.size(); ++i) {
     tree_.nodes_[i].depth = tree_.nodes_[tree_.nodes_[i].parent].depth + 1;
   }
-  // Leaves, left-to-right.
-  tree_.leaves_ = tree_.LeavesUnder(tree_.root());
-  // Leaf counts via reverse pass (children have larger ids than parents).
-  tree_.leaf_counts_.assign(tree_.nodes_.size(), 0);
-  for (size_t i = tree_.nodes_.size(); i-- > 0;) {
-    if (tree_.nodes_[i].is_leaf()) {
-      tree_.leaf_counts_[i] = 1;
-    }
-    const NodeId parent = tree_.nodes_[i].parent;
-    if (parent != kInvalidNode) {
-      tree_.leaf_counts_[parent] += tree_.leaf_counts_[i];
-    }
-  }
+  tree_.FinalizeDerived();
   return std::move(tree_);
 }
 
@@ -315,17 +394,8 @@ Result<DomainHierarchy> BuildNumericHierarchy(
   }
   PRIVMARK_ASSIGN_OR_RETURN(DomainHierarchy tree, builder.Build());
 
-  // Fill numeric metadata: intervals per node, sorted leaf bounds.
+  // Fill numeric metadata: intervals per node from the labels.
   tree.numeric_ = true;
-  for (size_t i = 0; i < tree.nodes_.size(); ++i) {
-    // Parse the label back; cheaper to recompute from children, so walk
-    // leaves first (reverse pass like leaf counts).
-    (void)i;
-  }
-  // Assign intervals: leaves in left-to-right order match boundary order
-  // only if children were pushed so that the left child is visited first.
-  // The DFS above pushes {left, right} then pops right first, so child
-  // insertion order is left-then... verify via labels instead: parse labels.
   for (size_t i = 0; i < tree.nodes_.size(); ++i) {
     const std::string& label = tree.nodes_[i].label;
     // label is "[lo,hi)"
@@ -334,14 +404,15 @@ Result<DomainHierarchy> BuildNumericHierarchy(
     tree.nodes_[i].hi =
         std::stod(label.substr(comma + 1, label.size() - comma - 2));
   }
-  // Re-sort children by interval lower bound for deterministic order.
+  // Re-sort children by interval lower bound for deterministic order, then
+  // recompute the order-derived state (leaves, spans, sibling indices).
   for (auto& node : tree.nodes_) {
     std::sort(node.children.begin(), node.children.end(),
               [&tree](NodeId a, NodeId b) {
                 return tree.nodes_[a].lo < tree.nodes_[b].lo;
               });
   }
-  tree.leaves_ = tree.LeavesUnder(tree.root());
+  tree.FinalizeDerived();
   tree.leaf_lower_bounds_.clear();
   for (NodeId leaf : tree.leaves_) {
     tree.leaf_lower_bounds_.push_back(tree.nodes_[leaf].lo);

@@ -10,14 +10,23 @@
 // hierarchical watermark encodes bits in the *parity of a node's index among
 // its sorted siblings* (Fig. 9), so embedding and detection must see the same
 // order in every process.
+//
+// Hot-path layout: the label index is a flat open-addressing hash table
+// with heterogeneous std::string_view lookup (std::unordered_map would need
+// C++20 for that; this index also avoids per-lookup temporary strings and
+// stores only {hash, NodeId}, comparing through the node arena so it stays
+// valid across tree moves and copies). Sibling indices and per-node leaf
+// spans are precomputed at build time so SiblingIndex / LeafCountUnder /
+// LeavesUnder are O(1) (plus output size) instead of tree walks.
 
 #ifndef PRIVMARK_HIERARCHY_DOMAIN_HIERARCHY_H_
 #define PRIVMARK_HIERARCHY_DOMAIN_HIERARCHY_H_
 
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -50,6 +59,37 @@ struct HierarchyNode {
   bool has_interval() const { return lo == lo; }  // NaN check
 };
 
+/// \brief Flat hash index from node label to NodeId.
+///
+/// Open addressing with linear probing over {hash, id} entries; labels are
+/// compared through the caller-supplied node arena, so the index holds no
+/// string storage and survives moves/copies of the owning tree. Lookup
+/// takes a std::string_view — no temporary std::string on the hot path.
+class LabelHashIndex {
+ public:
+  /// \brief Id of the node labeled `label`, or kInvalidNode.
+  NodeId Find(std::string_view label,
+              const std::vector<HierarchyNode>& nodes) const;
+
+  /// \brief Inserts a label known to be absent (callers dedupe via Find).
+  void Insert(std::string_view label, NodeId id,
+              const std::vector<HierarchyNode>& nodes);
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Entry {
+    uint64_t hash = 0;
+    NodeId id = kInvalidNode;  // kInvalidNode marks an empty slot
+  };
+
+  static uint64_t HashLabel(std::string_view label);
+  void Grow(const std::vector<HierarchyNode>& nodes);
+
+  std::vector<Entry> slots_;
+  size_t size_ = 0;
+};
+
 /// \brief Immutable domain hierarchy tree over one attribute's domain.
 class DomainHierarchy {
  public:
@@ -73,7 +113,14 @@ class DomainHierarchy {
   std::vector<NodeId> Siblings(NodeId id) const;
 
   /// \brief Index of `id` within Siblings(id) (the paper's Index(nd, S)).
-  size_t SiblingIndex(NodeId id) const;
+  /// O(1): precomputed at build time.
+  size_t SiblingIndex(NodeId id) const { return sibling_index_[id]; }
+
+  /// \brief Number of siblings of `id` including itself (O(1)).
+  size_t SiblingCount(NodeId id) const {
+    const NodeId parent = nodes_[id].parent;
+    return parent == kInvalidNode ? 1 : nodes_[parent].children.size();
+  }
 
   bool IsLeaf(NodeId id) const { return nodes_[id].is_leaf(); }
   int Depth(NodeId id) const { return nodes_[id].depth; }
@@ -84,11 +131,36 @@ class DomainHierarchy {
   /// \brief Leaves of the subtree rooted at `id`, left-to-right.
   std::vector<NodeId> LeavesUnder(NodeId id) const;
 
-  /// \brief |LeavesUnder(id)| in O(1) (precomputed).
-  size_t LeafCountUnder(NodeId id) const { return leaf_counts_[id]; }
+  /// \brief The subtree's leaves as a contiguous [begin, end) range of
+  /// indices into Leaves() — a subtree's leaves are always consecutive in
+  /// left-to-right order, so this is O(1) and allocation-free.
+  std::pair<size_t, size_t> LeafSpan(NodeId id) const {
+    return {leaf_span_begin_[id], leaf_span_end_[id]};
+  }
 
-  /// \brief Node with the given label.
-  Result<NodeId> FindByLabel(const std::string& label) const;
+  /// \brief Leftmost leaf of the subtree rooted at `id`, in O(1).
+  NodeId FirstLeafUnder(NodeId id) const {
+    return leaves_[leaf_span_begin_[id]];
+  }
+
+  /// \brief |LeavesUnder(id)| in O(1) (precomputed).
+  size_t LeafCountUnder(NodeId id) const {
+    return leaf_span_end_[id] - leaf_span_begin_[id];
+  }
+
+  /// \brief True iff every interior node's children occupy a contiguous,
+  /// ascending NodeId range. Numeric interval trees satisfy this by
+  /// construction; categorical outlines generally do not. Dense child
+  /// ranges are what future SoA/batched layouts key on, so the property is
+  /// computed once at build time and exposed here.
+  bool has_dense_child_ranges() const { return dense_children_; }
+
+  /// \brief Node with the given label (heterogeneous lookup, no temporary).
+  Result<NodeId> FindByLabel(std::string_view label) const;
+
+  /// \brief Leaf with the given label: FindByLabel plus a leaf check.
+  /// InvalidArgument if the label names an interior node.
+  Result<NodeId> LeafForLabel(std::string_view label) const;
 
   /// \brief Maps an original cell value to its leaf.
   ///
@@ -113,12 +185,22 @@ class DomainHierarchy {
       const std::string& attribute, const std::vector<double>& boundaries);
   DomainHierarchy() = default;
 
+  // Computes leaves_, leaf spans, sibling indices and the dense-children
+  // flag from nodes_. Called by Build() and again by BuildNumericHierarchy
+  // after it re-sorts children into interval order.
+  void FinalizeDerived();
+
   std::string attribute_;
   bool numeric_ = false;
   std::vector<HierarchyNode> nodes_;
   std::vector<NodeId> leaves_;
-  std::vector<size_t> leaf_counts_;
-  std::map<std::string, NodeId> label_index_;
+  // Per node: [begin, end) into leaves_ covering the node's subtree.
+  std::vector<uint32_t> leaf_span_begin_;
+  std::vector<uint32_t> leaf_span_end_;
+  // Per node: index among its parent's children (0 for the root).
+  std::vector<uint32_t> sibling_index_;
+  bool dense_children_ = false;
+  LabelHashIndex label_index_;
   // Numeric trees: leaves_ sorted by interval; lower bounds for binary search.
   std::vector<double> leaf_lower_bounds_;
 };

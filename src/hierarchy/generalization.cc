@@ -16,9 +16,11 @@ void GeneralizationSet::IndexLeaves() {
   is_member_.assign(tree_->num_nodes(), 0);
   for (NodeId id : nodes_) is_member_[id] = 1;
   leaf_to_node_.assign(tree_->num_nodes(), kInvalidNode);
+  const std::vector<NodeId>& leaves = tree_->Leaves();
   for (NodeId member : nodes_) {
-    for (NodeId leaf : tree_->LeavesUnder(member)) {
-      leaf_to_node_[leaf] = member;
+    const auto [begin, end] = tree_->LeafSpan(member);
+    for (size_t i = begin; i < end; ++i) {
+      leaf_to_node_[leaves[i]] = member;
     }
   }
 }
@@ -94,10 +96,10 @@ Result<NodeId> GeneralizationSet::NodeForValue(const Value& value) const {
   return NodeForLeaf(leaf);
 }
 
-Result<NodeId> GeneralizationSet::NodeForLabel(const std::string& label) const {
+Result<NodeId> GeneralizationSet::NodeForLabel(std::string_view label) const {
   PRIVMARK_ASSIGN_OR_RETURN(NodeId id, tree_->FindByLabel(label));
   if (!Contains(id)) {
-    return Status::KeyError("label '" + label +
+    return Status::KeyError("label '" + std::string(label) +
                             "' is not a member of this generalization");
   }
   return id;
@@ -113,8 +115,7 @@ bool GeneralizationSet::IsRefinementOf(const GeneralizationSet& other) const {
   for (NodeId node : nodes_) {
     // Take any leaf under `node`; its cover in `other` must sit at or above
     // `node`, which implies all of node's leaves share that cover.
-    const std::vector<NodeId> leaves = tree_->LeavesUnder(node);
-    auto cover = other.NodeForLeaf(leaves.front());
+    auto cover = other.NodeForLeaf(tree_->FirstLeafUnder(node));
     if (!cover.ok()) return false;
     if (!tree_->IsAncestorOrSelf(*cover, node)) return false;
   }

@@ -11,6 +11,7 @@
 #define PRIVMARK_HIERARCHY_GENERALIZATION_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -61,8 +62,8 @@ class GeneralizationSet {
 
   /// \brief The member node whose label equals an already-generalized cell
   /// (a binned table stores node labels). KeyError if the label is not a
-  /// member's label.
-  Result<NodeId> NodeForLabel(const std::string& label) const;
+  /// member's label. Heterogeneous lookup: no temporary string.
+  Result<NodeId> NodeForLabel(std::string_view label) const;
 
   /// \brief Generalizes a raw value to its member node's label.
   Result<Value> Generalize(const Value& value) const;

@@ -1,71 +1,69 @@
 #include "metrics/info_loss.h"
 
-#include <map>
-
 namespace privmark {
 
-Result<double> ColumnInfoLoss(const std::vector<Value>& values,
-                              const GeneralizationSet& gen) {
-  if (values.empty()) return 0.0;
-  const DomainHierarchy& tree = *gen.tree();
+namespace {
 
-  // n_i per generalization node.
-  std::map<NodeId, size_t> counts;
-  for (const Value& v : values) {
-    PRIVMARK_ASSIGN_OR_RETURN(NodeId node, gen.NodeForValue(v));
-    ++counts[node];
-  }
-
+// Eq. (1)/(2) over per-node counts indexed by NodeId. Contributions are
+// summed in ascending node-id order, matching the std::map<NodeId, size_t>
+// iteration order of the Value-based forms bit for bit.
+double LossFromNodeCounts(const DomainHierarchy& tree,
+                          const std::vector<size_t>& counts) {
   double numerator = 0;
   double denominator = 0;
   if (tree.is_numeric()) {
-    // Eq. (2): width fractions of the column's domain [L, U).
     const HierarchyNode& root = tree.node(tree.root());
     const double domain_width = root.hi - root.lo;
-    for (const auto& [node, n] : counts) {
-      const HierarchyNode& nd = tree.node(node);
-      numerator += static_cast<double>(n) * (nd.hi - nd.lo) / domain_width;
-      denominator += static_cast<double>(n);
+    for (size_t id = 0; id < counts.size(); ++id) {
+      if (counts[id] == 0) continue;
+      const HierarchyNode& nd = tree.node(static_cast<NodeId>(id));
+      const double n = static_cast<double>(counts[id]);
+      numerator += n * (nd.hi - nd.lo) / domain_width;
+      denominator += n;
     }
   } else {
-    // Eq. (1): (|S_i| - 1) / |S| with S the union of all leaves.
     const double total_leaves = static_cast<double>(tree.Leaves().size());
-    for (const auto& [node, n] : counts) {
-      const double si = static_cast<double>(tree.LeafCountUnder(node));
-      numerator += static_cast<double>(n) * (si - 1.0) / total_leaves;
-      denominator += static_cast<double>(n);
+    for (size_t id = 0; id < counts.size(); ++id) {
+      if (counts[id] == 0) continue;
+      const double si =
+          static_cast<double>(tree.LeafCountUnder(static_cast<NodeId>(id)));
+      const double n = static_cast<double>(counts[id]);
+      numerator += n * (si - 1.0) / total_leaves;
+      denominator += n;
     }
   }
   return numerator / denominator;
 }
 
+}  // namespace
+
+Result<double> ColumnInfoLoss(const std::vector<Value>& values,
+                              const GeneralizationSet& gen) {
+  if (values.empty()) return 0.0;
+  const DomainHierarchy& tree = *gen.tree();
+  // n_i per generalization node.
+  std::vector<size_t> counts(tree.num_nodes(), 0);
+  for (const Value& v : values) {
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId node, gen.NodeForValue(v));
+    ++counts[node];
+  }
+  return LossFromNodeCounts(tree, counts);
+}
+
 Result<double> ColumnInfoLossOfLabels(const std::vector<Value>& labels,
                                       const DomainHierarchy& tree) {
   if (labels.empty()) return 0.0;
-  std::map<NodeId, size_t> counts;
+  std::vector<size_t> counts(tree.num_nodes(), 0);
   for (const Value& v : labels) {
-    PRIVMARK_ASSIGN_OR_RETURN(NodeId node, tree.FindByLabel(v.ToString()));
+    NodeId node;
+    if (v.type() == ValueType::kString) {
+      PRIVMARK_ASSIGN_OR_RETURN(node, tree.FindByLabel(v.AsString()));
+    } else {
+      PRIVMARK_ASSIGN_OR_RETURN(node, tree.FindByLabel(v.ToString()));
+    }
     ++counts[node];
   }
-  double numerator = 0;
-  double denominator = 0;
-  if (tree.is_numeric()) {
-    const HierarchyNode& root = tree.node(tree.root());
-    const double domain_width = root.hi - root.lo;
-    for (const auto& [node, n] : counts) {
-      const HierarchyNode& nd = tree.node(node);
-      numerator += static_cast<double>(n) * (nd.hi - nd.lo) / domain_width;
-      denominator += static_cast<double>(n);
-    }
-  } else {
-    const double total_leaves = static_cast<double>(tree.Leaves().size());
-    for (const auto& [node, n] : counts) {
-      const double si = static_cast<double>(tree.LeafCountUnder(node));
-      numerator += static_cast<double>(n) * (si - 1.0) / total_leaves;
-      denominator += static_cast<double>(n);
-    }
-  }
-  return numerator / denominator;
+  return LossFromNodeCounts(tree, counts);
 }
 
 Result<double> ColumnLossAgainstOriginal(
@@ -104,6 +102,36 @@ Result<double> ColumnLossAgainstOriginal(
     }
   }
   return numerator / static_cast<double>(original_values.size());
+}
+
+Result<double> ColumnInfoLossEncoded(const EncodedColumn& column,
+                                     const GeneralizationSet& gen) {
+  if (column.size() == 0) return 0.0;
+  if (column.tree() != gen.tree()) {
+    return Status::InvalidArgument(
+        "ColumnInfoLossEncoded: column and generalization use different "
+        "trees");
+  }
+  const DomainHierarchy& tree = *gen.tree();
+  std::vector<size_t> counts(tree.num_nodes(), 0);
+  for (const NodeId leaf : column.ids()) {
+    PRIVMARK_ASSIGN_OR_RETURN(NodeId node, gen.NodeForLeaf(leaf));
+    ++counts[node];
+  }
+  return LossFromNodeCounts(tree, counts);
+}
+
+Result<double> ColumnInfoLossOfLabelsEncoded(const EncodedColumn& column) {
+  if (column.size() == 0) return 0.0;
+  const DomainHierarchy& tree = *column.tree();
+  if (column.unknown_cells() > 0) {
+    return Status::KeyError(
+        "ColumnInfoLossOfLabels: " + std::to_string(column.unknown_cells()) +
+        " cell(s) hold labels outside tree '" + tree.attribute() + "'");
+  }
+  std::vector<size_t> counts(tree.num_nodes(), 0);
+  for (const NodeId node : column.ids()) ++counts[node];
+  return LossFromNodeCounts(tree, counts);
 }
 
 double NormalizedInfoLoss(const std::vector<double>& per_column_losses) {

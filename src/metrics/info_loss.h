@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "hierarchy/encoded_view.h"
 #include "hierarchy/generalization.h"
 #include "relation/table.h"
 
@@ -32,6 +33,18 @@ namespace privmark {
 /// Returns 0 for an empty column.
 Result<double> ColumnInfoLoss(const std::vector<Value>& values,
                               const GeneralizationSet& gen);
+
+/// \brief Same over a pre-encoded column of leaf ids — the hot-loop form:
+/// no per-cell string resolution, counts accumulate in a flat per-node
+/// array. Produces bit-identical results to the Value form (contributions
+/// are summed in ascending node-id order either way).
+Result<double> ColumnInfoLossEncoded(const EncodedColumn& column,
+                                     const GeneralizationSet& gen);
+
+/// \brief ColumnInfoLossOfLabels over a label-encoded column; cells that
+/// failed to resolve (column.unknown_cells()) are rejected with KeyError,
+/// matching the Value form's behavior on unknown labels.
+Result<double> ColumnInfoLossOfLabelsEncoded(const EncodedColumn& column);
 
 /// \brief Same as ColumnInfoLoss but the cells already hold generalized
 /// labels (a binned or watermarked table); each label must name a node at

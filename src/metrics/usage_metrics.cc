@@ -1,7 +1,6 @@
 #include "metrics/usage_metrics.h"
 
 #include <algorithm>
-#include <map>
 
 namespace privmark {
 
@@ -11,8 +10,9 @@ Result<GeneralizationSet> DeriveMaximalNodes(const DomainHierarchy* tree,
   if (tree == nullptr) {
     return Status::InvalidArgument("DeriveMaximalNodes: null tree");
   }
-  // Count values per leaf once; node counts are subtree sums.
-  std::map<NodeId, size_t> leaf_counts;
+  // Count values per leaf once; node counts are subtree sums over the
+  // node's (contiguous) leaf span.
+  std::vector<size_t> leaf_counts(tree->num_nodes(), 0);
   for (const Value& v : values) {
     PRIVMARK_ASSIGN_OR_RETURN(NodeId leaf, tree->LeafForValue(v));
     ++leaf_counts[leaf];
@@ -23,12 +23,11 @@ Result<GeneralizationSet> DeriveMaximalNodes(const DomainHierarchy* tree,
   const double domain_width =
       tree->is_numeric() ? root_node.hi - root_node.lo : 0.0;
 
+  const std::vector<NodeId>& leaves = tree->Leaves();
   auto count_under = [&](NodeId node) {
     size_t n = 0;
-    for (NodeId leaf : tree->LeavesUnder(node)) {
-      auto it = leaf_counts.find(leaf);
-      if (it != leaf_counts.end()) n += it->second;
-    }
+    const auto [begin, end] = tree->LeafSpan(node);
+    for (size_t i = begin; i < end; ++i) n += leaf_counts[leaves[i]];
     return n;
   };
   // Contribution of one member node to the Eq. (1)/(2) numerator, divided

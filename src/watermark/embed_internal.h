@@ -1,0 +1,43 @@
+// Internal helpers shared by the watermark embedders/detectors
+// (hierarchical.cc, single_level.cc). Not part of the public API: both
+// schemes walk rows the same way — resolve the identifier by reference,
+// gate on Eq. (5) selection, record per-(tuple, column) slots in a
+// resolve pass, then hash and write in a second pass — and these pieces
+// must not drift apart between them.
+
+#ifndef PRIVMARK_WATERMARK_EMBED_INTERNAL_H_
+#define PRIVMARK_WATERMARK_EMBED_INTERNAL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "relation/value.h"
+
+namespace privmark {
+namespace watermark_internal {
+
+/// \brief The identifier text of a cell, by reference for string cells
+/// (the overwhelmingly common case: binned tables hold encrypted
+/// identifiers as strings) and via `scratch` otherwise.
+inline std::string_view IdentText(const Value& cell, std::string* scratch) {
+  if (cell.type() == ValueType::kString) return cell.AsString();
+  *scratch = cell.ToString();
+  return *scratch;
+}
+
+/// \brief One selected tuple with its slots as a [slot_begin, slot_end)
+/// range into the embedder's flat slot vector. The identifier is copied
+/// once per *selected* tuple (~1/eta of rows) so slot hashing in the
+/// write phase needs no table access.
+struct SelectedTuple {
+  size_t row;
+  std::string ident;
+  size_t slot_begin;
+  size_t slot_end;
+};
+
+}  // namespace watermark_internal
+}  // namespace privmark
+
+#endif  // PRIVMARK_WATERMARK_EMBED_INTERNAL_H_

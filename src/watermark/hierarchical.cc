@@ -3,7 +3,24 @@
 #include <cassert>
 #include <cmath>
 
+#include "watermark/embed_internal.h"
+
 namespace privmark {
+
+namespace {
+
+using watermark_internal::IdentText;
+using watermark_internal::SelectedTuple;
+
+// One embeddable (tuple, column) slot: the cell's resolved node and the
+// maximal generalization node above it.
+struct EmbedSlot {
+  size_t col_idx;  // index into qi_columns_, not the schema
+  NodeId node;
+  NodeId max_node;
+};
+
+}  // namespace
 
 HierarchicalWatermarker::HierarchicalWatermarker(
     std::vector<size_t> qi_columns, size_t ident_column,
@@ -30,13 +47,18 @@ NodeId HierarchicalWatermarker::MaximalAbove(size_t c, NodeId node) const {
 
 Result<size_t> HierarchicalWatermarker::EstimateBandwidth(
     const Table& table) const {
+  WatermarkHasher hasher(key_, options_.hash);
+  std::string scratch;
   size_t slots = 0;
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string ident = table.at(r, ident_column_).ToString();
-    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    const std::string_view ident =
+        IdentText(table.at(r, ident_column_), &scratch);
+    if (!hasher.TupleSelected(ident)) continue;
     for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      auto node = ultimate_[c].NodeForLabel(
-          table.at(r, qi_columns_[c]).ToString());
+      const Value& cell = table.at(r, qi_columns_[c]);
+      auto node = cell.type() == ValueType::kString
+                      ? ultimate_[c].NodeForLabel(cell.AsString())
+                      : ultimate_[c].NodeForLabel(cell.ToString());
       if (!node.ok()) continue;
       const NodeId max_node = MaximalAbove(c, *node);
       if (max_node == kInvalidNode || max_node == *node) continue;
@@ -53,25 +75,27 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
     return Status::InvalidArgument("Embed: empty watermark");
   }
   EmbedReport report;
-  if (copies == 0) {
-    PRIVMARK_ASSIGN_OR_RETURN(size_t bandwidth, EstimateBandwidth(*table));
-    copies = bandwidth / wm.size();
-    if (copies == 0) copies = 1;
-  }
-  report.copies = copies;
-  const BitVector wmd = wm.Duplicate(copies);
-  report.wmd_size = wmd.size();
+  WatermarkHasher hasher(key_, options_.hash);
 
+  // Pass 1 — resolve. One Eq. (5) hash per tuple and one label-to-node
+  // resolution per (selected tuple, column); the former bandwidth
+  // pre-pass and the embedding pass used to pay both twice.
+  std::vector<SelectedTuple> tuples;
+  std::vector<EmbedSlot> slots;
+  std::string scratch;
+  size_t bandwidth = 0;
   for (size_t r = 0; r < table->num_rows(); ++r) {
-    const std::string ident = table->at(r, ident_column_).ToString();
-    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    const std::string_view ident =
+        IdentText(table->at(r, ident_column_), &scratch);
+    if (!hasher.TupleSelected(ident)) continue;
     ++report.tuples_selected;
-
+    SelectedTuple tuple{r, std::string(ident), slots.size(), slots.size()};
     for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      const size_t col = qi_columns_[c];
-      const std::string& column_name = table->schema().column(col).name;
-      const std::string label = table->at(r, col).ToString();
-      PRIVMARK_ASSIGN_OR_RETURN(NodeId node, ultimate_[c].NodeForLabel(label));
+      const Value& cell = table->at(r, qi_columns_[c]);
+      PRIVMARK_ASSIGN_OR_RETURN(
+          NodeId node, cell.type() == ValueType::kString
+                           ? ultimate_[c].NodeForLabel(cell.AsString())
+                           : ultimate_[c].NodeForLabel(cell.ToString()));
       const NodeId max_node = MaximalAbove(c, node);
       if (max_node == kInvalidNode || max_node == node) {
         // Zero-gap special case (Sec. 5.2): permutation here would exceed
@@ -79,14 +103,36 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
         ++report.slots_skipped_no_gap;
         continue;
       }
+      slots.push_back(EmbedSlot{c, node, max_node});
+      ++bandwidth;
+    }
+    tuple.slot_end = slots.size();
+    tuples.push_back(std::move(tuple));
+  }
+
+  if (copies == 0) {
+    copies = bandwidth / wm.size();
+    if (copies == 0) copies = 1;
+  }
+  report.copies = copies;
+  const BitVector wmd = wm.Duplicate(copies);
+  report.wmd_size = wmd.size();
+
+  // Pass 2 — embed. Walks the recorded slots only; labels are written
+  // back from the tree's NodeId -> label arena, and only when the walk
+  // lands on a different node than the cell already holds.
+  for (const SelectedTuple& tuple : tuples) {
+    for (size_t i = tuple.slot_begin; i < tuple.slot_end; ++i) {
+      const EmbedSlot& slot = slots[i];
+      const size_t col = qi_columns_[slot.col_idx];
+      const std::string& column_name = table->schema().column(col).name;
+      const DomainHierarchy& tree = *ultimate_[slot.col_idx].tree();
 
       const bool bit =
-          wmd.Get(WmdPosition(key_, options_.hash, ident, column_name,
-                              wmd.size()));
-      const DomainHierarchy& tree = *ultimate_[c].tree();
-      NodeId cur = max_node;
+          wmd.Get(hasher.WmdPosition(tuple.ident, column_name, wmd.size()));
+      NodeId cur = slot.max_node;
       bool encoded_any = false;
-      while (!ultimate_[c].Contains(cur)) {
+      while (!ultimate_[slot.col_idx].Contains(cur)) {
         const std::vector<NodeId>& children = tree.Children(cur);
         assert(!children.empty() &&
                "a leaf must be covered by an ultimate node at or above it");
@@ -94,8 +140,8 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
           cur = children[0];
           continue;
         }
-        size_t idx = PermutationIndex(key_, options_.hash, ident, column_name,
-                                      tree.Depth(cur), children.size());
+        size_t idx = hasher.PermutationIndex(tuple.ident, column_name,
+                                             tree.Depth(cur), children.size());
         // SetMuBit with in-range correction: force the parity, stepping
         // back by 2 if that overruns the sibling count (safe: >= 2 children
         // means both parities exist).
@@ -105,9 +151,8 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
         encoded_any = true;
       }
       if (encoded_any) ++report.slots_embedded;
-      const std::string& new_label = tree.node(cur).label;
-      if (new_label != label) {
-        table->Set(r, col, Value::String(new_label));
+      if (cur != slot.node) {
+        table->Set(tuple.row, col, Value::String(tree.node(cur).label));
         ++report.cells_changed;
       }
     }
@@ -123,13 +168,17 @@ Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
         "Detect: wmd_size must be a positive multiple of wm_size");
   }
   DetectReport report;
+  WatermarkHasher hasher(key_, options_.hash);
   // Weighted votes per wmd position: [position] -> (zeros, ones).
   std::vector<double> zeros(wmd_size, 0.0);
   std::vector<double> ones(wmd_size, 0.0);
 
+  std::string scratch;
+  std::vector<std::pair<bool, int>> level_bits;  // (bit, depth), reused
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string ident = table.at(r, ident_column_).ToString();
-    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    const std::string_view ident =
+        IdentText(table.at(r, ident_column_), &scratch);
+    if (!hasher.TupleSelected(ident)) continue;
     ++report.tuples_selected;
 
     for (size_t c = 0; c < qi_columns_.size(); ++c) {
@@ -137,7 +186,10 @@ Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
       const std::string& column_name = table.schema().column(col).name;
       const DomainHierarchy& tree = *ultimate_[c].tree();
 
-      auto node_result = tree.FindByLabel(table.at(r, col).ToString());
+      const Value& cell = table.at(r, col);
+      auto node_result = cell.type() == ValueType::kString
+                             ? tree.FindByLabel(cell.AsString())
+                             : tree.FindByLabel(cell.ToString());
       if (!node_result.ok()) {
         // Altered beyond the domain: no votes from this slot.
         ++report.slots_skipped;
@@ -151,16 +203,16 @@ Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
 
       // Walk up to the maximal node, reading a parity bit per level with
       // >= 2 siblings (Fig. 9's Detection inner loop). The embedding wrote
-      // the same bit at every level, so majority-vote the levels.
+      // the same bit at every level, so majority-vote the levels. Sibling
+      // index and count are O(1) precomputed tree metadata.
       double zero_weight = 0.0;
       double one_weight = 0.0;
       bool reached_maximal = false;
-      std::vector<std::pair<bool, int>> level_bits;  // (bit, depth)
+      level_bits.clear();
       while (cur != kInvalidNode) {
         const NodeId parent = tree.Parent(cur);
         if (parent == kInvalidNode) break;
-        const std::vector<NodeId> sibs = tree.Siblings(cur);
-        if (sibs.size() >= 2) {
+        if (tree.SiblingCount(cur) >= 2) {
           level_bits.push_back(
               {(tree.SiblingIndex(cur) & 1) != 0, tree.Depth(cur)});
         }
@@ -189,8 +241,7 @@ Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
         ++report.slots_skipped;
         continue;
       }
-      const size_t pos =
-          WmdPosition(key_, options_.hash, ident, column_name, wmd_size);
+      const size_t pos = hasher.WmdPosition(ident, column_name, wmd_size);
       (slot_bit ? ones[pos] : zeros[pos]) += 1.0;
       ++report.slots_read;
     }

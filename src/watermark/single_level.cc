@@ -2,7 +2,23 @@
 
 #include <cassert>
 
+#include "watermark/embed_internal.h"
+
 namespace privmark {
+
+namespace {
+
+using watermark_internal::IdentText;
+using watermark_internal::SelectedTuple;
+
+// The single-level slot carries no maximal node: permutation happens only
+// among the resolved node's own siblings.
+struct EmbedSlot {
+  size_t col_idx;
+  NodeId node;
+};
+
+}  // namespace
 
 SingleLevelWatermarker::SingleLevelWatermarker(
     std::vector<size_t> qi_columns, size_t ident_column,
@@ -16,35 +32,45 @@ SingleLevelWatermarker::SingleLevelWatermarker(
   assert(qi_columns_.size() == ultimate_.size());
 }
 
-std::vector<NodeId> SingleLevelWatermarker::ParityCandidates(size_t c,
-                                                             NodeId node,
-                                                             bool bit) const {
+void SingleLevelWatermarker::ParityCandidates(
+    size_t c, NodeId node, bool bit, std::vector<NodeId>* candidates) const {
   const DomainHierarchy& tree = *ultimate_[c].tree();
-  const std::vector<NodeId> sibs = tree.Siblings(node);
-  std::vector<NodeId> candidates;
+  candidates->clear();
+  const NodeId parent = tree.Parent(node);
+  if (parent == kInvalidNode) {
+    if (!bit && ultimate_[c].Contains(node)) candidates->push_back(node);
+    return;
+  }
+  const std::vector<NodeId>& sibs = tree.Children(parent);
   for (size_t i = 0; i < sibs.size(); ++i) {
     if (((i & 1) != 0) == bit && ultimate_[c].Contains(sibs[i])) {
-      candidates.push_back(sibs[i]);
+      candidates->push_back(sibs[i]);
     }
   }
-  return candidates;
 }
 
 Result<size_t> SingleLevelWatermarker::EstimateBandwidth(
     const Table& table) const {
+  WatermarkHasher hasher(key_, options_.hash);
+  std::string scratch;
+  std::vector<NodeId> zeros;
+  std::vector<NodeId> ones;
   size_t slots = 0;
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string ident = table.at(r, ident_column_).ToString();
-    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    const std::string_view ident =
+        IdentText(table.at(r, ident_column_), &scratch);
+    if (!hasher.TupleSelected(ident)) continue;
     for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      auto node =
-          ultimate_[c].NodeForLabel(table.at(r, qi_columns_[c]).ToString());
+      const Value& cell = table.at(r, qi_columns_[c]);
+      auto node = cell.type() == ValueType::kString
+                      ? ultimate_[c].NodeForLabel(cell.AsString())
+                      : ultimate_[c].NodeForLabel(cell.ToString());
       if (!node.ok()) continue;
       // Encodable iff both parities are reachable among ultimate siblings.
-      if (!ParityCandidates(c, *node, false).empty() &&
-          !ParityCandidates(c, *node, true).empty()) {
-        ++slots;
-      }
+      ParityCandidates(c, *node, false, &zeros);
+      if (zeros.empty()) continue;
+      ParityCandidates(c, *node, true, &ones);
+      if (!ones.empty()) ++slots;
     }
   }
   return slots;
@@ -57,8 +83,43 @@ Result<EmbedReport> SingleLevelWatermarker::Embed(Table* table,
     return Status::InvalidArgument("Embed: empty watermark");
   }
   EmbedReport report;
+  WatermarkHasher hasher(key_, options_.hash);
+
+  // Pass 1 — resolve labels once per (selected tuple, column); see the
+  // hierarchical embedder for the pass structure.
+  std::vector<SelectedTuple> tuples;
+  std::vector<EmbedSlot> slots;
+  std::string scratch;
+  std::vector<NodeId> zeros;
+  std::vector<NodeId> ones;
+  const bool need_bandwidth = copies == 0;
+  size_t bandwidth = 0;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const std::string_view ident =
+        IdentText(table->at(r, ident_column_), &scratch);
+    if (!hasher.TupleSelected(ident)) continue;
+    ++report.tuples_selected;
+    SelectedTuple tuple{r, std::string(ident), slots.size(), slots.size()};
+    for (size_t c = 0; c < qi_columns_.size(); ++c) {
+      const Value& cell = table->at(r, qi_columns_[c]);
+      PRIVMARK_ASSIGN_OR_RETURN(
+          NodeId node, cell.type() == ValueType::kString
+                           ? ultimate_[c].NodeForLabel(cell.AsString())
+                           : ultimate_[c].NodeForLabel(cell.ToString()));
+      slots.push_back(EmbedSlot{c, node});
+      if (!need_bandwidth) continue;
+      // Bandwidth counts slots where both parities are encodable, exactly
+      // like EstimateBandwidth (the copies=0 auto-sizing contract).
+      ParityCandidates(c, node, false, &zeros);
+      if (zeros.empty()) continue;
+      ParityCandidates(c, node, true, &ones);
+      if (!ones.empty()) ++bandwidth;
+    }
+    tuple.slot_end = slots.size();
+    tuples.push_back(std::move(tuple));
+  }
+
   if (copies == 0) {
-    PRIVMARK_ASSIGN_OR_RETURN(size_t bandwidth, EstimateBandwidth(*table));
     copies = bandwidth / wm.size();
     if (copies == 0) copies = 1;
   }
@@ -66,34 +127,29 @@ Result<EmbedReport> SingleLevelWatermarker::Embed(Table* table,
   const BitVector wmd = wm.Duplicate(copies);
   report.wmd_size = wmd.size();
 
-  for (size_t r = 0; r < table->num_rows(); ++r) {
-    const std::string ident = table->at(r, ident_column_).ToString();
-    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
-    ++report.tuples_selected;
-
-    for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      const size_t col = qi_columns_[c];
+  // Pass 2 — embed over the recorded slots.
+  std::vector<NodeId> candidates;
+  for (const SelectedTuple& tuple : tuples) {
+    for (size_t i = tuple.slot_begin; i < tuple.slot_end; ++i) {
+      const EmbedSlot& slot = slots[i];
+      const size_t col = qi_columns_[slot.col_idx];
       const std::string& column_name = table->schema().column(col).name;
-      const std::string label = table->at(r, col).ToString();
-      PRIVMARK_ASSIGN_OR_RETURN(NodeId node, ultimate_[c].NodeForLabel(label));
+      const DomainHierarchy& tree = *ultimate_[slot.col_idx].tree();
 
       const bool bit =
-          wmd.Get(WmdPosition(key_, options_.hash, ident, column_name,
-                              wmd.size()));
-      const std::vector<NodeId> candidates = ParityCandidates(c, node, bit);
+          wmd.Get(hasher.WmdPosition(tuple.ident, column_name, wmd.size()));
+      ParityCandidates(slot.col_idx, slot.node, bit, &candidates);
       if (candidates.empty()) {
         ++report.slots_skipped_no_gap;
         continue;
       }
-      const DomainHierarchy& tree = *ultimate_[c].tree();
       const size_t pick =
-          PermutationIndex(key_, options_.hash, ident, column_name,
-                           tree.Depth(node), candidates.size());
+          hasher.PermutationIndex(tuple.ident, column_name,
+                                  tree.Depth(slot.node), candidates.size());
       const NodeId target = candidates[pick];
       ++report.slots_embedded;
-      const std::string& new_label = tree.node(target).label;
-      if (new_label != label) {
-        table->Set(r, col, Value::String(new_label));
+      if (target != slot.node) {
+        table->Set(tuple.row, col, Value::String(tree.node(target).label));
         ++report.cells_changed;
       }
     }
@@ -109,31 +165,35 @@ Result<DetectReport> SingleLevelWatermarker::Detect(const Table& table,
         "Detect: wmd_size must be a positive multiple of wm_size");
   }
   DetectReport report;
+  WatermarkHasher hasher(key_, options_.hash);
   std::vector<double> zeros(wmd_size, 0.0);
   std::vector<double> ones(wmd_size, 0.0);
 
+  std::string scratch;
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string ident = table.at(r, ident_column_).ToString();
-    if (!IsTupleSelected(key_, options_.hash, ident)) continue;
+    const std::string_view ident =
+        IdentText(table.at(r, ident_column_), &scratch);
+    if (!hasher.TupleSelected(ident)) continue;
     ++report.tuples_selected;
 
     for (size_t c = 0; c < qi_columns_.size(); ++c) {
       const size_t col = qi_columns_[c];
       const std::string& column_name = table.schema().column(col).name;
       const DomainHierarchy& tree = *ultimate_[c].tree();
-      auto node = tree.FindByLabel(table.at(r, col).ToString());
+      const Value& cell = table.at(r, col);
+      auto node = cell.type() == ValueType::kString
+                      ? tree.FindByLabel(cell.AsString())
+                      : tree.FindByLabel(cell.ToString());
       if (!node.ok()) {
         ++report.slots_skipped;
         continue;
       }
-      const std::vector<NodeId> sibs = tree.Siblings(*node);
-      if (sibs.size() < 2) {
+      if (tree.SiblingCount(*node) < 2) {
         ++report.slots_skipped;
         continue;
       }
       const bool slot_bit = (tree.SiblingIndex(*node) & 1) != 0;
-      const size_t pos =
-          WmdPosition(key_, options_.hash, ident, column_name, wmd_size);
+      const size_t pos = hasher.WmdPosition(ident, column_name, wmd_size);
       (slot_bit ? ones[pos] : zeros[pos]) += 1.0;
       ++report.slots_read;
     }

@@ -50,8 +50,10 @@ class SingleLevelWatermarker {
 
  private:
   // Same-parity ultimate siblings of `node` (including node itself when the
-  // parity matches); empty if the slot cannot encode the bit.
-  std::vector<NodeId> ParityCandidates(size_t c, NodeId node, bool bit) const;
+  // parity matches) into `candidates` (cleared first); empty if the slot
+  // cannot encode the bit. Out-parameter form so hot loops reuse one buffer.
+  void ParityCandidates(size_t c, NodeId node, bool bit,
+                        std::vector<NodeId>* candidates) const;
 
   std::vector<size_t> qi_columns_;
   size_t ident_column_;

@@ -4,27 +4,80 @@
 
 namespace privmark {
 
+namespace {
+
+// Assembles "pos:" ident ":" column into `buf`.
+void BuildPositionMessage(std::string_view ident, std::string_view column,
+                          std::string* buf) {
+  buf->clear();
+  buf->append("pos:");
+  buf->append(ident.data(), ident.size());
+  buf->push_back(':');
+  buf->append(column.data(), column.size());
+}
+
+// Assembles "perm:" ident ":" column ":" depth into `buf`.
+void BuildPermutationMessage(std::string_view ident, std::string_view column,
+                             int depth, std::string* buf) {
+  buf->clear();
+  buf->append("perm:");
+  buf->append(ident.data(), ident.size());
+  buf->push_back(':');
+  buf->append(column.data(), column.size());
+  buf->push_back(':');
+  buf->append(std::to_string(depth));
+}
+
+}  // namespace
+
 bool IsTupleSelected(const WatermarkKey& key, HashAlgorithm algo,
-                     const std::string& ident) {
+                     std::string_view ident) {
   assert(key.eta > 0);
   return KeyedHash64(algo, key.k1, ident) % key.eta == 0;
 }
 
 size_t WmdPosition(const WatermarkKey& key, HashAlgorithm algo,
-                   const std::string& ident, const std::string& column,
+                   std::string_view ident, std::string_view column,
                    size_t wmd_size) {
   assert(wmd_size > 0);
-  const std::string msg = "pos:" + ident + ":" + column;
+  std::string msg;
+  BuildPositionMessage(ident, column, &msg);
   return static_cast<size_t>(KeyedHash64(algo, key.k2, msg) % wmd_size);
 }
 
 size_t PermutationIndex(const WatermarkKey& key, HashAlgorithm algo,
-                        const std::string& ident, const std::string& column,
+                        std::string_view ident, std::string_view column,
                         int depth, size_t set_size) {
   assert(set_size > 0);
-  const std::string msg =
-      "perm:" + ident + ":" + column + ":" + std::to_string(depth);
+  std::string msg;
+  BuildPermutationMessage(ident, column, depth, &msg);
   return static_cast<size_t>(KeyedHash64(algo, key.k2, msg) % set_size);
+}
+
+bool WatermarkHasher::TupleSelected(std::string_view ident) {
+  assert(key_->eta > 0);
+  if (!has_last_ || last_ident_ != ident) {
+    last_hash_ = KeyedHash64(algo_, key_->k1, ident);
+    last_ident_.assign(ident.data(), ident.size());
+    has_last_ = true;
+  }
+  return last_hash_ % key_->eta == 0;
+}
+
+size_t WatermarkHasher::WmdPosition(std::string_view ident,
+                                    std::string_view column,
+                                    size_t wmd_size) {
+  assert(wmd_size > 0);
+  BuildPositionMessage(ident, column, &buf_);
+  return static_cast<size_t>(KeyedHash64(algo_, key_->k2, buf_) % wmd_size);
+}
+
+size_t WatermarkHasher::PermutationIndex(std::string_view ident,
+                                         std::string_view column, int depth,
+                                         size_t set_size) {
+  assert(set_size > 0);
+  BuildPermutationMessage(ident, column, depth, &buf_);
+  return static_cast<size_t>(KeyedHash64(algo_, key_->k2, buf_) % set_size);
 }
 
 }  // namespace privmark

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "crypto/keyed_hash.h"
 
@@ -40,7 +41,7 @@ struct WatermarkOptions {
 /// \brief Eq. (5): true iff the tuple with this (encrypted) identifier is
 /// chosen for embedding.
 bool IsTupleSelected(const WatermarkKey& key, HashAlgorithm algo,
-                     const std::string& ident);
+                     std::string_view ident);
 
 /// \brief Position of this tuple/column slot's bit within wmd:
 /// H(k2, "pos:" ident ":" column) mod wmd_size.
@@ -49,14 +50,48 @@ bool IsTupleSelected(const WatermarkKey& key, HashAlgorithm algo,
 /// purpose-prefix and column name extend it to multi-column embedding while
 /// keeping positions independent of the permutation hashes below.
 size_t WmdPosition(const WatermarkKey& key, HashAlgorithm algo,
-                   const std::string& ident, const std::string& column,
+                   std::string_view ident, std::string_view column,
                    size_t wmd_size);
 
 /// \brief Pseudo-random index for the permutation at one tree level:
 /// H(k2, "perm:" ident ":" column ":" depth) mod set_size.
 size_t PermutationIndex(const WatermarkKey& key, HashAlgorithm algo,
-                        const std::string& ident, const std::string& column,
+                        std::string_view ident, std::string_view column,
                         int depth, size_t set_size);
+
+/// \brief Hot-loop façade over the three functions above.
+///
+/// Produces bit-identical values, but (a) assembles every hash message in
+/// one reused buffer instead of fresh string concatenations per slot, and
+/// (b) memoizes the Eq. (5) selection hash per tuple — a caller that walks
+/// rows and asks TupleSelected once, then derives several slot hashes for
+/// the same identifier, pays exactly one selection hash per tuple instead
+/// of one per (tuple, pass).
+class WatermarkHasher {
+ public:
+  WatermarkHasher(const WatermarkKey& key, HashAlgorithm algo)
+      : key_(&key), algo_(algo) {}
+
+  /// \brief Eq. (5) for `ident`; consecutive calls with the same identifier
+  /// reuse the cached hash.
+  bool TupleSelected(std::string_view ident);
+
+  /// \brief Same as the free WmdPosition, reusing the message buffer.
+  size_t WmdPosition(std::string_view ident, std::string_view column,
+                     size_t wmd_size);
+
+  /// \brief Same as the free PermutationIndex, reusing the message buffer.
+  size_t PermutationIndex(std::string_view ident, std::string_view column,
+                          int depth, size_t set_size);
+
+ private:
+  const WatermarkKey* key_;
+  HashAlgorithm algo_;
+  std::string buf_;         // reused message assembly buffer
+  std::string last_ident_;  // memoized selection: identifier ...
+  uint64_t last_hash_ = 0;  // ... and its H(k1, ident)
+  bool has_last_ = false;
+};
 
 }  // namespace privmark
 

@@ -1,0 +1,211 @@
+// Unit tests for the NodeId-encoded column substrate (EncodedColumn /
+// EncodedView) and the build-time tree layout metadata it leans on
+// (leaf spans, O(1) sibling indices, dense-child-range check).
+
+#include "hierarchy/encoded_view.h"
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/generalization.h"
+#include "relation/schema.h"
+
+namespace privmark {
+namespace {
+
+Result<DomainHierarchy> RoleTree() {
+  return HierarchyBuilder::FromOutline("role", R"(Person
+  Medical Practitioner
+    General Practitioner
+    Medical Specialist
+  Paramedic
+    Pharmacist
+    Nurse
+    Consultant)");
+}
+
+Schema TwoColumnSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema
+                  .AddColumn({"id", ColumnRole::kIdentifying,
+                              ValueType::kString})
+                  .ok());
+  EXPECT_TRUE(schema
+                  .AddColumn({"role", ColumnRole::kQuasiCategorical,
+                              ValueType::kString})
+                  .ok());
+  return schema;
+}
+
+Table RoleTable(const std::vector<std::string>& roles) {
+  Table table(TwoColumnSchema());
+  for (size_t i = 0; i < roles.size(); ++i) {
+    EXPECT_TRUE(table
+                    .AppendRow({Value::String("id" + std::to_string(i)),
+                                Value::String(roles[i])})
+                    .ok());
+  }
+  return table;
+}
+
+TEST(EncodedColumnTest, LeavesEncodeToLeafIds) {
+  auto tree = RoleTree().ValueOrDie();
+  Table table = RoleTable({"Nurse", "Pharmacist", "Nurse"});
+  auto column = EncodedColumn::Leaves(table, 1, &tree);
+  ASSERT_TRUE(column.ok());
+  ASSERT_EQ(column->size(), 3u);
+  EXPECT_EQ(column->id(0), *tree.FindByLabel("Nurse"));
+  EXPECT_EQ(column->id(1), *tree.FindByLabel("Pharmacist"));
+  EXPECT_EQ(column->id(2), column->id(0));
+  EXPECT_EQ(column->unknown_cells(), 0u);
+  EXPECT_EQ(column->tree(), &tree);
+}
+
+TEST(EncodedColumnTest, LeavesRejectUnknownLabel) {
+  auto tree = RoleTree().ValueOrDie();
+  Table table = RoleTable({"Nurse", "Dr. Nobody"});
+  EXPECT_EQ(EncodedColumn::Leaves(table, 1, &tree).status().code(),
+            StatusCode::kKeyError);
+}
+
+TEST(EncodedColumnTest, LeavesRejectInteriorLabel) {
+  auto tree = RoleTree().ValueOrDie();
+  Table table = RoleTable({"Paramedic"});
+  EXPECT_EQ(EncodedColumn::Leaves(table, 1, &tree).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EncodedColumnTest, NumericOutOfRangeRejected) {
+  auto tree = BuildNumericHierarchy("age", {0, 10, 20, 40}).ValueOrDie();
+  Schema schema;
+  ASSERT_TRUE(schema
+                  .AddColumn({"age", ColumnRole::kQuasiNumeric,
+                              ValueType::kInt64})
+                  .ok());
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({Value::Int64(999)}).ok());
+  EXPECT_EQ(EncodedColumn::Leaves(table, 0, &tree).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(EncodedColumnTest, SchemaMismatchRejected) {
+  auto tree = RoleTree().ValueOrDie();
+  Table table = RoleTable({"Nurse"});
+  EXPECT_EQ(EncodedColumn::Leaves(table, 7, &tree).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EncodedColumn::Leaves(table, 1, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EncodedColumnTest, LabelsTolerateUnknownCells) {
+  auto tree = RoleTree().ValueOrDie();
+  Table table = RoleTable({"Nurse", "junk-1", "Paramedic", "junk-2"});
+  auto column = EncodedColumn::Labels(table, 1, &tree);
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ(column->unknown_cells(), 2u);
+  EXPECT_EQ(column->id(0), *tree.FindByLabel("Nurse"));
+  EXPECT_EQ(column->id(1), kInvalidNode);
+  // Interior labels are valid nodes under Labels() (binned cells hold
+  // generalization-node labels at any level).
+  EXPECT_EQ(column->id(2), *tree.FindByLabel("Paramedic"));
+  EXPECT_EQ(column->id(3), kInvalidNode);
+}
+
+TEST(EncodedColumnTest, FilteredKeepsMarkedRowsInOrder) {
+  auto tree = RoleTree().ValueOrDie();
+  Table table = RoleTable({"Nurse", "Pharmacist", "Consultant"});
+  auto column = EncodedColumn::Leaves(table, 1, &tree).ValueOrDie();
+  const EncodedColumn filtered = column.Filtered({1, 0, 1}).ValueOrDie();
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered.id(0), *tree.FindByLabel("Nurse"));
+  EXPECT_EQ(filtered.id(1), *tree.FindByLabel("Consultant"));
+  // A mask sized for a different table is rejected, not truncated.
+  EXPECT_EQ(column.Filtered({1, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EncodedViewTest, SizeMismatchRejected) {
+  auto tree = RoleTree().ValueOrDie();
+  Table table = RoleTable({"Nurse"});
+  // One QI column but two trees.
+  EXPECT_EQ(EncodedView::Leaves(table, {1}, {&tree, &tree}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Column index outside the schema.
+  EXPECT_EQ(EncodedView::Leaves(table, {9}, {&tree}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EncodedViewTest, EncodesAllColumnsOnce) {
+  auto tree = RoleTree().ValueOrDie();
+  Table table = RoleTable({"Nurse", "Pharmacist"});
+  auto view = EncodedView::Leaves(table, {1}, {&tree});
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_columns(), 1u);
+  EXPECT_EQ(view->num_rows(), 2u);
+  EXPECT_EQ(view->column(0).id(1), *tree.FindByLabel("Pharmacist"));
+}
+
+// --------------------------------------------------------------------------
+// Build-time tree layout metadata.
+
+TEST(TreeLayoutTest, LeafSpansMatchLeavesUnder) {
+  auto tree = RoleTree().ValueOrDie();
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    const std::vector<NodeId> expected = tree.LeavesUnder(id);
+    const auto [begin, end] = tree.LeafSpan(id);
+    ASSERT_EQ(end - begin, expected.size());
+    EXPECT_EQ(tree.LeafCountUnder(id), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(tree.Leaves()[begin + i], expected[i]);
+    }
+    if (!expected.empty()) {
+      EXPECT_EQ(tree.FirstLeafUnder(id), expected.front());
+    }
+  }
+}
+
+TEST(TreeLayoutTest, SiblingIndexMatchesSiblingOrder) {
+  auto tree = RoleTree().ValueOrDie();
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    const std::vector<NodeId> sibs = tree.Siblings(id);
+    ASSERT_LT(tree.SiblingIndex(id), sibs.size());
+    EXPECT_EQ(sibs[tree.SiblingIndex(id)], id);
+    EXPECT_EQ(tree.SiblingCount(id), sibs.size());
+  }
+}
+
+TEST(TreeLayoutTest, NumericTreeKeepsLayoutAfterChildResort) {
+  // BuildNumericHierarchy re-sorts children by interval and must recompute
+  // spans and sibling indices afterwards.
+  auto tree = BuildNumericHierarchy("age", {0, 10, 20, 40, 80}).ValueOrDie();
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    const std::vector<NodeId> expected = tree.LeavesUnder(id);
+    const auto [begin, end] = tree.LeafSpan(id);
+    ASSERT_EQ(end - begin, expected.size());
+    const std::vector<NodeId> sibs = tree.Siblings(id);
+    EXPECT_EQ(sibs[tree.SiblingIndex(id)], id);
+  }
+  // DFS materialization adds each proto node's two children back to back.
+  EXPECT_TRUE(tree.has_dense_child_ranges());
+}
+
+TEST(TreeLayoutTest, OutlineTreeIsNotDense) {
+  // DFS outline order interleaves subtrees, so the root's children are not
+  // a contiguous id range.
+  auto tree = RoleTree().ValueOrDie();
+  EXPECT_FALSE(tree.has_dense_child_ranges());
+}
+
+TEST(TreeLayoutTest, StringViewLookupFindsEveryLabel) {
+  auto tree = RoleTree().ValueOrDie();
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    const std::string& label = tree.node(id).label;
+    auto found = tree.FindByLabel(std::string_view(label));
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(*found, id);
+  }
+  EXPECT_EQ(tree.FindByLabel("No Such Role").status().code(),
+            StatusCode::kKeyError);
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,380 @@
+// Equivalence suite for the NodeId-encoded substrate: the encoded hot
+// paths must produce byte-identical tables and reports to the pre-refactor
+// string path on the standard 20k-tuple dataset (fixed seed). The
+// reference implementations below deliberately re-materialize every cell
+// as a std::string and resolve it through the label index per row, per
+// column, per stage — exactly what the pipeline did before the encoded
+// columns existed — using only public APIs, so any divergence in the
+// optimized kernels shows up as a table or report mismatch.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "binning/binning_engine.h"
+#include "crypto/aes128.h"
+#include "datagen/medical_data.h"
+#include "hierarchy/encoded_view.h"
+#include "metrics/info_loss.h"
+#include "metrics/usage_metrics.h"
+#include "watermark/hierarchical.h"
+
+namespace privmark {
+namespace {
+
+constexpr size_t kRows = 20000;
+constexpr uint64_t kSeed = 20050405;
+constexpr size_t kK = 20;
+constexpr uint64_t kEta = 75;
+constexpr char kPassphrase[] = "bench-owner-passphrase";
+
+struct PipelineFixture {
+  std::unique_ptr<MedicalDataset> dataset;
+  UsageMetrics metrics;
+  BinningConfig binning_config;
+  WatermarkKey key;
+  WatermarkOptions options;
+  BinningOutcome outcome;
+  std::unique_ptr<HierarchicalWatermarker> watermarker;
+  BitVector mark;
+};
+
+PipelineFixture& Fixture() {
+  static PipelineFixture* fixture = [] {
+    auto* f = new PipelineFixture;
+    MedicalDataSpec spec;
+    spec.num_rows = kRows;
+    spec.seed = kSeed;
+    f->dataset = std::make_unique<MedicalDataset>(
+        std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+    f->metrics =
+        MetricsFromDepthCuts(f->dataset->trees(), {2, 1, 2, 1, 1})
+            .ValueOrDie();
+    f->binning_config.k = kK;
+    f->binning_config.enforce_joint = false;
+    f->binning_config.encryption_passphrase = kPassphrase;
+    f->key.k1 = "bench-k1";
+    f->key.k2 = "bench-k2";
+    f->key.eta = kEta;
+    BinningAgent agent(f->metrics, f->binning_config);
+    f->outcome = std::move(agent.Run(f->dataset->table)).ValueOrDie();
+    f->watermarker = std::make_unique<HierarchicalWatermarker>(
+        f->outcome.qi_columns,
+        *f->outcome.binned.schema().IdentifyingColumn(), f->metrics.maximal,
+        f->outcome.ultimate, f->key, f->options);
+    f->mark = BitVector::FromString("10110010011010111001").ValueOrDie();
+    return f;
+  }();
+  return *fixture;
+}
+
+void ExpectTablesIdentical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.at(r, c).type(), b.at(r, c).type())
+          << "type mismatch at (" << r << ", " << c << ")";
+      ASSERT_EQ(a.at(r, c).ToString(), b.at(r, c).ToString())
+          << "cell mismatch at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+// Pre-refactor binning phase 3: clone, encrypt the identifying column,
+// generalize each quasi-identifier cell through the per-Value string path.
+Table ReferenceBinnedTable(const PipelineFixture& f) {
+  Table working = f.dataset->table.Clone();
+  const size_t ident_col = *working.schema().IdentifyingColumn();
+  const Aes128 cipher = Aes128::FromPassphrase(kPassphrase);
+  for (size_t r = 0; r < working.num_rows(); ++r) {
+    working.Set(
+        r, ident_col,
+        Value::String(
+            cipher.EncryptValue(working.at(r, ident_col).ToString())
+                .ValueOrDie()));
+  }
+  for (size_t r = 0; r < working.num_rows(); ++r) {
+    for (size_t c = 0; c < f.outcome.qi_columns.size(); ++c) {
+      const size_t col = f.outcome.qi_columns[c];
+      working.Set(
+          r, col,
+          f.outcome.ultimate[c].Generalize(f.dataset->table.at(r, col))
+              .ValueOrDie());
+    }
+  }
+  return working;
+}
+
+NodeId ReferenceMaximalAbove(const GeneralizationSet& maximal, NodeId node) {
+  const DomainHierarchy& tree = *maximal.tree();
+  for (NodeId cur = node; cur != kInvalidNode; cur = tree.Parent(cur)) {
+    if (maximal.Contains(cur)) return cur;
+  }
+  return kInvalidNode;
+}
+
+// Pre-refactor Embed: a full bandwidth pre-pass (one selection hash per
+// tuple) followed by the embedding pass (a second selection hash per
+// tuple, per-slot ToString + NodeForLabel resolution, fresh message
+// strings per hash).
+EmbedReport ReferenceEmbed(const PipelineFixture& f, Table* table,
+                           const BitVector& wm) {
+  const size_t ident_col = *table->schema().IdentifyingColumn();
+  EmbedReport report;
+
+  size_t bandwidth = 0;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const std::string ident = table->at(r, ident_col).ToString();
+    if (!IsTupleSelected(f.key, f.options.hash, ident)) continue;
+    for (size_t c = 0; c < f.outcome.qi_columns.size(); ++c) {
+      auto node = f.outcome.ultimate[c].NodeForLabel(
+          table->at(r, f.outcome.qi_columns[c]).ToString());
+      if (!node.ok()) continue;
+      const NodeId max_node =
+          ReferenceMaximalAbove(f.metrics.maximal[c], *node);
+      if (max_node == kInvalidNode || max_node == *node) continue;
+      ++bandwidth;
+    }
+  }
+  size_t copies = bandwidth / wm.size();
+  if (copies == 0) copies = 1;
+  report.copies = copies;
+  const BitVector wmd = wm.Duplicate(copies);
+  report.wmd_size = wmd.size();
+
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const std::string ident = table->at(r, ident_col).ToString();
+    if (!IsTupleSelected(f.key, f.options.hash, ident)) continue;
+    ++report.tuples_selected;
+    for (size_t c = 0; c < f.outcome.qi_columns.size(); ++c) {
+      const size_t col = f.outcome.qi_columns[c];
+      const std::string& column_name = table->schema().column(col).name;
+      const std::string label = table->at(r, col).ToString();
+      const NodeId node = *f.outcome.ultimate[c].NodeForLabel(label);
+      const NodeId max_node =
+          ReferenceMaximalAbove(f.metrics.maximal[c], node);
+      if (max_node == kInvalidNode || max_node == node) {
+        ++report.slots_skipped_no_gap;
+        continue;
+      }
+      const bool bit = wmd.Get(
+          WmdPosition(f.key, f.options.hash, ident, column_name, wmd.size()));
+      const DomainHierarchy& tree = *f.outcome.ultimate[c].tree();
+      NodeId cur = max_node;
+      bool encoded_any = false;
+      while (!f.outcome.ultimate[c].Contains(cur)) {
+        const std::vector<NodeId>& children = tree.Children(cur);
+        if (children.size() == 1) {
+          cur = children[0];
+          continue;
+        }
+        size_t idx =
+            PermutationIndex(f.key, f.options.hash, ident, column_name,
+                             tree.Depth(cur), children.size());
+        idx = (idx & ~size_t{1}) | static_cast<size_t>(bit);
+        if (idx >= children.size()) idx -= 2;
+        cur = children[idx];
+        encoded_any = true;
+      }
+      if (encoded_any) ++report.slots_embedded;
+      const std::string& new_label = tree.node(cur).label;
+      if (new_label != label) {
+        table->Set(r, col, Value::String(new_label));
+        ++report.cells_changed;
+      }
+    }
+  }
+  return report;
+}
+
+// Pre-refactor Detect: per-row ToString + FindByLabel, Siblings() vector
+// materialization and linear SiblingIndex per level.
+DetectReport ReferenceDetect(const PipelineFixture& f, const Table& table,
+                             size_t wm_size, size_t wmd_size) {
+  const size_t ident_col = *table.schema().IdentifyingColumn();
+  DetectReport report;
+  std::vector<double> zeros(wmd_size, 0.0);
+  std::vector<double> ones(wmd_size, 0.0);
+
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const std::string ident = table.at(r, ident_col).ToString();
+    if (!IsTupleSelected(f.key, f.options.hash, ident)) continue;
+    ++report.tuples_selected;
+    for (size_t c = 0; c < f.outcome.qi_columns.size(); ++c) {
+      const size_t col = f.outcome.qi_columns[c];
+      const std::string& column_name = table.schema().column(col).name;
+      const DomainHierarchy& tree = *f.outcome.ultimate[c].tree();
+      auto node_result = tree.FindByLabel(table.at(r, col).ToString());
+      if (!node_result.ok()) {
+        ++report.slots_skipped;
+        continue;
+      }
+      NodeId cur = *node_result;
+      if (f.metrics.maximal[c].Contains(cur)) {
+        ++report.slots_skipped;
+        continue;
+      }
+      double zero_weight = 0.0;
+      double one_weight = 0.0;
+      bool reached_maximal = false;
+      std::vector<std::pair<bool, int>> level_bits;
+      while (cur != kInvalidNode) {
+        const NodeId parent = tree.Parent(cur);
+        if (parent == kInvalidNode) break;
+        const std::vector<NodeId> sibs = tree.Siblings(cur);
+        if (sibs.size() >= 2) {
+          size_t index = 0;
+          for (size_t i = 0; i < sibs.size(); ++i) {
+            if (sibs[i] == cur) index = i;
+          }
+          level_bits.push_back({(index & 1) != 0, tree.Depth(cur)});
+        }
+        if (f.metrics.maximal[c].Contains(parent)) {
+          reached_maximal = true;
+          break;
+        }
+        cur = parent;
+      }
+      if (!reached_maximal || level_bits.empty()) {
+        ++report.slots_skipped;
+        continue;
+      }
+      for (const auto& [bit, depth] : level_bits) {
+        (void)depth;
+        (bit ? one_weight : zero_weight) += 1.0;
+      }
+      if (one_weight == zero_weight) {
+        ++report.slots_skipped;
+        continue;
+      }
+      const bool slot_bit = one_weight > zero_weight;
+      const size_t pos =
+          WmdPosition(f.key, f.options.hash, ident, column_name, wmd_size);
+      (slot_bit ? ones[pos] : zeros[pos]) += 1.0;
+      ++report.slots_read;
+    }
+  }
+
+  report.recovered = BitVector(wm_size);
+  report.vote_margin.assign(wm_size, 0.0);
+  report.bit_voted.assign(wm_size, false);
+  for (size_t j = 0; j < wm_size; ++j) {
+    double zero_total = 0.0;
+    double one_total = 0.0;
+    for (size_t pos = j; pos < wmd_size; pos += wm_size) {
+      zero_total += zeros[pos];
+      one_total += ones[pos];
+    }
+    report.vote_margin[j] = one_total - zero_total;
+    report.bit_voted[j] = (zero_total + one_total) > 0.0;
+    report.recovered.Set(j, one_total > zero_total);
+  }
+  return report;
+}
+
+TEST(EncodedEquivalenceTest, BinnedTableMatchesStringPath) {
+  PipelineFixture& f = Fixture();
+  const Table reference = ReferenceBinnedTable(f);
+  ExpectTablesIdentical(f.outcome.binned, reference);
+}
+
+TEST(EncodedEquivalenceTest, MinimalNodesMatchValuePath) {
+  PipelineFixture& f = Fixture();
+  MonoBinningOptions options;
+  options.k = kK;
+  for (size_t c = 0; c < f.outcome.qi_columns.size(); ++c) {
+    const auto values =
+        f.dataset->table.ColumnValues(f.outcome.qi_columns[c]);
+    const auto by_values =
+        MonoAttributeBin(f.metrics.maximal[c], values, options).ValueOrDie();
+    EXPECT_EQ(by_values.minimal.nodes(), f.outcome.minimal[c].nodes())
+        << "column " << c;
+  }
+}
+
+TEST(EncodedEquivalenceTest, InfoLossMatchesValuePath) {
+  PipelineFixture& f = Fixture();
+  for (size_t c = 0; c < f.outcome.qi_columns.size(); ++c) {
+    const auto values =
+        f.dataset->table.ColumnValues(f.outcome.qi_columns[c]);
+    const double by_values =
+        ColumnInfoLoss(values, f.outcome.ultimate[c]).ValueOrDie();
+    const auto encoded =
+        EncodedColumn::Leaves(f.dataset->table, f.outcome.qi_columns[c],
+                              f.outcome.ultimate[c].tree())
+            .ValueOrDie();
+    const double by_ids =
+        ColumnInfoLossEncoded(encoded, f.outcome.ultimate[c]).ValueOrDie();
+    EXPECT_EQ(by_values, by_ids) << "column " << c;  // bit-identical
+    EXPECT_EQ(f.outcome.multi_column_loss[c], by_values) << "column " << c;
+  }
+}
+
+TEST(EncodedEquivalenceTest, MarkedTableMatchesStringPath) {
+  PipelineFixture& f = Fixture();
+  Table optimized = f.outcome.binned.Clone();
+  const EmbedReport report =
+      f.watermarker->Embed(&optimized, f.mark).ValueOrDie();
+
+  Table reference = f.outcome.binned.Clone();
+  const EmbedReport ref_report = ReferenceEmbed(f, &reference, f.mark);
+
+  ExpectTablesIdentical(optimized, reference);
+  EXPECT_EQ(report.tuples_selected, ref_report.tuples_selected);
+  EXPECT_EQ(report.slots_embedded, ref_report.slots_embedded);
+  EXPECT_EQ(report.slots_skipped_no_gap, ref_report.slots_skipped_no_gap);
+  EXPECT_EQ(report.copies, ref_report.copies);
+  EXPECT_EQ(report.wmd_size, ref_report.wmd_size);
+  EXPECT_EQ(report.cells_changed, ref_report.cells_changed);
+  EXPECT_GT(report.slots_embedded, 0u);
+}
+
+TEST(EncodedEquivalenceTest, DetectionMatchesStringPath) {
+  PipelineFixture& f = Fixture();
+  Table marked = f.outcome.binned.Clone();
+  const EmbedReport embed = f.watermarker->Embed(&marked, f.mark).ValueOrDie();
+
+  // Detect on the marked table and on a table attacked beyond recognition
+  // in places (generalization attack plus out-of-domain junk).
+  Table attacked = marked.Clone();
+  ASSERT_TRUE(GeneralizationAttack(&attacked, f.outcome.qi_columns,
+                                   f.metrics.maximal, 1)
+                  .ok());
+  for (size_t r = 0; r < attacked.num_rows(); r += 997) {
+    attacked.Set(r, f.outcome.qi_columns[0], Value::String("junk-label"));
+  }
+
+  for (const Table* table : {&marked, &attacked}) {
+    const DetectReport optimized =
+        f.watermarker->Detect(*table, f.mark.size(), embed.wmd_size)
+            .ValueOrDie();
+    const DetectReport reference =
+        ReferenceDetect(f, *table, f.mark.size(), embed.wmd_size);
+    EXPECT_EQ(optimized.recovered.ToString(), reference.recovered.ToString());
+    EXPECT_EQ(optimized.tuples_selected, reference.tuples_selected);
+    EXPECT_EQ(optimized.slots_read, reference.slots_read);
+    EXPECT_EQ(optimized.slots_skipped, reference.slots_skipped);
+    EXPECT_EQ(optimized.vote_margin, reference.vote_margin);
+    EXPECT_EQ(optimized.bit_voted, reference.bit_voted);
+  }
+}
+
+TEST(EncodedEquivalenceTest, NumTupleCountsReuseMatchesRecount) {
+  PipelineFixture& f = Fixture();
+  const size_t col = f.outcome.qi_columns[0];
+  const DomainHierarchy& tree = *f.metrics.maximal[0].tree();
+  const auto values = f.dataset->table.ColumnValues(col);
+  const auto counts = CountPerNode(tree, values).ValueOrDie();
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    EXPECT_EQ(*NumTuple(tree, id, values), *NumTupleFromCounts(tree, id, counts));
+  }
+  EXPECT_EQ(NumTupleFromCounts(tree, 1, {1, 2}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace privmark
