@@ -68,6 +68,7 @@ void BM_MonoBinning20k(benchmark::State& state) {
   BinningConfig config;
   config.k = static_cast<size_t>(state.range(0));
   config.enforce_joint = false;
+  config.num_threads = static_cast<size_t>(state.range(1));
   BinningAgent agent(s.env.metrics, config);
   for (auto _ : state) {
     auto outcome = agent.Run(s.env.original());
@@ -76,8 +77,12 @@ void BM_MonoBinning20k(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * s.env.original().num_rows());
 }
 BENCHMARK(BM_MonoBinning20k)
-    ->Arg(10)
-    ->Arg(100)
+    ->ArgNames({"k", "threads"})
+    ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({10, 4})
+    ->Args({10, 8})
+    ->Args({100, 1})
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
 
@@ -98,26 +103,55 @@ void BM_JointBinning20k(benchmark::State& state) {
 BENCHMARK(BM_JointBinning20k)->Arg(10)->Iterations(2)->Unit(
     benchmark::kMillisecond);
 
+// Watermarker with the standard config but a benchmark-chosen thread
+// count (outputs are byte-identical across counts; only throughput moves).
+HierarchicalWatermarker ThreadedWatermarker(const SharedState& s,
+                                            size_t num_threads) {
+  FrameworkConfig config = MakeConfig(20, 75);
+  config.watermark.num_threads = num_threads;
+  return HierarchicalWatermarker(
+      s.binned.qi_columns, *s.binned.binned.schema().IdentifyingColumn(),
+      s.env.metrics.maximal, s.binned.ultimate, config.key, config.watermark);
+}
+
 void BM_WatermarkEmbed20k(benchmark::State& state) {
   SharedState& s = State();
+  const HierarchicalWatermarker watermarker =
+      ThreadedWatermarker(s, static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
     Table table = s.binned.binned.Clone();
-    auto report = s.watermarker->Embed(&table, s.mark);
+    auto report = watermarker.Embed(&table, s.mark);
     benchmark::DoNotOptimize(report);
   }
   state.SetItemsProcessed(state.iterations() * s.binned.binned.num_rows());
 }
-BENCHMARK(BM_WatermarkEmbed20k)->Iterations(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WatermarkEmbed20k)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(5)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_WatermarkDetect20k(benchmark::State& state) {
   SharedState& s = State();
+  const HierarchicalWatermarker watermarker =
+      ThreadedWatermarker(s, static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
-    auto report = s.watermarker->Detect(s.marked, s.mark.size(), s.wmd_size);
+    auto report = watermarker.Detect(s.marked, s.mark.size(), s.wmd_size);
     benchmark::DoNotOptimize(report);
   }
   state.SetItemsProcessed(state.iterations() * s.marked.num_rows());
 }
-BENCHMARK(BM_WatermarkDetect20k)->Iterations(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WatermarkDetect20k)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(5)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AesEncryptValue(benchmark::State& state) {
   const Aes128 cipher = Aes128::FromPassphrase("bench");

@@ -7,22 +7,28 @@
 //
 //   privmark_cli protect <in.csv> <out.csv> <manifest.out>
 //                [--k=20] [--eta=50] [--pass=...] [--k1=...] [--k2=...]
-//                [--joint] [--epsilon]
+//                [--joint] [--epsilon] [--threads=N]
 //       bin to k-anonymity, encrypt identifiers, embed the ownership
 //       mark; writes the protected table and the (non-secret) manifest
 //
 //   privmark_cli detect <table.csv> <manifest> [--k1=...] [--k2=...]
-//                [--eta=50]
+//                [--eta=50] [--threads=N]
 //       recover the embedded mark with the secret key
 //
 //   privmark_cli attack <in.csv> <out.csv> <kind> <fraction>
-//                [--seed=N] [--manifest=...]
+//                [--seed=N] [--manifest=...] [--threads=N]
 //       kind: alter | add | delete | generalize (generalize needs the
 //       manifest for the maximal nodes and ignores fraction)
 //
 //   privmark_cli dispute <table.csv> <manifest> <claimed_v>
 //                [--pass=...] [--k1=...] [--k2=...] [--eta=50]
 //       run the Sec. 5.4 rightful-ownership protocol
+//
+// --threads=N runs the row-sharded pipeline stages on N workers (0 = one
+// per hardware thread); outputs are byte-identical for every N, so the
+// flag is purely a throughput knob. Default 1 (serial). The `add` attack
+// is the one surface that ignores it: appending rows consumes the random
+// stream for every cell, which is inherently sequential.
 //
 // Secrets (k1/k2/eta, encryption passphrase) are parameters, never stored
 // in the manifest.
@@ -120,7 +126,7 @@ int CmdProtect(const Args& args) {
     std::fprintf(stderr,
                  "usage: privmark_cli protect <in.csv> <out.csv> "
                  "<manifest.out> [--k=] [--eta=] [--pass=] [--joint] "
-                 "[--epsilon]\n");
+                 "[--epsilon] [--threads=]\n");
     return 2;
   }
   MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
@@ -130,6 +136,8 @@ int CmdProtect(const Args& args) {
   config.binning.k = args.FlagU64("k", 20);
   config.binning.enforce_joint = args.flags.count("joint") > 0;
   config.binning.encryption_passphrase = args.Flag("pass", "cli-default-pass");
+  config.binning.num_threads = args.FlagU64("threads", 1);
+  config.watermark.num_threads = config.binning.num_threads;
   config.key = KeyFromArgs(args);
   config.auto_epsilon = args.flags.count("epsilon") > 0;
 
@@ -168,15 +176,17 @@ int CmdDetect(const Args& args) {
   if (args.positional.size() != 3) {
     std::fprintf(stderr,
                  "usage: privmark_cli detect <table.csv> <manifest> "
-                 "[--k1=] [--k2=] [--eta=]\n");
+                 "[--k1=] [--k2=] [--eta=] [--threads=]\n");
     return 2;
   }
   MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
   Table table = Must(ReadTableCsv(args.positional[1], MedicalSchema()));
   ProtectionManifest manifest = Must(ReadManifestFile(args.positional[2]));
+  WatermarkOptions options;
+  options.hash = manifest.hash;
+  options.num_threads = args.FlagU64("threads", 1);
   HierarchicalWatermarker watermarker = Must(WatermarkerFromManifest(
-      manifest, table, ontologies.trees(), KeyFromArgs(args),
-      WatermarkOptions{.hash = manifest.hash}));
+      manifest, table, ontologies.trees(), KeyFromArgs(args), options));
   DetectReport report = Must(
       watermarker.Detect(table, manifest.mark_bits, manifest.wmd_size));
   size_t voted = 0;
@@ -194,22 +204,23 @@ int CmdAttack(const Args& args) {
     std::fprintf(stderr,
                  "usage: privmark_cli attack <in.csv> <out.csv> "
                  "<alter|add|delete|generalize> <fraction> [--seed=] "
-                 "[--manifest=]\n");
+                 "[--manifest=] [--threads=]\n");
     return 2;
   }
   Table table = Must(ReadTableCsv(args.positional[1], MedicalSchema()));
   const std::string kind = args.positional[3];
   const double fraction = std::atof(args.positional[4].c_str());
   Random rng(args.FlagU64("seed", 1));
+  const size_t threads = args.FlagU64("threads", 1);
   const std::vector<size_t> qi = MedicalSchema().QuasiIdentifyingColumns();
 
   AttackReport report;
   if (kind == "alter") {
-    report = Must(SubsetAlterationAttack(&table, qi, fraction, &rng));
+    report = Must(SubsetAlterationAttack(&table, qi, fraction, &rng, threads));
   } else if (kind == "add") {
     report = Must(SubsetAdditionAttack(&table, fraction, &rng));
   } else if (kind == "delete") {
-    report = Must(SubsetDeletionAttack(&table, fraction, &rng));
+    report = Must(SubsetDeletionAttack(&table, fraction, &rng, threads));
   } else if (kind == "generalize") {
     const std::string manifest_path = args.Flag("manifest", "");
     if (manifest_path.empty()) {
@@ -224,7 +235,7 @@ int CmdAttack(const Args& args) {
         manifest, table, ontologies.trees(), WatermarkKey{}, {}));
     report =
         Must(GeneralizationAttack(&table, helper.qi_columns(),
-                                  helper.maximal(), 1));
+                                  helper.maximal(), 1, threads));
   } else {
     std::fprintf(stderr, "unknown attack kind '%s'\n", kind.c_str());
     return 2;

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verify, runnable locally or from CI. Two configurations:
-#   1. Debug + address/undefined sanitizers
-#   2. Release
+# Tier-1 verify, runnable locally or from CI. Three configurations:
+#   1. Debug + address/undefined sanitizers (slow-labeled suites excluded)
+#   2. Debug + thread sanitizer over the parallel-labeled suites, plus the
+#      full 20k parallel-equivalence property suite
+#   3. Release (everything)
 # plus a short-min-time benchmark smoke run on the Release build.
 set -euo pipefail
 
@@ -13,7 +15,15 @@ cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DPRIVMARK_SANITIZE=address,undefined
 cmake --build build-asan -j "${JOBS}"
-(cd build-asan && ctest --output-on-failure -j "${JOBS}")
+(cd build-asan && ctest --output-on-failure -j "${JOBS}" -LE slow)
+
+echo "=== Debug + thread sanitizer (parallel suites) ==="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DPRIVMARK_SANITIZE=thread
+cmake --build build-tsan -j "${JOBS}"
+(cd build-tsan && ctest --output-on-failure -j "${JOBS}" -L parallel -LE slow)
+./build-tsan/tests/properties_parallel_equivalence_test
 
 echo "=== Release ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release

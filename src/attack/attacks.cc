@@ -4,6 +4,7 @@
 #include <set>
 #include <string_view>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "watermark/ownership.h"
 
@@ -11,34 +12,59 @@ namespace privmark {
 
 Result<AttackReport> SubsetAlterationAttack(
     Table* table, const std::vector<size_t>& qi_columns, double fraction,
-    Random* rng) {
+    Random* rng, size_t num_threads) {
   if (fraction < 0.0 || fraction > 1.0) {
     return Status::InvalidArgument("alteration fraction must be in [0,1]");
   }
   AttackReport report;
   if (table->num_rows() == 0 || fraction == 0.0) return report;
 
-  // Distinct labels currently visible per column. Labels are read by
-  // reference; only first occurrences are copied into the pool.
+  // Distinct labels currently visible per column, in first-occurrence row
+  // order. Row shards each collect their local first occurrences; the
+  // shard-order merge keeps a label only if no earlier shard produced it,
+  // which reproduces the serial first-occurrence order exactly (a label
+  // surfacing first in shard s cannot have occurred in any earlier shard,
+  // and earlier rows live in earlier shards).
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(num_threads);
   std::vector<std::vector<Value>> label_pool(qi_columns.size());
   for (size_t c = 0; c < qi_columns.size(); ++c) {
-    std::set<std::string, std::less<>> seen;  // transparent: view lookups
-    std::string scratch;
-    for (size_t r = 0; r < table->num_rows(); ++r) {
-      const Value& cell = table->at(r, qi_columns[c]);
-      std::string_view label;
-      if (cell.type() == ValueType::kString) {
-        label = cell.AsString();
-      } else {
-        scratch = cell.ToString();
-        label = scratch;
-      }
-      const auto it = seen.lower_bound(label);
-      if (it == seen.end() || *it != label) {
-        seen.emplace_hint(it, label);
-        label_pool[c].push_back(Value::String(std::string(label)));
-      }
-    }
+    std::set<std::string, std::less<>> merged_seen;  // transparent lookups
+    PRIVMARK_ASSIGN_OR_RETURN(
+        label_pool[c],
+        ParallelReduce<std::vector<Value>>(
+            pool.get(), table->num_rows(), {},
+            [&](size_t, size_t begin,
+                size_t end) -> Result<std::vector<Value>> {
+              std::set<std::string, std::less<>> seen;
+              std::vector<Value> local;
+              std::string scratch;
+              for (size_t r = begin; r < end; ++r) {
+                const Value& cell = table->at(r, qi_columns[c]);
+                std::string_view label;
+                if (cell.type() == ValueType::kString) {
+                  label = cell.AsString();
+                } else {
+                  scratch = cell.ToString();
+                  label = scratch;
+                }
+                const auto it = seen.lower_bound(label);
+                if (it == seen.end() || *it != label) {
+                  seen.emplace_hint(it, label);
+                  local.push_back(Value::String(std::string(label)));
+                }
+              }
+              return local;
+            },
+            [&merged_seen](std::vector<Value>* acc, std::vector<Value>&& local) {
+              for (Value& value : local) {
+                const std::string_view label = value.AsString();
+                const auto it = merged_seen.lower_bound(label);
+                if (it == merged_seen.end() || *it != label) {
+                  merged_seen.emplace_hint(it, label);
+                  acc->push_back(std::move(value));
+                }
+              }
+            }));
   }
 
   const size_t count =
@@ -94,7 +120,7 @@ Result<AttackReport> SubsetAdditionAttack(Table* table, double fraction,
 }
 
 Result<AttackReport> SubsetDeletionAttack(Table* table, double fraction,
-                                          Random* rng) {
+                                          Random* rng, size_t num_threads) {
   if (fraction < 0.0 || fraction > 1.0) {
     return Status::InvalidArgument("deletion fraction must be in [0,1]");
   }
@@ -105,13 +131,23 @@ Result<AttackReport> SubsetDeletionAttack(Table* table, double fraction,
                             table->schema().IdentifyingColumn());
 
   // Order rows by identifier, then drop a contiguous range (the paper's
-  // SQL `WHERE SSN > lval AND SSN < uval` deletions).
+  // SQL `WHERE SSN > lval AND SSN < uval` deletions). Sort keys
+  // materialize in row shards (the ToString per comparison used to
+  // dominate); the sort itself is serial and sees the same key sequence
+  // for any worker count.
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(num_threads);
+  std::vector<std::string> keys(num_rows);
+  PRIVMARK_RETURN_NOT_OK(ParallelFor(
+      pool.get(), num_rows, [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          keys[r] = table->at(r, ident_column).ToString();
+        }
+        return Status::OK();
+      }));
   std::vector<size_t> order(num_rows);
   for (size_t r = 0; r < num_rows; ++r) order[r] = r;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return table->at(a, ident_column).ToString() <
-           table->at(b, ident_column).ToString();
-  });
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return keys[a] < keys[b]; });
   const size_t count =
       static_cast<size_t>(fraction * static_cast<double>(num_rows));
   if (count == 0) return report;
@@ -126,7 +162,8 @@ Result<AttackReport> SubsetDeletionAttack(Table* table, double fraction,
 
 Result<AttackReport> GeneralizationAttack(
     Table* table, const std::vector<size_t>& qi_columns,
-    const std::vector<GeneralizationSet>& maximal, int levels) {
+    const std::vector<GeneralizationSet>& maximal, int levels,
+    size_t num_threads) {
   if (qi_columns.size() != maximal.size()) {
     return Status::InvalidArgument(
         "GeneralizationAttack: column/maximal count mismatch");
@@ -134,32 +171,44 @@ Result<AttackReport> GeneralizationAttack(
   if (levels < 1) {
     return Status::InvalidArgument("GeneralizationAttack: levels must be >= 1");
   }
-  AttackReport report;
-  for (size_t r = 0; r < table->num_rows(); ++r) {
-    bool row_touched = false;
-    for (size_t c = 0; c < qi_columns.size(); ++c) {
-      const DomainHierarchy& tree = *maximal[c].tree();
-      const Value& cell = table->at(r, qi_columns[c]);
-      auto node = cell.type() == ValueType::kString
-                      ? tree.FindByLabel(cell.AsString())
-                      : tree.FindByLabel(cell.ToString());
-      if (!node.ok()) continue;  // altered beyond the domain; leave it
-      NodeId cur = *node;
-      for (int step = 0; step < levels; ++step) {
-        if (maximal[c].Contains(cur)) break;  // ceiling: stay within metrics
-        const NodeId parent = tree.Parent(cur);
-        if (parent == kInvalidNode) break;
-        cur = parent;
-      }
-      if (cur != *node) {
-        table->Set(r, qi_columns[c], Value::String(tree.node(cur).label));
-        ++report.cells_changed;
-        row_touched = true;
-      }
-    }
-    if (row_touched) ++report.rows_affected;
-  }
-  return report;
+  // Key-free and deterministic, so the whole rewrite shards over rows:
+  // each row touches only its own cells, and the integer counters merge
+  // in shard order.
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(num_threads);
+  return ParallelReduce<AttackReport>(
+      pool.get(), table->num_rows(), AttackReport{},
+      [&](size_t, size_t begin, size_t end) -> Result<AttackReport> {
+        AttackReport shard;
+        for (size_t r = begin; r < end; ++r) {
+          bool row_touched = false;
+          for (size_t c = 0; c < qi_columns.size(); ++c) {
+            const DomainHierarchy& tree = *maximal[c].tree();
+            const Value& cell = table->at(r, qi_columns[c]);
+            auto node = cell.type() == ValueType::kString
+                            ? tree.FindByLabel(cell.AsString())
+                            : tree.FindByLabel(cell.ToString());
+            if (!node.ok()) continue;  // altered beyond the domain; leave it
+            NodeId cur = *node;
+            for (int step = 0; step < levels; ++step) {
+              if (maximal[c].Contains(cur)) break;  // stay within metrics
+              const NodeId parent = tree.Parent(cur);
+              if (parent == kInvalidNode) break;
+              cur = parent;
+            }
+            if (cur != *node) {
+              table->Set(r, qi_columns[c], Value::String(tree.node(cur).label));
+              ++shard.cells_changed;
+              row_touched = true;
+            }
+          }
+          if (row_touched) ++shard.rows_affected;
+        }
+        return shard;
+      },
+      [](AttackReport* acc, AttackReport&& shard) {
+        acc->rows_affected += shard.rows_affected;
+        acc->cells_changed += shard.cells_changed;
+      });
 }
 
 Result<AttackReport> SiblingSwapAttack(Table* table,

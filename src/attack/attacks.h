@@ -19,11 +19,21 @@
 
 namespace privmark {
 
+class ThreadPool;
+
 /// \brief Outcome counters common to the attacks.
 struct AttackReport {
   size_t rows_affected = 0;
   size_t cells_changed = 0;
 };
+
+// Attacks accept a num_threads knob (1 = serial, 0 = hardware
+// concurrency) for their deterministic scan phases — label-pool
+// collection, sort-key materialization, whole-table rewrites. Phases that
+// consume the Random stream stay serial: a pseudo-random sequence is
+// inherently ordered, and the attacks' bit-for-bit reproducibility
+// contract (same Random seed, same table) must hold for every thread
+// count.
 
 /// \brief Subset alteration (Fig. 12a): picks `fraction` of the rows at
 /// random and overwrites every quasi-identifying cell with a random label
@@ -31,7 +41,8 @@ struct AttackReport {
 /// sees only the published table, so plausible labels come from it).
 Result<AttackReport> SubsetAlterationAttack(Table* table,
                                             const std::vector<size_t>& qi_columns,
-                                            double fraction, Random* rng);
+                                            double fraction, Random* rng,
+                                            size_t num_threads = 1);
 
 /// \brief Subset addition (Fig. 12b): appends `fraction` * current-size new
 /// tuples. Identifiers are fresh random hex strings (they look like
@@ -45,7 +56,8 @@ Result<AttackReport> SubsetAdditionAttack(Table* table, double fraction,
 /// `WHERE SSN > lval AND SSN < uval` ranges, i.e. contiguous identifier
 /// intervals rather than uniform samples.
 Result<AttackReport> SubsetDeletionAttack(Table* table, double fraction,
-                                          Random* rng);
+                                          Random* rng,
+                                          size_t num_threads = 1);
 
 /// \brief The generalization attack (Sec. 5.2): re-generalizes every
 /// quasi-identifying cell `levels` steps up the domain hierarchy tree, but
@@ -54,7 +66,8 @@ Result<AttackReport> SubsetDeletionAttack(Table* table, double fraction,
 /// within the usage metrics.
 Result<AttackReport> GeneralizationAttack(
     Table* table, const std::vector<size_t>& qi_columns,
-    const std::vector<GeneralizationSet>& maximal, int levels);
+    const std::vector<GeneralizationSet>& maximal, int levels,
+    size_t num_threads = 1);
 
 /// \brief Sibling-swap attack: for `fraction` of the rows, replaces each
 /// quasi-identifying cell's node by a random *sibling* (same parent).

@@ -1,5 +1,6 @@
 #include "binning/binning_engine.h"
 
+#include "common/parallel.h"
 #include "crypto/aes128.h"
 #include "hierarchy/encoded_view.h"
 #include "metrics/info_loss.h"
@@ -37,6 +38,10 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
   }
   const size_t effective_k = config_.k + config_.epsilon;
 
+  // One pool for every row-sharded stage of this run; nullptr means the
+  // plain serial code path (the num_threads = 1 default).
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(config_.num_threads);
+
   BinningOutcome outcome;
   outcome.qi_columns = qi_columns;
 
@@ -49,8 +54,9 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
   for (const GeneralizationSet& gs : metrics_.maximal) {
     trees.push_back(gs.tree());
   }
-  PRIVMARK_ASSIGN_OR_RETURN(EncodedView view,
-                            EncodedView::Leaves(input, qi_columns, trees));
+  PRIVMARK_ASSIGN_OR_RETURN(
+      EncodedView view,
+      EncodedView::Leaves(input, qi_columns, trees, pool.get()));
 
   // Phase 1: mono-attribute binning per column (Fig. 5), downward from the
   // maximal generalization nodes.
@@ -61,7 +67,7 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
     PRIVMARK_ASSIGN_OR_RETURN(
         MonoBinningResult mono,
         MonoAttributeBinEncoded(metrics_.maximal[c], view.column(c),
-                                mono_options));
+                                mono_options, pool.get()));
     // Collect rows under suppressed nodes: mark the suppressed subtrees'
     // leaves, then scan the encoded ids.
     if (!mono.suppressed_nodes.empty()) {
@@ -106,7 +112,7 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
       PRIVMARK_ASSIGN_OR_RETURN(
           MonoBinningResult mono,
           MonoAttributeBinEncoded(metrics_.maximal[c], view.column(c),
-                                  mono_options));
+                                  mono_options, pool.get()));
       outcome.minimal.push_back(std::move(mono.minimal));
     }
   }
@@ -114,7 +120,8 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
   // Mono-phase information loss (Fig. 11 series 1).
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     PRIVMARK_ASSIGN_OR_RETURN(
-        double loss, ColumnInfoLossEncoded(view.column(c), outcome.minimal[c]));
+        double loss, ColumnInfoLossEncoded(view.column(c), outcome.minimal[c],
+                                           pool.get()));
     outcome.mono_column_loss.push_back(loss);
   }
   outcome.mono_normalized_loss = NormalizedInfoLoss(outcome.mono_column_loss);
@@ -138,7 +145,8 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     PRIVMARK_ASSIGN_OR_RETURN(
         double loss,
-        ColumnInfoLossEncoded(view.column(c), outcome.ultimate[c]));
+        ColumnInfoLossEncoded(view.column(c), outcome.ultimate[c],
+                              pool.get()));
     outcome.multi_column_loss.push_back(loss);
   }
   outcome.multi_normalized_loss = NormalizedInfoLoss(outcome.multi_column_loss);
@@ -151,29 +159,48 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     qi_index_of_col[qi_columns[c]] = static_cast<int>(c);
   }
+  // Rows are built per contiguous shard (encryption and label lookups are
+  // per-row independent) and appended in shard order, so the output table
+  // is byte-identical to the serial pass for any worker count.
+  PRIVMARK_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      ParallelReduce<std::vector<Row>>(
+          pool.get(), working->num_rows(), {},
+          [&](size_t, size_t begin, size_t end) -> Result<std::vector<Row>> {
+            std::vector<Row> shard_rows;
+            shard_rows.reserve(end - begin);
+            for (size_t r = begin; r < end; ++r) {
+              Row row;
+              row.reserve(working->num_columns());
+              for (size_t col = 0; col < working->num_columns(); ++col) {
+                if (col == ident_col) {
+                  PRIVMARK_ASSIGN_OR_RETURN(
+                      std::string encrypted,
+                      cipher.EncryptValue(working->at(r, col).ToString()));
+                  row.push_back(Value::String(std::move(encrypted)));
+                  continue;
+                }
+                const int c = qi_index_of_col[col];
+                if (c >= 0) {
+                  PRIVMARK_ASSIGN_OR_RETURN(
+                      NodeId node,
+                      outcome.ultimate[c].NodeForLeaf(
+                          view.column(static_cast<size_t>(c)).id(r)));
+                  row.push_back(Value::String(trees[c]->node(node).label));
+                  continue;
+                }
+                row.push_back(working->at(r, col));
+              }
+              shard_rows.push_back(std::move(row));
+            }
+            return shard_rows;
+          },
+          [](std::vector<Row>* acc, std::vector<Row>&& shard_rows) {
+            acc->insert(acc->end(), std::make_move_iterator(shard_rows.begin()),
+                        std::make_move_iterator(shard_rows.end()));
+          }));
   Table binned(schema);
-  for (size_t r = 0; r < working->num_rows(); ++r) {
-    Row row;
-    row.reserve(working->num_columns());
-    for (size_t col = 0; col < working->num_columns(); ++col) {
-      if (col == ident_col) {
-        PRIVMARK_ASSIGN_OR_RETURN(
-            std::string encrypted,
-            cipher.EncryptValue(working->at(r, col).ToString()));
-        row.push_back(Value::String(std::move(encrypted)));
-        continue;
-      }
-      const int c = qi_index_of_col[col];
-      if (c >= 0) {
-        PRIVMARK_ASSIGN_OR_RETURN(
-            NodeId node,
-            outcome.ultimate[c].NodeForLeaf(
-                view.column(static_cast<size_t>(c)).id(r)));
-        row.push_back(Value::String(trees[c]->node(node).label));
-        continue;
-      }
-      row.push_back(working->at(r, col));
-    }
+  for (Row& row : rows) {
     PRIVMARK_RETURN_NOT_OK(binned.AppendRow(std::move(row)));
   }
 

@@ -43,6 +43,11 @@ struct BinningConfig {
   /// counts of its Fig. 14 (e.g. 73 age bins x 96 zip bins at k=10 over
   /// 20000 tuples) are only possible without joint 5-column k-anonymity.
   bool enforce_joint = true;
+  /// Worker threads for the row-sharded stages (column encoding, per-node
+  /// counting, information loss, output materialization). 1 = serial (the
+  /// default), 0 = hardware concurrency, N = exactly N workers. Output is
+  /// byte-identical for every value (see common/parallel.h).
+  size_t num_threads = 1;
   MonoBinningOptions mono;
   MultiBinningOptions multi;
 };

@@ -1,5 +1,7 @@
 #include "binning/mono_attribute.h"
 
+#include "common/parallel.h"
+
 namespace privmark {
 
 namespace {
@@ -85,15 +87,33 @@ Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
 }
 
 Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
-                                         const std::vector<NodeId>& leaf_ids) {
-  std::vector<size_t> counts(tree.num_nodes(), 0);
-  for (const NodeId leaf : leaf_ids) {
-    if (leaf < 0 || static_cast<size_t>(leaf) >= tree.num_nodes()) {
-      return Status::OutOfRange("CountPerNode: leaf id " +
-                                std::to_string(leaf) + " out of range");
-    }
-    ++counts[leaf];
-  }
+                                         const std::vector<NodeId>& leaf_ids,
+                                         ThreadPool* pool) {
+  // Per-shard leaf counting merged in shard order. Counts are integers, so
+  // the merged histogram is identical to the serial one for any shard
+  // count; the first failing shard covers the earliest rows, so the error
+  // (if any) is the same one a serial scan reports.
+  PRIVMARK_ASSIGN_OR_RETURN(
+      std::vector<size_t> counts,
+      ParallelReduce<std::vector<size_t>>(
+          pool, leaf_ids.size(), std::vector<size_t>(tree.num_nodes(), 0),
+          [&](size_t, size_t begin,
+              size_t end) -> Result<std::vector<size_t>> {
+            std::vector<size_t> local(tree.num_nodes(), 0);
+            for (size_t r = begin; r < end; ++r) {
+              const NodeId leaf = leaf_ids[r];
+              if (leaf < 0 || static_cast<size_t>(leaf) >= tree.num_nodes()) {
+                return Status::OutOfRange("CountPerNode: leaf id " +
+                                          std::to_string(leaf) +
+                                          " out of range");
+              }
+              ++local[leaf];
+            }
+            return local;
+          },
+          [](std::vector<size_t>* acc, std::vector<size_t>&& local) {
+            for (size_t i = 0; i < acc->size(); ++i) (*acc)[i] += local[i];
+          }));
   AccumulateSubtreeSums(tree, &counts);
   return counts;
 }
@@ -128,14 +148,14 @@ Result<MonoBinningResult> MonoAttributeBin(const GeneralizationSet& maximal,
 
 Result<MonoBinningResult> MonoAttributeBinEncoded(
     const GeneralizationSet& maximal, const EncodedColumn& column,
-    const MonoBinningOptions& options) {
+    const MonoBinningOptions& options, ThreadPool* pool) {
   if (column.tree() != maximal.tree()) {
     return Status::InvalidArgument(
         "MonoAttributeBin: encoded column and maximal nodes use different "
         "trees");
   }
   PRIVMARK_ASSIGN_OR_RETURN(std::vector<size_t> counts,
-                            CountPerNode(*maximal.tree(), column.ids()));
+                            CountPerNode(*maximal.tree(), column.ids(), pool));
   return MonoAttributeBinCounts(maximal, counts, options);
 }
 

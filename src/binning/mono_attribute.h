@@ -24,6 +24,8 @@
 
 namespace privmark {
 
+class ThreadPool;
+
 /// \brief What to do when a maximal-node subtree holds 0 < count < k tuples
 /// (the data cannot be binned within the usage metrics).
 enum class UnbinnablePolicy {
@@ -77,9 +79,13 @@ Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
                                          const std::vector<Value>& values);
 
 /// \brief Counts over a pre-encoded column of leaf ids (no string work).
-/// OutOfRange if an id is not a valid node of `tree`.
+/// OutOfRange if an id is not a valid node of `tree`. With a pool, leaf
+/// counting runs as a per-shard reduction merged in shard order (integer
+/// sums — byte-identical to serial for any worker count); the subtree
+/// roll-up stays serial.
 Result<std::vector<size_t>> CountPerNode(const DomainHierarchy& tree,
-                                         const std::vector<NodeId>& leaf_ids);
+                                         const std::vector<NodeId>& leaf_ids,
+                                         ThreadPool* pool = nullptr);
 
 /// \brief Runs mono-attribute binning for one column.
 ///
@@ -102,7 +108,7 @@ Result<MonoBinningResult> MonoAttributeBin(const GeneralizationSet& maximal,
 /// ambiguous against the Value form.)
 Result<MonoBinningResult> MonoAttributeBinEncoded(
     const GeneralizationSet& maximal, const EncodedColumn& column,
-    const MonoBinningOptions& options);
+    const MonoBinningOptions& options, ThreadPool* pool = nullptr);
 
 /// \brief Same over precomputed per-node counts (from CountPerNode).
 Result<MonoBinningResult> MonoAttributeBinCounts(

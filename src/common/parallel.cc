@@ -1,0 +1,145 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace privmark {
+
+std::vector<ShardRange> ShardRanges(size_t count, size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  const size_t shards = std::min(num_shards, count);
+  std::vector<ShardRange> ranges;
+  ranges.reserve(shards);
+  const size_t base = shards == 0 ? 0 : count / shards;
+  const size_t extra = shards == 0 ? 0 : count % shards;
+  size_t begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t size = base + (s < extra ? 1 : 0);
+    ranges.push_back(ShardRange{begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads_ = num_threads;
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_seq = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || batch_seq_ != seen_seq; });
+    if (stop_) return;
+    seen_seq = batch_seq_;
+    // Copy under the lock: a worker waking after Run() retired the batch
+    // sees nullptr (nothing to do) — never a dangling pointer.
+    std::shared_ptr<Batch> batch = batch_;
+    if (batch == nullptr) continue;
+    lock.unlock();
+    ExecuteTasks(batch.get());
+    lock.lock();
+  }
+}
+
+void ThreadPool::ExecuteTasks(Batch* batch) {
+  for (;;) {
+    const size_t i = batch->next_task.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->num_tasks) return;
+    try {
+      (*batch->task)(i);
+    } catch (...) {
+      // Slot i is owned by whoever claimed task i; no lock needed.
+      batch->errors[i] = std::current_exception();
+    }
+    if (batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch->num_tasks) {
+      // Notify under the lock so the waiter cannot check the predicate,
+      // see an incomplete batch, and then miss this notify.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks,
+                     const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    // Serial: exactly the inline loop, exceptions propagate directly.
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->task = &task;
+  batch->num_tasks = num_tasks;
+  batch->errors.resize(num_tasks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+  ExecuteTasks(batch.get());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return batch->completed.load(std::memory_order_acquire) ==
+           batch->num_tasks;
+  });
+  batch_ = nullptr;
+  lock.unlock();
+  // A worker waking late still holds its shared_ptr copy; the batch is
+  // fully claimed by now, so it finds no task and never dereferences
+  // `task` (which dangles once this function returns).
+
+  // Deterministic propagation: the lowest-numbered failing task wins,
+  // matching the error a serial left-to-right loop would have hit first.
+  for (std::exception_ptr& error : batch->errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::unique_ptr<ThreadPool> MakeThreadPool(size_t num_threads) {
+  if (num_threads == 1) return nullptr;
+  return std::make_unique<ThreadPool>(num_threads);
+}
+
+Status ParallelFor(ThreadPool* pool, size_t count,
+                   const std::function<Status(size_t, size_t, size_t)>& fn) {
+  const std::vector<ShardRange> shards =
+      ShardRanges(count, pool == nullptr ? 1 : pool->num_threads());
+  if (shards.empty()) return Status::OK();
+  if (pool == nullptr || shards.size() == 1) {
+    for (size_t s = 0; s < shards.size(); ++s) {
+      PRIVMARK_RETURN_NOT_OK(fn(s, shards[s].begin, shards[s].end));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(shards.size());
+  pool->Run(shards.size(), [&](size_t s) {
+    statuses[s] = fn(s, shards[s].begin, shards[s].end);
+  });
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace privmark

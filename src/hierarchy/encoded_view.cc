@@ -1,5 +1,7 @@
 #include "hierarchy/encoded_view.h"
 
+#include "common/parallel.h"
+
 namespace privmark {
 
 namespace {
@@ -21,12 +23,18 @@ Status CheckColumn(const Table& table, size_t column,
 }  // namespace
 
 Result<EncodedColumn> EncodedColumn::Leaves(const Table& table, size_t column,
-                                            const DomainHierarchy* tree) {
+                                            const DomainHierarchy* tree,
+                                            ThreadPool* pool) {
   PRIVMARK_RETURN_NOT_OK(CheckColumn(table, column, tree));
   std::vector<NodeId> ids(table.num_rows());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    PRIVMARK_ASSIGN_OR_RETURN(ids[r], tree->LeafForValue(table.at(r, column)));
-  }
+  PRIVMARK_RETURN_NOT_OK(ParallelFor(
+      pool, table.num_rows(), [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          PRIVMARK_ASSIGN_OR_RETURN(ids[r],
+                                    tree->LeafForValue(table.at(r, column)));
+        }
+        return Status::OK();
+      }));
   return EncodedColumn(tree, std::move(ids), 0);
 }
 
@@ -98,7 +106,7 @@ Result<EncodedView> EncodedView::Filtered(const std::vector<char>& keep) const {
 
 Result<EncodedView> EncodedView::Leaves(
     const Table& table, const std::vector<size_t>& qi_columns,
-    const std::vector<const DomainHierarchy*>& trees) {
+    const std::vector<const DomainHierarchy*>& trees, ThreadPool* pool) {
   if (qi_columns.size() != trees.size()) {
     return Status::InvalidArgument(
         "EncodedView: " + std::to_string(qi_columns.size()) +
@@ -109,7 +117,7 @@ Result<EncodedView> EncodedView::Leaves(
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     PRIVMARK_ASSIGN_OR_RETURN(
         EncodedColumn column,
-        EncodedColumn::Leaves(table, qi_columns[c], trees[c]));
+        EncodedColumn::Leaves(table, qi_columns[c], trees[c], pool));
     columns.push_back(std::move(column));
   }
   return EncodedView(std::move(columns));

@@ -35,6 +35,8 @@
 
 namespace privmark {
 
+class ThreadPool;
+
 /// \brief One table column resolved to NodeIds of its DomainHierarchy.
 class EncodedColumn {
  public:
@@ -43,9 +45,13 @@ class EncodedColumn {
   /// \brief Encodes raw (leaf-level) cells of `table`'s column `column`:
   /// each cell maps to its leaf via DomainHierarchy::LeafForValue.
   /// KeyError / OutOfRange on a value outside the domain; InvalidArgument
-  /// on a null tree or a column index outside the schema.
+  /// on a null tree or a column index outside the schema. With a pool,
+  /// rows resolve in contiguous shards into disjoint slots of one
+  /// pre-sized id vector — byte-identical to the serial pass (including
+  /// which error surfaces) for any worker count.
   static Result<EncodedColumn> Leaves(const Table& table, size_t column,
-                                      const DomainHierarchy* tree);
+                                      const DomainHierarchy* tree,
+                                      ThreadPool* pool = nullptr);
 
   /// \brief Same, over an already-extracted value vector (for callers that
   /// hold a std::vector<Value> instead of a table).
@@ -97,7 +103,8 @@ class EncodedView {
   /// label form can join it once a stage consumes one.)
   static Result<EncodedView> Leaves(
       const Table& table, const std::vector<size_t>& qi_columns,
-      const std::vector<const DomainHierarchy*>& trees);
+      const std::vector<const DomainHierarchy*>& trees,
+      ThreadPool* pool = nullptr);
 
   size_t num_columns() const { return columns_.size(); }
   size_t num_rows() const {

@@ -1,5 +1,7 @@
 #include "metrics/info_loss.h"
 
+#include "common/parallel.h"
+
 namespace privmark {
 
 namespace {
@@ -105,7 +107,8 @@ Result<double> ColumnLossAgainstOriginal(
 }
 
 Result<double> ColumnInfoLossEncoded(const EncodedColumn& column,
-                                     const GeneralizationSet& gen) {
+                                     const GeneralizationSet& gen,
+                                     ThreadPool* pool) {
   if (column.size() == 0) return 0.0;
   if (column.tree() != gen.tree()) {
     return Status::InvalidArgument(
@@ -113,11 +116,23 @@ Result<double> ColumnInfoLossEncoded(const EncodedColumn& column,
         "trees");
   }
   const DomainHierarchy& tree = *gen.tree();
-  std::vector<size_t> counts(tree.num_nodes(), 0);
-  for (const NodeId leaf : column.ids()) {
-    PRIVMARK_ASSIGN_OR_RETURN(NodeId node, gen.NodeForLeaf(leaf));
-    ++counts[node];
-  }
+  const std::vector<NodeId>& ids = column.ids();
+  PRIVMARK_ASSIGN_OR_RETURN(
+      std::vector<size_t> counts,
+      ParallelReduce<std::vector<size_t>>(
+          pool, ids.size(), std::vector<size_t>(tree.num_nodes(), 0),
+          [&](size_t, size_t begin,
+              size_t end) -> Result<std::vector<size_t>> {
+            std::vector<size_t> local(tree.num_nodes(), 0);
+            for (size_t r = begin; r < end; ++r) {
+              PRIVMARK_ASSIGN_OR_RETURN(NodeId node, gen.NodeForLeaf(ids[r]));
+              ++local[node];
+            }
+            return local;
+          },
+          [](std::vector<size_t>* acc, std::vector<size_t>&& local) {
+            for (size_t i = 0; i < acc->size(); ++i) (*acc)[i] += local[i];
+          }));
   return LossFromNodeCounts(tree, counts);
 }
 

@@ -22,6 +22,8 @@
 
 namespace privmark {
 
+class ThreadPool;
+
 /// \brief Eq. (1)/(2) information loss of one column under a generalization.
 ///
 /// \param values the column's *original* (leaf-level) values
@@ -37,9 +39,13 @@ Result<double> ColumnInfoLoss(const std::vector<Value>& values,
 /// \brief Same over a pre-encoded column of leaf ids — the hot-loop form:
 /// no per-cell string resolution, counts accumulate in a flat per-node
 /// array. Produces bit-identical results to the Value form (contributions
-/// are summed in ascending node-id order either way).
+/// are summed in ascending node-id order either way). With a pool the
+/// per-node counting runs as a sharded integer reduction; the Eq. (1)/(2)
+/// fold over the merged counts stays serial, so the result is still
+/// bit-identical for any worker count.
 Result<double> ColumnInfoLossEncoded(const EncodedColumn& column,
-                                     const GeneralizationSet& gen);
+                                     const GeneralizationSet& gen,
+                                     ThreadPool* pool = nullptr);
 
 /// \brief ColumnInfoLossOfLabels over a label-encoded column; cells that
 /// failed to resolve (column.unknown_cells()) are rejected with KeyError,

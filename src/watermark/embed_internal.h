@@ -4,13 +4,20 @@
 // gate on Eq. (5) selection, record per-(tuple, column) slots in a
 // resolve pass, then hash and write in a second pass — and these pieces
 // must not drift apart between them.
+//
+// Both passes shard over contiguous row (resp. tuple) ranges; the
+// per-shard partial results below merge in shard order so parallel
+// embed/detect is byte-identical to serial for any worker count.
 
 #ifndef PRIVMARK_WATERMARK_EMBED_INTERNAL_H_
 #define PRIVMARK_WATERMARK_EMBED_INTERNAL_H_
 
 #include <cstddef>
+#include <iterator>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "relation/value.h"
 
@@ -36,6 +43,77 @@ struct SelectedTuple {
   size_t slot_begin;
   size_t slot_end;
 };
+
+/// \brief One row-shard's resolve-pass output: its selected tuples (slot
+/// ranges relative to the shard's own slot vector until merged) plus the
+/// shard's counters. SlotT is each scheme's slot record.
+template <typename SlotT>
+struct ResolvedShard {
+  std::vector<SelectedTuple> tuples;
+  std::vector<SlotT> slots;
+  size_t tuples_selected = 0;
+  size_t slots_skipped_no_gap = 0;
+  size_t bandwidth = 0;
+};
+
+/// \brief Shard-order merge for ResolvedShard: rebases the incoming slot
+/// ranges onto the accumulated slot vector and appends. Counters are
+/// integer sums, so the merged result is identical for any shard count.
+template <typename SlotT>
+void MergeResolve(ResolvedShard<SlotT>* acc, ResolvedShard<SlotT>&& shard) {
+  const size_t offset = acc->slots.size();
+  acc->tuples.reserve(acc->tuples.size() + shard.tuples.size());
+  for (SelectedTuple& tuple : shard.tuples) {
+    tuple.slot_begin += offset;
+    tuple.slot_end += offset;
+    acc->tuples.push_back(std::move(tuple));
+  }
+  acc->slots.insert(acc->slots.end(),
+                    std::make_move_iterator(shard.slots.begin()),
+                    std::make_move_iterator(shard.slots.end()));
+  acc->tuples_selected += shard.tuples_selected;
+  acc->slots_skipped_no_gap += shard.slots_skipped_no_gap;
+  acc->bandwidth += shard.bandwidth;
+}
+
+/// \brief One tuple-shard's write-pass tally.
+struct WriteTally {
+  size_t slots_embedded = 0;
+  size_t slots_skipped_no_gap = 0;  // single-level: empty parity candidates
+  size_t cells_changed = 0;
+};
+
+inline void MergeWrites(WriteTally* acc, WriteTally&& tally) {
+  acc->slots_embedded += tally.slots_embedded;
+  acc->slots_skipped_no_gap += tally.slots_skipped_no_gap;
+  acc->cells_changed += tally.cells_changed;
+}
+
+/// \brief One row-shard's detection tally: weighted votes per wmd
+/// position plus counters. Vote accumulation adds 1.0 per voting slot, so
+/// per-shard sums merged in shard order reproduce the serial totals
+/// exactly (whole-valued doubles are closed under addition well past any
+/// realistic row count).
+struct VoteShard {
+  std::vector<double> zeros;
+  std::vector<double> ones;
+  size_t tuples_selected = 0;
+  size_t slots_read = 0;
+  size_t slots_skipped = 0;
+
+  explicit VoteShard(size_t wmd_size = 0)
+      : zeros(wmd_size, 0.0), ones(wmd_size, 0.0) {}
+};
+
+inline void MergeVotes(VoteShard* acc, VoteShard&& shard) {
+  for (size_t pos = 0; pos < acc->zeros.size(); ++pos) {
+    acc->zeros[pos] += shard.zeros[pos];
+    acc->ones[pos] += shard.ones[pos];
+  }
+  acc->tuples_selected += shard.tuples_selected;
+  acc->slots_read += shard.slots_read;
+  acc->slots_skipped += shard.slots_skipped;
+}
 
 }  // namespace watermark_internal
 }  // namespace privmark

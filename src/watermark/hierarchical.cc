@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "watermark/embed_internal.h"
 
 namespace privmark {
@@ -10,6 +11,8 @@ namespace privmark {
 namespace {
 
 using watermark_internal::IdentText;
+using watermark_internal::MergeResolve;
+using watermark_internal::ResolvedShard;
 using watermark_internal::SelectedTuple;
 
 // One embeddable (tuple, column) slot: the cell's resolved node and the
@@ -47,25 +50,31 @@ NodeId HierarchicalWatermarker::MaximalAbove(size_t c, NodeId node) const {
 
 Result<size_t> HierarchicalWatermarker::EstimateBandwidth(
     const Table& table) const {
-  WatermarkHasher hasher(key_, options_.hash);
-  std::string scratch;
-  size_t slots = 0;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string_view ident =
-        IdentText(table.at(r, ident_column_), &scratch);
-    if (!hasher.TupleSelected(ident)) continue;
-    for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      const Value& cell = table.at(r, qi_columns_[c]);
-      auto node = cell.type() == ValueType::kString
-                      ? ultimate_[c].NodeForLabel(cell.AsString())
-                      : ultimate_[c].NodeForLabel(cell.ToString());
-      if (!node.ok()) continue;
-      const NodeId max_node = MaximalAbove(c, *node);
-      if (max_node == kInvalidNode || max_node == *node) continue;
-      ++slots;
-    }
-  }
-  return slots;
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
+  return ParallelReduce<size_t>(
+      pool.get(), table.num_rows(), size_t{0},
+      [&](size_t, size_t begin, size_t end) -> Result<size_t> {
+        WatermarkHasher hasher(key_, options_.hash);
+        std::string scratch;
+        size_t slots = 0;
+        for (size_t r = begin; r < end; ++r) {
+          const std::string_view ident =
+              IdentText(table.at(r, ident_column_), &scratch);
+          if (!hasher.TupleSelected(ident)) continue;
+          for (size_t c = 0; c < qi_columns_.size(); ++c) {
+            const Value& cell = table.at(r, qi_columns_[c]);
+            auto node = cell.type() == ValueType::kString
+                            ? ultimate_[c].NodeForLabel(cell.AsString())
+                            : ultimate_[c].NodeForLabel(cell.ToString());
+            if (!node.ok()) continue;
+            const NodeId max_node = MaximalAbove(c, *node);
+            if (max_node == kInvalidNode || max_node == *node) continue;
+            ++slots;
+          }
+        }
+        return slots;
+      },
+      [](size_t* acc, size_t&& slots) { *acc += slots; });
 }
 
 Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
@@ -75,43 +84,58 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
     return Status::InvalidArgument("Embed: empty watermark");
   }
   EmbedReport report;
-  WatermarkHasher hasher(key_, options_.hash);
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
 
   // Pass 1 — resolve. One Eq. (5) hash per tuple and one label-to-node
   // resolution per (selected tuple, column); the former bandwidth
-  // pre-pass and the embedding pass used to pay both twice.
-  std::vector<SelectedTuple> tuples;
-  std::vector<EmbedSlot> slots;
-  std::string scratch;
-  size_t bandwidth = 0;
-  for (size_t r = 0; r < table->num_rows(); ++r) {
-    const std::string_view ident =
-        IdentText(table->at(r, ident_column_), &scratch);
-    if (!hasher.TupleSelected(ident)) continue;
-    ++report.tuples_selected;
-    SelectedTuple tuple{r, std::string(ident), slots.size(), slots.size()};
-    for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      const Value& cell = table->at(r, qi_columns_[c]);
-      PRIVMARK_ASSIGN_OR_RETURN(
-          NodeId node, cell.type() == ValueType::kString
-                           ? ultimate_[c].NodeForLabel(cell.AsString())
-                           : ultimate_[c].NodeForLabel(cell.ToString()));
-      const NodeId max_node = MaximalAbove(c, node);
-      if (max_node == kInvalidNode || max_node == node) {
-        // Zero-gap special case (Sec. 5.2): permutation here would exceed
-        // the usage metrics, so the slot carries no bit.
-        ++report.slots_skipped_no_gap;
-        continue;
-      }
-      slots.push_back(EmbedSlot{c, node, max_node});
-      ++bandwidth;
-    }
-    tuple.slot_end = slots.size();
-    tuples.push_back(std::move(tuple));
-  }
+  // pre-pass and the embedding pass used to pay both twice. Rows shard
+  // contiguously; each shard records its own tuples/slots (merged in
+  // shard order, so the combined vectors match a serial scan).
+  using Resolved = ResolvedShard<EmbedSlot>;
+  PRIVMARK_ASSIGN_OR_RETURN(
+      Resolved resolved,
+      ParallelReduce<Resolved>(
+          pool.get(), table->num_rows(), Resolved{},
+          [&](size_t, size_t begin, size_t end) -> Result<Resolved> {
+            Resolved shard;
+            WatermarkHasher hasher(key_, options_.hash);
+            std::string scratch;
+            for (size_t r = begin; r < end; ++r) {
+              const std::string_view ident =
+                  IdentText(table->at(r, ident_column_), &scratch);
+              if (!hasher.TupleSelected(ident)) continue;
+              ++shard.tuples_selected;
+              SelectedTuple tuple{r, std::string(ident), shard.slots.size(),
+                                  shard.slots.size()};
+              for (size_t c = 0; c < qi_columns_.size(); ++c) {
+                const Value& cell = table->at(r, qi_columns_[c]);
+                PRIVMARK_ASSIGN_OR_RETURN(
+                    NodeId node,
+                    cell.type() == ValueType::kString
+                        ? ultimate_[c].NodeForLabel(cell.AsString())
+                        : ultimate_[c].NodeForLabel(cell.ToString()));
+                const NodeId max_node = MaximalAbove(c, node);
+                if (max_node == kInvalidNode || max_node == node) {
+                  // Zero-gap special case (Sec. 5.2): permutation here
+                  // would exceed the usage metrics, so the slot carries no
+                  // bit.
+                  ++shard.slots_skipped_no_gap;
+                  continue;
+                }
+                shard.slots.push_back(EmbedSlot{c, node, max_node});
+                ++shard.bandwidth;
+              }
+              tuple.slot_end = shard.slots.size();
+              shard.tuples.push_back(std::move(tuple));
+            }
+            return shard;
+          },
+          MergeResolve<EmbedSlot>));
+  report.tuples_selected = resolved.tuples_selected;
+  report.slots_skipped_no_gap = resolved.slots_skipped_no_gap;
 
   if (copies == 0) {
-    copies = bandwidth / wm.size();
+    copies = resolved.bandwidth / wm.size();
     if (copies == 0) copies = 1;
   }
   report.copies = copies;
@@ -120,43 +144,62 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
 
   // Pass 2 — embed. Walks the recorded slots only; labels are written
   // back from the tree's NodeId -> label arena, and only when the walk
-  // lands on a different node than the cell already holds.
-  for (const SelectedTuple& tuple : tuples) {
-    for (size_t i = tuple.slot_begin; i < tuple.slot_end; ++i) {
-      const EmbedSlot& slot = slots[i];
-      const size_t col = qi_columns_[slot.col_idx];
-      const std::string& column_name = table->schema().column(col).name;
-      const DomainHierarchy& tree = *ultimate_[slot.col_idx].tree();
+  // lands on a different node than the cell already holds. Tuples shard
+  // contiguously and every tuple writes only its own row, so writes are
+  // disjoint across workers.
+  PRIVMARK_ASSIGN_OR_RETURN(
+      watermark_internal::WriteTally tally,
+      ParallelReduce<watermark_internal::WriteTally>(
+          pool.get(), resolved.tuples.size(), {},
+          [&](size_t, size_t begin,
+              size_t end) -> Result<watermark_internal::WriteTally> {
+            watermark_internal::WriteTally shard;
+            WatermarkHasher hasher(key_, options_.hash);
+            for (size_t t = begin; t < end; ++t) {
+              const SelectedTuple& tuple = resolved.tuples[t];
+              for (size_t i = tuple.slot_begin; i < tuple.slot_end; ++i) {
+                const EmbedSlot& slot = resolved.slots[i];
+                const size_t col = qi_columns_[slot.col_idx];
+                const std::string& column_name =
+                    table->schema().column(col).name;
+                const DomainHierarchy& tree = *ultimate_[slot.col_idx].tree();
 
-      const bool bit =
-          wmd.Get(hasher.WmdPosition(tuple.ident, column_name, wmd.size()));
-      NodeId cur = slot.max_node;
-      bool encoded_any = false;
-      while (!ultimate_[slot.col_idx].Contains(cur)) {
-        const std::vector<NodeId>& children = tree.Children(cur);
-        assert(!children.empty() &&
-               "a leaf must be covered by an ultimate node at or above it");
-        if (children.size() == 1) {
-          cur = children[0];
-          continue;
-        }
-        size_t idx = hasher.PermutationIndex(tuple.ident, column_name,
-                                             tree.Depth(cur), children.size());
-        // SetMuBit with in-range correction: force the parity, stepping
-        // back by 2 if that overruns the sibling count (safe: >= 2 children
-        // means both parities exist).
-        idx = (idx & ~size_t{1}) | static_cast<size_t>(bit);
-        if (idx >= children.size()) idx -= 2;
-        cur = children[idx];
-        encoded_any = true;
-      }
-      if (encoded_any) ++report.slots_embedded;
-      if (cur != slot.node) {
-        table->Set(tuple.row, col, Value::String(tree.node(cur).label));
-        ++report.cells_changed;
-      }
-    }
-  }
+                const bool bit = wmd.Get(
+                    hasher.WmdPosition(tuple.ident, column_name, wmd.size()));
+                NodeId cur = slot.max_node;
+                bool encoded_any = false;
+                while (!ultimate_[slot.col_idx].Contains(cur)) {
+                  const std::vector<NodeId>& children = tree.Children(cur);
+                  assert(!children.empty() &&
+                         "a leaf must be covered by an ultimate node at or "
+                         "above it");
+                  if (children.size() == 1) {
+                    cur = children[0];
+                    continue;
+                  }
+                  size_t idx =
+                      hasher.PermutationIndex(tuple.ident, column_name,
+                                              tree.Depth(cur), children.size());
+                  // SetMuBit with in-range correction: force the parity,
+                  // stepping back by 2 if that overruns the sibling count
+                  // (safe: >= 2 children means both parities exist).
+                  idx = (idx & ~size_t{1}) | static_cast<size_t>(bit);
+                  if (idx >= children.size()) idx -= 2;
+                  cur = children[idx];
+                  encoded_any = true;
+                }
+                if (encoded_any) ++shard.slots_embedded;
+                if (cur != slot.node) {
+                  table->Set(tuple.row, col, Value::String(tree.node(cur).label));
+                  ++shard.cells_changed;
+                }
+              }
+            }
+            return shard;
+          },
+          watermark_internal::MergeWrites));
+  report.slots_embedded = tally.slots_embedded;
+  report.cells_changed = tally.cells_changed;
   return report;
 }
 
@@ -168,84 +211,106 @@ Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
         "Detect: wmd_size must be a positive multiple of wm_size");
   }
   DetectReport report;
-  WatermarkHasher hasher(key_, options_.hash);
-  // Weighted votes per wmd position: [position] -> (zeros, ones).
-  std::vector<double> zeros(wmd_size, 0.0);
-  std::vector<double> ones(wmd_size, 0.0);
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
 
-  std::string scratch;
-  std::vector<std::pair<bool, int>> level_bits;  // (bit, depth), reused
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string_view ident =
-        IdentText(table.at(r, ident_column_), &scratch);
-    if (!hasher.TupleSelected(ident)) continue;
-    ++report.tuples_selected;
+  // Row shards accumulate weighted votes per wmd position into their own
+  // (zeros, ones) tally, merged in shard order before the fold — every
+  // slot contributes exactly 1.0, so the merged totals equal the serial
+  // ones bit for bit.
+  using watermark_internal::VoteShard;
+  PRIVMARK_ASSIGN_OR_RETURN(
+      VoteShard votes,
+      ParallelReduce<VoteShard>(
+          pool.get(), table.num_rows(), VoteShard(wmd_size),
+          [&](size_t, size_t begin, size_t end) -> Result<VoteShard> {
+            VoteShard shard(wmd_size);
+            WatermarkHasher hasher(key_, options_.hash);
+            std::string scratch;
+            std::vector<std::pair<bool, int>> level_bits;  // (bit, depth)
+            for (size_t r = begin; r < end; ++r) {
+              const std::string_view ident =
+                  IdentText(table.at(r, ident_column_), &scratch);
+              if (!hasher.TupleSelected(ident)) continue;
+              ++shard.tuples_selected;
 
-    for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      const size_t col = qi_columns_[c];
-      const std::string& column_name = table.schema().column(col).name;
-      const DomainHierarchy& tree = *ultimate_[c].tree();
+              for (size_t c = 0; c < qi_columns_.size(); ++c) {
+                const size_t col = qi_columns_[c];
+                const std::string& column_name =
+                    table.schema().column(col).name;
+                const DomainHierarchy& tree = *ultimate_[c].tree();
 
-      const Value& cell = table.at(r, col);
-      auto node_result = cell.type() == ValueType::kString
-                             ? tree.FindByLabel(cell.AsString())
-                             : tree.FindByLabel(cell.ToString());
-      if (!node_result.ok()) {
-        // Altered beyond the domain: no votes from this slot.
-        ++report.slots_skipped;
-        continue;
-      }
-      NodeId cur = *node_result;
-      if (maximal_[c].Contains(cur)) {
-        ++report.slots_skipped;
-        continue;
-      }
+                const Value& cell = table.at(r, col);
+                auto node_result = cell.type() == ValueType::kString
+                                       ? tree.FindByLabel(cell.AsString())
+                                       : tree.FindByLabel(cell.ToString());
+                if (!node_result.ok()) {
+                  // Altered beyond the domain: no votes from this slot.
+                  ++shard.slots_skipped;
+                  continue;
+                }
+                NodeId cur = *node_result;
+                if (maximal_[c].Contains(cur)) {
+                  ++shard.slots_skipped;
+                  continue;
+                }
 
-      // Walk up to the maximal node, reading a parity bit per level with
-      // >= 2 siblings (Fig. 9's Detection inner loop). The embedding wrote
-      // the same bit at every level, so majority-vote the levels. Sibling
-      // index and count are O(1) precomputed tree metadata.
-      double zero_weight = 0.0;
-      double one_weight = 0.0;
-      bool reached_maximal = false;
-      level_bits.clear();
-      while (cur != kInvalidNode) {
-        const NodeId parent = tree.Parent(cur);
-        if (parent == kInvalidNode) break;
-        if (tree.SiblingCount(cur) >= 2) {
-          level_bits.push_back(
-              {(tree.SiblingIndex(cur) & 1) != 0, tree.Depth(cur)});
-        }
-        if (maximal_[c].Contains(parent)) {
-          reached_maximal = true;
-          break;
-        }
-        cur = parent;
-      }
-      if (!reached_maximal || level_bits.empty()) {
-        ++report.slots_skipped;
-        continue;
-      }
-      // Weight by distance from the top of the walk (highest level first).
-      const int top_depth = level_bits.back().second;
-      for (const auto& [bit, depth] : level_bits) {
-        const double weight =
-            options_.weighted_voting
-                ? std::pow(options_.level_weight_decay, depth - top_depth)
-                : 1.0;
-        (bit ? one_weight : zero_weight) += weight;
-      }
-      const bool slot_bit = one_weight > zero_weight;
-      if (one_weight == zero_weight) {
-        // Tied levels: the slot abstains.
-        ++report.slots_skipped;
-        continue;
-      }
-      const size_t pos = hasher.WmdPosition(ident, column_name, wmd_size);
-      (slot_bit ? ones[pos] : zeros[pos]) += 1.0;
-      ++report.slots_read;
-    }
-  }
+                // Walk up to the maximal node, reading a parity bit per
+                // level with >= 2 siblings (Fig. 9's Detection inner
+                // loop). The embedding wrote the same bit at every level,
+                // so majority-vote the levels. Sibling index and count are
+                // O(1) precomputed tree metadata.
+                double zero_weight = 0.0;
+                double one_weight = 0.0;
+                bool reached_maximal = false;
+                level_bits.clear();
+                while (cur != kInvalidNode) {
+                  const NodeId parent = tree.Parent(cur);
+                  if (parent == kInvalidNode) break;
+                  if (tree.SiblingCount(cur) >= 2) {
+                    level_bits.push_back(
+                        {(tree.SiblingIndex(cur) & 1) != 0, tree.Depth(cur)});
+                  }
+                  if (maximal_[c].Contains(parent)) {
+                    reached_maximal = true;
+                    break;
+                  }
+                  cur = parent;
+                }
+                if (!reached_maximal || level_bits.empty()) {
+                  ++shard.slots_skipped;
+                  continue;
+                }
+                // Weight by distance from the top of the walk (highest
+                // level first).
+                const int top_depth = level_bits.back().second;
+                for (const auto& [bit, depth] : level_bits) {
+                  const double weight =
+                      options_.weighted_voting
+                          ? std::pow(options_.level_weight_decay,
+                                     depth - top_depth)
+                          : 1.0;
+                  (bit ? one_weight : zero_weight) += weight;
+                }
+                const bool slot_bit = one_weight > zero_weight;
+                if (one_weight == zero_weight) {
+                  // Tied levels: the slot abstains.
+                  ++shard.slots_skipped;
+                  continue;
+                }
+                const size_t pos =
+                    hasher.WmdPosition(ident, column_name, wmd_size);
+                (slot_bit ? shard.ones[pos] : shard.zeros[pos]) += 1.0;
+                ++shard.slots_read;
+              }
+            }
+            return shard;
+          },
+          watermark_internal::MergeVotes));
+  report.tuples_selected = votes.tuples_selected;
+  report.slots_read = votes.slots_read;
+  report.slots_skipped = votes.slots_skipped;
+  const std::vector<double>& zeros = votes.zeros;
+  const std::vector<double>& ones = votes.ones;
 
   // Fold wmd votes down to wm bits: copy t of bit j lives at j + t*wm_size.
   report.recovered = BitVector(wm_size);

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/parallel.h"
 #include "watermark/embed_internal.h"
 
 namespace privmark {
@@ -9,6 +10,8 @@ namespace privmark {
 namespace {
 
 using watermark_internal::IdentText;
+using watermark_internal::MergeResolve;
+using watermark_internal::ResolvedShard;
 using watermark_internal::SelectedTuple;
 
 // The single-level slot carries no maximal node: permutation happens only
@@ -51,29 +54,36 @@ void SingleLevelWatermarker::ParityCandidates(
 
 Result<size_t> SingleLevelWatermarker::EstimateBandwidth(
     const Table& table) const {
-  WatermarkHasher hasher(key_, options_.hash);
-  std::string scratch;
-  std::vector<NodeId> zeros;
-  std::vector<NodeId> ones;
-  size_t slots = 0;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string_view ident =
-        IdentText(table.at(r, ident_column_), &scratch);
-    if (!hasher.TupleSelected(ident)) continue;
-    for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      const Value& cell = table.at(r, qi_columns_[c]);
-      auto node = cell.type() == ValueType::kString
-                      ? ultimate_[c].NodeForLabel(cell.AsString())
-                      : ultimate_[c].NodeForLabel(cell.ToString());
-      if (!node.ok()) continue;
-      // Encodable iff both parities are reachable among ultimate siblings.
-      ParityCandidates(c, *node, false, &zeros);
-      if (zeros.empty()) continue;
-      ParityCandidates(c, *node, true, &ones);
-      if (!ones.empty()) ++slots;
-    }
-  }
-  return slots;
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
+  return ParallelReduce<size_t>(
+      pool.get(), table.num_rows(), size_t{0},
+      [&](size_t, size_t begin, size_t end) -> Result<size_t> {
+        WatermarkHasher hasher(key_, options_.hash);
+        std::string scratch;
+        std::vector<NodeId> zeros;
+        std::vector<NodeId> ones;
+        size_t slots = 0;
+        for (size_t r = begin; r < end; ++r) {
+          const std::string_view ident =
+              IdentText(table.at(r, ident_column_), &scratch);
+          if (!hasher.TupleSelected(ident)) continue;
+          for (size_t c = 0; c < qi_columns_.size(); ++c) {
+            const Value& cell = table.at(r, qi_columns_[c]);
+            auto node = cell.type() == ValueType::kString
+                            ? ultimate_[c].NodeForLabel(cell.AsString())
+                            : ultimate_[c].NodeForLabel(cell.ToString());
+            if (!node.ok()) continue;
+            // Encodable iff both parities are reachable among ultimate
+            // siblings.
+            ParityCandidates(c, *node, false, &zeros);
+            if (zeros.empty()) continue;
+            ParityCandidates(c, *node, true, &ones);
+            if (!ones.empty()) ++slots;
+          }
+        }
+        return slots;
+      },
+      [](size_t* acc, size_t&& slots) { *acc += slots; });
 }
 
 Result<EmbedReport> SingleLevelWatermarker::Embed(Table* table,
@@ -83,77 +93,107 @@ Result<EmbedReport> SingleLevelWatermarker::Embed(Table* table,
     return Status::InvalidArgument("Embed: empty watermark");
   }
   EmbedReport report;
-  WatermarkHasher hasher(key_, options_.hash);
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
 
   // Pass 1 — resolve labels once per (selected tuple, column); see the
-  // hierarchical embedder for the pass structure.
-  std::vector<SelectedTuple> tuples;
-  std::vector<EmbedSlot> slots;
-  std::string scratch;
-  std::vector<NodeId> zeros;
-  std::vector<NodeId> ones;
+  // hierarchical embedder for the pass/shard structure.
   const bool need_bandwidth = copies == 0;
-  size_t bandwidth = 0;
-  for (size_t r = 0; r < table->num_rows(); ++r) {
-    const std::string_view ident =
-        IdentText(table->at(r, ident_column_), &scratch);
-    if (!hasher.TupleSelected(ident)) continue;
-    ++report.tuples_selected;
-    SelectedTuple tuple{r, std::string(ident), slots.size(), slots.size()};
-    for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      const Value& cell = table->at(r, qi_columns_[c]);
-      PRIVMARK_ASSIGN_OR_RETURN(
-          NodeId node, cell.type() == ValueType::kString
-                           ? ultimate_[c].NodeForLabel(cell.AsString())
-                           : ultimate_[c].NodeForLabel(cell.ToString()));
-      slots.push_back(EmbedSlot{c, node});
-      if (!need_bandwidth) continue;
-      // Bandwidth counts slots where both parities are encodable, exactly
-      // like EstimateBandwidth (the copies=0 auto-sizing contract).
-      ParityCandidates(c, node, false, &zeros);
-      if (zeros.empty()) continue;
-      ParityCandidates(c, node, true, &ones);
-      if (!ones.empty()) ++bandwidth;
-    }
-    tuple.slot_end = slots.size();
-    tuples.push_back(std::move(tuple));
-  }
+  using Resolved = ResolvedShard<EmbedSlot>;
+  PRIVMARK_ASSIGN_OR_RETURN(
+      Resolved resolved,
+      ParallelReduce<Resolved>(
+          pool.get(), table->num_rows(), Resolved{},
+          [&](size_t, size_t begin, size_t end) -> Result<Resolved> {
+            Resolved shard;
+            WatermarkHasher hasher(key_, options_.hash);
+            std::string scratch;
+            std::vector<NodeId> zeros;
+            std::vector<NodeId> ones;
+            for (size_t r = begin; r < end; ++r) {
+              const std::string_view ident =
+                  IdentText(table->at(r, ident_column_), &scratch);
+              if (!hasher.TupleSelected(ident)) continue;
+              ++shard.tuples_selected;
+              SelectedTuple tuple{r, std::string(ident), shard.slots.size(),
+                                  shard.slots.size()};
+              for (size_t c = 0; c < qi_columns_.size(); ++c) {
+                const Value& cell = table->at(r, qi_columns_[c]);
+                PRIVMARK_ASSIGN_OR_RETURN(
+                    NodeId node,
+                    cell.type() == ValueType::kString
+                        ? ultimate_[c].NodeForLabel(cell.AsString())
+                        : ultimate_[c].NodeForLabel(cell.ToString()));
+                shard.slots.push_back(EmbedSlot{c, node});
+                if (!need_bandwidth) continue;
+                // Bandwidth counts slots where both parities are
+                // encodable, exactly like EstimateBandwidth (the copies=0
+                // auto-sizing contract).
+                ParityCandidates(c, node, false, &zeros);
+                if (zeros.empty()) continue;
+                ParityCandidates(c, node, true, &ones);
+                if (!ones.empty()) ++shard.bandwidth;
+              }
+              tuple.slot_end = shard.slots.size();
+              shard.tuples.push_back(std::move(tuple));
+            }
+            return shard;
+          },
+          MergeResolve<EmbedSlot>));
+  report.tuples_selected = resolved.tuples_selected;
 
   if (copies == 0) {
-    copies = bandwidth / wm.size();
+    copies = resolved.bandwidth / wm.size();
     if (copies == 0) copies = 1;
   }
   report.copies = copies;
   const BitVector wmd = wm.Duplicate(copies);
   report.wmd_size = wmd.size();
 
-  // Pass 2 — embed over the recorded slots.
-  std::vector<NodeId> candidates;
-  for (const SelectedTuple& tuple : tuples) {
-    for (size_t i = tuple.slot_begin; i < tuple.slot_end; ++i) {
-      const EmbedSlot& slot = slots[i];
-      const size_t col = qi_columns_[slot.col_idx];
-      const std::string& column_name = table->schema().column(col).name;
-      const DomainHierarchy& tree = *ultimate_[slot.col_idx].tree();
+  // Pass 2 — embed over the recorded slots; tuples shard contiguously and
+  // each writes only its own row.
+  PRIVMARK_ASSIGN_OR_RETURN(
+      watermark_internal::WriteTally tally,
+      ParallelReduce<watermark_internal::WriteTally>(
+          pool.get(), resolved.tuples.size(), {},
+          [&](size_t, size_t begin,
+              size_t end) -> Result<watermark_internal::WriteTally> {
+            watermark_internal::WriteTally shard;
+            WatermarkHasher hasher(key_, options_.hash);
+            std::vector<NodeId> candidates;
+            for (size_t t = begin; t < end; ++t) {
+              const SelectedTuple& tuple = resolved.tuples[t];
+              for (size_t i = tuple.slot_begin; i < tuple.slot_end; ++i) {
+                const EmbedSlot& slot = resolved.slots[i];
+                const size_t col = qi_columns_[slot.col_idx];
+                const std::string& column_name =
+                    table->schema().column(col).name;
+                const DomainHierarchy& tree = *ultimate_[slot.col_idx].tree();
 
-      const bool bit =
-          wmd.Get(hasher.WmdPosition(tuple.ident, column_name, wmd.size()));
-      ParityCandidates(slot.col_idx, slot.node, bit, &candidates);
-      if (candidates.empty()) {
-        ++report.slots_skipped_no_gap;
-        continue;
-      }
-      const size_t pick =
-          hasher.PermutationIndex(tuple.ident, column_name,
-                                  tree.Depth(slot.node), candidates.size());
-      const NodeId target = candidates[pick];
-      ++report.slots_embedded;
-      if (target != slot.node) {
-        table->Set(tuple.row, col, Value::String(tree.node(target).label));
-        ++report.cells_changed;
-      }
-    }
-  }
+                const bool bit = wmd.Get(
+                    hasher.WmdPosition(tuple.ident, column_name, wmd.size()));
+                ParityCandidates(slot.col_idx, slot.node, bit, &candidates);
+                if (candidates.empty()) {
+                  ++shard.slots_skipped_no_gap;
+                  continue;
+                }
+                const size_t pick = hasher.PermutationIndex(
+                    tuple.ident, column_name, tree.Depth(slot.node),
+                    candidates.size());
+                const NodeId target = candidates[pick];
+                ++shard.slots_embedded;
+                if (target != slot.node) {
+                  table->Set(tuple.row, col,
+                             Value::String(tree.node(target).label));
+                  ++shard.cells_changed;
+                }
+              }
+            }
+            return shard;
+          },
+          watermark_internal::MergeWrites));
+  report.slots_embedded = tally.slots_embedded;
+  report.slots_skipped_no_gap = tally.slots_skipped_no_gap;
+  report.cells_changed = tally.cells_changed;
   return report;
 }
 
@@ -165,39 +205,55 @@ Result<DetectReport> SingleLevelWatermarker::Detect(const Table& table,
         "Detect: wmd_size must be a positive multiple of wm_size");
   }
   DetectReport report;
-  WatermarkHasher hasher(key_, options_.hash);
-  std::vector<double> zeros(wmd_size, 0.0);
-  std::vector<double> ones(wmd_size, 0.0);
+  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
 
-  std::string scratch;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    const std::string_view ident =
-        IdentText(table.at(r, ident_column_), &scratch);
-    if (!hasher.TupleSelected(ident)) continue;
-    ++report.tuples_selected;
+  using watermark_internal::VoteShard;
+  PRIVMARK_ASSIGN_OR_RETURN(
+      VoteShard votes,
+      ParallelReduce<VoteShard>(
+          pool.get(), table.num_rows(), VoteShard(wmd_size),
+          [&](size_t, size_t begin, size_t end) -> Result<VoteShard> {
+            VoteShard shard(wmd_size);
+            WatermarkHasher hasher(key_, options_.hash);
+            std::string scratch;
+            for (size_t r = begin; r < end; ++r) {
+              const std::string_view ident =
+                  IdentText(table.at(r, ident_column_), &scratch);
+              if (!hasher.TupleSelected(ident)) continue;
+              ++shard.tuples_selected;
 
-    for (size_t c = 0; c < qi_columns_.size(); ++c) {
-      const size_t col = qi_columns_[c];
-      const std::string& column_name = table.schema().column(col).name;
-      const DomainHierarchy& tree = *ultimate_[c].tree();
-      const Value& cell = table.at(r, col);
-      auto node = cell.type() == ValueType::kString
-                      ? tree.FindByLabel(cell.AsString())
-                      : tree.FindByLabel(cell.ToString());
-      if (!node.ok()) {
-        ++report.slots_skipped;
-        continue;
-      }
-      if (tree.SiblingCount(*node) < 2) {
-        ++report.slots_skipped;
-        continue;
-      }
-      const bool slot_bit = (tree.SiblingIndex(*node) & 1) != 0;
-      const size_t pos = hasher.WmdPosition(ident, column_name, wmd_size);
-      (slot_bit ? ones[pos] : zeros[pos]) += 1.0;
-      ++report.slots_read;
-    }
-  }
+              for (size_t c = 0; c < qi_columns_.size(); ++c) {
+                const size_t col = qi_columns_[c];
+                const std::string& column_name =
+                    table.schema().column(col).name;
+                const DomainHierarchy& tree = *ultimate_[c].tree();
+                const Value& cell = table.at(r, col);
+                auto node = cell.type() == ValueType::kString
+                                ? tree.FindByLabel(cell.AsString())
+                                : tree.FindByLabel(cell.ToString());
+                if (!node.ok()) {
+                  ++shard.slots_skipped;
+                  continue;
+                }
+                if (tree.SiblingCount(*node) < 2) {
+                  ++shard.slots_skipped;
+                  continue;
+                }
+                const bool slot_bit = (tree.SiblingIndex(*node) & 1) != 0;
+                const size_t pos =
+                    hasher.WmdPosition(ident, column_name, wmd_size);
+                (slot_bit ? shard.ones[pos] : shard.zeros[pos]) += 1.0;
+                ++shard.slots_read;
+              }
+            }
+            return shard;
+          },
+          watermark_internal::MergeVotes));
+  report.tuples_selected = votes.tuples_selected;
+  report.slots_read = votes.slots_read;
+  report.slots_skipped = votes.slots_skipped;
+  const std::vector<double>& zeros = votes.zeros;
+  const std::vector<double>& ones = votes.ones;
 
   report.recovered = BitVector(wm_size);
   report.vote_margin.assign(wm_size, 0.0);

@@ -36,6 +36,13 @@ struct WatermarkOptions {
   /// With weighted voting, a level's weight is decay^(distance from the
   /// maximal node); decay in (0, 1] — 1.0 degenerates to plain voting.
   double level_weight_decay = 0.5;
+  /// Worker threads for embed/detect/bandwidth row scans. 1 = serial (the
+  /// default), 0 = hardware concurrency, N = exactly N workers. Embedded
+  /// tables, reports, and vote margins are byte-identical for every value:
+  /// rows shard contiguously, each shard owns its writes and its own
+  /// WatermarkHasher, and per-shard tallies (integer counters and sums of
+  /// whole-valued vote weights) merge in shard order (common/parallel.h).
+  size_t num_threads = 1;
 };
 
 /// \brief Eq. (5): true iff the tuple with this (encrypted) identifier is

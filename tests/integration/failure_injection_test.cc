@@ -129,6 +129,137 @@ TEST_F(FailureInjectionTest, ManifestAgainstWrongTreesRejected) {
                    .ok());
 }
 
+// --- Failures under num_threads > 1 -------------------------------------
+// Injected mid-pipeline failures must behave identically with a thread
+// pool in play: a clean deterministic Status, no hang, and no partial
+// writes into the table being transformed.
+
+TEST_F(FailureInjectionTest, ParallelOutOfDomainValueFailsBinningCleanly) {
+  Table t = dataset_->table.Clone();
+  t.Set(17, 1, Value::Int64(9999));  // age way outside [0,150)
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{7}}) {
+    config.num_threads = threads;
+    BinningAgent agent(UnconstrainedMetrics(dataset_->trees()), config);
+    const Status status = agent.Run(t).status();
+    EXPECT_EQ(status.code(), StatusCode::kOutOfRange) << threads;
+    EXPECT_NE(status.message().find("age"), std::string::npos) << threads;
+  }
+}
+
+TEST_F(FailureInjectionTest, ParallelFailureStatusMatchesSerial) {
+  // The surfaced error must be *the same one* serial scanning reports
+  // (lowest-row failure), not whichever shard lost the race.
+  Table t = dataset_->table.Clone();
+  t.Set(5, 3, Value::String("Dr. Nobody"));
+  t.Set(700, 3, Value::String("Dr. Nemo"));
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  BinningAgent serial_agent(UnconstrainedMetrics(dataset_->trees()), config);
+  const Status serial = serial_agent.Run(t).status();
+  ASSERT_EQ(serial.code(), StatusCode::kKeyError);
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{7}}) {
+    config.num_threads = threads;
+    BinningAgent agent(UnconstrainedMetrics(dataset_->trees()), config);
+    EXPECT_EQ(agent.Run(t).status(), serial) << threads;
+  }
+}
+
+TEST_F(FailureInjectionTest, ParallelEmbedFailureLeavesTableUntouched) {
+  // Embed resolves every slot in pass 1 and writes only in pass 2, so a
+  // resolve failure — injected mid-table — must leave the table byte-for-
+  // byte unchanged for any worker count (no partial writes).
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  FrameworkConfig fw_config;
+  fw_config.binning = config;
+  auto metrics =
+      MetricsFromDepthCuts(dataset_->trees(), {2, 1, 2, 1, 1}).ValueOrDie();
+  ProtectionFramework framework(metrics, fw_config);
+  auto outcome = std::move(framework.Protect(dataset_->table)).ValueOrDie();
+  const BitVector mark = BitVector::FromString("1010").ValueOrDie();
+
+  Status serial_status;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    WatermarkOptions options;
+    options.num_threads = threads;
+    HierarchicalWatermarker wm(
+        outcome.binning.qi_columns,
+        *outcome.binning.binned.schema().IdentifyingColumn(),
+        metrics.maximal, outcome.binning.ultimate, fw_config.key, options);
+    Table poisoned = outcome.binning.binned.Clone();
+    // Out-of-domain labels across the whole second half: the first half
+    // resolves fine, then some selected tuple's cell fails pass 1.
+    for (size_t r = poisoned.num_rows() / 2; r < poisoned.num_rows(); ++r) {
+      poisoned.Set(r, outcome.binning.qi_columns[0],
+                   Value::String("no-such-label"));
+    }
+    const Table before = poisoned.Clone();
+    const auto embed = wm.Embed(&poisoned, mark);
+    ASSERT_FALSE(embed.ok()) << threads;
+    if (threads == 1) {
+      serial_status = embed.status();
+    } else {
+      // Same failure as serial, not whichever shard lost the race.
+      EXPECT_EQ(embed.status(), serial_status) << threads;
+    }
+    for (size_t r = 0; r < before.num_rows(); ++r) {
+      for (size_t c = 0; c < before.num_columns(); ++c) {
+        ASSERT_EQ(before.at(r, c).ToString(), poisoned.at(r, c).ToString())
+            << "partial write at (" << r << ", " << c << ") with "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST_F(FailureInjectionTest, ParallelEmbedOnRawTableFailsCleanly) {
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  FrameworkConfig fw_config;
+  fw_config.binning = config;
+  fw_config.watermark.num_threads = 4;
+  auto metrics =
+      MetricsFromDepthCuts(dataset_->trees(), {2, 1, 2, 1, 1}).ValueOrDie();
+  ProtectionFramework framework(metrics, fw_config);
+  auto outcome = std::move(framework.Protect(dataset_->table)).ValueOrDie();
+  HierarchicalWatermarker wm = framework.MakeWatermarker(outcome.binning);
+  Table raw = dataset_->table.Clone();
+  const BitVector mark = BitVector::FromString("1010").ValueOrDie();
+  EXPECT_FALSE(wm.Embed(&raw, mark).ok());
+}
+
+TEST_F(FailureInjectionTest, ParallelDetectOnForeignTableYieldsNoVotes) {
+  BinningConfig config;
+  config.k = 5;
+  config.enforce_joint = false;
+  config.num_threads = 4;
+  FrameworkConfig fw_config;
+  fw_config.binning = config;
+  fw_config.watermark.num_threads = 4;
+  auto metrics =
+      MetricsFromDepthCuts(dataset_->trees(), {2, 1, 2, 1, 1}).ValueOrDie();
+  ProtectionFramework framework(metrics, fw_config);
+  auto outcome = std::move(framework.Protect(dataset_->table)).ValueOrDie();
+  HierarchicalWatermarker wm = framework.MakeWatermarker(outcome.binning);
+
+  Table foreign = outcome.watermarked.Clone();
+  for (size_t r = 0; r < foreign.num_rows(); ++r) {
+    for (size_t c : outcome.binning.qi_columns) {
+      foreign.Set(r, c, Value::String("junk-" + std::to_string(r % 7)));
+    }
+  }
+  auto detect = wm.Detect(foreign, 20, outcome.embed.wmd_size);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_EQ(detect->slots_read, 0u);
+  for (bool voted : detect->bit_voted) EXPECT_FALSE(voted);
+}
+
 TEST_F(FailureInjectionTest, DisputeWithCorruptedIdentifiersRejectsClaim) {
   BinningConfig config;
   config.k = 5;

@@ -1,0 +1,399 @@
+// Property suite for the parallel execution layer's hard invariant:
+// binned tables, watermarked tables, reports, and vote margins are
+// byte-identical across every thread count — num_threads in {1, 2, 3, 7,
+// hardware_concurrency} — and across repeated runs, on the standard
+// 20k-row fixed-seed dataset and on adversarial small tables (0 rows,
+// 1 row, k-1 rows, fewer rows than shards). Tables compare through their
+// CSV serialization, the literal byte-level claim.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "binning/binning_engine.h"
+#include "common/random.h"
+#include "datagen/medical_data.h"
+#include "metrics/usage_metrics.h"
+#include "relation/csv.h"
+#include "watermark/hierarchical.h"
+#include "watermark/single_level.h"
+
+namespace privmark {
+namespace {
+
+constexpr size_t kRows = 20000;
+constexpr uint64_t kSeed = 20050405;
+constexpr size_t kK = 20;
+constexpr uint64_t kEta = 75;
+constexpr char kPassphrase[] = "bench-owner-passphrase";
+
+// Non-serial thread counts to pit against the num_threads = 1 baseline.
+// 0 exercises the hardware-concurrency path; 7 exceeds this container's
+// core count, so shards outnumber workers.
+std::vector<size_t> ThreadCounts() {
+  std::vector<size_t> counts = {2, 3, 7, 0};
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  return counts;
+}
+
+struct Fixture {
+  std::unique_ptr<MedicalDataset> dataset;
+  UsageMetrics metrics;
+  BinningConfig binning_config;  // num_threads = 1 (the baseline)
+  WatermarkKey key;
+  BinningOutcome baseline;      // serial binning outcome
+  std::string baseline_csv;     // serial binned table, serialized
+  BitVector mark;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture;
+    MedicalDataSpec spec;
+    spec.num_rows = kRows;
+    spec.seed = kSeed;
+    f->dataset = std::make_unique<MedicalDataset>(
+        std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+    f->metrics =
+        MetricsFromDepthCuts(f->dataset->trees(), {2, 1, 2, 1, 1})
+            .ValueOrDie();
+    f->binning_config.k = kK;
+    f->binning_config.enforce_joint = false;
+    f->binning_config.encryption_passphrase = kPassphrase;
+    f->key.k1 = "bench-k1";
+    f->key.k2 = "bench-k2";
+    f->key.eta = kEta;
+    BinningAgent agent(f->metrics, f->binning_config);
+    f->baseline = std::move(agent.Run(f->dataset->table)).ValueOrDie();
+    f->baseline_csv = TableToCsv(f->baseline.binned);
+    f->mark = BitVector::FromString("10110010011010111001").ValueOrDie();
+    return f;
+  }();
+  return *fixture;
+}
+
+HierarchicalWatermarker MakeHierarchical(const Fixture& f,
+                                         size_t num_threads) {
+  WatermarkOptions options;
+  options.num_threads = num_threads;
+  return HierarchicalWatermarker(
+      f.baseline.qi_columns,
+      *f.baseline.binned.schema().IdentifyingColumn(), f.metrics.maximal,
+      f.baseline.ultimate, f.key, options);
+}
+
+SingleLevelWatermarker MakeSingleLevel(const Fixture& f, size_t num_threads) {
+  WatermarkOptions options;
+  options.num_threads = num_threads;
+  return SingleLevelWatermarker(
+      f.baseline.qi_columns,
+      *f.baseline.binned.schema().IdentifyingColumn(), f.baseline.ultimate,
+      f.key, options);
+}
+
+void ExpectEmbedReportsEqual(const EmbedReport& a, const EmbedReport& b,
+                             size_t num_threads) {
+  EXPECT_EQ(a.tuples_selected, b.tuples_selected) << num_threads;
+  EXPECT_EQ(a.slots_embedded, b.slots_embedded) << num_threads;
+  EXPECT_EQ(a.slots_skipped_no_gap, b.slots_skipped_no_gap) << num_threads;
+  EXPECT_EQ(a.copies, b.copies) << num_threads;
+  EXPECT_EQ(a.wmd_size, b.wmd_size) << num_threads;
+  EXPECT_EQ(a.cells_changed, b.cells_changed) << num_threads;
+}
+
+void ExpectDetectReportsEqual(const DetectReport& a, const DetectReport& b,
+                              size_t num_threads) {
+  EXPECT_EQ(a.recovered.ToString(), b.recovered.ToString()) << num_threads;
+  EXPECT_EQ(a.tuples_selected, b.tuples_selected) << num_threads;
+  EXPECT_EQ(a.slots_read, b.slots_read) << num_threads;
+  EXPECT_EQ(a.slots_skipped, b.slots_skipped) << num_threads;
+  ASSERT_EQ(a.vote_margin.size(), b.vote_margin.size()) << num_threads;
+  for (size_t j = 0; j < a.vote_margin.size(); ++j) {
+    // Exact double equality, deliberately: vote tallies sum 1.0s, so the
+    // margins must match bit for bit, not merely within a tolerance.
+    EXPECT_EQ(a.vote_margin[j], b.vote_margin[j])
+        << "bit " << j << " with " << num_threads << " threads";
+  }
+  EXPECT_EQ(a.bit_voted, b.bit_voted) << num_threads;
+}
+
+TEST(ParallelEquivalenceTest, BinningByteIdenticalAcrossThreadCounts) {
+  Fixture& f = SharedFixture();
+  for (size_t t : ThreadCounts()) {
+    BinningConfig config = f.binning_config;
+    config.num_threads = t;
+    BinningAgent agent(f.metrics, config);
+    auto outcome = agent.Run(f.dataset->table);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(TableToCsv(outcome->binned), f.baseline_csv)
+        << "binned table diverged with num_threads = " << t;
+    EXPECT_EQ(outcome->minimal, f.baseline.minimal) << t;
+    EXPECT_EQ(outcome->ultimate, f.baseline.ultimate) << t;
+    EXPECT_EQ(outcome->mono_column_loss, f.baseline.mono_column_loss) << t;
+    EXPECT_EQ(outcome->multi_column_loss, f.baseline.multi_column_loss) << t;
+    EXPECT_EQ(outcome->mono_normalized_loss, f.baseline.mono_normalized_loss)
+        << t;
+    EXPECT_EQ(outcome->multi_normalized_loss,
+              f.baseline.multi_normalized_loss)
+        << t;
+    EXPECT_EQ(outcome->suppressed_rows, f.baseline.suppressed_rows) << t;
+  }
+}
+
+TEST(ParallelEquivalenceTest, BinningRepeatedRunsIdentical) {
+  Fixture& f = SharedFixture();
+  BinningConfig config = f.binning_config;
+  config.num_threads = 3;
+  BinningAgent agent(f.metrics, config);
+  const auto first = agent.Run(f.dataset->table);
+  const auto second = agent.Run(f.dataset->table);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(TableToCsv(first->binned), TableToCsv(second->binned));
+}
+
+TEST(ParallelEquivalenceTest, HierarchicalEmbedByteIdentical) {
+  Fixture& f = SharedFixture();
+  const HierarchicalWatermarker serial = MakeHierarchical(f, 1);
+  Table serial_marked = f.baseline.binned.Clone();
+  const auto serial_report = serial.Embed(&serial_marked, f.mark);
+  ASSERT_TRUE(serial_report.ok());
+  const std::string serial_csv = TableToCsv(serial_marked);
+
+  for (size_t t : ThreadCounts()) {
+    const HierarchicalWatermarker parallel = MakeHierarchical(f, t);
+    const auto bandwidth = parallel.EstimateBandwidth(f.baseline.binned);
+    const auto serial_bandwidth = serial.EstimateBandwidth(f.baseline.binned);
+    ASSERT_TRUE(bandwidth.ok());
+    ASSERT_TRUE(serial_bandwidth.ok());
+    EXPECT_EQ(*bandwidth, *serial_bandwidth) << t;
+
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      Table marked = f.baseline.binned.Clone();
+      const auto report = parallel.Embed(&marked, f.mark);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_EQ(TableToCsv(marked), serial_csv)
+          << "marked table diverged with num_threads = " << t << " (repeat "
+          << repeat << ")";
+      ExpectEmbedReportsEqual(*serial_report, *report, t);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, HierarchicalDetectByteIdentical) {
+  Fixture& f = SharedFixture();
+  const HierarchicalWatermarker serial = MakeHierarchical(f, 1);
+  Table marked = f.baseline.binned.Clone();
+  const auto embed = serial.Embed(&marked, f.mark);
+  ASSERT_TRUE(embed.ok());
+
+  // Also detect through an attacked table: skip paths (unknown labels,
+  // ceiling hits) must stay deterministic too.
+  Table attacked = marked.Clone();
+  ASSERT_TRUE(GeneralizationAttack(&attacked, f.baseline.qi_columns,
+                                   f.metrics.maximal, 1)
+                  .ok());
+
+  const auto serial_clean = serial.Detect(marked, f.mark.size(),
+                                          embed->wmd_size);
+  const auto serial_attacked =
+      serial.Detect(attacked, f.mark.size(), embed->wmd_size);
+  ASSERT_TRUE(serial_clean.ok());
+  ASSERT_TRUE(serial_attacked.ok());
+
+  for (size_t t : ThreadCounts()) {
+    const HierarchicalWatermarker parallel = MakeHierarchical(f, t);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      const auto clean = parallel.Detect(marked, f.mark.size(),
+                                         embed->wmd_size);
+      ASSERT_TRUE(clean.ok());
+      ExpectDetectReportsEqual(*serial_clean, *clean, t);
+      const auto under_attack =
+          parallel.Detect(attacked, f.mark.size(), embed->wmd_size);
+      ASSERT_TRUE(under_attack.ok());
+      ExpectDetectReportsEqual(*serial_attacked, *under_attack, t);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, SingleLevelEmbedDetectByteIdentical) {
+  Fixture& f = SharedFixture();
+  const SingleLevelWatermarker serial = MakeSingleLevel(f, 1);
+  Table serial_marked = f.baseline.binned.Clone();
+  const auto serial_embed = serial.Embed(&serial_marked, f.mark);
+  ASSERT_TRUE(serial_embed.ok());
+  const std::string serial_csv = TableToCsv(serial_marked);
+  const auto serial_detect =
+      serial.Detect(serial_marked, f.mark.size(), serial_embed->wmd_size);
+  ASSERT_TRUE(serial_detect.ok());
+
+  for (size_t t : ThreadCounts()) {
+    const SingleLevelWatermarker parallel = MakeSingleLevel(f, t);
+    Table marked = f.baseline.binned.Clone();
+    const auto embed = parallel.Embed(&marked, f.mark);
+    ASSERT_TRUE(embed.ok());
+    EXPECT_EQ(TableToCsv(marked), serial_csv) << t;
+    ExpectEmbedReportsEqual(*serial_embed, *embed, t);
+    const auto detect =
+        parallel.Detect(marked, f.mark.size(), embed->wmd_size);
+    ASSERT_TRUE(detect.ok());
+    ExpectDetectReportsEqual(*serial_detect, *detect, t);
+  }
+}
+
+TEST(ParallelEquivalenceTest, AttacksByteIdenticalAcrossThreadCounts) {
+  Fixture& f = SharedFixture();
+  Table marked = f.baseline.binned.Clone();
+  ASSERT_TRUE(MakeHierarchical(f, 1).Embed(&marked, f.mark).ok());
+
+  // Each attack runs from an identical table and an identically seeded
+  // Random for every thread count; tables and reports must match the
+  // serial run exactly.
+  for (size_t t : ThreadCounts()) {
+    {
+      Table serial_t = marked.Clone();
+      Table parallel_t = marked.Clone();
+      Random serial_rng(77);
+      Random parallel_rng(77);
+      const auto a = SubsetAlterationAttack(&serial_t, f.baseline.qi_columns,
+                                            0.3, &serial_rng);
+      const auto b = SubsetAlterationAttack(
+          &parallel_t, f.baseline.qi_columns, 0.3, &parallel_rng, t);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->cells_changed, b->cells_changed) << t;
+      EXPECT_EQ(TableToCsv(serial_t), TableToCsv(parallel_t))
+          << "alteration diverged with num_threads = " << t;
+    }
+    {
+      Table serial_t = marked.Clone();
+      Table parallel_t = marked.Clone();
+      Random serial_rng(78);
+      Random parallel_rng(78);
+      const auto a = SubsetDeletionAttack(&serial_t, 0.25, &serial_rng);
+      const auto b = SubsetDeletionAttack(&parallel_t, 0.25, &parallel_rng, t);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->rows_affected, b->rows_affected) << t;
+      EXPECT_EQ(TableToCsv(serial_t), TableToCsv(parallel_t))
+          << "deletion diverged with num_threads = " << t;
+    }
+    {
+      Table serial_t = marked.Clone();
+      Table parallel_t = marked.Clone();
+      const auto a = GeneralizationAttack(&serial_t, f.baseline.qi_columns,
+                                          f.metrics.maximal, 1);
+      const auto b = GeneralizationAttack(&parallel_t, f.baseline.qi_columns,
+                                          f.metrics.maximal, 1, t);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a->rows_affected, b->rows_affected) << t;
+      EXPECT_EQ(a->cells_changed, b->cells_changed) << t;
+      EXPECT_EQ(TableToCsv(serial_t), TableToCsv(parallel_t))
+          << "generalization diverged with num_threads = " << t;
+    }
+  }
+}
+
+// --- Adversarial small tables -------------------------------------------
+
+// Builds a tiny dataset (rows may be 0) with the medical schema and trees.
+struct SmallCase {
+  std::unique_ptr<MedicalDataset> dataset;
+  Table table;
+  UsageMetrics metrics;
+};
+
+SmallCase MakeSmallCase(size_t rows) {
+  SmallCase sc;
+  MedicalDataSpec spec;
+  spec.num_rows = std::max<size_t>(1, rows);
+  spec.seed = 99;
+  sc.dataset = std::make_unique<MedicalDataset>(
+      std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+  if (rows == 0) {
+    sc.table = Table(sc.dataset->table.schema());
+  } else {
+    sc.table = sc.dataset->table.Clone();
+  }
+  sc.metrics =
+      MetricsFromDepthCuts(sc.dataset->trees(), {2, 1, 2, 1, 1}).ValueOrDie();
+  return sc;
+}
+
+TEST(ParallelEquivalenceTest, SmallTablesAndErrorsIdenticalAcrossThreads) {
+  Fixture& f = SharedFixture();
+  // 0 rows, 1 row, k-1 rows (k = 20 forces the unbinnable/suppression
+  // paths), and 3 rows against 7 threads (fewer rows than shards).
+  for (size_t rows : {size_t{0}, size_t{1}, size_t{kK - 1}, size_t{3}}) {
+    SmallCase sc = MakeSmallCase(rows);
+    for (UnbinnablePolicy policy :
+         {UnbinnablePolicy::kError, UnbinnablePolicy::kSuppress}) {
+      BinningConfig config = f.binning_config;
+      config.mono.on_unbinnable = policy;
+      BinningAgent serial_agent(sc.metrics, config);
+      const auto serial = serial_agent.Run(sc.table);
+
+      for (size_t t : ThreadCounts()) {
+        BinningConfig parallel_config = config;
+        parallel_config.num_threads = t;
+        BinningAgent agent(sc.metrics, parallel_config);
+        const auto parallel = agent.Run(sc.table);
+        ASSERT_EQ(serial.ok(), parallel.ok())
+            << rows << " rows, " << t << " threads";
+        if (!serial.ok()) {
+          // Unbinnable paths must fail identically: same code, same text.
+          EXPECT_EQ(serial.status(), parallel.status())
+              << rows << " rows, " << t << " threads";
+          continue;
+        }
+        EXPECT_EQ(TableToCsv(serial->binned), TableToCsv(parallel->binned))
+            << rows << " rows, " << t << " threads";
+        EXPECT_EQ(serial->suppressed_rows, parallel->suppressed_rows)
+            << rows << " rows, " << t << " threads";
+
+        // Embed + detect over whatever survived (possibly zero rows).
+        WatermarkOptions serial_options;
+        WatermarkOptions parallel_options;
+        parallel_options.num_threads = t;
+        const size_t ident =
+            *serial->binned.schema().IdentifyingColumn();
+        const HierarchicalWatermarker serial_wm(
+            serial->qi_columns, ident, sc.metrics.maximal, serial->ultimate,
+            f.key, serial_options);
+        const HierarchicalWatermarker parallel_wm(
+            parallel->qi_columns, ident, sc.metrics.maximal,
+            parallel->ultimate, f.key, parallel_options);
+        Table serial_marked = serial->binned.Clone();
+        Table parallel_marked = parallel->binned.Clone();
+        const auto serial_embed = serial_wm.Embed(&serial_marked, f.mark);
+        const auto parallel_embed =
+            parallel_wm.Embed(&parallel_marked, f.mark);
+        ASSERT_TRUE(serial_embed.ok());
+        ASSERT_TRUE(parallel_embed.ok());
+        EXPECT_EQ(TableToCsv(serial_marked), TableToCsv(parallel_marked))
+            << rows << " rows, " << t << " threads";
+        ExpectEmbedReportsEqual(*serial_embed, *parallel_embed, t);
+
+        const auto serial_detect = serial_wm.Detect(
+            serial_marked, f.mark.size(), serial_embed->wmd_size);
+        const auto parallel_detect = parallel_wm.Detect(
+            parallel_marked, f.mark.size(), parallel_embed->wmd_size);
+        ASSERT_TRUE(serial_detect.ok());
+        ASSERT_TRUE(parallel_detect.ok());
+        ExpectDetectReportsEqual(*serial_detect, *parallel_detect, t);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privmark
