@@ -5,10 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "binning/binning_engine.h"
+#include "core/session.h"
 #include "crypto/aes128.h"
 #include "crypto/sha1.h"
 #include "hierarchy/encoded_view.h"
@@ -173,6 +176,44 @@ void BM_Sha1Hash(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Sha1Hash)->Arg(64)->Arg(4096);
+
+void BM_StreamingIngest20k(benchmark::State& state) {
+  // End-to-end streaming throughput (rows/sec): the 20k table replayed
+  // through a freeze-mode ProtectionSession in batch-size batches plus
+  // one flush — the full protect pipeline (encode, count-merge, bin,
+  // materialize, embed) under incremental ingest. Batch = 20000 is the
+  // degenerate single-batch case (one-shot Protect through the session).
+  SharedState& s = State();
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  const Table& original = s.env.original();
+  std::vector<Table> batches;
+  for (size_t begin = 0; begin < original.num_rows(); begin += batch_size) {
+    batches.push_back(original.Slice(begin, begin + batch_size));
+  }
+  FrameworkConfig config = MakeConfig(20, 75);
+  config.binning.num_threads = static_cast<size_t>(state.range(1));
+  config.watermark.num_threads = config.binning.num_threads;
+  for (auto _ : state) {
+    ProtectionSession session(s.env.metrics, config, SessionConfig());
+    for (const Table& batch : batches) {
+      auto result = session.Ingest(batch);
+      CheckOk(result.status(), "ingest");
+    }
+    auto flushed = session.Flush();
+    CheckOk(flushed.status(), "flush");
+    benchmark::DoNotOptimize(flushed);
+  }
+  state.SetItemsProcessed(state.iterations() * original.num_rows());
+}
+BENCHMARK(BM_StreamingIngest20k)
+    ->ArgNames({"batch", "threads"})
+    ->Args({20000, 1})
+    ->Args({1000, 1})
+    ->Args({100, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EncodeView20k(benchmark::State& state) {
   // Cost of the dictionary-encoding pass itself: resolving every QI cell

@@ -7,9 +7,18 @@
 //
 //   privmark_cli protect <in.csv> <out.csv> <manifest.out>
 //                [--k=20] [--eta=50] [--pass=...] [--k1=...] [--k2=...]
-//                [--joint] [--epsilon] [--threads=N]
+//                [--joint] [--epsilon] [--threads=N] [--batch-size=N]
+//                [--rebin-policy=freeze|drift] [--drift-threshold=0.5]
 //       bin to k-anonymity, encrypt identifiers, embed the ownership
-//       mark; writes the protected table and the (non-secret) manifest
+//       mark; writes the protected table and the (non-secret) manifest.
+//       With --batch-size=N the table is replayed through an incremental
+//       ProtectionSession in N-row batches: under `freeze` (the default)
+//       all batches accumulate and one flush at the end emits epoch 0 —
+//       byte-identical to the single-shot path; under `drift` the first
+//       batch is the initial load (flushed immediately) and later batches
+//       open new epochs whenever accumulated rows drift past the
+//       threshold — each epoch gets its own mark, embed, and manifest
+//       (epoch N > 0 is written to <manifest.out>.epochN)
 //
 //   privmark_cli detect <table.csv> <manifest> [--k1=...] [--k2=...]
 //                [--eta=50] [--threads=N]
@@ -42,6 +51,7 @@
 #include "attack/attacks.h"
 #include "core/framework.h"
 #include "core/manifest.h"
+#include "core/session.h"
 #include "common/strings.h"
 #include "datagen/medical_data.h"
 #include "relation/csv.h"
@@ -121,12 +131,90 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
+// Replays `input` through an incremental session in `batch_size`-row
+// batches; writes the concatenated emitted output plus one manifest per
+// epoch. Returns the process exit code.
+int ProtectStreaming(const Args& args, const Table& input,
+                     const UsageMetrics& metrics,
+                     const FrameworkConfig& config, size_t batch_size) {
+  SessionConfig session_config;
+  const std::string policy = args.Flag("rebin-policy", "freeze");
+  if (policy == "drift") {
+    session_config.policy = RebinPolicy::kRebinOnDrift;
+  } else if (policy != "freeze") {
+    std::fprintf(stderr, "unknown --rebin-policy '%s' (freeze|drift)\n",
+                 policy.c_str());
+    return 2;
+  }
+  const std::string threshold_text = args.Flag("drift-threshold", "0.5");
+  char* threshold_end = nullptr;
+  session_config.drift_threshold =
+      std::strtod(threshold_text.c_str(), &threshold_end);
+  if (threshold_end == threshold_text.c_str() || *threshold_end != '\0' ||
+      session_config.drift_threshold <= 0.0) {
+    std::fprintf(stderr,
+                 "--drift-threshold must be a positive number, got '%s'\n",
+                 threshold_text.c_str());
+    return 2;
+  }
+
+  ProtectionSession session(metrics, config, session_config);
+  Table output(input.schema());
+  auto append_emitted = [&output](const Table& emitted) {
+    for (size_t r = 0; r < emitted.num_rows(); ++r) {
+      (void)output.AppendRow(emitted.row(r));
+    }
+  };
+
+  size_t num_batches = 0;
+  for (size_t begin = 0; begin < input.num_rows() || num_batches == 0;
+       begin += batch_size) {
+    const Table batch = input.Slice(begin, begin + batch_size);
+    IngestResult result = Must(session.Ingest(batch));
+    ++num_batches;
+    if (result.flushed || result.rows_emitted > 0) {
+      append_emitted(result.emitted);
+    }
+    // Drift mode: the first batch is the initial load; flush immediately
+    // so later batches stream against a live generalization.
+    if (num_batches == 1 &&
+        session_config.policy == RebinPolicy::kRebinOnDrift) {
+      append_emitted(Must(session.Flush()).outcome.watermarked);
+    }
+  }
+  if (session.rows_buffered() > 0 || !session.frozen()) {
+    append_emitted(Must(session.Flush()).outcome.watermarked);
+  }
+
+  if (auto st = WriteTableCsv(output, args.positional[2]); !st.ok()) {
+    return Fail(st);
+  }
+  for (const EpochRecord& epoch : session.epochs()) {
+    std::string path = args.positional[3];
+    if (epoch.epoch > 0) path += ".epoch" + std::to_string(epoch.epoch);
+    ProtectionManifest manifest =
+        Must(ManifestFromEpoch(epoch, input.schema(), metrics, config));
+    if (auto st = WriteManifestFile(manifest, path); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("epoch %zu: emitted %zu rows, suppressed %zu, wmd %zu, "
+                "v %.6f, manifest -> %s\n",
+                epoch.epoch, epoch.rows_emitted, epoch.rows_suppressed,
+                epoch.wmd_size, epoch.identifier_statistic, path.c_str());
+  }
+  std::printf("streamed %zu rows in %zu batches (%s policy) -> %s\n",
+              session.rows_ingested(), num_batches, policy.c_str(),
+              args.positional[2].c_str());
+  return 0;
+}
+
 int CmdProtect(const Args& args) {
   if (args.positional.size() != 4) {
     std::fprintf(stderr,
                  "usage: privmark_cli protect <in.csv> <out.csv> "
                  "<manifest.out> [--k=] [--eta=] [--pass=] [--joint] "
-                 "[--epsilon] [--threads=]\n");
+                 "[--epsilon] [--threads=] [--batch-size=] "
+                 "[--rebin-policy=freeze|drift] [--drift-threshold=]\n");
     return 2;
   }
   MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
@@ -145,6 +233,12 @@ int CmdProtect(const Args& args) {
       config.binning.enforce_joint
           ? UnconstrainedMetrics(ontologies.trees())
           : Must(MetricsFromDepthCuts(ontologies.trees(), {2, 1, 2, 1, 1}));
+
+  const size_t batch_size = args.FlagU64("batch-size", 0);
+  if (batch_size > 0) {
+    return ProtectStreaming(args, input, metrics, config, batch_size);
+  }
+
   ProtectionFramework framework(metrics, config);
   ProtectionOutcome outcome = Must(framework.Protect(input));
 

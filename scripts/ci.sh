@@ -2,7 +2,10 @@
 # Tier-1 verify, runnable locally or from CI. Three configurations:
 #   1. Debug + address/undefined sanitizers (slow-labeled suites excluded)
 #   2. Debug + thread sanitizer over the parallel-labeled suites, plus the
-#      full 20k parallel-equivalence property suite
+#      full 20k parallel-equivalence property suite and the
+#      thread-exercising streaming-equivalence tests (session ingest and
+#      the parallel joint-binning candidate search; the serial-only
+#      replay/drift cases run in the Release job)
 #   3. Release (everything)
 # plus a short-min-time benchmark smoke run on the Release build.
 set -euo pipefail
@@ -24,6 +27,8 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "${JOBS}"
 (cd build-tsan && ctest --output-on-failure -j "${JOBS}" -L parallel -LE slow)
 ./build-tsan/tests/properties_parallel_equivalence_test
+./build-tsan/tests/properties_streaming_equivalence_test \
+  --gtest_filter='*AcrossThreads*:*JointParallel*'
 
 echo "=== Release ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release

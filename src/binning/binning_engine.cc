@@ -1,11 +1,38 @@
 #include "binning/binning_engine.h"
 
 #include "common/parallel.h"
-#include "crypto/aes128.h"
-#include "hierarchy/encoded_view.h"
 #include "metrics/info_loss.h"
 
 namespace privmark {
+
+namespace {
+
+// The schema-derived facts every run needs before touching a row.
+struct RunSetup {
+  size_t ident_column = 0;
+  std::vector<size_t> qi_columns;
+  std::vector<const DomainHierarchy*> trees;
+};
+
+Result<RunSetup> SetupFor(const Schema& schema, const UsageMetrics& metrics) {
+  RunSetup setup;
+  PRIVMARK_ASSIGN_OR_RETURN(setup.ident_column, schema.IdentifyingColumn());
+  setup.qi_columns = schema.QuasiIdentifyingColumns();
+  if (setup.qi_columns.size() != metrics.num_columns()) {
+    return Status::InvalidArgument(
+        "BinningAgent: schema has " +
+        std::to_string(setup.qi_columns.size()) +
+        " quasi-identifying columns but usage metrics cover " +
+        std::to_string(metrics.num_columns()));
+  }
+  setup.trees.reserve(setup.qi_columns.size());
+  for (const GeneralizationSet& gs : metrics.maximal) {
+    setup.trees.push_back(gs.tree());
+  }
+  return setup;
+}
+
+}  // namespace
 
 BinningAgent::BinningAgent(UsageMetrics metrics, BinningConfig config)
     : metrics_(std::move(metrics)), config_(std::move(config)) {}
@@ -26,48 +53,140 @@ Status ApplyGeneralization(Table* table, const std::vector<size_t>& qi_columns,
   return Status::OK();
 }
 
-Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
-  const Schema& schema = input.schema();
-  PRIVMARK_ASSIGN_OR_RETURN(size_t ident_col, schema.IdentifyingColumn());
-  const std::vector<size_t> qi_columns = schema.QuasiIdentifyingColumns();
-  if (qi_columns.size() != metrics_.num_columns()) {
+Result<Table> MaterializeProtected(
+    const Table& input, const std::vector<size_t>& qi_columns,
+    size_t ident_column, const std::vector<GeneralizationSet>& ultimate,
+    const EncodedView& view, const Aes128& cipher, ThreadPool* pool) {
+  if (qi_columns.size() != ultimate.size() ||
+      qi_columns.size() != view.num_columns()) {
     return Status::InvalidArgument(
-        "BinningAgent: schema has " + std::to_string(qi_columns.size()) +
-        " quasi-identifying columns but usage metrics cover " +
-        std::to_string(metrics_.num_columns()));
+        "MaterializeProtected: column/generalization/view count mismatch");
   }
-  const size_t effective_k = config_.k + config_.epsilon;
+  if (view.num_columns() > 0 && view.num_rows() != input.num_rows()) {
+    return Status::InvalidArgument(
+        "MaterializeProtected: view covers " +
+        std::to_string(view.num_rows()) + " rows, table has " +
+        std::to_string(input.num_rows()));
+  }
+  std::vector<int> qi_index_of_col(input.num_columns(), -1);
+  for (size_t c = 0; c < qi_columns.size(); ++c) {
+    qi_index_of_col[qi_columns[c]] = static_cast<int>(c);
+  }
+  // Rows are built per contiguous shard (encryption and label lookups are
+  // per-row independent) and appended in shard order, so the output table
+  // is byte-identical to the serial pass for any worker count.
+  PRIVMARK_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      ParallelReduce<std::vector<Row>>(
+          pool, input.num_rows(), {},
+          [&](size_t, size_t begin, size_t end) -> Result<std::vector<Row>> {
+            std::vector<Row> shard_rows;
+            shard_rows.reserve(end - begin);
+            for (size_t r = begin; r < end; ++r) {
+              Row row;
+              row.reserve(input.num_columns());
+              for (size_t col = 0; col < input.num_columns(); ++col) {
+                if (col == ident_column) {
+                  PRIVMARK_ASSIGN_OR_RETURN(
+                      std::string encrypted,
+                      cipher.EncryptValue(input.at(r, col).ToString()));
+                  row.push_back(Value::String(std::move(encrypted)));
+                  continue;
+                }
+                const int c = qi_index_of_col[col];
+                if (c >= 0) {
+                  const size_t ci = static_cast<size_t>(c);
+                  PRIVMARK_ASSIGN_OR_RETURN(
+                      NodeId node,
+                      ultimate[ci].NodeForLeaf(view.column(ci).id(r)));
+                  row.push_back(
+                      Value::String(ultimate[ci].tree()->node(node).label));
+                  continue;
+                }
+                row.push_back(input.at(r, col));
+              }
+              shard_rows.push_back(std::move(row));
+            }
+            return shard_rows;
+          },
+          [](std::vector<Row>* acc, std::vector<Row>&& shard_rows) {
+            acc->insert(acc->end(), std::make_move_iterator(shard_rows.begin()),
+                        std::make_move_iterator(shard_rows.end()));
+          }));
+  Table binned(input.schema());
+  for (Row& row : rows) {
+    PRIVMARK_RETURN_NOT_OK(binned.AppendRow(std::move(row)));
+  }
+  return binned;
+}
+
+Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
+  PRIVMARK_ASSIGN_OR_RETURN(RunSetup setup,
+                            SetupFor(input.schema(), metrics_));
 
   // One pool for every row-sharded stage of this run; nullptr means the
-  // plain serial code path (the num_threads = 1 default).
-  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(config_.num_threads);
+  // plain serial code path. A caller-owned config pool is reused as-is.
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = PoolOrMake(config_.pool, config_.num_threads, &owned);
+
+  // Count-accumulation phase. Encode every quasi-identifying column to
+  // leaf NodeIds exactly once — everything until materialization (both
+  // binning phases, suppression, information loss) runs on these integer
+  // columns — then roll the per-node counts up. A streaming session runs
+  // this phase per arriving batch and merges the CountStates instead.
+  PRIVMARK_ASSIGN_OR_RETURN(
+      EncodedView view,
+      EncodedView::Leaves(input, setup.qi_columns, setup.trees, pool));
+  PRIVMARK_ASSIGN_OR_RETURN(CountState counts,
+                            CountState::FromView(setup.trees, view, pool));
+  return RunImpl(input, setup.ident_column, setup.qi_columns, setup.trees,
+                 std::move(view), counts, pool);
+}
+
+Result<BinningOutcome> BinningAgent::RunWithState(
+    const Table& input, EncodedView view, const CountState& counts) const {
+  PRIVMARK_ASSIGN_OR_RETURN(RunSetup setup,
+                            SetupFor(input.schema(), metrics_));
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = PoolOrMake(config_.pool, config_.num_threads, &owned);
+  return RunImpl(input, setup.ident_column, setup.qi_columns, setup.trees,
+                 std::move(view), counts, pool);
+}
+
+Result<BinningOutcome> BinningAgent::RunImpl(
+    const Table& input, size_t ident_col,
+    const std::vector<size_t>& qi_columns,
+    const std::vector<const DomainHierarchy*>& trees, EncodedView view,
+    const CountState& counts, ThreadPool* pool) const {
+  const Schema& schema = input.schema();
+  if (view.num_columns() != qi_columns.size()) {
+    return Status::InvalidArgument(
+        "BinningAgent: encoded view covers " +
+        std::to_string(view.num_columns()) + " columns, schema has " +
+        std::to_string(qi_columns.size()) + " quasi-identifying");
+  }
+  if (counts.num_columns() != qi_columns.size()) {
+    return Status::InvalidArgument(
+        "BinningAgent: count state covers " +
+        std::to_string(counts.num_columns()) + " columns, schema has " +
+        std::to_string(qi_columns.size()) + " quasi-identifying");
+  }
+  const size_t effective_k = config_.k + config_.epsilon;
 
   BinningOutcome outcome;
   outcome.qi_columns = qi_columns;
 
-  // Encode every quasi-identifying column to leaf NodeIds exactly once.
-  // Everything until materialization — both binning phases, suppression,
-  // information loss — runs on these integer columns; the cells' strings
-  // are only touched again when the output table is written.
-  std::vector<const DomainHierarchy*> trees;
-  trees.reserve(qi_columns.size());
-  for (const GeneralizationSet& gs : metrics_.maximal) {
-    trees.push_back(gs.tree());
-  }
-  PRIVMARK_ASSIGN_OR_RETURN(
-      EncodedView view,
-      EncodedView::Leaves(input, qi_columns, trees, pool.get()));
-
-  // Phase 1: mono-attribute binning per column (Fig. 5), downward from the
-  // maximal generalization nodes.
+  // Bin-selection phase 1: mono-attribute binning per column (Fig. 5),
+  // downward from the maximal generalization nodes over the accumulated
+  // counts. The search never touches rows — only the count state.
   MonoBinningOptions mono_options = config_.mono;
   mono_options.k = effective_k;
   std::vector<size_t> rows_to_suppress;
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     PRIVMARK_ASSIGN_OR_RETURN(
         MonoBinningResult mono,
-        MonoAttributeBinEncoded(metrics_.maximal[c], view.column(c),
-                                mono_options, pool.get()));
+        MonoAttributeBinCounts(metrics_.maximal[c], counts.column(c),
+                               mono_options));
     // Collect rows under suppressed nodes: mark the suppressed subtrees'
     // leaves, then scan the encoded ids.
     if (!mono.suppressed_nodes.empty()) {
@@ -89,9 +208,13 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
 
   // The table the later phases operate on: the input itself, or — after
   // suppression — a reduced copy. The encoded view is filtered in lock
-  // step so downstream phases never re-resolve cells.
+  // step so downstream phases never re-resolve cells, and the count state
+  // is adjusted by subtracting the removed rows' counts (exact integer
+  // arithmetic: counts(all) - counts(removed) == counts(kept)).
   const Table* working = &input;
   Table reduced;
+  CountState adjusted_counts;
+  const CountState* selection_counts = &counts;
   if (!rows_to_suppress.empty()) {
     std::vector<char> keep(input.num_rows(), 1);
     for (size_t r : rows_to_suppress) keep[r] = 0;
@@ -104,37 +227,49 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
     // listed once per column above but must be counted once.
     outcome.suppressed_rows = input.num_rows() - reduced.num_rows();
     working = &reduced;
+    std::vector<char> removed(input.num_rows(), 0);
+    for (size_t r = 0; r < input.num_rows(); ++r) removed[r] = !keep[r];
+    PRIVMARK_ASSIGN_OR_RETURN(EncodedView removed_view,
+                              view.Filtered(removed));
+    PRIVMARK_ASSIGN_OR_RETURN(
+        CountState removed_counts,
+        CountState::FromView(trees, removed_view, pool));
+    adjusted_counts = counts;
+    PRIVMARK_RETURN_NOT_OK(adjusted_counts.Subtract(removed_counts));
+    selection_counts = &adjusted_counts;
     PRIVMARK_ASSIGN_OR_RETURN(view, view.Filtered(keep));
-    // Redo mono-attribute binning on the reduced data: suppression can
+    // Redo mono-attribute binning on the reduced counts: suppression can
     // only shrink counts, but minimal nodes must reflect the final data.
     outcome.minimal.clear();
     for (size_t c = 0; c < qi_columns.size(); ++c) {
       PRIVMARK_ASSIGN_OR_RETURN(
           MonoBinningResult mono,
-          MonoAttributeBinEncoded(metrics_.maximal[c], view.column(c),
-                                  mono_options, pool.get()));
+          MonoAttributeBinCounts(metrics_.maximal[c],
+                                 selection_counts->column(c), mono_options));
       outcome.minimal.push_back(std::move(mono.minimal));
     }
   }
 
-  // Mono-phase information loss (Fig. 11 series 1).
+  // Mono-phase information loss (Fig. 11 series 1), measured over the
+  // materialized rows (the view), not the historical count state.
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     PRIVMARK_ASSIGN_OR_RETURN(
         double loss, ColumnInfoLossEncoded(view.column(c), outcome.minimal[c],
-                                           pool.get()));
+                                           pool));
     outcome.mono_column_loss.push_back(loss);
   }
   outcome.mono_normalized_loss = NormalizedInfoLoss(outcome.mono_column_loss);
 
-  // Phase 2: multi-attribute binning (Fig. 7), unless the configuration
-  // asks for per-attribute k-anonymity only (the paper's evaluation setup).
+  // Bin-selection phase 2: multi-attribute binning (Fig. 7), unless the
+  // configuration asks for per-attribute k-anonymity only (the paper's
+  // evaluation setup).
   if (config_.enforce_joint) {
     MultiBinningOptions multi_options = config_.multi;
     multi_options.k = effective_k;
     PRIVMARK_ASSIGN_OR_RETURN(
         MultiBinningResult multi,
         MultiAttributeBin(*working, qi_columns, outcome.minimal,
-                          metrics_.maximal, multi_options, &view));
+                          metrics_.maximal, multi_options, &view, pool));
     outcome.ultimate = std::move(multi.ultimate);
     outcome.candidates_considered = multi.candidates_considered;
   } else {
@@ -146,7 +281,7 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
     PRIVMARK_ASSIGN_OR_RETURN(
         double loss,
         ColumnInfoLossEncoded(view.column(c), outcome.ultimate[c],
-                              pool.get()));
+                              pool));
     outcome.multi_column_loss.push_back(loss);
   }
   outcome.multi_normalized_loss = NormalizedInfoLoss(outcome.multi_column_loss);
@@ -155,56 +290,10 @@ Result<BinningOutcome> BinningAgent::Run(const Table& input) const {
   // encrypted identifiers, quasi-identifier cells rewritten to their
   // ultimate generalization node's label, other cells copied through.
   const Aes128 cipher = Aes128::FromPassphrase(config_.encryption_passphrase);
-  std::vector<int> qi_index_of_col(input.num_columns(), -1);
-  for (size_t c = 0; c < qi_columns.size(); ++c) {
-    qi_index_of_col[qi_columns[c]] = static_cast<int>(c);
-  }
-  // Rows are built per contiguous shard (encryption and label lookups are
-  // per-row independent) and appended in shard order, so the output table
-  // is byte-identical to the serial pass for any worker count.
   PRIVMARK_ASSIGN_OR_RETURN(
-      std::vector<Row> rows,
-      ParallelReduce<std::vector<Row>>(
-          pool.get(), working->num_rows(), {},
-          [&](size_t, size_t begin, size_t end) -> Result<std::vector<Row>> {
-            std::vector<Row> shard_rows;
-            shard_rows.reserve(end - begin);
-            for (size_t r = begin; r < end; ++r) {
-              Row row;
-              row.reserve(working->num_columns());
-              for (size_t col = 0; col < working->num_columns(); ++col) {
-                if (col == ident_col) {
-                  PRIVMARK_ASSIGN_OR_RETURN(
-                      std::string encrypted,
-                      cipher.EncryptValue(working->at(r, col).ToString()));
-                  row.push_back(Value::String(std::move(encrypted)));
-                  continue;
-                }
-                const int c = qi_index_of_col[col];
-                if (c >= 0) {
-                  PRIVMARK_ASSIGN_OR_RETURN(
-                      NodeId node,
-                      outcome.ultimate[c].NodeForLeaf(
-                          view.column(static_cast<size_t>(c)).id(r)));
-                  row.push_back(Value::String(trees[c]->node(node).label));
-                  continue;
-                }
-                row.push_back(working->at(r, col));
-              }
-              shard_rows.push_back(std::move(row));
-            }
-            return shard_rows;
-          },
-          [](std::vector<Row>* acc, std::vector<Row>&& shard_rows) {
-            acc->insert(acc->end(), std::make_move_iterator(shard_rows.begin()),
-                        std::make_move_iterator(shard_rows.end()));
-          }));
-  Table binned(schema);
-  for (Row& row : rows) {
-    PRIVMARK_RETURN_NOT_OK(binned.AppendRow(std::move(row)));
-  }
-
-  outcome.binned = std::move(binned);
+      outcome.binned,
+      MaterializeProtected(*working, qi_columns, ident_col, outcome.ultimate,
+                           view, cipher, pool));
   return outcome;
 }
 

@@ -17,13 +17,18 @@
 #include <string>
 #include <vector>
 
+#include "binning/count_state.h"
 #include "binning/mono_attribute.h"
 #include "binning/multi_attribute.h"
 #include "common/status.h"
+#include "crypto/aes128.h"
+#include "hierarchy/encoded_view.h"
 #include "metrics/usage_metrics.h"
 #include "relation/table.h"
 
 namespace privmark {
+
+class ThreadPool;
 
 /// \brief Configuration of one binning run.
 struct BinningConfig {
@@ -48,6 +53,13 @@ struct BinningConfig {
   /// default), 0 = hardware concurrency, N = exactly N workers. Output is
   /// byte-identical for every value (see common/parallel.h).
   size_t num_threads = 1;
+  /// Optional caller-owned worker pool. When set it wins over num_threads
+  /// (the pool's worker count governs) and the agent constructs no pool of
+  /// its own — a long-lived caller (the protection session, a service
+  /// front-end) pays thread spawn/join once instead of per run. The pool
+  /// must outlive every run using this config. Not serialized state: a
+  /// borrowed execution resource.
+  ThreadPool* pool = nullptr;
   MonoBinningOptions mono;
   MultiBinningOptions multi;
 };
@@ -91,12 +103,38 @@ class BinningAgent {
   ///
   /// The input table must have exactly one identifying column and
   /// quasi-identifying columns matching the metrics (count and order).
+  ///
+  /// Equivalent to the count-accumulation phase (encode + CountState) over
+  /// the whole table followed by RunWithState — the incremental session
+  /// runs those phases itself, per arriving batch.
   Result<BinningOutcome> Run(const Table& input) const;
+
+  /// \brief Bin-selection + materialization over pre-accumulated count
+  /// state — the incremental-session entry point.
+  ///
+  /// \param input the rows to bin and materialize (a flush buffer)
+  /// \param view `input`'s encoded quasi-identifier columns
+  /// \param counts per-column counts to select generalizations from. For a
+  ///        one-shot run these are exactly `input`'s counts and the result
+  ///        is byte-identical to Run(input); a session may pass counts
+  ///        accumulated over *more* rows than `input`, selecting
+  ///        generalizations from the whole history while materializing
+  ///        only the buffered batch. Suppression (kSuppress) subtracts the
+  ///        dropped rows' counts before re-selecting, so the adjusted
+  ///        state stays exact.
+  Result<BinningOutcome> RunWithState(const Table& input, EncodedView view,
+                                      const CountState& counts) const;
 
   const BinningConfig& config() const { return config_; }
   const UsageMetrics& metrics() const { return metrics_; }
 
  private:
+  Result<BinningOutcome> RunImpl(const Table& input, size_t ident_column,
+                                 const std::vector<size_t>& qi_columns,
+                                 const std::vector<const DomainHierarchy*>& trees,
+                                 EncodedView view, const CountState& counts,
+                                 ThreadPool* pool) const;
+
   UsageMetrics metrics_;
   BinningConfig config_;
 };
@@ -105,6 +143,18 @@ class BinningAgent {
 /// place (the Bin(.) of Fig. 8); exposed for tests and the watermark module.
 Status ApplyGeneralization(Table* table, const std::vector<size_t>& qi_columns,
                            const std::vector<GeneralizationSet>& gens);
+
+/// \brief Fig. 8's Binning step over pre-encoded rows: the identifying
+/// column encrypted with `cipher`, each quasi-identifier cell rewritten to
+/// its ultimate generalization node's label, other cells copied through.
+/// Rows build per contiguous shard and append in shard order, so the
+/// output is byte-identical to a serial pass for any worker count. Shared
+/// by BinningAgent's phase 3 and the streaming session's per-batch
+/// emission, which must produce identical bytes.
+Result<Table> MaterializeProtected(
+    const Table& input, const std::vector<size_t>& qi_columns,
+    size_t ident_column, const std::vector<GeneralizationSet>& ultimate,
+    const EncodedView& view, const Aes128& cipher, ThreadPool* pool);
 
 }  // namespace privmark
 

@@ -1,0 +1,92 @@
+// Mergeable per-column tuple-count state — the substrate of incremental
+// (batch/streaming) binning.
+//
+// CountPerNode produces, for one column, the full per-node histogram of a
+// tree: direct counts at the leaves, subtree sums at interior nodes. Both
+// layers are linear in the rows, so the counts of a concatenation of row
+// batches equal the elementwise sum of the batches' counts — exactly, in
+// integers. CountState packages one such histogram per quasi-identifying
+// column together with that Merge: a protection session counts each
+// arriving batch once (sharded, see CountPerNode's pool form) and folds it
+// in, and the accumulated state is byte-identical to counting all rows in
+// one pass. Merging in batch-arrival order mirrors PR 3's shard-order
+// merge discipline — the same "partial results fold on one thread, in a
+// deterministic order" rule, lifted from shards within a run to batches
+// across a session.
+//
+// Bin selection (MonoAttributeBinCounts, the downward GenMinNd search)
+// consumes these vectors directly, which is what splits the binning engine
+// into a count-accumulation phase (incremental, mergeable) and a
+// bin-selection phase (cheap, run at flush time).
+
+#ifndef PRIVMARK_BINNING_COUNT_STATE_H_
+#define PRIVMARK_BINNING_COUNT_STATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/domain_hierarchy.h"
+#include "hierarchy/encoded_view.h"
+
+namespace privmark {
+
+class ThreadPool;
+
+/// \brief Per-column per-node tuple counts with an exact elementwise
+/// Merge; one counts vector per quasi-identifying column, parallel to the
+/// trees it was built from.
+class CountState {
+ public:
+  CountState() = default;
+
+  /// \brief All-zero state over `trees` (the empty-session starting point).
+  static Result<CountState> Zero(
+      const std::vector<const DomainHierarchy*>& trees);
+
+  /// \brief Counts of one batch: per column, the leaf histogram of the
+  /// encoded ids plus the interior subtree roll-up (CountPerNode). The
+  /// view must hold one column per tree, in the same order.
+  static Result<CountState> FromView(
+      const std::vector<const DomainHierarchy*>& trees,
+      const EncodedView& view, ThreadPool* pool = nullptr);
+
+  /// \brief Folds another state in: elementwise integer sums per column.
+  /// InvalidArgument unless `other` covers the same trees. Exact for any
+  /// merge order; sessions merge in batch-arrival order for the same
+  /// deterministic-fold discipline the shard merges use.
+  Status Merge(const CountState& other);
+
+  /// \brief Removes another state's counts: elementwise subtraction.
+  /// `other` must cover the same trees and be a sub-multiset (every count
+  /// <= this state's; InvalidArgument otherwise). Suppression uses this to
+  /// drop removed rows from accumulated state without recounting history:
+  /// counts(all) - counts(removed) == counts(kept), exactly.
+  Status Subtract(const CountState& other);
+
+  size_t num_columns() const { return counts_.size(); }
+
+  /// \brief Total rows folded into this state.
+  size_t num_rows() const { return num_rows_; }
+
+  /// \brief Per-node counts of column `c` (position within the pipeline's
+  /// quasi-identifier column list): counts[node] is the number of
+  /// accumulated tuples whose leaf lies in the subtree rooted at `node`.
+  const std::vector<size_t>& column(size_t c) const { return counts_[c]; }
+
+  const std::vector<const DomainHierarchy*>& trees() const { return trees_; }
+
+ private:
+  CountState(std::vector<const DomainHierarchy*> trees,
+             std::vector<std::vector<size_t>> counts, size_t num_rows)
+      : trees_(std::move(trees)),
+        counts_(std::move(counts)),
+        num_rows_(num_rows) {}
+
+  std::vector<const DomainHierarchy*> trees_;
+  std::vector<std::vector<size_t>> counts_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_BINNING_COUNT_STATE_H_

@@ -5,6 +5,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/parallel.h"
+
 namespace privmark {
 
 namespace {
@@ -39,22 +41,32 @@ using BinSizeMap =
 
 // Groups rows by their generalization-node vector; returns bin sizes keyed
 // by the node vector. Columns are borrowed (pointers), matching how the
-// search holds a caller's EncodedView without copying it.
+// search holds a caller's EncodedView without copying it. With a pool the
+// rows shard contiguously into per-shard maps folded in shard order —
+// integer sums, so the merged map's contents equal the serial map's (and
+// callers only point-query or scan it, never depend on bucket order).
 Result<BinSizeMap> BinSizes(
     const std::vector<const std::vector<NodeId>*>& row_leaves,
-    const std::vector<GeneralizationSet>& gens) {
-  BinSizeMap bins;
-  if (row_leaves.empty()) return bins;
+    const std::vector<GeneralizationSet>& gens, ThreadPool* pool = nullptr) {
+  if (row_leaves.empty()) return BinSizeMap{};
   const size_t num_rows = row_leaves[0]->size();
-  std::vector<NodeId> key(gens.size());
-  for (size_t r = 0; r < num_rows; ++r) {
-    for (size_t c = 0; c < gens.size(); ++c) {
-      PRIVMARK_ASSIGN_OR_RETURN(key[c],
-                                gens[c].NodeForLeaf((*row_leaves[c])[r]));
-    }
-    ++bins[key];
-  }
-  return bins;
+  return ParallelReduce<BinSizeMap>(
+      pool, num_rows, BinSizeMap{},
+      [&](size_t, size_t begin, size_t end) -> Result<BinSizeMap> {
+        BinSizeMap local;
+        std::vector<NodeId> key(gens.size());
+        for (size_t r = begin; r < end; ++r) {
+          for (size_t c = 0; c < gens.size(); ++c) {
+            PRIVMARK_ASSIGN_OR_RETURN(key[c],
+                                      gens[c].NodeForLeaf((*row_leaves[c])[r]));
+          }
+          ++local[key];
+        }
+        return local;
+      },
+      [](BinSizeMap* acc, BinSizeMap&& local) {
+        for (auto& [key, count] : local) (*acc)[key] += count;
+      });
 }
 
 double TotalSpecificityLoss(const std::vector<GeneralizationSet>& gens) {
@@ -100,7 +112,8 @@ Result<MultiBinningResult> MultiAttributeBin(
     const Table& table, const std::vector<size_t>& qi_columns,
     const std::vector<GeneralizationSet>& minimal,
     const std::vector<GeneralizationSet>& maximal,
-    const MultiBinningOptions& options, const EncodedView* view) {
+    const MultiBinningOptions& options, const EncodedView* view,
+    ThreadPool* pool) {
   const size_t num_cols = qi_columns.size();
   if (minimal.size() != num_cols || maximal.size() != num_cols) {
     return Status::InvalidArgument(
@@ -147,13 +160,22 @@ Result<MultiBinningResult> MultiAttributeBin(
     row_leaves.push_back(&owned.back());
   }
 
-  auto jointly_k_anonymous =
-      [&](const std::vector<GeneralizationSet>& gens) -> Result<bool> {
-    PRIVMARK_ASSIGN_OR_RETURN(auto bins, BinSizes(row_leaves, gens));
+  // Row-sharded variant for the top-level checks; candidate-sharded code
+  // paths below pass no pool of their own (ThreadPool::Run is fork-join
+  // and not reentrant), keeping exactly one parallel dimension per stage.
+  auto jointly_k_anonymous_on =
+      [&](const std::vector<GeneralizationSet>& gens,
+          ThreadPool* check_pool) -> Result<bool> {
+    PRIVMARK_ASSIGN_OR_RETURN(auto bins,
+                              BinSizes(row_leaves, gens, check_pool));
     for (const auto& [key, size] : bins) {
       if (size < options.k) return false;
     }
     return true;
+  };
+  auto jointly_k_anonymous =
+      [&](const std::vector<GeneralizationSet>& gens) -> Result<bool> {
+    return jointly_k_anonymous_on(gens, pool);
   };
 
   MultiBinningResult result;
@@ -202,35 +224,62 @@ Result<MultiBinningResult> MultiAttributeBin(
           std::to_string(options.max_enumerations) + ")");
     }
 
-    double best_loss = std::numeric_limits<double>::infinity();
-    std::vector<GeneralizationSet> best;
-    std::vector<size_t> odometer(num_cols, 0);
-    std::vector<GeneralizationSet> candidate(num_cols);
-    for (size_t iter = 0; iter < combo_count; ++iter) {
-      for (size_t c = 0; c < num_cols; ++c) {
-        candidate[c] = allowable[c][odometer[c]];
-      }
-      ++result.candidates_considered;
-      const double loss = TotalSpecificityLoss(candidate);
-      if (loss < best_loss) {
-        PRIVMARK_ASSIGN_OR_RETURN(bool ok, jointly_k_anonymous(candidate));
-        if (ok) {
-          best_loss = loss;
-          best = candidate;
-        }
-      }
-      // Advance odometer.
-      for (size_t c = 0; c < num_cols; ++c) {
-        if (++odometer[c] < allowable[c].size()) break;
-        odometer[c] = 0;
-      }
-    }
-    if (best.empty()) {
+    // Candidates are independent: shard the enumeration index space and
+    // fold the per-shard winners in shard order. Each shard keeps the
+    // serial pruning rule (k-check only on a strict loss improvement), so
+    // its winner is the earliest minimal-loss valid candidate of its
+    // range; strict-< folding then picks the earliest global one — the
+    // exact candidate the serial odometer loop selects. The k-checks
+    // inside a shard run serially (one parallel dimension: candidates).
+    struct ShardBest {
+      double loss = std::numeric_limits<double>::infinity();
+      std::vector<GeneralizationSet> gens;
+    };
+    PRIVMARK_ASSIGN_OR_RETURN(
+        ShardBest best,
+        ParallelReduce<ShardBest>(
+            pool, combo_count, ShardBest{},
+            [&](size_t, size_t begin, size_t end) -> Result<ShardBest> {
+              ShardBest local;
+              // Mixed-radix decomposition of the start index (column 0 is
+              // the fastest-advancing digit, as in the serial loop).
+              std::vector<size_t> odometer(num_cols, 0);
+              size_t index = begin;
+              for (size_t c = 0; c < num_cols; ++c) {
+                odometer[c] = index % allowable[c].size();
+                index /= allowable[c].size();
+              }
+              std::vector<GeneralizationSet> candidate(num_cols);
+              for (size_t iter = begin; iter < end; ++iter) {
+                for (size_t c = 0; c < num_cols; ++c) {
+                  candidate[c] = allowable[c][odometer[c]];
+                }
+                const double loss = TotalSpecificityLoss(candidate);
+                if (loss < local.loss) {
+                  PRIVMARK_ASSIGN_OR_RETURN(
+                      bool ok, jointly_k_anonymous_on(candidate, nullptr));
+                  if (ok) {
+                    local.loss = loss;
+                    local.gens = candidate;
+                  }
+                }
+                for (size_t c = 0; c < num_cols; ++c) {
+                  if (++odometer[c] < allowable[c].size()) break;
+                  odometer[c] = 0;
+                }
+              }
+              return local;
+            },
+            [](ShardBest* acc, ShardBest&& local) {
+              if (local.loss < acc->loss) *acc = std::move(local);
+            }));
+    result.candidates_considered = combo_count;
+    if (best.gens.empty()) {
       return Status::Unbinnable(
           "no allowable generalization combination is jointly k-anonymous");
     }
-    result.ultimate = std::move(best);
-    result.total_specificity_loss = best_loss;
+    result.ultimate = std::move(best.gens);
+    result.total_specificity_loss = best.loss;
     return result;
   }
 
@@ -239,17 +288,22 @@ Result<MultiBinningResult> MultiAttributeBin(
   // (violating-rows-covered / specificity-loss) ratio.
   std::vector<GeneralizationSet> current = minimal;
   for (;;) {
-    PRIVMARK_ASSIGN_OR_RETURN(auto bins, BinSizes(row_leaves, current));
-    // Per-row current nodes and per-row violation flags.
+    PRIVMARK_ASSIGN_OR_RETURN(auto bins, BinSizes(row_leaves, current, pool));
+    // Per-row current nodes and per-row violation flags. Rows shard
+    // contiguously; every row's slots are written by exactly one shard.
     const size_t num_rows = table.num_rows();
     std::vector<std::vector<NodeId>> row_nodes(num_cols);
-    for (size_t c = 0; c < num_cols; ++c) {
-      row_nodes[c].resize(num_rows);
-      for (size_t r = 0; r < num_rows; ++r) {
-        PRIVMARK_ASSIGN_OR_RETURN(
-            row_nodes[c][r], current[c].NodeForLeaf((*row_leaves[c])[r]));
-      }
-    }
+    for (size_t c = 0; c < num_cols; ++c) row_nodes[c].resize(num_rows);
+    PRIVMARK_RETURN_NOT_OK(ParallelFor(
+        pool, num_rows, [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t c = 0; c < num_cols; ++c) {
+            for (size_t r = begin; r < end; ++r) {
+              PRIVMARK_ASSIGN_OR_RETURN(
+                  row_nodes[c][r], current[c].NodeForLeaf((*row_leaves[c])[r]));
+            }
+          }
+          return Status::OK();
+        }));
     std::vector<char> violating(num_rows, 0);
     size_t num_violating = 0;
     {
@@ -264,7 +318,11 @@ Result<MultiBinningResult> MultiAttributeBin(
     }
     if (num_violating == 0) break;
 
-    // Enumerate candidate merge steps.
+    // Enumerate candidate merge steps. Eligibility and the cheap
+    // per-member counts stay serial; the expensive per-candidate
+    // violating-row scans fan out over the candidates, each writing only
+    // its own pre-sized slot, so the step list is identical to the serial
+    // one in content and order.
     std::vector<MergeStep> steps;
     for (size_t c = 0; c < num_cols; ++c) {
       const DomainHierarchy& tree = *current[c].tree();
@@ -289,18 +347,29 @@ Result<MultiBinningResult> MultiAttributeBin(
         for (NodeId member : current[c].nodes()) {
           if (tree.IsAncestorOrSelf(p, member)) ++members_merged;
         }
-        size_t covered = 0;
-        for (size_t r = 0; r < num_rows; ++r) {
-          if (violating[r] && tree.IsAncestorOrSelf(p, row_nodes[c][r])) {
-            ++covered;
-          }
-        }
         const double n_leaves = static_cast<double>(tree.Leaves().size());
         steps.push_back(MergeStep{
             c, p, members_merged,
-            static_cast<double>(members_merged - 1) / n_leaves, covered});
+            static_cast<double>(members_merged - 1) / n_leaves, 0});
       }
     }
+    PRIVMARK_RETURN_NOT_OK(ParallelFor(
+        pool, steps.size(), [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t s = begin; s < end; ++s) {
+            MergeStep& step = steps[s];
+            const DomainHierarchy& tree = *current[step.column].tree();
+            size_t covered = 0;
+            for (size_t r = 0; r < num_rows; ++r) {
+              if (violating[r] &&
+                  tree.IsAncestorOrSelf(step.parent,
+                                        row_nodes[step.column][r])) {
+                ++covered;
+              }
+            }
+            step.violating_covered = covered;
+          }
+          return Status::OK();
+        }));
     if (steps.empty()) {
       return Status::Unbinnable(
           "greedy multi-attribute binning ran out of merge steps before "

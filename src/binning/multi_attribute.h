@@ -26,6 +26,8 @@
 
 namespace privmark {
 
+class ThreadPool;
+
 /// \brief Search strategy for the ultimate generalization.
 enum class SearchStrategy {
   /// Fig. 7 verbatim: enumerate every allowable combination. Exponential;
@@ -69,11 +71,20 @@ struct MultiBinningResult {
 /// \param view optional pre-encoded leaf view of the table's qi_columns
 ///        (parallel to them); when given, the search reuses it instead of
 ///        re-resolving every cell through the label index.
+/// \param pool optional worker pool for the candidate search. Candidates
+///        are independent, so they evaluate in parallel and the verdicts
+///        merge in candidate order: kGreedy fans out the per-candidate
+///        violating-row scans (and shards the row-grouping passes),
+///        kExhaustive shards the enumeration index space with per-shard
+///        bests folded in shard order. The chosen generalization,
+///        candidates_considered, and loss are identical to the serial
+///        search for any worker count.
 Result<MultiBinningResult> MultiAttributeBin(
     const Table& table, const std::vector<size_t>& qi_columns,
     const std::vector<GeneralizationSet>& minimal,
     const std::vector<GeneralizationSet>& maximal,
-    const MultiBinningOptions& options, const EncodedView* view = nullptr);
+    const MultiBinningOptions& options, const EncodedView* view = nullptr,
+    ThreadPool* pool = nullptr);
 
 /// \brief Checks whether a per-column generalization combination makes the
 /// table jointly k-anonymous; exposed for tests and the framework report.

@@ -125,6 +125,19 @@ class ThreadPool {
 /// uses to honor its num_threads knob.
 std::unique_ptr<ThreadPool> MakeThreadPool(size_t num_threads);
 
+/// \brief Resolves the shared "caller-owned pool" config convention: when
+/// `pool` is set it wins (its worker count governs; num_threads is
+/// ignored) and no pool is constructed; otherwise a private pool built
+/// from num_threads is stored in *owned and returned. Long-lived callers
+/// (the protection session, a future service front-end) inject one pool
+/// across many agent runs instead of paying thread spawn/join per run.
+inline ThreadPool* PoolOrMake(ThreadPool* pool, size_t num_threads,
+                              std::unique_ptr<ThreadPool>* owned) {
+  if (pool != nullptr) return pool;
+  *owned = MakeThreadPool(num_threads);
+  return owned->get();
+}
+
 /// \brief Shards [0, count) into at most pool->num_threads() ranges and
 /// runs fn(shard_index, begin, end) on each; a null pool (or a single
 /// shard) runs inline on the caller. Returns the Status of the

@@ -5,7 +5,7 @@
 #include <map>
 #include <string_view>
 
-#include "crypto/aes128.h"
+#include "core/session.h"
 
 namespace privmark {
 
@@ -26,81 +26,18 @@ HierarchicalWatermarker ProtectionFramework::MakeWatermarker(
 
 Result<ProtectionOutcome> ProtectionFramework::Protect(
     const Table& original) const {
-  ProtectionOutcome outcome;
-
-  // The mark: F(identifier statistic) per Sec. 5.4, or an explicit mark.
-  PRIVMARK_ASSIGN_OR_RETURN(size_t ident_column,
-                            original.schema().IdentifyingColumn());
-  if (config_.derive_mark_from_identifiers) {
-    PRIVMARK_ASSIGN_OR_RETURN(outcome.identifier_statistic,
-                              StatisticFromTable(original, ident_column));
-    PRIVMARK_ASSIGN_OR_RETURN(
-        outcome.mark,
-        DeriveOwnershipMark(outcome.identifier_statistic, config_.mark_bits,
-                            config_.watermark.hash));
-  } else {
-    if (config_.explicit_mark.empty()) {
-      return Status::InvalidArgument(
-          "Protect: explicit_mark is empty but mark derivation is disabled");
-    }
-    outcome.mark = config_.explicit_mark;
-  }
-
-  // Binning pass (possibly twice, for the Sec. 6 epsilon adjustment).
-  BinningConfig binning_config = config_.binning;
-  BinningAgent agent(metrics_, binning_config);
-  PRIVMARK_ASSIGN_OR_RETURN(outcome.binning, agent.Run(original));
-  outcome.epsilon_used = binning_config.epsilon;
-
-  if (config_.auto_epsilon) {
-    // Estimate |wmd| on the first pass, derive epsilon, re-bin.
-    HierarchicalWatermarker probe = MakeWatermarker(outcome.binning);
-    PRIVMARK_ASSIGN_OR_RETURN(size_t bandwidth,
-                              probe.EstimateBandwidth(outcome.binning.binned));
-    size_t copies = config_.copies;
-    if (copies == 0) {
-      copies = std::max<size_t>(1, bandwidth / config_.mark_bits);
-    }
-    const size_t wmd_size = copies * config_.mark_bits;
-    size_t epsilon = 0;
-    if (config_.binning.enforce_joint) {
-      PRIVMARK_ASSIGN_OR_RETURN(
-          epsilon, ConservativeEpsilon(outcome.binning.binned,
-                                       outcome.binning.qi_columns, wmd_size));
-    } else {
-      // Per-attribute k-anonymity: a column sees roughly wmd/|columns| of
-      // the moves, and its own biggest bin bounds any bin's exposure.
-      const size_t per_column_moves =
-          wmd_size / std::max<size_t>(1, outcome.binning.qi_columns.size());
-      for (size_t col : outcome.binning.qi_columns) {
-        PRIVMARK_ASSIGN_OR_RETURN(
-            size_t col_epsilon,
-            ConservativeEpsilon(outcome.binning.binned, {col},
-                                per_column_moves));
-        epsilon = std::max(epsilon, col_epsilon);
-      }
-    }
-    if (epsilon > binning_config.epsilon) {
-      binning_config.epsilon = epsilon;
-      BinningAgent adjusted(metrics_, binning_config);
-      PRIVMARK_ASSIGN_OR_RETURN(outcome.binning, adjusted.Run(original));
-      outcome.epsilon_used = epsilon;
-    }
-  }
-
-  // Watermarking pass.
-  outcome.watermarked = outcome.binning.binned.Clone();
-  HierarchicalWatermarker watermarker = MakeWatermarker(outcome.binning);
-  PRIVMARK_ASSIGN_OR_RETURN(
-      outcome.embed,
-      watermarker.Embed(&outcome.watermarked, outcome.mark, config_.copies));
-
-  // Fig. 14 seamlessness rows.
-  PRIVMARK_ASSIGN_OR_RETURN(
-      outcome.seamlessness,
-      MeasureSeamlessness(outcome.binning.binned, outcome.watermarked,
-                          outcome.binning.qi_columns, config_.binning.k));
-  return outcome;
+  // The one-shot protect is the degenerate streaming case: a session fed
+  // the whole table as a single batch and flushed once. The session's
+  // first flush runs exactly the Sec. 3 pipeline (mark derivation,
+  // binning with the optional Sec. 6 epsilon re-selection, watermark
+  // embed, Fig. 14 seamlessness), so the outcome is bit-identical to the
+  // historical all-at-once implementation — the streaming-equivalence
+  // property suite pins this down.
+  ProtectionSession session(metrics_, config_, SessionConfig());
+  PRIVMARK_ASSIGN_OR_RETURN(IngestResult ingested, session.Ingest(original));
+  (void)ingested;
+  PRIVMARK_ASSIGN_OR_RETURN(EpochOutput epoch, session.Flush());
+  return std::move(epoch.outcome);
 }
 
 Result<std::vector<AttributeSeamlessness>> MeasureSeamlessness(

@@ -82,6 +82,9 @@ class ProtectionFramework {
   ProtectionFramework(UsageMetrics metrics, FrameworkConfig config);
 
   /// \brief Runs the full pipeline on the original (cleartext) table.
+  /// Implemented as a single-batch ProtectionSession (core/session.h) —
+  /// Ingest the table, Flush once — so the one-shot and streaming paths
+  /// cannot drift apart.
   Result<ProtectionOutcome> Protect(const Table& original) const;
 
   /// \brief Builds the watermarker matching a binning outcome — also used

@@ -92,6 +92,40 @@ Result<ProtectionManifest> BuildManifest(const ProtectionOutcome& outcome,
   return manifest;
 }
 
+Result<ProtectionManifest> ManifestFromEpoch(const EpochRecord& epoch,
+                                             const Schema& schema,
+                                             const UsageMetrics& metrics,
+                                             const FrameworkConfig& config) {
+  if (epoch.ultimate.size() != metrics.maximal.size()) {
+    return Status::InvalidArgument(
+        "ManifestFromEpoch: epoch and metrics disagree on column count");
+  }
+  const std::vector<size_t> qi_columns = schema.QuasiIdentifyingColumns();
+  if (qi_columns.size() != epoch.ultimate.size()) {
+    return Status::InvalidArgument(
+        "ManifestFromEpoch: schema and epoch disagree on column count");
+  }
+  ProtectionManifest manifest;
+  manifest.mark_bits = epoch.mark.size();
+  manifest.wmd_size = epoch.wmd_size;
+  manifest.copies = epoch.copies;
+  manifest.epsilon = epoch.epsilon_used;
+  manifest.hash = config.watermark.hash;
+  for (size_t c = 0; c < qi_columns.size(); ++c) {
+    ManifestColumn column;
+    column.name = schema.column(qi_columns[c]).name;
+    const DomainHierarchy& tree = *metrics.trees[c];
+    for (NodeId id : epoch.ultimate[c].nodes()) {
+      column.ultimate_labels.push_back(tree.node(id).label);
+    }
+    for (NodeId id : metrics.maximal[c].nodes()) {
+      column.maximal_labels.push_back(tree.node(id).label);
+    }
+    manifest.columns.push_back(std::move(column));
+  }
+  return manifest;
+}
+
 std::string SerializeManifest(const ProtectionManifest& manifest) {
   std::string out;
   out += "privmark-manifest-version = 1\n";

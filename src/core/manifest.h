@@ -23,6 +23,7 @@
 
 #include "common/status.h"
 #include "core/framework.h"
+#include "core/session.h"
 
 namespace privmark {
 
@@ -47,6 +48,17 @@ struct ProtectionManifest {
 Result<ProtectionManifest> BuildManifest(const ProtectionOutcome& outcome,
                                          const UsageMetrics& metrics,
                                          const FrameworkConfig& config);
+
+/// \brief Builds a manifest for one streaming epoch: same record shape,
+/// sourced from the session's EpochRecord (each epoch has its own
+/// generalization, wmd size, and epsilon, so each gets its own manifest;
+/// detection over an epoch's output uses that epoch's manifest).
+///
+/// \param schema the stream's schema (for the column names)
+Result<ProtectionManifest> ManifestFromEpoch(const EpochRecord& epoch,
+                                             const Schema& schema,
+                                             const UsageMetrics& metrics,
+                                             const FrameworkConfig& config);
 
 /// \brief Serializes to the text format.
 std::string SerializeManifest(const ProtectionManifest& manifest);

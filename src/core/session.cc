@@ -1,0 +1,482 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "binning/binning_engine.h"
+#include "watermark/ownership.h"
+
+namespace privmark {
+
+namespace {
+
+// The watermark agent may run on a different thread count than the
+// binning agent; one session pool serves both, sized to the larger ask
+// (0 = hardware concurrency wins). Outputs are byte-identical for any
+// worker count, so this only moves throughput.
+size_t SessionThreads(const FrameworkConfig& config) {
+  const size_t b = config.binning.num_threads;
+  const size_t w = config.watermark.num_threads;
+  if (b == 0 || w == 0) return 0;
+  return std::max(b, w);
+}
+
+// Per-attribute epoch-k enforcement: drop rows of sub-k bins per column,
+// iterating because a dropped row shrinks its bins in *other* columns.
+// Counts are built once; each round judges every surviving row against
+// the current counts, then decrements the victims' bins — the same
+// counts(all) - counts(removed) discipline CountState::Subtract uses, so
+// rounds cost O(rows x columns) map-free lookups instead of a recount.
+// Converges (rows only ever decrease) and is deterministic (victims are
+// chosen per round from a fixed snapshot, in row order).
+Result<size_t> EnforceEpochK(Table* binned,
+                             const std::vector<size_t>& qi_columns, size_t k) {
+  const size_t num_rows = binned->num_rows();
+  const size_t num_cols = qi_columns.size();
+  std::vector<std::map<std::string, size_t>> counts(num_cols);
+  using CountIt = std::map<std::string, size_t>::iterator;
+  std::vector<CountIt> row_bins(num_rows * num_cols);
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const auto [it, inserted] =
+          counts[c].try_emplace(binned->at(r, qi_columns[c]).ToString(), 0);
+      ++it->second;
+      row_bins[r * num_cols + c] = it;
+    }
+  }
+  std::vector<char> alive(num_rows, 1);
+  std::vector<size_t> victims;
+  for (;;) {
+    victims.clear();
+    for (size_t r = 0; r < num_rows; ++r) {
+      if (!alive[r]) continue;
+      for (size_t c = 0; c < num_cols; ++c) {
+        if (row_bins[r * num_cols + c]->second < k) {
+          victims.push_back(r);
+          break;
+        }
+      }
+    }
+    if (victims.empty()) break;
+    for (size_t r : victims) {
+      alive[r] = 0;
+      for (size_t c = 0; c < num_cols; ++c) {
+        --row_bins[r * num_cols + c]->second;
+      }
+    }
+  }
+  std::vector<size_t> drop;
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (!alive[r]) drop.push_back(r);
+  }
+  const size_t dropped_total = drop.size();
+  if (!drop.empty()) binned->RemoveRows(std::move(drop));
+  return dropped_total;
+}
+
+}  // namespace
+
+size_t ProtectionSession::NodeVectorHash::operator()(
+    const std::vector<NodeId>& key) const {
+  uint64_t h = 1469598103934665603ull;
+  for (const NodeId id : key) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(id));
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+ProtectionSession::ProtectionSession(UsageMetrics metrics,
+                                     FrameworkConfig config,
+                                     SessionConfig session)
+    : metrics_(std::move(metrics)),
+      config_(std::move(config)),
+      session_(session),
+      cipher_(Aes128::FromPassphrase(config_.binning.encryption_passphrase)) {
+  // One pool for the whole session, injected into both agents' configs;
+  // caller-supplied pools win (PoolOrMake convention), and an owned pool
+  // backfills whichever side lacks one. pool_ stays null for a fully
+  // serial session.
+  if (config_.binning.pool == nullptr || config_.watermark.pool == nullptr) {
+    pool_ = MakeThreadPool(SessionThreads(config_));
+  }
+  if (config_.binning.pool == nullptr) config_.binning.pool = pool_.get();
+  if (config_.watermark.pool == nullptr) config_.watermark.pool = pool_.get();
+}
+
+Status ProtectionSession::InitSchema(const Schema& schema) {
+  if (schema_.has_value()) {
+    if (!(schema == *schema_)) {
+      return Status::InvalidArgument(
+          "Ingest: batch schema differs from the session's schema");
+    }
+    return Status::OK();
+  }
+  PRIVMARK_ASSIGN_OR_RETURN(ident_column_, schema.IdentifyingColumn());
+  qi_columns_ = schema.QuasiIdentifyingColumns();
+  if (qi_columns_.size() != metrics_.num_columns()) {
+    return Status::InvalidArgument(
+        "ProtectionSession: schema has " + std::to_string(qi_columns_.size()) +
+        " quasi-identifying columns but usage metrics cover " +
+        std::to_string(metrics_.num_columns()));
+  }
+  trees_.clear();
+  trees_.reserve(qi_columns_.size());
+  for (const GeneralizationSet& gs : metrics_.maximal) {
+    trees_.push_back(gs.tree());
+  }
+  PRIVMARK_ASSIGN_OR_RETURN(counts_, CountState::Zero(trees_));
+  schema_ = schema;
+  buffer_ = Table(schema);
+  buffer_view_ = EncodedView();
+  return Status::OK();
+}
+
+Result<IngestResult> ProtectionSession::Ingest(const Table& batch) {
+  PRIVMARK_RETURN_NOT_OK(InitSchema(batch.schema()));
+
+  // Count-accumulation phase, per batch: encode once, roll counts up,
+  // fold into the session state (exact integer merge — the accumulated
+  // state equals a one-shot count of every row seen). A frozen
+  // kFreezeBins session can never flush again, so its accumulated counts
+  // are dead state — skip the histogram work and emit straight away.
+  PRIVMARK_ASSIGN_OR_RETURN(
+      EncodedView view,
+      EncodedView::Leaves(batch, qi_columns_, trees_, pool()));
+  rows_ingested_ += batch.num_rows();
+  if (live_.has_value() && session_.policy == RebinPolicy::kFreezeBins) {
+    return EmitFrozen(batch, view);
+  }
+  PRIVMARK_ASSIGN_OR_RETURN(CountState batch_counts,
+                            CountState::FromView(trees_, view, pool()));
+  PRIVMARK_RETURN_NOT_OK(counts_.Merge(batch_counts));
+
+  // Buffer toward the next flush.
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    PRIVMARK_RETURN_NOT_OK(buffer_.AppendRow(batch.row(r)));
+  }
+  PRIVMARK_RETURN_NOT_OK(buffer_view_.Append(view));
+  rows_since_epoch_ += batch.num_rows();
+
+  IngestResult out;
+  out.epoch = epochs_.size();
+  out.rows_buffered = buffer_.num_rows();
+
+  if (live_.has_value() && session_.policy == RebinPolicy::kRebinOnDrift &&
+      static_cast<double>(rows_since_epoch_) >=
+          session_.drift_threshold * static_cast<double>(live_->basis_rows)) {
+    PRIVMARK_ASSIGN_OR_RETURN(EpochOutput closed, FlushBuffer());
+    out.flushed = true;
+    out.epoch = closed.epoch;
+    out.embed = closed.outcome.embed;
+    out.emitted = std::move(closed.outcome.watermarked);
+    out.rows_emitted = out.emitted.num_rows();
+    out.rows_suppressed = epochs_.back().rows_suppressed;
+    out.rows_buffered = 0;
+  }
+  return out;
+}
+
+Result<EpochOutput> ProtectionSession::Flush() {
+  if (!schema_.has_value()) {
+    return Status::InvalidArgument("Flush: nothing ingested");
+  }
+  if (live_.has_value() && buffer_.num_rows() == 0) {
+    return Status::InvalidArgument("Flush: no rows buffered");
+  }
+  return FlushBuffer();
+}
+
+Result<ProtectionSession::LiveEpoch> ProtectionSession::SnapshotEpoch(
+    const BinningOutcome& binning, const EpochRecord& record) const {
+  LiveEpoch live;
+  live.index = record.epoch;
+  live.ultimate = binning.ultimate;
+  live.mark = record.mark;
+  live.copies = std::max<size_t>(1, record.copies);
+  live.wmd_size = record.wmd_size;
+  live.effective_k = config_.binning.k + record.epsilon_used;
+  live.basis_rows = rows_ingested_;
+
+  // Established bins, read from the epoch's own emitted output: a bin is
+  // established iff the epoch emitted >= effective_k rows into it, which
+  // is exactly what keeps the concatenated output k-anonymous when later
+  // frozen batches join only established bins. Only frozen emission
+  // (kFreezeBins) ever consults this state — drift sessions re-bin every
+  // window, so skip the per-cell label resolution for them.
+  if (session_.policy != RebinPolicy::kFreezeBins) return live;
+  const Table& binned = binning.binned;
+  std::string scratch;
+  const auto label_of = [&scratch](const Value& cell) -> std::string_view {
+    if (cell.type() == ValueType::kString) return cell.AsString();
+    scratch = cell.ToString();
+    return scratch;
+  };
+  if (config_.binning.enforce_joint) {
+    std::unordered_map<std::vector<NodeId>, size_t, NodeVectorHash> joint;
+    std::vector<NodeId> key(qi_columns_.size());
+    for (size_t r = 0; r < binned.num_rows(); ++r) {
+      for (size_t c = 0; c < qi_columns_.size(); ++c) {
+        PRIVMARK_ASSIGN_OR_RETURN(
+            key[c], live.ultimate[c].NodeForLabel(
+                        label_of(binned.at(r, qi_columns_[c]))));
+      }
+      ++joint[key];
+    }
+    for (const auto& [bin_key, count] : joint) {
+      if (count >= live.effective_k) live.joint_established.insert(bin_key);
+    }
+  } else {
+    live.established.resize(qi_columns_.size());
+    for (size_t c = 0; c < qi_columns_.size(); ++c) {
+      const DomainHierarchy& tree = *live.ultimate[c].tree();
+      std::vector<size_t> node_counts(tree.num_nodes(), 0);
+      for (size_t r = 0; r < binned.num_rows(); ++r) {
+        PRIVMARK_ASSIGN_OR_RETURN(
+            NodeId node, live.ultimate[c].NodeForLabel(
+                             label_of(binned.at(r, qi_columns_[c]))));
+        ++node_counts[node];
+      }
+      live.established[c].assign(tree.num_nodes(), 0);
+      for (size_t n = 0; n < tree.num_nodes(); ++n) {
+        if (node_counts[n] >= live.effective_k) live.established[c][n] = 1;
+      }
+    }
+  }
+  return live;
+}
+
+Result<EpochOutput> ProtectionSession::FlushBuffer() {
+  EpochOutput epoch;
+  epoch.epoch = epochs_.size();
+  ProtectionOutcome& outcome = epoch.outcome;
+
+  // The mark: F(identifier statistic) of the epoch's own rows (Sec. 5.4),
+  // or the explicit mark.
+  if (config_.derive_mark_from_identifiers) {
+    PRIVMARK_ASSIGN_OR_RETURN(outcome.identifier_statistic,
+                              StatisticFromTable(buffer_, ident_column_));
+    PRIVMARK_ASSIGN_OR_RETURN(
+        outcome.mark,
+        DeriveOwnershipMark(outcome.identifier_statistic, config_.mark_bits,
+                            config_.watermark.hash));
+  } else {
+    if (config_.explicit_mark.empty()) {
+      return Status::InvalidArgument(
+          "Protect: explicit_mark is empty but mark derivation is disabled");
+    }
+    outcome.mark = config_.explicit_mark;
+  }
+
+  // Bin-selection phase over the window's counts (counts_ accumulates
+  // batch merges since the last flush). For the first flush the window
+  // is everything ever ingested — which is what makes the single-batch
+  // session bit-identical to one-shot Protect; a re-binned (drift)
+  // epoch selects from its own window, because the epoch must stand
+  // alone as a k-anonymous table, so its generalization has to fit the
+  // rows it actually emits, not the (much larger) history. The buffer
+  // view is moved into the final agent run — it is rebuilt empty after
+  // the flush either way.
+  BinningConfig binning_config = config_.binning;
+  BinningAgent agent(metrics_, binning_config);
+  if (config_.auto_epsilon) {
+    PRIVMARK_ASSIGN_OR_RETURN(outcome.binning,
+                              agent.RunWithState(buffer_, buffer_view_,
+                                                 counts_));
+  } else {
+    PRIVMARK_ASSIGN_OR_RETURN(
+        outcome.binning,
+        agent.RunWithState(buffer_, std::move(buffer_view_), counts_));
+  }
+  outcome.epsilon_used = binning_config.epsilon;
+
+  if (config_.auto_epsilon) {
+    // Estimate |wmd| on the first pass, derive epsilon, re-select from
+    // the same accumulated counts (Sec. 6).
+    HierarchicalWatermarker probe = MakeWatermarker(outcome.binning.ultimate);
+    PRIVMARK_ASSIGN_OR_RETURN(size_t bandwidth,
+                              probe.EstimateBandwidth(outcome.binning.binned));
+    size_t copies = config_.copies;
+    if (copies == 0) {
+      copies = std::max<size_t>(1, bandwidth / config_.mark_bits);
+    }
+    const size_t wmd_size = copies * config_.mark_bits;
+    size_t epsilon = 0;
+    if (config_.binning.enforce_joint) {
+      PRIVMARK_ASSIGN_OR_RETURN(
+          epsilon, ConservativeEpsilon(outcome.binning.binned,
+                                       outcome.binning.qi_columns, wmd_size));
+    } else {
+      // Per-attribute k-anonymity: a column sees roughly wmd/|columns| of
+      // the moves, and its own biggest bin bounds any bin's exposure.
+      const size_t per_column_moves =
+          wmd_size / std::max<size_t>(1, outcome.binning.qi_columns.size());
+      for (size_t col : outcome.binning.qi_columns) {
+        PRIVMARK_ASSIGN_OR_RETURN(
+            size_t col_epsilon,
+            ConservativeEpsilon(outcome.binning.binned, {col},
+                                per_column_moves));
+        epsilon = std::max(epsilon, col_epsilon);
+      }
+    }
+    if (epsilon > binning_config.epsilon) {
+      binning_config.epsilon = epsilon;
+      BinningAgent adjusted(metrics_, binning_config);
+      PRIVMARK_ASSIGN_OR_RETURN(
+          outcome.binning,
+          adjusted.RunWithState(buffer_, std::move(buffer_view_), counts_));
+      outcome.epsilon_used = epsilon;
+    }
+  }
+
+  // Re-binned epochs must stand alone. Selecting from the window's own
+  // counts already guarantees this for every bin the mono/joint phases
+  // saw; the sweep below catches the residual suppression edge (a
+  // kSuppress re-selection can leave a freshly sub-k node behind) by
+  // dropping rows until the epoch's own table satisfies k. No-op on the
+  // first flush and in joint mode by construction.
+  size_t epoch_dropped = 0;
+  if (session_.policy == RebinPolicy::kRebinOnDrift && !epochs_.empty() &&
+      !config_.binning.enforce_joint) {
+    PRIVMARK_ASSIGN_OR_RETURN(
+        epoch_dropped,
+        EnforceEpochK(&outcome.binning.binned, outcome.binning.qi_columns,
+                      config_.binning.k + outcome.epsilon_used));
+  }
+
+  // Watermarking pass over the epoch's emitted rows.
+  outcome.watermarked = outcome.binning.binned.Clone();
+  HierarchicalWatermarker watermarker = MakeWatermarker(outcome.binning.ultimate);
+  PRIVMARK_ASSIGN_OR_RETURN(
+      outcome.embed,
+      watermarker.Embed(&outcome.watermarked, outcome.mark, config_.copies));
+
+  // Fig. 14 seamlessness rows.
+  PRIVMARK_ASSIGN_OR_RETURN(
+      outcome.seamlessness,
+      MeasureSeamlessness(outcome.binning.binned, outcome.watermarked,
+                          outcome.binning.qi_columns, config_.binning.k));
+
+  // Record the epoch and freeze its generalization.
+  EpochRecord record;
+  record.epoch = epoch.epoch;
+  record.ultimate = outcome.binning.ultimate;
+  record.mark = outcome.mark;
+  record.identifier_statistic = outcome.identifier_statistic;
+  record.copies = outcome.embed.copies;
+  record.wmd_size = outcome.embed.wmd_size;
+  record.epsilon_used = outcome.epsilon_used;
+  record.rows_emitted = outcome.watermarked.num_rows();
+  record.rows_suppressed = outcome.binning.suppressed_rows + epoch_dropped;
+  PRIVMARK_ASSIGN_OR_RETURN(LiveEpoch live,
+                            SnapshotEpoch(outcome.binning, record));
+  live_ = std::move(live);
+  epochs_.push_back(std::move(record));
+  rows_emitted_ += outcome.watermarked.num_rows();
+  rows_suppressed_ += outcome.binning.suppressed_rows + epoch_dropped;
+
+  buffer_ = Table(*schema_);
+  buffer_view_ = EncodedView();
+  PRIVMARK_ASSIGN_OR_RETURN(counts_, CountState::Zero(trees_));
+  rows_since_epoch_ = 0;
+  return epoch;
+}
+
+Result<IngestResult> ProtectionSession::EmitFrozen(const Table& batch,
+                                                   const EncodedView& view) {
+  const LiveEpoch& live = *live_;
+  IngestResult out;
+  out.epoch = live.index;
+
+  // Keep only rows of established bins; everything else cannot meet k
+  // under the frozen generalization.
+  std::vector<char> keep(batch.num_rows(), 1);
+  std::vector<NodeId> key(qi_columns_.size());
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    for (size_t c = 0; c < qi_columns_.size(); ++c) {
+      PRIVMARK_ASSIGN_OR_RETURN(
+          NodeId node, live.ultimate[c].NodeForLeaf(view.column(c).id(r)));
+      if (config_.binning.enforce_joint) {
+        key[c] = node;
+      } else if (!live.established[c][node]) {
+        keep[r] = 0;
+        break;
+      }
+    }
+    if (keep[r] && config_.binning.enforce_joint &&
+        live.joint_established.find(key) == live.joint_established.end()) {
+      keep[r] = 0;
+    }
+  }
+
+  Table kept(*schema_);
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    if (!keep[r]) continue;
+    PRIVMARK_RETURN_NOT_OK(kept.AppendRow(batch.row(r)));
+  }
+  out.rows_suppressed = batch.num_rows() - kept.num_rows();
+  PRIVMARK_ASSIGN_OR_RETURN(EncodedView kept_view, view.Filtered(keep));
+
+  PRIVMARK_ASSIGN_OR_RETURN(
+      out.emitted,
+      MaterializeProtected(kept, qi_columns_, ident_column_, live.ultimate,
+                           kept_view, cipher_, pool()));
+
+  // Embed the frozen epoch's mark with its recorded copy count, so the
+  // batch's slots land in the same wmd positions detection will read.
+  HierarchicalWatermarker watermarker = MakeWatermarker(live.ultimate);
+  PRIVMARK_ASSIGN_OR_RETURN(
+      out.embed, watermarker.Embed(&out.emitted, live.mark, live.copies));
+
+  out.rows_emitted = out.emitted.num_rows();
+  epochs_[live.index].rows_emitted += out.rows_emitted;
+  epochs_[live.index].rows_suppressed += out.rows_suppressed;
+  rows_emitted_ += out.rows_emitted;
+  rows_suppressed_ += out.rows_suppressed;
+  return out;
+}
+
+HierarchicalWatermarker ProtectionSession::MakeWatermarker(
+    const std::vector<GeneralizationSet>& ultimate) const {
+  return HierarchicalWatermarker(qi_columns_, ident_column_, metrics_.maximal,
+                                 ultimate, config_.key, config_.watermark);
+}
+
+HierarchicalWatermarker ProtectionSession::MakeEpochWatermarker(
+    const EpochRecord& rec) const {
+  return MakeWatermarker(rec.ultimate);
+}
+
+Result<std::vector<DetectReport>> ProtectionSession::DetectAcrossEpochs(
+    const Table& concatenated) const {
+  size_t total = 0;
+  for (const EpochRecord& rec : epochs_) total += rec.rows_emitted;
+  if (concatenated.num_rows() != total) {
+    return Status::InvalidArgument(
+        "DetectAcrossEpochs: table has " +
+        std::to_string(concatenated.num_rows()) + " rows, session emitted " +
+        std::to_string(total));
+  }
+  std::vector<DetectReport> reports;
+  reports.reserve(epochs_.size());
+  size_t offset = 0;
+  for (const EpochRecord& rec : epochs_) {
+    Table segment(concatenated.schema());
+    for (size_t r = offset; r < offset + rec.rows_emitted; ++r) {
+      PRIVMARK_RETURN_NOT_OK(segment.AppendRow(concatenated.row(r)));
+    }
+    offset += rec.rows_emitted;
+    HierarchicalWatermarker watermarker = MakeEpochWatermarker(rec);
+    PRIVMARK_ASSIGN_OR_RETURN(
+        DetectReport report,
+        watermarker.Detect(segment, rec.mark.size(), rec.wmd_size));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace privmark

@@ -94,6 +94,16 @@ Result<EncodedColumn> EncodedColumn::Filtered(
   return out;
 }
 
+Status EncodedColumn::Append(const EncodedColumn& other) {
+  if (tree_ != other.tree_) {
+    return Status::InvalidArgument(
+        "Append: columns resolve against different trees");
+  }
+  ids_.insert(ids_.end(), other.ids_.begin(), other.ids_.end());
+  unknown_cells_ += other.unknown_cells_;
+  return Status::OK();
+}
+
 Result<EncodedView> EncodedView::Filtered(const std::vector<char>& keep) const {
   std::vector<EncodedColumn> columns;
   columns.reserve(columns_.size());
@@ -123,5 +133,29 @@ Result<EncodedView> EncodedView::Leaves(
   return EncodedView(std::move(columns));
 }
 
+Status EncodedView::Append(const EncodedView& other) {
+  if (columns_.empty()) {
+    columns_ = other.columns_;
+    return Status::OK();
+  }
+  if (columns_.size() != other.columns_.size()) {
+    return Status::InvalidArgument(
+        "Append: view covers " + std::to_string(columns_.size()) +
+        " columns, batch covers " + std::to_string(other.columns_.size()));
+  }
+  // Validate every tree before mutating any column so a mismatched batch
+  // leaves the view untouched.
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].tree() != other.columns_[c].tree()) {
+      return Status::InvalidArgument(
+          "Append: column " + std::to_string(c) +
+          " resolves against a different tree");
+    }
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    PRIVMARK_RETURN_NOT_OK(columns_[c].Append(other.columns_[c]));
+  }
+  return Status::OK();
+}
 
 }  // namespace privmark

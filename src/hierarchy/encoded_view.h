@@ -79,6 +79,14 @@ class EncodedColumn {
   /// a mask built against a different table must not silently truncate.
   Result<EncodedColumn> Filtered(const std::vector<char>& keep) const;
 
+  /// \brief Appends another column's rows (the columnar analogue of
+  /// appending a batch of rows to a table — the streaming-ingest buffer
+  /// concatenates per-batch encodings instead of re-resolving cells).
+  /// InvalidArgument unless both columns resolve against the same tree.
+  /// Encoded ids are per-row facts, so the concatenation is identical to
+  /// encoding the concatenated rows in one pass.
+  Status Append(const EncodedColumn& other);
+
  private:
   EncodedColumn(const DomainHierarchy* tree, std::vector<NodeId> ids,
                 size_t unknown_cells)
@@ -116,6 +124,12 @@ class EncodedView {
 
   /// \brief View keeping only rows with keep[r] != 0 in every column.
   Result<EncodedView> Filtered(const std::vector<char>& keep) const;
+
+  /// \brief Appends another view's rows column by column. The views must
+  /// cover the same number of columns with matching trees. An empty view
+  /// (default-constructed) adopts `other`'s columns wholesale, so a
+  /// streaming buffer can start from EncodedView() and Append every batch.
+  Status Append(const EncodedView& other);
 
  private:
   explicit EncodedView(std::vector<EncodedColumn> columns)

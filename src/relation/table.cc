@@ -75,4 +75,13 @@ Table Table::Clone() const {
   return copy;
 }
 
+Table Table::Slice(size_t begin, size_t end) const {
+  Table slice(schema_);
+  end = std::min(end, rows_.size());
+  for (size_t r = begin; r < end; ++r) {
+    slice.rows_.push_back(rows_[r]);
+  }
+  return slice;
+}
+
 }  // namespace privmark

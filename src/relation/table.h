@@ -70,6 +70,11 @@ class Table {
   /// \brief Deep copy.
   Table Clone() const;
 
+  /// \brief Copy of rows [begin, min(end, num_rows())) as a new table
+  /// with the same schema — the batch-slicing primitive for streaming
+  /// replay (sessions ingest a table in Slice()d batches).
+  Table Slice(size_t begin, size_t end) const;
+
  private:
   Schema schema_;
   std::vector<Row> rows_;

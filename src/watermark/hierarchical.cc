@@ -50,9 +50,11 @@ NodeId HierarchicalWatermarker::MaximalAbove(size_t c, NodeId node) const {
 
 Result<size_t> HierarchicalWatermarker::EstimateBandwidth(
     const Table& table) const {
-  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* const pool =
+      PoolOrMake(options_.pool, options_.num_threads, &owned_pool);
   return ParallelReduce<size_t>(
-      pool.get(), table.num_rows(), size_t{0},
+      pool, table.num_rows(), size_t{0},
       [&](size_t, size_t begin, size_t end) -> Result<size_t> {
         WatermarkHasher hasher(key_, options_.hash);
         std::string scratch;
@@ -84,7 +86,9 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
     return Status::InvalidArgument("Embed: empty watermark");
   }
   EmbedReport report;
-  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* const pool =
+      PoolOrMake(options_.pool, options_.num_threads, &owned_pool);
 
   // Pass 1 — resolve. One Eq. (5) hash per tuple and one label-to-node
   // resolution per (selected tuple, column); the former bandwidth
@@ -95,7 +99,7 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
   PRIVMARK_ASSIGN_OR_RETURN(
       Resolved resolved,
       ParallelReduce<Resolved>(
-          pool.get(), table->num_rows(), Resolved{},
+          pool, table->num_rows(), Resolved{},
           [&](size_t, size_t begin, size_t end) -> Result<Resolved> {
             Resolved shard;
             WatermarkHasher hasher(key_, options_.hash);
@@ -150,7 +154,7 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
   PRIVMARK_ASSIGN_OR_RETURN(
       watermark_internal::WriteTally tally,
       ParallelReduce<watermark_internal::WriteTally>(
-          pool.get(), resolved.tuples.size(), {},
+          pool, resolved.tuples.size(), {},
           [&](size_t, size_t begin,
               size_t end) -> Result<watermark_internal::WriteTally> {
             watermark_internal::WriteTally shard;
@@ -211,7 +215,9 @@ Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
         "Detect: wmd_size must be a positive multiple of wm_size");
   }
   DetectReport report;
-  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* const pool =
+      PoolOrMake(options_.pool, options_.num_threads, &owned_pool);
 
   // Row shards accumulate weighted votes per wmd position into their own
   // (zeros, ones) tally, merged in shard order before the fold — every
@@ -221,7 +227,7 @@ Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
   PRIVMARK_ASSIGN_OR_RETURN(
       VoteShard votes,
       ParallelReduce<VoteShard>(
-          pool.get(), table.num_rows(), VoteShard(wmd_size),
+          pool, table.num_rows(), VoteShard(wmd_size),
           [&](size_t, size_t begin, size_t end) -> Result<VoteShard> {
             VoteShard shard(wmd_size);
             WatermarkHasher hasher(key_, options_.hash);

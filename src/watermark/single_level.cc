@@ -54,9 +54,11 @@ void SingleLevelWatermarker::ParityCandidates(
 
 Result<size_t> SingleLevelWatermarker::EstimateBandwidth(
     const Table& table) const {
-  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* const pool =
+      PoolOrMake(options_.pool, options_.num_threads, &owned_pool);
   return ParallelReduce<size_t>(
-      pool.get(), table.num_rows(), size_t{0},
+      pool, table.num_rows(), size_t{0},
       [&](size_t, size_t begin, size_t end) -> Result<size_t> {
         WatermarkHasher hasher(key_, options_.hash);
         std::string scratch;
@@ -93,7 +95,9 @@ Result<EmbedReport> SingleLevelWatermarker::Embed(Table* table,
     return Status::InvalidArgument("Embed: empty watermark");
   }
   EmbedReport report;
-  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* const pool =
+      PoolOrMake(options_.pool, options_.num_threads, &owned_pool);
 
   // Pass 1 — resolve labels once per (selected tuple, column); see the
   // hierarchical embedder for the pass/shard structure.
@@ -102,7 +106,7 @@ Result<EmbedReport> SingleLevelWatermarker::Embed(Table* table,
   PRIVMARK_ASSIGN_OR_RETURN(
       Resolved resolved,
       ParallelReduce<Resolved>(
-          pool.get(), table->num_rows(), Resolved{},
+          pool, table->num_rows(), Resolved{},
           [&](size_t, size_t begin, size_t end) -> Result<Resolved> {
             Resolved shard;
             WatermarkHasher hasher(key_, options_.hash);
@@ -154,7 +158,7 @@ Result<EmbedReport> SingleLevelWatermarker::Embed(Table* table,
   PRIVMARK_ASSIGN_OR_RETURN(
       watermark_internal::WriteTally tally,
       ParallelReduce<watermark_internal::WriteTally>(
-          pool.get(), resolved.tuples.size(), {},
+          pool, resolved.tuples.size(), {},
           [&](size_t, size_t begin,
               size_t end) -> Result<watermark_internal::WriteTally> {
             watermark_internal::WriteTally shard;
@@ -205,13 +209,15 @@ Result<DetectReport> SingleLevelWatermarker::Detect(const Table& table,
         "Detect: wmd_size must be a positive multiple of wm_size");
   }
   DetectReport report;
-  const std::unique_ptr<ThreadPool> pool = MakeThreadPool(options_.num_threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* const pool =
+      PoolOrMake(options_.pool, options_.num_threads, &owned_pool);
 
   using watermark_internal::VoteShard;
   PRIVMARK_ASSIGN_OR_RETURN(
       VoteShard votes,
       ParallelReduce<VoteShard>(
-          pool.get(), table.num_rows(), VoteShard(wmd_size),
+          pool, table.num_rows(), VoteShard(wmd_size),
           [&](size_t, size_t begin, size_t end) -> Result<VoteShard> {
             VoteShard shard(wmd_size);
             WatermarkHasher hasher(key_, options_.hash);

@@ -11,6 +11,8 @@
 
 namespace privmark {
 
+class ThreadPool;
+
 /// \brief The secret watermarking key (paper Table 1: k1, k2, eta).
 ///
 /// k1 drives tuple selection (Eq. 5), k2 drives bit positions and
@@ -43,6 +45,13 @@ struct WatermarkOptions {
   /// WatermarkHasher, and per-shard tallies (integer counters and sums of
   /// whole-valued vote weights) merge in shard order (common/parallel.h).
   size_t num_threads = 1;
+  /// Optional caller-owned worker pool. When set it wins over num_threads
+  /// (its worker count governs) and the watermarker constructs no pool per
+  /// Embed/Detect/EstimateBandwidth call — a long-lived caller (the
+  /// protection session, a service front-end) pays thread spawn/join once
+  /// instead of per run. Must outlive every call using these options. Not
+  /// serialized state: a borrowed execution resource.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Eq. (5): true iff the tuple with this (encrypted) identifier is

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "binning/mono_attribute.h"
+#include "common/parallel.h"
 
 namespace privmark {
 namespace {
@@ -211,6 +212,69 @@ TEST(MultiBinTest, GreedyHandlesWiderProblem) {
     EXPECT_TRUE(minimal[c].IsRefinementOf(result->ultimate[c]));
     EXPECT_TRUE(result->ultimate[c].IsRefinementOf(maximal[c]));
   }
+}
+
+TEST(MultiBinTest, ParallelCandidateSearchMatchesSerial) {
+  // Both strategies must pick the same chosen generalization — same
+  // ultimate nodes, candidate count, and loss — for any worker count
+  // (candidate verdicts merge in candidate order).
+  auto age = BuildNumericHierarchy(
+                 "age", {0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+                 .ValueOrDie();
+  DomainHierarchy role = RoleTree();
+  std::vector<std::pair<int, std::string>> rows;
+  for (int a = 5; a < 100; a += 10) {
+    for (int i = 0; i < 3; ++i) rows.push_back({a, "Doctor"});
+    rows.push_back({a, "Nurse"});
+  }
+  const Table table = MakeTable(rows);
+  const std::vector<GeneralizationSet> minimal = {
+      GeneralizationSet::AllLeaves(&age), GeneralizationSet::AllLeaves(&role)};
+  const std::vector<GeneralizationSet> maximal = {
+      GeneralizationSet::RootOnly(&age), GeneralizationSet::RootOnly(&role)};
+  for (SearchStrategy strategy :
+       {SearchStrategy::kExhaustive, SearchStrategy::kGreedy}) {
+    MultiBinningOptions options;
+    options.k = 4;
+    options.strategy = strategy;
+    options.max_enumerations = 1000000;
+    const auto serial =
+        MultiAttributeBin(table, {1, 2}, minimal, maximal, options);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (size_t threads : {size_t{2}, size_t{3}, size_t{7}}) {
+      const auto pool = MakeThreadPool(threads);
+      const auto parallel = MultiAttributeBin(table, {1, 2}, minimal, maximal,
+                                              options, nullptr, pool.get());
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_EQ(serial->ultimate, parallel->ultimate)
+          << threads << " threads, strategy "
+          << (strategy == SearchStrategy::kGreedy ? "greedy" : "exhaustive");
+      EXPECT_EQ(serial->candidates_considered, parallel->candidates_considered)
+          << threads;
+      EXPECT_EQ(serial->total_specificity_loss,
+                parallel->total_specificity_loss)
+          << threads;
+    }
+  }
+}
+
+TEST(MultiBinTest, ParallelErrorsMatchSerial) {
+  // Unbinnable and capacity errors must surface identically with workers.
+  DomainHierarchy age = AgeTree();
+  DomainHierarchy role = RoleTree();
+  const Table table = CrossedTable();
+  const std::vector<GeneralizationSet> minimal = {
+      GeneralizationSet::AllLeaves(&age), GeneralizationSet::AllLeaves(&role)};
+  MultiBinningOptions options;
+  options.k = 4;
+  const auto pool = MakeThreadPool(3);
+  const auto serial = MultiAttributeBin(table, {1, 2}, minimal, minimal,
+                                        options);
+  const auto parallel = MultiAttributeBin(table, {1, 2}, minimal, minimal,
+                                          options, nullptr, pool.get());
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(serial.status(), parallel.status());
 }
 
 }  // namespace

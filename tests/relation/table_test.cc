@@ -115,6 +115,19 @@ TEST(TableTest, CloneIsDeep) {
   EXPECT_EQ(copy.schema(), t.schema());
 }
 
+TEST(TableTest, SliceCopiesRowRangeAndClampsEnd) {
+  const Table t = MakeGroupedTable();
+  const Table middle = t.Slice(2, 5);
+  ASSERT_EQ(middle.num_rows(), 3u);
+  EXPECT_EQ(middle.at(0, 0).AsString(), "id2");
+  EXPECT_EQ(middle.at(2, 0).AsString(), "id4");
+  EXPECT_EQ(middle.schema().num_columns(), t.schema().num_columns());
+  // End past the table clamps; an empty range yields an empty table.
+  EXPECT_EQ(t.Slice(4, 100).num_rows(), 2u);
+  EXPECT_EQ(t.Slice(6, 10).num_rows(), 0u);
+  EXPECT_EQ(t.Slice(3, 3).num_rows(), 0u);
+}
+
 TEST(BinTest, SizeReportsMemberCount) {
   Bin bin{{Value::String("k")}, {0, 3, 4}};
   EXPECT_EQ(bin.size(), 3u);
