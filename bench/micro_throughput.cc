@@ -9,12 +9,15 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "bench_util.h"
 #include "binning/binning_engine.h"
 #include "core/session.h"
 #include "crypto/aes128.h"
 #include "crypto/sha1.h"
 #include "hierarchy/encoded_view.h"
+#include "service/service.h"
 #include "watermark/hierarchical.h"
 
 namespace privmark {
@@ -212,6 +215,62 @@ BENCHMARK(BM_StreamingIngest20k)
     ->Args({100, 1})
     ->Args({1000, 2})
     ->Args({1000, 4})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  // Request throughput of the async service front-end: `sessions`
+  // concurrent streams, each replaying a disjoint 2000-row slice of the
+  // 20k table in 500-row ProtectBatch requests plus one Flush, on one
+  // shared pool of `cap` workers. Reported rate = requests/sec across
+  // all sessions (items == requests); sessions x cap sweeps how the
+  // admission controller multiplexes the cap.
+  SharedState& s = State();
+  const size_t num_sessions = static_cast<size_t>(state.range(0));
+  const size_t cap = static_cast<size_t>(state.range(1));
+  const size_t rows_per_session = 2000;
+  const size_t batch_rows = 500;
+  std::vector<std::vector<Table>> batches(num_sessions);
+  for (size_t i = 0; i < num_sessions; ++i) {
+    const size_t base = (i * rows_per_session) % s.env.original().num_rows();
+    for (size_t begin = 0; begin < rows_per_session; begin += batch_rows) {
+      batches[i].push_back(
+          s.env.original().Slice(base + begin, base + begin + batch_rows));
+    }
+  }
+  FrameworkConfig config = MakeConfig(20, 75);
+  config.binning.num_threads = 0;  // every request asks for the whole cap
+  config.watermark.num_threads = 0;
+  size_t requests = 0;
+  for (auto _ : state) {
+    PrivmarkService service({.thread_cap = cap});
+    for (size_t i = 0; i < num_sessions; ++i) {
+      CheckOk(service.OpenSession("s" + std::to_string(i), s.env.metrics,
+                                  config),
+              "open session");
+    }
+    std::vector<ServiceFuture> futures;
+    for (size_t i = 0; i < num_sessions; ++i) {
+      const std::string name = "s" + std::to_string(i);
+      for (const Table& batch : batches[i]) {
+        futures.push_back(service.ProtectBatch(name, batch.Clone()));
+      }
+      futures.push_back(service.Flush(name));
+    }
+    for (ServiceFuture& future : futures) {
+      CheckOk(future.get().status(), "service request");
+    }
+    requests += futures.size();
+    service.Shutdown();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->ArgNames({"sessions", "cap"})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 4})
     ->Iterations(2)
     ->Unit(benchmark::kMillisecond);
 

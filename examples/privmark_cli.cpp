@@ -33,6 +33,25 @@
 //                [--pass=...] [--k1=...] [--k2=...] [--eta=50]
 //       run the Sec. 5.4 rightful-ownership protocol
 //
+//   privmark_cli serve <script> [--cap=N] [--pass=...] [--k1=...]
+//                [--k2=...] [--eta=50]
+//       drive the async service front-end from a scripted request file:
+//       named streams protected concurrently on one shared pool of at
+//       most N workers (0 = hardware). Script lines (# starts a comment):
+//         open <session> <out.csv> <manifest.out> [--k=20] [--joint]
+//              [--epsilon] [--threads=1] [--rebin-policy=freeze|drift]
+//              [--drift-threshold=0.5]
+//         ingest <session> <in.csv> [--threads=N]
+//         flush <session> [--threads=N]
+//         detect <session> [<table.csv>] [--threads=N]
+//         close <session>
+//       Requests are submitted asynchronously and pipeline across
+//       sessions; a session's requests always execute in script order.
+//       `detect` with no table re-reads what the session emitted so far.
+//       `close` (implicit at end of script) writes the session's emitted
+//       rows to its out.csv and one manifest per epoch
+//       (<manifest.out>.epochN for N > 0).
+//
 // --threads=N runs the row-sharded pipeline stages on N workers (0 = one
 // per hardware thread); outputs are byte-identical for every N, so the
 // flag is purely a throughput knob. Default 1 (serial). The `add` attack
@@ -44,8 +63,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attack/attacks.h"
@@ -55,6 +78,7 @@
 #include "common/strings.h"
 #include "datagen/medical_data.h"
 #include "relation/csv.h"
+#include "service/service.h"
 #include "watermark/ownership.h"
 
 using namespace privmark;  // NOLINT — example brevity
@@ -76,10 +100,9 @@ struct Args {
   }
 };
 
-Args ParseArgs(int argc, char** argv) {
+Args ParseTokens(const std::vector<std::string>& tokens) {
   Args args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  for (const std::string& arg : tokens) {
     if (StartsWith(arg, "--")) {
       const size_t eq = arg.find('=');
       if (eq == std::string::npos) {
@@ -92,6 +115,12 @@ Args ParseArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+Args ParseArgs(int argc, char** argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return ParseTokens(tokens);
 }
 
 int Fail(const Status& status) {
@@ -344,6 +373,243 @@ int CmdAttack(const Args& args) {
   return 0;
 }
 
+// ---- serve: scripted front-end over PrivmarkService ----------------------
+//
+// The driver keeps one client-side record per stream: the futures still
+// in flight (drained in submission order — which is execution order,
+// since a session's requests serialize), the emitted rows collected so
+// far, and the open-time config needed to write per-epoch manifests.
+struct ClientStream {
+  std::string out_path;
+  std::string manifest_path;
+  UsageMetrics metrics;
+  FrameworkConfig config;
+  std::deque<std::pair<RequestKind, ServiceFuture>> pending;
+  Table emitted{MedicalSchema()};
+  bool closed = false;
+};
+
+// Waits out every in-flight future of `stream`, folding emitted rows into
+// the client-side concatenation and printing one line per completed
+// request. Returns false on the first failed request.
+bool DrainStream(const std::string& name, ClientStream* stream) {
+  while (!stream->pending.empty()) {
+    auto [kind, future] = std::move(stream->pending.front());
+    stream->pending.pop_front();
+    Result<ServiceResponse> result = future.get();
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: [%s] %s: %s\n", name.c_str(),
+                   RequestKindToString(kind),
+                   result.status().ToString().c_str());
+      return false;
+    }
+    const ServiceResponse& response = *result;
+    switch (response.kind) {
+      case RequestKind::kProtectBatch: {
+        for (size_t r = 0; r < response.ingest.emitted.num_rows(); ++r) {
+          (void)stream->emitted.AppendRow(response.ingest.emitted.row(r));
+        }
+        std::printf("[%s] ingest: +%zu rows emitted, %zu suppressed, "
+                    "%zu buffered (epoch %zu, %zu threads)\n",
+                    name.c_str(), response.ingest.rows_emitted,
+                    response.ingest.rows_suppressed,
+                    response.ingest.rows_buffered, response.ingest.epoch,
+                    response.threads_granted);
+        break;
+      }
+      case RequestKind::kFlush: {
+        const Table& table = response.epoch.outcome.watermarked;
+        for (size_t r = 0; r < table.num_rows(); ++r) {
+          (void)stream->emitted.AppendRow(table.row(r));
+        }
+        std::printf("[%s] flush: epoch %zu emitted %zu rows, v %.6f "
+                    "(%zu threads)\n",
+                    name.c_str(), response.epoch.epoch, table.num_rows(),
+                    response.epoch.outcome.identifier_statistic,
+                    response.threads_granted);
+        break;
+      }
+      case RequestKind::kDetect: {
+        for (const DetectReport& report : response.reports) {
+          size_t voted = 0;
+          for (bool b : report.bit_voted) voted += b ? 1 : 0;
+          std::printf("[%s] detect: mark %s, bits with votes %zu/%zu "
+                      "(%zu threads)\n",
+                      name.c_str(), report.recovered.ToString().c_str(),
+                      voted, report.recovered.size(),
+                      response.threads_granted);
+        }
+        break;
+      }
+      case RequestKind::kCloseSession: {
+        std::printf("[%s] close: ingested %zu, emitted %zu, suppressed "
+                    "%zu, %zu epoch(s)\n",
+                    name.c_str(), response.stats.rows_ingested,
+                    response.stats.rows_emitted,
+                    response.stats.rows_suppressed,
+                    response.stats.epochs.size());
+        // Write the stream's protected output and per-epoch manifests —
+        // the same artifacts the batch `protect` command produces.
+        if (auto st = WriteTableCsv(stream->emitted, stream->out_path);
+            !st.ok()) {
+          std::fprintf(stderr, "error: [%s] %s\n", name.c_str(),
+                       st.ToString().c_str());
+          return false;
+        }
+        for (const EpochRecord& epoch : response.stats.epochs) {
+          std::string path = stream->manifest_path;
+          if (epoch.epoch > 0) path += ".epoch" + std::to_string(epoch.epoch);
+          ProtectionManifest manifest =
+              Must(ManifestFromEpoch(epoch, MedicalSchema(), stream->metrics,
+                                     stream->config));
+          if (auto st = WriteManifestFile(manifest, path); !st.ok()) {
+            std::fprintf(stderr, "error: [%s] %s\n", name.c_str(),
+                         st.ToString().c_str());
+            return false;
+          }
+        }
+        stream->closed = true;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+int CmdServe(const Args& args) {
+  if (args.positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: privmark_cli serve <script> [--cap=N] [--pass=] "
+                 "[--k1=] [--k2=] [--eta=]\n");
+    return 2;
+  }
+  std::ifstream script(args.positional[1]);
+  if (!script) {
+    std::fprintf(stderr, "error: cannot open script '%s'\n",
+                 args.positional[1].c_str());
+    return 1;
+  }
+  // One ontology set serves every stream (trees must outlive the service).
+  MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
+
+  PrivmarkService service({.thread_cap = args.FlagU64("cap", 0)});
+  std::map<std::string, ClientStream> streams;
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(script, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream words(line);
+    std::vector<std::string> tokens;
+    for (std::string word; words >> word;) tokens.push_back(word);
+    if (tokens.empty()) continue;
+    const Args cmd = ParseTokens(tokens);
+    auto bad_line = [&](const char* why) {
+      std::fprintf(stderr, "error: script line %zu: %s\n", line_no, why);
+      return 1;
+    };
+    if (cmd.positional.empty()) {
+      return bad_line("missing verb (open|ingest|flush|detect|close)");
+    }
+    const std::string& verb = cmd.positional[0];
+    if (verb == "open") {
+      if (cmd.positional.size() != 4) {
+        return bad_line("open <session> <out.csv> <manifest.out> [flags]");
+      }
+      const std::string& name = cmd.positional[1];
+      ClientStream stream;
+      stream.out_path = cmd.positional[2];
+      stream.manifest_path = cmd.positional[3];
+      stream.config.binning.k = cmd.FlagU64("k", 20);
+      stream.config.binning.enforce_joint = cmd.flags.count("joint") > 0;
+      stream.config.binning.encryption_passphrase =
+          args.Flag("pass", "cli-default-pass");
+      stream.config.binning.num_threads = cmd.FlagU64("threads", 1);
+      stream.config.watermark.num_threads = stream.config.binning.num_threads;
+      stream.config.key = KeyFromArgs(args);
+      stream.config.auto_epsilon = cmd.flags.count("epsilon") > 0;
+      stream.metrics =
+          stream.config.binning.enforce_joint
+              ? UnconstrainedMetrics(ontologies.trees())
+              : Must(MetricsFromDepthCuts(ontologies.trees(), {2, 1, 2, 1, 1}));
+      SessionConfig session_config;
+      const std::string policy = cmd.Flag("rebin-policy", "freeze");
+      if (policy == "drift") {
+        session_config.policy = RebinPolicy::kRebinOnDrift;
+      } else if (policy != "freeze") {
+        return bad_line("--rebin-policy must be freeze or drift");
+      }
+      session_config.drift_threshold =
+          std::atof(cmd.Flag("drift-threshold", "0.5").c_str());
+      if (auto st = service.OpenSession(name, stream.metrics, stream.config,
+                                        session_config);
+          !st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      streams[name] = std::move(stream);
+      std::printf("[%s] open (k=%zu, %s, cap %zu)\n", name.c_str(),
+                  streams[name].config.binning.k, policy.c_str(),
+                  service.thread_cap());
+      continue;
+    }
+    if (cmd.positional.size() < 2) return bad_line("missing session name");
+    const std::string& name = cmd.positional[1];
+    auto it = streams.find(name);
+    if (it == streams.end() || it->second.closed) {
+      return bad_line("unknown or closed session");
+    }
+    ClientStream& stream = it->second;
+    const size_t threads =
+        cmd.flags.count("threads") > 0 ? cmd.FlagU64("threads", 1)
+                                       : kSessionThreads;
+    if (verb == "ingest") {
+      if (cmd.positional.size() != 3) {
+        return bad_line("ingest <session> <in.csv>");
+      }
+      Table batch = Must(ReadTableCsv(cmd.positional[2], MedicalSchema()));
+      stream.pending.emplace_back(
+          RequestKind::kProtectBatch,
+          service.ProtectBatch(name, std::move(batch), threads));
+    } else if (verb == "flush") {
+      stream.pending.emplace_back(RequestKind::kFlush,
+                                  service.Flush(name, threads));
+    } else if (verb == "detect") {
+      // Detect needs the outsourced copy; default to what the session
+      // emitted so far, which requires the in-flight requests to land.
+      Table copy{MedicalSchema()};
+      if (cmd.positional.size() == 3) {
+        copy = Must(ReadTableCsv(cmd.positional[2], MedicalSchema()));
+      } else {
+        if (!DrainStream(name, &stream)) return 1;
+        copy = stream.emitted.Clone();
+      }
+      stream.pending.emplace_back(
+          RequestKind::kDetect,
+          service.Detect(name, std::move(copy), threads));
+    } else if (verb == "close") {
+      stream.pending.emplace_back(RequestKind::kCloseSession,
+                                  service.CloseSession(name));
+      if (!DrainStream(name, &stream)) return 1;
+    } else {
+      return bad_line("unknown verb (open|ingest|flush|detect|close)");
+    }
+  }
+
+  // End of script: close whatever is still open, then drain.
+  for (auto& [name, stream] : streams) {
+    if (stream.closed) continue;
+    stream.pending.emplace_back(RequestKind::kCloseSession,
+                                service.CloseSession(name));
+    if (!DrainStream(name, &stream)) return 1;
+  }
+  service.Shutdown();
+  std::printf("served %zu stream(s)\n", streams.size());
+  return 0;
+}
+
 int CmdDispute(const Args& args) {
   if (args.positional.size() != 4) {
     std::fprintf(stderr,
@@ -383,7 +649,7 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: privmark_cli "
-                 "<generate|protect|detect|attack|dispute> ...\n");
+                 "<generate|protect|detect|attack|dispute|serve> ...\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -392,6 +658,7 @@ int main(int argc, char** argv) {
   if (command == "detect") return CmdDetect(args);
   if (command == "attack") return CmdAttack(args);
   if (command == "dispute") return CmdDispute(args);
+  if (command == "serve") return CmdServe(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }

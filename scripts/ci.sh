@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verify, runnable locally or from CI. Three configurations:
 #   1. Debug + address/undefined sanitizers (slow-labeled suites excluded)
-#   2. Debug + thread sanitizer over the parallel-labeled suites, plus the
-#      full 20k parallel-equivalence property suite and the
-#      thread-exercising streaming-equivalence tests (session ingest and
-#      the parallel joint-binning candidate search; the serial-only
-#      replay/drift cases run in the Release job)
+#   2. Debug + thread sanitizer over the parallel-labeled suites (pool
+#      substrate incl. concurrent submission/leases, binning,
+#      watermarking, sessions, the service suites, failure injection,
+#      the concurrent_hospitals smoke test), plus the full 20k
+#      parallel-equivalence property suite and the thread-exercising
+#      streaming-equivalence tests (session ingest and the parallel
+#      joint-binning candidate search; the serial-only replay/drift
+#      cases run in the Release job)
 #   3. Release (everything)
-# plus a short-min-time benchmark smoke run on the Release build.
+# plus a short-min-time benchmark smoke run on the Release build, gated
+# by scripts/bench_check.py against the checked-in Release baseline
+# (set PRIVMARK_BENCH_OVERRIDE=1 to report without failing).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,5 +44,8 @@ echo "=== Benchmark smoke (Release-enforced, double-valued min_time) ==="
 # run_benches.sh builds its own dedicated Release tree (build-bench/, tests
 # and examples off) and refuses to publish non-Release numbers.
 MIN_TIME=0.01 scripts/run_benches.sh BENCH_micro.json
+
+echo "=== Benchmark regression gate ==="
+python3 scripts/bench_check.py BENCH_micro.json
 
 echo "CI OK"

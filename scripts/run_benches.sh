@@ -21,6 +21,8 @@
 #                   "baseline_release" key (default
 #                   scripts/bench_baseline_release.json), so before/after
 #                   numbers travel together.
+#   CMAKE_ARGS      extra arguments appended to the cmake configure (CI
+#                   passes -DCMAKE_CXX_COMPILER_LAUNCHER=ccache).
 #
 # Build-type validation: the binary records "privmark_build_type" into the
 # JSON context from its own NDEBUG state. We check that field, not the
@@ -38,7 +40,7 @@ BASELINE_JSON="${BASELINE_JSON:-scripts/bench_baseline_release.json}"
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DPRIVMARK_BUILD_TESTS=OFF \
-  -DPRIVMARK_BUILD_EXAMPLES=OFF >/dev/null
+  -DPRIVMARK_BUILD_EXAMPLES=OFF ${CMAKE_ARGS:-} >/dev/null
 cmake --build "${BUILD_DIR}" --target micro_throughput -j "$(nproc)"
 
 BIN="${BUILD_DIR}/bench/micro_throughput"

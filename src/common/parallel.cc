@@ -31,7 +31,25 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
+ThreadPool::ThreadPool(ThreadPool* parent, size_t limit) : parent_(parent) {
+  limit_.store(std::max<size_t>(1, limit), std::memory_order_relaxed);
+}
+
+std::unique_ptr<ThreadPool> ThreadPool::Lease(ThreadPool* parent,
+                                              size_t limit) {
+  assert(parent != nullptr && "Lease of a null pool");
+  assert(!parent->is_lease() && "Lease of a lease");
+  return std::unique_ptr<ThreadPool>(new ThreadPool(parent, limit));
+}
+
+void ThreadPool::set_limit(size_t limit) {
+  assert(parent_ != nullptr && "set_limit on a non-lease pool");
+  if (parent_ == nullptr) return;
+  limit_.store(std::max<size_t>(1, limit), std::memory_order_relaxed);
+}
+
 ThreadPool::~ThreadPool() {
+  if (parent_ != nullptr) return;  // a lease owns no workers
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -41,16 +59,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
-  uint64_t seen_seq = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || batch_seq_ != seen_seq; });
+    work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
     if (stop_) return;
-    seen_seq = batch_seq_;
-    // Copy under the lock: a worker waking after Run() retired the batch
-    // sees nullptr (nothing to do) — never a dangling pointer.
-    std::shared_ptr<Batch> batch = batch_;
-    if (batch == nullptr) continue;
+    // Copy the front batch under the lock: a worker holding the
+    // shared_ptr after the submitter retired the batch sees a live,
+    // fully-claimed object — never a dangling pointer. Fully claimed
+    // batches are retired here so later batches become the front (the
+    // submitter also erases its own batch when it finishes waiting).
+    std::shared_ptr<Batch> batch = pending_.front();
+    if (batch->next_task.load(std::memory_order_relaxed) >=
+        batch->num_tasks) {
+      pending_.erase(pending_.begin());
+      continue;
+    }
     lock.unlock();
     ExecuteTasks(batch.get());
     lock.lock();
@@ -79,9 +102,16 @@ void ThreadPool::ExecuteTasks(Batch* batch) {
 
 void ThreadPool::Run(size_t num_tasks,
                      const std::function<void(size_t)>& task) {
+  if (parent_ != nullptr) {
+    // A lease caps how many tasks its callers *cut* (they shard by
+    // num_threads()); execution itself happens on the parent's workers.
+    parent_->Run(num_tasks, task);
+    return;
+  }
   if (num_tasks == 0) return;
   if (workers_.empty() || num_tasks == 1) {
     // Serial: exactly the inline loop, exceptions propagate directly.
+    // Safe under concurrent submitters — nothing shared is touched.
     for (size_t i = 0; i < num_tasks; ++i) task(i);
     return;
   }
@@ -92,10 +122,13 @@ void ThreadPool::Run(size_t num_tasks,
   batch->errors.resize(num_tasks);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    batch_ = batch;
-    ++batch_seq_;
+    pending_.push_back(batch);
   }
   work_cv_.notify_all();
+  // The submitter helps with its own batch only: concurrent submitters
+  // never execute each other's tasks, so a request's latency is bounded
+  // by its own work plus worker availability, not by whichever batch
+  // happens to sit in front of the queue.
   ExecuteTasks(batch.get());
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -103,11 +136,16 @@ void ThreadPool::Run(size_t num_tasks,
     return batch->completed.load(std::memory_order_acquire) ==
            batch->num_tasks;
   });
-  batch_ = nullptr;
+  // Retire the batch if a worker has not already: it is fully claimed by
+  // now, so a worker still holding its shared_ptr copy finds no task and
+  // never dereferences `task` (which dangles once this function returns).
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i] == batch) {
+      pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
   lock.unlock();
-  // A worker waking late still holds its shared_ptr copy; the batch is
-  // fully claimed by now, so it finds no task and never dereferences
-  // `task` (which dangles once this function returns).
 
   // Deterministic propagation: the lowest-numbered failing task wins,
   // matching the error a serial left-to-right loop would have hit first.

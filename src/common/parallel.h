@@ -33,6 +33,7 @@
 #ifndef PRIVMARK_COMMON_PARALLEL_H_
 #define PRIVMARK_COMMON_PARALLEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -72,8 +73,12 @@ std::vector<ShardRange> ShardRanges(size_t count, size_t num_shards);
 /// spawns nothing and Run() degenerates to an inline serial loop. A pool
 /// outlives any number of Run() batches (workers park between batches).
 ///
-/// Run() is fork-join and not reentrant: one batch at a time, and tasks
-/// must not call Run() on their own pool.
+/// Run() is fork-join and thread-safe: any number of threads may submit
+/// batches concurrently (a long-lived service shares one pool across
+/// sessions). Batches queue FIFO; workers drain the oldest unclaimed
+/// batch first, and a submitter only executes tasks of its *own* batch,
+/// so one request's compute never blocks inside another's. Tasks must
+/// still not call Run() on their own pool (no nesting).
 class ThreadPool {
  public:
   /// \param num_threads total workers including the caller; 0 means
@@ -84,7 +89,31 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_threads() const { return num_threads_; }
+  /// \brief A capped view of `parent`: reports min(limit, parent's count)
+  /// from num_threads() and forwards Run() to the parent. Agents shard by
+  /// pool->num_threads(), so a lease makes them cut at most `limit`
+  /// tasks per batch — at most `limit` of the shared workers ever execute
+  /// this lease's work concurrently. That is how an admission controller
+  /// hands a request `granted` threads of one shared pool: the lease's
+  /// limit IS the grant (see service/admission.h). The view owns no
+  /// threads and must not outlive `parent`; `parent` must not be null.
+  static std::unique_ptr<ThreadPool> Lease(ThreadPool* parent, size_t limit);
+
+  size_t num_threads() const {
+    if (parent_ == nullptr) return num_threads_;
+    return std::min(limit_.load(std::memory_order_relaxed),
+                    parent_->num_threads_);
+  }
+
+  /// \brief True for Lease() views (no owned workers; Run forwards).
+  bool is_lease() const { return parent_ != nullptr; }
+
+  /// \brief Re-caps a lease (admission grants change per request). 0 is
+  /// clamped to 1 — a lease is never smaller than the calling thread.
+  /// Callers must not resize a lease that has a Run() in flight; the
+  /// per-session serialization of the service guarantees that. No-op
+  /// with an assert on non-lease pools.
+  void set_limit(size_t limit);
 
   /// \brief Runs task(i) for every i in [0, num_tasks) across the workers
   /// and blocks until all complete. Tasks are claimed dynamically, so the
@@ -103,20 +132,24 @@ class ThreadPool {
     std::vector<std::exception_ptr> errors;  // slot per task, owner-written
   };
 
+  ThreadPool(ThreadPool* parent, size_t limit);  // lease constructor
+
   void WorkerLoop();
   void ExecuteTasks(Batch* batch);
 
   size_t num_threads_ = 1;
+  ThreadPool* parent_ = nullptr;          // non-null for lease views
+  std::atomic<size_t> limit_{0};          // lease views only
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: a new batch was published
-  std::condition_variable done_cv_;  // Run(): the batch fully completed
-  // The published batch. Workers copy the shared_ptr under mu_, so a
-  // worker that wakes after Run() already retired the batch still holds a
-  // live (but fully claimed) object instead of a dangling pointer.
-  std::shared_ptr<Batch> batch_;     // guarded by mu_
-  uint64_t batch_seq_ = 0;           // guarded by mu_
-  bool stop_ = false;                // guarded by mu_
+  std::condition_variable done_cv_;  // Run(): some batch fully completed
+  // FIFO of batches with (possibly) unclaimed tasks. Workers copy the
+  // front shared_ptr under mu_, so a worker that wakes after a submitter
+  // already retired its batch still holds a live (but fully claimed)
+  // object instead of a dangling pointer.
+  std::vector<std::shared_ptr<Batch>> pending_;  // guarded by mu_
+  bool stop_ = false;                            // guarded by mu_
 };
 
 /// \brief nullptr for num_threads == 1 (serial — every stage treats a null

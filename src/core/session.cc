@@ -12,18 +12,18 @@
 
 namespace privmark {
 
-namespace {
-
 // The watermark agent may run on a different thread count than the
 // binning agent; one session pool serves both, sized to the larger ask
 // (0 = hardware concurrency wins). Outputs are byte-identical for any
 // worker count, so this only moves throughput.
-size_t SessionThreads(const FrameworkConfig& config) {
+size_t SessionThreadAsk(const FrameworkConfig& config) {
   const size_t b = config.binning.num_threads;
   const size_t w = config.watermark.num_threads;
   if (b == 0 || w == 0) return 0;
   return std::max(b, w);
 }
+
+namespace {
 
 // Per-attribute epoch-k enforcement: drop rows of sub-k bins per column,
 // iterating because a dropped row shrinks its bins in *other* columns.
@@ -98,14 +98,21 @@ ProtectionSession::ProtectionSession(UsageMetrics metrics,
       session_(session),
       cipher_(Aes128::FromPassphrase(config_.binning.encryption_passphrase)) {
   // One pool for the whole session, injected into both agents' configs;
-  // caller-supplied pools win (PoolOrMake convention), and an owned pool
-  // backfills whichever side lacks one. pool_ stays null for a fully
-  // serial session.
-  if (config_.binning.pool == nullptr || config_.watermark.pool == nullptr) {
-    pool_ = MakeThreadPool(SessionThreads(config_));
+  // caller-supplied pools win (PoolOrMake convention). When the caller
+  // injected a pool for either agent, the *other* agent is backfilled
+  // with that same pool — never with a fresh pool built from the
+  // num_threads knobs, which describe what was requested, not what the
+  // caller (e.g. the service's admission controller) actually granted.
+  // pool_ is only built, and stays null, for a fully serial session.
+  ThreadPool* injected = config_.binning.pool != nullptr
+                             ? config_.binning.pool
+                             : config_.watermark.pool;
+  if (injected == nullptr) {
+    pool_ = MakeThreadPool(SessionThreadAsk(config_));
+    injected = pool_.get();
   }
-  if (config_.binning.pool == nullptr) config_.binning.pool = pool_.get();
-  if (config_.watermark.pool == nullptr) config_.watermark.pool = pool_.get();
+  if (config_.binning.pool == nullptr) config_.binning.pool = injected;
+  if (config_.watermark.pool == nullptr) config_.watermark.pool = injected;
 }
 
 Status ProtectionSession::InitSchema(const Schema& schema) {

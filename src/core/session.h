@@ -126,6 +126,14 @@ struct EpochOutput {
   ProtectionOutcome outcome;
 };
 
+/// \brief The thread ask implied by a config's num_threads knobs: 0
+/// ("hardware") when either agent asks for hardware concurrency,
+/// otherwise the larger agent ask. One definition shared by the
+/// session's own pool sizing and the service front-end's default
+/// admission ask, so granted widths cannot drift from session
+/// semantics.
+size_t SessionThreadAsk(const FrameworkConfig& config);
+
 /// \brief The incremental protection session.
 class ProtectionSession {
  public:

@@ -1,0 +1,46 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace privmark {
+
+namespace {
+
+size_t NormalizeCapacity(size_t capacity) {
+  if (capacity != 0) return capacity;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(size_t capacity)
+    : capacity_(NormalizeCapacity(capacity)) {}
+
+size_t AdmissionController::Acquire(size_t ask) {
+  size_t want = ask == 0 ? capacity_ : std::min(ask, capacity_);
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  cv_.wait(lock, [&] { return serving_ == ticket && in_use_ < capacity_; });
+  const size_t granted = std::min(want, capacity_ - in_use_);
+  in_use_ += granted;
+  ++serving_;
+  // Wake the next ticket holder: it may fit alongside this grant.
+  cv_.notify_all();
+  return granted;
+}
+
+void AdmissionController::Release(size_t granted) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_use_ -= granted;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionController::in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+}  // namespace privmark

@@ -1,0 +1,90 @@
+// Thread-admission control for the service front-end.
+//
+// The service owns one shared ThreadPool of `capacity` workers; every
+// request asks for some number of threads (its session's num_threads
+// knob, or a per-request override). The controller keeps the aggregate
+// grant across concurrently-executing requests at or below the capacity:
+// a request whose ask does not fit waits its turn instead of
+// oversubscribing the pool. Because every pipeline stage produces
+// byte-identical output for any worker count (common/parallel.h), a
+// grant below the ask only moves throughput, never bytes — which is what
+// makes partial grants safe.
+//
+// Grant policy, in order:
+//   - an ask of 0 means "all of it" (the hardware-concurrency
+//     convention of the num_threads knobs) and an ask above the capacity
+//     is clamped to it: no single request can demand more than the pool
+//     holds, it can only wait longer;
+//   - admission is FIFO (ticketed): a request never overtakes an earlier
+//     one, so a wide ask cannot be starved by a stream of narrow ones;
+//   - admission is work-conserving: the request at the head of the queue
+//     is admitted as soon as *any* capacity is free, with a grant of
+//     min(ask, free). It never idles free workers waiting for its full
+//     ask — it takes a partial grant and runs.
+//
+// Callers pair every Acquire() with exactly one Release() of the granted
+// amount (see ThreadGrant for the RAII form).
+
+#ifndef PRIVMARK_SERVICE_ADMISSION_H_
+#define PRIVMARK_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace privmark {
+
+/// \brief FIFO, work-conserving thread-budget controller.
+class AdmissionController {
+ public:
+  /// \param capacity aggregate thread budget; 0 means hardware
+  ///        concurrency (at least 1).
+  explicit AdmissionController(size_t capacity);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Blocks until this caller's turn comes and some capacity is
+  /// free, then grants min(normalized ask, free capacity) >= 1 threads
+  /// and returns the grant. Normalization: ask 0 -> capacity, ask >
+  /// capacity -> capacity.
+  size_t Acquire(size_t ask);
+
+  /// \brief Returns a previous Acquire()'s grant to the budget.
+  void Release(size_t granted);
+
+  /// \brief Threads currently granted (diagnostic; racy by nature).
+  size_t in_use() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_use_ = 0;        // guarded by mu_
+  uint64_t next_ticket_ = 0; // guarded by mu_: next ticket to hand out
+  uint64_t serving_ = 0;     // guarded by mu_: ticket allowed to admit
+};
+
+/// \brief RAII grant: acquires on construction, releases on destruction.
+class ThreadGrant {
+ public:
+  ThreadGrant(AdmissionController* controller, size_t ask)
+      : controller_(controller), granted_(controller->Acquire(ask)) {}
+  ~ThreadGrant() { controller_->Release(granted_); }
+
+  ThreadGrant(const ThreadGrant&) = delete;
+  ThreadGrant& operator=(const ThreadGrant&) = delete;
+
+  size_t granted() const { return granted_; }
+
+ private:
+  AdmissionController* controller_;
+  size_t granted_;
+};
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_SERVICE_ADMISSION_H_

@@ -1,0 +1,306 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace privmark {
+
+const char* RequestKindToString(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kProtectBatch:
+      return "ProtectBatch";
+    case RequestKind::kFlush:
+      return "Flush";
+    case RequestKind::kDetect:
+      return "Detect";
+    case RequestKind::kCloseSession:
+      return "CloseSession";
+  }
+  return "Unknown";
+}
+
+bool ServiceQueue::Push(Item item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool ServiceQueue::Pop(Item* item) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  *item = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+void ServiceQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t ServiceQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool ServiceQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+PrivmarkService::PrivmarkService(ServiceConfig config)
+    : admission_(config.thread_cap),
+      pool_(MakeThreadPool(admission_.capacity())) {}
+
+PrivmarkService::~PrivmarkService() { Shutdown(); }
+
+Status PrivmarkService::OpenSession(const std::string& name,
+                                    UsageMetrics metrics,
+                                    FrameworkConfig config,
+                                    SessionConfig session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::InvalidArgument("OpenSession: service is shut down");
+  }
+  ReapFinishedLocked();
+  auto it = strands_.find(name);
+  if (it != strands_.end()) {
+    if (!it->second->closing) {
+      return Status::AlreadyExists("OpenSession: session '" + name +
+                                   "' is already open");
+    }
+    // Closed but still draining accepted requests. Joining here would
+    // hold mu_ — and with it every other session's intake — for the
+    // whole drain, so the caller retries instead; the reap above frees
+    // the name the moment the strand finishes.
+    return Status::AlreadyExists("OpenSession: session '" + name +
+                                 "' is still draining; retry shortly");
+  }
+
+  auto strand = std::make_unique<Strand>();
+  strand->default_ask = SessionThreadAsk(config);
+  if (pool_ != nullptr) {
+    // All sessions of one service share the one pool; per-request grants
+    // re-cap the lease, so whatever pools or thread counts the caller
+    // configured are overridden — the admission controller, not the
+    // session config, decides how wide a request runs.
+    strand->lease = ThreadPool::Lease(pool_.get(), 1);
+    config.binning.pool = strand->lease.get();
+    config.watermark.pool = strand->lease.get();
+  } else {
+    // thread_cap == 1: every request runs serial on its strand. Zero the
+    // knobs too, or the session would build a private pool of its own.
+    config.binning.pool = nullptr;
+    config.watermark.pool = nullptr;
+    config.binning.num_threads = 1;
+    config.watermark.num_threads = 1;
+  }
+  strand->session = std::make_unique<ProtectionSession>(
+      std::move(metrics), std::move(config), session);
+  Strand* raw = strand.get();
+  strands_.emplace(name, std::move(strand));
+  raw->thread = std::thread([this, raw] { RunStrand(raw); });
+  return Status::OK();
+}
+
+ServiceFuture PrivmarkService::FailedFuture(Status status) {
+  std::promise<Result<ServiceResponse>> promise;
+  ServiceFuture future = promise.get_future();
+  promise.set_value(Result<ServiceResponse>(std::move(status)));
+  return future;
+}
+
+ServiceFuture PrivmarkService::Submit(ServiceRequest request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return FailedFuture(
+        Status::InvalidArgument("Submit: service is shut down"));
+  }
+  ReapFinishedLocked();
+  auto it = strands_.find(request.session);
+  if (it == strands_.end()) {
+    return FailedFuture(
+        Status::KeyError("Submit: unknown session '" + request.session + "'"));
+  }
+  Strand* strand = it->second.get();
+  if (strand->closing) {
+    return FailedFuture(Status::InvalidArgument(
+        "Submit: session '" + request.session + "' is closed"));
+  }
+
+  const bool closes = request.kind == RequestKind::kCloseSession;
+  ServiceQueue::Item item;
+  item.request = std::move(request);
+  ServiceFuture future = item.done.get_future();
+  if (!strand->queue.Push(std::move(item))) {
+    return FailedFuture(Status::InvalidArgument(
+        "Submit: session queue is closed"));
+  }
+  if (closes) {
+    // Mark-then-close under mu_: every earlier Submit already queued, no
+    // later one passes the `closing` check, and the strand drains what
+    // was accepted — the close request itself runs last.
+    strand->closing = true;
+    strand->queue.Close();
+  }
+  return future;
+}
+
+ServiceFuture PrivmarkService::ProtectBatch(const std::string& session,
+                                            Table batch, size_t num_threads) {
+  ServiceRequest request;
+  request.kind = RequestKind::kProtectBatch;
+  request.session = session;
+  request.table = std::move(batch);
+  request.num_threads = num_threads;
+  return Submit(std::move(request));
+}
+
+ServiceFuture PrivmarkService::Flush(const std::string& session,
+                                     size_t num_threads) {
+  ServiceRequest request;
+  request.kind = RequestKind::kFlush;
+  request.session = session;
+  request.num_threads = num_threads;
+  return Submit(std::move(request));
+}
+
+ServiceFuture PrivmarkService::Detect(const std::string& session,
+                                      Table concatenated, size_t num_threads) {
+  ServiceRequest request;
+  request.kind = RequestKind::kDetect;
+  request.session = session;
+  request.table = std::move(concatenated);
+  request.num_threads = num_threads;
+  return Submit(std::move(request));
+}
+
+ServiceFuture PrivmarkService::CloseSession(const std::string& session) {
+  ServiceRequest request;
+  request.kind = RequestKind::kCloseSession;
+  request.session = session;
+  return Submit(std::move(request));
+}
+
+void PrivmarkService::RunStrand(Strand* strand) {
+  ServiceQueue::Item item;
+  while (strand->queue.Pop(&item)) {
+    Result<ServiceResponse> result = Execute(strand, &item.request);
+    item.done.set_value(std::move(result));
+  }
+  strand->finished.store(true, std::memory_order_release);
+}
+
+void PrivmarkService::ReapFinishedLocked() {
+  for (auto it = strands_.begin(); it != strands_.end();) {
+    Strand& strand = *it->second;
+    if (strand.closing &&
+        strand.finished.load(std::memory_order_acquire)) {
+      if (strand.thread.joinable()) strand.thread.join();  // instant
+      it = strands_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<ServiceResponse> PrivmarkService::Execute(Strand* strand,
+                                                 ServiceRequest* request) {
+  ServiceResponse response;
+  response.kind = request->kind;
+
+  if (request->kind == RequestKind::kCloseSession) {
+    // Pure bookkeeping — no data-parallel work, so no admission round
+    // trip; earlier requests already drained (FIFO strand).
+    const ProtectionSession& session = *strand->session;
+    response.stats.rows_ingested = session.rows_ingested();
+    response.stats.rows_emitted = session.rows_emitted();
+    response.stats.rows_suppressed = session.rows_suppressed();
+    response.stats.epochs = session.epochs();
+    return response;
+  }
+
+  const size_t ask = request->num_threads == kSessionThreads
+                         ? strand->default_ask
+                         : request->num_threads;
+  ThreadGrant grant(&admission_, ask);
+  response.threads_granted = grant.granted();
+  // The grant IS the lease width: agents shard by the lease's reported
+  // worker count, so at most `granted` of the shared workers ever touch
+  // this request (the small-fix guarantee: granted, not requested).
+  if (strand->lease != nullptr) strand->lease->set_limit(grant.granted());
+
+  try {
+    switch (request->kind) {
+      case RequestKind::kProtectBatch: {
+        PRIVMARK_ASSIGN_OR_RETURN(response.ingest,
+                                  strand->session->Ingest(request->table));
+        break;
+      }
+      case RequestKind::kFlush: {
+        PRIVMARK_ASSIGN_OR_RETURN(response.epoch, strand->session->Flush());
+        break;
+      }
+      case RequestKind::kDetect: {
+        PRIVMARK_ASSIGN_OR_RETURN(
+            response.reports,
+            strand->session->DetectAcrossEpochs(request->table));
+        break;
+      }
+      case RequestKind::kCloseSession:
+        break;  // handled above
+    }
+  } catch (const std::exception& e) {
+    // The core library reports data-dependent failures as Status; an
+    // exception here is a programming error surfaced by the pool. Turn
+    // it into a failed future rather than losing the strand.
+    return Status::InvalidArgument(std::string("request '") +
+                                   RequestKindToString(request->kind) +
+                                   "' threw: " + e.what());
+  }
+  return response;
+}
+
+void PrivmarkService::Shutdown() {
+  // Take ownership of every strand under the lock: a concurrent (or
+  // repeated) Shutdown finds an empty registry and has nothing to join,
+  // so no strand is ever joined twice or destroyed under an iterator.
+  std::unordered_map<std::string, std::unique_ptr<Strand>> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& [name, strand] : strands_) {
+      strand->queue.Close();  // idempotent; accepted items still drain
+    }
+    taken = std::move(strands_);
+    strands_.clear();
+  }
+  for (auto& [name, strand] : taken) {
+    if (strand->thread.joinable()) strand->thread.join();
+  }
+}
+
+size_t PrivmarkService::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = 0;
+  for (const auto& [name, strand] : strands_) {
+    if (!strand->closing) ++live;
+  }
+  return live;
+}
+
+size_t PrivmarkService::num_strands() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strands_.size();
+}
+
+}  // namespace privmark

@@ -1,0 +1,233 @@
+// In-process async protect/detect service — the long-lived form of the
+// paper's outsourcing scenario: a hospital does not protect one frozen
+// relation, it keeps publishing protected batches of a stream (and
+// occasionally audits the outsourced copy for its mark).
+//
+// The service fronts any number of named streams with one shared worker
+// pool:
+//
+//   PrivmarkService service({.thread_cap = 8});
+//   service.OpenSession("ward-a", metrics, config);
+//   auto f1 = service.ProtectBatch("ward-a", batch1);   // futures
+//   auto f2 = service.ProtectBatch("ward-a", batch2);
+//   auto f3 = service.Flush("ward-a");
+//   auto f4 = service.Detect("ward-a", outsourced_copy);
+//   auto f5 = service.CloseSession("ward-a");
+//
+// Execution model — the two properties everything else hangs off:
+//
+//  1. Same-session requests SERIALIZE in arrival order. Each session is a
+//     strand: one FIFO ServiceQueue drained by one thread owning the
+//     session. A session's epoch output is therefore byte-identical to a
+//     serial replay of the same request sequence — concurrency never
+//     reorders a stream (proven by the service-equivalence property
+//     suite across thread caps).
+//
+//  2. Different-session requests run CONCURRENTLY on one shared
+//     ThreadPool, gated by an AdmissionController: each request asks for
+//     its session's num_threads (or a per-request override) and is
+//     granted at most the free share of the thread cap — excess work
+//     queues FIFO instead of oversubscribing (service/admission.h). The
+//     grant reaches the agents through a ThreadPool lease whose reported
+//     worker count IS the grant, so they shard exactly that wide.
+//
+// Shutdown drains: once a request is accepted (its future exists), it
+// executes — Shutdown() closes intake, lets every strand drain its
+// queue, and joins. Accepted work is never dropped.
+
+#ifndef PRIVMARK_SERVICE_SERVICE_H_
+#define PRIVMARK_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/session.h"
+#include "service/admission.h"
+
+namespace privmark {
+
+/// \brief Ask for "whatever the session's config requests" (the default
+/// per-request thread ask).
+inline constexpr size_t kSessionThreads = static_cast<size_t>(-1);
+
+/// \brief The four request types the service executes.
+enum class RequestKind {
+  /// Ingest one batch of original rows (ProtectionSession::Ingest).
+  kProtectBatch,
+  /// Force an epoch boundary (ProtectionSession::Flush).
+  kFlush,
+  /// Detect every epoch's mark in a concatenation of the session's
+  /// emitted output (ProtectionSession::DetectAcrossEpochs).
+  kDetect,
+  /// Drain the session and retire it; its name becomes reusable.
+  kCloseSession,
+};
+
+const char* RequestKindToString(RequestKind kind);
+
+/// \brief One typed request. `table` carries the kProtectBatch batch or
+/// the kDetect concatenation; unused otherwise.
+struct ServiceRequest {
+  RequestKind kind = RequestKind::kProtectBatch;
+  std::string session;
+  Table table;
+  /// Admission ask for this request; kSessionThreads = the session
+  /// config's own num_threads knobs. 0 = the whole thread cap.
+  size_t num_threads = kSessionThreads;
+};
+
+/// \brief Terminal snapshot of a closed session (kCloseSession result).
+struct SessionStats {
+  size_t rows_ingested = 0;
+  size_t rows_emitted = 0;
+  size_t rows_suppressed = 0;
+  std::vector<EpochRecord> epochs;
+};
+
+/// \brief One request's result; `kind` says which member is meaningful.
+struct ServiceResponse {
+  RequestKind kind = RequestKind::kProtectBatch;
+  IngestResult ingest;                // kProtectBatch
+  EpochOutput epoch;                  // kFlush
+  std::vector<DetectReport> reports;  // kDetect
+  SessionStats stats;                 // kCloseSession
+  /// Threads the admission controller granted this request (1 for
+  /// kCloseSession, which does no data-parallel work).
+  size_t threads_granted = 1;
+};
+
+/// \brief Future type every Submit returns; errors travel as the
+/// Result's Status (the service never throws across the future).
+using ServiceFuture = std::future<Result<ServiceResponse>>;
+
+/// \brief Thread-safe FIFO of pending requests — one per session strand.
+///
+/// Push() after Close() fails (intake closed); Pop() drains whatever was
+/// accepted before the close and only then returns false. That ordering
+/// is the drain guarantee: closing a queue can never drop an accepted
+/// item.
+class ServiceQueue {
+ public:
+  struct Item {
+    ServiceRequest request;
+    std::promise<Result<ServiceResponse>> done;
+  };
+
+  /// \brief Enqueues; false iff the queue was closed (item untouched).
+  bool Push(Item item);
+
+  /// \brief Blocks for the next item; false when closed *and* drained.
+  bool Pop(Item* item);
+
+  /// \brief Closes intake; queued items remain poppable.
+  void Close();
+
+  size_t size() const;
+  bool closed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> items_;  // guarded by mu_
+  bool closed_ = false;     // guarded by mu_
+};
+
+/// \brief Service-wide configuration.
+struct ServiceConfig {
+  /// Aggregate worker cap: the shared pool's size and the admission
+  /// controller's budget. 0 = hardware concurrency.
+  size_t thread_cap = 0;
+};
+
+/// \brief The async protect/detect service.
+class PrivmarkService {
+ public:
+  explicit PrivmarkService(ServiceConfig config = ServiceConfig());
+  /// Drains and joins (Shutdown()).
+  ~PrivmarkService();
+
+  PrivmarkService(const PrivmarkService&) = delete;
+  PrivmarkService& operator=(const PrivmarkService&) = delete;
+
+  /// \brief Registers a named stream: builds its ProtectionSession with
+  /// the service's shared pool leased in (any pool the caller put into
+  /// `config` is overridden — sessions of one service share one pool by
+  /// construction) and starts its strand. AlreadyExists for a live name
+  /// and for a closed name whose strand is still draining (retry; the
+  /// name frees the moment the drain finishes — OpenSession never
+  /// blocks the registry on another session's backlog).
+  Status OpenSession(const std::string& name, UsageMetrics metrics,
+                     FrameworkConfig config,
+                     SessionConfig session = SessionConfig());
+
+  /// \brief Enqueues one typed request; the future completes when the
+  /// session's strand has executed it. Unknown/closed session or a
+  /// shut-down service yields an already-failed future (never a throw).
+  ServiceFuture Submit(ServiceRequest request);
+
+  // Typed conveniences over Submit().
+  ServiceFuture ProtectBatch(const std::string& session, Table batch,
+                             size_t num_threads = kSessionThreads);
+  ServiceFuture Flush(const std::string& session,
+                      size_t num_threads = kSessionThreads);
+  ServiceFuture Detect(const std::string& session, Table concatenated,
+                       size_t num_threads = kSessionThreads);
+  ServiceFuture CloseSession(const std::string& session);
+
+  /// \brief Closes intake on every session, drains every queue, joins
+  /// every strand. Idempotent. Called by the destructor.
+  void Shutdown();
+
+  /// \brief Live (not yet closed) sessions.
+  size_t num_sessions() const;
+
+  /// \brief All strands still held, including closed ones not yet
+  /// reaped (diagnostic; reaping happens on OpenSession/Submit).
+  size_t num_strands() const;
+
+  const AdmissionController& admission() const { return admission_; }
+  size_t thread_cap() const { return admission_.capacity(); }
+
+ private:
+  // One named stream: session + its capped pool lease + request strand.
+  struct Strand {
+    std::unique_ptr<ThreadPool> lease;  // capped view of the shared pool
+    std::unique_ptr<ProtectionSession> session;
+    ServiceQueue queue;
+    std::thread thread;
+    size_t default_ask = 1;  // the session config's own thread ask
+    bool closing = false;    // guarded by service mu_: CloseSession seen
+    // Set by the strand thread as its last action; once true, joining is
+    // instantaneous and the strand is reclaimable (ReapFinishedLocked).
+    std::atomic<bool> finished{false};
+  };
+
+  void RunStrand(Strand* strand);
+  Result<ServiceResponse> Execute(Strand* strand, ServiceRequest* request);
+  // Joins and erases closed strands whose thread has exited — called on
+  // every OpenSession/Submit so a long-lived service does not accumulate
+  // retired sessions' state. Requires mu_ held.
+  void ReapFinishedLocked();
+  static ServiceFuture FailedFuture(Status status);
+
+  AdmissionController admission_;
+  std::unique_ptr<ThreadPool> pool_;  // null iff thread_cap == 1 (serial)
+
+  mutable std::mutex mu_;
+  // unique_ptr values: strands must not move once their thread runs.
+  std::unordered_map<std::string, std::unique_ptr<Strand>> strands_;
+  bool shutdown_ = false;
+};
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_SERVICE_SERVICE_H_

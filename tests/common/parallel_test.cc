@@ -1,15 +1,18 @@
 // Unit tests for the deterministic parallel substrate: sharding math,
-// pool lifecycle and reuse, Status/exception propagation, and the
-// shard-order merge guarantee of ParallelReduce.
+// pool lifecycle and reuse, concurrent batch submission and capped
+// leases (the service's pool-sharing substrate), Status/exception
+// propagation, and the shard-order merge guarantee of ParallelReduce.
 
 #include "common/parallel.h"
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace privmark {
@@ -242,6 +245,109 @@ TEST(ParallelReduceTest, MergeRunsInShardOrder) {
       EXPECT_EQ((*result)[s], s) << "round " << round;
     }
   }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersEachCompleteTheirBatch) {
+  // The service shares one pool across session strands: many threads
+  // submit fork-join batches at once, and every submitter must get all
+  // of its own tasks executed exactly once.
+  ThreadPool pool(4);
+  constexpr size_t kSubmitters = 6;
+  constexpr size_t kTasks = 64;
+  constexpr int kRounds = 25;
+  std::vector<std::array<std::atomic<int>, kTasks>> hits(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &hits, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        pool.Run(kTasks, [&hits, s](size_t i) {
+          hits[s][i].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    for (size_t i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(hits[s][i].load(), kRounds) << "submitter " << s << " task "
+                                            << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitterExceptionsStayWithTheirBatch) {
+  ThreadPool pool(3);
+  std::atomic<int> clean_runs{0};
+  std::thread thrower([&pool] {
+    for (int round = 0; round < 20; ++round) {
+      EXPECT_THROW(
+          pool.Run(8,
+                   [](size_t i) {
+                     if (i == 3) throw std::runtime_error("batch error");
+                   }),
+          std::runtime_error);
+    }
+  });
+  std::thread quiet([&pool, &clean_runs] {
+    for (int round = 0; round < 20; ++round) {
+      pool.Run(8, [&clean_runs](size_t) {
+        clean_runs.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  thrower.join();
+  quiet.join();
+  EXPECT_EQ(clean_runs.load(), 20 * 8);
+}
+
+TEST(ThreadPoolLeaseTest, ReportsCappedThreadCount) {
+  ThreadPool pool(4);
+  const auto lease = ThreadPool::Lease(&pool, 2);
+  EXPECT_TRUE(lease->is_lease());
+  EXPECT_FALSE(pool.is_lease());
+  EXPECT_EQ(lease->num_threads(), 2u);
+  // The parent bounds the lease: a grant can never exceed the pool.
+  const auto wide = ThreadPool::Lease(&pool, 64);
+  EXPECT_EQ(wide->num_threads(), 4u);
+}
+
+TEST(ThreadPoolLeaseTest, SetLimitReCapsAndClampsToOne) {
+  ThreadPool pool(4);
+  const auto lease = ThreadPool::Lease(&pool, 4);
+  lease->set_limit(3);
+  EXPECT_EQ(lease->num_threads(), 3u);
+  lease->set_limit(0);  // a lease is never smaller than its caller
+  EXPECT_EQ(lease->num_threads(), 1u);
+}
+
+TEST(ThreadPoolLeaseTest, RunForwardsToParentWorkers) {
+  ThreadPool pool(4);
+  const auto lease = ThreadPool::Lease(&pool, 2);
+  std::vector<std::atomic<int>> hits(32);
+  lease->Run(hits.size(), [&hits](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolLeaseTest, ShardsCutToTheGrantNotTheParent) {
+  // The admission small-fix in one assertion: agents shard by
+  // pool->num_threads(), so a leased pool must make them cut to the
+  // granted width, not the shared pool's full width.
+  ThreadPool pool(8);
+  const auto lease = ThreadPool::Lease(&pool, 3);
+  EXPECT_EQ(ShardRanges(1000, lease->num_threads()).size(), 3u);
+  const Result<std::vector<size_t>> result =
+      ParallelReduce<std::vector<size_t>>(
+          lease.get(), 1000, {},
+          [](size_t shard, size_t, size_t) -> Result<std::vector<size_t>> {
+            return std::vector<size_t>{shard};
+          },
+          [](std::vector<size_t>* acc, std::vector<size_t>&& x) {
+            acc->insert(acc->end(), x.begin(), x.end());
+          });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // three shards — the grant, not eight
 }
 
 TEST(ParallelReduceTest, MapErrorPropagatesLowestShard) {

@@ -347,5 +347,29 @@ TEST(ProtectionSessionTest, CallerOwnedPoolWins) {
   ASSERT_TRUE(session.Flush().ok());
 }
 
+TEST(ProtectionSessionTest, InjectedPoolBackfillsTheOtherAgent) {
+  // The admission-control contract: when a caller (the service) injects
+  // a granted pool for one agent, the other agent must inherit that same
+  // pool — never a fresh one built from the num_threads knobs, which
+  // record the *requested* width, not the granted one.
+  Env env = MakeEnv(/*num_threads=*/8);  // the request: 8 threads
+  const auto granted = MakeThreadPool(2);  // the grant: 2 threads
+  env.config.binning.pool = granted.get();
+  env.config.watermark.pool = nullptr;
+  ProtectionSession session(env.metrics, env.config);
+  EXPECT_EQ(session.config().binning.pool, granted.get());
+  EXPECT_EQ(session.config().watermark.pool, granted.get());
+  EXPECT_EQ(session.pool()->num_threads(), 2u);
+  ASSERT_TRUE(session.Ingest(env.dataset->table).ok());
+  ASSERT_TRUE(session.Flush().ok());
+
+  // Symmetric: a watermark-side injection governs the binning agent too.
+  Env env2 = MakeEnv(/*num_threads=*/8);
+  env2.config.watermark.pool = granted.get();
+  ProtectionSession session2(env2.metrics, env2.config);
+  EXPECT_EQ(session2.config().binning.pool, granted.get());
+  EXPECT_EQ(session2.pool(), granted.get());
+}
+
 }  // namespace
 }  // namespace privmark
