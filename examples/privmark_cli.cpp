@@ -20,9 +20,30 @@
 //       threshold — each epoch gets its own mark, embed, and manifest
 //       (epoch N > 0 is written to <manifest.out>.epochN)
 //
-//   privmark_cli detect <table.csv> <manifest> [--k1=...] [--k2=...]
-//                [--eta=50] [--threads=N]
-//       recover the embedded mark with the secret key
+//   privmark_cli gen-key <out.key> [--name=recipient] [--eta=50]
+//                [--seed=N] [--k1=...] [--k2=...]
+//       write a named key file (a one-entry registry). Key material is
+//       drawn from a Random seeded by --seed — privmark never touches
+//       system entropy, so pick a fresh seed per recipient — or taken
+//       verbatim from --k1/--k2. Concatenating gen-key outputs' [key]
+//       sections under one magic line forms a multi-key registry.
+//
+//   privmark_cli detect <table.csv> <manifest> [--key=key.file]
+//                [--registry=keys.file] [--mark=bits] [--json[=path]]
+//                [--k1=...] [--k2=...] [--eta=50] [--threads=N]
+//       recover the embedded mark with the secret key (--key file or
+//       --k1/--k2/--eta), or — with --registry — scan the table against
+//       every key in the registry and print ranked suspects (--mark
+//       supplies the owner's expected mark; without it ranking falls
+//       back to internal vote agreement). --json emits the structured
+//       report to stdout (or to =path)
+//
+//   privmark_cli cmp <table.csv> <manifest> <expected_mark_bits>
+//                [--key=key.file] [--k1=...] [--k2=...] [--eta=50]
+//                [--threads=N] [--json[=path]]
+//       audiowmark-style comparison: does the table carry this key's
+//       mark? Prints mark match, margin ratio, and p-value; exits 0 on
+//       MATCH, 3 on NO_MATCH
 //
 //   privmark_cli attack <in.csv> <out.csv> <kind> <fraction>
 //                [--seed=N] [--manifest=...] [--threads=N]
@@ -44,6 +65,7 @@
 //         ingest <session> <in.csv> [--threads=N]
 //         flush <session> [--threads=N]
 //         detect <session> [<table.csv>] [--threads=N]
+//         fingerprint <session> <registry.file> [<table.csv>] [--threads=N]
 //         close <session>
 //       Requests are submitted asynchronously and pipeline across
 //       sessions; a session's requests always execute in script order.
@@ -74,11 +96,14 @@
 #include "attack/attacks.h"
 #include "core/framework.h"
 #include "core/manifest.h"
+#include "core/report_json.h"
 #include "core/session.h"
 #include "common/strings.h"
 #include "datagen/medical_data.h"
 #include "relation/csv.h"
 #include "service/service.h"
+#include "watermark/fingerprint.h"
+#include "watermark/key_registry.h"
 #include "watermark/ownership.h"
 
 using namespace privmark;  // NOLINT — example brevity
@@ -141,6 +166,33 @@ WatermarkKey KeyFromArgs(const Args& args) {
   return WatermarkKey{args.Flag("k1", "cli-default-k1"),
                       args.Flag("k2", "cli-default-k2"),
                       args.FlagU64("eta", 50)};
+}
+
+// The key named by --key=<file> (a gen-key output), else flag-supplied
+// material with an empty name.
+NamedKey NamedKeyFromArgs(const Args& args) {
+  const std::string path = args.Flag("key", "");
+  if (!path.empty()) return Must(ReadKeyFile(path));
+  return NamedKey{"", KeyFromArgs(args)};
+}
+
+// Emits a --json report: to stdout for bare --json, to the flag's value
+// for --json=<path>. No-op when the flag is absent.
+int EmitJson(const Args& args, const std::string& json) {
+  if (args.flags.count("json") == 0) return 0;
+  const std::string path = args.Flag("json", "");
+  if (path.empty() || path == "true") {
+    std::fputs(json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << json;
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write JSON report to '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 int CmdGenerate(const Args& args) {
@@ -241,8 +293,8 @@ int CmdProtect(const Args& args) {
   if (args.positional.size() != 4) {
     std::fprintf(stderr,
                  "usage: privmark_cli protect <in.csv> <out.csv> "
-                 "<manifest.out> [--k=] [--eta=] [--pass=] [--joint] "
-                 "[--epsilon] [--threads=] [--batch-size=] "
+                 "<manifest.out> [--key=key.file] [--k=] [--eta=] [--pass=] "
+                 "[--joint] [--epsilon] [--threads=] [--batch-size=] "
                  "[--rebin-policy=freeze|drift] [--drift-threshold=]\n");
     return 2;
   }
@@ -255,7 +307,9 @@ int CmdProtect(const Args& args) {
   config.binning.encryption_passphrase = args.Flag("pass", "cli-default-pass");
   config.binning.num_threads = args.FlagU64("threads", 1);
   config.watermark.num_threads = config.binning.num_threads;
-  config.key = KeyFromArgs(args);
+  const NamedKey named = NamedKeyFromArgs(args);
+  config.key = named.key;
+  config.key_id = named.name;
   config.auto_epsilon = args.flags.count("epsilon") > 0;
 
   UsageMetrics metrics =
@@ -280,10 +334,12 @@ int CmdProtect(const Args& args) {
   if (auto st = WriteManifestFile(manifest, args.positional[3]); !st.ok()) {
     return Fail(st);
   }
-  std::printf("protected %zu rows  (k=%zu%s, eta=%llu)\n",
+  std::printf("protected %zu rows  (k=%zu%s, eta=%llu%s%s)\n",
               outcome.watermarked.num_rows(), config.binning.k,
               config.binning.enforce_joint ? " joint" : " per-attribute",
-              static_cast<unsigned long long>(config.key.eta));
+              static_cast<unsigned long long>(config.key.eta),
+              config.key_id.empty() ? "" : ", key ",
+              config.key_id.c_str());
   std::printf("information loss: %.2f%%\n",
               outcome.binning.multi_normalized_loss * 100);
   std::printf("mark (keep secret until dispute): %s\n",
@@ -299,7 +355,8 @@ int CmdDetect(const Args& args) {
   if (args.positional.size() != 3) {
     std::fprintf(stderr,
                  "usage: privmark_cli detect <table.csv> <manifest> "
-                 "[--k1=] [--k2=] [--eta=] [--threads=]\n");
+                 "[--key=key.file] [--registry=keys.file] [--mark=bits] "
+                 "[--json[=path]] [--k1=] [--k2=] [--eta=] [--threads=]\n");
     return 2;
   }
   MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
@@ -308,8 +365,48 @@ int CmdDetect(const Args& args) {
   WatermarkOptions options;
   options.hash = manifest.hash;
   options.num_threads = args.FlagU64("threads", 1);
+
+  const std::string registry_path = args.Flag("registry", "");
+  if (!registry_path.empty()) {
+    // Registry scan: the watermarker contributes only structure (labels,
+    // maximal sets); every candidate key comes from the registry.
+    KeyRegistry registry = Must(KeyRegistry::ReadFile(registry_path));
+    HierarchicalWatermarker watermarker = Must(WatermarkerFromManifest(
+        manifest, table, ontologies.trees(), WatermarkKey{}, options));
+    FingerprintConfig scan;
+    scan.wm_size = manifest.mark_bits;
+    scan.wmd_size = manifest.wmd_size;
+    if (args.flags.count("mark") > 0) {
+      scan.expected_mark = Must(BitVector::FromString(args.Flag("mark", "")));
+    }
+    FingerprintReport report =
+        Must(ScanForFingerprints(watermarker, table, registry, scan));
+    std::printf("scanned %zu key(s), %zu detected (threshold %.2f, "
+                "ranked by %s)\n",
+                report.verdicts.size(), report.keys_detected,
+                scan.match_threshold,
+                scan.expected_mark.size() > 0 ? "mark match"
+                                              : "vote agreement");
+    for (size_t i = 0; i < report.ranking.size(); ++i) {
+      const KeyVerdict& v = report.verdicts[report.ranking[i]];
+      std::printf("  %2zu. %-24s score %.6f  match %.6f  agreement %.6f  "
+                  "p %.3e  %s\n",
+                  i + 1, v.key_name.c_str(), v.score, v.mark_match,
+                  v.margin_ratio, v.p_value,
+                  v.detected ? "DETECTED" : "clear");
+    }
+    if (report.collusion) {
+      std::printf("COLLUSION: %zu keys cleared the threshold — the table "
+                  "mixes rows from several recipients' copies\n",
+                  report.keys_detected);
+    }
+    return EmitJson(args, FingerprintReportJson(report,
+                                                scan.match_threshold));
+  }
+
+  const NamedKey named = NamedKeyFromArgs(args);
   HierarchicalWatermarker watermarker = Must(WatermarkerFromManifest(
-      manifest, table, ontologies.trees(), KeyFromArgs(args), options));
+      manifest, table, ontologies.trees(), named.key, options));
   DetectReport report = Must(
       watermarker.Detect(table, manifest.mark_bits, manifest.wmd_size));
   size_t voted = 0;
@@ -319,7 +416,77 @@ int CmdDetect(const Args& args) {
               "%zu\n",
               voted, manifest.mark_bits, report.slots_read,
               report.tuples_selected);
+  return EmitJson(args, DetectReportJson(named.name, report));
+}
+
+int CmdGenKey(const Args& args) {
+  if (args.positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: privmark_cli gen-key <out.key> [--name=recipient] "
+                 "[--eta=50] [--seed=N] [--k1=] [--k2=]\n");
+    return 2;
+  }
+  const std::string name = args.Flag("name", "recipient");
+  const uint64_t eta = args.FlagU64("eta", 50);
+  NamedKey key;
+  if (args.flags.count("k1") > 0 || args.flags.count("k2") > 0) {
+    key = NamedKey{name, KeyFromArgs(args)};
+  } else {
+    // privmark never draws from system entropy — the caller owns the
+    // seed, and distinct recipients need distinct seeds.
+    Random rng(args.FlagU64("seed", 1));
+    key = GenerateKey(name, eta, &rng);
+  }
+  if (auto st = WriteKeyFile(key, args.positional[1]); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("key '%s' (eta %llu) -> %s\n", key.name.c_str(),
+              static_cast<unsigned long long>(key.key.eta),
+              args.positional[1].c_str());
   return 0;
+}
+
+int CmdCmp(const Args& args) {
+  if (args.positional.size() != 4) {
+    std::fprintf(stderr,
+                 "usage: privmark_cli cmp <table.csv> <manifest> "
+                 "<expected_mark_bits> [--key=key.file] [--k1=] [--k2=] "
+                 "[--eta=] [--threads=] [--json[=path]]\n");
+    return 2;
+  }
+  MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
+  Table table = Must(ReadTableCsv(args.positional[1], MedicalSchema()));
+  ProtectionManifest manifest = Must(ReadManifestFile(args.positional[2]));
+  BitVector expected = Must(BitVector::FromString(args.positional[3]));
+
+  NamedKey named = NamedKeyFromArgs(args);
+  if (named.name.empty()) named.name = "candidate";
+  KeyRegistry registry;
+  if (auto st = registry.Add(named); !st.ok()) return Fail(st);
+
+  WatermarkOptions options;
+  options.hash = manifest.hash;
+  options.num_threads = args.FlagU64("threads", 1);
+  HierarchicalWatermarker watermarker = Must(WatermarkerFromManifest(
+      manifest, table, ontologies.trees(), named.key, options));
+  FingerprintConfig scan;
+  scan.wm_size = manifest.mark_bits;
+  scan.wmd_size = manifest.wmd_size;
+  scan.expected_mark = expected;
+  FingerprintReport report =
+      Must(ScanForFingerprints(watermarker, table, registry, scan));
+  const KeyVerdict& verdict = report.verdicts[0];
+  std::printf("key: %s\n", verdict.key_name.c_str());
+  std::printf("mark match: %.1f%% (chance probability %.3e)\n",
+              verdict.mark_match * 100, verdict.p_value);
+  std::printf("vote agreement: %.1f%%\n", verdict.margin_ratio * 100);
+  std::printf("verdict: %s (threshold %.2f)\n",
+              verdict.detected ? "MATCH" : "NO_MATCH",
+              scan.match_threshold);
+  const int json_status =
+      EmitJson(args, CmpReportJson(verdict, expected, scan.match_threshold));
+  if (json_status != 0) return json_status;
+  return verdict.detected ? 0 : 3;
 }
 
 int CmdAttack(const Args& args) {
@@ -438,6 +605,23 @@ bool DrainStream(const std::string& name, ClientStream* stream) {
                       name.c_str(), report.recovered.ToString().c_str(),
                       voted, report.recovered.size(),
                       response.threads_granted);
+        }
+        break;
+      }
+      case RequestKind::kDetectFingerprint: {
+        for (const FingerprintReport& report : response.fingerprints) {
+          std::printf("[%s] fingerprint: %zu/%zu key(s) detected%s "
+                      "(%zu threads)\n",
+                      name.c_str(), report.keys_detected,
+                      report.verdicts.size(),
+                      report.collusion ? " COLLUSION" : "",
+                      response.threads_granted);
+          for (size_t i = 0; i < report.ranking.size(); ++i) {
+            const KeyVerdict& v = report.verdicts[report.ranking[i]];
+            std::printf("[%s]   %2zu. %-24s score %.6f  %s\n", name.c_str(),
+                        i + 1, v.key_name.c_str(), v.score,
+                        v.detected ? "DETECTED" : "clear");
+          }
         }
         break;
       }
@@ -589,12 +773,33 @@ int CmdServe(const Args& args) {
       stream.pending.emplace_back(
           RequestKind::kDetect,
           service.Detect(name, std::move(copy), threads));
+    } else if (verb == "fingerprint") {
+      // fingerprint <session> <registry.file> [<table.csv>] — scan the
+      // suspect copy (default: what the session emitted) against a key
+      // registry.
+      if (cmd.positional.size() != 3 && cmd.positional.size() != 4) {
+        return bad_line("fingerprint <session> <registry> [<table.csv>]");
+      }
+      auto registry = std::make_shared<KeyRegistry>(
+          Must(KeyRegistry::ReadFile(cmd.positional[2])));
+      Table copy{MedicalSchema()};
+      if (cmd.positional.size() == 4) {
+        copy = Must(ReadTableCsv(cmd.positional[3], MedicalSchema()));
+      } else {
+        if (!DrainStream(name, &stream)) return 1;
+        copy = stream.emitted.Clone();
+      }
+      stream.pending.emplace_back(
+          RequestKind::kDetectFingerprint,
+          service.DetectFingerprint(name, std::move(copy),
+                                    std::move(registry), threads));
     } else if (verb == "close") {
       stream.pending.emplace_back(RequestKind::kCloseSession,
                                   service.CloseSession(name));
       if (!DrainStream(name, &stream)) return 1;
     } else {
-      return bad_line("unknown verb (open|ingest|flush|detect|close)");
+      return bad_line(
+          "unknown verb (open|ingest|flush|detect|fingerprint|close)");
     }
   }
 
@@ -649,13 +854,16 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: privmark_cli "
-                 "<generate|protect|detect|attack|dispute|serve> ...\n");
+                 "<generate|gen-key|protect|detect|cmp|attack|dispute|serve>"
+                 " ...\n");
     return 2;
   }
   const std::string& command = args.positional[0];
   if (command == "generate") return CmdGenerate(args);
+  if (command == "gen-key") return CmdGenKey(args);
   if (command == "protect") return CmdProtect(args);
   if (command == "detect") return CmdDetect(args);
+  if (command == "cmp") return CmdCmp(args);
   if (command == "attack") return CmdAttack(args);
   if (command == "dispute") return CmdDispute(args);
   if (command == "serve") return CmdServe(args);

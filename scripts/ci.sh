@@ -32,6 +32,7 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "${JOBS}"
 (cd build-tsan && ctest --output-on-failure -j "${JOBS}" -L parallel -LE slow)
 ./build-tsan/tests/properties_parallel_equivalence_test
+./build-tsan/tests/properties_fingerprint_equivalence_test
 ./build-tsan/tests/properties_streaming_equivalence_test \
   --gtest_filter='*AcrossThreads*:*JointParallel*'
 

@@ -31,6 +31,11 @@ namespace privmark {
 struct FrameworkConfig {
   BinningConfig binning;
   WatermarkKey key;
+  /// Non-secret name of `key` (the recipient it was issued to, e.g. a
+  /// KeyRegistry entry name). Recorded in manifests as the key id so a
+  /// later fingerprint scan knows which registry entry embedded this
+  /// copy; empty = unnamed key, nothing recorded.
+  std::string key_id;
   WatermarkOptions watermark;
   /// Mark length (the paper's experiments embed a 20-bit mark).
   size_t mark_bits = 20;

@@ -76,6 +76,7 @@ Result<ProtectionManifest> BuildManifest(const ProtectionOutcome& outcome,
   manifest.copies = outcome.embed.copies;
   manifest.epsilon = outcome.epsilon_used;
   manifest.hash = config.watermark.hash;
+  manifest.key_id = config.key_id;
   for (size_t c = 0; c < outcome.binning.qi_columns.size(); ++c) {
     ManifestColumn column;
     const size_t col = outcome.binning.qi_columns[c];
@@ -111,6 +112,7 @@ Result<ProtectionManifest> ManifestFromEpoch(const EpochRecord& epoch,
   manifest.copies = epoch.copies;
   manifest.epsilon = epoch.epsilon_used;
   manifest.hash = config.watermark.hash;
+  manifest.key_id = config.key_id;
   for (size_t c = 0; c < qi_columns.size(); ++c) {
     ManifestColumn column;
     column.name = schema.column(qi_columns[c]).name;
@@ -134,6 +136,9 @@ std::string SerializeManifest(const ProtectionManifest& manifest) {
   out += "copies = " + std::to_string(manifest.copies) + "\n";
   out += "epsilon = " + std::to_string(manifest.epsilon) + "\n";
   out += std::string("hash = ") + HashAlgorithmToString(manifest.hash) + "\n";
+  if (!manifest.key_id.empty()) {
+    out += "key_id = " + manifest.key_id + "\n";
+  }
   for (const ManifestColumn& column : manifest.columns) {
     out += "[column]\n";
     out += "name = " + column.name + "\n";
@@ -187,6 +192,8 @@ Result<ProtectionManifest> ParseManifest(const std::string& text) {
       } else {
         return Status::InvalidArgument("manifest: unknown hash " + value);
       }
+    } else if (key == "key_id") {
+      manifest.key_id = value;
     } else if (key == "name" || key == "ultimate" || key == "maximal") {
       if (current_column == nullptr) {
         return Status::InvalidArgument("manifest: '" + key +

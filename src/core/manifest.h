@@ -41,6 +41,9 @@ struct ProtectionManifest {
   size_t copies = 0;
   size_t epsilon = 0;
   HashAlgorithm hash = HashAlgorithm::kSha1;
+  /// Name of the key this copy was embedded with (FrameworkConfig::key_id;
+  /// a KeyRegistry entry name, never the key itself). Empty = unnamed.
+  std::string key_id;
   std::vector<ManifestColumn> columns;
 };
 

@@ -1,0 +1,157 @@
+#include "core/report_json.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace privmark {
+
+namespace {
+
+// Fractions (matches, ratios, thresholds) with fixed 6 decimals.
+std::string Frac(double v) { return FormatDouble(v, 6); }
+
+// Vote margins are whole-valued sums of +-1.0 votes.
+std::string Margin(double v) { return FormatDouble(v, 1); }
+
+// p-values span many orders of magnitude; scientific notation keeps the
+// information without 300-character fixed-point strings.
+std::string PValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+size_t CountVoted(const DetectReport& report) {
+  size_t voted = 0;
+  for (bool b : report.bit_voted) {
+    if (b) ++voted;
+  }
+  return voted;
+}
+
+std::string MarginArray(const DetectReport& report) {
+  std::string out = "[";
+  for (size_t j = 0; j < report.vote_margin.size(); ++j) {
+    if (j > 0) out += ", ";
+    out += Margin(report.vote_margin[j]);
+  }
+  out += "]";
+  return out;
+}
+
+// The counter and recovery fields shared by every report flavor, emitted
+// at `indent` spaces.
+std::string DetectionFields(const DetectReport& report,
+                            const std::string& indent) {
+  std::string out;
+  out += indent + "\"recovered\": \"" + report.recovered.ToString() + "\",\n";
+  out += indent + "\"bits_voted\": " + std::to_string(CountVoted(report)) +
+         ",\n";
+  out += indent +
+         "\"tuples_selected\": " + std::to_string(report.tuples_selected) +
+         ",\n";
+  out += indent + "\"slots_read\": " + std::to_string(report.slots_read) +
+         ",\n";
+  out += indent +
+         "\"slots_skipped\": " + std::to_string(report.slots_skipped) + ",\n";
+  out += indent + "\"vote_margin\": " + MarginArray(report);
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string DetectReportJson(const std::string& key_name,
+                             const DetectReport& report) {
+  std::string out = "{\n";
+  out += "  \"mode\": \"detect\",\n";
+  out += "  \"key\": \"" + JsonEscape(key_name) + "\",\n";
+  out += DetectionFields(report, "  ") + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string CmpReportJson(const KeyVerdict& verdict, const BitVector& expected,
+                          double threshold) {
+  std::string out = "{\n";
+  out += "  \"mode\": \"cmp\",\n";
+  out += "  \"key\": \"" + JsonEscape(verdict.key_name) + "\",\n";
+  out += "  \"expected\": \"" + expected.ToString() + "\",\n";
+  out += "  \"mark_match\": " + Frac(verdict.mark_match) + ",\n";
+  out += "  \"margin_ratio\": " + Frac(verdict.margin_ratio) + ",\n";
+  out += "  \"p_value\": " + PValue(verdict.p_value) + ",\n";
+  out += "  \"threshold\": " + Frac(threshold) + ",\n";
+  out += std::string("  \"verdict\": ") +
+         (verdict.detected ? "\"MATCH\"" : "\"NO_MATCH\"") + ",\n";
+  out += DetectionFields(verdict.detection, "  ") + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string FingerprintReportJson(const FingerprintReport& report,
+                                  double threshold) {
+  std::string out = "{\n";
+  out += "  \"mode\": \"fingerprint\",\n";
+  out += "  \"keys_scanned\": " + std::to_string(report.verdicts.size()) +
+         ",\n";
+  out += "  \"keys_detected\": " + std::to_string(report.keys_detected) +
+         ",\n";
+  out += std::string("  \"collusion\": ") +
+         (report.collusion ? "true" : "false") + ",\n";
+  out += "  \"threshold\": " + Frac(threshold) + ",\n";
+  out += "  \"keys\": [";
+  for (size_t i = 0; i < report.ranking.size(); ++i) {
+    const KeyVerdict& verdict = report.verdicts[report.ranking[i]];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"rank\": " + std::to_string(i + 1) + ",\n";
+    out += "      \"key\": \"" + JsonEscape(verdict.key_name) + "\",\n";
+    out += "      \"score\": " + Frac(verdict.score) + ",\n";
+    out += "      \"mark_match\": " + Frac(verdict.mark_match) + ",\n";
+    out += "      \"margin_ratio\": " + Frac(verdict.margin_ratio) + ",\n";
+    out += "      \"p_value\": " + PValue(verdict.p_value) + ",\n";
+    out += std::string("      \"verdict\": ") +
+           (verdict.detected ? "\"DETECTED\"" : "\"CLEAR\"") + ",\n";
+    out += DetectionFields(verdict.detection, "      ") + "\n";
+    out += "    }";
+  }
+  out += "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace privmark

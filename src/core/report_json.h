@@ -1,0 +1,44 @@
+// Structured (JSON) forms of detection and fingerprint reports, the
+// machine-readable face of `privmark_cli detect/cmp --json` (audiowmark's
+// result style: per-key margin, verdict, threshold).
+//
+// Hand-rolled emitters — no third-party JSON dependency — with stable
+// formatting so outputs diff cleanly and golden-file tests hold across
+// platforms: fractions print with 6 decimal places (FormatDouble), vote
+// margins with 1 (they are whole-valued sums of +-1.0 votes), p-values in
+// scientific notation with 3 significant decimals.
+
+#ifndef PRIVMARK_CORE_REPORT_JSON_H_
+#define PRIVMARK_CORE_REPORT_JSON_H_
+
+#include <string>
+
+#include "watermark/fingerprint.h"
+#include "watermark/hierarchical.h"
+
+namespace privmark {
+
+/// \brief JSON escaping for strings (quotes, backslashes, control
+/// characters); exposed for the CLI's own ad-hoc fields.
+std::string JsonEscape(const std::string& s);
+
+/// \brief A plain single-key detection (detect verb, no reference mark):
+/// recovered mark, counters, per-bit margins. `key_name` may be empty
+/// (flag-supplied key material with no name).
+std::string DetectReportJson(const std::string& key_name,
+                             const DetectReport& report);
+
+/// \brief A single-key comparison against an expected mark (cmp verb).
+/// The verdict is the KeyVerdict of a one-entry registry scan; emits
+/// mark_match, p_value, the threshold, and verdict MATCH / NO_MATCH.
+std::string CmpReportJson(const KeyVerdict& verdict,
+                          const BitVector& expected, double threshold);
+
+/// \brief A full registry scan: per-key verdicts in rank order plus the
+/// detected count and collusion flag.
+std::string FingerprintReportJson(const FingerprintReport& report,
+                                  double threshold);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_CORE_REPORT_JSON_H_

@@ -486,4 +486,37 @@ Result<std::vector<DetectReport>> ProtectionSession::DetectAcrossEpochs(
   return reports;
 }
 
+Result<std::vector<FingerprintReport>> ProtectionSession::
+    FingerprintAcrossEpochs(const Table& concatenated,
+                            const KeyRegistry& registry) const {
+  size_t total = 0;
+  for (const EpochRecord& rec : epochs_) total += rec.rows_emitted;
+  if (concatenated.num_rows() != total) {
+    return Status::InvalidArgument(
+        "FingerprintAcrossEpochs: table has " +
+        std::to_string(concatenated.num_rows()) + " rows, session emitted " +
+        std::to_string(total));
+  }
+  std::vector<FingerprintReport> reports;
+  reports.reserve(epochs_.size());
+  size_t offset = 0;
+  for (const EpochRecord& rec : epochs_) {
+    Table segment(concatenated.schema());
+    for (size_t r = offset; r < offset + rec.rows_emitted; ++r) {
+      PRIVMARK_RETURN_NOT_OK(segment.AppendRow(concatenated.row(r)));
+    }
+    offset += rec.rows_emitted;
+    HierarchicalWatermarker watermarker = MakeEpochWatermarker(rec);
+    FingerprintConfig scan;
+    scan.wm_size = rec.mark.size();
+    scan.wmd_size = rec.wmd_size;
+    scan.expected_mark = rec.mark;
+    PRIVMARK_ASSIGN_OR_RETURN(
+        FingerprintReport report,
+        ScanForFingerprints(watermarker, segment, registry, scan));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
 }  // namespace privmark

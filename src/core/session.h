@@ -51,6 +51,7 @@
 #include "core/framework.h"
 #include "crypto/aes128.h"
 #include "hierarchy/encoded_view.h"
+#include "watermark/fingerprint.h"
 
 namespace privmark {
 
@@ -170,6 +171,13 @@ class ProtectionSession {
   /// count does not equal the total emitted.
   Result<std::vector<DetectReport>> DetectAcrossEpochs(
       const Table& concatenated) const;
+
+  /// \brief Fingerprint counterpart of DetectAcrossEpochs: scans each
+  /// epoch's slice of `concatenated` against the whole registry, using
+  /// the epoch's own generalization, recorded mark (as the expected
+  /// mark), and wmd size. One report per epoch, registry scan order.
+  Result<std::vector<FingerprintReport>> FingerprintAcrossEpochs(
+      const Table& concatenated, const KeyRegistry& registry) const;
 
   /// \brief The watermarker for one epoch's output (detection tooling).
   HierarchicalWatermarker MakeEpochWatermarker(const EpochRecord& rec) const;

@@ -14,6 +14,8 @@ const char* RequestKindToString(RequestKind kind) {
       return "Flush";
     case RequestKind::kDetect:
       return "Detect";
+    case RequestKind::kDetectFingerprint:
+      return "DetectFingerprint";
     case RequestKind::kCloseSession:
       return "CloseSession";
   }
@@ -184,6 +186,18 @@ ServiceFuture PrivmarkService::Detect(const std::string& session,
   return Submit(std::move(request));
 }
 
+ServiceFuture PrivmarkService::DetectFingerprint(
+    const std::string& session, Table concatenated,
+    std::shared_ptr<const KeyRegistry> registry, size_t num_threads) {
+  ServiceRequest request;
+  request.kind = RequestKind::kDetectFingerprint;
+  request.session = session;
+  request.table = std::move(concatenated);
+  request.registry = std::move(registry);
+  request.num_threads = num_threads;
+  return Submit(std::move(request));
+}
+
 ServiceFuture PrivmarkService::CloseSession(const std::string& session) {
   ServiceRequest request;
   request.kind = RequestKind::kCloseSession;
@@ -254,6 +268,17 @@ Result<ServiceResponse> PrivmarkService::Execute(Strand* strand,
         PRIVMARK_ASSIGN_OR_RETURN(
             response.reports,
             strand->session->DetectAcrossEpochs(request->table));
+        break;
+      }
+      case RequestKind::kDetectFingerprint: {
+        if (request->registry == nullptr) {
+          return Status::InvalidArgument(
+              "DetectFingerprint: request carries no key registry");
+        }
+        PRIVMARK_ASSIGN_OR_RETURN(
+            response.fingerprints,
+            strand->session->FingerprintAcrossEpochs(request->table,
+                                                     *request->registry));
         break;
       }
       case RequestKind::kCloseSession:

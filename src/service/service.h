@@ -59,7 +59,7 @@ namespace privmark {
 /// per-request thread ask).
 inline constexpr size_t kSessionThreads = static_cast<size_t>(-1);
 
-/// \brief The four request types the service executes.
+/// \brief The request types the service executes.
 enum class RequestKind {
   /// Ingest one batch of original rows (ProtectionSession::Ingest).
   kProtectBatch,
@@ -68,6 +68,9 @@ enum class RequestKind {
   /// Detect every epoch's mark in a concatenation of the session's
   /// emitted output (ProtectionSession::DetectAcrossEpochs).
   kDetect,
+  /// Scan a suspect table against a key registry
+  /// (ProtectionSession::FingerprintAcrossEpochs).
+  kDetectFingerprint,
   /// Drain the session and retire it; its name becomes reusable.
   kCloseSession,
 };
@@ -80,6 +83,11 @@ struct ServiceRequest {
   RequestKind kind = RequestKind::kProtectBatch;
   std::string session;
   Table table;
+  /// kDetectFingerprint: the candidate keys to scan against. Shared
+  /// (not copied) because a registry can hold thousands of keys and one
+  /// audit typically scans many suspect tables against the same one;
+  /// callers must not mutate it after submitting.
+  std::shared_ptr<const KeyRegistry> registry;
   /// Admission ask for this request; kSessionThreads = the session
   /// config's own num_threads knobs. 0 = the whole thread cap.
   size_t num_threads = kSessionThreads;
@@ -99,6 +107,8 @@ struct ServiceResponse {
   IngestResult ingest;                // kProtectBatch
   EpochOutput epoch;                  // kFlush
   std::vector<DetectReport> reports;  // kDetect
+  /// kDetectFingerprint: one registry scan per epoch, in epoch order.
+  std::vector<FingerprintReport> fingerprints;
   SessionStats stats;                 // kCloseSession
   /// Threads the admission controller granted this request (1 for
   /// kCloseSession, which does no data-parallel work).
@@ -181,6 +191,10 @@ class PrivmarkService {
                       size_t num_threads = kSessionThreads);
   ServiceFuture Detect(const std::string& session, Table concatenated,
                        size_t num_threads = kSessionThreads);
+  ServiceFuture DetectFingerprint(const std::string& session,
+                                  Table concatenated,
+                                  std::shared_ptr<const KeyRegistry> registry,
+                                  size_t num_threads = kSessionThreads);
   ServiceFuture CloseSession(const std::string& session);
 
   /// \brief Closes intake on every session, drains every queue, joins

@@ -1,0 +1,240 @@
+#include "watermark/detect_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace privmark {
+
+namespace {
+
+using watermark_internal::IdentText;
+using watermark_internal::MergeVotes;
+using watermark_internal::VoteShard;
+
+// One row-shard of the index build: its slot outcomes plus identifier
+// bytes and per-row lengths (offsets are prefix-summed after the merge).
+struct IndexShard {
+  std::vector<SlotVote> slots;
+  std::string ident_bytes;
+  std::vector<size_t> ident_sizes;
+};
+
+void MergeIndex(IndexShard* acc, IndexShard&& shard) {
+  acc->slots.insert(acc->slots.end(), shard.slots.begin(), shard.slots.end());
+  acc->ident_bytes += shard.ident_bytes;
+  acc->ident_sizes.insert(acc->ident_sizes.end(), shard.ident_sizes.begin(),
+                          shard.ident_sizes.end());
+}
+
+// Shared build skeleton; `slot_of(cell, c, &level_scratch)` is each
+// scheme's ReadSlot.
+template <typename SlotFn>
+Result<DetectIndex> BuildIndexImpl(const Table& table, size_t ident_column,
+                                   const std::vector<size_t>& qi_columns,
+                                   const WatermarkOptions& options,
+                                   const SlotFn& slot_of) {
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* const pool =
+      PoolOrMake(options.pool, options.num_threads, &owned_pool);
+  const size_t num_cols = qi_columns.size();
+  PRIVMARK_ASSIGN_OR_RETURN(
+      IndexShard merged,
+      ParallelReduce<IndexShard>(
+          pool, table.num_rows(), IndexShard{},
+          [&](size_t, size_t begin, size_t end) -> Result<IndexShard> {
+            IndexShard shard;
+            shard.slots.reserve((end - begin) * num_cols);
+            shard.ident_sizes.reserve(end - begin);
+            std::string scratch;
+            std::vector<std::pair<bool, int>> level_scratch;
+            for (size_t r = begin; r < end; ++r) {
+              const std::string_view ident =
+                  IdentText(table.at(r, ident_column), &scratch);
+              shard.ident_bytes.append(ident.data(), ident.size());
+              shard.ident_sizes.push_back(ident.size());
+              for (size_t c = 0; c < num_cols; ++c) {
+                shard.slots.push_back(
+                    slot_of(table.at(r, qi_columns[c]), c, &level_scratch));
+              }
+            }
+            return shard;
+          },
+          MergeIndex));
+
+  DetectIndex index;
+  index.num_rows = table.num_rows();
+  index.column_names.reserve(num_cols);
+  for (size_t col : qi_columns) {
+    index.column_names.push_back(table.schema().column(col).name);
+  }
+  index.slots = std::move(merged.slots);
+  index.ident_bytes = std::move(merged.ident_bytes);
+  index.ident_offsets.resize(index.num_rows + 1, 0);
+  for (size_t r = 0; r < index.num_rows; ++r) {
+    index.ident_offsets[r + 1] = index.ident_offsets[r] +
+                                 merged.ident_sizes[r];
+  }
+  return index;
+}
+
+// The keyed inner loop shared by TallyDetect and MultiKeyTally: replays
+// selection and position hashing over [begin, end), reading slot votes
+// from the index. Mirrors the fused Detect() loop statement for
+// statement, so counters and tallies come out identical.
+void TallyRows(const DetectIndex& index, WatermarkHasher* hasher,
+               size_t wmd_size, size_t begin, size_t end, VoteShard* shard) {
+  const size_t num_cols = index.num_columns();
+  for (size_t r = begin; r < end; ++r) {
+    const std::string_view ident = index.ident(r);
+    if (!hasher->TupleSelected(ident)) continue;
+    ++shard->tuples_selected;
+    for (size_t c = 0; c < num_cols; ++c) {
+      const SlotVote vote = index.slots[r * num_cols + c];
+      if (vote == SlotVote::kSkip) {
+        ++shard->slots_skipped;
+        continue;
+      }
+      const size_t pos =
+          hasher->WmdPosition(ident, index.column_names[c], wmd_size);
+      (vote == SlotVote::kOne ? shard->ones[pos] : shard->zeros[pos]) += 1.0;
+      ++shard->slots_read;
+    }
+  }
+}
+
+Status ValidateSizes(size_t wm_size, size_t wmd_size) {
+  if (wm_size == 0 || wmd_size == 0 || wmd_size % wm_size != 0) {
+    return Status::InvalidArgument(
+        "Detect: wmd_size must be a positive multiple of wm_size");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void FoldVotes(const VoteShard& votes, size_t wm_size, size_t wmd_size,
+               DetectReport* report) {
+  report->tuples_selected = votes.tuples_selected;
+  report->slots_read = votes.slots_read;
+  report->slots_skipped = votes.slots_skipped;
+  // Fold wmd votes down to wm bits: copy t of bit j lives at j + t*wm_size.
+  report->recovered = BitVector(wm_size);
+  report->vote_margin.assign(wm_size, 0.0);
+  report->bit_voted.assign(wm_size, false);
+  for (size_t j = 0; j < wm_size; ++j) {
+    double zero_total = 0.0;
+    double one_total = 0.0;
+    for (size_t pos = j; pos < wmd_size; pos += wm_size) {
+      zero_total += votes.zeros[pos];
+      one_total += votes.ones[pos];
+    }
+    report->vote_margin[j] = one_total - zero_total;
+    report->bit_voted[j] = (zero_total + one_total) > 0.0;
+    report->recovered.Set(j, one_total > zero_total);
+  }
+}
+
+Result<DetectIndex> BuildDetectIndex(const HierarchicalWatermarker& wm,
+                                     const Table& table) {
+  return BuildIndexImpl(
+      table, wm.ident_column(), wm.qi_columns(), wm.options(),
+      [&wm](const Value& cell, size_t c,
+            std::vector<std::pair<bool, int>>* scratch) {
+        return wm.ReadSlot(c, cell, scratch);
+      });
+}
+
+Result<DetectIndex> BuildDetectIndex(const SingleLevelWatermarker& wm,
+                                     const Table& table) {
+  return BuildIndexImpl(
+      table, wm.ident_column(), wm.qi_columns(), wm.options(),
+      [&wm](const Value& cell, size_t c,
+            std::vector<std::pair<bool, int>>*) {
+        return wm.ReadSlot(c, cell);
+      });
+}
+
+Result<DetectReport> TallyDetect(const DetectIndex& index,
+                                 const WatermarkKey& key, HashAlgorithm algo,
+                                 size_t wm_size, size_t wmd_size,
+                                 ThreadPool* pool) {
+  PRIVMARK_RETURN_NOT_OK(ValidateSizes(wm_size, wmd_size));
+  PRIVMARK_ASSIGN_OR_RETURN(
+      VoteShard votes,
+      ParallelReduce<VoteShard>(
+          pool, index.num_rows, VoteShard(wmd_size),
+          [&](size_t, size_t begin, size_t end) -> Result<VoteShard> {
+            VoteShard shard(wmd_size);
+            WatermarkHasher hasher(key, algo);
+            TallyRows(index, &hasher, wmd_size, begin, end, &shard);
+            return shard;
+          },
+          MergeVotes));
+  DetectReport report;
+  FoldVotes(votes, wm_size, wmd_size, &report);
+  return report;
+}
+
+Result<std::vector<DetectReport>> MultiKeyTally(
+    const DetectIndex& index, const std::vector<WatermarkKey>& keys,
+    HashAlgorithm algo, size_t wm_size, size_t wmd_size, ThreadPool* pool) {
+  PRIVMARK_RETURN_NOT_OK(ValidateSizes(wm_size, wmd_size));
+  std::vector<DetectReport> reports;
+  reports.reserve(keys.size());
+
+  const std::vector<ShardRange> shards =
+      ShardRanges(index.num_rows, pool == nullptr ? 1 : pool->num_threads());
+  const size_t num_shards = shards.size();
+  if (num_shards == 0) {
+    // Empty table: every key folds an empty tally.
+    for (size_t k = 0; k < keys.size(); ++k) {
+      DetectReport report;
+      FoldVotes(VoteShard(wmd_size), wm_size, wmd_size, &report);
+      reports.push_back(std::move(report));
+    }
+    return reports;
+  }
+
+  // Keys are processed in blocks so live VoteShards stay O(threads), not
+  // O(K) — a thousands-of-keys scan must not hold thousands of wmd-sized
+  // tallies at once. Each block flattens into one (key x shard) fork-join
+  // batch with ~4 tasks per worker; within a block, task t owns cell
+  // cells[t] and nothing else, and each key's cells merge in shard order.
+  const size_t num_threads = pool == nullptr ? 1 : pool->num_threads();
+  const size_t block =
+      pool == nullptr
+          ? 1
+          : std::max<size_t>(1, (4 * num_threads + num_shards - 1) /
+                                    num_shards);
+  std::vector<VoteShard> cells;
+  for (size_t k0 = 0; k0 < keys.size(); k0 += block) {
+    const size_t block_keys = std::min(keys.size() - k0, block);
+    cells.assign(block_keys * num_shards, VoteShard(wmd_size));
+    const auto task = [&](size_t t) {
+      const size_t ki = t / num_shards;
+      const size_t s = t % num_shards;
+      WatermarkHasher hasher(keys[k0 + ki], algo);
+      TallyRows(index, &hasher, wmd_size, shards[s].begin, shards[s].end,
+                &cells[t]);
+    };
+    if (pool == nullptr) {
+      for (size_t t = 0; t < block_keys * num_shards; ++t) task(t);
+    } else {
+      pool->Run(block_keys * num_shards, task);
+    }
+    for (size_t ki = 0; ki < block_keys; ++ki) {
+      VoteShard votes(wmd_size);
+      for (size_t s = 0; s < num_shards; ++s) {
+        MergeVotes(&votes, std::move(cells[ki * num_shards + s]));
+      }
+      DetectReport report;
+      FoldVotes(votes, wm_size, wmd_size, &report);
+      reports.push_back(std::move(report));
+    }
+  }
+  return reports;
+}
+
+}  // namespace privmark

@@ -1,0 +1,116 @@
+#include "watermark/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/parallel.h"
+
+namespace privmark {
+
+namespace {
+
+Result<FingerprintReport> BuildReport(std::vector<DetectReport> detections,
+                                      const KeyRegistry& registry,
+                                      const FingerprintConfig& config) {
+  FingerprintReport report;
+  report.verdicts.reserve(detections.size());
+  for (size_t k = 0; k < detections.size(); ++k) {
+    KeyVerdict verdict;
+    verdict.key_name = registry.keys()[k].name;
+    verdict.detection = std::move(detections[k]);
+    const DetectReport& det = verdict.detection;
+
+    double margin_sum = 0.0;
+    for (double m : det.vote_margin) margin_sum += std::abs(m);
+    verdict.margin_ratio =
+        det.slots_read > 0
+            ? margin_sum / static_cast<double>(det.slots_read)
+            : 0.0;
+
+    if (!config.expected_mark.empty()) {
+      PRIVMARK_ASSIGN_OR_RETURN(
+          double loss, config.expected_mark.LossFraction(det.recovered));
+      verdict.mark_match = 1.0 - loss;
+      PRIVMARK_ASSIGN_OR_RETURN(
+          verdict.p_value, DetectionPValue(config.expected_mark, det));
+      verdict.score = verdict.mark_match;
+    } else {
+      verdict.score = verdict.margin_ratio;
+    }
+    verdict.detected =
+        det.slots_read > 0 && verdict.score >= config.match_threshold;
+    if (verdict.detected) ++report.keys_detected;
+    report.verdicts.push_back(std::move(verdict));
+  }
+  report.collusion = report.keys_detected >= 2;
+
+  report.ranking.resize(report.verdicts.size());
+  for (size_t i = 0; i < report.ranking.size(); ++i) report.ranking[i] = i;
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [&](size_t a, size_t b) {
+              const KeyVerdict& va = report.verdicts[a];
+              const KeyVerdict& vb = report.verdicts[b];
+              if (va.score != vb.score) return va.score > vb.score;
+              if (va.p_value != vb.p_value) return va.p_value < vb.p_value;
+              if (va.margin_ratio != vb.margin_ratio) {
+                return va.margin_ratio > vb.margin_ratio;
+              }
+              return va.key_name < vb.key_name;
+            });
+  return report;
+}
+
+}  // namespace
+
+Result<FingerprintReport> ScanIndexForFingerprints(
+    const DetectIndex& index, HashAlgorithm algo, const KeyRegistry& registry,
+    const FingerprintConfig& config, ThreadPool* pool) {
+  if (registry.empty()) {
+    return Status::InvalidArgument(
+        "ScanIndexForFingerprints: empty key registry");
+  }
+  if (!config.expected_mark.empty() &&
+      config.expected_mark.size() != config.wm_size) {
+    return Status::InvalidArgument(
+        "ScanIndexForFingerprints: expected mark has " +
+        std::to_string(config.expected_mark.size()) + " bits, wm_size is " +
+        std::to_string(config.wm_size));
+  }
+  std::vector<WatermarkKey> keys;
+  keys.reserve(registry.size());
+  for (const NamedKey& entry : registry.keys()) keys.push_back(entry.key);
+  PRIVMARK_ASSIGN_OR_RETURN(
+      std::vector<DetectReport> detections,
+      MultiKeyTally(index, keys, algo, config.wm_size, config.wmd_size,
+                    pool));
+  return BuildReport(std::move(detections), registry, config);
+}
+
+Result<FingerprintReport> ScanForFingerprints(
+    const HierarchicalWatermarker& watermarker, const Table& suspect,
+    const KeyRegistry& registry, const FingerprintConfig& config) {
+  PRIVMARK_ASSIGN_OR_RETURN(DetectIndex index,
+                            BuildDetectIndex(watermarker, suspect));
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* const pool =
+      PoolOrMake(watermarker.options().pool, watermarker.options().num_threads,
+                 &owned_pool);
+  return ScanIndexForFingerprints(index, watermarker.options().hash, registry,
+                                  config, pool);
+}
+
+Result<FingerprintReport> ScanForFingerprints(
+    const SingleLevelWatermarker& watermarker, const Table& suspect,
+    const KeyRegistry& registry, const FingerprintConfig& config) {
+  PRIVMARK_ASSIGN_OR_RETURN(DetectIndex index,
+                            BuildDetectIndex(watermarker, suspect));
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* const pool =
+      PoolOrMake(watermarker.options().pool, watermarker.options().num_threads,
+                 &owned_pool);
+  return ScanIndexForFingerprints(index, watermarker.options().hash, registry,
+                                  config, pool);
+}
+
+}  // namespace privmark

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "watermark/detect_index.h"
 #include "watermark/embed_internal.h"
 
 namespace privmark {
@@ -46,6 +47,58 @@ NodeId HierarchicalWatermarker::MaximalAbove(size_t c, NodeId node) const {
     if (maximal_[c].Contains(cur)) return cur;
   }
   return kInvalidNode;
+}
+
+SlotVote HierarchicalWatermarker::ReadSlot(
+    size_t c, const Value& cell,
+    std::vector<std::pair<bool, int>>* level_scratch) const {
+  const DomainHierarchy& tree = *ultimate_[c].tree();
+  auto node_result = cell.type() == ValueType::kString
+                         ? tree.FindByLabel(cell.AsString())
+                         : tree.FindByLabel(cell.ToString());
+  if (!node_result.ok()) {
+    // Altered beyond the domain: no votes from this slot.
+    return SlotVote::kSkip;
+  }
+  NodeId cur = *node_result;
+  if (maximal_[c].Contains(cur)) return SlotVote::kSkip;
+
+  // Walk up to the maximal node, reading a parity bit per level with >= 2
+  // siblings (Fig. 9's Detection inner loop). The embedding wrote the
+  // same bit at every level, so majority-vote the levels. Sibling index
+  // and count are O(1) precomputed tree metadata.
+  std::vector<std::pair<bool, int>>& level_bits = *level_scratch;
+  bool reached_maximal = false;
+  level_bits.clear();
+  while (cur != kInvalidNode) {
+    const NodeId parent = tree.Parent(cur);
+    if (parent == kInvalidNode) break;
+    if (tree.SiblingCount(cur) >= 2) {
+      level_bits.push_back(
+          {(tree.SiblingIndex(cur) & 1) != 0, tree.Depth(cur)});
+    }
+    if (maximal_[c].Contains(parent)) {
+      reached_maximal = true;
+      break;
+    }
+    cur = parent;
+  }
+  if (!reached_maximal || level_bits.empty()) return SlotVote::kSkip;
+
+  // Weight by distance from the top of the walk (highest level first).
+  double zero_weight = 0.0;
+  double one_weight = 0.0;
+  const int top_depth = level_bits.back().second;
+  for (const auto& [bit, depth] : level_bits) {
+    const double weight =
+        options_.weighted_voting
+            ? std::pow(options_.level_weight_decay, depth - top_depth)
+            : 1.0;
+    (bit ? one_weight : zero_weight) += weight;
+  }
+  // Tied levels: the slot abstains.
+  if (one_weight == zero_weight) return SlotVote::kSkip;
+  return one_weight > zero_weight ? SlotVote::kOne : SlotVote::kZero;
 }
 
 Result<size_t> HierarchicalWatermarker::EstimateBandwidth(
@@ -243,96 +296,23 @@ Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
                 const size_t col = qi_columns_[c];
                 const std::string& column_name =
                     table.schema().column(col).name;
-                const DomainHierarchy& tree = *ultimate_[c].tree();
-
-                const Value& cell = table.at(r, col);
-                auto node_result = cell.type() == ValueType::kString
-                                       ? tree.FindByLabel(cell.AsString())
-                                       : tree.FindByLabel(cell.ToString());
-                if (!node_result.ok()) {
-                  // Altered beyond the domain: no votes from this slot.
-                  ++shard.slots_skipped;
-                  continue;
-                }
-                NodeId cur = *node_result;
-                if (maximal_[c].Contains(cur)) {
-                  ++shard.slots_skipped;
-                  continue;
-                }
-
-                // Walk up to the maximal node, reading a parity bit per
-                // level with >= 2 siblings (Fig. 9's Detection inner
-                // loop). The embedding wrote the same bit at every level,
-                // so majority-vote the levels. Sibling index and count are
-                // O(1) precomputed tree metadata.
-                double zero_weight = 0.0;
-                double one_weight = 0.0;
-                bool reached_maximal = false;
-                level_bits.clear();
-                while (cur != kInvalidNode) {
-                  const NodeId parent = tree.Parent(cur);
-                  if (parent == kInvalidNode) break;
-                  if (tree.SiblingCount(cur) >= 2) {
-                    level_bits.push_back(
-                        {(tree.SiblingIndex(cur) & 1) != 0, tree.Depth(cur)});
-                  }
-                  if (maximal_[c].Contains(parent)) {
-                    reached_maximal = true;
-                    break;
-                  }
-                  cur = parent;
-                }
-                if (!reached_maximal || level_bits.empty()) {
-                  ++shard.slots_skipped;
-                  continue;
-                }
-                // Weight by distance from the top of the walk (highest
-                // level first).
-                const int top_depth = level_bits.back().second;
-                for (const auto& [bit, depth] : level_bits) {
-                  const double weight =
-                      options_.weighted_voting
-                          ? std::pow(options_.level_weight_decay,
-                                     depth - top_depth)
-                          : 1.0;
-                  (bit ? one_weight : zero_weight) += weight;
-                }
-                const bool slot_bit = one_weight > zero_weight;
-                if (one_weight == zero_weight) {
-                  // Tied levels: the slot abstains.
+                const SlotVote vote =
+                    ReadSlot(c, table.at(r, col), &level_bits);
+                if (vote == SlotVote::kSkip) {
                   ++shard.slots_skipped;
                   continue;
                 }
                 const size_t pos =
                     hasher.WmdPosition(ident, column_name, wmd_size);
-                (slot_bit ? shard.ones[pos] : shard.zeros[pos]) += 1.0;
+                (vote == SlotVote::kOne ? shard.ones[pos]
+                                        : shard.zeros[pos]) += 1.0;
                 ++shard.slots_read;
               }
             }
             return shard;
           },
           watermark_internal::MergeVotes));
-  report.tuples_selected = votes.tuples_selected;
-  report.slots_read = votes.slots_read;
-  report.slots_skipped = votes.slots_skipped;
-  const std::vector<double>& zeros = votes.zeros;
-  const std::vector<double>& ones = votes.ones;
-
-  // Fold wmd votes down to wm bits: copy t of bit j lives at j + t*wm_size.
-  report.recovered = BitVector(wm_size);
-  report.vote_margin.assign(wm_size, 0.0);
-  report.bit_voted.assign(wm_size, false);
-  for (size_t j = 0; j < wm_size; ++j) {
-    double zero_total = 0.0;
-    double one_total = 0.0;
-    for (size_t pos = j; pos < wmd_size; pos += wm_size) {
-      zero_total += zeros[pos];
-      one_total += ones[pos];
-    }
-    report.vote_margin[j] = one_total - zero_total;
-    report.bit_voted[j] = (zero_total + one_total) > 0.0;
-    report.recovered.Set(j, one_total > zero_total);
-  }
+  FoldVotes(votes, wm_size, wmd_size, &report);
   return report;
 }
 

@@ -23,7 +23,9 @@
 #ifndef PRIVMARK_WATERMARK_HIERARCHICAL_H_
 #define PRIVMARK_WATERMARK_HIERARCHICAL_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bitvec.h"
@@ -52,6 +54,14 @@ struct EmbedReport {
   /// if the walk lands on the original node).
   size_t cells_changed = 0;
 };
+
+/// \brief Outcome of the key-independent half of detection for one
+/// (tuple, column) slot: the slot abstains (unknown label, no gap, tied
+/// levels) or votes a bit. Detection splits along Eq. (5): this value
+/// depends only on the table and the hierarchy, never on the key, which
+/// is what lets a multi-key fingerprint scan read every slot once and
+/// re-run only the keyed-hash tally per candidate key (detect_index.h).
+enum class SlotVote : uint8_t { kSkip = 0, kZero = 1, kOne = 2 };
 
 /// \brief Statistics from a detection run.
 struct DetectReport {
@@ -103,6 +113,15 @@ class HierarchicalWatermarker {
   /// simply contribute no votes.
   Result<DetectReport> Detect(const Table& table, size_t wm_size,
                               size_t wmd_size) const;
+
+  /// \brief The key-independent slot read behind Detect(): resolve the
+  /// cell of quasi-identifying column `c`, walk up to its maximal node
+  /// reading sibling parities, and majority-vote the levels. Both the
+  /// fused single-key Detect() and BuildDetectIndex() call this, so the
+  /// two paths cannot drift. `level_scratch` is a reusable buffer for the
+  /// per-level (bit, depth) pairs; hot loops pass one across calls.
+  SlotVote ReadSlot(size_t c, const Value& cell,
+                    std::vector<std::pair<bool, int>>* level_scratch) const;
 
   const WatermarkKey& key() const { return key_; }
   const WatermarkOptions& options() const { return options_; }

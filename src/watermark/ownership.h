@@ -30,6 +30,13 @@
 
 namespace privmark {
 
+/// \brief Minimum fraction of matching mark bits for an extraction to
+/// count as a detection of that key's mark. The single definition shared
+/// by the dispute protocol (OwnershipConfig), fingerprint scans
+/// (FingerprintConfig), and the CLI verdict lines, so the consumers can
+/// never drift apart.
+inline constexpr double kDetectionMatchThreshold = 0.8;
+
 /// \brief Parameters of the dispute protocol.
 struct OwnershipConfig {
   HashAlgorithm hash = HashAlgorithm::kSha1;
@@ -44,7 +51,7 @@ struct OwnershipConfig {
   /// rejecting fabricated statistics.
   double tau = 0.02;
   /// Minimum fraction of matching mark bits for the extraction to count.
-  double match_threshold = 0.8;
+  double match_threshold = kDetectionMatchThreshold;
 };
 
 /// \brief v: the mean of the numeric interpretation of cleartext

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/parallel.h"
+#include "watermark/detect_index.h"
 #include "watermark/embed_internal.h"
 
 namespace privmark {
@@ -201,6 +202,17 @@ Result<EmbedReport> SingleLevelWatermarker::Embed(Table* table,
   return report;
 }
 
+SlotVote SingleLevelWatermarker::ReadSlot(size_t c, const Value& cell) const {
+  const DomainHierarchy& tree = *ultimate_[c].tree();
+  auto node = cell.type() == ValueType::kString
+                  ? tree.FindByLabel(cell.AsString())
+                  : tree.FindByLabel(cell.ToString());
+  if (!node.ok()) return SlotVote::kSkip;
+  if (tree.SiblingCount(*node) < 2) return SlotVote::kSkip;
+  return (tree.SiblingIndex(*node) & 1) != 0 ? SlotVote::kOne
+                                             : SlotVote::kZero;
+}
+
 Result<DetectReport> SingleLevelWatermarker::Detect(const Table& table,
                                                     size_t wm_size,
                                                     size_t wmd_size) const {
@@ -232,49 +244,22 @@ Result<DetectReport> SingleLevelWatermarker::Detect(const Table& table,
                 const size_t col = qi_columns_[c];
                 const std::string& column_name =
                     table.schema().column(col).name;
-                const DomainHierarchy& tree = *ultimate_[c].tree();
-                const Value& cell = table.at(r, col);
-                auto node = cell.type() == ValueType::kString
-                                ? tree.FindByLabel(cell.AsString())
-                                : tree.FindByLabel(cell.ToString());
-                if (!node.ok()) {
+                const SlotVote vote = ReadSlot(c, table.at(r, col));
+                if (vote == SlotVote::kSkip) {
                   ++shard.slots_skipped;
                   continue;
                 }
-                if (tree.SiblingCount(*node) < 2) {
-                  ++shard.slots_skipped;
-                  continue;
-                }
-                const bool slot_bit = (tree.SiblingIndex(*node) & 1) != 0;
                 const size_t pos =
                     hasher.WmdPosition(ident, column_name, wmd_size);
-                (slot_bit ? shard.ones[pos] : shard.zeros[pos]) += 1.0;
+                (vote == SlotVote::kOne ? shard.ones[pos]
+                                        : shard.zeros[pos]) += 1.0;
                 ++shard.slots_read;
               }
             }
             return shard;
           },
           watermark_internal::MergeVotes));
-  report.tuples_selected = votes.tuples_selected;
-  report.slots_read = votes.slots_read;
-  report.slots_skipped = votes.slots_skipped;
-  const std::vector<double>& zeros = votes.zeros;
-  const std::vector<double>& ones = votes.ones;
-
-  report.recovered = BitVector(wm_size);
-  report.vote_margin.assign(wm_size, 0.0);
-  report.bit_voted.assign(wm_size, false);
-  for (size_t j = 0; j < wm_size; ++j) {
-    double zero_total = 0.0;
-    double one_total = 0.0;
-    for (size_t pos = j; pos < wmd_size; pos += wm_size) {
-      zero_total += zeros[pos];
-      one_total += ones[pos];
-    }
-    report.vote_margin[j] = one_total - zero_total;
-    report.bit_voted[j] = (zero_total + one_total) > 0.0;
-    report.recovered.Set(j, one_total > zero_total);
-  }
+  FoldVotes(votes, wm_size, wmd_size, &report);
   return report;
 }
 

@@ -48,6 +48,18 @@ class SingleLevelWatermarker {
   /// \brief Selected tuples x columns with an embeddable slot.
   Result<size_t> EstimateBandwidth(const Table& table) const;
 
+  /// \brief The key-independent slot read behind Detect(): resolve the
+  /// cell and read its sibling-index parity; abstains when the label is
+  /// unknown or the node has no siblings. Shared by the fused Detect()
+  /// and BuildDetectIndex() so the two paths cannot drift.
+  SlotVote ReadSlot(size_t c, const Value& cell) const;
+
+  const WatermarkKey& key() const { return key_; }
+  const WatermarkOptions& options() const { return options_; }
+  const std::vector<size_t>& qi_columns() const { return qi_columns_; }
+  size_t ident_column() const { return ident_column_; }
+  const std::vector<GeneralizationSet>& ultimate() const { return ultimate_; }
+
  private:
   // Same-parity ultimate siblings of `node` (including node itself when the
   // parity matches) into `candidates` (cleared first); empty if the slot

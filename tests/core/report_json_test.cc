@@ -1,0 +1,103 @@
+// Golden-file coverage for the --json report emitters: hand-built
+// reports with fixed values, byte-compared against checked-in golden
+// files. Formatting here is a compatibility surface (scripts parse it),
+// so any change must show up as a reviewed golden diff. Regenerate with
+//   PRIVMARK_UPDATE_GOLDEN=1 ./core_report_json_test
+
+#include "core/report_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace privmark {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(PRIVMARK_TEST_SOURCE_DIR) + "/core/golden/" + name;
+}
+
+void ExpectMatchesGolden(const std::string& actual, const std::string& name) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("PRIVMARK_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with PRIVMARK_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str()) << name;
+}
+
+DetectReport SampleDetection() {
+  DetectReport report;
+  report.recovered = BitVector::FromString("10110010").ValueOrDie();
+  report.bit_voted = {true, true, true, true, true, false, true, true};
+  report.vote_margin = {9.0, -14.0, 11.0, 3.0, -5.0, 0.0, 8.0, -6.0};
+  report.tuples_selected = 42;
+  report.slots_read = 164;
+  report.slots_skipped = 7;
+  return report;
+}
+
+KeyVerdict SampleVerdict(const std::string& name, double score,
+                         bool detected) {
+  KeyVerdict verdict;
+  verdict.key_name = name;
+  verdict.detection = SampleDetection();
+  verdict.margin_ratio = 0.921875;
+  verdict.mark_match = score;
+  verdict.p_value = 9.5367431640625e-07;
+  verdict.score = score;
+  verdict.detected = detected;
+  return verdict;
+}
+
+TEST(ReportJsonTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(ReportJsonTest, DetectReportMatchesGolden) {
+  ExpectMatchesGolden(DetectReportJson("clinic \"east\"", SampleDetection()),
+                      "detect_report.json");
+}
+
+TEST(ReportJsonTest, CmpReportMatchesGolden) {
+  const BitVector expected = BitVector::FromString("10110011").ValueOrDie();
+  ExpectMatchesGolden(
+      CmpReportJson(SampleVerdict("clinic-east", 0.95, true), expected, 0.8),
+      "cmp_report.json");
+}
+
+TEST(ReportJsonTest, FingerprintReportMatchesGolden) {
+  FingerprintReport report;
+  report.verdicts.push_back(SampleVerdict("decoy", 0.55, false));
+  report.verdicts.push_back(SampleVerdict("clinic-east", 1.0, true));
+  report.ranking = {1, 0};  // rank order, not registry order
+  report.keys_detected = 1;
+  report.collusion = false;
+  ExpectMatchesGolden(FingerprintReportJson(report, 0.8),
+                      "fingerprint_report.json");
+}
+
+TEST(ReportJsonTest, EmptyRegistryScanStillWellFormed) {
+  FingerprintReport report;
+  const std::string json = FingerprintReportJson(report, 0.8);
+  EXPECT_NE(json.find("\"keys_scanned\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"keys\": ["), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+}  // namespace
+}  // namespace privmark

@@ -1,0 +1,266 @@
+// Property suite for the acceptance claim of the multi-key fingerprint
+// engine: on the standard 20k-row fixed-seed dataset, a registry scan
+// over {K keys, any thread count} produces vote margins byte-identical to
+// K independent serial single-key Detect() runs, the embedded key ranks
+// first, and in the mixed-copy (collusion) case both contributors clear
+// the threshold.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "binning/binning_engine.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "datagen/medical_data.h"
+#include "metrics/usage_metrics.h"
+#include "watermark/detect_index.h"
+#include "watermark/fingerprint.h"
+#include "watermark/hierarchical.h"
+#include "watermark/key_registry.h"
+
+namespace privmark {
+namespace {
+
+constexpr size_t kRows = 20000;
+constexpr uint64_t kSeed = 20050405;
+constexpr size_t kK = 20;
+constexpr uint64_t kEta = 75;
+constexpr size_t kCopies = 4;
+
+std::vector<size_t> ThreadCounts() {
+  std::vector<size_t> counts = {1, 2, 7};
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  return counts;
+}
+
+struct Fixture {
+  std::unique_ptr<MedicalDataset> dataset;
+  UsageMetrics metrics;
+  BinningOutcome binning;
+  BitVector mark;
+  KeyRegistry registry;       // two recipients + decoys
+  Table east_copy;            // embedded under "clinic-east"
+  Table west_copy;            // embedded under "clinic-west"
+  Table mixed;                // even rows east, odd rows west
+  size_t wmd_size = 0;
+};
+
+HierarchicalWatermarker MakeWatermarker(const Fixture& f,
+                                        const WatermarkKey& key,
+                                        size_t num_threads) {
+  WatermarkOptions options;
+  options.num_threads = num_threads;
+  return HierarchicalWatermarker(
+      f.binning.qi_columns, *f.binning.binned.schema().IdentifyingColumn(),
+      f.metrics.maximal, f.binning.ultimate, key, options);
+}
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture;
+    MedicalDataSpec spec;
+    spec.num_rows = kRows;
+    spec.seed = kSeed;
+    f->dataset = std::make_unique<MedicalDataset>(
+        std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+    f->metrics =
+        MetricsFromDepthCuts(f->dataset->trees(), {2, 1, 2, 1, 1})
+            .ValueOrDie();
+    BinningConfig config;
+    config.k = kK;
+    config.enforce_joint = false;
+    config.encryption_passphrase = "fingerprint-owner-passphrase";
+    BinningAgent agent(f->metrics, config);
+    f->binning = std::move(agent.Run(f->dataset->table)).ValueOrDie();
+    f->mark = BitVector::FromString("10110010011010111001").ValueOrDie();
+
+    Random keygen(kSeed);
+    EXPECT_TRUE(
+        f->registry.Add(GenerateKey("clinic-east", kEta, &keygen)).ok());
+    EXPECT_TRUE(
+        f->registry.Add(GenerateKey("clinic-west", kEta, &keygen)).ok());
+    for (const char* decoy : {"decoy-a", "decoy-b", "decoy-c"}) {
+      EXPECT_TRUE(f->registry.Add(GenerateKey(decoy, kEta, &keygen)).ok());
+    }
+
+    // Fixed copies so both recipients' wmd sizes coincide.
+    f->east_copy = f->binning.binned.Clone();
+    auto east_embed =
+        MakeWatermarker(*f, f->registry.Find("clinic-east")->key, 1)
+            .Embed(&f->east_copy, f->mark, kCopies);
+    EXPECT_TRUE(east_embed.ok());
+    f->wmd_size = east_embed->wmd_size;
+    f->west_copy = f->binning.binned.Clone();
+    auto west_embed =
+        MakeWatermarker(*f, f->registry.Find("clinic-west")->key, 1)
+            .Embed(&f->west_copy, f->mark, kCopies);
+    EXPECT_TRUE(west_embed.ok());
+    EXPECT_EQ(west_embed->wmd_size, f->wmd_size);
+
+    f->mixed = Table(f->binning.binned.schema());
+    for (size_t r = 0; r < f->east_copy.num_rows(); ++r) {
+      const Table& source = (r % 2 == 0) ? f->east_copy : f->west_copy;
+      EXPECT_TRUE(f->mixed.AppendRow(source.row(r)).ok());
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void ExpectDetectReportsEqual(const DetectReport& a, const DetectReport& b,
+                              const std::string& what) {
+  EXPECT_EQ(a.recovered.ToString(), b.recovered.ToString()) << what;
+  EXPECT_EQ(a.bit_voted, b.bit_voted) << what;
+  EXPECT_EQ(a.tuples_selected, b.tuples_selected) << what;
+  EXPECT_EQ(a.slots_read, b.slots_read) << what;
+  EXPECT_EQ(a.slots_skipped, b.slots_skipped) << what;
+  ASSERT_EQ(a.vote_margin.size(), b.vote_margin.size()) << what;
+  for (size_t j = 0; j < a.vote_margin.size(); ++j) {
+    // Exact double equality: tallies sum whole 1.0 votes, so margins must
+    // match bit for bit.
+    EXPECT_EQ(a.vote_margin[j], b.vote_margin[j]) << what << " bit " << j;
+  }
+}
+
+TEST(FingerprintEquivalenceTest, ScanMatchesSerialSingleKeyDetects) {
+  Fixture& f = SharedFixture();
+
+  // Baseline: one independent, serial, fused Detect() per registry key.
+  std::vector<DetectReport> serial;
+  for (const NamedKey& named : f.registry.keys()) {
+    auto report = MakeWatermarker(f, named.key, 1)
+                      .Detect(f.east_copy, f.mark.size(), f.wmd_size);
+    ASSERT_TRUE(report.ok()) << named.name;
+    serial.push_back(*std::move(report));
+  }
+
+  FingerprintConfig config;
+  config.wm_size = f.mark.size();
+  config.wmd_size = f.wmd_size;
+  config.expected_mark = f.mark;
+  for (size_t t : ThreadCounts()) {
+    // The scanning watermarker's own key is irrelevant — assert that by
+    // scanning through a decoy-keyed instance.
+    const HierarchicalWatermarker scanner =
+        MakeWatermarker(f, f.registry.Find("decoy-a")->key, t);
+    auto report =
+        ScanForFingerprints(scanner, f.east_copy, f.registry, config);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_EQ(report->verdicts.size(), f.registry.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ExpectDetectReportsEqual(
+          serial[i], report->verdicts[i].detection,
+          f.registry.keys()[i].name + ", " + std::to_string(t) + " threads");
+    }
+    // The embedded key ranks first and is the only detection.
+    EXPECT_EQ(report->verdicts[report->ranking[0]].key_name, "clinic-east")
+        << t;
+    EXPECT_TRUE(report->verdicts[report->ranking[0]].detected) << t;
+    EXPECT_EQ(report->keys_detected, 1u) << t;
+    EXPECT_FALSE(report->collusion) << t;
+  }
+}
+
+TEST(FingerprintEquivalenceTest, MultiKeyTallyStableAcrossShardGeometry) {
+  // Same index, same keys, every thread count and a repeat run: the
+  // (key x shard) grid must collapse to one answer.
+  Fixture& f = SharedFixture();
+  const HierarchicalWatermarker scanner =
+      MakeWatermarker(f, f.registry.Find("decoy-a")->key, 1);
+  auto index = BuildDetectIndex(scanner, f.mixed);
+  ASSERT_TRUE(index.ok());
+  std::vector<WatermarkKey> keys;
+  for (const NamedKey& named : f.registry.keys()) keys.push_back(named.key);
+
+  auto baseline = MultiKeyTally(*index, keys, HashAlgorithm::kSha1,
+                                f.mark.size(), f.wmd_size, nullptr);
+  ASSERT_TRUE(baseline.ok());
+  for (size_t t : ThreadCounts()) {
+    auto pool = MakeThreadPool(t);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      auto batch = MultiKeyTally(*index, keys, HashAlgorithm::kSha1,
+                                 f.mark.size(), f.wmd_size, pool.get());
+      ASSERT_TRUE(batch.ok());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ExpectDetectReportsEqual((*baseline)[i], (*batch)[i],
+                                 "key " + std::to_string(i) + ", " +
+                                     std::to_string(t) + " threads, repeat " +
+                                     std::to_string(repeat));
+      }
+    }
+  }
+}
+
+TEST(FingerprintEquivalenceTest, CollusionAttributesBothContributors) {
+  Fixture& f = SharedFixture();
+  FingerprintConfig config;
+  config.wm_size = f.mark.size();
+  config.wmd_size = f.wmd_size;
+  config.expected_mark = f.mark;
+  for (size_t t : ThreadCounts()) {
+    const HierarchicalWatermarker scanner =
+        MakeWatermarker(f, f.registry.Find("decoy-a")->key, t);
+    auto report = ScanForFingerprints(scanner, f.mixed, f.registry, config);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->collusion) << t;
+    EXPECT_EQ(report->keys_detected, 2u) << t;
+    // The two contributors occupy the top two ranks (either order).
+    const std::string first =
+        report->verdicts[report->ranking[0]].key_name;
+    const std::string second =
+        report->verdicts[report->ranking[1]].key_name;
+    EXPECT_TRUE((first == "clinic-east" && second == "clinic-west") ||
+                (first == "clinic-west" && second == "clinic-east"))
+        << first << ", " << second;
+    EXPECT_TRUE(report->verdicts[report->ranking[0]].detected) << t;
+    EXPECT_TRUE(report->verdicts[report->ranking[1]].detected) << t;
+    for (size_t i = 2; i < report->ranking.size(); ++i) {
+      EXPECT_FALSE(report->verdicts[report->ranking[i]].detected)
+          << t << " rank " << i;
+    }
+  }
+}
+
+TEST(FingerprintEquivalenceTest, ScaledRegistryStaysSerialIdentical) {
+  // Hundreds of candidate keys (the "thousands of keys" path in
+  // miniature): block scheduling over the (key x shard) grid must keep
+  // every report byte-identical to a serial scan of the same registry.
+  Fixture& f = SharedFixture();
+  const HierarchicalWatermarker scanner =
+      MakeWatermarker(f, f.registry.Find("decoy-a")->key, 1);
+  auto index = BuildDetectIndex(scanner, f.east_copy);
+  ASSERT_TRUE(index.ok());
+
+  Random keygen(987);
+  std::vector<WatermarkKey> keys = {f.registry.Find("clinic-east")->key};
+  for (size_t i = 0; i < 300; ++i) {
+    keys.push_back(GenerateKey("k" + std::to_string(i), kEta, &keygen).key);
+  }
+
+  auto serial = MultiKeyTally(*index, keys, HashAlgorithm::kSha1,
+                              f.mark.size(), f.wmd_size, nullptr);
+  ASSERT_TRUE(serial.ok());
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  auto pool = MakeThreadPool(hw);
+  auto parallel = MultiKeyTally(*index, keys, HashAlgorithm::kSha1,
+                                f.mark.size(), f.wmd_size, pool.get());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ExpectDetectReportsEqual((*serial)[i], (*parallel)[i],
+                             "key " + std::to_string(i));
+  }
+  // Sanity: the embedded key still recovers its mark through the bulk.
+  EXPECT_EQ((*parallel)[0].recovered.ToString(), f.mark.ToString());
+}
+
+}  // namespace
+}  // namespace privmark

@@ -16,10 +16,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/random.h"
 #include "core/framework.h"
 #include "datagen/medical_data.h"
 #include "relation/csv.h"
 #include "service/admission.h"
+#include "watermark/key_registry.h"
 
 namespace privmark {
 namespace {
@@ -198,6 +200,41 @@ TEST(PrivmarkServiceTest, ProtectFlushDetectMatchesDirectSession) {
   ASSERT_EQ(detect->reports.size(), 1u);
   EXPECT_EQ(detect->reports[0].recovered.ToString(),
             reference_flush->outcome.mark.ToString());
+}
+
+TEST(PrivmarkServiceTest, DetectFingerprintScansRegistryUnderAGrant) {
+  Env env = MakeEnv();
+  PrivmarkService service({.thread_cap = 2});
+  ASSERT_TRUE(service.OpenSession("ward", env.metrics, env.config).ok());
+  ASSERT_TRUE(
+      service.ProtectBatch("ward", env.dataset->table.Clone()).get().ok());
+  auto flushed = service.Flush("ward").get();
+  ASSERT_TRUE(flushed.ok());
+  const Table& emitted = flushed->epoch.outcome.watermarked;
+
+  auto registry = std::make_shared<KeyRegistry>();
+  ASSERT_TRUE(registry->Add(NamedKey{"owner", env.config.key}).ok());
+  Random rng(5);
+  ASSERT_TRUE(registry->Add(GenerateKey("decoy", 10, &rng)).ok());
+
+  auto scanned =
+      service.DetectFingerprint("ward", emitted.Clone(), registry).get();
+  ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+  EXPECT_EQ(scanned->kind, RequestKind::kDetectFingerprint);
+  EXPECT_GE(scanned->threads_granted, 1u);
+  ASSERT_EQ(scanned->fingerprints.size(), 1u);  // one emitted epoch
+  const FingerprintReport& report = scanned->fingerprints[0];
+  ASSERT_EQ(report.verdicts.size(), 2u);
+  EXPECT_EQ(report.verdicts[report.ranking[0]].key_name, "owner");
+  EXPECT_TRUE(report.verdicts[report.ranking[0]].detected);
+  EXPECT_FALSE(report.verdicts[report.ranking[1]].detected);
+  EXPECT_FALSE(report.collusion);
+
+  // A missing registry fails the request without killing the strand.
+  auto missing =
+      service.DetectFingerprint("ward", emitted.Clone(), nullptr).get();
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(service.Detect("ward", emitted.Clone()).get().ok());
 }
 
 TEST(PrivmarkServiceTest, AdmissionClampsDemandAboveTheCap) {
