@@ -285,7 +285,9 @@ void BM_ServiceThroughput(benchmark::State& state) {
   config.watermark.num_threads = 0;
   size_t requests = 0;
   for (auto _ : state) {
-    PrivmarkService service({.thread_cap = cap});
+    ServiceConfig service_config;
+    service_config.thread_cap = cap;
+    PrivmarkService service(service_config);
     for (size_t i = 0; i < num_sessions; ++i) {
       CheckOk(service.OpenSession("s" + std::to_string(i), s.env.metrics,
                                   config),

@@ -77,7 +77,9 @@ int main() {
     hospital.emitted = Table(hospital.dataset.table.schema());
   }
 
-  PrivmarkService service({.thread_cap = 0});  // 0 = hardware concurrency
+  ServiceConfig service_config;
+  service_config.thread_cap = 0;
+  PrivmarkService service(service_config);  // 0 = hardware concurrency
   for (Hospital& hospital : hospitals) {
     auto status = service.OpenSession(hospital.name, hospital.metrics,
                                       hospital.config);

@@ -54,11 +54,27 @@
 //                [--pass=...] [--k1=...] [--k2=...] [--eta=50]
 //       run the Sec. 5.4 rightful-ownership protocol
 //
-//   privmark_cli serve <script> [--cap=N] [--pass=...] [--k1=...]
-//                [--k2=...] [--eta=50]
+//   privmark_cli recover <journal.wal> <out.csv> <manifest.out>
+//                [--k=20] [--eta=50] [--pass=...] [--k1=...] [--k2=...]
+//                [--key=key.file] [--joint] [--epsilon] [--threads=N]
+//                [--rebin-policy=freeze|drift] [--drift-threshold=0.5]
+//       rebuild a crashed session's stream from its write-ahead journal:
+//       replays the journal (discarding any torn tail), writes every row
+//       the crashed process had emitted to <out.csv> and one manifest
+//       per sealed epoch. The flags must repeat the original run's
+//       non-secret config (k, joint, policy — validated against the
+//       journal's fingerprint) and its secrets (never journaled). The
+//       journal file itself is left untouched.
+//
+//   privmark_cli serve <script> [--cap=N] [--journal-dir=DIR]
+//                [--pass=...] [--k1=...] [--k2=...] [--eta=50]
 //       drive the async service front-end from a scripted request file:
 //       named streams protected concurrently on one shared pool of at
-//       most N workers (0 = hardware). Script lines (# starts a comment):
+//       most N workers (0 = hardware). With --journal-dir every stream
+//       is durable: batches are journaled write-ahead to
+//       DIR/<session>.wal, and re-opening a session whose journal
+//       already exists replays it first (the open line reports what was
+//       recovered). Script lines (# starts a comment):
 //         open <session> <out.csv> <manifest.out> [--k=20] [--joint]
 //              [--epsilon] [--threads=1] [--rebin-policy=freeze|drift]
 //              [--drift-threshold=0.5]
@@ -212,16 +228,37 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
-// Replays `input` through an incremental session in `batch_size`-row
-// batches; writes the concatenated emitted output plus one manifest per
-// epoch. Returns the process exit code.
-int ProtectStreaming(const Args& args, const Table& input,
-                     const UsageMetrics& metrics,
-                     const FrameworkConfig& config, size_t batch_size) {
-  SessionConfig session_config;
+// The non-secret + secret framework configuration shared by protect and
+// recover (recover must repeat the original run's flags; the journal's
+// fingerprint validates the non-secret part).
+FrameworkConfig FrameworkConfigFromArgs(const Args& args) {
+  FrameworkConfig config;
+  config.binning.k = args.FlagU64("k", 20);
+  config.binning.enforce_joint = args.flags.count("joint") > 0;
+  config.binning.encryption_passphrase = args.Flag("pass", "cli-default-pass");
+  config.binning.num_threads = args.FlagU64("threads", 1);
+  config.watermark.num_threads = config.binning.num_threads;
+  const NamedKey named = NamedKeyFromArgs(args);
+  config.key = named.key;
+  config.key_id = named.name;
+  config.auto_epsilon = args.flags.count("epsilon") > 0;
+  return config;
+}
+
+UsageMetrics MetricsForConfig(const FrameworkConfig& config,
+                              const MedicalDataset& ontologies) {
+  return config.binning.enforce_joint
+             ? UnconstrainedMetrics(ontologies.trees())
+             : Must(MetricsFromDepthCuts(ontologies.trees(), {2, 1, 2, 1, 1}));
+}
+
+// Fills `session_config` from --rebin-policy / --drift-threshold. Returns
+// 0 on success, a usage exit code otherwise.
+int ParseSessionConfig(const Args& args, SessionConfig* session_config,
+                       std::string* policy_out) {
   const std::string policy = args.Flag("rebin-policy", "freeze");
   if (policy == "drift") {
-    session_config.policy = RebinPolicy::kRebinOnDrift;
+    session_config->policy = RebinPolicy::kRebinOnDrift;
   } else if (policy != "freeze") {
     std::fprintf(stderr, "unknown --rebin-policy '%s' (freeze|drift)\n",
                  policy.c_str());
@@ -229,14 +266,29 @@ int ProtectStreaming(const Args& args, const Table& input,
   }
   const std::string threshold_text = args.Flag("drift-threshold", "0.5");
   char* threshold_end = nullptr;
-  session_config.drift_threshold =
+  session_config->drift_threshold =
       std::strtod(threshold_text.c_str(), &threshold_end);
   if (threshold_end == threshold_text.c_str() || *threshold_end != '\0' ||
-      session_config.drift_threshold <= 0.0) {
+      session_config->drift_threshold <= 0.0) {
     std::fprintf(stderr,
                  "--drift-threshold must be a positive number, got '%s'\n",
                  threshold_text.c_str());
     return 2;
+  }
+  if (policy_out != nullptr) *policy_out = policy;
+  return 0;
+}
+
+// Replays `input` through an incremental session in `batch_size`-row
+// batches; writes the concatenated emitted output plus one manifest per
+// epoch. Returns the process exit code.
+int ProtectStreaming(const Args& args, const Table& input,
+                     const UsageMetrics& metrics,
+                     const FrameworkConfig& config, size_t batch_size) {
+  SessionConfig session_config;
+  std::string policy;
+  if (int rc = ParseSessionConfig(args, &session_config, &policy); rc != 0) {
+    return rc;
   }
 
   ProtectionSession session(metrics, config, session_config);
@@ -301,21 +353,8 @@ int CmdProtect(const Args& args) {
   MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
   Table input = Must(ReadTableCsv(args.positional[1], MedicalSchema()));
 
-  FrameworkConfig config;
-  config.binning.k = args.FlagU64("k", 20);
-  config.binning.enforce_joint = args.flags.count("joint") > 0;
-  config.binning.encryption_passphrase = args.Flag("pass", "cli-default-pass");
-  config.binning.num_threads = args.FlagU64("threads", 1);
-  config.watermark.num_threads = config.binning.num_threads;
-  const NamedKey named = NamedKeyFromArgs(args);
-  config.key = named.key;
-  config.key_id = named.name;
-  config.auto_epsilon = args.flags.count("epsilon") > 0;
-
-  UsageMetrics metrics =
-      config.binning.enforce_joint
-          ? UnconstrainedMetrics(ontologies.trees())
-          : Must(MetricsFromDepthCuts(ontologies.trees(), {2, 1, 2, 1, 1}));
+  FrameworkConfig config = FrameworkConfigFromArgs(args);
+  UsageMetrics metrics = MetricsForConfig(config, ontologies);
 
   const size_t batch_size = args.FlagU64("batch-size", 0);
   if (batch_size > 0) {
@@ -663,8 +702,8 @@ bool DrainStream(const std::string& name, ClientStream* stream) {
 int CmdServe(const Args& args) {
   if (args.positional.size() != 2) {
     std::fprintf(stderr,
-                 "usage: privmark_cli serve <script> [--cap=N] [--pass=] "
-                 "[--k1=] [--k2=] [--eta=]\n");
+                 "usage: privmark_cli serve <script> [--cap=N] "
+                 "[--journal-dir=DIR] [--pass=] [--k1=] [--k2=] [--eta=]\n");
     return 2;
   }
   std::ifstream script(args.positional[1]);
@@ -676,7 +715,10 @@ int CmdServe(const Args& args) {
   // One ontology set serves every stream (trees must outlive the service).
   MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
 
-  PrivmarkService service({.thread_cap = args.FlagU64("cap", 0)});
+  ServiceConfig service_config;
+  service_config.thread_cap = args.FlagU64("cap", 0);
+  service_config.journal_dir = args.Flag("journal-dir", "");
+  PrivmarkService service(service_config);
   std::map<std::string, ClientStream> streams;
 
   std::string line;
@@ -727,16 +769,31 @@ int CmdServe(const Args& args) {
       }
       session_config.drift_threshold =
           std::atof(cmd.Flag("drift-threshold", "0.5").c_str());
+      SessionRecovery recovery;
       if (auto st = service.OpenSession(name, stream.metrics, stream.config,
-                                        session_config);
+                                        session_config, &recovery);
           !st.ok()) {
         std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
         return 1;
+      }
+      // A recovered stream already emitted rows before the crash; fold
+      // them in so close writes the complete output.
+      if (recovery.recovered) {
+        for (size_t r = 0; r < recovery.emitted.num_rows(); ++r) {
+          (void)stream.emitted.AppendRow(recovery.emitted.row(r));
+        }
       }
       streams[name] = std::move(stream);
       std::printf("[%s] open (k=%zu, %s, cap %zu)\n", name.c_str(),
                   streams[name].config.binning.k, policy.c_str(),
                   service.thread_cap());
+      if (recovery.recovered) {
+        std::printf("[%s] recovered from journal: %zu batch(es), %zu sealed "
+                    "epoch(s), %zu row(s) re-emitted%s\n",
+                    name.c_str(), recovery.batches_applied,
+                    recovery.epochs_sealed, recovery.emitted.num_rows(),
+                    recovery.tail_truncated ? " (torn tail discarded)" : "");
+      }
       continue;
     }
     if (cmd.positional.size() < 2) return bad_line("missing session name");
@@ -815,6 +872,59 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+int CmdRecover(const Args& args) {
+  if (args.positional.size() != 4) {
+    std::fprintf(stderr,
+                 "usage: privmark_cli recover <journal.wal> <out.csv> "
+                 "<manifest.out> [--key=key.file] [--k=] [--eta=] [--pass=] "
+                 "[--joint] [--epsilon] [--threads=] "
+                 "[--rebin-policy=freeze|drift] [--drift-threshold=]\n");
+    return 2;
+  }
+  MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
+  FrameworkConfig config = FrameworkConfigFromArgs(args);
+  UsageMetrics metrics = MetricsForConfig(config, ontologies);
+  SessionConfig session_config;
+  std::string policy;
+  if (int rc = ParseSessionConfig(args, &session_config, &policy); rc != 0) {
+    return rc;
+  }
+
+  // resume_journaling = false: this is offline inspection of a crashed
+  // run's journal; leave the file byte-for-byte as the crash left it.
+  RecoveredSession rec =
+      Must(ProtectionSession::Recover(args.positional[1], metrics, config,
+                                      session_config,
+                                      /*resume_journaling=*/false));
+  std::printf("replayed %zu batch(es), %zu sealed epoch(s) "
+              "(%zu valid journal bytes%s)\n",
+              rec.batches_applied, rec.epochs_sealed, rec.valid_bytes,
+              rec.tail_truncated ? ", torn tail discarded" : "");
+
+  if (auto st = WriteTableCsv(rec.emitted, args.positional[2]); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("recovered %zu emitted row(s) -> %s\n", rec.emitted.num_rows(),
+              args.positional[2].c_str());
+  for (const EpochRecord& epoch : rec.session->epochs()) {
+    std::string path = args.positional[3];
+    if (epoch.epoch > 0) path += ".epoch" + std::to_string(epoch.epoch);
+    ProtectionManifest manifest = Must(
+        ManifestFromEpoch(epoch, MedicalSchema(), metrics, config));
+    if (auto st = WriteManifestFile(manifest, path); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("epoch %zu: %zu rows, v %.6f, manifest -> %s\n", epoch.epoch,
+                epoch.rows_emitted, epoch.identifier_statistic, path.c_str());
+  }
+  if (rec.session->rows_buffered() > 0) {
+    std::printf("note: %zu row(s) were journaled but not yet flushed; "
+                "re-open the stream (serve --journal-dir) to finish it\n",
+                rec.session->rows_buffered());
+  }
+  return 0;
+}
+
 int CmdDispute(const Args& args) {
   if (args.positional.size() != 4) {
     std::fprintf(stderr,
@@ -854,8 +964,8 @@ int main(int argc, char** argv) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: privmark_cli "
-                 "<generate|gen-key|protect|detect|cmp|attack|dispute|serve>"
-                 " ...\n");
+                 "<generate|gen-key|protect|detect|cmp|attack|dispute|serve"
+                 "|recover> ...\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -867,6 +977,7 @@ int main(int argc, char** argv) {
   if (command == "attack") return CmdAttack(args);
   if (command == "dispute") return CmdDispute(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "recover") return CmdRecover(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;
 }

@@ -9,8 +9,11 @@
 #      streaming-equivalence tests (session ingest and the parallel
 #      joint-binning candidate search; the serial-only replay/drift
 #      cases run in the Release job)
-#   3. Release (everything)
-# plus a short-min-time benchmark smoke run on the Release build, gated
+#   3. Release with failpoints compiled in (everything, incl. the
+#      fork/kill crash-recovery acceptance suite)
+# plus a fault-injection replay of the faultinject-labeled suites under
+# ASan with three fixed PRIVMARK_FAULT_SEED values, and a short-min-time
+# benchmark smoke run on a failpoint-free Release build, gated
 # by scripts/bench_check.py against the checked-in Release baseline
 # (set PRIVMARK_BENCH_OVERRIDE=1 to report without failing).
 set -euo pipefail
@@ -25,6 +28,16 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "${JOBS}"
 (cd build-asan && ctest --output-on-failure -j "${JOBS}" -LE slow)
 
+echo "=== Fault injection under ASan (three fixed seeds) ==="
+# Debug builds compile failpoints in; the seed feeds the probabilistic
+# fault-storm test, and the deterministic faultinject suites simply rerun.
+# The fork/kill crash suite is slow-labeled and runs in the Release job.
+for seed in 101 202 303; do
+  (cd build-asan && \
+   PRIVMARK_FAULT_SEED="${seed}" \
+   ctest --output-on-failure -j "${JOBS}" -L faultinject -LE slow)
+done
+
 echo "=== Debug + thread sanitizer (parallel suites) ==="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -37,7 +50,11 @@ cmake --build build-tsan -j "${JOBS}"
   --gtest_filter='*AcrossThreads*:*JointParallel*'
 
 echo "=== Release ==="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+# PRIVMARK_FAILPOINTS=ON keeps the crash-recovery acceptance suite alive in
+# the Release test tree; unarmed failpoints are a branch on a relaxed atomic
+# load, and the benchmark tree below is configured without them, so the
+# published numbers never carry the instrumentation.
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DPRIVMARK_FAILPOINTS=ON
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 

@@ -1,6 +1,9 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "common/failpoint.h"
 
 namespace privmark {
 
@@ -85,6 +88,10 @@ void ThreadPool::ExecuteTasks(Batch* batch) {
     const size_t i = batch->next_task.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch->num_tasks) return;
     try {
+      if (PRIVMARK_FAILPOINT("threadpool.dispatch")) {
+        throw std::runtime_error(
+            "failpoint 'threadpool.dispatch' triggered in task dispatch");
+      }
       (*batch->task)(i);
     } catch (...) {
       // Slot i is owned by whoever claimed task i; no lock needed.

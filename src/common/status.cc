@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "CapacityExceeded";
     case StatusCode::kVerificationFailed:
       return "VerificationFailed";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

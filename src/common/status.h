@@ -35,6 +35,11 @@ enum class StatusCode {
   kCapacityExceeded,
   /// A cryptographic or ownership verification failed.
   kVerificationFailed,
+  /// An operation's deadline expired before it completed.
+  kDeadlineExceeded,
+  /// The system is over capacity; retry later (message carries a
+  /// retry_after_ms hint when the admission layer can estimate one).
+  kResourceExhausted,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode.
@@ -77,6 +82,12 @@ class Status {
   }
   static Status VerificationFailed(std::string msg) {
     return Status(StatusCode::kVerificationFailed, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,432 @@
+#include "core/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "crypto/keyed_hash.h"
+
+#include "common/failpoint.h"
+#include "common/strings.h"
+#include "relation/csv.h"
+
+namespace privmark {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'R', 'V', 'M', 'W', 'A', 'L', '1'};
+constexpr size_t kMagicSize = sizeof(kMagic);
+// [u32 length][u32 crc][u8 type]
+constexpr size_t kRecordHeaderSize = 9;
+
+void AppendLe32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t ReadLe32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+bool IsKnownRecordType(uint8_t type) {
+  return type >= static_cast<uint8_t>(JournalRecordType::kConfig) &&
+         type <= static_cast<uint8_t>(JournalRecordType::kEpochSealed);
+}
+
+// write(2) until done; false on error (errno holds the cause).
+bool WriteFully(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+Result<size_t> ParseCount(const std::string& text, const char* field) {
+  if (text.empty()) {
+    return Status::InvalidArgument(std::string("journal: field '") + field +
+                                   "' is empty");
+  }
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string("journal: field '") + field +
+                                     "' is not a number: " + text);
+    }
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10) {
+      return Status::InvalidArgument(std::string("journal: field '") + field +
+                                     "' overflows: " + text);
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+Result<ColumnRole> RoleFromString(const std::string& text) {
+  if (text == "identifying") return ColumnRole::kIdentifying;
+  if (text == "quasi-categorical") return ColumnRole::kQuasiCategorical;
+  if (text == "quasi-numeric") return ColumnRole::kQuasiNumeric;
+  if (text == "other") return ColumnRole::kOther;
+  return Status::InvalidArgument("journal: unknown column role: " + text);
+}
+
+Result<ValueType> TypeFromString(const std::string& text) {
+  if (text == "null") return ValueType::kNull;
+  if (text == "int64") return ValueType::kInt64;
+  if (text == "double") return ValueType::kDouble;
+  if (text == "string") return ValueType::kString;
+  return Status::InvalidArgument("journal: unknown column type: " + text);
+}
+
+}  // namespace
+
+uint32_t JournalCrc32(const void* data, size_t size) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+SessionJournal::SessionJournal(std::string path, int fd)
+    : path_(std::move(path)), fd_(fd) {}
+
+SessionJournal::~SessionJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<SessionJournal>> SessionJournal::Create(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) {
+      return Status::AlreadyExists("journal '" + path +
+                                   "' already exists; recover from it "
+                                   "instead of overwriting");
+    }
+    return ErrnoError("cannot create journal", path);
+  }
+  if (!WriteFully(fd, kMagic, kMagicSize)) {
+    const Status st = ErrnoError("cannot write journal magic to", path);
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<SessionJournal>(new SessionJournal(path, fd));
+}
+
+Result<std::unique_ptr<SessionJournal>> SessionJournal::Resume(
+    const std::string& path, size_t valid_bytes) {
+  if (valid_bytes < kMagicSize) {
+    return Status::InvalidArgument(
+        "journal resume: valid prefix shorter than the magic");
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return ErrnoError("cannot open journal", path);
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+    const Status st = ErrnoError("cannot truncate journal tail of", path);
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<SessionJournal>(new SessionJournal(path, fd));
+}
+
+Status SessionJournal::AppendRecord(JournalRecordType type,
+                                    const std::string& payload) {
+  if (fd_ < 0) {
+    return Status::IOError("journal '" + path_ + "' is not open for append");
+  }
+  if (broken_) {
+    return Status::IOError("journal '" + path_ +
+                           "' is disabled after an unrecoverable append "
+                           "failure");
+  }
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("journal record of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes exceeds the record size cap");
+  }
+  if (PRIVMARK_FAILPOINT("journal.append")) {
+    return Status::IOError("failpoint 'journal.append' triggered for '" +
+                           path_ + "'");
+  }
+
+  std::string crc_input;
+  crc_input.reserve(1 + payload.size());
+  crc_input.push_back(static_cast<char>(type));
+  crc_input.append(payload);
+
+  std::string record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  AppendLe32(&record, static_cast<uint32_t>(payload.size()));
+  AppendLe32(&record, JournalCrc32(crc_input.data(), crc_input.size()));
+  record.append(crc_input);
+
+  const off_t start = ::lseek(fd_, 0, SEEK_END);
+  if (start < 0) {
+    broken_ = true;
+    return ErrnoError("cannot seek journal", path_);
+  }
+  // A short write (injected or real, e.g. disk full) leaves a torn
+  // record; roll back to the record boundary so the live journal stays
+  // structurally valid. Only a failed rollback disables the journal.
+  size_t to_write = record.size();
+  if (PRIVMARK_FAILPOINT("journal.short_write")) to_write /= 2;
+  const bool wrote =
+      WriteFully(fd_, record.data(), to_write) && to_write == record.size();
+  if (!wrote) {
+    if (::ftruncate(fd_, start) != 0) {
+      broken_ = true;
+      return Status::IOError("short write to journal '" + path_ +
+                             "' and rollback failed; journal disabled");
+    }
+    return Status::IOError("short write to journal '" + path_ +
+                           "' (rolled back to the last record boundary)");
+  }
+  return Status::OK();
+}
+
+Status SessionJournal::AppendConfig(const FrameworkConfig& config,
+                                    const SessionConfig& session) {
+  return AppendRecord(JournalRecordType::kConfig,
+                      EncodeConfig(config, session));
+}
+
+Status SessionJournal::AppendKeyId(const std::string& key_id) {
+  return AppendRecord(JournalRecordType::kKeyId, key_id);
+}
+
+Status SessionJournal::AppendSchema(const Schema& schema) {
+  for (const ColumnSpec& column : schema.columns()) {
+    if (column.name.find('\n') != std::string::npos) {
+      return Status::InvalidArgument(
+          "journal: column name with embedded newline cannot be journaled: " +
+          column.name);
+    }
+  }
+  return AppendRecord(JournalRecordType::kSchema, EncodeSchema(schema));
+}
+
+Status SessionJournal::AppendBatch(const Table& batch) {
+  return AppendRecord(JournalRecordType::kBatch, TableToCsv(batch));
+}
+
+Status SessionJournal::AppendFlushMarker() {
+  return AppendRecord(JournalRecordType::kFlushMarker, std::string());
+}
+
+Status SessionJournal::AppendEpochSealed(const EpochRecord& record) {
+  std::string payload;
+  payload += "epoch = " + std::to_string(record.epoch) + "\n";
+  payload += "rows_emitted = " + std::to_string(record.rows_emitted) + "\n";
+  payload +=
+      "rows_suppressed = " + std::to_string(record.rows_suppressed) + "\n";
+  PRIVMARK_RETURN_NOT_OK(AppendRecord(JournalRecordType::kEpochSealed,
+                                      payload));
+  return Sync();
+}
+
+Status SessionJournal::Sync() {
+  if (fd_ < 0) {
+    return Status::IOError("journal '" + path_ + "' is not open for append");
+  }
+  if (PRIVMARK_FAILPOINT("journal.fsync")) {
+    return Status::IOError("failpoint 'journal.fsync' triggered for '" +
+                           path_ + "'");
+  }
+  if (::fsync(fd_) != 0) return ErrnoError("cannot fsync journal", path_);
+  return Status::OK();
+}
+
+Result<JournalContents> SessionJournal::ReadAll(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open journal '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string bytes = buffer.str();
+
+  if (bytes.size() < kMagicSize ||
+      std::memcmp(bytes.data(), kMagic, kMagicSize) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a privmark session journal");
+  }
+
+  JournalContents contents;
+  size_t offset = kMagicSize;
+  // Stop at the first record that is short, oversized, checksum-broken,
+  // or of unknown type: everything before it is the valid prefix, and a
+  // crash mid-append can only have damaged the tail.
+  while (bytes.size() - offset >= kRecordHeaderSize) {
+    const size_t length = ReadLe32(bytes.data() + offset);
+    if (length > kMaxRecordBytes) break;
+    if (bytes.size() - offset - kRecordHeaderSize < length) break;
+    const uint32_t expected_crc = ReadLe32(bytes.data() + offset + 4);
+    const char* body = bytes.data() + offset + 8;
+    if (JournalCrc32(body, 1 + length) != expected_crc) break;
+    const uint8_t type = static_cast<uint8_t>(*body);
+    if (!IsKnownRecordType(type)) break;
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(type);
+    record.payload.assign(body + 1, length);
+    contents.records.push_back(std::move(record));
+    offset += kRecordHeaderSize + length;
+  }
+  contents.valid_bytes = offset;
+  contents.tail_truncated = offset < bytes.size();
+  return contents;
+}
+
+std::string SessionJournal::EncodeConfig(const FrameworkConfig& config,
+                                         const SessionConfig& session) {
+  std::string out = "privmark-journal-config = 1\n";
+  out += "k = " + std::to_string(config.binning.k) + "\n";
+  out += "epsilon = " + std::to_string(config.binning.epsilon) + "\n";
+  out += std::string("enforce_joint = ") +
+         (config.binning.enforce_joint ? "1" : "0") + "\n";
+  out += "mark_bits = " + std::to_string(config.mark_bits) + "\n";
+  out += "copies = " + std::to_string(config.copies) + "\n";
+  out += std::string("derive_mark = ") +
+         (config.derive_mark_from_identifiers ? "1" : "0") + "\n";
+  std::string mark;
+  mark.reserve(config.explicit_mark.size());
+  for (size_t i = 0; i < config.explicit_mark.size(); ++i) {
+    mark.push_back(config.explicit_mark.Get(i) ? '1' : '0');
+  }
+  out += "explicit_mark = " + mark + "\n";
+  out += std::string("auto_epsilon = ") + (config.auto_epsilon ? "1" : "0") +
+         "\n";
+  out += std::string("hash = ") + HashAlgorithmToString(config.watermark.hash) +
+         "\n";
+  out += std::string("policy = ") +
+         (session.policy == RebinPolicy::kFreezeBins ? "freeze" : "drift") +
+         "\n";
+  char threshold[64];
+  std::snprintf(threshold, sizeof(threshold), "%.17g",
+                session.drift_threshold);
+  out += std::string("drift_threshold = ") + threshold + "\n";
+  return out;
+}
+
+Status SessionJournal::CheckConfig(const std::string& payload,
+                                   const FrameworkConfig& config,
+                                   const SessionConfig& session) {
+  const std::string expected = EncodeConfig(config, session);
+  if (payload == expected) return Status::OK();
+  const std::vector<std::string> have = Split(payload, '\n');
+  const std::vector<std::string> want = Split(expected, '\n');
+  for (size_t i = 0; i < std::max(have.size(), want.size()); ++i) {
+    const std::string& h = i < have.size() ? have[i] : std::string();
+    const std::string& w = i < want.size() ? want[i] : std::string();
+    if (h != w) {
+      return Status::InvalidArgument(
+          "journal config mismatch: journal records '" + h +
+          "' but the supplied configuration implies '" + w + "'");
+    }
+  }
+  return Status::InvalidArgument("journal config mismatch");
+}
+
+std::string SessionJournal::EncodeSchema(const Schema& schema) {
+  std::string out;
+  for (const ColumnSpec& column : schema.columns()) {
+    out += std::string(ColumnRoleToString(column.role)) + "|" +
+           ValueTypeToString(column.type) + "|" + column.name + "\n";
+  }
+  return out;
+}
+
+Result<Schema> SessionJournal::DecodeSchema(const std::string& payload) {
+  Schema schema;
+  for (const std::string& line : Split(payload, '\n')) {
+    if (line.empty()) continue;
+    const size_t first = line.find('|');
+    const size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : line.find('|', first + 1);
+    if (second == std::string::npos) {
+      return Status::InvalidArgument("journal: malformed schema line: " +
+                                     line);
+    }
+    ColumnSpec spec;
+    PRIVMARK_ASSIGN_OR_RETURN(spec.role, RoleFromString(line.substr(0, first)));
+    PRIVMARK_ASSIGN_OR_RETURN(
+        spec.type, TypeFromString(line.substr(first + 1, second - first - 1)));
+    spec.name = line.substr(second + 1);
+    PRIVMARK_RETURN_NOT_OK(schema.AddColumn(std::move(spec)));
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("journal: schema record has no columns");
+  }
+  return schema;
+}
+
+Result<EpochSeal> SessionJournal::DecodeEpochSealed(
+    const std::string& payload) {
+  EpochSeal seal;
+  bool saw_epoch = false;
+  for (const std::string& raw_line : Split(payload, '\n')) {
+    const std::string line = Trim(raw_line);
+    if (line.empty()) continue;
+    const size_t eq = line.find(" = ");
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("journal: malformed seal line: " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 3);
+    if (key == "epoch") {
+      PRIVMARK_ASSIGN_OR_RETURN(seal.epoch, ParseCount(value, "epoch"));
+      saw_epoch = true;
+    } else if (key == "rows_emitted") {
+      PRIVMARK_ASSIGN_OR_RETURN(seal.rows_emitted,
+                                ParseCount(value, "rows_emitted"));
+    } else if (key == "rows_suppressed") {
+      PRIVMARK_ASSIGN_OR_RETURN(seal.rows_suppressed,
+                                ParseCount(value, "rows_suppressed"));
+    } else {
+      return Status::InvalidArgument("journal: unknown seal field: " + key);
+    }
+  }
+  if (!saw_epoch) {
+    return Status::InvalidArgument("journal: seal record without an epoch");
+  }
+  return seal;
+}
+
+}  // namespace privmark

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/strings.h"
 
 namespace privmark {
@@ -264,6 +265,10 @@ Result<HierarchicalWatermarker> WatermarkerFromManifest(
 
 Status WriteManifestFile(const ProtectionManifest& manifest,
                          const std::string& path) {
+  if (PRIVMARK_FAILPOINT("manifest.write")) {
+    return Status::IOError("failpoint 'manifest.write' triggered for '" +
+                           path + "'");
+  }
   std::ofstream file(path, std::ios::binary);
   if (!file) {
     return Status::IOError("cannot open '" + path + "' for writing");

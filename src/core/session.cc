@@ -8,6 +8,9 @@
 #include <utility>
 
 #include "binning/binning_engine.h"
+#include "common/failpoint.h"
+#include "core/journal.h"
+#include "relation/csv.h"
 #include "watermark/ownership.h"
 
 namespace privmark {
@@ -115,6 +118,38 @@ ProtectionSession::ProtectionSession(UsageMetrics metrics,
   if (config_.watermark.pool == nullptr) config_.watermark.pool = injected;
 }
 
+// Out of line: journal_ holds a type that is incomplete in the header.
+ProtectionSession::~ProtectionSession() = default;
+
+Status ProtectionSession::AttachJournal(
+    std::unique_ptr<SessionJournal> journal, bool fresh) {
+  if (journal == nullptr) {
+    return Status::InvalidArgument("AttachJournal: null journal");
+  }
+  if (journal_ != nullptr) {
+    return Status::InvalidArgument(
+        "AttachJournal: session already has a journal");
+  }
+  if (fresh && rows_ingested_ > 0) {
+    return Status::InvalidArgument(
+        "AttachJournal: a fresh journal must be attached before the first "
+        "Ingest (earlier batches would be unrecoverable)");
+  }
+  journal_ = std::move(journal);
+  if (fresh) {
+    PRIVMARK_RETURN_NOT_OK(journal_->AppendConfig(config_, session_));
+    if (!config_.key_id.empty()) {
+      PRIVMARK_RETURN_NOT_OK(journal_->AppendKeyId(config_.key_id));
+    }
+    schema_journaled_ = false;
+  } else {
+    // A resumed journal's prefix already covers everything this session
+    // replayed, including the schema iff a batch was ever ingested.
+    schema_journaled_ = schema_.has_value();
+  }
+  return Status::OK();
+}
+
 Status ProtectionSession::InitSchema(const Schema& schema) {
   if (schema_.has_value()) {
     if (!(schema == *schema_)) {
@@ -145,6 +180,17 @@ Status ProtectionSession::InitSchema(const Schema& schema) {
 
 Result<IngestResult> ProtectionSession::Ingest(const Table& batch) {
   PRIVMARK_RETURN_NOT_OK(InitSchema(batch.schema()));
+
+  // Write-ahead: the batch reaches the journal before any session state
+  // changes, so a crash at any later point replays it. A failed append
+  // fails the Ingest cleanly — no state moved, the caller may retry.
+  if (journal_ != nullptr) {
+    if (!schema_journaled_) {
+      PRIVMARK_RETURN_NOT_OK(journal_->AppendSchema(*schema_));
+      schema_journaled_ = true;
+    }
+    PRIVMARK_RETURN_NOT_OK(journal_->AppendBatch(batch));
+  }
 
   // Count-accumulation phase, per batch: encode once, roll counts up,
   // fold into the session state (exact integer merge — the accumulated
@@ -189,11 +235,19 @@ Result<IngestResult> ProtectionSession::Ingest(const Table& batch) {
 }
 
 Result<EpochOutput> ProtectionSession::Flush() {
+  if (PRIVMARK_FAILPOINT("session.flush")) {
+    return Status::IOError("failpoint 'session.flush' triggered");
+  }
   if (!schema_.has_value()) {
     return Status::InvalidArgument("Flush: nothing ingested");
   }
   if (live_.has_value() && buffer_.num_rows() == 0) {
     return Status::InvalidArgument("Flush: no rows buffered");
+  }
+  // Write-ahead: the marker commits the intent, so a crash anywhere in
+  // FlushBuffer makes replay re-execute the (deterministic) flush.
+  if (journal_ != nullptr) {
+    PRIVMARK_RETURN_NOT_OK(journal_->AppendFlushMarker());
   }
   return FlushBuffer();
 }
@@ -390,6 +444,19 @@ Result<EpochOutput> ProtectionSession::FlushBuffer() {
   buffer_view_ = EncodedView();
   PRIVMARK_ASSIGN_OR_RETURN(counts_, CountState::Zero(trees_));
   rows_since_epoch_ = 0;
+
+  // Epoch boundary: seal + fsync is the durability barrier. The epoch
+  // is already committed in memory and its write-ahead records suffice
+  // for replay, so a failed seal degrades durability without corrupting
+  // anything — record the first such error instead of failing the
+  // flush (which would discard the epoch's output).
+  if (journal_ != nullptr) {
+    const Status seal =
+        PRIVMARK_FAILPOINT("session.seal")
+            ? Status::IOError("failpoint 'session.seal' triggered")
+            : journal_->AppendEpochSealed(epochs_.back());
+    if (!seal.ok() && journal_status_.ok()) journal_status_ = seal;
+  }
   return epoch;
 }
 
@@ -444,6 +511,137 @@ Result<IngestResult> ProtectionSession::EmitFrozen(const Table& batch,
   epochs_[live.index].rows_suppressed += out.rows_suppressed;
   rows_emitted_ += out.rows_emitted;
   rows_suppressed_ += out.rows_suppressed;
+  return out;
+}
+
+Result<RecoveredSession> ProtectionSession::Recover(
+    const std::string& journal_path, UsageMetrics metrics,
+    FrameworkConfig config, SessionConfig session_config,
+    bool resume_journaling) {
+  PRIVMARK_ASSIGN_OR_RETURN(JournalContents contents,
+                            SessionJournal::ReadAll(journal_path));
+  RecoveredSession out;
+  out.valid_bytes = contents.valid_bytes;
+  out.tail_truncated = contents.tail_truncated;
+
+  auto session = std::make_unique<ProtectionSession>(std::move(metrics),
+                                                     config, session_config);
+  auto append_emitted = [&out](const Table& emitted) -> Status {
+    if (emitted.num_rows() == 0) return Status::OK();
+    if (out.emitted.schema().num_columns() == 0) {
+      out.emitted = Table(emitted.schema());
+    }
+    for (size_t r = 0; r < emitted.num_rows(); ++r) {
+      PRIVMARK_RETURN_NOT_OK(out.emitted.AppendRow(emitted.row(r)));
+    }
+    return Status::OK();
+  };
+
+  std::optional<Schema> schema;
+  bool saw_config = false;
+  for (size_t i = 0; i < contents.records.size(); ++i) {
+    const JournalRecord& record = contents.records[i];
+    switch (record.type) {
+      case JournalRecordType::kConfig: {
+        if (i != 0) {
+          return Status::InvalidArgument(
+              "journal: config record is not the first record");
+        }
+        PRIVMARK_RETURN_NOT_OK(SessionJournal::CheckConfig(
+            record.payload, config, session_config));
+        saw_config = true;
+        break;
+      }
+      case JournalRecordType::kKeyId: {
+        if (record.payload != config.key_id) {
+          return Status::InvalidArgument(
+              "journal: recorded key_id '" + record.payload +
+              "' does not match the supplied key_id '" + config.key_id + "'");
+        }
+        break;
+      }
+      case JournalRecordType::kSchema: {
+        if (schema.has_value()) {
+          // A crash between the schema append and its batch append can
+          // legitimately duplicate the schema; only a *different* one
+          // is corruption.
+          if (record.payload != SessionJournal::EncodeSchema(*schema)) {
+            return Status::InvalidArgument(
+                "journal: conflicting schema records");
+          }
+          break;
+        }
+        PRIVMARK_ASSIGN_OR_RETURN(Schema decoded,
+                                  SessionJournal::DecodeSchema(record.payload));
+        schema = std::move(decoded);
+        break;
+      }
+      case JournalRecordType::kBatch: {
+        if (!schema.has_value()) {
+          return Status::InvalidArgument(
+              "journal: batch record before any schema record");
+        }
+        PRIVMARK_ASSIGN_OR_RETURN(Table batch,
+                                  TableFromCsv(record.payload, *schema));
+        Result<IngestResult> result = session->Ingest(batch);
+        ++out.batches_applied;
+        // A non-OK Ingest failed identically (and statelessly) in the
+        // original run: the journal is write-ahead, so the record's
+        // presence only proves the attempt. Replay moves on.
+        if (result.ok()) {
+          PRIVMARK_RETURN_NOT_OK(append_emitted(result->emitted));
+        }
+        break;
+      }
+      case JournalRecordType::kFlushMarker: {
+        Result<EpochOutput> result = session->Flush();
+        if (result.ok()) {
+          PRIVMARK_RETURN_NOT_OK(append_emitted(result->outcome.watermarked));
+        }
+        break;
+      }
+      case JournalRecordType::kEpochSealed: {
+        PRIVMARK_ASSIGN_OR_RETURN(
+            EpochSeal seal, SessionJournal::DecodeEpochSealed(record.payload));
+        if (session->epochs().size() != seal.epoch + 1) {
+          return Status::InvalidArgument(
+              "journal: seal for epoch " + std::to_string(seal.epoch) +
+              " but replay sealed " +
+              std::to_string(session->epochs().size()) + " epoch(s)");
+        }
+        const EpochRecord& replayed = session->epochs().back();
+        if (replayed.rows_emitted != seal.rows_emitted ||
+            replayed.rows_suppressed != seal.rows_suppressed) {
+          return Status::InvalidArgument(
+              "journal: epoch " + std::to_string(seal.epoch) +
+              " seal records " + std::to_string(seal.rows_emitted) +
+              " emitted / " + std::to_string(seal.rows_suppressed) +
+              " suppressed rows, but replay produced " +
+              std::to_string(replayed.rows_emitted) + " / " +
+              std::to_string(replayed.rows_suppressed) +
+              " — wrong key, passphrase, or metrics?");
+        }
+        ++out.epochs_sealed;
+        break;
+      }
+    }
+  }
+  if (!saw_config && !contents.records.empty()) {
+    return Status::InvalidArgument(
+        "journal: first record is not a config record");
+  }
+
+  if (resume_journaling) {
+    PRIVMARK_ASSIGN_OR_RETURN(
+        std::unique_ptr<SessionJournal> journal,
+        SessionJournal::Resume(journal_path, contents.valid_bytes));
+    // An empty journal (crash between creation and the config append)
+    // resumes as a fresh one so the config fingerprint gets written.
+    PRIVMARK_RETURN_NOT_OK(session->AttachJournal(
+        std::move(journal), /*fresh=*/contents.records.empty()));
+    session->schema_journaled_ = schema.has_value();
+  }
+  out.session = std::move(session);
   return out;
 }
 

@@ -55,6 +55,9 @@
 
 namespace privmark {
 
+class SessionJournal;  // core/journal.h
+class ProtectionSession;
+
 /// \brief What to do when later batches no longer fit the generalization
 /// chosen at the first flush.
 enum class RebinPolicy {
@@ -135,6 +138,24 @@ struct EpochOutput {
 /// semantics.
 size_t SessionThreadAsk(const FrameworkConfig& config);
 
+/// \brief What ProtectionSession::Recover rebuilt from a journal.
+struct RecoveredSession {
+  /// The replayed session, ready for further Ingest/Flush calls.
+  std::unique_ptr<ProtectionSession> session;
+  /// Concatenation, in order, of every row the replay emitted — what
+  /// the crashed process had emitted (or would have, had it applied
+  /// every journaled operation before dying).
+  Table emitted;
+  size_t batches_applied = 0;
+  /// kEpochSealed records observed (each was validated against the
+  /// replayed state).
+  size_t epochs_sealed = 0;
+  /// Length of the journal's valid prefix, in bytes.
+  size_t valid_bytes = 0;
+  /// True when a torn tail past the valid prefix was discarded.
+  bool tail_truncated = false;
+};
+
 /// \brief The incremental protection session.
 class ProtectionSession {
  public:
@@ -146,6 +167,41 @@ class ProtectionSession {
   ///        and reuses it across all batches.
   ProtectionSession(UsageMetrics metrics, FrameworkConfig config,
                     SessionConfig session = SessionConfig());
+  ~ProtectionSession();
+
+  /// \brief Makes the session durable: every subsequent Ingest appends
+  /// its batch write-ahead, every Flush leaves a marker, and every
+  /// sealed epoch is fsync'd (core/journal.h). With `fresh` (a journal
+  /// just created for this session) the config fingerprint and key id
+  /// are appended immediately; a fresh journal must be attached before
+  /// the first Ingest, or earlier batches would be unrecoverable.
+  /// `fresh = false` resumes a journal whose prefix already holds the
+  /// session's history (the Recover path).
+  Status AttachJournal(std::unique_ptr<SessionJournal> journal,
+                       bool fresh = true);
+  SessionJournal* journal() const { return journal_.get(); }
+
+  /// \brief First post-commit journal degradation, if any: an epoch
+  /// sealed correctly in memory but its seal record or fsync failed, so
+  /// the epoch-boundary durability barrier is weaker than configured.
+  /// (Write-ahead failures are surfaced by Ingest/Flush directly and
+  /// never recorded here.)
+  const Status& journal_status() const { return journal_status_; }
+
+  /// \brief Rebuilds a session from a write-ahead journal by replaying
+  /// its records through a fresh session. Determinism of the pipeline
+  /// makes the replayed state — counts, buffer, live epoch, emitted
+  /// bytes — identical to the crashed session's, so subsequent
+  /// emissions are byte-identical to an uncrashed run. The caller
+  /// supplies the same metrics/config/session options as the original
+  /// run (secrets are never journaled); the journal's non-secret config
+  /// fingerprint is validated against them. With `resume_journaling`
+  /// the journal is truncated to its valid prefix and re-attached, so
+  /// the recovered session keeps journaling where the original stopped.
+  static Result<RecoveredSession> Recover(
+      const std::string& journal_path, UsageMetrics metrics,
+      FrameworkConfig config, SessionConfig session = SessionConfig(),
+      bool resume_journaling = true);
 
   /// \brief Feeds one batch of original (cleartext) rows. The first batch
   /// fixes the session's schema; every later batch must match it.
@@ -232,6 +288,10 @@ class ProtectionSession {
   SessionConfig session_;
   std::unique_ptr<ThreadPool> pool_;  // owned; config_ points at it
   Aes128 cipher_;
+
+  std::unique_ptr<SessionJournal> journal_;
+  bool schema_journaled_ = false;
+  Status journal_status_;
 
   std::optional<Schema> schema_;
   size_t ident_column_ = 0;

@@ -1,5 +1,6 @@
 #include "relation/csv.h"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -8,6 +9,14 @@
 namespace privmark {
 
 namespace {
+
+// Caps on untrusted CSV input. A single field larger than 16 MiB or a file
+// larger than 1 GiB is not a data set this library targets — it is far more
+// likely a corrupt or adversarial input, and slurping it would balloon
+// memory before any schema check runs. Both caps fail with a clean
+// InvalidArgument/IOError instead.
+constexpr size_t kMaxCsvFieldBytes = 16ull << 20;
+constexpr uint64_t kMaxCsvFileBytes = 1ull << 30;
 
 bool NeedsQuoting(const std::string& cell) {
   return cell.find_first_of(",\"\n\r") != std::string::npos;
@@ -34,6 +43,18 @@ Result<std::vector<std::string>> ParseRecord(const std::string& text,
   size_t i = *pos;
   for (; i < text.size(); ++i) {
     const char c = text[i];
+    if (c == '\0') {
+      // NUL never appears in well-formed CSV; accepting it would let a
+      // binary blob masquerade as a short record when later passed through
+      // C string handling.
+      return Status::InvalidArgument("CSV: embedded NUL byte at offset " +
+                                     std::to_string(i));
+    }
+    if (field.size() > kMaxCsvFieldBytes) {
+      return Status::InvalidArgument(
+          "CSV: field at offset " + std::to_string(*pos) + " exceeds " +
+          std::to_string(kMaxCsvFieldBytes) + " bytes");
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -163,9 +184,25 @@ Result<Table> ReadTableCsv(const std::string& path, const Schema& schema) {
   if (!file) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return TableFromCsv(buffer.str(), schema);
+  // Size-check before slurping so an oversized (or runaway, e.g. /dev/zero)
+  // input fails cleanly instead of exhausting memory.
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  if (size < 0) {
+    return Status::IOError("cannot determine size of '" + path + "'");
+  }
+  if (static_cast<uint64_t>(size) > kMaxCsvFileBytes) {
+    return Status::IOError("'" + path + "' is " + std::to_string(size) +
+                           " bytes; CSV inputs are capped at " +
+                           std::to_string(kMaxCsvFileBytes) + " bytes");
+  }
+  file.seekg(0, std::ios::beg);
+  std::string text(static_cast<size_t>(size), '\0');
+  file.read(text.data(), size);
+  if (!file) {
+    return Status::IOError("short read from '" + path + "'");
+  }
+  return TableFromCsv(text, schema);
 }
 
 }  // namespace privmark

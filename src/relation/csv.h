@@ -21,13 +21,16 @@ std::string TableToCsv(const Table& table);
 /// The header row must match the schema's column names in order; each cell is
 /// parsed to the declared column type, with non-parsing cells for int64 and
 /// double columns kept as strings (generalized labels like "[25,50)" survive
-/// a round trip).
+/// a round trip). Malformed input — embedded NUL bytes, unterminated quotes,
+/// fields past the 16 MiB cap, record/header arity mismatches — fails with
+/// InvalidArgument, never UB or unbounded allocation.
 Result<Table> TableFromCsv(const std::string& csv, const Schema& schema);
 
 /// \brief Writes a table to a CSV file.
 Status WriteTableCsv(const Table& table, const std::string& path);
 
-/// \brief Reads a table from a CSV file.
+/// \brief Reads a table from a CSV file. Files past the 1 GiB cap are
+/// rejected with IOError before any bytes are buffered.
 Result<Table> ReadTableCsv(const std::string& path, const Schema& schema);
 
 }  // namespace privmark

@@ -32,6 +32,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <unordered_set>
+
+#include "common/status.h"
 
 namespace privmark {
 
@@ -53,19 +56,43 @@ class AdmissionController {
   /// capacity -> capacity.
   size_t Acquire(size_t ask);
 
+  /// \brief Bounded-wait form of Acquire() for overload control.
+  ///
+  /// Behaves like Acquire() (FIFO ticket, work-conserving grant) except:
+  ///   - if `max_waiters` > 0 and that many callers are already waiting
+  ///     for admission, fails immediately with ResourceExhausted (a
+  ///     `retry_after_ms=N` hint is embedded in the message) instead of
+  ///     joining the queue;
+  ///   - if `timeout_ms` >= 0 and the caller's turn has not come (or no
+  ///     capacity has freed) within that many milliseconds, fails with
+  ///     DeadlineExceeded. The abandoned ticket is skipped over, so a
+  ///     timed-out waiter never stalls the FIFO behind it.
+  ///
+  /// `timeout_ms` < 0 waits forever; `max_waiters` == 0 never sheds.
+  Result<size_t> AcquireWithin(size_t ask, int64_t timeout_ms,
+                               size_t max_waiters = 0);
+
   /// \brief Returns a previous Acquire()'s grant to the budget.
   void Release(size_t granted);
 
   /// \brief Threads currently granted (diagnostic; racy by nature).
   size_t in_use() const;
 
+  /// \brief Callers currently waiting for admission (diagnostic).
+  size_t waiters() const;
+
  private:
+  // Advances serving_ past tickets whose waiters gave up. Requires mu_.
+  void SkipAbandonedLocked();
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   size_t in_use_ = 0;        // guarded by mu_
+  size_t waiters_ = 0;       // guarded by mu_: callers blocked in Acquire*
   uint64_t next_ticket_ = 0; // guarded by mu_: next ticket to hand out
   uint64_t serving_ = 0;     // guarded by mu_: ticket allowed to admit
+  std::unordered_set<uint64_t> abandoned_;  // guarded by mu_: timed out
 };
 
 /// \brief RAII grant: acquires on construction, releases on destruction.

@@ -1,10 +1,31 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
+#include "core/journal.h"
+
 namespace privmark {
+
+namespace {
+
+// Journals live in one flat directory, so session names must become
+// safe basename characters; anything else maps to '_'.
+std::string SanitizeSessionName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    if (!safe) c = '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+}  // namespace
 
 const char* RequestKindToString(RequestKind kind) {
   switch (kind) {
@@ -54,13 +75,30 @@ size_t ServiceQueue::size() const {
   return items_.size();
 }
 
+size_t ServiceQueue::Abandon(const Status& status) {
+  std::deque<Item> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    taken.swap(items_);
+  }
+  cv_.notify_all();
+  // Promises complete outside mu_: a waiter's continuation may call
+  // back into the queue.
+  for (Item& item : taken) {
+    item.done.set_value(Result<ServiceResponse>(status));
+  }
+  return taken.size();
+}
+
 bool ServiceQueue::closed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_;
 }
 
 PrivmarkService::PrivmarkService(ServiceConfig config)
-    : admission_(config.thread_cap),
+    : config_(std::move(config)),
+      admission_(config_.thread_cap),
       pool_(MakeThreadPool(admission_.capacity())) {}
 
 PrivmarkService::~PrivmarkService() { Shutdown(); }
@@ -68,7 +106,8 @@ PrivmarkService::~PrivmarkService() { Shutdown(); }
 Status PrivmarkService::OpenSession(const std::string& name,
                                     UsageMetrics metrics,
                                     FrameworkConfig config,
-                                    SessionConfig session) {
+                                    SessionConfig session,
+                                    SessionRecovery* recovery) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) {
     return Status::InvalidArgument("OpenSession: service is shut down");
@@ -106,8 +145,41 @@ Status PrivmarkService::OpenSession(const std::string& name,
     config.binning.num_threads = 1;
     config.watermark.num_threads = 1;
   }
-  strand->session = std::make_unique<ProtectionSession>(
-      std::move(metrics), std::move(config), session);
+  SessionRecovery recovered;
+  if (config_.journal_dir.empty()) {
+    strand->session = std::make_unique<ProtectionSession>(
+        std::move(metrics), std::move(config), session);
+  } else {
+    // Create-or-recover, race-free via the journal's O_EXCL create: a
+    // fresh name starts a new journal, an existing one replays it. The
+    // pools were leased into `config` above, so the recovered session
+    // shares the service pool like any other (replay itself runs serial
+    // — the lease starts at limit 1 — which is fine: every stage is
+    // byte-identical at any width).
+    const std::string path =
+        config_.journal_dir + "/" + SanitizeSessionName(name) + ".wal";
+    auto created = SessionJournal::Create(path);
+    if (created.ok()) {
+      strand->session = std::make_unique<ProtectionSession>(
+          std::move(metrics), std::move(config), session);
+      PRIVMARK_RETURN_NOT_OK(
+          strand->session->AttachJournal(std::move(*created)));
+    } else if (created.status().code() == StatusCode::kAlreadyExists) {
+      PRIVMARK_ASSIGN_OR_RETURN(
+          RecoveredSession rec,
+          ProtectionSession::Recover(path, std::move(metrics),
+                                     std::move(config), session));
+      strand->session = std::move(rec.session);
+      recovered.recovered = true;
+      recovered.batches_applied = rec.batches_applied;
+      recovered.epochs_sealed = rec.epochs_sealed;
+      recovered.tail_truncated = rec.tail_truncated;
+      recovered.emitted = std::move(rec.emitted);
+    } else {
+      return created.status();
+    }
+  }
+  if (recovery != nullptr) *recovery = std::move(recovered);
   Strand* raw = strand.get();
   strands_.emplace(name, std::move(strand));
   raw->thread = std::thread([this, raw] { RunStrand(raw); });
@@ -140,8 +212,30 @@ ServiceFuture PrivmarkService::Submit(ServiceRequest request) {
   }
 
   const bool closes = request.kind == RequestKind::kCloseSession;
+  // Queue-depth shed — but never for CloseSession: an overloaded
+  // session must still be closable, and the close itself adds no work
+  // beyond what is already queued.
+  if (!closes && config_.max_queue_depth > 0) {
+    const size_t depth = strand->queue.size();
+    if (depth >= config_.max_queue_depth) {
+      // Crude service-time guess (~50ms/request) for the hint.
+      const int64_t retry_after_ms = 50 * static_cast<int64_t>(depth);
+      return FailedFuture(Status::ResourceExhausted(
+          "Submit: session '" + request.session + "' queue is full (" +
+          std::to_string(depth) + " pending); retry_after_ms=" +
+          std::to_string(retry_after_ms)));
+    }
+  }
+  const int64_t deadline_ms = request.deadline_ms == kDeadlineFromConfig
+                                  ? config_.default_deadline_ms
+                                  : request.deadline_ms;
   ServiceQueue::Item item;
   item.request = std::move(request);
+  if (deadline_ms > 0) {
+    item.has_deadline = true;
+    item.deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(deadline_ms);
+  }
   ServiceFuture future = item.done.get_future();
   if (!strand->queue.Push(std::move(item))) {
     return FailedFuture(Status::InvalidArgument(
@@ -208,7 +302,17 @@ ServiceFuture PrivmarkService::CloseSession(const std::string& session) {
 void PrivmarkService::RunStrand(Strand* strand) {
   ServiceQueue::Item item;
   while (strand->queue.Pop(&item)) {
-    Result<ServiceResponse> result = Execute(strand, &item.request);
+    if (item.has_deadline &&
+        std::chrono::steady_clock::now() >= item.deadline) {
+      // Expired while queued: fail without executing. The session state
+      // is untouched, so the stream stays byte-identical to a replay
+      // that never submitted this request.
+      item.done.set_value(Result<ServiceResponse>(Status::DeadlineExceeded(
+          std::string("request '") + RequestKindToString(item.request.kind) +
+          "' spent its whole deadline queued; it was not executed")));
+      continue;
+    }
+    Result<ServiceResponse> result = Execute(strand, &item);
     item.done.set_value(std::move(result));
   }
   strand->finished.store(true, std::memory_order_release);
@@ -228,7 +332,8 @@ void PrivmarkService::ReapFinishedLocked() {
 }
 
 Result<ServiceResponse> PrivmarkService::Execute(Strand* strand,
-                                                 ServiceRequest* request) {
+                                                 ServiceQueue::Item* item) {
+  ServiceRequest* request = &item->request;
   ServiceResponse response;
   response.kind = request->kind;
 
@@ -246,12 +351,29 @@ Result<ServiceResponse> PrivmarkService::Execute(Strand* strand,
   const size_t ask = request->num_threads == kSessionThreads
                          ? strand->default_ask
                          : request->num_threads;
-  ThreadGrant grant(&admission_, ask);
-  response.threads_granted = grant.granted();
+  // Admission waits at most the request's remaining deadline, and sheds
+  // outright behind max_admission_waiters queued peers.
+  int64_t admission_timeout_ms = -1;
+  if (item->has_deadline) {
+    const auto remaining = item->deadline - std::chrono::steady_clock::now();
+    admission_timeout_ms = std::max<int64_t>(
+        0, std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+               .count());
+  }
+  size_t granted = 0;
+  PRIVMARK_ASSIGN_OR_RETURN(
+      granted, admission_.AcquireWithin(ask, admission_timeout_ms,
+                                        config_.max_admission_waiters));
+  struct GrantGuard {
+    AdmissionController* controller;
+    size_t granted;
+    ~GrantGuard() { controller->Release(granted); }
+  } grant_guard{&admission_, granted};
+  response.threads_granted = granted;
   // The grant IS the lease width: agents shard by the lease's reported
   // worker count, so at most `granted` of the shared workers ever touch
   // this request (the small-fix guarantee: granted, not requested).
-  if (strand->lease != nullptr) strand->lease->set_limit(grant.granted());
+  if (strand->lease != nullptr) strand->lease->set_limit(granted);
 
   try {
     switch (request->kind) {
@@ -296,6 +418,11 @@ Result<ServiceResponse> PrivmarkService::Execute(Strand* strand,
 }
 
 void PrivmarkService::Shutdown() {
+  // Unbounded: never abandons, so the Status is always OK.
+  (void)Shutdown(-1);
+}
+
+Status PrivmarkService::Shutdown(int64_t deadline_ms) {
   // Take ownership of every strand under the lock: a concurrent (or
   // repeated) Shutdown finds an empty registry and has nothing to join,
   // so no strand is ever joined twice or destroyed under an iterator.
@@ -309,9 +436,37 @@ void PrivmarkService::Shutdown() {
     taken = std::move(strands_);
     strands_.clear();
   }
+  size_t abandoned = 0;
+  if (deadline_ms >= 0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    for (auto& [name, strand] : taken) {
+      // The strand sets `finished` as its last action; poll it rather
+      // than joining, because a join cannot be abandoned halfway.
+      while (!strand->finished.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      if (!strand->finished.load(std::memory_order_acquire)) {
+        abandoned += strand->queue.Abandon(Status::DeadlineExceeded(
+            "service shutdown deadline passed before this request ran"));
+      }
+    }
+  }
+  // Joins are bounded once queues are drained or abandoned: each blocks
+  // only for the strand's in-flight request, which always completes —
+  // it cannot be safely interrupted mid-epoch.
   for (auto& [name, strand] : taken) {
     if (strand->thread.joinable()) strand->thread.join();
   }
+  if (abandoned > 0) {
+    return Status::DeadlineExceeded(
+        "Shutdown: abandoned " + std::to_string(abandoned) +
+        " queued request(s) at the " + std::to_string(deadline_ms) +
+        "ms deadline; abandoned requests never executed and can be "
+        "resubmitted after recovery");
+  }
+  return Status::OK();
 }
 
 size_t PrivmarkService::num_sessions() const {

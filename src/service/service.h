@@ -6,7 +6,10 @@
 // The service fronts any number of named streams with one shared worker
 // pool:
 //
-//   PrivmarkService service({.thread_cap = 8});
+//   ServiceConfig cfg;
+//   cfg.thread_cap = 8;
+//   cfg.journal_dir = "/var/lib/privmark/journals";  // durable streams
+//   PrivmarkService service(cfg);
 //   service.OpenSession("ward-a", metrics, config);
 //   auto f1 = service.ProtectBatch("ward-a", batch1);   // futures
 //   auto f2 = service.ProtectBatch("ward-a", batch2);
@@ -33,12 +36,35 @@
 //
 // Shutdown drains: once a request is accepted (its future exists), it
 // executes — Shutdown() closes intake, lets every strand drain its
-// queue, and joins. Accepted work is never dropped.
+// queue, and joins. Accepted work is never dropped. The deadline form,
+// Shutdown(deadline_ms), trades that guarantee for boundedness: when
+// the deadline passes, still-queued requests fail DeadlineExceeded
+// without executing (in-flight ones always finish — they cannot be
+// safely interrupted) and the call reports how many were abandoned. An
+// abandoned request fails visibly, so its caller can resubmit after
+// recovery; everything that DID execute before the deadline is already
+// in the journal and survives.
+//
+// Durability: give ServiceConfig a journal_dir and every session writes
+// a write-ahead journal at <journal_dir>/<name>.wal (core/journal.h).
+// OpenSession finds an existing journal for the name and RECOVERS the
+// session from it — replaying the journaled stream to byte-identical
+// state — before accepting new requests; a crash between Submit and the
+// future's completion therefore costs at most the un-journaled tail of
+// the in-flight batch.
+//
+// Overload control: per-request deadlines (deadline_ms, counted from
+// Submit) fail still-queued or admission-starved requests with
+// DeadlineExceeded instead of letting them camp; queue-depth and
+// admission-waiter caps shed new load with ResourceExhausted (message
+// carries a `retry_after_ms=N` hint) instead of growing unbounded.
 
 #ifndef PRIVMARK_SERVICE_SERVICE_H_
 #define PRIVMARK_SERVICE_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -58,6 +84,10 @@ namespace privmark {
 /// \brief Ask for "whatever the session's config requests" (the default
 /// per-request thread ask).
 inline constexpr size_t kSessionThreads = static_cast<size_t>(-1);
+
+/// \brief Per-request deadline sentinel: use the service config's
+/// default_deadline_ms.
+inline constexpr int64_t kDeadlineFromConfig = -1;
 
 /// \brief The request types the service executes.
 enum class RequestKind {
@@ -91,6 +121,12 @@ struct ServiceRequest {
   /// Admission ask for this request; kSessionThreads = the session
   /// config's own num_threads knobs. 0 = the whole thread cap.
   size_t num_threads = kSessionThreads;
+  /// Deadline in milliseconds, counted from Submit(). The request fails
+  /// with DeadlineExceeded if it is still queued when the deadline
+  /// passes (it never executes) and its admission wait is bounded by
+  /// the time remaining. kDeadlineFromConfig (-1) = the service's
+  /// default_deadline_ms; 0 = no deadline.
+  int64_t deadline_ms = kDeadlineFromConfig;
 };
 
 /// \brief Terminal snapshot of a closed session (kCloseSession result).
@@ -130,6 +166,10 @@ class ServiceQueue {
   struct Item {
     ServiceRequest request;
     std::promise<Result<ServiceResponse>> done;
+    /// Absolute deadline, meaningful iff has_deadline: the strand fails
+    /// the item without executing it when popped past this point.
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
   };
 
   /// \brief Enqueues; false iff the queue was closed (item untouched).
@@ -140,6 +180,12 @@ class ServiceQueue {
 
   /// \brief Closes intake; queued items remain poppable.
   void Close();
+
+  /// \brief Closes intake AND fails every still-queued item's promise
+  /// with `status` (the deadline path of Shutdown). Returns how many
+  /// items were failed. The item currently executing — already popped —
+  /// is not affected.
+  size_t Abandon(const Status& status);
 
   size_t size() const;
   bool closed() const;
@@ -156,6 +202,37 @@ struct ServiceConfig {
   /// Aggregate worker cap: the shared pool's size and the admission
   /// controller's budget. 0 = hardware concurrency.
   size_t thread_cap = 0;
+  /// Directory for per-session write-ahead journals; empty = no
+  /// durability. Each session journals to <journal_dir>/<name>.wal
+  /// (name sanitized to [A-Za-z0-9._-]; distinct names that collide
+  /// after sanitization share a journal — use filesystem-safe session
+  /// names). OpenSession recovers from an existing journal. The
+  /// directory must already exist.
+  std::string journal_dir;
+  /// Default per-request deadline in milliseconds, applied when a
+  /// request leaves deadline_ms at kDeadlineFromConfig. 0 = none.
+  int64_t default_deadline_ms = 0;
+  /// Submit sheds with ResourceExhausted when the target session's
+  /// queue already holds this many requests. 0 = unbounded.
+  size_t max_queue_depth = 0;
+  /// A request sheds with ResourceExhausted rather than joining the
+  /// thread-admission queue behind this many waiters. 0 = unbounded.
+  size_t max_admission_waiters = 0;
+};
+
+/// \brief What OpenSession found in a pre-existing journal (all zeros
+/// for a fresh session).
+struct SessionRecovery {
+  /// True iff the session was rebuilt from a journal rather than
+  /// created fresh.
+  bool recovered = false;
+  size_t batches_applied = 0;
+  size_t epochs_sealed = 0;
+  /// True iff a torn tail (partial final record) was discarded.
+  bool tail_truncated = false;
+  /// Everything the recovered session had emitted before the crash —
+  /// the rows the outsourced copy should already hold.
+  Table emitted;
 };
 
 /// \brief The async protect/detect service.
@@ -175,9 +252,19 @@ class PrivmarkService {
   /// and for a closed name whose strand is still draining (retry; the
   /// name frees the moment the drain finishes — OpenSession never
   /// blocks the registry on another session's backlog).
+  ///
+  /// With a journal_dir configured, the session is durable: a fresh
+  /// name starts a new journal; a name whose journal already exists is
+  /// RECOVERED from it (byte-identical replay, core/journal.h) before
+  /// the strand accepts requests — reopening a crashed (or closed)
+  /// stream resumes it where its last fsynced record left off. Pass
+  /// `recovery` to learn what was replayed. Recovery replays under the
+  /// registry lock, so opening a long journal delays other OpenSession/
+  /// Submit calls — recover big streams before going live.
   Status OpenSession(const std::string& name, UsageMetrics metrics,
                      FrameworkConfig config,
-                     SessionConfig session = SessionConfig());
+                     SessionConfig session = SessionConfig(),
+                     SessionRecovery* recovery = nullptr);
 
   /// \brief Enqueues one typed request; the future completes when the
   /// session's strand has executed it. Unknown/closed session or a
@@ -200,6 +287,16 @@ class PrivmarkService {
   /// \brief Closes intake on every session, drains every queue, joins
   /// every strand. Idempotent. Called by the destructor.
   void Shutdown();
+
+  /// \brief Deadline-bounded Shutdown. Closes intake and drains until
+  /// `deadline_ms` elapses; requests still queued then fail with
+  /// DeadlineExceeded without executing (the in-flight request per
+  /// strand always finishes). Returns OK on a clean drain, else
+  /// DeadlineExceeded naming how many requests were abandoned. An
+  /// abandoned request never executed, so its caller can resubmit it
+  /// after recovery; everything executed before the deadline is already
+  /// journaled. deadline_ms < 0 waits forever (== Shutdown()).
+  Status Shutdown(int64_t deadline_ms);
 
   /// \brief Live (not yet closed) sessions.
   size_t num_sessions() const;
@@ -226,13 +323,14 @@ class PrivmarkService {
   };
 
   void RunStrand(Strand* strand);
-  Result<ServiceResponse> Execute(Strand* strand, ServiceRequest* request);
+  Result<ServiceResponse> Execute(Strand* strand, ServiceQueue::Item* item);
   // Joins and erases closed strands whose thread has exited — called on
   // every OpenSession/Submit so a long-lived service does not accumulate
   // retired sessions' state. Requires mu_ held.
   void ReapFinishedLocked();
   static ServiceFuture FailedFuture(Status status);
 
+  const ServiceConfig config_;
   AdmissionController admission_;
   std::unique_ptr<ThreadPool> pool_;  // null iff thread_cap == 1 (serial)
 

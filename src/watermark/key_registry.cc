@@ -11,6 +11,34 @@ namespace {
 
 constexpr char kMagicPrefix[] = "privmark-keys v";
 
+// Key files are a handful of short text sections; anything near this cap is
+// not a key file. Rejecting early keeps ReadFile from slurping a huge or
+// binary blob handed to it by mistake (or on purpose).
+constexpr uint64_t kMaxKeyFileBytes = 1ull << 20;
+
+// Overflow-checked decimal parse for eta. std::stoull throws on overflow,
+// which would escape the Status-based error model as an exception from a
+// file read.
+Result<uint64_t> ParseEta(const std::string& value) {
+  if (value.empty()) {
+    return Status::InvalidArgument("key file: eta is empty");
+  }
+  uint64_t eta = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("key file: eta is not a number: " +
+                                     value);
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (eta > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("key file: eta overflows uint64: " +
+                                     value);
+    }
+    eta = eta * 10 + digit;
+  }
+  return eta;
+}
+
 std::string RandomBytes(size_t count, Random* rng) {
   std::string bytes;
   bytes.reserve(count);
@@ -105,6 +133,10 @@ std::string KeyRegistry::Serialize() const {
 }
 
 Result<KeyRegistry> KeyRegistry::Parse(const std::string& text) {
+  if (text.find('\0') != std::string::npos) {
+    return Status::InvalidArgument(
+        "key file: embedded NUL byte (not a privmark key file)");
+  }
   KeyRegistry registry;
   bool saw_magic = false;
   bool in_key = false;
@@ -158,16 +190,7 @@ Result<KeyRegistry> KeyRegistry::Parse(const std::string& text) {
                                 BytesOfHex(value, "k2"));
       pending.has_k2 = true;
     } else if (key == "eta") {
-      for (char c : value) {
-        if (c < '0' || c > '9') {
-          return Status::InvalidArgument("key file: eta is not a number: " +
-                                         value);
-        }
-      }
-      if (value.empty()) {
-        return Status::InvalidArgument("key file: eta is empty");
-      }
-      pending.entry.key.eta = std::stoull(value);
+      PRIVMARK_ASSIGN_OR_RETURN(pending.entry.key.eta, ParseEta(value));
       pending.has_eta = true;
     } else {
       return Status::InvalidArgument("key file: unknown key " + key);
@@ -198,9 +221,23 @@ Result<KeyRegistry> KeyRegistry::ReadFile(const std::string& path) {
   if (!file) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return Parse(buffer.str());
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  if (size < 0) {
+    return Status::IOError("cannot determine size of '" + path + "'");
+  }
+  if (static_cast<uint64_t>(size) > kMaxKeyFileBytes) {
+    return Status::IOError("'" + path + "' is " + std::to_string(size) +
+                           " bytes; key files are capped at " +
+                           std::to_string(kMaxKeyFileBytes) + " bytes");
+  }
+  file.seekg(0, std::ios::beg);
+  std::string text(static_cast<size_t>(size), '\0');
+  file.read(text.data(), size);
+  if (!file) {
+    return Status::IOError("short read from '" + path + "'");
+  }
+  return Parse(text);
 }
 
 Result<NamedKey> ReadKeyFile(const std::string& path) {

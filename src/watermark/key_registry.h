@@ -67,10 +67,15 @@ class KeyRegistry {
 
   /// \brief Parses the text format. Rejects a missing or foreign magic
   /// line, unsupported versions, truncated entries (a [key] section
-  /// missing name/k1/k2/eta), malformed hex, and duplicate names.
+  /// missing name/k1/k2/eta), malformed hex, an eta that overflows
+  /// uint64, embedded NUL bytes, and duplicate names — always with a
+  /// clean Status, never an exception.
   static Result<KeyRegistry> Parse(const std::string& text);
 
   Status WriteFile(const std::string& path) const;
+
+  /// \brief Reads and parses a key file. Files past a 1 MiB cap are
+  /// rejected with IOError before any bytes are buffered.
   static Result<KeyRegistry> ReadFile(const std::string& path);
 
  private:

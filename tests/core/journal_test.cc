@@ -1,0 +1,452 @@
+// Unit tests for the write-ahead session journal (core/journal.h):
+// record round-trips, torn-tail tolerance, payload codecs, and
+// journal-backed session recovery (ProtectionSession::Recover). The
+// crash-under-failpoint acceptance suite lives in
+// tests/integration/crash_recovery_test.cc.
+
+#include "core/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "datagen/medical_data.h"
+#include "relation/csv.h"
+
+namespace privmark {
+namespace {
+
+constexpr size_t kRows = 800;
+constexpr uint64_t kSeed = 77;
+
+struct Env {
+  std::unique_ptr<MedicalDataset> dataset;
+  UsageMetrics metrics;
+  FrameworkConfig config;
+};
+
+Env MakeEnv() {
+  Env env;
+  MedicalDataSpec spec;
+  spec.num_rows = kRows;
+  spec.seed = kSeed;
+  env.dataset = std::make_unique<MedicalDataset>(
+      std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+  env.metrics =
+      MetricsFromDepthCuts(env.dataset->trees(), {2, 1, 2, 1, 1}).ValueOrDie();
+  env.config.binning.k = 10;
+  env.config.binning.enforce_joint = false;
+  env.config.key = {"journal-k1", "journal-k2", /*eta=*/10};
+  env.config.key_id = "journal-owner";
+  return env;
+}
+
+// A fresh path under the test temp dir; removes any previous run's file
+// (SessionJournal::Create refuses to clobber).
+std::string FreshPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(file));
+  return std::string(std::istreambuf_iterator<char>(file),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(static_cast<bool>(file));
+}
+
+// Appends `rows` to `*all` (adopting the schema on first use) so emitted
+// output accumulates as one table, comparable byte-for-byte via CSV.
+void AppendAll(Table* all, const Table& rows) {
+  if (rows.num_rows() == 0) return;
+  if (all->schema().num_columns() == 0) *all = Table(rows.schema());
+  for (size_t r = 0; r < rows.num_rows(); ++r) {
+    ASSERT_TRUE(all->AppendRow(rows.row(r)).ok());
+  }
+}
+
+TEST(SessionJournalTest, RecordsRoundTrip) {
+  Env env = MakeEnv();
+  const std::string path = FreshPath("journal_roundtrip.wal");
+  auto journal = SessionJournal::Create(path);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  ASSERT_TRUE((*journal)->AppendConfig(env.config, SessionConfig()).ok());
+  ASSERT_TRUE((*journal)->AppendKeyId("journal-owner").ok());
+  ASSERT_TRUE(
+      (*journal)->AppendSchema(env.dataset->table.schema()).ok());
+  ASSERT_TRUE((*journal)->AppendBatch(env.dataset->table.Slice(0, 50)).ok());
+  ASSERT_TRUE((*journal)->AppendFlushMarker().ok());
+  EpochRecord epoch;
+  epoch.epoch = 0;
+  epoch.rows_emitted = 47;
+  epoch.rows_suppressed = 3;
+  ASSERT_TRUE((*journal)->AppendEpochSealed(epoch).ok());
+
+  const auto contents = SessionJournal::ReadAll(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  ASSERT_EQ(contents->records.size(), 6u);
+  EXPECT_FALSE(contents->tail_truncated);
+  EXPECT_EQ(contents->records[0].type, JournalRecordType::kConfig);
+  EXPECT_EQ(contents->records[1].type, JournalRecordType::kKeyId);
+  EXPECT_EQ(contents->records[1].payload, "journal-owner");
+  EXPECT_EQ(contents->records[2].type, JournalRecordType::kSchema);
+  EXPECT_EQ(contents->records[3].type, JournalRecordType::kBatch);
+  EXPECT_EQ(contents->records[3].payload,
+            TableToCsv(env.dataset->table.Slice(0, 50)));
+  EXPECT_EQ(contents->records[4].type, JournalRecordType::kFlushMarker);
+  EXPECT_TRUE(contents->records[4].payload.empty());
+  EXPECT_EQ(contents->records[5].type, JournalRecordType::kEpochSealed);
+  const auto seal =
+      SessionJournal::DecodeEpochSealed(contents->records[5].payload);
+  ASSERT_TRUE(seal.ok());
+  EXPECT_EQ(seal->epoch, 0u);
+  EXPECT_EQ(seal->rows_emitted, 47u);
+  EXPECT_EQ(seal->rows_suppressed, 3u);
+}
+
+TEST(SessionJournalTest, CreateRefusesToClobber) {
+  const std::string path = FreshPath("journal_clobber.wal");
+  ASSERT_TRUE(SessionJournal::Create(path).ok());
+  const auto second = SessionJournal::Create(path);
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SessionJournalTest, RejectsForeignFiles) {
+  const std::string path = FreshPath("journal_foreign.wal");
+  WriteFileBytes(path, "not a journal at all");
+  EXPECT_EQ(SessionJournal::ReadAll(path).status().code(),
+            StatusCode::kInvalidArgument);
+  WriteFileBytes(path, "PRVM");  // shorter than the magic
+  EXPECT_EQ(SessionJournal::ReadAll(path).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SessionJournal::ReadAll(path + ".missing").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(SessionJournalTest, TornTailEndsTheValidPrefix) {
+  Env env = MakeEnv();
+  const std::string path = FreshPath("journal_torn.wal");
+  {
+    auto journal = SessionJournal::Create(path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->AppendConfig(env.config, SessionConfig()).ok());
+    ASSERT_TRUE((*journal)->AppendBatch(env.dataset->table.Slice(0, 20)).ok());
+  }
+  const std::string bytes = ReadFileBytes(path);
+  const auto intact = SessionJournal::ReadAll(path);
+  ASSERT_TRUE(intact.ok());
+  ASSERT_EQ(intact->records.size(), 2u);
+  ASSERT_EQ(intact->valid_bytes, bytes.size());
+  const size_t first_record_end =
+      8 + 9 + intact->records[0].payload.size();
+
+  // Truncate at every interesting cut inside the second record: header
+  // cut short, payload cut short, one byte shy of complete.
+  for (const size_t cut :
+       {first_record_end + 3, first_record_end + 9 + 5, bytes.size() - 1}) {
+    WriteFileBytes(path, bytes.substr(0, cut));
+    const auto contents = SessionJournal::ReadAll(path);
+    ASSERT_TRUE(contents.ok()) << "cut at " << cut;
+    EXPECT_EQ(contents->records.size(), 1u) << "cut at " << cut;
+    EXPECT_EQ(contents->valid_bytes, first_record_end) << "cut at " << cut;
+    EXPECT_TRUE(contents->tail_truncated) << "cut at " << cut;
+  }
+}
+
+TEST(SessionJournalTest, CorruptCrcEndsTheValidPrefixMidFile) {
+  Env env = MakeEnv();
+  const std::string path = FreshPath("journal_crc.wal");
+  {
+    auto journal = SessionJournal::Create(path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->AppendConfig(env.config, SessionConfig()).ok());
+    ASSERT_TRUE((*journal)->AppendBatch(env.dataset->table.Slice(0, 20)).ok());
+    ASSERT_TRUE((*journal)->AppendFlushMarker().ok());
+  }
+  std::string bytes = ReadFileBytes(path);
+  const auto intact = SessionJournal::ReadAll(path);
+  ASSERT_TRUE(intact.ok());
+  ASSERT_EQ(intact->records.size(), 3u);
+  // Flip one payload byte of the *second* record: the first record must
+  // survive, the corrupt one and everything after must be discarded.
+  const size_t second_payload =
+      8 + 9 + intact->records[0].payload.size() + 9 + 10;
+  bytes[second_payload] = static_cast<char>(bytes[second_payload] ^ 0x40);
+  WriteFileBytes(path, bytes);
+  const auto contents = SessionJournal::ReadAll(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records.size(), 1u);
+  EXPECT_TRUE(contents->tail_truncated);
+  EXPECT_EQ(contents->records[0].type, JournalRecordType::kConfig);
+}
+
+TEST(SessionJournalTest, ConfigFingerprintDetectsMismatches) {
+  Env env = MakeEnv();
+  SessionConfig session;
+  const std::string payload = SessionJournal::EncodeConfig(env.config, session);
+  EXPECT_TRUE(SessionJournal::CheckConfig(payload, env.config, session).ok());
+
+  FrameworkConfig other = env.config;
+  other.binning.k = 11;
+  const Status mismatch = SessionJournal::CheckConfig(payload, other, session);
+  EXPECT_EQ(mismatch.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatch.message().find("k = 10"), std::string::npos);
+  EXPECT_NE(mismatch.message().find("k = 11"), std::string::npos);
+
+  SessionConfig drift;
+  drift.policy = RebinPolicy::kRebinOnDrift;
+  drift.drift_threshold = 0.25;
+  EXPECT_FALSE(SessionJournal::CheckConfig(payload, env.config, drift).ok());
+  EXPECT_TRUE(
+      SessionJournal::CheckConfig(SessionJournal::EncodeConfig(env.config,
+                                                               drift),
+                                  env.config, drift)
+          .ok());
+}
+
+TEST(SessionJournalTest, SchemaCodecRoundTrips) {
+  Env env = MakeEnv();
+  const Schema& schema = env.dataset->table.schema();
+  const std::string payload = SessionJournal::EncodeSchema(schema);
+  const auto decoded = SessionJournal::DecodeSchema(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == schema);
+
+  EXPECT_FALSE(SessionJournal::DecodeSchema("").ok());
+  EXPECT_FALSE(SessionJournal::DecodeSchema("no separators here").ok());
+  EXPECT_FALSE(SessionJournal::DecodeSchema("bogus-role|int64|age").ok());
+  EXPECT_FALSE(SessionJournal::DecodeSchema("other|bogus-type|age").ok());
+  // Duplicate column names are rejected by Schema::AddColumn.
+  EXPECT_FALSE(
+      SessionJournal::DecodeSchema("other|int64|a\nother|int64|a").ok());
+}
+
+TEST(SessionJournalTest, SealCodecRejectsMalformedPayloads) {
+  EXPECT_FALSE(SessionJournal::DecodeEpochSealed("").ok());
+  EXPECT_FALSE(SessionJournal::DecodeEpochSealed("epoch = x").ok());
+  EXPECT_FALSE(SessionJournal::DecodeEpochSealed("rows_emitted = 4").ok());
+  EXPECT_FALSE(
+      SessionJournal::DecodeEpochSealed("epoch = 0\nbogus = 1").ok());
+  const auto minimal = SessionJournal::DecodeEpochSealed("epoch = 2");
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->epoch, 2u);
+  EXPECT_EQ(minimal->rows_emitted, 0u);
+}
+
+// The heart of the tentpole: a journaled session dies (here: simply
+// abandoned mid-stream), Recover replays its journal, and the recovered
+// session's past and future emissions are byte-identical to a session
+// that never crashed.
+TEST(SessionJournalTest, RecoveredSessionMatchesUncrashedRun) {
+  Env env = MakeEnv();
+  const std::string path = FreshPath("journal_recover.wal");
+
+  // Reference: uncrashed run over the same batch sequence.
+  ProtectionSession reference(env.metrics, env.config);
+  Table reference_emitted;
+  ASSERT_TRUE(reference.Ingest(env.dataset->table.Slice(0, 400)).ok());
+  const auto ref_flush = reference.Flush();
+  ASSERT_TRUE(ref_flush.ok());
+  AppendAll(&reference_emitted, ref_flush->outcome.watermarked);
+  const auto ref_mid = reference.Ingest(env.dataset->table.Slice(400, 600));
+  ASSERT_TRUE(ref_mid.ok());
+  AppendAll(&reference_emitted, ref_mid->emitted);
+  const auto ref_tail = reference.Ingest(env.dataset->table.Slice(600, 800));
+  ASSERT_TRUE(ref_tail.ok());
+  AppendAll(&reference_emitted, ref_tail->emitted);
+
+  // Journaled run: dies after the mid ingest (the object is destroyed
+  // without any clean shutdown; the journal file is all that survives).
+  Table crashed_emitted;
+  {
+    ProtectionSession session(env.metrics, env.config);
+    auto journal = SessionJournal::Create(path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(session.AttachJournal(std::move(*journal)).ok());
+    ASSERT_TRUE(session.Ingest(env.dataset->table.Slice(0, 400)).ok());
+    const auto flush = session.Flush();
+    ASSERT_TRUE(flush.ok()) << flush.status().ToString();
+    EXPECT_TRUE(session.journal_status().ok());
+    AppendAll(&crashed_emitted, flush->outcome.watermarked);
+    const auto mid = session.Ingest(env.dataset->table.Slice(400, 600));
+    ASSERT_TRUE(mid.ok());
+    AppendAll(&crashed_emitted, mid->emitted);
+  }
+
+  auto recovered = ProtectionSession::Recover(path, env.metrics, env.config);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->batches_applied, 2u);
+  EXPECT_EQ(recovered->epochs_sealed, 1u);
+  EXPECT_FALSE(recovered->tail_truncated);
+  // Replay reproduced everything the crashed session emitted, byte for
+  // byte.
+  EXPECT_EQ(TableToCsv(recovered->emitted), TableToCsv(crashed_emitted));
+  ASSERT_EQ(recovered->session->epochs().size(), 1u);
+  EXPECT_EQ(recovered->session->rows_ingested(), 600u);
+
+  // And the future matches too: the tail batch emits the same bytes the
+  // reference produced.
+  const auto tail =
+      recovered->session->Ingest(env.dataset->table.Slice(600, 800));
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  Table resumed = recovered->emitted.Clone();
+  AppendAll(&resumed, tail->emitted);
+  EXPECT_EQ(TableToCsv(resumed), TableToCsv(reference_emitted));
+
+  // The resumed journal kept journaling: a second recovery sees the
+  // tail batch as well.
+  auto again = ProtectionSession::Recover(path, env.metrics, env.config);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->batches_applied, 3u);
+  EXPECT_EQ(TableToCsv(again->emitted), TableToCsv(reference_emitted));
+}
+
+TEST(SessionJournalTest, RecoverValidatesConfigAndKeyId) {
+  Env env = MakeEnv();
+  const std::string path = FreshPath("journal_validate.wal");
+  {
+    ProtectionSession session(env.metrics, env.config);
+    auto journal = SessionJournal::Create(path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(session.AttachJournal(std::move(*journal)).ok());
+    ASSERT_TRUE(session.Ingest(env.dataset->table.Slice(0, 200)).ok());
+  }
+  FrameworkConfig wrong_k = env.config;
+  wrong_k.binning.k = 7;
+  EXPECT_EQ(ProtectionSession::Recover(path, env.metrics, wrong_k)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  FrameworkConfig wrong_id = env.config;
+  wrong_id.key_id = "someone-else";
+  EXPECT_EQ(ProtectionSession::Recover(path, env.metrics, wrong_id)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  SessionConfig wrong_policy;
+  wrong_policy.policy = RebinPolicy::kRebinOnDrift;
+  EXPECT_EQ(ProtectionSession::Recover(path, env.metrics, env.config,
+                                       wrong_policy)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionJournalTest, RecoverTruncatesTornTailAndResumes) {
+  Env env = MakeEnv();
+  const std::string path = FreshPath("journal_torn_resume.wal");
+  {
+    ProtectionSession session(env.metrics, env.config);
+    auto journal = SessionJournal::Create(path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(session.AttachJournal(std::move(*journal)).ok());
+    ASSERT_TRUE(session.Ingest(env.dataset->table.Slice(0, 300)).ok());
+    ASSERT_TRUE(session.Ingest(env.dataset->table.Slice(300, 400)).ok());
+  }
+  // Simulate a crash mid-append: shear the last record in half.
+  const std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 40));
+
+  auto recovered = ProtectionSession::Recover(path, env.metrics, env.config);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->tail_truncated);
+  EXPECT_EQ(recovered->batches_applied, 1u);
+  EXPECT_EQ(recovered->session->rows_ingested(), 300u);
+
+  // The torn bytes are gone from disk; re-ingesting the lost batch puts
+  // the stream back on track and journals cleanly after the truncation.
+  ASSERT_TRUE(
+      recovered->session->Ingest(env.dataset->table.Slice(300, 400)).ok());
+  auto again = ProtectionSession::Recover(path, env.metrics, env.config);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE(again->tail_truncated);
+  EXPECT_EQ(again->batches_applied, 2u);
+  EXPECT_EQ(again->session->rows_ingested(), 400u);
+}
+
+TEST(SessionJournalTest, EmptyJournalRecoversToFreshSession) {
+  Env env = MakeEnv();
+  const std::string path = FreshPath("journal_empty.wal");
+  {
+    auto journal = SessionJournal::Create(path);
+    ASSERT_TRUE(journal.ok());
+    // Crash before the config record was ever appended.
+  }
+  auto recovered = ProtectionSession::Recover(path, env.metrics, env.config);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->batches_applied, 0u);
+  EXPECT_EQ(recovered->session->rows_ingested(), 0u);
+  // The resumed journal was re-initialized as fresh: ingest works and
+  // the next recovery replays it.
+  ASSERT_TRUE(
+      recovered->session->Ingest(env.dataset->table.Slice(0, 100)).ok());
+  auto again = ProtectionSession::Recover(path, env.metrics, env.config);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->batches_applied, 1u);
+}
+
+TEST(SessionJournalTest, AttachJournalLifecycleErrors) {
+  Env env = MakeEnv();
+  ProtectionSession session(env.metrics, env.config);
+  EXPECT_FALSE(session.AttachJournal(nullptr).ok());
+  ASSERT_TRUE(session.Ingest(env.dataset->table.Slice(0, 100)).ok());
+  // Fresh journals must be attached before the first ingest.
+  auto late = SessionJournal::Create(FreshPath("journal_late.wal"));
+  ASSERT_TRUE(late.ok());
+  EXPECT_EQ(session.AttachJournal(std::move(*late)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionJournalTest, DriftEpochsJournalAndRecover) {
+  Env env = MakeEnv();
+  SessionConfig drift;
+  drift.policy = RebinPolicy::kRebinOnDrift;
+  drift.drift_threshold = 1.0;
+  const std::string path = FreshPath("journal_drift.wal");
+
+  ProtectionSession reference(env.metrics, env.config, drift);
+  Table reference_emitted;
+  {
+    ProtectionSession session(env.metrics, env.config, drift);
+    auto journal = SessionJournal::Create(path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(session.AttachJournal(std::move(*journal)).ok());
+    for (size_t begin = 0; begin < kRows; begin += 100) {
+      const Table batch = env.dataset->table.Slice(begin, begin + 100);
+      const auto ref = reference.Ingest(batch);
+      ASSERT_TRUE(ref.ok()) << begin << " " << ref.status().ToString();
+      AppendAll(&reference_emitted, ref->emitted);
+      ASSERT_TRUE(session.Ingest(batch).ok());
+      if (begin == 300) {
+        const auto flush = session.Flush();
+        ASSERT_TRUE(flush.ok());
+        const auto ref_flush = reference.Flush();
+        ASSERT_TRUE(ref_flush.ok());
+        AppendAll(&reference_emitted, ref_flush->outcome.watermarked);
+      }
+    }
+    ASSERT_GE(session.epochs().size(), 2u);  // drift re-binned at least once
+  }
+  auto recovered =
+      ProtectionSession::Recover(path, env.metrics, env.config, drift);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->batches_applied, kRows / 100);
+  EXPECT_EQ(recovered->epochs_sealed, recovered->session->epochs().size());
+  EXPECT_EQ(TableToCsv(recovered->emitted), TableToCsv(reference_emitted));
+}
+
+}  // namespace
+}  // namespace privmark

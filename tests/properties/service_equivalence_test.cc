@@ -147,7 +147,9 @@ void BuildReference(Stream* stream) {
 
 void RunServiceAndCompare(std::vector<Stream>* streams, size_t thread_cap) {
   const std::string context = "cap=" + std::to_string(thread_cap);
-  PrivmarkService service({.thread_cap = thread_cap});
+  ServiceConfig service_config;
+  service_config.thread_cap = thread_cap;
+  PrivmarkService service(service_config);
   for (Stream& stream : *streams) {
     ASSERT_TRUE(service
                     .OpenSession(stream.name, stream.metrics, stream.config,

@@ -143,7 +143,9 @@ TEST(ServiceQueueTest, FifoAndDrainAfterClose) {
 
 TEST(PrivmarkServiceTest, LifecycleAndRegistryErrors) {
   Env env = MakeEnv();
-  PrivmarkService service({.thread_cap = 2});
+  ServiceConfig service_config;
+  service_config.thread_cap = 2;
+  PrivmarkService service(service_config);
   ASSERT_TRUE(service.OpenSession("ward", env.metrics, env.config).ok());
   EXPECT_EQ(service.num_sessions(), 1u);
 
@@ -185,7 +187,9 @@ TEST(PrivmarkServiceTest, ProtectFlushDetectMatchesDirectSession) {
   ASSERT_TRUE(reference_flush.ok());
   const Table& reference_table = reference_flush->outcome.watermarked;
 
-  PrivmarkService service({.thread_cap = 2});
+  ServiceConfig service_config;
+  service_config.thread_cap = 2;
+  PrivmarkService service(service_config);
   ASSERT_TRUE(service.OpenSession("ward", env.metrics, env.config).ok());
   auto ingest = service.ProtectBatch("ward", env.dataset->table.Clone());
   auto flush = service.Flush("ward");
@@ -204,7 +208,9 @@ TEST(PrivmarkServiceTest, ProtectFlushDetectMatchesDirectSession) {
 
 TEST(PrivmarkServiceTest, DetectFingerprintScansRegistryUnderAGrant) {
   Env env = MakeEnv();
-  PrivmarkService service({.thread_cap = 2});
+  ServiceConfig service_config;
+  service_config.thread_cap = 2;
+  PrivmarkService service(service_config);
   ASSERT_TRUE(service.OpenSession("ward", env.metrics, env.config).ok());
   ASSERT_TRUE(
       service.ProtectBatch("ward", env.dataset->table.Clone()).get().ok());
@@ -239,7 +245,9 @@ TEST(PrivmarkServiceTest, DetectFingerprintScansRegistryUnderAGrant) {
 
 TEST(PrivmarkServiceTest, AdmissionClampsDemandAboveTheCap) {
   Env env = MakeEnv(/*num_threads=*/64);  // session demands 64 threads
-  PrivmarkService service({.thread_cap = 2});
+  ServiceConfig service_config;
+  service_config.thread_cap = 2;
+  PrivmarkService service(service_config);
   ASSERT_TRUE(service.OpenSession("greedy", env.metrics, env.config).ok());
   auto ingest =
       service.ProtectBatch("greedy", env.dataset->table.Clone()).get();
@@ -253,7 +261,9 @@ TEST(PrivmarkServiceTest, AdmissionClampsDemandAboveTheCap) {
 
 TEST(PrivmarkServiceTest, ZeroThreadAskMeansWholeCap) {
   Env env = MakeEnv();
-  PrivmarkService service({.thread_cap = 3});
+  ServiceConfig service_config;
+  service_config.thread_cap = 3;
+  PrivmarkService service(service_config);
   ASSERT_TRUE(service.OpenSession("ward", env.metrics, env.config).ok());
   auto ingest = service
                     .ProtectBatch("ward", env.dataset->table.Clone(),
@@ -278,7 +288,9 @@ TEST(PrivmarkServiceTest, DetectRacingFlushSerializesInArrivalOrder) {
   // Had Detect overtaken Flush it would see a session with no epochs and
   // fail (row-count mismatch); serialized in arrival order it sees the
   // freshly flushed epoch and recovers its mark.
-  PrivmarkService service({.thread_cap = 2});
+  ServiceConfig service_config;
+  service_config.thread_cap = 2;
+  PrivmarkService service(service_config);
   ASSERT_TRUE(service.OpenSession("ward", env.metrics, env.config).ok());
   auto ingest = service.ProtectBatch("ward", env.dataset->table.Clone());
   auto flush = service.Flush("ward");
@@ -294,7 +306,9 @@ TEST(PrivmarkServiceTest, DetectRacingFlushSerializesInArrivalOrder) {
 
 TEST(PrivmarkServiceTest, ShutdownDrainsEveryAcceptedRequest) {
   Env env = MakeEnv();
-  auto service = std::make_unique<PrivmarkService>(ServiceConfig{1});
+  ServiceConfig service_config;
+  service_config.thread_cap = 1;
+  auto service = std::make_unique<PrivmarkService>(service_config);
   ASSERT_TRUE(service->OpenSession("ward", env.metrics, env.config).ok());
   // Queue a full stream and shut down immediately: everything accepted
   // must still execute (futures complete OK), nothing may hang or drop.
@@ -322,7 +336,9 @@ TEST(PrivmarkServiceTest, ClosedSessionsAreReclaimed) {
   // closed strands (session epochs, lease, exited thread) are reaped on
   // the next OpenSession/Submit once their strand has finished.
   Env env = MakeEnv();
-  PrivmarkService service({.thread_cap = 1});
+  ServiceConfig service_config;
+  service_config.thread_cap = 1;
+  PrivmarkService service(service_config);
   const Table batch = env.dataset->table.Slice(0, kBatch);
   for (size_t i = 0; i < 8; ++i) {
     const std::string name = "stream-" + std::to_string(i);
@@ -347,7 +363,9 @@ TEST(PrivmarkServiceTest, ClosedSessionsAreReclaimed) {
 TEST(PrivmarkServiceTest, ConcurrentSessionsShareThePoolUnderTheCap) {
   Env env_a = MakeEnv(/*num_threads=*/2);
   Env env_b = MakeEnv(/*num_threads=*/2);
-  PrivmarkService service({.thread_cap = 2});
+  ServiceConfig service_config;
+  service_config.thread_cap = 2;
+  PrivmarkService service(service_config);
   ASSERT_TRUE(service.OpenSession("a", env_a.metrics, env_a.config).ok());
   ASSERT_TRUE(service.OpenSession("b", env_b.metrics, env_b.config).ok());
   std::vector<ServiceFuture> futures;
