@@ -17,7 +17,6 @@
 
 #include "common/failpoint.h"
 #include "common/strings.h"
-#include "relation/csv.h"
 
 namespace privmark {
 
@@ -42,6 +41,16 @@ uint32_t ReadLe32(const char* p) {
          (static_cast<uint32_t>(u[3]) << 24);
 }
 
+void AppendLe64(std::string* out, uint64_t v) {
+  AppendLe32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  AppendLe32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint64_t ReadLe64(const char* p) {
+  return static_cast<uint64_t>(ReadLe32(p)) |
+         (static_cast<uint64_t>(ReadLe32(p + 4)) << 32);
+}
+
 bool IsKnownRecordType(uint8_t type) {
   return type >= static_cast<uint8_t>(JournalRecordType::kConfig) &&
          type <= static_cast<uint8_t>(JournalRecordType::kEpochSealed);
@@ -63,6 +72,23 @@ bool WriteFully(int fd, const char* data, size_t size) {
 
 Status ErrnoError(const std::string& what, const std::string& path) {
   return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+// fsyncing a journal fd makes its *contents* durable, but not its name:
+// the directory entry lives in the parent directory, which needs its own
+// fsync or a crash can lose the whole file even after a seal synced.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : slash == 0 ? "/" : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoError("cannot open journal directory", dir);
+  const Status status = ::fsync(fd) == 0
+                            ? Status::OK()
+                            : ErrnoError("cannot fsync journal directory", dir);
+  ::close(fd);
+  return status;
 }
 
 Result<size_t> ParseCount(const std::string& text, const char* field) {
@@ -147,6 +173,19 @@ Result<std::unique_ptr<SessionJournal>> SessionJournal::Create(
     ::close(fd);
     return st;
   }
+  // Make the magic and the directory entry durable now, so the journal
+  // file itself survives any crash after Create returns — only then does
+  // "seal + fsync is the durability barrier" hold for a fresh journal.
+  if (::fsync(fd) != 0) {
+    const Status st = ErrnoError("cannot fsync fresh journal", path);
+    ::close(fd);
+    return st;
+  }
+  const Status dir_synced = SyncParentDir(path);
+  if (!dir_synced.ok()) {
+    ::close(fd);
+    return dir_synced;
+  }
   return std::unique_ptr<SessionJournal>(new SessionJournal(path, fd));
 }
 
@@ -162,6 +201,20 @@ Result<std::unique_ptr<SessionJournal>> SessionJournal::Resume(
     const Status st = ErrnoError("cannot truncate journal tail of", path);
     ::close(fd);
     return st;
+  }
+  // Persist the truncation and (re-)persist the directory entry: the
+  // original Create may have crashed between its dir fsync and the
+  // crash being recovered from, and resuming is the last chance to make
+  // the entry durable before new records land behind it.
+  if (::fsync(fd) != 0) {
+    const Status st = ErrnoError("cannot fsync truncated journal", path);
+    ::close(fd);
+    return st;
+  }
+  const Status dir_synced = SyncParentDir(path);
+  if (!dir_synced.ok()) {
+    ::close(fd);
+    return dir_synced;
   }
   return std::unique_ptr<SessionJournal>(new SessionJournal(path, fd));
 }
@@ -243,7 +296,7 @@ Status SessionJournal::AppendSchema(const Schema& schema) {
 }
 
 Status SessionJournal::AppendBatch(const Table& batch) {
-  return AppendRecord(JournalRecordType::kBatch, TableToCsv(batch));
+  return AppendRecord(JournalRecordType::kBatch, EncodeBatch(batch));
 }
 
 Status SessionJournal::AppendFlushMarker() {
@@ -361,6 +414,101 @@ Status SessionJournal::CheckConfig(const std::string& payload,
     }
   }
   return Status::InvalidArgument("journal config mismatch");
+}
+
+std::string SessionJournal::EncodeBatch(const Table& batch) {
+  std::string out;
+  AppendLe32(&out, static_cast<uint32_t>(batch.num_rows()));
+  AppendLe32(&out, static_cast<uint32_t>(batch.num_columns()));
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      const Value& cell = batch.at(r, c);
+      out.push_back(static_cast<char>(cell.type()));
+      switch (cell.type()) {
+        case ValueType::kNull:
+          break;
+        case ValueType::kInt64:
+          AppendLe64(&out, static_cast<uint64_t>(cell.AsInt64()));
+          break;
+        case ValueType::kDouble: {
+          // Bit pattern, not decimal text: replay must rebuild the exact
+          // double (sign of zero, subnormals, all 17 digits), or the
+          // recovered session diverges from the crashed one.
+          uint64_t bits = 0;
+          const double v = cell.AsDouble();
+          static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+          std::memcpy(&bits, &v, sizeof(bits));
+          AppendLe64(&out, bits);
+          break;
+        }
+        case ValueType::kString: {
+          const std::string& s = cell.AsString();
+          AppendLe32(&out, static_cast<uint32_t>(s.size()));
+          out.append(s);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<Table> SessionJournal::DecodeBatch(const std::string& payload,
+                                          const Schema& schema) {
+  size_t pos = 0;
+  const auto have = [&](size_t n) { return payload.size() - pos >= n; };
+  const Status truncated =
+      Status::InvalidArgument("journal: batch record is truncated");
+  if (!have(8)) return truncated;
+  const uint32_t num_rows = ReadLe32(payload.data());
+  const uint32_t num_cols = ReadLe32(payload.data() + 4);
+  pos = 8;
+  if (num_cols != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "journal: batch record has " + std::to_string(num_cols) +
+        " columns, schema has " + std::to_string(schema.num_columns()));
+  }
+  Table table(schema);
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    Row row;
+    row.reserve(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      if (!have(1)) return truncated;
+      const uint8_t tag = static_cast<uint8_t>(payload[pos++]);
+      if (tag == static_cast<uint8_t>(ValueType::kNull)) {
+        row.push_back(Value::Null());
+      } else if (tag == static_cast<uint8_t>(ValueType::kInt64)) {
+        if (!have(8)) return truncated;
+        row.push_back(Value::Int64(
+            static_cast<int64_t>(ReadLe64(payload.data() + pos))));
+        pos += 8;
+      } else if (tag == static_cast<uint8_t>(ValueType::kDouble)) {
+        if (!have(8)) return truncated;
+        const uint64_t bits = ReadLe64(payload.data() + pos);
+        pos += 8;
+        double v = 0;
+        std::memcpy(&v, &bits, sizeof(v));
+        row.push_back(Value::Double(v));
+      } else if (tag == static_cast<uint8_t>(ValueType::kString)) {
+        if (!have(4)) return truncated;
+        const uint32_t length = ReadLe32(payload.data() + pos);
+        pos += 4;
+        if (!have(length)) return truncated;
+        row.push_back(Value::String(payload.substr(pos, length)));
+        pos += length;
+      } else {
+        return Status::InvalidArgument(
+            "journal: batch record has unknown cell tag " +
+            std::to_string(tag));
+      }
+    }
+    PRIVMARK_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument(
+        "journal: batch record has trailing bytes");
+  }
+  return table;
 }
 
 std::string SessionJournal::EncodeSchema(const Schema& schema) {

@@ -55,7 +55,8 @@ enum class JournalRecordType : uint8_t {
   kKeyId = 2,
   /// The session schema, written once before the first batch.
   kSchema = 3,
-  /// One Ingest batch, as CSV text (write-ahead of the apply).
+  /// One Ingest batch, as the lossless binary cell codec of
+  /// EncodeBatch/DecodeBatch (write-ahead of the apply).
   kBatch = 4,
   /// An explicit Flush() was requested (replay re-executes it).
   kFlushMarker = 5,
@@ -134,6 +135,19 @@ class SessionJournal {
                             const SessionConfig& session);
   static std::string EncodeSchema(const Schema& schema);
   static Result<Schema> DecodeSchema(const std::string& payload);
+  /// Lossless batch codec: cells are type-tagged binary
+  /// ([rows][cols], then per cell a ValueType tag + payload — int64 and
+  /// double as their 64-bit little-endian patterns, strings
+  /// length-prefixed). Replay therefore rebuilds the exact ingested
+  /// values: doubles bit for bit, Null distinct from the empty string,
+  /// strings with any bytes (NUL included). CSV would round-trip none
+  /// of those, and a lossy replay silently diverges from the crashed
+  /// session.
+  static std::string EncodeBatch(const Table& batch);
+  /// InvalidArgument on truncation, unknown cell tags, trailing bytes,
+  /// or a column count differing from `schema`'s.
+  static Result<Table> DecodeBatch(const std::string& payload,
+                                   const Schema& schema);
   static Result<EpochSeal> DecodeEpochSealed(const std::string& payload);
 
   /// Records larger than this end the valid prefix on read and are

@@ -10,7 +10,6 @@
 #include "binning/binning_engine.h"
 #include "common/failpoint.h"
 #include "core/journal.h"
-#include "relation/csv.h"
 #include "watermark/ownership.h"
 
 namespace privmark {
@@ -581,8 +580,8 @@ Result<RecoveredSession> ProtectionSession::Recover(
           return Status::InvalidArgument(
               "journal: batch record before any schema record");
         }
-        PRIVMARK_ASSIGN_OR_RETURN(Table batch,
-                                  TableFromCsv(record.payload, *schema));
+        PRIVMARK_ASSIGN_OR_RETURN(
+            Table batch, SessionJournal::DecodeBatch(record.payload, *schema));
         Result<IngestResult> result = session->Ingest(batch);
         ++out.batches_applied;
         // A non-OK Ingest failed identically (and statelessly) in the

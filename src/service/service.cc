@@ -12,16 +12,30 @@ namespace privmark {
 namespace {
 
 // Journals live in one flat directory, so session names must become
-// safe basename characters; anything else maps to '_'.
-std::string SanitizeSessionName(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
+// safe basename characters. The encoding is injective (percent-escapes,
+// '%' itself included): two distinct names can never map to one journal
+// path, where the second OpenSession would silently resume — and
+// corrupt — the first session's live WAL.
+std::string JournalBaseName(const std::string& name) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
     const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                       (c >= '0' && c <= '9') || c == '.' || c == '_' ||
                       c == '-';
-    if (!safe) c = '_';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      const auto u = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xf]);
+    }
   }
-  if (out.empty()) out = "_";
+  // Escapes are always "%XX", so a bare '%' cannot collide with any
+  // non-empty name's encoding.
+  if (out.empty()) out = "%";
   return out;
 }
 
@@ -157,7 +171,7 @@ Status PrivmarkService::OpenSession(const std::string& name,
     // — the lease starts at limit 1 — which is fine: every stage is
     // byte-identical at any width).
     const std::string path =
-        config_.journal_dir + "/" + SanitizeSessionName(name) + ".wal";
+        config_.journal_dir + "/" + JournalBaseName(name) + ".wal";
     auto created = SessionJournal::Create(path);
     if (created.ok()) {
       strand->session = std::make_unique<ProtectionSession>(
@@ -345,6 +359,7 @@ Result<ServiceResponse> PrivmarkService::Execute(Strand* strand,
     response.stats.rows_emitted = session.rows_emitted();
     response.stats.rows_suppressed = session.rows_suppressed();
     response.stats.epochs = session.epochs();
+    response.journal_status = session.journal_status();
     return response;
   }
 
@@ -414,6 +429,10 @@ Result<ServiceResponse> PrivmarkService::Execute(Strand* strand,
                                    RequestKindToString(request->kind) +
                                    "' threw: " + e.what());
   }
+  // Surface the session's sticky durability state on every response: a
+  // post-commit seal failure degrades the epoch-boundary barrier without
+  // failing any request, so this is the client's only signal.
+  response.journal_status = strand->session->journal_status();
   return response;
 }
 

@@ -149,6 +149,13 @@ struct ServiceResponse {
   /// Threads the admission controller granted this request (1 for
   /// kCloseSession, which does no data-parallel work).
   size_t threads_granted = 1;
+  /// The session's sticky journal state as of this request
+  /// (ProtectionSession::journal_status): OK until an epoch seals in
+  /// memory but its seal record or fsync fails — the request still
+  /// succeeds, so this field is how a client learns its stream's
+  /// epoch-boundary durability barrier degraded. Always OK for
+  /// unjournaled sessions.
+  Status journal_status;
 };
 
 /// \brief Future type every Submit returns; errors travel as the
@@ -203,11 +210,11 @@ struct ServiceConfig {
   /// controller's budget. 0 = hardware concurrency.
   size_t thread_cap = 0;
   /// Directory for per-session write-ahead journals; empty = no
-  /// durability. Each session journals to <journal_dir>/<name>.wal
-  /// (name sanitized to [A-Za-z0-9._-]; distinct names that collide
-  /// after sanitization share a journal — use filesystem-safe session
-  /// names). OpenSession recovers from an existing journal. The
-  /// directory must already exist.
+  /// durability. Each session journals to <journal_dir>/<name>.wal with
+  /// the name percent-escaped to [A-Za-z0-9._-] — the encoding is
+  /// injective, so distinct session names never share a journal file.
+  /// OpenSession recovers from an existing journal. The directory must
+  /// already exist.
   std::string journal_dir;
   /// Default per-request deadline in milliseconds, applied when a
   /// request leaves deadline_ms at kDeadlineFromConfig. 0 = none.

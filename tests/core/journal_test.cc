@@ -105,7 +105,7 @@ TEST(SessionJournalTest, RecordsRoundTrip) {
   EXPECT_EQ(contents->records[2].type, JournalRecordType::kSchema);
   EXPECT_EQ(contents->records[3].type, JournalRecordType::kBatch);
   EXPECT_EQ(contents->records[3].payload,
-            TableToCsv(env.dataset->table.Slice(0, 50)));
+            SessionJournal::EncodeBatch(env.dataset->table.Slice(0, 50)));
   EXPECT_EQ(contents->records[4].type, JournalRecordType::kFlushMarker);
   EXPECT_TRUE(contents->records[4].payload.empty());
   EXPECT_EQ(contents->records[5].type, JournalRecordType::kEpochSealed);
@@ -232,6 +232,116 @@ TEST(SessionJournalTest, SchemaCodecRoundTrips) {
   // Duplicate column names are rejected by Schema::AddColumn.
   EXPECT_FALSE(
       SessionJournal::DecodeSchema("other|int64|a\nother|int64|a").ok());
+}
+
+// The batch codec must round-trip *exactly* what Ingest saw: a lossy
+// journal (e.g. "%.6f"-formatted doubles, Null collapsing to "") makes
+// Recover rebuild a session from different values than the original,
+// silently breaking the byte-identical replay guarantee.
+TEST(SessionJournalTest, BatchCodecRoundTripsEveryValueLosslessly) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"ssn", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  ASSERT_TRUE(schema.AddColumn({"reading", ColumnRole::kQuasiNumeric,
+                                ValueType::kDouble}).ok());
+  ASSERT_TRUE(schema.AddColumn({"count", ColumnRole::kOther,
+                                ValueType::kInt64}).ok());
+  ASSERT_TRUE(schema.AddColumn({"note", ColumnRole::kOther,
+                                ValueType::kString}).ok());
+  Table t(schema);
+  // More than 6 decimals, negative zero, and extremes: none survive a
+  // decimal round-trip at fixed precision.
+  ASSERT_TRUE(t.AppendRow({Value::String("a"),
+                           Value::Double(0.12345678901234567),
+                           Value::Int64(INT64_MIN),
+                           Value::String("plain")}).ok());
+  // Null vs empty string in the same column, and cells with bytes CSV
+  // cannot carry (embedded NUL, newline, quote, comma).
+  ASSERT_TRUE(t.AppendRow({Value::String(std::string("nu\0l", 4)),
+                           Value::Double(-0.0), Value::Int64(INT64_MAX),
+                           Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::String(""),
+                           Value::Double(1e-310),  // subnormal
+                           Value::Int64(0),
+                           Value::String("line\nbreak,\"q\"")}).ok());
+
+  const std::string payload = SessionJournal::EncodeBatch(t);
+  const auto back = SessionJournal::DecodeBatch(payload, schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_TRUE(back->at(r, c) == t.at(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(SessionJournalTest, BatchCodecRejectsMalformedPayloads) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"ssn", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  ASSERT_TRUE(schema.AddColumn({"age", ColumnRole::kQuasiNumeric,
+                                ValueType::kInt64}).ok());
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value::String("abc"), Value::Int64(30)}).ok());
+  const std::string payload = SessionJournal::EncodeBatch(t);
+  ASSERT_TRUE(SessionJournal::DecodeBatch(payload, schema).ok());
+
+  // Truncations at every structural boundary.
+  for (const size_t cut : {size_t{0}, size_t{4}, size_t{8}, size_t{9},
+                           size_t{11}, payload.size() - 1}) {
+    EXPECT_FALSE(
+        SessionJournal::DecodeBatch(payload.substr(0, cut), schema).ok())
+        << "cut at " << cut;
+  }
+  // Trailing garbage, unknown cell tag, and a schema arity mismatch.
+  EXPECT_FALSE(SessionJournal::DecodeBatch(payload + "x", schema).ok());
+  std::string bad_tag = payload;
+  bad_tag[8] = 42;  // first cell's type tag
+  EXPECT_FALSE(SessionJournal::DecodeBatch(bad_tag, schema).ok());
+  Schema wider = schema;
+  ASSERT_TRUE(wider.AddColumn({"extra", ColumnRole::kOther,
+                               ValueType::kString}).ok());
+  EXPECT_FALSE(SessionJournal::DecodeBatch(payload, wider).ok());
+  // A string length pointing past the payload must not over-read.
+  std::string bad_length = payload;
+  bad_length[9] = static_cast<char>(0xff);  // first string's length field
+  EXPECT_FALSE(SessionJournal::DecodeBatch(bad_length, schema).ok());
+}
+
+// Doubles that are lossy under decimal formatting must survive the
+// on-disk journal round-trip (append, read back, decode) — the
+// regression that motivated the binary batch codec.
+TEST(SessionJournalTest, JournaledDoublesSurviveAtFullPrecision) {
+  Env env = MakeEnv();
+  const std::string path = FreshPath("journal_doubles.wal");
+  Schema schema;
+  ASSERT_TRUE(schema.AddColumn({"ssn", ColumnRole::kIdentifying,
+                                ValueType::kString}).ok());
+  ASSERT_TRUE(schema.AddColumn({"reading", ColumnRole::kQuasiNumeric,
+                                ValueType::kDouble}).ok());
+  Table batch(schema);
+  ASSERT_TRUE(batch.AppendRow({Value::String("p0"),
+                               Value::Double(36.60000001)}).ok());
+  ASSERT_TRUE(batch.AppendRow({Value::String("p1"),
+                               Value::Double(36.600000004)}).ok());
+  {
+    auto journal = SessionJournal::Create(path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->AppendConfig(env.config, SessionConfig()).ok());
+    ASSERT_TRUE((*journal)->AppendSchema(schema).ok());
+    ASSERT_TRUE((*journal)->AppendBatch(batch).ok());
+  }
+  const auto contents = SessionJournal::ReadAll(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 3u);
+  const auto decoded =
+      SessionJournal::DecodeBatch(contents->records[2].payload, schema);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  // Bit-exact, where "%.6f" would have collapsed both rows to 36.600000.
+  EXPECT_EQ(decoded->at(0, 1).AsDouble(), 36.60000001);
+  EXPECT_EQ(decoded->at(1, 1).AsDouble(), 36.600000004);
+  EXPECT_TRUE(decoded->at(0, 1) != decoded->at(1, 1));
 }
 
 TEST(SessionJournalTest, SealCodecRejectsMalformedPayloads) {

@@ -16,6 +16,7 @@
 #include "core/session.h"
 #include "datagen/medical_data.h"
 #include "relation/csv.h"
+#include "service/service.h"
 #include "watermark/ownership.h"
 
 namespace privmark {
@@ -369,6 +370,37 @@ TEST_F(JournalFaultTest, SealFsyncFailureIsStickyButTheFlushCommits) {
   EXPECT_EQ(session.epochs().size(), 1u);
   EXPECT_FALSE(session.journal_status().ok());
   EXPECT_EQ(session.journal_status().code(), StatusCode::kIOError);
+}
+
+TEST_F(JournalFaultTest, ServiceResponsesSurfaceSealDegradation) {
+  // A post-commit seal failure must reach service clients: every later
+  // ServiceResponse carries the session's sticky journal_status, so the
+  // degraded durability barrier is visible, not silent.
+  const std::string dir = ::testing::TempDir() + "privmark_fi_seal_dir";
+  ::system(("mkdir -p '" + dir + "'").c_str());
+  std::remove((dir + "/ward.wal").c_str());
+  ServiceConfig service_config;
+  service_config.thread_cap = 1;
+  service_config.journal_dir = dir;
+  PrivmarkService service(service_config);
+  ASSERT_TRUE(service.OpenSession("ward", Metrics(), Config()).ok());
+
+  auto ingest =
+      service.ProtectBatch("ward", dataset_->table.Slice(0, 800)).get();
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+  EXPECT_TRUE(ingest->journal_status.ok());
+
+  ASSERT_TRUE(
+      FailpointRegistry::Instance().Configure("journal.fsync", "once:1").ok());
+  auto flush = service.Flush("ward").get();
+  ASSERT_TRUE(flush.ok()) << flush.status().ToString();
+  EXPECT_FALSE(flush->journal_status.ok());
+  EXPECT_EQ(flush->journal_status.code(), StatusCode::kIOError);
+
+  // Sticky: the close's terminal response still reports it.
+  auto close = service.CloseSession("ward").get();
+  ASSERT_TRUE(close.ok());
+  EXPECT_FALSE(close->journal_status.ok());
 }
 
 TEST_F(JournalFaultTest, SeededFaultStormLeavesAByteIdenticalStream) {

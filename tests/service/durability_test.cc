@@ -410,7 +410,7 @@ TEST(ServiceJournalTest, RecoveryRejectsAMismatchedConfig) {
   EXPECT_NE(status.message().find("config"), std::string::npos);
 }
 
-TEST(ServiceJournalTest, SessionNamesAreSanitizedToJournalBasenames) {
+TEST(ServiceJournalTest, SessionNamesAreEscapedToJournalBasenames) {
   Env env = MakeEnv();
   ServiceConfig service_config;
   service_config.thread_cap = 1;
@@ -418,9 +418,34 @@ TEST(ServiceJournalTest, SessionNamesAreSanitizedToJournalBasenames) {
   PrivmarkService service(service_config);
   ASSERT_TRUE(
       service.OpenSession("ward/../x", env.metrics, env.config).ok());
-  auto contents =
-      SessionJournal::ReadAll(service_config.journal_dir + "/ward_.._x.wal");
+  auto contents = SessionJournal::ReadAll(service_config.journal_dir +
+                                          "/ward%2F..%2Fx.wal");
   EXPECT_TRUE(contents.ok()) << contents.status().message();
+}
+
+TEST(ServiceJournalTest, DistinctNamesNeverShareAJournal) {
+  // "a b" and "a_b" collided under the old '_'-replacement scheme: the
+  // second open would silently Resume — and corrupt — the first
+  // session's live WAL. The injective escaping gives each its own file.
+  Env env = MakeEnv();
+  ServiceConfig service_config;
+  service_config.thread_cap = 1;
+  service_config.journal_dir = FreshJournalDir("collide");
+  std::remove((service_config.journal_dir + "/a%20b.wal").c_str());
+  std::remove((service_config.journal_dir + "/a_b.wal").c_str());
+  PrivmarkService service(service_config);
+  ASSERT_TRUE(service.OpenSession("a b", env.metrics, env.config).ok());
+  ASSERT_TRUE(service.OpenSession("a_b", env.metrics, env.config).ok());
+  auto first = service.ProtectBatch("a b", env.dataset->table.Slice(0, kBatch))
+                   .get();
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  auto second =
+      service.ProtectBatch("a_b", env.dataset->table.Slice(0, kBatch)).get();
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_TRUE(
+      SessionJournal::ReadAll(service_config.journal_dir + "/a%20b.wal").ok());
+  EXPECT_TRUE(
+      SessionJournal::ReadAll(service_config.journal_dir + "/a_b.wal").ok());
 }
 
 // ---- Deadline-bounded Shutdown --------------------------------------------
