@@ -11,6 +11,8 @@
 
 #include <string>
 
+#include <thread>
+
 #include "bench_util.h"
 #include "binning/binning_engine.h"
 #include "common/parallel.h"
@@ -19,6 +21,8 @@
 #include "crypto/aes128.h"
 #include "crypto/sha1.h"
 #include "hierarchy/encoded_view.h"
+#include "service/client.h"
+#include "service/daemon.h"
 #include "service/service.h"
 #include "watermark/detect_index.h"
 #include "watermark/hierarchical.h"
@@ -310,6 +314,88 @@ void BM_ServiceThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(requests));
 }
 BENCHMARK(BM_ServiceThroughput)
+    ->ArgNames({"sessions", "cap"})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 4})
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceThroughputLoopback(benchmark::State& state) {
+  // The same sessions x cap sweep as BM_ServiceThroughput, but through
+  // the network daemon over real loopback sockets: each session is one
+  // DaemonClient connection driven by its own thread. The delta against
+  // the in-process numbers is the whole wire overhead — framing, CRCs,
+  // the columnar table codec both ways, and one connection's
+  // request/response round-trips.
+  SharedState& s = State();
+  const size_t num_sessions = static_cast<size_t>(state.range(0));
+  const size_t cap = static_cast<size_t>(state.range(1));
+  const size_t rows_per_session = 2000;
+  const size_t batch_rows = 500;
+  std::vector<std::vector<Table>> batches(num_sessions);
+  for (size_t i = 0; i < num_sessions; ++i) {
+    const size_t base = (i * rows_per_session) % s.env.original().num_rows();
+    for (size_t begin = 0; begin < rows_per_session; begin += batch_rows) {
+      batches[i].push_back(
+          s.env.original().Slice(base + begin, base + begin + batch_rows));
+    }
+  }
+  size_t requests = 0;
+  for (auto _ : state) {
+    DaemonConfig daemon_config;
+    daemon_config.service.thread_cap = cap;
+    daemon_config.schema = s.env.original().schema();
+    daemon_config.metrics_for_config =
+        [&s](const FrameworkConfig&) -> Result<UsageMetrics> {
+      return s.env.metrics;
+    };
+    PrivmarkDaemon daemon(std::move(daemon_config));
+    CheckOk(daemon.Start(0), "daemon start");
+    std::vector<std::thread> drivers;
+    for (size_t i = 0; i < num_sessions; ++i) {
+      drivers.emplace_back([&s, &daemon, &batches, i] {
+        const std::string name = "s" + std::to_string(i);
+        DaemonClient client(s.env.original().schema());
+        CheckOk(client.Connect("127.0.0.1", daemon.port()), "connect");
+        WireRequest open;
+        open.type = WireFrameType::kOpen;
+        open.session = name;
+        open.open.k = 20;
+        open.open.enforce_joint = false;
+        open.open.passphrase = "bench-owner-passphrase";
+        open.open.k1 = "bench-k1";
+        open.open.k2 = "bench-k2";
+        open.open.eta = 75;
+        open.open.num_threads = 0;  // every request asks for the whole cap
+        auto opened = client.Call(open);
+        CheckOk(opened.status(), "open transport");
+        CheckOk(opened->status, "open session");
+        for (const Table& batch : batches[i]) {
+          WireRequest ingest;
+          ingest.type = WireFrameType::kIngest;
+          ingest.session = name;
+          ingest.table = batch.Clone();
+          auto response = client.Call(ingest);
+          CheckOk(response.status(), "ingest transport");
+          CheckOk(response->status, "ingest");
+        }
+        WireRequest flush;
+        flush.type = WireFrameType::kFlush;
+        flush.session = name;
+        auto flushed = client.Call(flush);
+        CheckOk(flushed.status(), "flush transport");
+        CheckOk(flushed->status, "flush");
+      });
+    }
+    for (std::thread& driver : drivers) driver.join();
+    requests += num_sessions * (batches[0].size() + 1);
+    CheckOk(daemon.Shutdown(), "daemon shutdown");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(requests));
+}
+BENCHMARK(BM_ServiceThroughputLoopback)
     ->ArgNames({"sessions", "cap"})
     ->Args({1, 1})
     ->Args({4, 1})

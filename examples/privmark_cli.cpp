@@ -66,7 +66,22 @@
 //       journal's fingerprint) and its secrets (never journaled). The
 //       journal file itself is left untouched.
 //
+//   privmark_cli daemon [--port=0] [--cap=N] [--journal-dir=DIR]
+//                [--default-deadline-ms=0] [--max-queue-depth=0]
+//                [--max-admission-waiters=0] [--shutdown-deadline-ms=-1]
+//       run the network daemon on 127.0.0.1:<port> (0 = ephemeral; the
+//       bound port is printed, so tests can parse it). Serves the wire
+//       protocol of service/wire.h: any number of clients, one session
+//       strand per stream, shared worker pool of --cap threads. The
+//       shedding knobs mirror ServiceConfig: --max-queue-depth bounds a
+//       session's queue, --max-admission-waiters bounds the thread
+//       admission queue; shed requests come back ResourceExhausted with
+//       a typed retry_after_ms hint. Runs until stdin reaches EOF or
+//       SIGINT/SIGTERM, then drains with
+//       Shutdown(--shutdown-deadline-ms) (-1 = wait forever).
+//
 //   privmark_cli serve <script> [--cap=N] [--journal-dir=DIR]
+//                [--connect=host:port]
 //                [--pass=...] [--k1=...] [--k2=...] [--eta=50]
 //       drive the async service front-end from a scripted request file:
 //       named streams protected concurrently on one shared pool of at
@@ -89,6 +104,14 @@
 //       `close` (implicit at end of script) writes the session's emitted
 //       rows to its out.csv and one manifest per epoch
 //       (<manifest.out>.epochN for N > 0).
+//       With --connect=host:port the same script drives a running
+//       privmark_cli daemon instead of an in-process service: each
+//       stream gets its own connection (requests on one stream are
+//       synchronous; concurrency comes from the daemon's thread per
+//       connection), --journal-dir/--cap are the daemon's to decide,
+//       and close writes the manifests the daemon serialized — byte-
+//       identical to a local run's. Script lines gain an optional
+//       --deadline-ms=N per request (absent = the daemon's default).
 //
 // --threads=N runs the row-sharded pipeline stages on N workers (0 = one
 // per hardware thread); outputs are byte-identical for every N, so the
@@ -99,11 +122,14 @@
 // Secrets (k1/k2/eta, encryption passphrase) are parameters, never stored
 // in the manifest.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -114,9 +140,12 @@
 #include "core/manifest.h"
 #include "core/report_json.h"
 #include "core/session.h"
+#include "common/durable_file.h"
 #include "common/strings.h"
 #include "datagen/medical_data.h"
 #include "relation/csv.h"
+#include "service/client.h"
+#include "service/daemon.h"
 #include "service/service.h"
 #include "watermark/fingerprint.h"
 #include "watermark/key_registry.h"
@@ -699,11 +728,308 @@ bool DrainStream(const std::string& name, ClientStream* stream) {
   return true;
 }
 
+// ---- serve --connect: the same script against a remote daemon ------------
+//
+// One DaemonClient per stream: a connection's requests are synchronous
+// (the wire protocol pipelines across connections, not within one), so
+// there is no pending deque — every script line completes before the
+// next is read.
+struct RemoteStream {
+  std::string out_path;
+  std::string manifest_path;
+  std::unique_ptr<DaemonClient> client;
+  Table emitted{MedicalSchema()};
+  bool closed = false;
+};
+
+// Issues one request on the stream's connection and prints the outcome
+// in the same shape as the in-process DrainStream. Returns false on a
+// transport error or a non-OK service status.
+bool RemoteCall(const std::string& name, RemoteStream* stream,
+                const WireRequest& request) {
+  Result<WireResponse> result = stream->client->Call(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: [%s] %s: %s\n", name.c_str(),
+                 WireFrameTypeToString(request.type),
+                 result.status().ToString().c_str());
+    return false;
+  }
+  const WireResponse& response = *result;
+  if (!response.status.ok()) {
+    std::fprintf(stderr, "error: [%s] %s: %s\n", name.c_str(),
+                 WireFrameTypeToString(request.type),
+                 response.status.ToString().c_str());
+    if (response.retry_after_ms >= 0) {
+      std::fprintf(stderr, "error: [%s] daemon shed the request; retry in "
+                   "%lld ms\n",
+                   name.c_str(),
+                   static_cast<long long>(response.retry_after_ms));
+    }
+    return false;
+  }
+  auto append_emitted = [stream](const Table& emitted) {
+    for (size_t r = 0; r < emitted.num_rows(); ++r) {
+      (void)stream->emitted.AppendRow(emitted.row(r));
+    }
+  };
+  switch (response.kind) {
+    case WireFrameType::kOpen:
+      if (response.open.recovered) {
+        append_emitted(response.open.emitted);
+        std::printf("[%s] recovered from journal: %llu batch(es), %llu "
+                    "sealed epoch(s), %zu row(s) re-emitted%s\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        response.open.batches_applied),
+                    static_cast<unsigned long long>(
+                        response.open.epochs_sealed),
+                    response.open.emitted.num_rows(),
+                    response.open.tail_truncated ? " (torn tail discarded)"
+                                                 : "");
+      }
+      break;
+    case WireFrameType::kIngest:
+      append_emitted(response.ingest.emitted);
+      std::printf("[%s] ingest: +%llu rows emitted, %llu suppressed, "
+                  "%llu buffered (epoch %llu, %llu threads)\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(
+                      response.ingest.rows_emitted),
+                  static_cast<unsigned long long>(
+                      response.ingest.rows_suppressed),
+                  static_cast<unsigned long long>(
+                      response.ingest.rows_buffered),
+                  static_cast<unsigned long long>(response.ingest.epoch),
+                  static_cast<unsigned long long>(response.threads_granted));
+      break;
+    case WireFrameType::kFlush:
+      append_emitted(response.flush.emitted);
+      std::printf("[%s] flush: epoch %llu emitted %zu rows, v %.6f "
+                  "(%llu threads)\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(response.flush.epoch),
+                  response.flush.emitted.num_rows(),
+                  response.flush.identifier_statistic,
+                  static_cast<unsigned long long>(response.threads_granted));
+      break;
+    case WireFrameType::kDetect:
+      for (const DetectReport& report : response.reports) {
+        size_t voted = 0;
+        for (bool b : report.bit_voted) voted += b ? 1 : 0;
+        std::printf("[%s] detect: mark %s, bits with votes %zu/%zu "
+                    "(%llu threads)\n",
+                    name.c_str(), report.recovered.ToString().c_str(), voted,
+                    report.recovered.size(),
+                    static_cast<unsigned long long>(
+                        response.threads_granted));
+      }
+      break;
+    case WireFrameType::kFingerprint:
+      for (const FingerprintReport& report : response.fingerprints) {
+        std::printf("[%s] fingerprint: %zu/%zu key(s) detected%s "
+                    "(%llu threads)\n",
+                    name.c_str(), report.keys_detected,
+                    report.verdicts.size(),
+                    report.collusion ? " COLLUSION" : "",
+                    static_cast<unsigned long long>(
+                        response.threads_granted));
+        for (size_t i = 0; i < report.ranking.size(); ++i) {
+          const KeyVerdict& v = report.verdicts[report.ranking[i]];
+          std::printf("[%s]   %2zu. %-24s score %.6f  %s\n", name.c_str(),
+                      i + 1, v.key_name.c_str(), v.score,
+                      v.detected ? "DETECTED" : "clear");
+        }
+      }
+      break;
+    case WireFrameType::kClose: {
+      std::printf("[%s] close: ingested %llu, emitted %llu, suppressed "
+                  "%llu, %zu epoch(s)\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(
+                      response.close.rows_ingested),
+                  static_cast<unsigned long long>(
+                      response.close.rows_emitted),
+                  static_cast<unsigned long long>(
+                      response.close.rows_suppressed),
+                  response.close.epochs.size());
+      if (auto st = WriteTableCsv(stream->emitted, stream->out_path);
+          !st.ok()) {
+        std::fprintf(stderr, "error: [%s] %s\n", name.c_str(),
+                     st.ToString().c_str());
+        return false;
+      }
+      // The daemon serialized each epoch's manifest server-side; write
+      // the text verbatim (durably, like WriteManifestFile would).
+      for (const WireEpochSummary& epoch : response.close.epochs) {
+        std::string path = stream->manifest_path;
+        if (epoch.epoch > 0) {
+          path += ".epoch" + std::to_string(epoch.epoch);
+        }
+        if (auto st = WriteFileDurable(path, epoch.manifest_text); !st.ok()) {
+          std::fprintf(stderr, "error: [%s] %s\n", name.c_str(),
+                       st.ToString().c_str());
+          return false;
+        }
+      }
+      stream->closed = true;
+      stream->client->Disconnect();
+      break;
+    }
+    case WireFrameType::kResponse:
+      break;  // unreachable: Call validated the echoed kind
+  }
+  return true;
+}
+
+// Runs the serve script against a daemon at `endpoint` ("host:port").
+int ServeRemote(const Args& args, std::istream& script,
+                const std::string& endpoint) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    std::fprintf(stderr, "error: --connect needs host:port, got '%s'\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const uint64_t port = std::stoull(endpoint.substr(colon + 1));
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "error: --connect port out of range: '%s'\n",
+                 endpoint.c_str());
+    return 2;
+  }
+
+  std::map<std::string, RemoteStream> streams;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(script, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream words(line);
+    std::vector<std::string> tokens;
+    for (std::string word; words >> word;) tokens.push_back(word);
+    if (tokens.empty()) continue;
+    const Args cmd = ParseTokens(tokens);
+    auto bad_line = [&](const char* why) {
+      std::fprintf(stderr, "error: script line %zu: %s\n", line_no, why);
+      return 1;
+    };
+    if (cmd.positional.empty()) {
+      return bad_line("missing verb (open|ingest|flush|detect|close)");
+    }
+    const std::string& verb = cmd.positional[0];
+    if (verb == "open") {
+      if (cmd.positional.size() != 4) {
+        return bad_line("open <session> <out.csv> <manifest.out> [flags]");
+      }
+      const std::string& name = cmd.positional[1];
+      RemoteStream stream;
+      stream.out_path = cmd.positional[2];
+      stream.manifest_path = cmd.positional[3];
+      stream.client = std::make_unique<DaemonClient>(MedicalSchema());
+      if (auto st =
+              stream.client->Connect(host, static_cast<uint16_t>(port));
+          !st.ok()) {
+        return Fail(st);
+      }
+      WireRequest request;
+      request.type = WireFrameType::kOpen;
+      request.session = name;
+      request.open.k = cmd.FlagU64("k", 20);
+      request.open.enforce_joint = cmd.flags.count("joint") > 0;
+      request.open.auto_epsilon = cmd.flags.count("epsilon") > 0;
+      request.open.num_threads = cmd.FlagU64("threads", 1);
+      request.open.passphrase = args.Flag("pass", "cli-default-pass");
+      const WatermarkKey key = KeyFromArgs(args);
+      request.open.k1 = key.k1;
+      request.open.k2 = key.k2;
+      request.open.eta = key.eta;
+      const std::string policy = cmd.Flag("rebin-policy", "freeze");
+      if (policy == "drift") {
+        request.open.policy = 1;
+      } else if (policy != "freeze") {
+        return bad_line("--rebin-policy must be freeze or drift");
+      }
+      request.open.drift_threshold =
+          std::atof(cmd.Flag("drift-threshold", "0.5").c_str());
+      std::printf("[%s] open (k=%llu, %s, remote %s)\n", name.c_str(),
+                  static_cast<unsigned long long>(request.open.k),
+                  policy.c_str(), endpoint.c_str());
+      if (!RemoteCall(name, &stream, request)) return 1;
+      streams[name] = std::move(stream);
+      continue;
+    }
+    if (cmd.positional.size() < 2) return bad_line("missing session name");
+    const std::string& name = cmd.positional[1];
+    auto it = streams.find(name);
+    if (it == streams.end() || it->second.closed) {
+      return bad_line("unknown or closed session");
+    }
+    RemoteStream& stream = it->second;
+    WireRequest request;
+    request.session = name;
+    request.ask = cmd.flags.count("threads") > 0 ? cmd.FlagU64("threads", 1)
+                                                 : UINT64_MAX;
+    if (cmd.flags.count("deadline-ms") > 0) {
+      request.deadline_ms =
+          static_cast<int64_t>(cmd.FlagU64("deadline-ms", 0));
+    }
+    if (verb == "ingest") {
+      if (cmd.positional.size() != 3) {
+        return bad_line("ingest <session> <in.csv>");
+      }
+      request.type = WireFrameType::kIngest;
+      request.table = Must(ReadTableCsv(cmd.positional[2], MedicalSchema()));
+    } else if (verb == "flush") {
+      request.type = WireFrameType::kFlush;
+    } else if (verb == "detect") {
+      request.type = WireFrameType::kDetect;
+      // Requests are synchronous, so "what the session emitted so far"
+      // needs no drain — it is already complete.
+      request.table = cmd.positional.size() == 3
+                          ? Must(ReadTableCsv(cmd.positional[2],
+                                              MedicalSchema()))
+                          : stream.emitted.Clone();
+    } else if (verb == "fingerprint") {
+      if (cmd.positional.size() != 3 && cmd.positional.size() != 4) {
+        return bad_line("fingerprint <session> <registry> [<table.csv>]");
+      }
+      request.type = WireFrameType::kFingerprint;
+      request.registry_text =
+          Must(KeyRegistry::ReadFile(cmd.positional[2])).Serialize();
+      request.table = cmd.positional.size() == 4
+                          ? Must(ReadTableCsv(cmd.positional[3],
+                                              MedicalSchema()))
+                          : stream.emitted.Clone();
+    } else if (verb == "close") {
+      request.type = WireFrameType::kClose;
+    } else {
+      return bad_line(
+          "unknown verb (open|ingest|flush|detect|fingerprint|close)");
+    }
+    if (!RemoteCall(name, &stream, request)) return 1;
+  }
+
+  // End of script: close whatever is still open.
+  for (auto& [name, stream] : streams) {
+    if (stream.closed) continue;
+    WireRequest request;
+    request.type = WireFrameType::kClose;
+    request.session = name;
+    if (!RemoteCall(name, &stream, request)) return 1;
+  }
+  std::printf("served %zu stream(s) via %s\n", streams.size(),
+              endpoint.c_str());
+  return 0;
+}
+
 int CmdServe(const Args& args) {
   if (args.positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: privmark_cli serve <script> [--cap=N] "
-                 "[--journal-dir=DIR] [--pass=] [--k1=] [--k2=] [--eta=]\n");
+                 "[--journal-dir=DIR] [--connect=host:port] [--pass=] "
+                 "[--k1=] [--k2=] [--eta=]\n");
     return 2;
   }
   std::ifstream script(args.positional[1]);
@@ -712,6 +1038,8 @@ int CmdServe(const Args& args) {
                  args.positional[1].c_str());
     return 1;
   }
+  const std::string endpoint = args.Flag("connect", "");
+  if (!endpoint.empty()) return ServeRemote(args, script, endpoint);
   // One ontology set serves every stream (trees must outlive the service).
   MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
 
@@ -872,6 +1200,80 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// ---- daemon: the network front-end ---------------------------------------
+
+volatile std::sig_atomic_t g_daemon_stop = 0;
+void HandleDaemonSignal(int) { g_daemon_stop = 1; }
+
+int CmdDaemon(const Args& args) {
+  if (args.positional.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: privmark_cli daemon [--port=0] [--cap=N] "
+                 "[--journal-dir=DIR] [--default-deadline-ms=0] "
+                 "[--max-queue-depth=0] [--max-admission-waiters=0] "
+                 "[--shutdown-deadline-ms=-1]\n");
+    return 2;
+  }
+  const uint64_t port = args.FlagU64("port", 0);
+  if (port > 65535) {
+    std::fprintf(stderr, "error: --port out of range\n");
+    return 2;
+  }
+  // The ontologies outlive the daemon; every opened stream's metrics
+  // reference their trees.
+  MedicalDataset ontologies = Must(GenerateMedicalDataset({.num_rows = 1}));
+
+  DaemonConfig config;
+  config.service.thread_cap = args.FlagU64("cap", 0);
+  config.service.journal_dir = args.Flag("journal-dir", "");
+  config.service.default_deadline_ms =
+      static_cast<int64_t>(args.FlagU64("default-deadline-ms", 0));
+  config.service.max_queue_depth = args.FlagU64("max-queue-depth", 0);
+  config.service.max_admission_waiters =
+      args.FlagU64("max-admission-waiters", 0);
+  config.schema = MedicalSchema();
+  config.metrics_for_config =
+      [&ontologies](const FrameworkConfig& fc) -> Result<UsageMetrics> {
+    if (fc.binning.enforce_joint) {
+      return UnconstrainedMetrics(ontologies.trees());
+    }
+    return MetricsFromDepthCuts(ontologies.trees(), {2, 1, 2, 1, 1});
+  };
+
+  PrivmarkDaemon daemon(std::move(config));
+  if (auto st = daemon.Start(static_cast<uint16_t>(port)); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("daemon listening on 127.0.0.1:%u (cap %llu%s%s)\n",
+              daemon.port(),
+              static_cast<unsigned long long>(daemon.service().thread_cap()),
+              args.Flag("journal-dir", "").empty() ? "" : ", journal-dir ",
+              args.Flag("journal-dir", "").c_str());
+  std::fflush(stdout);  // scripts and tests parse the port off this line
+
+  // sigaction without SA_RESTART, not std::signal: glibc's signal()
+  // restarts the blocking stdin read after the handler runs, so a
+  // SIGINT would never wake the getline below.
+  struct sigaction action {};
+  action.sa_handler = HandleDaemonSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  // Foreground service: stays up until the controlling script closes
+  // stdin or sends a signal. Stray stdin lines are ignored.
+  std::string line;
+  while (g_daemon_stop == 0 && std::getline(std::cin, line)) {
+  }
+
+  const int64_t deadline =
+      args.flags.count("shutdown-deadline-ms") > 0
+          ? static_cast<int64_t>(args.FlagU64("shutdown-deadline-ms", 0))
+          : -1;
+  const Status st = daemon.Shutdown(deadline);
+  std::printf("daemon stopped after %zu connection(s)\n",
+              daemon.connections_accepted());
+  return st.ok() ? 0 : Fail(st);
+}
+
 int CmdRecover(const Args& args) {
   if (args.positional.size() != 4) {
     std::fprintf(stderr,
@@ -965,7 +1367,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: privmark_cli "
                  "<generate|gen-key|protect|detect|cmp|attack|dispute|serve"
-                 "|recover> ...\n");
+                 "|daemon|recover> ...\n");
     return 2;
   }
   const std::string& command = args.positional[0];
@@ -977,6 +1379,7 @@ int main(int argc, char** argv) {
   if (command == "attack") return CmdAttack(args);
   if (command == "dispute") return CmdDispute(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "daemon") return CmdDaemon(args);
   if (command == "recover") return CmdRecover(args);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 2;

@@ -39,9 +39,11 @@ import sys
 # Report-only benchmarks: measured and tabulated, but never gated (and
 # not required to be present). BM_ServiceThroughput drives concurrent
 # sessions against the host scheduler — on a shared CI runner its
-# variance swamps any threshold — and BM_GenerateDataset measures the
-# RNG/allocator, not a protected-pipeline hot path. Neither calibrates
-# the machine-speed median: only gated benchmarks do.
+# variance swamps any threshold — and the prefix also covers
+# BM_ServiceThroughputLoopback, which adds real loopback sockets (and so
+# the kernel's network stack) on top. BM_GenerateDataset measures the
+# RNG/allocator, not a protected-pipeline hot path. None of these
+# calibrate the machine-speed median: only gated benchmarks do.
 UNGATED_PATTERNS = [
     r"^BM_ServiceThroughput",
     r"^BM_GenerateDataset",

@@ -3,12 +3,13 @@
 #   1. Debug + address/undefined sanitizers (slow-labeled suites excluded)
 #   2. Debug + thread sanitizer over the parallel-labeled suites (pool
 #      substrate incl. concurrent submission/leases, binning,
-#      watermarking, sessions, the service suites, failure injection,
-#      the concurrent_hospitals smoke test), plus the full 20k
-#      parallel-equivalence property suite and the thread-exercising
+#      watermarking, sessions, the service and daemon suites, failure
+#      injection, the concurrent_hospitals smoke test), plus the full 20k
+#      parallel-equivalence property suite, the thread-exercising
 #      streaming-equivalence tests (session ingest and the parallel
 #      joint-binning candidate search; the serial-only replay/drift
-#      cases run in the Release job)
+#      cases run in the Release job), and the 100-connection daemon
+#      loopback soak (slow-labeled, so invoked directly)
 #   3. Release with failpoints compiled in (everything, incl. the
 #      fork/kill crash-recovery acceptance suite)
 # plus a fault-injection replay of the faultinject-labeled suites under
@@ -30,7 +31,9 @@ cmake --build build-asan -j "${JOBS}"
 
 echo "=== Fault injection under ASan (three fixed seeds) ==="
 # Debug builds compile failpoints in; the seed feeds the probabilistic
-# fault-storm test, and the deterministic faultinject suites simply rerun.
+# fault-storm test, and the deterministic faultinject suites — including
+# the daemon suite's injected wire.read/wire.write socket faults and the
+# adversarial manifest cases — simply rerun.
 # The fork/kill crash suite is slow-labeled and runs in the Release job.
 for seed in 101 202 303; do
   (cd build-asan && \
@@ -48,6 +51,7 @@ cmake --build build-tsan -j "${JOBS}"
 ./build-tsan/tests/properties_fingerprint_equivalence_test
 ./build-tsan/tests/properties_streaming_equivalence_test \
   --gtest_filter='*AcrossThreads*:*JointParallel*'
+./build-tsan/tests/integration_daemon_soak_test
 
 echo "=== Release ==="
 # PRIVMARK_FAILPOINTS=ON keeps the crash-recovery acceptance suite alive in

@@ -1,0 +1,60 @@
+#include "common/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace privmark {
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+bool WriteFully(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : slash == 0 ? "/" : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoError("cannot open parent directory", dir);
+  const Status status = ::fsync(fd) == 0
+                            ? Status::OK()
+                            : ErrnoError("cannot fsync parent directory", dir);
+  ::close(fd);
+  return status;
+}
+
+Status WriteFileDurable(const std::string& path,
+                        const std::string& contents) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("cannot open for writing", path);
+  if (!WriteFully(fd, contents.data(), contents.size())) {
+    const Status st = ErrnoError("short write to", path);
+    ::close(fd);
+    return st;
+  }
+  if (::fsync(fd) != 0) {
+    const Status st = ErrnoError("cannot fsync", path);
+    ::close(fd);
+    return st;
+  }
+  if (::close(fd) != 0) return ErrnoError("cannot close", path);
+  return SyncParentDir(path);
+}
+
+}  // namespace privmark

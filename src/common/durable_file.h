@@ -1,0 +1,38 @@
+// Crash-durable file writes, factored out of the session journal so
+// every artifact that must survive a crash (journals, per-epoch
+// manifests) shares one fsync discipline:
+//
+//   - the file's *contents* become durable with fsync(fd);
+//   - the file's *name* becomes durable only when its parent directory
+//     is fsynced too — a freshly created file can vanish wholesale after
+//     a crash even though its contents were synced.
+
+#ifndef PRIVMARK_COMMON_DURABLE_FILE_H_
+#define PRIVMARK_COMMON_DURABLE_FILE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace privmark {
+
+/// \brief IOError carrying strerror(errno) — the shared error shape of
+/// the raw-fd write paths.
+Status ErrnoError(const std::string& what, const std::string& path);
+
+/// \brief write(2) until done, retrying EINTR; false on error (errno
+/// holds the cause).
+bool WriteFully(int fd, const char* data, size_t size);
+
+/// \brief Fsyncs the directory containing `path`, making `path`'s
+/// directory entry durable.
+Status SyncParentDir(const std::string& path);
+
+/// \brief Writes `contents` to `path` (creating or truncating), then
+/// fsyncs the file and its parent directory: after OK, both the bytes
+/// and the name survive a crash.
+Status WriteFileDurable(const std::string& path, const std::string& contents);
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_COMMON_DURABLE_FILE_H_

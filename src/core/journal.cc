@@ -15,6 +15,8 @@
 
 #include "crypto/keyed_hash.h"
 
+#include "common/binenc.h"
+#include "common/durable_file.h"
 #include "common/failpoint.h"
 #include "common/strings.h"
 
@@ -27,68 +29,9 @@ constexpr size_t kMagicSize = sizeof(kMagic);
 // [u32 length][u32 crc][u8 type]
 constexpr size_t kRecordHeaderSize = 9;
 
-void AppendLe32(std::string* out, uint32_t v) {
-  out->push_back(static_cast<char>(v & 0xff));
-  out->push_back(static_cast<char>((v >> 8) & 0xff));
-  out->push_back(static_cast<char>((v >> 16) & 0xff));
-  out->push_back(static_cast<char>((v >> 24) & 0xff));
-}
-
-uint32_t ReadLe32(const char* p) {
-  const auto* u = reinterpret_cast<const unsigned char*>(p);
-  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
-         (static_cast<uint32_t>(u[2]) << 16) |
-         (static_cast<uint32_t>(u[3]) << 24);
-}
-
-void AppendLe64(std::string* out, uint64_t v) {
-  AppendLe32(out, static_cast<uint32_t>(v & 0xffffffffu));
-  AppendLe32(out, static_cast<uint32_t>(v >> 32));
-}
-
-uint64_t ReadLe64(const char* p) {
-  return static_cast<uint64_t>(ReadLe32(p)) |
-         (static_cast<uint64_t>(ReadLe32(p + 4)) << 32);
-}
-
 bool IsKnownRecordType(uint8_t type) {
   return type >= static_cast<uint8_t>(JournalRecordType::kConfig) &&
          type <= static_cast<uint8_t>(JournalRecordType::kEpochSealed);
-}
-
-// write(2) until done; false on error (errno holds the cause).
-bool WriteFully(int fd, const char* data, size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    size -= static_cast<size_t>(n);
-  }
-  return true;
-}
-
-Status ErrnoError(const std::string& what, const std::string& path) {
-  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
-}
-
-// fsyncing a journal fd makes its *contents* durable, but not its name:
-// the directory entry lives in the parent directory, which needs its own
-// fsync or a crash can lose the whole file even after a seal synced.
-Status SyncParentDir(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? "."
-                              : slash == 0 ? "/" : path.substr(0, slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return ErrnoError("cannot open journal directory", dir);
-  const Status status = ::fsync(fd) == 0
-                            ? Status::OK()
-                            : ErrnoError("cannot fsync journal directory", dir);
-  ::close(fd);
-  return status;
 }
 
 Result<size_t> ParseCount(const std::string& text, const char* field) {

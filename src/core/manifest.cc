@@ -1,8 +1,11 @@
 #include "core/manifest.h"
 
+#include <cstdint>
 #include <fstream>
+#include <set>
 #include <sstream>
 
+#include "common/durable_file.h"
 #include "common/failpoint.h"
 #include "common/strings.h"
 
@@ -20,7 +23,7 @@ std::string EscapeLabel(const std::string& label) {
   return out;
 }
 
-std::vector<std::string> SplitEscaped(const std::string& joined) {
+Result<std::vector<std::string>> SplitEscaped(const std::string& joined) {
   std::vector<std::string> parts;
   std::string current;
   bool escaped = false;
@@ -37,6 +40,14 @@ std::vector<std::string> SplitEscaped(const std::string& joined) {
       current += c;
     }
   }
+  // A trailing backslash escapes nothing: the manifest was truncated or
+  // hand-corrupted, and silently dropping the byte would parse a
+  // different label list than the writer serialized.
+  if (escaped) {
+    return Status::InvalidArgument(
+        "manifest: unterminated escape (dangling '\\') in label list: " +
+        joined);
+  }
   parts.push_back(std::move(current));
   return parts;
 }
@@ -49,17 +60,28 @@ std::string JoinEscaped(const std::vector<std::string>& labels) {
 }
 
 Result<size_t> ParseSize(const std::string& text, const char* field) {
+  if (text.empty()) {
+    return Status::InvalidArgument(std::string("manifest: field '") + field +
+                                   "' is empty");
+  }
+  // Overflow-checked accumulate (the key-file eta / journal count
+  // pattern): std::stoull would throw std::out_of_range past 2^64-1,
+  // and an adversarial manifest must yield InvalidArgument, not an
+  // uncaught exception.
+  size_t value = 0;
   for (char c : text) {
     if (c < '0' || c > '9') {
       return Status::InvalidArgument(std::string("manifest: field '") +
                                      field + "' is not a number: " + text);
     }
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10) {
+      return Status::InvalidArgument(std::string("manifest: field '") +
+                                     field + "' overflows: " + text);
+    }
+    value = value * 10 + digit;
   }
-  if (text.empty()) {
-    return Status::InvalidArgument(std::string("manifest: field '") + field +
-                                   "' is empty");
-  }
-  return static_cast<size_t>(std::stoull(text));
+  return value;
 }
 
 }  // namespace
@@ -153,13 +175,23 @@ Result<ProtectionManifest> ParseManifest(const std::string& text) {
   ProtectionManifest manifest;
   ManifestColumn* current_column = nullptr;
   bool saw_version = false;
+  // Duplicate detection: a key repeated in the same scope means a
+  // corrupted or spliced manifest — last-one-wins would silently parse
+  // a file the writer never produced.
+  std::set<std::string> seen_scalar;
+  std::set<std::string> seen_column;
 
   for (const std::string& raw_line : Split(text, '\n')) {
     const std::string line = Trim(raw_line);
     if (line.empty()) continue;
     if (line == "[column]") {
+      if (current_column != nullptr && current_column->name.empty()) {
+        return Status::InvalidArgument(
+            "manifest: [column] section without a name");
+      }
       manifest.columns.emplace_back();
       current_column = &manifest.columns.back();
+      seen_column.clear();
       continue;
     }
     const size_t eq = line.find(" = ");
@@ -168,6 +200,34 @@ Result<ProtectionManifest> ParseManifest(const std::string& text) {
     }
     const std::string key = line.substr(0, eq);
     const std::string value = line.substr(eq + 3);
+    const bool column_key =
+        key == "name" || key == "ultimate" || key == "maximal";
+    if (column_key) {
+      if (current_column == nullptr) {
+        return Status::InvalidArgument("manifest: '" + key +
+                                       "' outside a [column] section");
+      }
+      if (!seen_column.insert(key).second) {
+        return Status::InvalidArgument("manifest: duplicate key '" + key +
+                                       "' in a [column] section");
+      }
+      if (key == "name") {
+        if (value.empty()) {
+          return Status::InvalidArgument("manifest: column name is empty");
+        }
+        current_column->name = value;
+      } else if (key == "ultimate") {
+        PRIVMARK_ASSIGN_OR_RETURN(current_column->ultimate_labels,
+                                  SplitEscaped(value));
+      } else {
+        PRIVMARK_ASSIGN_OR_RETURN(current_column->maximal_labels,
+                                  SplitEscaped(value));
+      }
+      continue;
+    }
+    if (!seen_scalar.insert(key).second) {
+      return Status::InvalidArgument("manifest: duplicate key '" + key + "'");
+    }
     if (key == "privmark-manifest-version") {
       if (value != "1") {
         return Status::InvalidArgument("manifest: unsupported version " +
@@ -195,21 +255,13 @@ Result<ProtectionManifest> ParseManifest(const std::string& text) {
       }
     } else if (key == "key_id") {
       manifest.key_id = value;
-    } else if (key == "name" || key == "ultimate" || key == "maximal") {
-      if (current_column == nullptr) {
-        return Status::InvalidArgument("manifest: '" + key +
-                                       "' outside a [column] section");
-      }
-      if (key == "name") {
-        current_column->name = value;
-      } else if (key == "ultimate") {
-        current_column->ultimate_labels = SplitEscaped(value);
-      } else {
-        current_column->maximal_labels = SplitEscaped(value);
-      }
     } else {
       return Status::InvalidArgument("manifest: unknown key " + key);
     }
+  }
+  if (current_column != nullptr && current_column->name.empty()) {
+    return Status::InvalidArgument(
+        "manifest: [column] section without a name");
   }
   if (!saw_version) {
     return Status::InvalidArgument("manifest: missing version header");
@@ -269,14 +321,14 @@ Status WriteManifestFile(const ProtectionManifest& manifest,
     return Status::IOError("failpoint 'manifest.write' triggered for '" +
                            path + "'");
   }
-  std::ofstream file(path, std::ios::binary);
-  if (!file) {
-    return Status::IOError("cannot open '" + path + "' for writing");
+  if (PRIVMARK_FAILPOINT("manifest.fsync")) {
+    return Status::IOError("failpoint 'manifest.fsync' triggered for '" +
+                           path + "'");
   }
-  const std::string text = SerializeManifest(manifest);
-  file.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!file) return Status::IOError("short write to '" + path + "'");
-  return Status::OK();
+  // Durable, matching the journal's discipline: a manifest names the
+  // generalization its (fsynced) epoch was published under, so losing
+  // it to a crash strands an otherwise-recoverable epoch.
+  return WriteFileDurable(path, SerializeManifest(manifest));
 }
 
 Result<ProtectionManifest> ReadManifestFile(const std::string& path) {
@@ -286,7 +338,13 @@ Result<ProtectionManifest> ReadManifestFile(const std::string& path) {
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return ParseManifest(buffer.str());
+  const std::string text = buffer.str();
+  if (text.size() > kMaxManifestBytes) {
+    return Status::InvalidArgument(
+        "manifest file '" + path + "' is " + std::to_string(text.size()) +
+        " bytes; the cap is " + std::to_string(kMaxManifestBytes));
+  }
+  return ParseManifest(text);
 }
 
 }  // namespace privmark

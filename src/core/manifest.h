@@ -80,9 +80,18 @@ Result<HierarchicalWatermarker> WatermarkerFromManifest(
     const std::vector<const DomainHierarchy*>& trees, const WatermarkKey& key,
     const WatermarkOptions& options);
 
-/// \brief Writes/reads a manifest file.
+/// \brief ReadManifestFile refuses files larger than this (a manifest
+/// is a few KB of labels; a huge file is an attack or a mixup, and
+/// parsing it would buffer it whole).
+inline constexpr size_t kMaxManifestBytes = size_t{1} << 20;
+
+/// \brief Writes a manifest file durably: the contents, the file, and
+/// its directory entry are all fsynced before OK (the journal's
+/// crash-durability discipline — see common/durable_file.h).
 Status WriteManifestFile(const ProtectionManifest& manifest,
                          const std::string& path);
+/// \brief Reads and parses a manifest file (size-capped, see
+/// kMaxManifestBytes).
 Result<ProtectionManifest> ReadManifestFile(const std::string& path);
 
 }  // namespace privmark

@@ -16,6 +16,23 @@ size_t NormalizeCapacity(size_t capacity) {
 
 }  // namespace
 
+int64_t RetryAfterMsFromStatus(const Status& status) {
+  if (status.code() != StatusCode::kResourceExhausted) return -1;
+  static constexpr char kHint[] = "retry_after_ms=";
+  const size_t at = status.message().find(kHint);
+  if (at == std::string::npos) return -1;
+  int64_t value = 0;
+  bool any = false;
+  for (size_t i = at + sizeof(kHint) - 1; i < status.message().size(); ++i) {
+    const char c = status.message()[i];
+    if (c < '0' || c > '9') break;
+    if (value > (INT64_MAX - (c - '0')) / 10) return -1;
+    value = value * 10 + (c - '0');
+    any = true;
+  }
+  return any ? value : -1;
+}
+
 AdmissionController::AdmissionController(size_t capacity)
     : capacity_(NormalizeCapacity(capacity)) {}
 

@@ -38,6 +38,13 @@
 
 namespace privmark {
 
+/// \brief Extracts the `retry_after_ms=N` backpressure hint a shedding
+/// path (queue-depth or admission-waiter overload) embedded in a
+/// ResourceExhausted status's message. Returns -1 when the status
+/// carries no hint. The wire protocol surfaces this as a typed field so
+/// remote clients never parse message text.
+int64_t RetryAfterMsFromStatus(const Status& status);
+
 /// \brief FIFO, work-conserving thread-budget controller.
 class AdmissionController {
  public:

@@ -1,0 +1,124 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace privmark {
+
+namespace {
+
+Status SocketError(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+DaemonClient::DaemonClient(Schema schema)
+    : schema_(schema), decoder_(std::move(schema)) {}
+
+DaemonClient::~DaemonClient() { Disconnect(); }
+
+Status DaemonClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("client already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("'" + host +
+                                   "' is not a numeric IPv4 address");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SocketError("cannot create socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        SocketError("cannot connect to " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  // Handshake: send our magic, require the daemon to echo it.
+  char echo[kWireMagicSize];
+  if (!WriteFullySocket(fd, kWireMagic, kWireMagicSize) ||
+      !ReadFullySocket(fd, echo, sizeof(echo)) ||
+      std::memcmp(echo, kWireMagic, kWireMagicSize) != 0) {
+    ::close(fd);
+    return Status::IOError("daemon handshake failed: magic mismatch or "
+                           "connection lost");
+  }
+  fd_ = fd;
+  // A reconnect starts a fresh dictionary epoch on both ends.
+  encoder_ = WireTableEncoder();
+  decoder_ = WireTableDecoder(schema_);
+  return Status::OK();
+}
+
+Result<WireResponse> DaemonClient::Call(const WireRequest& request) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  const std::string payload = EncodeWireRequest(request, &encoder_);
+  Result<std::string> frame = EncodeWireFrame(request.type, payload);
+  if (!frame.ok()) return frame.status();
+  if (!WriteFullySocket(fd_, frame->data(), frame->size())) {
+    Disconnect();
+    return SocketError("cannot send " +
+                       std::string(WireFrameTypeToString(request.type)) +
+                       " request");
+  }
+  char header[kWireFrameHeaderBytes];
+  if (!ReadFullySocket(fd_, header, sizeof(header))) {
+    Disconnect();
+    return Status::IOError(
+        "connection lost waiting for the daemon's response (the daemon "
+        "closes the connection on a protocol error)");
+  }
+  Result<size_t> body_length = WireFrameBodyLength(header);
+  if (!body_length.ok()) {
+    Disconnect();
+    return body_length.status();
+  }
+  std::string body(*body_length, '\0');
+  if (!ReadFullySocket(fd_, body.data(), body.size())) {
+    Disconnect();
+    return Status::IOError("connection lost mid-response");
+  }
+  Result<WireFrame> decoded =
+      DecodeWireFrameBody(header, body.data(), body.size());
+  if (!decoded.ok()) {
+    Disconnect();
+    return decoded.status();
+  }
+  if (decoded->type != WireFrameType::kResponse) {
+    Disconnect();
+    return Status::InvalidArgument(
+        std::string("daemon sent a ") +
+        WireFrameTypeToString(decoded->type) + " frame where a response "
+        "was expected");
+  }
+  Result<WireResponse> response =
+      DecodeWireResponse(decoded->payload, &decoder_);
+  if (!response.ok()) {
+    Disconnect();
+    return response.status();
+  }
+  if (response->kind != request.type) {
+    Disconnect();
+    return Status::InvalidArgument(
+        std::string("daemon answered a ") +
+        WireFrameTypeToString(request.type) + " request with a " +
+        WireFrameTypeToString(response->kind) + " response");
+  }
+  return response;
+}
+
+void DaemonClient::Disconnect() {
+  if (fd_ < 0) return;
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace privmark

@@ -1,0 +1,62 @@
+// Client side of the wire protocol: a synchronous connection to a
+// privmark daemon. One outstanding request at a time (send a request
+// frame, block for the response frame) — the strict ordering is what
+// keeps the connection's table-codec dictionaries in sync with the
+// daemon's. Concurrency across streams comes from opening one client
+// per stream, exactly as the daemon runs one thread per connection.
+//
+// Any transport or framing error poisons the connection (the codec
+// state is unknowable afterwards); the client reports IOError /
+// InvalidArgument and refuses further calls until reconnected.
+// Service-level failures (unknown session, shed load, deadline) are NOT
+// connection errors: Call succeeds and the returned WireResponse
+// carries the non-OK status — plus retry_after_ms when the daemon shed
+// the request.
+
+#ifndef PRIVMARK_SERVICE_CLIENT_H_
+#define PRIVMARK_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "relation/schema.h"
+#include "service/wire.h"
+
+namespace privmark {
+
+/// \brief A synchronous daemon connection, schema-typed like the daemon
+/// it talks to.
+class DaemonClient {
+ public:
+  explicit DaemonClient(Schema schema);
+  /// Disconnects if still connected.
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  /// \brief Connects to `host`:`port` (numeric IPv4, e.g. "127.0.0.1")
+  /// and runs the magic handshake.
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// \brief Sends one request and blocks for its response. The
+  /// response's kind must echo the request's type. On any transport or
+  /// framing error the connection is closed before returning.
+  Result<WireResponse> Call(const WireRequest& request);
+
+  /// \brief Closes the socket. Idempotent.
+  void Disconnect();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Schema schema_;
+  int fd_ = -1;
+  WireTableEncoder encoder_;
+  WireTableDecoder decoder_;
+};
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_SERVICE_CLIENT_H_

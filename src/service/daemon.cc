@@ -1,0 +1,328 @@
+#include "service/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/manifest.h"
+#include "watermark/key_registry.h"
+
+namespace privmark {
+
+namespace {
+
+Status SocketError(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+RequestKind RequestKindForFrame(WireFrameType type) {
+  switch (type) {
+    case WireFrameType::kIngest: return RequestKind::kProtectBatch;
+    case WireFrameType::kFlush: return RequestKind::kFlush;
+    case WireFrameType::kDetect: return RequestKind::kDetect;
+    case WireFrameType::kFingerprint: return RequestKind::kDetectFingerprint;
+    default: return RequestKind::kCloseSession;
+  }
+}
+
+}  // namespace
+
+PrivmarkDaemon::PrivmarkDaemon(DaemonConfig config)
+    : config_(std::move(config)), service_(config_.service) {}
+
+PrivmarkDaemon::~PrivmarkDaemon() { (void)Shutdown(-1); }
+
+Status PrivmarkDaemon::Start(uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return Status::InvalidArgument("daemon already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SocketError("cannot create listen socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = SocketError("cannot bind 127.0.0.1:" +
+                                  std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status st = SocketError("cannot listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    const Status st = SocketError("cannot read bound port");
+    ::close(fd);
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void PrivmarkDaemon::AcceptLoop() {
+  // Capture the fd once: Shutdown() writes listen_fd_ = -1 after
+  // shutting the socket down (which is what actually fails the blocking
+  // accept), so re-reading the member here would race that store.
+  const int listen_fd = listen_fd_;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Shutdown) or fatal accept error
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ::close(fd);
+      return;
+    }
+    ++accepted_;
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void PrivmarkDaemon::ServeConnection(int fd) {
+  // Handshake: expect the client's magic, echo it back. Mismatch =
+  // wrong protocol or version; hang up without guessing.
+  char magic[kWireMagicSize];
+  if (!ReadFullySocket(fd, magic, sizeof(magic)) ||
+      std::memcmp(magic, kWireMagic, kWireMagicSize) != 0 ||
+      !WriteFullySocket(fd, kWireMagic, kWireMagicSize)) {
+    ::shutdown(fd, SHUT_RDWR);
+    return;
+  }
+
+  // Per-connection codec state; see wire.h on dictionary scoping.
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(config_.schema);
+
+  for (;;) {
+    char header[kWireFrameHeaderBytes];
+    if (!ReadFullySocket(fd, header, sizeof(header))) break;
+    Result<size_t> body_length = WireFrameBodyLength(header);
+    if (!body_length.ok()) break;  // oversized length: protocol error
+    std::string body(*body_length, '\0');
+    if (!ReadFullySocket(fd, body.data(), body.size())) break;
+    Result<WireFrame> frame = DecodeWireFrameBody(header, body.data(),
+                                                  body.size());
+    if (!frame.ok() || frame->type == WireFrameType::kResponse) break;
+    Result<WireRequest> request =
+        DecodeWireRequest(frame->type, frame->payload, &decoder);
+    if (!request.ok()) break;  // codec state unknowable: hang up
+
+    const WireResponse response = Execute(*request);
+    const std::string payload = EncodeWireResponse(response, &encoder);
+    Result<std::string> out = EncodeWireFrame(WireFrameType::kResponse,
+                                              payload);
+    if (!out.ok() || !WriteFullySocket(fd, out->data(), out->size())) break;
+  }
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+WireResponse PrivmarkDaemon::ExecuteOpen(const WireRequest& request) {
+  WireResponse response;
+  response.kind = WireFrameType::kOpen;
+  const WireOpenRequest& open = request.open;
+
+  auto context = std::make_shared<SessionContext>();
+  FrameworkConfig& config = context->config;
+  config.binning.k = static_cast<size_t>(open.k);
+  config.binning.enforce_joint = open.enforce_joint;
+  config.binning.encryption_passphrase = open.passphrase;
+  config.binning.num_threads = static_cast<size_t>(open.num_threads);
+  config.binning.mono.on_unbinnable = open.on_unbinnable == 1
+                                          ? UnbinnablePolicy::kSuppress
+                                          : UnbinnablePolicy::kError;
+  config.watermark.num_threads = config.binning.num_threads;
+  config.key = WatermarkKey{open.k1, open.k2, open.eta};
+  config.key_id = open.key_id;
+  config.auto_epsilon = open.auto_epsilon;
+
+  if (!config_.metrics_for_config) {
+    response.status =
+        Status::InvalidArgument("daemon has no metrics factory configured");
+    return response;
+  }
+  Result<UsageMetrics> metrics = config_.metrics_for_config(config);
+  if (!metrics.ok()) {
+    response.status = metrics.status();
+    return response;
+  }
+  context->metrics = *metrics;
+
+  SessionConfig session_config;
+  session_config.policy = open.policy == 1 ? RebinPolicy::kRebinOnDrift
+                                           : RebinPolicy::kFreezeBins;
+  session_config.drift_threshold = open.drift_threshold;
+
+  SessionRecovery recovery;
+  response.status = service_.OpenSession(request.session, context->metrics,
+                                         config, session_config, &recovery);
+  if (!response.status.ok()) return response;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_[request.session] = std::move(context);
+  }
+  response.open.recovered = recovery.recovered;
+  response.open.batches_applied = recovery.batches_applied;
+  response.open.epochs_sealed = recovery.epochs_sealed;
+  response.open.tail_truncated = recovery.tail_truncated;
+  response.open.emitted = std::move(recovery.emitted);
+  return response;
+}
+
+WireResponse PrivmarkDaemon::Execute(const WireRequest& request) {
+  if (request.type == WireFrameType::kOpen) return ExecuteOpen(request);
+
+  WireResponse response;
+  response.kind = request.type;
+
+  ServiceRequest service_request;
+  service_request.kind = RequestKindForFrame(request.type);
+  service_request.session = request.session;
+  service_request.table = request.table;
+  service_request.num_threads = static_cast<size_t>(request.ask);
+  service_request.deadline_ms = request.deadline_ms;
+  if (request.type == WireFrameType::kFingerprint) {
+    Result<KeyRegistry> registry = KeyRegistry::Parse(request.registry_text);
+    if (!registry.ok()) {
+      response.status = registry.status();
+      return response;
+    }
+    service_request.registry =
+        std::make_shared<const KeyRegistry>(*std::move(registry));
+  }
+
+  Result<ServiceResponse> result =
+      service_.Submit(std::move(service_request)).get();
+  if (!result.ok()) {
+    response.status = result.status();
+    response.retry_after_ms = RetryAfterMsFromStatus(response.status);
+    return response;
+  }
+  ServiceResponse& executed = *result;
+  response.journal_status = executed.journal_status;
+  response.threads_granted = executed.threads_granted;
+
+  switch (request.type) {
+    case WireFrameType::kIngest:
+      response.ingest.epoch = executed.ingest.epoch;
+      response.ingest.flushed = executed.ingest.flushed;
+      response.ingest.rows_emitted = executed.ingest.rows_emitted;
+      response.ingest.rows_suppressed = executed.ingest.rows_suppressed;
+      response.ingest.rows_buffered = executed.ingest.rows_buffered;
+      response.ingest.emitted = std::move(executed.ingest.emitted);
+      break;
+    case WireFrameType::kFlush:
+      response.flush.epoch = executed.epoch.epoch;
+      response.flush.identifier_statistic =
+          executed.epoch.outcome.identifier_statistic;
+      response.flush.emitted = std::move(executed.epoch.outcome.watermarked);
+      break;
+    case WireFrameType::kDetect:
+      response.reports = std::move(executed.reports);
+      break;
+    case WireFrameType::kFingerprint:
+      response.fingerprints = std::move(executed.fingerprints);
+      break;
+    case WireFrameType::kClose: {
+      std::shared_ptr<SessionContext> context;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = sessions_.find(request.session);
+        if (it != sessions_.end()) {
+          context = it->second;
+          sessions_.erase(it);
+        }
+      }
+      if (context == nullptr) {
+        // The service closed a session this daemon never opened — only
+        // possible if open raced shutdown; without its config the
+        // manifests cannot be rebuilt.
+        response.status = Status::InvalidArgument(
+            "daemon lost the session context for '" + request.session + "'");
+        return response;
+      }
+      response.close.rows_ingested = executed.stats.rows_ingested;
+      response.close.rows_emitted = executed.stats.rows_emitted;
+      response.close.rows_suppressed = executed.stats.rows_suppressed;
+      for (const EpochRecord& epoch : executed.stats.epochs) {
+        WireEpochSummary summary;
+        summary.epoch = epoch.epoch;
+        summary.rows_emitted = epoch.rows_emitted;
+        summary.rows_suppressed = epoch.rows_suppressed;
+        summary.wmd_size = epoch.wmd_size;
+        summary.identifier_statistic = epoch.identifier_statistic;
+        // Serialize server-side: EpochRecord holds tree-pointer state
+        // that cannot cross the wire, but its manifest text can — and
+        // SerializeManifest is deterministic, so the client's file is
+        // byte-identical to a local run's.
+        Result<ProtectionManifest> manifest = ManifestFromEpoch(
+            epoch, config_.schema, context->metrics, context->config);
+        if (!manifest.ok()) {
+          response.status = manifest.status();
+          return response;
+        }
+        summary.manifest_text = SerializeManifest(*manifest);
+        response.close.epochs.push_back(std::move(summary));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return response;
+}
+
+Status PrivmarkDaemon::Shutdown(int64_t deadline_ms) {
+  std::vector<std::unique_ptr<Connection>> connections;
+  std::thread accept_thread;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return Status::OK();
+    shutdown_ = true;
+    connections.swap(connections_);
+    accept_thread = std::move(accept_thread_);
+  }
+  // Closing the listener fails the blocking accept; live connections
+  // get their sockets shut down so mid-read threads unblock.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& connection : connections) {
+    ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  if (accept_thread.joinable()) accept_thread.join();
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+    ::close(connection->fd);
+  }
+  return service_.Shutdown(deadline_ms);
+}
+
+size_t PrivmarkDaemon::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepted_;
+}
+
+}  // namespace privmark

@@ -1,0 +1,127 @@
+// Network daemon: the socket front-end over PrivmarkService, speaking
+// the wire protocol of service/wire.h so remote hospital streams reach
+// the service without linking it in-process.
+//
+// Execution model: one accept-loop thread, one thread per connection
+// (no event loop, no new dependencies). Each connection is handled
+// strictly synchronously — read a request frame, execute it against the
+// service, write the response — because same-session requests serialize
+// inside the service anyway; concurrency across hospitals comes from
+// many connections, each its own strand of the shared service. That
+// also keeps the per-connection table-codec dictionaries trivially in
+// sync: frames on one connection are totally ordered.
+//
+// Protocol errors (bad magic, malformed frame, undecodable payload) are
+// fatal to the offending connection only: the codec's dictionary state
+// is unknowable after a framing error, so the daemon closes that socket
+// and keeps serving everyone else. Service-level errors (unknown
+// session, shed load, deadline) travel back as normal responses with a
+// non-OK status — and, for ResourceExhausted, the typed retry_after_ms
+// backpressure hint.
+//
+// Shutdown(deadline_ms) closes the listener, shuts down live
+// connections' sockets, joins every connection thread, then drains the
+// service with the same deadline semantics as
+// PrivmarkService::Shutdown(deadline_ms).
+
+#ifndef PRIVMARK_SERVICE_DAEMON_H_
+#define PRIVMARK_SERVICE_DAEMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "metrics/usage_metrics.h"
+#include "relation/schema.h"
+#include "service/service.h"
+#include "service/wire.h"
+
+namespace privmark {
+
+/// \brief Daemon configuration. The daemon is schema-typed: every
+/// stream it serves uses `schema`, and `metrics_for_config` builds the
+/// usage metrics for each opened stream's FrameworkConfig (the trees it
+/// references must outlive the daemon). The factory keeps the service
+/// layer free of any dataset dependency — the CLI and tests inject the
+/// medical ontologies.
+struct DaemonConfig {
+  ServiceConfig service;
+  Schema schema;
+  std::function<Result<UsageMetrics>(const FrameworkConfig&)>
+      metrics_for_config;
+};
+
+/// \brief TCP daemon on 127.0.0.1 (loopback only until TLS lands; see
+/// ROADMAP).
+class PrivmarkDaemon {
+ public:
+  explicit PrivmarkDaemon(DaemonConfig config);
+  /// Shuts down (unbounded drain) if still running.
+  ~PrivmarkDaemon();
+
+  PrivmarkDaemon(const PrivmarkDaemon&) = delete;
+  PrivmarkDaemon& operator=(const PrivmarkDaemon&) = delete;
+
+  /// \brief Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and
+  /// starts the accept loop.
+  Status Start(uint16_t port);
+
+  /// \brief The bound port (after Start).
+  uint16_t port() const { return port_; }
+
+  /// \brief Stops accepting, disconnects live connections, joins their
+  /// threads, then drains the service. deadline_ms < 0 waits forever;
+  /// otherwise still-queued requests past the deadline fail
+  /// DeadlineExceeded (PrivmarkService::Shutdown(deadline_ms)).
+  /// Idempotent.
+  Status Shutdown(int64_t deadline_ms = -1);
+
+  /// \brief Connections accepted so far (diagnostic).
+  size_t connections_accepted() const;
+
+  PrivmarkService& service() { return service_; }
+
+ private:
+  // Everything the daemon must remember about an open stream to answer
+  // its close (per-epoch manifests are built server-side).
+  struct SessionContext {
+    FrameworkConfig config;
+    UsageMetrics metrics;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  // Executes one decoded request; the returned response is ready to
+  // encode. Never fails — errors travel inside the response's status.
+  WireResponse Execute(const WireRequest& request);
+  WireResponse ExecuteOpen(const WireRequest& request);
+
+  const DaemonConfig config_;
+  PrivmarkService service_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;  // guarded by mu_
+  std::map<std::string, std::shared_ptr<SessionContext>>
+      sessions_;             // guarded by mu_
+  size_t accepted_ = 0;      // guarded by mu_
+  bool shutdown_ = false;    // guarded by mu_
+};
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_SERVICE_DAEMON_H_

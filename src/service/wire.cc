@@ -1,0 +1,740 @@
+#include "service/wire.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "core/journal.h"
+
+namespace privmark {
+
+namespace {
+
+// Length caps applied before any allocation during decode. The frame
+// length is already capped; these keep individual fields proportionate.
+constexpr size_t kMaxNameBytes = 4096;
+constexpr size_t kMaxTextBytes = size_t{1} << 20;
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("wire: truncated or oversized ") +
+                                 what);
+}
+
+void AppendStatus(std::string* out, const Status& status) {
+  AppendLe32(out, static_cast<uint32_t>(status.code()));
+  AppendLengthPrefixed(out, status.message());
+}
+
+// Out-param rather than Result<Status>: Result<T> cannot hold a Status
+// payload (its value and error constructors would collide).
+Status ReadStatus(BinReader* reader, const char* what, Status* out) {
+  uint32_t code = 0;
+  std::string message;
+  if (!reader->ReadU32(&code) ||
+      !reader->ReadLengthPrefixed(&message, kMaxTextBytes)) {
+    return Truncated(what);
+  }
+  if (code > static_cast<uint32_t>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument("wire: unknown status code " +
+                                   std::to_string(code));
+  }
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+void AppendBitVector(std::string* out, const BitVector& bits) {
+  AppendLengthPrefixed(out, bits.ToString());
+}
+
+Result<BitVector> ReadBitVector(BinReader* reader, const char* what) {
+  std::string text;
+  if (!reader->ReadLengthPrefixed(&text, kMaxTextBytes)) {
+    return Truncated(what);
+  }
+  return BitVector::FromString(text);
+}
+
+void AppendDetectReport(std::string* out, const DetectReport& report) {
+  AppendBitVector(out, report.recovered);
+  AppendLe64(out, report.tuples_selected);
+  AppendLe64(out, report.slots_read);
+  AppendLe64(out, report.slots_skipped);
+  AppendLe32(out, static_cast<uint32_t>(report.vote_margin.size()));
+  for (double margin : report.vote_margin) AppendDoubleBits(out, margin);
+  std::string voted;
+  voted.reserve(report.bit_voted.size());
+  for (bool b : report.bit_voted) voted.push_back(b ? '1' : '0');
+  AppendLengthPrefixed(out, voted);
+}
+
+Result<DetectReport> ReadDetectReport(BinReader* reader) {
+  DetectReport report;
+  PRIVMARK_ASSIGN_OR_RETURN(report.recovered,
+                            ReadBitVector(reader, "detect report"));
+  uint64_t tuples = 0;
+  uint64_t read = 0;
+  uint64_t skipped = 0;
+  uint32_t margins = 0;
+  if (!reader->ReadU64(&tuples) || !reader->ReadU64(&read) ||
+      !reader->ReadU64(&skipped) || !reader->ReadU32(&margins)) {
+    return Truncated("detect report");
+  }
+  report.tuples_selected = tuples;
+  report.slots_read = read;
+  report.slots_skipped = skipped;
+  if (reader->remaining() / 8 < margins) return Truncated("vote margins");
+  report.vote_margin.reserve(margins);
+  for (uint32_t i = 0; i < margins; ++i) {
+    double margin = 0;
+    if (!reader->ReadDoubleBits(&margin)) return Truncated("vote margins");
+    report.vote_margin.push_back(margin);
+  }
+  std::string voted;
+  if (!reader->ReadLengthPrefixed(&voted, kMaxTextBytes)) {
+    return Truncated("bit_voted");
+  }
+  report.bit_voted.reserve(voted.size());
+  for (char c : voted) {
+    if (c != '0' && c != '1') {
+      return Status::InvalidArgument("wire: bit_voted holds a non-bit byte");
+    }
+    report.bit_voted.push_back(c == '1');
+  }
+  return report;
+}
+
+void AppendFingerprintReport(std::string* out,
+                             const FingerprintReport& report) {
+  AppendLe32(out, static_cast<uint32_t>(report.verdicts.size()));
+  for (const KeyVerdict& verdict : report.verdicts) {
+    AppendLengthPrefixed(out, verdict.key_name);
+    AppendDetectReport(out, verdict.detection);
+    AppendDoubleBits(out, verdict.margin_ratio);
+    AppendDoubleBits(out, verdict.mark_match);
+    AppendDoubleBits(out, verdict.p_value);
+    AppendDoubleBits(out, verdict.score);
+    out->push_back(verdict.detected ? 1 : 0);
+  }
+  AppendLe32(out, static_cast<uint32_t>(report.ranking.size()));
+  for (size_t index : report.ranking) {
+    AppendLe32(out, static_cast<uint32_t>(index));
+  }
+  AppendLe64(out, report.keys_detected);
+  out->push_back(report.collusion ? 1 : 0);
+}
+
+Result<FingerprintReport> ReadFingerprintReport(BinReader* reader) {
+  FingerprintReport report;
+  uint32_t verdicts = 0;
+  if (!reader->ReadU32(&verdicts)) return Truncated("fingerprint report");
+  // Every verdict holds at least a name prefix and the fixed numerics.
+  if (reader->remaining() / 8 < verdicts) return Truncated("verdicts");
+  report.verdicts.reserve(verdicts);
+  for (uint32_t i = 0; i < verdicts; ++i) {
+    KeyVerdict verdict;
+    if (!reader->ReadLengthPrefixed(&verdict.key_name, kMaxNameBytes)) {
+      return Truncated("verdict key name");
+    }
+    PRIVMARK_ASSIGN_OR_RETURN(verdict.detection, ReadDetectReport(reader));
+    uint8_t detected = 0;
+    if (!reader->ReadDoubleBits(&verdict.margin_ratio) ||
+        !reader->ReadDoubleBits(&verdict.mark_match) ||
+        !reader->ReadDoubleBits(&verdict.p_value) ||
+        !reader->ReadDoubleBits(&verdict.score) ||
+        !reader->ReadU8(&detected)) {
+      return Truncated("verdict");
+    }
+    verdict.detected = detected != 0;
+    report.verdicts.push_back(std::move(verdict));
+  }
+  uint32_t ranked = 0;
+  if (!reader->ReadU32(&ranked)) return Truncated("ranking");
+  if (ranked != verdicts) {
+    return Status::InvalidArgument(
+        "wire: fingerprint ranking length differs from verdict count");
+  }
+  report.ranking.reserve(ranked);
+  for (uint32_t i = 0; i < ranked; ++i) {
+    uint32_t index = 0;
+    if (!reader->ReadU32(&index)) return Truncated("ranking");
+    if (index >= verdicts) {
+      return Status::InvalidArgument(
+          "wire: fingerprint ranking index out of range");
+    }
+    report.ranking.push_back(index);
+  }
+  uint64_t detected = 0;
+  uint8_t collusion = 0;
+  if (!reader->ReadU64(&detected) || !reader->ReadU8(&collusion)) {
+    return Truncated("fingerprint report");
+  }
+  report.keys_detected = detected;
+  report.collusion = collusion != 0;
+  return report;
+}
+
+void AppendEpochSummary(std::string* out, const WireEpochSummary& epoch) {
+  AppendLe64(out, epoch.epoch);
+  AppendLe64(out, epoch.rows_emitted);
+  AppendLe64(out, epoch.rows_suppressed);
+  AppendLe64(out, epoch.wmd_size);
+  AppendDoubleBits(out, epoch.identifier_statistic);
+  AppendLengthPrefixed(out, epoch.manifest_text);
+}
+
+Result<WireEpochSummary> ReadEpochSummary(BinReader* reader) {
+  WireEpochSummary epoch;
+  if (!reader->ReadU64(&epoch.epoch) ||
+      !reader->ReadU64(&epoch.rows_emitted) ||
+      !reader->ReadU64(&epoch.rows_suppressed) ||
+      !reader->ReadU64(&epoch.wmd_size) ||
+      !reader->ReadDoubleBits(&epoch.identifier_statistic) ||
+      !reader->ReadLengthPrefixed(&epoch.manifest_text, kMaxTextBytes)) {
+    return Truncated("epoch summary");
+  }
+  return epoch;
+}
+
+}  // namespace
+
+const char* WireFrameTypeToString(WireFrameType type) {
+  switch (type) {
+    case WireFrameType::kOpen: return "open";
+    case WireFrameType::kIngest: return "ingest";
+    case WireFrameType::kFlush: return "flush";
+    case WireFrameType::kDetect: return "detect";
+    case WireFrameType::kFingerprint: return "fingerprint";
+    case WireFrameType::kClose: return "close";
+    case WireFrameType::kResponse: return "response";
+  }
+  return "unknown";
+}
+
+Result<std::string> EncodeWireFrame(WireFrameType type,
+                                    const std::string& payload) {
+  if (payload.size() > kMaxWireFrameBytes) {
+    return Status::InvalidArgument("wire: frame payload of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes exceeds the frame size cap");
+  }
+  std::string crc_input;
+  crc_input.reserve(1 + payload.size());
+  crc_input.push_back(static_cast<char>(type));
+  crc_input.append(payload);
+
+  std::string frame;
+  frame.reserve(kWireFrameHeaderBytes + crc_input.size());
+  AppendLe32(&frame, static_cast<uint32_t>(payload.size()));
+  AppendLe32(&frame, JournalCrc32(crc_input.data(), crc_input.size()));
+  frame.append(crc_input);
+  return frame;
+}
+
+Result<size_t> WireFrameBodyLength(const char* header) {
+  const uint32_t length = ReadLe32(header);
+  if (length > kMaxWireFrameBytes) {
+    return Status::InvalidArgument("wire: frame length " +
+                                   std::to_string(length) +
+                                   " exceeds the frame size cap");
+  }
+  return static_cast<size_t>(length) + 1;  // + the type byte
+}
+
+Result<WireFrame> DecodeWireFrameBody(const char* header, const char* body,
+                                      size_t body_length) {
+  if (body_length == 0) {
+    return Status::InvalidArgument("wire: empty frame body");
+  }
+  const uint32_t expected_crc = ReadLe32(header + 4);
+  if (JournalCrc32(body, body_length) != expected_crc) {
+    return Status::InvalidArgument("wire: frame checksum mismatch");
+  }
+  const uint8_t type = static_cast<uint8_t>(*body);
+  if (type < static_cast<uint8_t>(WireFrameType::kOpen) ||
+      type > static_cast<uint8_t>(WireFrameType::kResponse)) {
+    return Status::InvalidArgument("wire: unknown frame type " +
+                                   std::to_string(type));
+  }
+  WireFrame frame;
+  frame.type = static_cast<WireFrameType>(type);
+  frame.payload.assign(body + 1, body_length - 1);
+  return frame;
+}
+
+// ---- columnar table codec ------------------------------------------------
+
+void WireTableEncoder::Encode(const Table& batch, std::string* out) {
+  const size_t rows = batch.num_rows();
+  const size_t cols = batch.num_columns();
+  AppendLe32(out, static_cast<uint32_t>(rows));
+  AppendLe32(out, static_cast<uint32_t>(cols));
+  for (size_t c = 0; c < cols; ++c) {
+    bool all_int = rows > 0;
+    bool all_double = rows > 0;
+    bool all_string = rows > 0;
+    for (size_t r = 0; r < rows; ++r) {
+      const ValueType type = batch.at(r, c).type();
+      all_int = all_int && type == ValueType::kInt64;
+      all_double = all_double && type == ValueType::kDouble;
+      all_string = all_string && type == ValueType::kString;
+    }
+    if (all_int) {
+      out->push_back(static_cast<char>(WireColumnEncoding::kInt64Dense));
+      for (size_t r = 0; r < rows; ++r) {
+        AppendLe64(out, static_cast<uint64_t>(batch.at(r, c).AsInt64()));
+      }
+    } else if (all_double) {
+      out->push_back(static_cast<char>(WireColumnEncoding::kDoubleDense));
+      for (size_t r = 0; r < rows; ++r) {
+        AppendDoubleBits(out, batch.at(r, c).AsDouble());
+      }
+    } else if (all_string) {
+      out->push_back(static_cast<char>(WireColumnEncoding::kStringDict));
+      auto& dict = dicts_[c];
+      // First pass: collect entries this batch introduces, in
+      // first-occurrence order, so the decoder can append them to its
+      // dictionary and land on identical ids.
+      std::vector<const std::string*> fresh;
+      for (size_t r = 0; r < rows; ++r) {
+        const std::string& s = batch.at(r, c).AsString();
+        if (dict.emplace(s, static_cast<uint32_t>(dict.size())).second) {
+          fresh.push_back(&dict.find(s)->first);
+        }
+      }
+      AppendLe32(out, static_cast<uint32_t>(fresh.size()));
+      for (const std::string* s : fresh) AppendLengthPrefixed(out, *s);
+      for (size_t r = 0; r < rows; ++r) {
+        AppendLe32(out, dict.find(batch.at(r, c).AsString())->second);
+      }
+    } else {
+      // Mixed or Null-bearing column: per-cell tags (the journal codec).
+      out->push_back(static_cast<char>(WireColumnEncoding::kCells));
+      for (size_t r = 0; r < rows; ++r) {
+        const Value& cell = batch.at(r, c);
+        out->push_back(static_cast<char>(cell.type()));
+        switch (cell.type()) {
+          case ValueType::kNull:
+            break;
+          case ValueType::kInt64:
+            AppendLe64(out, static_cast<uint64_t>(cell.AsInt64()));
+            break;
+          case ValueType::kDouble:
+            AppendDoubleBits(out, cell.AsDouble());
+            break;
+          case ValueType::kString:
+            AppendLengthPrefixed(out, cell.AsString());
+            break;
+        }
+      }
+    }
+  }
+}
+
+Result<Table> WireTableDecoder::Decode(BinReader* reader) {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  if (!reader->ReadU32(&rows) || !reader->ReadU32(&cols)) {
+    return Truncated("table block");
+  }
+  // A default-constructed Table (a fresh session's "nothing emitted
+  // yet") encodes as 0x0; decode it as an empty table of the schema.
+  if (rows == 0 && cols == 0) return Table(schema_);
+  if (cols != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "wire: table block has " + std::to_string(cols) +
+        " columns, schema has " + std::to_string(schema_.num_columns()));
+  }
+  std::vector<std::vector<Value>> columns(cols);
+  for (uint32_t c = 0; c < cols; ++c) {
+    uint8_t encoding = 0;
+    if (!reader->ReadU8(&encoding)) return Truncated("table column");
+    columns[c].reserve(rows);
+    if (encoding == static_cast<uint8_t>(WireColumnEncoding::kInt64Dense)) {
+      if (reader->remaining() / 8 < rows) return Truncated("int64 column");
+      for (uint32_t r = 0; r < rows; ++r) {
+        uint64_t bits = 0;
+        reader->ReadU64(&bits);
+        columns[c].push_back(Value::Int64(static_cast<int64_t>(bits)));
+      }
+    } else if (encoding ==
+               static_cast<uint8_t>(WireColumnEncoding::kDoubleDense)) {
+      if (reader->remaining() / 8 < rows) return Truncated("double column");
+      for (uint32_t r = 0; r < rows; ++r) {
+        double v = 0;
+        reader->ReadDoubleBits(&v);
+        columns[c].push_back(Value::Double(v));
+      }
+    } else if (encoding ==
+               static_cast<uint8_t>(WireColumnEncoding::kStringDict)) {
+      auto& dict = dicts_[c];
+      uint32_t fresh = 0;
+      if (!reader->ReadU32(&fresh)) return Truncated("string dictionary");
+      // Each fresh entry costs at least its 4-byte length prefix.
+      if (reader->remaining() / 4 < fresh) {
+        return Truncated("string dictionary");
+      }
+      for (uint32_t i = 0; i < fresh; ++i) {
+        std::string entry;
+        if (!reader->ReadLengthPrefixed(&entry, kMaxWireFrameBytes)) {
+          return Truncated("string dictionary entry");
+        }
+        dict.push_back(std::move(entry));
+      }
+      if (reader->remaining() / 4 < rows) return Truncated("string ids");
+      for (uint32_t r = 0; r < rows; ++r) {
+        uint32_t id = 0;
+        reader->ReadU32(&id);
+        if (id >= dict.size()) {
+          return Status::InvalidArgument(
+              "wire: string dictionary id " + std::to_string(id) +
+              " out of range (dictionary holds " +
+              std::to_string(dict.size()) + ")");
+        }
+        columns[c].push_back(Value::String(dict[id]));
+      }
+    } else if (encoding == static_cast<uint8_t>(WireColumnEncoding::kCells)) {
+      for (uint32_t r = 0; r < rows; ++r) {
+        uint8_t tag = 0;
+        if (!reader->ReadU8(&tag)) return Truncated("cell column");
+        if (tag == static_cast<uint8_t>(ValueType::kNull)) {
+          columns[c].push_back(Value::Null());
+        } else if (tag == static_cast<uint8_t>(ValueType::kInt64)) {
+          uint64_t bits = 0;
+          if (!reader->ReadU64(&bits)) return Truncated("cell column");
+          columns[c].push_back(Value::Int64(static_cast<int64_t>(bits)));
+        } else if (tag == static_cast<uint8_t>(ValueType::kDouble)) {
+          double v = 0;
+          if (!reader->ReadDoubleBits(&v)) return Truncated("cell column");
+          columns[c].push_back(Value::Double(v));
+        } else if (tag == static_cast<uint8_t>(ValueType::kString)) {
+          std::string s;
+          if (!reader->ReadLengthPrefixed(&s, kMaxWireFrameBytes)) {
+            return Truncated("cell column");
+          }
+          columns[c].push_back(Value::String(std::move(s)));
+        } else {
+          return Status::InvalidArgument(
+              "wire: table cell has unknown tag " + std::to_string(tag));
+        }
+      }
+    } else {
+      return Status::InvalidArgument(
+          "wire: unknown column encoding " + std::to_string(encoding));
+    }
+  }
+  Table table(schema_);
+  for (uint32_t r = 0; r < rows; ++r) {
+    Row row;
+    row.reserve(cols);
+    for (uint32_t c = 0; c < cols; ++c) {
+      row.push_back(std::move(columns[c][r]));
+    }
+    PRIVMARK_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+// ---- requests ------------------------------------------------------------
+
+std::string EncodeWireRequest(const WireRequest& request,
+                              WireTableEncoder* tables) {
+  std::string out;
+  AppendLengthPrefixed(&out, request.session);
+  if (request.type == WireFrameType::kOpen) {
+    const WireOpenRequest& open = request.open;
+    AppendLe64(&out, open.k);
+    out.push_back(open.enforce_joint ? 1 : 0);
+    out.push_back(open.auto_epsilon ? 1 : 0);
+    AppendLe64(&out, open.num_threads);
+    AppendLengthPrefixed(&out, open.passphrase);
+    AppendLengthPrefixed(&out, open.k1);
+    AppendLengthPrefixed(&out, open.k2);
+    AppendLe64(&out, open.eta);
+    AppendLengthPrefixed(&out, open.key_id);
+    out.push_back(static_cast<char>(open.on_unbinnable));
+    out.push_back(static_cast<char>(open.policy));
+    AppendDoubleBits(&out, open.drift_threshold);
+    return out;
+  }
+  if (request.type == WireFrameType::kClose) return out;
+  AppendLe64(&out, request.ask);
+  AppendLe64(&out, static_cast<uint64_t>(request.deadline_ms));
+  if (request.type == WireFrameType::kFingerprint) {
+    AppendLengthPrefixed(&out, request.registry_text);
+  }
+  if (request.type == WireFrameType::kFlush) return out;
+  tables->Encode(request.table, &out);
+  return out;
+}
+
+Result<WireRequest> DecodeWireRequest(WireFrameType type,
+                                      const std::string& payload,
+                                      WireTableDecoder* tables) {
+  if (type == WireFrameType::kResponse) {
+    return Status::InvalidArgument(
+        "wire: a response frame is not a request");
+  }
+  WireRequest request;
+  request.type = type;
+  BinReader reader(payload);
+  if (!reader.ReadLengthPrefixed(&request.session, kMaxNameBytes)) {
+    return Truncated("session name");
+  }
+  if (type == WireFrameType::kOpen) {
+    WireOpenRequest& open = request.open;
+    open.session = request.session;
+    uint8_t joint = 0;
+    uint8_t auto_eps = 0;
+    if (!reader.ReadU64(&open.k) || !reader.ReadU8(&joint) ||
+        !reader.ReadU8(&auto_eps) || !reader.ReadU64(&open.num_threads) ||
+        !reader.ReadLengthPrefixed(&open.passphrase, kMaxNameBytes) ||
+        !reader.ReadLengthPrefixed(&open.k1, kMaxNameBytes) ||
+        !reader.ReadLengthPrefixed(&open.k2, kMaxNameBytes) ||
+        !reader.ReadU64(&open.eta) ||
+        !reader.ReadLengthPrefixed(&open.key_id, kMaxNameBytes) ||
+        !reader.ReadU8(&open.on_unbinnable) || !reader.ReadU8(&open.policy) ||
+        !reader.ReadDoubleBits(&open.drift_threshold)) {
+      return Truncated("open request");
+    }
+    open.enforce_joint = joint != 0;
+    open.auto_epsilon = auto_eps != 0;
+    if (open.on_unbinnable > 1) {
+      return Status::InvalidArgument("wire: unknown unbinnable policy " +
+                                     std::to_string(open.on_unbinnable));
+    }
+    if (open.policy > 1) {
+      return Status::InvalidArgument("wire: unknown rebin policy " +
+                                     std::to_string(open.policy));
+    }
+  } else if (type != WireFrameType::kClose) {
+    uint64_t deadline_bits = 0;
+    if (!reader.ReadU64(&request.ask) || !reader.ReadU64(&deadline_bits)) {
+      return Truncated("request header");
+    }
+    request.deadline_ms = static_cast<int64_t>(deadline_bits);
+    if (type == WireFrameType::kFingerprint &&
+        !reader.ReadLengthPrefixed(&request.registry_text, kMaxTextBytes)) {
+      return Truncated("registry");
+    }
+    if (type != WireFrameType::kFlush) {
+      PRIVMARK_ASSIGN_OR_RETURN(request.table, tables->Decode(&reader));
+    }
+  }
+  if (!reader.Exhausted()) {
+    return Status::InvalidArgument("wire: request has trailing bytes");
+  }
+  return request;
+}
+
+// ---- responses -----------------------------------------------------------
+
+std::string EncodeWireResponse(const WireResponse& response,
+                               WireTableEncoder* tables) {
+  std::string out;
+  out.push_back(static_cast<char>(response.kind));
+  AppendStatus(&out, response.status);
+  AppendLe64(&out, static_cast<uint64_t>(response.retry_after_ms));
+  AppendStatus(&out, response.journal_status);
+  AppendLe64(&out, response.threads_granted);
+  if (!response.status.ok()) return out;
+  switch (response.kind) {
+    case WireFrameType::kOpen:
+      out.push_back(response.open.recovered ? 1 : 0);
+      AppendLe64(&out, response.open.batches_applied);
+      AppendLe64(&out, response.open.epochs_sealed);
+      out.push_back(response.open.tail_truncated ? 1 : 0);
+      tables->Encode(response.open.emitted, &out);
+      break;
+    case WireFrameType::kIngest:
+      AppendLe64(&out, response.ingest.epoch);
+      out.push_back(response.ingest.flushed ? 1 : 0);
+      AppendLe64(&out, response.ingest.rows_emitted);
+      AppendLe64(&out, response.ingest.rows_suppressed);
+      AppendLe64(&out, response.ingest.rows_buffered);
+      tables->Encode(response.ingest.emitted, &out);
+      break;
+    case WireFrameType::kFlush:
+      AppendLe64(&out, response.flush.epoch);
+      AppendDoubleBits(&out, response.flush.identifier_statistic);
+      tables->Encode(response.flush.emitted, &out);
+      break;
+    case WireFrameType::kDetect:
+      AppendLe32(&out, static_cast<uint32_t>(response.reports.size()));
+      for (const DetectReport& report : response.reports) {
+        AppendDetectReport(&out, report);
+      }
+      break;
+    case WireFrameType::kFingerprint:
+      AppendLe32(&out, static_cast<uint32_t>(response.fingerprints.size()));
+      for (const FingerprintReport& report : response.fingerprints) {
+        AppendFingerprintReport(&out, report);
+      }
+      break;
+    case WireFrameType::kClose:
+      AppendLe64(&out, response.close.rows_ingested);
+      AppendLe64(&out, response.close.rows_emitted);
+      AppendLe64(&out, response.close.rows_suppressed);
+      AppendLe32(&out, static_cast<uint32_t>(response.close.epochs.size()));
+      for (const WireEpochSummary& epoch : response.close.epochs) {
+        AppendEpochSummary(&out, epoch);
+      }
+      break;
+    case WireFrameType::kResponse:
+      break;  // unreachable: kind always echoes a request type
+  }
+  return out;
+}
+
+Result<WireResponse> DecodeWireResponse(const std::string& payload,
+                                        WireTableDecoder* tables) {
+  WireResponse response;
+  BinReader reader(payload);
+  uint8_t kind = 0;
+  if (!reader.ReadU8(&kind)) return Truncated("response");
+  if (kind < static_cast<uint8_t>(WireFrameType::kOpen) ||
+      kind > static_cast<uint8_t>(WireFrameType::kClose)) {
+    return Status::InvalidArgument("wire: response echoes unknown kind " +
+                                   std::to_string(kind));
+  }
+  response.kind = static_cast<WireFrameType>(kind);
+  PRIVMARK_RETURN_NOT_OK(
+      ReadStatus(&reader, "response status", &response.status));
+  uint64_t retry_bits = 0;
+  if (!reader.ReadU64(&retry_bits)) return Truncated("response");
+  response.retry_after_ms = static_cast<int64_t>(retry_bits);
+  PRIVMARK_RETURN_NOT_OK(
+      ReadStatus(&reader, "journal status", &response.journal_status));
+  if (!reader.ReadU64(&response.threads_granted)) return Truncated("response");
+  if (response.status.ok()) {
+    switch (response.kind) {
+      case WireFrameType::kOpen: {
+        uint8_t recovered = 0;
+        uint8_t torn = 0;
+        if (!reader.ReadU8(&recovered) ||
+            !reader.ReadU64(&response.open.batches_applied) ||
+            !reader.ReadU64(&response.open.epochs_sealed) ||
+            !reader.ReadU8(&torn)) {
+          return Truncated("open response");
+        }
+        response.open.recovered = recovered != 0;
+        response.open.tail_truncated = torn != 0;
+        PRIVMARK_ASSIGN_OR_RETURN(response.open.emitted,
+                                  tables->Decode(&reader));
+        break;
+      }
+      case WireFrameType::kIngest: {
+        uint8_t flushed = 0;
+        if (!reader.ReadU64(&response.ingest.epoch) ||
+            !reader.ReadU8(&flushed) ||
+            !reader.ReadU64(&response.ingest.rows_emitted) ||
+            !reader.ReadU64(&response.ingest.rows_suppressed) ||
+            !reader.ReadU64(&response.ingest.rows_buffered)) {
+          return Truncated("ingest response");
+        }
+        response.ingest.flushed = flushed != 0;
+        PRIVMARK_ASSIGN_OR_RETURN(response.ingest.emitted,
+                                  tables->Decode(&reader));
+        break;
+      }
+      case WireFrameType::kFlush: {
+        if (!reader.ReadU64(&response.flush.epoch) ||
+            !reader.ReadDoubleBits(&response.flush.identifier_statistic)) {
+          return Truncated("flush response");
+        }
+        PRIVMARK_ASSIGN_OR_RETURN(response.flush.emitted,
+                                  tables->Decode(&reader));
+        break;
+      }
+      case WireFrameType::kDetect: {
+        uint32_t reports = 0;
+        if (!reader.ReadU32(&reports)) return Truncated("detect response");
+        if (reader.remaining() / 4 < reports) {
+          return Truncated("detect response");
+        }
+        response.reports.reserve(reports);
+        for (uint32_t i = 0; i < reports; ++i) {
+          PRIVMARK_ASSIGN_OR_RETURN(DetectReport report,
+                                    ReadDetectReport(&reader));
+          response.reports.push_back(std::move(report));
+        }
+        break;
+      }
+      case WireFrameType::kFingerprint: {
+        uint32_t reports = 0;
+        if (!reader.ReadU32(&reports)) {
+          return Truncated("fingerprint response");
+        }
+        if (reader.remaining() / 4 < reports) {
+          return Truncated("fingerprint response");
+        }
+        response.fingerprints.reserve(reports);
+        for (uint32_t i = 0; i < reports; ++i) {
+          PRIVMARK_ASSIGN_OR_RETURN(FingerprintReport report,
+                                    ReadFingerprintReport(&reader));
+          response.fingerprints.push_back(std::move(report));
+        }
+        break;
+      }
+      case WireFrameType::kClose: {
+        uint32_t epochs = 0;
+        if (!reader.ReadU64(&response.close.rows_ingested) ||
+            !reader.ReadU64(&response.close.rows_emitted) ||
+            !reader.ReadU64(&response.close.rows_suppressed) ||
+            !reader.ReadU32(&epochs)) {
+          return Truncated("close response");
+        }
+        if (reader.remaining() / 8 < epochs) {
+          return Truncated("close response");
+        }
+        response.close.epochs.reserve(epochs);
+        for (uint32_t i = 0; i < epochs; ++i) {
+          PRIVMARK_ASSIGN_OR_RETURN(WireEpochSummary epoch,
+                                    ReadEpochSummary(&reader));
+          response.close.epochs.push_back(std::move(epoch));
+        }
+        break;
+      }
+      case WireFrameType::kResponse:
+        break;
+    }
+  }
+  if (!reader.Exhausted()) {
+    return Status::InvalidArgument("wire: response has trailing bytes");
+  }
+  return response;
+}
+
+// ---- socket I/O ----------------------------------------------------------
+
+bool ReadFullySocket(int fd, char* data, size_t size) {
+  if (PRIVMARK_FAILPOINT("wire.read")) return false;
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n == 0) return false;  // peer hung up mid-frame
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFullySocket(int fd, const char* data, size_t size) {
+  if (PRIVMARK_FAILPOINT("wire.write")) return false;
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace privmark

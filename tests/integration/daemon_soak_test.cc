@@ -1,0 +1,292 @@
+// Daemon soak: 100 concurrent client streams over real loopback
+// sockets, each driving its own session through open → ingest → flush →
+// detect → close, byte-compared against the same stream replayed
+// serially on a bare ProtectionSession. This is the service-equivalence
+// determinism claim extended across the wire: the columnar table codec,
+// the framing, and the daemon's thread-per-connection scheduling must
+// all be invisible in the bytes — emitted tables, per-epoch manifest
+// text, and detection vote margins (exact doubles) identical to the
+// in-process serial run.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/manifest.h"
+#include "core/session.h"
+#include "datagen/medical_data.h"
+#include "relation/csv.h"
+#include "service/client.h"
+#include "service/daemon.h"
+
+namespace privmark {
+namespace {
+
+constexpr size_t kStreams = 100;
+constexpr size_t kRows = 300;
+constexpr size_t kBatch = 150;
+
+struct Stream {
+  std::string name;
+  std::unique_ptr<MedicalDataset> dataset;
+  UsageMetrics metrics;
+  FrameworkConfig config;
+  SessionConfig session_config;
+
+  // Serial in-process reference.
+  std::string reference_csv;
+  std::vector<std::string> reference_manifests;
+  std::vector<std::vector<double>> reference_margins;
+
+  // What the daemon run produced, filled by the client thread.
+  std::string daemon_csv;
+  std::vector<std::string> daemon_manifests;
+  std::vector<std::vector<double>> daemon_margins;
+  std::string failure;  // non-empty = the stream's run broke
+};
+
+// Heterogeneous co-tenants: data, keys, and k vary per stream, and every
+// tenth stream runs the drift policy (multi-epoch output plus the
+// suppression fallback must also survive the wire).
+Stream MakeStream(size_t index) {
+  Stream stream;
+  stream.name = "hospital-" + std::to_string(index);
+  MedicalDataSpec spec;
+  spec.num_rows = kRows;
+  spec.seed = 40000 + index;
+  stream.dataset = std::make_unique<MedicalDataset>(
+      std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+  stream.metrics =
+      MetricsFromDepthCuts(stream.dataset->trees(), {2, 1, 2, 1, 1})
+          .ValueOrDie();
+  stream.config.binning.k = index % 3 == 0 ? 10 : 5;
+  stream.config.binning.enforce_joint = false;
+  // 150-row windows can leave maximal subtrees thinner than k, so every
+  // stream runs the paper's suppression fallback rather than erroring —
+  // the wire run must reproduce the suppressions byte for byte too.
+  stream.config.binning.mono.on_unbinnable = UnbinnablePolicy::kSuppress;
+  stream.config.binning.encryption_passphrase = stream.name + "-pass";
+  stream.config.binning.num_threads = 1;
+  stream.config.watermark.num_threads = 1;
+  stream.config.key = {stream.name + "-k1", stream.name + "-k2",
+                       /*eta=*/10};
+  if (index % 10 == 7) {
+    stream.session_config.policy = RebinPolicy::kRebinOnDrift;
+    // Above 1.0 so the second (final) batch stays buffered and the
+    // closing flush seals it as epoch 1 rather than re-binning mid-ingest
+    // and leaving the flush with nothing.
+    stream.session_config.drift_threshold = 1.5;
+  }
+  return stream;
+}
+
+bool IsDriftStream(const Stream& stream) {
+  return stream.session_config.policy == RebinPolicy::kRebinOnDrift;
+}
+
+// The scripted request sequence, identical for the serial replay and the
+// wire-driven run: every batch, then one final flush (drift streams also
+// flush epoch 0 after the first batch so later batches stream live).
+struct Request {
+  bool flush = false;
+  size_t begin = 0;
+};
+
+std::vector<Request> Script(const Stream& stream) {
+  std::vector<Request> script;
+  bool first = true;
+  for (size_t begin = 0; begin < kRows; begin += kBatch) {
+    script.push_back({false, begin});
+    if (first && IsDriftStream(stream)) script.push_back({true, 0});
+    first = false;
+  }
+  script.push_back({true, 0});
+  return script;
+}
+
+void BuildReference(Stream* stream) {
+  ProtectionSession session(stream->metrics, stream->config,
+                            stream->session_config);
+  Table concat(stream->dataset->table.schema());
+  auto append = [&concat](const Table& emitted) {
+    for (size_t r = 0; r < emitted.num_rows(); ++r) {
+      (void)concat.AppendRow(emitted.row(r));
+    }
+  };
+  for (const Request& request : Script(*stream)) {
+    if (request.flush) {
+      auto flushed = session.Flush();
+      ASSERT_TRUE(flushed.ok())
+          << stream->name << ": " << flushed.status().ToString();
+      append(flushed->outcome.watermarked);
+    } else {
+      auto ingested = session.Ingest(
+          stream->dataset->table.Slice(request.begin, request.begin + kBatch));
+      ASSERT_TRUE(ingested.ok())
+          << stream->name << ": " << ingested.status().ToString();
+      append(ingested->emitted);
+    }
+  }
+  stream->reference_csv = TableToCsv(concat);
+  for (const EpochRecord& epoch : session.epochs()) {
+    stream->reference_manifests.push_back(SerializeManifest(
+        std::move(ManifestFromEpoch(epoch, stream->dataset->table.schema(),
+                                    stream->metrics, stream->config))
+            .ValueOrDie()));
+  }
+  auto reports = session.DetectAcrossEpochs(concat);
+  ASSERT_TRUE(reports.ok()) << stream->name;
+  for (const DetectReport& report : *reports) {
+    stream->reference_margins.push_back(report.vote_margin);
+  }
+}
+
+// One stream's full wire-driven lifecycle; records results (gtest
+// assertions are not safe off the main thread, so failures are strings).
+void DriveStream(uint16_t port, Stream* stream) {
+  auto fail = [stream](const std::string& what, const Status& status) {
+    stream->failure = what + ": " + status.ToString();
+  };
+  DaemonClient client(MedicalSchema());
+  if (auto st = client.Connect("127.0.0.1", port); !st.ok()) {
+    return fail("connect", st);
+  }
+
+  WireRequest open;
+  open.type = WireFrameType::kOpen;
+  open.session = stream->name;
+  open.open.k = stream->config.binning.k;
+  open.open.enforce_joint = stream->config.binning.enforce_joint;
+  open.open.passphrase = stream->config.binning.encryption_passphrase;
+  open.open.k1 = stream->config.key.k1;
+  open.open.k2 = stream->config.key.k2;
+  open.open.eta = stream->config.key.eta;
+  open.open.on_unbinnable = 1;
+  if (IsDriftStream(*stream)) {
+    open.open.policy = 1;
+    open.open.drift_threshold = stream->session_config.drift_threshold;
+  }
+  auto opened = client.Call(open);
+  if (!opened.ok()) return fail("open transport", opened.status());
+  if (!opened->status.ok()) return fail("open", opened->status);
+
+  Table concat(stream->dataset->table.schema());
+  auto append = [&concat](const Table& emitted) {
+    for (size_t r = 0; r < emitted.num_rows(); ++r) {
+      (void)concat.AppendRow(emitted.row(r));
+    }
+  };
+  for (const Request& scripted : Script(*stream)) {
+    WireRequest request;
+    request.session = stream->name;
+    if (scripted.flush) {
+      request.type = WireFrameType::kFlush;
+    } else {
+      request.type = WireFrameType::kIngest;
+      request.table =
+          stream->dataset->table.Slice(scripted.begin, scripted.begin + kBatch);
+    }
+    auto response = client.Call(request);
+    if (!response.ok()) return fail("request transport", response.status());
+    if (!response->status.ok()) return fail("request", response->status);
+    append(scripted.flush ? response->flush.emitted
+                          : response->ingest.emitted);
+  }
+  stream->daemon_csv = TableToCsv(concat);
+
+  WireRequest detect;
+  detect.type = WireFrameType::kDetect;
+  detect.session = stream->name;
+  detect.table = concat.Clone();
+  auto detected = client.Call(detect);
+  if (!detected.ok()) return fail("detect transport", detected.status());
+  if (!detected->status.ok()) return fail("detect", detected->status);
+  for (const DetectReport& report : detected->reports) {
+    stream->daemon_margins.push_back(report.vote_margin);
+  }
+
+  WireRequest close;
+  close.type = WireFrameType::kClose;
+  close.session = stream->name;
+  auto closed = client.Call(close);
+  if (!closed.ok()) return fail("close transport", closed.status());
+  if (!closed->status.ok()) return fail("close", closed->status);
+  for (const WireEpochSummary& epoch : closed->close.epochs) {
+    stream->daemon_manifests.push_back(epoch.manifest_text);
+  }
+}
+
+TEST(DaemonSoakTest, HundredConcurrentStreamsMatchSerialReplay) {
+  std::vector<Stream> streams;
+  streams.reserve(kStreams);
+  for (size_t i = 0; i < kStreams; ++i) streams.push_back(MakeStream(i));
+  for (Stream& stream : streams) {
+    BuildReference(&stream);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  DaemonConfig config;
+  config.schema = MedicalSchema();
+  // Each stream's metrics come from its own dataset's trees, found by
+  // passphrase (unique per stream) — the daemon-side analogue of keying
+  // per-tenant metrics, and it guarantees the wire run bins against the
+  // very trees the serial reference used.
+  config.metrics_for_config =
+      [&streams](const FrameworkConfig& fc) -> Result<UsageMetrics> {
+    for (const Stream& stream : streams) {
+      if (stream.config.binning.encryption_passphrase ==
+          fc.binning.encryption_passphrase) {
+        return MetricsFromDepthCuts(stream.dataset->trees(),
+                                    {2, 1, 2, 1, 1});
+      }
+    }
+    return Status::InvalidArgument("no stream for this config");
+  };
+  PrivmarkDaemon daemon(std::move(config));
+  ASSERT_TRUE(daemon.Start(0).ok());
+
+  // 100 live connections, one client thread each, all in flight at once.
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(streams.size());
+    for (Stream& stream : streams) {
+      clients.emplace_back(DriveStream, daemon.port(), &stream);
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  EXPECT_EQ(daemon.connections_accepted(), kStreams);
+  EXPECT_TRUE(daemon.Shutdown().ok());
+
+  size_t multi_epoch_streams = 0;
+  for (const Stream& stream : streams) {
+    ASSERT_TRUE(stream.failure.empty())
+        << stream.name << ": " << stream.failure;
+    // Byte-identical emitted rows...
+    EXPECT_EQ(stream.daemon_csv, stream.reference_csv) << stream.name;
+    // ...byte-identical per-epoch manifests (serialized server-side;
+    // SerializeManifest is deterministic)...
+    ASSERT_EQ(stream.daemon_manifests.size(),
+              stream.reference_manifests.size())
+        << stream.name;
+    for (size_t e = 0; e < stream.daemon_manifests.size(); ++e) {
+      EXPECT_EQ(stream.daemon_manifests[e], stream.reference_manifests[e])
+          << stream.name << " epoch " << e;
+    }
+    // ...and exact detection vote margins, double for double.
+    ASSERT_EQ(stream.daemon_margins.size(), stream.reference_margins.size())
+        << stream.name;
+    for (size_t e = 0; e < stream.daemon_margins.size(); ++e) {
+      EXPECT_EQ(stream.daemon_margins[e], stream.reference_margins[e])
+          << stream.name << " epoch " << e;
+    }
+    if (stream.daemon_manifests.size() > 1) ++multi_epoch_streams;
+  }
+  // The drift streams must actually have exercised multi-epoch output.
+  EXPECT_GE(multi_epoch_streams, kStreams / 10);
+}
+
+}  // namespace
+}  // namespace privmark

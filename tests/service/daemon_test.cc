@@ -1,0 +1,405 @@
+// Daemon robustness suite: the network front-end against well-formed
+// clients, hostile peers (bad magic, oversized lengths, unknown tags,
+// CRC damage, mid-frame disconnects), injected socket faults, and
+// overload (typed retry_after_ms shedding over the wire). A protocol
+// error must be fatal to the offending connection only — the daemon
+// keeps serving everyone else.
+
+#include "service/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "datagen/medical_data.h"
+#include "relation/csv.h"
+#include "service/client.h"
+
+namespace privmark {
+namespace {
+
+constexpr size_t kRows = 1200;
+
+struct Env {
+  std::unique_ptr<MedicalDataset> dataset;
+  std::unique_ptr<PrivmarkDaemon> daemon;
+};
+
+// A daemon on an ephemeral loopback port, serving the medical schema
+// with the suite's ontologies.
+Env StartDaemon(ServiceConfig service_config = ServiceConfig()) {
+  Env env;
+  MedicalDataSpec spec;
+  spec.num_rows = kRows;
+  spec.seed = 515151;
+  env.dataset = std::make_unique<MedicalDataset>(
+      std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+  MedicalDataset* ontologies = env.dataset.get();
+  DaemonConfig config;
+  config.service = std::move(service_config);
+  config.schema = MedicalSchema();
+  config.metrics_for_config =
+      [ontologies](const FrameworkConfig& fc) -> Result<UsageMetrics> {
+    if (fc.binning.enforce_joint) {
+      return UnconstrainedMetrics(ontologies->trees());
+    }
+    return MetricsFromDepthCuts(ontologies->trees(), {2, 1, 2, 1, 1});
+  };
+  env.daemon = std::make_unique<PrivmarkDaemon>(std::move(config));
+  EXPECT_TRUE(env.daemon->Start(0).ok());
+  return env;
+}
+
+WireRequest OpenRequest(const std::string& session) {
+  WireRequest request;
+  request.type = WireFrameType::kOpen;
+  request.session = session;
+  request.open.k = 10;
+  request.open.passphrase = session + "-pass";
+  request.open.k1 = session + "-k1";
+  request.open.k2 = session + "-k2";
+  request.open.eta = 10;
+  return request;
+}
+
+// Raw loopback socket for hostile-peer tests; -1 on failure.
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Sends `bytes` verbatim, then waits for the daemon to hang up (recv
+// returning 0/-1 rather than more protocol bytes beyond `expect_back`).
+void ExpectDisconnectAfter(int fd, const std::string& bytes,
+                           size_t expect_back) {
+  ASSERT_TRUE(WriteFullySocket(fd, bytes.data(), bytes.size()));
+  std::string sink(expect_back + 1, '\0');
+  size_t got = 0;
+  while (got < sink.size()) {
+    const ssize_t n = ::recv(fd, sink.data() + got, sink.size() - got, 0);
+    if (n <= 0) break;  // daemon hung up — the expected outcome
+    got += static_cast<size_t>(n);
+  }
+  EXPECT_LE(got, expect_back) << "daemon kept talking past the expected "
+                                 "echo instead of hanging up";
+  ::close(fd);
+}
+
+// The daemon must still serve a well-formed client (proof that a
+// hostile connection did not take the process down with it).
+void ExpectStillServing(PrivmarkDaemon* daemon, const std::string& session) {
+  DaemonClient client(MedicalSchema());
+  ASSERT_TRUE(client.Connect("127.0.0.1", daemon->port()).ok());
+  auto open = client.Call(OpenRequest(session));
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  EXPECT_TRUE(open->status.ok()) << open->status.ToString();
+  WireRequest close;
+  close.type = WireFrameType::kClose;
+  close.session = session;
+  auto closed = client.Call(close);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->status.ok());
+}
+
+// ---- happy path -----------------------------------------------------------
+
+TEST(DaemonTest, FullLifecycleOverTheWire) {
+  Env env = StartDaemon();
+  DaemonClient client(MedicalSchema());
+  ASSERT_TRUE(client.Connect("127.0.0.1", env.daemon->port()).ok());
+
+  auto open = client.Call(OpenRequest("ward"));
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  ASSERT_TRUE(open->status.ok()) << open->status.ToString();
+  EXPECT_FALSE(open->open.recovered);
+
+  WireRequest ingest;
+  ingest.type = WireFrameType::kIngest;
+  ingest.session = "ward";
+  ingest.table = env.dataset->table.Clone();
+  auto ingested = client.Call(ingest);
+  ASSERT_TRUE(ingested.ok()) << ingested.status().ToString();
+  ASSERT_TRUE(ingested->status.ok()) << ingested->status.ToString();
+  EXPECT_EQ(ingested->ingest.rows_buffered, kRows);
+
+  WireRequest flush;
+  flush.type = WireFrameType::kFlush;
+  flush.session = "ward";
+  auto flushed = client.Call(flush);
+  ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+  ASSERT_TRUE(flushed->status.ok()) << flushed->status.ToString();
+  EXPECT_EQ(flushed->flush.emitted.num_rows(), kRows);
+
+  WireRequest detect;
+  detect.type = WireFrameType::kDetect;
+  detect.session = "ward";
+  detect.table = flushed->flush.emitted.Clone();
+  auto detected = client.Call(detect);
+  ASSERT_TRUE(detected.ok()) << detected.status().ToString();
+  ASSERT_TRUE(detected->status.ok()) << detected->status.ToString();
+  ASSERT_EQ(detected->reports.size(), 1u);
+  EXPECT_GT(detected->reports[0].tuples_selected, 0u);
+
+  WireRequest close;
+  close.type = WireFrameType::kClose;
+  close.session = "ward";
+  auto closed = client.Call(close);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  ASSERT_TRUE(closed->status.ok()) << closed->status.ToString();
+  EXPECT_EQ(closed->close.rows_ingested, kRows);
+  ASSERT_EQ(closed->close.epochs.size(), 1u);
+  // The manifest crossed the wire serialized; it must parse back.
+  EXPECT_FALSE(closed->close.epochs[0].manifest_text.empty());
+
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonTest, ServiceErrorsTravelAsResponsesNotDisconnects) {
+  Env env = StartDaemon();
+  DaemonClient client(MedicalSchema());
+  ASSERT_TRUE(client.Connect("127.0.0.1", env.daemon->port()).ok());
+  // Ingest into a session that was never opened: a service-level error.
+  WireRequest ingest;
+  ingest.type = WireFrameType::kIngest;
+  ingest.session = "nobody";
+  auto response = client.Call(ingest);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(response->status.ok());
+  // The connection survived the error; the client can keep using it.
+  auto open = client.Call(OpenRequest("ward"));
+  ASSERT_TRUE(open.ok());
+  EXPECT_TRUE(open->status.ok());
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+// ---- hostile peers --------------------------------------------------------
+
+TEST(DaemonTest, BadMagicIsFatalToTheConnectionOnly) {
+  Env env = StartDaemon();
+  const int fd = RawConnect(env.daemon->port());
+  ASSERT_GE(fd, 0);
+  ExpectDisconnectAfter(fd, "HTTP/1.1 GET / please", /*expect_back=*/0);
+  ExpectStillServing(env.daemon.get(), "after-bad-magic");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonTest, OversizedLengthFrameIsFatalToTheConnectionOnly) {
+  Env env = StartDaemon();
+  const int fd = RawConnect(env.daemon->port());
+  ASSERT_GE(fd, 0);
+  std::string bytes(kWireMagic, kWireMagicSize);
+  // A frame header claiming a 4GiB-1 payload. The daemon must refuse
+  // from the header alone (no allocation) and hang up after the echo.
+  const uint32_t huge = 0xffffffffu;
+  bytes.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  bytes.append(4, '\0');
+  ExpectDisconnectAfter(fd, bytes, /*expect_back=*/kWireMagicSize);
+  ExpectStillServing(env.daemon.get(), "after-oversized");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonTest, UnknownFrameTagIsFatalToTheConnectionOnly) {
+  Env env = StartDaemon();
+  const int fd = RawConnect(env.daemon->port());
+  ASSERT_GE(fd, 0);
+  std::string bytes(kWireMagic, kWireMagicSize);
+  auto frame = EncodeWireFrame(static_cast<WireFrameType>(0x2a), "payload");
+  ASSERT_TRUE(frame.ok());
+  bytes += *frame;
+  ExpectDisconnectAfter(fd, bytes, /*expect_back=*/kWireMagicSize);
+  ExpectStillServing(env.daemon.get(), "after-unknown-tag");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonTest, CorruptCrcIsFatalToTheConnectionOnly) {
+  Env env = StartDaemon();
+  const int fd = RawConnect(env.daemon->port());
+  ASSERT_GE(fd, 0);
+  std::string bytes(kWireMagic, kWireMagicSize);
+  WireTableEncoder encoder;
+  auto frame = EncodeWireFrame(
+      WireFrameType::kClose,
+      EncodeWireRequest(
+          [] {
+            WireRequest request;
+            request.type = WireFrameType::kClose;
+            request.session = "x";
+            return request;
+          }(),
+          &encoder));
+  ASSERT_TRUE(frame.ok());
+  (*frame)[frame->size() - 1] ^= 0x40;  // damage the payload, not the CRC
+  bytes += *frame;
+  ExpectDisconnectAfter(fd, bytes, /*expect_back=*/kWireMagicSize);
+  ExpectStillServing(env.daemon.get(), "after-crc");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonTest, MidFrameDisconnectLeavesTheDaemonServing) {
+  Env env = StartDaemon();
+  const int fd = RawConnect(env.daemon->port());
+  ASSERT_GE(fd, 0);
+  std::string bytes(kWireMagic, kWireMagicSize);
+  WireTableEncoder encoder;
+  auto frame =
+      EncodeWireFrame(WireFrameType::kOpen,
+                      EncodeWireRequest(OpenRequest("torn"), &encoder));
+  ASSERT_TRUE(frame.ok());
+  // Half the frame, then hang up mid-read.
+  bytes += frame->substr(0, frame->size() / 2);
+  ASSERT_TRUE(WriteFullySocket(fd, bytes.data(), bytes.size()));
+  char echo[kWireMagicSize];
+  ASSERT_TRUE(ReadFullySocket(fd, echo, sizeof(echo)));
+  ::close(fd);
+  ExpectStillServing(env.daemon.get(), "after-torn-frame");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+// ---- injected socket faults -----------------------------------------------
+
+#if defined(PRIVMARK_FAILPOINTS_ENABLED)
+
+TEST(DaemonFailpointTest, InjectedReadFaultFailsTheCallNotTheProcess) {
+  Env env = StartDaemon();
+  {
+    DaemonClient client(MedicalSchema());
+    ASSERT_TRUE(client.Connect("127.0.0.1", env.daemon->port()).ok());
+    // Arm after the handshake (which itself runs through the failpointed
+    // helpers): the next read — client or daemon side — fails.
+    ASSERT_TRUE(FailpointRegistry::Instance()
+                    .Configure("wire.read", "once:1")
+                    .ok());
+    auto response = client.Call(OpenRequest("faulty"));
+    FailpointRegistry::Instance().Reset();
+    EXPECT_FALSE(response.ok());
+    EXPECT_FALSE(client.connected());
+  }
+  ExpectStillServing(env.daemon.get(), "after-read-fault");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonFailpointTest, InjectedWriteFaultFailsTheCallNotTheProcess) {
+  Env env = StartDaemon();
+  {
+    DaemonClient client(MedicalSchema());
+    ASSERT_TRUE(client.Connect("127.0.0.1", env.daemon->port()).ok());
+    ASSERT_TRUE(FailpointRegistry::Instance()
+                    .Configure("wire.write", "once:1")
+                    .ok());
+    auto response = client.Call(OpenRequest("faulty"));
+    FailpointRegistry::Instance().Reset();
+    EXPECT_FALSE(response.ok());
+    EXPECT_FALSE(client.connected());
+  }
+  ExpectStillServing(env.daemon.get(), "after-write-fault");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+#endif  // PRIVMARK_FAILPOINTS_ENABLED
+
+// ---- overload: typed backpressure over the wire ---------------------------
+
+TEST(DaemonTest, ShedRequestsCarryTypedRetryAfterMs) {
+  ServiceConfig service_config;
+  service_config.thread_cap = 1;
+  service_config.max_queue_depth = 1;
+  Env env = StartDaemon(service_config);
+
+  // One connection opens the session and keeps its strand busy with
+  // full-pipeline flushes; rival connections hammer the same session
+  // until the depth cap sheds one of them. The assertion is on the
+  // *typed* field — a client never parses message text.
+  DaemonClient owner(MedicalSchema());
+  ASSERT_TRUE(owner.Connect("127.0.0.1", env.daemon->port()).ok());
+  auto open = owner.Call(OpenRequest("ward"));
+  ASSERT_TRUE(open.ok());
+  ASSERT_TRUE(open->status.ok());
+
+  std::atomic<bool> shed_seen{false};
+  std::atomic<int64_t> shed_hint{-1};
+  std::atomic<bool> hard_failure{false};
+  constexpr int kRivals = 3;
+  constexpr int kAttempts = 120;
+  std::vector<std::thread> rivals;
+  for (int i = 0; i < kRivals; ++i) {
+    rivals.emplace_back([&env, &shed_seen, &shed_hint, &hard_failure, i] {
+      DaemonClient rival(MedicalSchema());
+      if (!rival.Connect("127.0.0.1", env.daemon->port()).ok()) {
+        hard_failure.store(true);
+        return;
+      }
+      MedicalDataSpec spec;
+      spec.num_rows = 400;
+      spec.seed = 9000 + i;
+      MedicalDataset data =
+          std::move(GenerateMedicalDataset(spec)).ValueOrDie();
+      for (int attempt = 0; attempt < kAttempts && !shed_seen.load();
+           ++attempt) {
+        WireRequest ingest;
+        ingest.type = WireFrameType::kIngest;
+        ingest.session = "ward";
+        ingest.table = data.table.Clone();
+        auto response = rival.Call(ingest);
+        if (!response.ok()) {
+          hard_failure.store(true);  // transport must never break here
+          return;
+        }
+        if (response->status.code() == StatusCode::kResourceExhausted) {
+          shed_hint.store(response->retry_after_ms);
+          shed_seen.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& rival : rivals) rival.join();
+  EXPECT_FALSE(hard_failure.load());
+  ASSERT_TRUE(shed_seen.load()) << "queue never filled across "
+                                << kRivals * kAttempts << " attempts";
+  EXPECT_GT(shed_hint.load(), 0) << "shed response lacked the typed hint";
+
+  WireRequest close;
+  close.type = WireFrameType::kClose;
+  close.session = "ward";
+  auto closed = owner.Call(close);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->status.ok());  // close is exempt from shedding
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+// ---- shutdown -------------------------------------------------------------
+
+TEST(DaemonTest, ShutdownDisconnectsIdleClientsAndIsIdempotent) {
+  Env env = StartDaemon();
+  DaemonClient client(MedicalSchema());
+  ASSERT_TRUE(client.Connect("127.0.0.1", env.daemon->port()).ok());
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+  EXPECT_TRUE(env.daemon->Shutdown().ok());  // idempotent
+  // The daemon hung up; the next call reports the lost connection.
+  auto response = client.Call(OpenRequest("late"));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(env.daemon->connections_accepted(), 1u);
+}
+
+}  // namespace
+}  // namespace privmark

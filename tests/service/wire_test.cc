@@ -1,0 +1,489 @@
+// Wire-protocol codec suite: framing and payload round-trips, the
+// columnar table codec's losslessness (bit-exact doubles, Null vs "",
+// NUL-safe strings, incremental dictionaries), and — the half that
+// matters for a network daemon — rejection of every malformed-frame
+// shape: truncation at each byte, trailing bytes, unknown tags,
+// oversized lengths, CRC damage, and out-of-range dictionary ids.
+
+#include "service/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "service/admission.h"
+
+namespace privmark {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnRole::kIdentifying, ValueType::kString},
+                 {"age", ColumnRole::kQuasiNumeric, ValueType::kInt64},
+                 {"score", ColumnRole::kOther, ValueType::kDouble},
+                 {"city", ColumnRole::kQuasiCategorical,
+                  ValueType::kString}});
+}
+
+Table TestTable() {
+  Table table(TestSchema());
+  std::string with_nul("a\0b", 3);
+  EXPECT_TRUE(table
+                  .AppendRow({Value::String("s-1"), Value::Int64(-42),
+                              Value::Double(-0.0), Value::String("rome")})
+                  .ok());
+  EXPECT_TRUE(table
+                  .AppendRow({Value::String(with_nul),
+                              Value::Int64(std::numeric_limits<int64_t>::min()),
+                              Value::Double(1e-300), Value::String("")})
+                  .ok());
+  EXPECT_TRUE(table
+                  .AppendRow({Value::Null(), Value::Int64(7),
+                              Value::Double(0.0), Value::String("rome")})
+                  .ok());
+  return table;
+}
+
+std::string EncodeTable(WireTableEncoder* encoder, const Table& table) {
+  std::string out;
+  encoder->Encode(table, &out);
+  return out;
+}
+
+Result<Table> DecodeTable(WireTableDecoder* decoder,
+                          const std::string& block) {
+  BinReader reader(block);
+  auto table = decoder->Decode(&reader);
+  if (table.ok() && !reader.Exhausted()) {
+    return Status::InvalidArgument("trailing bytes after table block");
+  }
+  return table;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.at(r, c), b.at(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+// ---- framing -------------------------------------------------------------
+
+TEST(WireFrameTest, RoundTrip) {
+  auto frame = EncodeWireFrame(WireFrameType::kIngest, "payload");
+  ASSERT_TRUE(frame.ok());
+  ASSERT_GE(frame->size(), kWireFrameHeaderBytes + 1);
+  auto body_length = WireFrameBodyLength(frame->data());
+  ASSERT_TRUE(body_length.ok());
+  EXPECT_EQ(*body_length, frame->size() - kWireFrameHeaderBytes);
+  auto decoded = DecodeWireFrameBody(
+      frame->data(), frame->data() + kWireFrameHeaderBytes, *body_length);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, WireFrameType::kIngest);
+  EXPECT_EQ(decoded->payload, "payload");
+}
+
+TEST(WireFrameTest, EmptyPayloadRoundTrips) {
+  auto frame = EncodeWireFrame(WireFrameType::kClose, "");
+  ASSERT_TRUE(frame.ok());
+  auto body_length = WireFrameBodyLength(frame->data());
+  ASSERT_TRUE(body_length.ok());
+  EXPECT_EQ(*body_length, 1u);  // just the type byte
+  auto decoded = DecodeWireFrameBody(
+      frame->data(), frame->data() + kWireFrameHeaderBytes, *body_length);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->payload, "");
+}
+
+TEST(WireFrameTest, OversizedEncodeRefused) {
+  std::string huge(kMaxWireFrameBytes + 1, 'x');
+  auto frame = EncodeWireFrame(WireFrameType::kIngest, huge);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, OversizedLengthHeaderRefusedBeforeAllocation) {
+  // A hostile peer claims a 4GiB-1 payload; the reader must refuse from
+  // the 8 header bytes alone, never allocating the claimed size.
+  char header[kWireFrameHeaderBytes];
+  const uint32_t huge = std::numeric_limits<uint32_t>::max();
+  std::memcpy(header, &huge, sizeof(huge));
+  std::memset(header + 4, 0, 4);
+  auto body_length = WireFrameBodyLength(header);
+  EXPECT_FALSE(body_length.ok());
+  EXPECT_EQ(body_length.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, CrcDamageDetected) {
+  auto frame = EncodeWireFrame(WireFrameType::kDetect, "abcdef");
+  ASSERT_TRUE(frame.ok());
+  // Flip one payload bit.
+  std::string bent = *frame;
+  bent[kWireFrameHeaderBytes + 3] ^= 0x01;
+  auto body_length = WireFrameBodyLength(bent.data());
+  ASSERT_TRUE(body_length.ok());
+  auto decoded = DecodeWireFrameBody(
+      bent.data(), bent.data() + kWireFrameHeaderBytes, *body_length);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireFrameTest, UnknownTypeTagRefused) {
+  for (const uint8_t tag : {uint8_t{0}, uint8_t{8}, uint8_t{255}}) {
+    auto frame = EncodeWireFrame(static_cast<WireFrameType>(tag), "x");
+    ASSERT_TRUE(frame.ok());  // encode is by-construction trusted
+    auto body_length = WireFrameBodyLength(frame->data());
+    ASSERT_TRUE(body_length.ok());
+    auto decoded = DecodeWireFrameBody(
+        frame->data(), frame->data() + kWireFrameHeaderBytes, *body_length);
+    EXPECT_FALSE(decoded.ok()) << "tag " << int{tag};
+  }
+}
+
+// ---- table codec ---------------------------------------------------------
+
+TEST(WireTableCodecTest, LosslessRoundTrip) {
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  const Table table = TestTable();
+  auto decoded = DecodeTable(&decoder, EncodeTable(&encoder, table));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectTablesEqual(table, *decoded);
+  // -0.0 must survive as -0.0, not 0.0.
+  EXPECT_TRUE(std::signbit(decoded->at(0, 2).AsDouble()));
+}
+
+TEST(WireTableCodecTest, EmptyAndDefaultTablesRoundTrip) {
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  // Zero rows of the schema.
+  auto empty = DecodeTable(&decoder, EncodeTable(&encoder, Table(TestSchema())));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_rows(), 0u);
+  EXPECT_EQ(empty->num_columns(), TestSchema().num_columns());
+  // A default-constructed Table (0x0) decodes as an empty schema table.
+  auto zero = DecodeTable(&decoder, EncodeTable(&encoder, Table()));
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->num_rows(), 0u);
+  EXPECT_EQ(zero->num_columns(), TestSchema().num_columns());
+}
+
+TEST(WireTableCodecTest, DictionaryShipsEachStringOnce) {
+  Schema narrow({{"subject", ColumnRole::kOther, ValueType::kString}});
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(narrow);
+  Table batch(narrow);
+  for (int r = 0; r < 64; ++r) {
+    ASSERT_TRUE(
+        batch.AppendRow({Value::String("subject-" + std::to_string(r))})
+            .ok());
+  }
+  const std::string first = EncodeTable(&encoder, batch);
+  const std::string second = EncodeTable(&encoder, batch);
+  // The second block reuses the column's dictionary: it carries only
+  // u32 ids, so it is much smaller than the first (which shipped every
+  // string's bytes).
+  EXPECT_LT(second.size(), first.size() / 2);
+  auto first_decoded = DecodeTable(&decoder, first);
+  ASSERT_TRUE(first_decoded.ok());
+  ExpectTablesEqual(batch, *first_decoded);
+  auto second_decoded = DecodeTable(&decoder, second);
+  ASSERT_TRUE(second_decoded.ok());
+  ExpectTablesEqual(batch, *second_decoded);
+}
+
+TEST(WireTableCodecTest, ColumnCountMismatchRefused) {
+  WireTableEncoder encoder;
+  Schema narrow({{"only", ColumnRole::kOther, ValueType::kString}});
+  Table table(narrow);
+  ASSERT_TRUE(table.AppendRow({Value::String("x")}).ok());
+  WireTableDecoder decoder(TestSchema());
+  auto decoded = DecodeTable(&decoder, EncodeTable(&encoder, table));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTableCodecTest, TruncationAtEveryByteRefused) {
+  WireTableEncoder encoder;
+  const std::string block = EncodeTable(&encoder, TestTable());
+  for (size_t cut = 0; cut < block.size(); ++cut) {
+    WireTableDecoder decoder(TestSchema());
+    auto decoded = DecodeTable(&decoder, block.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut << " of " << block.size();
+  }
+}
+
+TEST(WireTableCodecTest, TrailingBytesRefused) {
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  auto decoded =
+      DecodeTable(&decoder, EncodeTable(&encoder, TestTable()) + "x");
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireTableCodecTest, UnknownColumnEncodingRefused) {
+  WireTableEncoder encoder;
+  std::string block = EncodeTable(&encoder, TestTable());
+  block[8] = static_cast<char>(0x7f);  // first column's encoding byte
+  WireTableDecoder decoder(TestSchema());
+  auto decoded = DecodeTable(&decoder, block);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTableCodecTest, OutOfRangeDictionaryIdRefused) {
+  // One string column, one row: block is [rows][cols][enc][new=1]
+  // [len]["city"][id]. Corrupt the trailing id.
+  Schema narrow({{"city", ColumnRole::kOther, ValueType::kString}});
+  Table table(narrow);
+  ASSERT_TRUE(table.AppendRow({Value::String("rome")}).ok());
+  WireTableEncoder encoder;
+  std::string block = EncodeTable(&encoder, table);
+  ASSERT_GE(block.size(), 4u);
+  block[block.size() - 4] = 9;  // id 9 into a 1-entry dictionary
+  WireTableDecoder decoder(narrow);
+  auto decoded = DecodeTable(&decoder, block);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- request / response payloads -----------------------------------------
+
+TEST(WireRequestTest, OpenRoundTripsEveryField) {
+  WireRequest request;
+  request.type = WireFrameType::kOpen;
+  request.session = "hospital-7";
+  request.open.k = 12;
+  request.open.enforce_joint = true;
+  request.open.auto_epsilon = true;
+  request.open.num_threads = 3;
+  request.open.passphrase = "pp";
+  request.open.k1 = "key-one";
+  request.open.k2 = "key-two";
+  request.open.eta = 77;
+  request.open.key_id = "recipient-a";
+  request.open.on_unbinnable = 1;
+  request.open.policy = 1;
+  request.open.drift_threshold = 0.25;
+
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  auto decoded = DecodeWireRequest(
+      request.type, EncodeWireRequest(request, &encoder), &decoder);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->session, "hospital-7");
+  EXPECT_EQ(decoded->open.k, 12u);
+  EXPECT_TRUE(decoded->open.enforce_joint);
+  EXPECT_TRUE(decoded->open.auto_epsilon);
+  EXPECT_EQ(decoded->open.num_threads, 3u);
+  EXPECT_EQ(decoded->open.passphrase, "pp");
+  EXPECT_EQ(decoded->open.k1, "key-one");
+  EXPECT_EQ(decoded->open.k2, "key-two");
+  EXPECT_EQ(decoded->open.eta, 77u);
+  EXPECT_EQ(decoded->open.key_id, "recipient-a");
+  EXPECT_EQ(decoded->open.on_unbinnable, 1);
+  EXPECT_EQ(decoded->open.policy, 1);
+  EXPECT_EQ(decoded->open.drift_threshold, 0.25);
+}
+
+TEST(WireRequestTest, IngestCarriesTableAskAndDeadline) {
+  WireRequest request;
+  request.type = WireFrameType::kIngest;
+  request.session = "s";
+  request.ask = 4;
+  request.deadline_ms = 1500;
+  request.table = TestTable();
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  auto decoded = DecodeWireRequest(
+      request.type, EncodeWireRequest(request, &encoder), &decoder);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->ask, 4u);
+  EXPECT_EQ(decoded->deadline_ms, 1500);
+  ExpectTablesEqual(request.table, decoded->table);
+}
+
+TEST(WireRequestTest, FingerprintCarriesRegistryText) {
+  WireRequest request;
+  request.type = WireFrameType::kFingerprint;
+  request.session = "s";
+  request.registry_text = "REGISTRYv1\n[key]\nname = a\n";
+  request.table = TestTable();
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  auto decoded = DecodeWireRequest(
+      request.type, EncodeWireRequest(request, &encoder), &decoder);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->registry_text, request.registry_text);
+}
+
+TEST(WireRequestTest, TrailingBytesRefused) {
+  WireRequest request;
+  request.type = WireFrameType::kClose;
+  request.session = "s";
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  auto decoded = DecodeWireRequest(
+      request.type, EncodeWireRequest(request, &encoder) + "!", &decoder);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireRequestTest, TruncationAtEveryByteRefused) {
+  WireRequest request;
+  request.type = WireFrameType::kIngest;
+  request.session = "session-name";
+  request.table = TestTable();
+  WireTableEncoder encoder;
+  const std::string payload = EncodeWireRequest(request, &encoder);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    WireTableDecoder decoder(TestSchema());
+    auto decoded =
+        DecodeWireRequest(request.type, payload.substr(0, cut), &decoder);
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(WireResponseTest, ErrorResponseCarriesStatusAndRetryHint) {
+  WireResponse response;
+  response.kind = WireFrameType::kIngest;
+  response.status = Status::ResourceExhausted("queue full");
+  response.retry_after_ms = 250;
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  auto decoded =
+      DecodeWireResponse(EncodeWireResponse(response, &encoder), &decoder);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, WireFrameType::kIngest);
+  EXPECT_EQ(decoded->status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->status.message(), "queue full");
+  EXPECT_EQ(decoded->retry_after_ms, 250);
+}
+
+TEST(WireResponseTest, IngestRoundTrip) {
+  WireResponse response;
+  response.kind = WireFrameType::kIngest;
+  response.journal_status = Status::IOError("disk gone");
+  response.threads_granted = 3;
+  response.ingest.epoch = 2;
+  response.ingest.flushed = true;
+  response.ingest.rows_emitted = 10;
+  response.ingest.rows_suppressed = 1;
+  response.ingest.rows_buffered = 5;
+  response.ingest.emitted = TestTable();
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  auto decoded =
+      DecodeWireResponse(EncodeWireResponse(response, &encoder), &decoder);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->journal_status.code(), StatusCode::kIOError);
+  EXPECT_EQ(decoded->threads_granted, 3u);
+  EXPECT_EQ(decoded->ingest.epoch, 2u);
+  EXPECT_TRUE(decoded->ingest.flushed);
+  EXPECT_EQ(decoded->ingest.rows_emitted, 10u);
+  EXPECT_EQ(decoded->ingest.rows_suppressed, 1u);
+  EXPECT_EQ(decoded->ingest.rows_buffered, 5u);
+  ExpectTablesEqual(response.ingest.emitted, decoded->ingest.emitted);
+}
+
+TEST(WireResponseTest, DetectRoundTripPreservesExactMargins) {
+  WireResponse response;
+  response.kind = WireFrameType::kDetect;
+  DetectReport report;
+  report.recovered = BitVector::FromString("1011").ValueOrDie();
+  report.tuples_selected = 100;
+  report.slots_read = 400;
+  report.slots_skipped = 3;
+  report.vote_margin = {0.1, -0.0, 1e-17, 12345.6789};
+  report.bit_voted = {true, false, true, true};
+  response.reports.push_back(report);
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  auto decoded =
+      DecodeWireResponse(EncodeWireResponse(response, &encoder), &decoder);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->reports.size(), 1u);
+  const DetectReport& out = decoded->reports[0];
+  EXPECT_EQ(out.recovered.ToString(), "1011");
+  EXPECT_EQ(out.tuples_selected, 100u);
+  EXPECT_EQ(out.slots_read, 400u);
+  EXPECT_EQ(out.slots_skipped, 3u);
+  EXPECT_EQ(out.vote_margin, report.vote_margin);  // exact doubles
+  EXPECT_EQ(out.bit_voted, report.bit_voted);
+}
+
+TEST(WireResponseTest, CloseRoundTripCarriesManifestText) {
+  WireResponse response;
+  response.kind = WireFrameType::kClose;
+  response.close.rows_ingested = 30;
+  response.close.rows_emitted = 28;
+  response.close.rows_suppressed = 2;
+  WireEpochSummary epoch;
+  epoch.epoch = 1;
+  epoch.rows_emitted = 28;
+  epoch.wmd_size = 160;
+  epoch.identifier_statistic = 3.75;
+  epoch.manifest_text = "PRIVMARK-MANIFESTv1\nversion = 1\n";
+  response.close.epochs.push_back(epoch);
+  WireTableEncoder encoder;
+  WireTableDecoder decoder(TestSchema());
+  auto decoded =
+      DecodeWireResponse(EncodeWireResponse(response, &encoder), &decoder);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->close.epochs.size(), 1u);
+  EXPECT_EQ(decoded->close.rows_ingested, 30u);
+  EXPECT_EQ(decoded->close.epochs[0].manifest_text, epoch.manifest_text);
+  EXPECT_EQ(decoded->close.epochs[0].identifier_statistic, 3.75);
+}
+
+TEST(WireResponseTest, TruncationAtEveryByteRefused) {
+  WireResponse response;
+  response.kind = WireFrameType::kFlush;
+  response.flush.epoch = 1;
+  response.flush.identifier_statistic = 2.5;
+  response.flush.emitted = TestTable();
+  WireTableEncoder encoder;
+  const std::string payload = EncodeWireResponse(response, &encoder);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    WireTableDecoder decoder(TestSchema());
+    auto decoded = DecodeWireResponse(payload.substr(0, cut), &decoder);
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+// ---- typed backpressure hint ---------------------------------------------
+
+TEST(RetryAfterTest, ExtractsTypedHint) {
+  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted(
+                "queue full; retry_after_ms=350")),
+            350);
+  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted(
+                "retry_after_ms=0 trailing words")),
+            0);
+}
+
+TEST(RetryAfterTest, AbsentOrForeignHintsYieldMinusOne) {
+  EXPECT_EQ(RetryAfterMsFromStatus(Status::OK()), -1);
+  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted("no hint")), -1);
+  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted(
+                "retry_after_ms=")),
+            -1);
+  // Only ResourceExhausted carries the hint; other codes never do.
+  EXPECT_EQ(RetryAfterMsFromStatus(
+                Status::InvalidArgument("retry_after_ms=10")),
+            -1);
+  // Overflowing digits are not a hint.
+  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted(
+                "retry_after_ms=99999999999999999999999")),
+            -1);
+}
+
+}  // namespace
+}  // namespace privmark
