@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verify, runnable locally or from CI. Three configurations:
-#   1. Debug + address/undefined sanitizers (slow-labeled suites excluded)
+#   1. Debug + address/undefined sanitizers (slow-labeled suites excluded),
+#      then a crypto-only rerun with UBSan findings made fatal
+#      (halt_on_error) so misaligned loads in the multi-buffer SHA-1
+#      backends fail the job instead of merely printing
 #   2. Debug + thread sanitizer over the parallel-labeled suites (pool
 #      substrate incl. concurrent submission/leases, binning,
 #      watermarking, sessions, the service and daemon suites, failure
@@ -28,6 +31,18 @@ cmake -B build-asan -S . \
   -DPRIVMARK_SANITIZE=address,undefined
 cmake --build build-asan -j "${JOBS}"
 (cd build-asan && ctest --output-on-failure -j "${JOBS}" -LE slow)
+
+echo "=== Crypto kernels under UBSan (alignment findings made fatal) ==="
+# -fsanitize=undefined already instruments alignment, but UBSan only
+# prints by default. halt_on_error turns any finding in the hashing
+# kernels — notably misaligned loads in the multi-buffer SHA-1 backends,
+# which read caller-provided message bytes at arbitrary offsets — into a
+# hard failure. The multibuffer suite forces every compiled backend
+# (portable/SSE2/AVX2) in turn, so each SIMD path is exercised here.
+(cd build-asan && \
+ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ ctest --output-on-failure -j "${JOBS}" \
+   -R 'Sha1|Md5|KeyedHash|HashAlgorithm|Aes')
 
 echo "=== Fault injection under ASan (three fixed seeds) ==="
 # Debug builds compile failpoints in; the seed feeds the probabilistic

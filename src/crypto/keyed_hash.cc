@@ -2,12 +2,40 @@
 
 #include <cstring>
 
+#include <string>
+
 #include "crypto/md5.h"
 #include "crypto/sha1.h"
+#include "crypto/sha1_multibuffer.h"
 
 namespace privmark {
 
 namespace {
+
+// Keyed inputs up to this long are assembled as key || 0x00 || message in
+// one stack buffer (single Update / single batch lane) instead of streamed
+// in three Update calls. Covers every message the watermarking pipeline
+// produces — idents, "pos:<ident>:<column>" and "perm:..." strings — with
+// ample slack; longer inputs take the streaming path.
+constexpr size_t kAssembleMax = 192;
+
+// Assembles key || 0x00 || message into `buf` (>= kAssembleMax bytes).
+// Caller guarantees it fits.
+inline size_t AssembleKeyed(std::string_view key, std::string_view message,
+                            uint8_t* buf) {
+  std::memcpy(buf, key.data(), key.size());
+  buf[key.size()] = 0x00;
+  std::memcpy(buf + key.size() + 1, message.data(), message.size());
+  return key.size() + 1 + message.size();
+}
+
+inline uint64_t TruncateBe64(const uint8_t* digest) {
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out = (out << 8) | digest[i];
+  }
+  return out;
+}
 
 // Streams key || 0x00 || message into `hasher` and finishes into `out`
 // (which must hold the algorithm's digest size). No heap allocation.
@@ -58,17 +86,23 @@ uint64_t KeyedHash64(HashAlgorithm algo, std::string_view key,
   // Both digests are >= 8 bytes; a stack buffer sized for the larger one
   // keeps this allocation-free.
   uint8_t digest[Sha1::kDigestSize];
+  const size_t total = key.size() + 1 + message.size();
   switch (algo) {
     case HashAlgorithm::kSha1: {
-      const size_t total = key.size() + 1 + message.size();
       if (total <= 55) {
         // Keyed inputs are tiny (key, separator, short message): assemble
         // the padded block on the stack and compress exactly once.
         uint8_t buf[55];
-        std::memcpy(buf, key.data(), key.size());
-        buf[key.size()] = 0x00;
-        std::memcpy(buf + key.size() + 1, message.data(), message.size());
-        Sha1::HashSingleBlock(buf, total, digest);
+        Sha1::HashSingleBlock(buf, AssembleKeyed(key, message, buf), digest);
+        break;
+      }
+      if (total <= kAssembleMax) {
+        // Still stack-assembled: one Update over the joined bytes beats
+        // three small Updates through the 64-byte block buffer.
+        uint8_t buf[kAssembleMax];
+        Sha1 hasher;
+        hasher.Update(buf, AssembleKeyed(key, message, buf));
+        hasher.FinishInto(digest);
         break;
       }
       Sha1 hasher;
@@ -76,16 +110,75 @@ uint64_t KeyedHash64(HashAlgorithm algo, std::string_view key,
       break;
     }
     case HashAlgorithm::kMd5: {
+      if (total <= kAssembleMax) {
+        uint8_t buf[kAssembleMax];
+        Md5 hasher;
+        hasher.Update(buf, AssembleKeyed(key, message, buf));
+        hasher.FinishInto(digest);
+        break;
+      }
       Md5 hasher;
       StreamKeyedDigest(hasher, key, message, digest);
       break;
     }
   }
-  uint64_t out = 0;
-  for (int i = 0; i < 8; ++i) {
-    out = (out << 8) | digest[i];
+  return TruncateBe64(digest);
+}
+
+void KeyedHash64Batch(HashAlgorithm algo, const KeyedHashInput* inputs,
+                      size_t n, uint64_t* outs) {
+  if (algo != HashAlgorithm::kSha1) {
+    // MD5 has no multi-buffer kernel; values still match the scalar call.
+    for (size_t i = 0; i < n; ++i) {
+      outs[i] = KeyedHash64(algo, inputs[i].key, inputs[i].message);
+    }
+    return;
   }
-  return out;
+  // Assemble key || 0x00 || message per lane on the stack, then hand whole
+  // chunks to the interleaved-lane kernel. Two AVX2 groups per chunk keeps
+  // the stack footprint ~3 KiB while amortizing dispatch.
+  constexpr size_t kChunk = 2 * Sha1MultiBuffer::kMaxLanes;
+  uint8_t bufs[kChunk][kAssembleMax];
+  std::string overflow[kChunk];  // rare: inputs longer than kAssembleMax
+  std::string_view views[kChunk];
+  uint8_t digests[kChunk * Sha1MultiBuffer::kDigestSize];
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t m = n - base < kChunk ? n - base : kChunk;
+    for (size_t i = 0; i < m; ++i) {
+      const KeyedHashInput& in = inputs[base + i];
+      const size_t total = in.key.size() + 1 + in.message.size();
+      if (total <= kAssembleMax) {
+        views[i] = std::string_view(reinterpret_cast<const char*>(bufs[i]),
+                                    AssembleKeyed(in.key, in.message, bufs[i]));
+      } else {
+        overflow[i].clear();
+        overflow[i].reserve(total);
+        overflow[i].append(in.key);
+        overflow[i].push_back('\0');
+        overflow[i].append(in.message);
+        views[i] = overflow[i];
+      }
+    }
+    Sha1MultiBuffer::Hash(views, m, digests);
+    for (size_t i = 0; i < m; ++i) {
+      outs[base + i] =
+          TruncateBe64(digests + i * Sha1MultiBuffer::kDigestSize);
+    }
+  }
+}
+
+void KeyedHash64Batch(HashAlgorithm algo, std::string_view key,
+                      const std::string_view* messages, size_t n,
+                      uint64_t* outs) {
+  constexpr size_t kChunk = 2 * Sha1MultiBuffer::kMaxLanes;
+  KeyedHashInput inputs[kChunk];
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t m = n - base < kChunk ? n - base : kChunk;
+    for (size_t i = 0; i < m; ++i) {
+      inputs[i] = {key, messages[base + i]};
+    }
+    KeyedHash64Batch(algo, inputs, m, outs + base);
+  }
 }
 
 }  // namespace privmark

@@ -38,6 +38,31 @@ std::vector<uint8_t> KeyedDigest(HashAlgorithm algo, std::string_view key,
 uint64_t KeyedHash64(HashAlgorithm algo, std::string_view key,
                      std::string_view message);
 
+/// \brief One (key, message) pair for batched keyed hashing. Views must
+/// outlive the KeyedHash64Batch call.
+struct KeyedHashInput {
+  std::string_view key;
+  std::string_view message;
+};
+
+/// \brief Batched KeyedHash64: outs[i] = KeyedHash64(algo, inputs[i].key,
+/// inputs[i].message), value-identical to the scalar call.
+///
+/// SHA-1 batches flow through the multi-buffer kernel (4–8 interleaved
+/// lanes, see crypto/sha1_multibuffer.h), so cost per hash drops several-
+/// fold when `n` covers at least one full lane group; MD5 falls back to the
+/// scalar path per element. The watermark embed/detect loops hand whole
+/// blocks of tuples (and multi-key detection whole key groups) to this
+/// entry point instead of hashing one tuple at a time.
+void KeyedHash64Batch(HashAlgorithm algo, const KeyedHashInput* inputs,
+                      size_t n, uint64_t* outs);
+
+/// \brief Single-key convenience overload: outs[i] = KeyedHash64(algo, key,
+/// messages[i]).
+void KeyedHash64Batch(HashAlgorithm algo, std::string_view key,
+                      const std::string_view* messages, size_t n,
+                      uint64_t* outs);
+
 }  // namespace privmark
 
 #endif  // PRIVMARK_CRYPTO_KEYED_HASH_H_

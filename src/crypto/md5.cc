@@ -57,7 +57,7 @@ void Md5::Update(const uint8_t* data, size_t len) {
   }
 }
 
-void Md5::Update(const std::string& data) {
+void Md5::Update(std::string_view data) {
   Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
 }
 
@@ -94,7 +94,7 @@ std::vector<uint8_t> Md5::Finish() {
   return digest;
 }
 
-std::vector<uint8_t> Md5::Hash(const std::string& data) {
+std::vector<uint8_t> Md5::Hash(std::string_view data) {
   Md5 hasher;
   hasher.Update(data);
   return hasher.Finish();

@@ -10,7 +10,7 @@
 #define PRIVMARK_CRYPTO_MD5_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 namespace privmark {
@@ -23,7 +23,9 @@ class Md5 {
   Md5();
 
   void Update(const uint8_t* data, size_t len);
-  void Update(const std::string& data);
+  /// \brief string_view overload: accepts std::string, literals, and
+  /// substrings alike without materializing a temporary string.
+  void Update(std::string_view data);
 
   /// \brief Finishes and returns the 16-byte digest.
   std::vector<uint8_t> Finish();
@@ -34,7 +36,7 @@ class Md5 {
 
   void Reset();
 
-  static std::vector<uint8_t> Hash(const std::string& data);
+  static std::vector<uint8_t> Hash(std::string_view data);
 
  private:
   void ProcessBlock(const uint8_t block[64]);

@@ -1,6 +1,9 @@
 #include "crypto/sha1.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "crypto/sha1_internal.h"
 
 namespace privmark {
 
@@ -35,7 +38,7 @@ void Sha1::Update(const uint8_t* data, size_t len) {
   }
 }
 
-void Sha1::Update(const std::string& data) {
+void Sha1::Update(std::string_view data) {
   Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
 }
 
@@ -73,7 +76,7 @@ std::vector<uint8_t> Sha1::Finish() {
   return digest;
 }
 
-std::vector<uint8_t> Sha1::Hash(const std::string& data) {
+std::vector<uint8_t> Sha1::Hash(std::string_view data) {
   Sha1 hasher;
   hasher.Update(data);
   return hasher.Finish();
@@ -84,6 +87,12 @@ void Sha1::ProcessBlock(const uint8_t block[64]) {
 }
 
 void Sha1::Compress(uint32_t h[5], const uint8_t block[64]) {
+  crypto_internal::Sha1Compress(h, block);
+}
+
+namespace crypto_internal {
+
+void Sha1Compress(uint32_t h[5], const uint8_t block[64]) {
   // Message schedule kept as a 16-word ring buffer and fused into the
   // rounds; the rounds split into their four fixed-(f, k) phases so the
   // round body carries no per-iteration branching. Both transformations
@@ -134,6 +143,8 @@ void Sha1::Compress(uint32_t h[5], const uint8_t block[64]) {
   h[3] += d;
   h[4] += e;
 }
+
+}  // namespace crypto_internal
 
 void Sha1::HashSingleBlock(const uint8_t* data, size_t len, uint8_t* out) {
   // One padded block holds at most 55 message bytes.

@@ -11,7 +11,7 @@
 #define PRIVMARK_CRYPTO_SHA1_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 #include <vector>
 
 namespace privmark {
@@ -25,7 +25,9 @@ class Sha1 {
 
   /// \brief Absorbs `len` bytes.
   void Update(const uint8_t* data, size_t len);
-  void Update(const std::string& data);
+  /// \brief string_view overload: accepts std::string, literals, and
+  /// substrings alike without materializing a temporary string.
+  void Update(std::string_view data);
 
   /// \brief Finishes and returns the 20-byte digest. The hasher must not be
   /// reused after Finish() without Reset().
@@ -39,7 +41,7 @@ class Sha1 {
   void Reset();
 
   /// \brief One-shot convenience.
-  static std::vector<uint8_t> Hash(const std::string& data);
+  static std::vector<uint8_t> Hash(std::string_view data);
 
   /// \brief One-shot digest of a message short enough for a single padded
   /// block (`len` <= 55 bytes): no state object, one compress call. This

@@ -1,0 +1,451 @@
+#include "crypto/sha1_multibuffer.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "crypto/sha1.h"
+#include "crypto/sha1_internal.h"
+#include "crypto/sha1_multibuffer_internal.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace privmark {
+
+namespace {
+
+// Big-endian word load, byte by byte: alignment-clean under UBSan on every
+// target, and compilers turn the idiom into a single bswap'd load anyway.
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+// ---------------------------------------------------------------------------
+// Portable lane kernel: word-major state h[word * L + lane], elementwise
+// lane loops in every round. The L-wide inner loops carry no cross-lane
+// dependency, so the compiler either autovectorizes them or at least keeps
+// L independent dependency chains in flight — that ILP, not vector width,
+// is where most of the win over one-message-at-a-time hashing comes from.
+// ---------------------------------------------------------------------------
+
+template <size_t L>
+void CompressLanesPortable(uint32_t* h, const uint8_t* const* blocks) {
+  uint32_t w[16][L];
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t l = 0; l < L; ++l) {
+      w[i][l] = LoadBe32(blocks[l] + 4 * i);
+    }
+  }
+  uint32_t a[L], b[L], c[L], d[L], e[L];
+  for (size_t l = 0; l < L; ++l) {
+    a[l] = h[0 * L + l];
+    b[l] = h[1 * L + l];
+    c[l] = h[2 * L + l];
+    d[l] = h[3 * L + l];
+    e[l] = h[4 * L + l];
+  }
+  uint32_t wi[L];
+  uint32_t f[L];
+  auto take = [&](size_t i) {
+    for (size_t l = 0; l < L; ++l) wi[l] = w[i & 15][l];
+  };
+  auto schedule = [&](size_t i) {
+    for (size_t l = 0; l < L; ++l) {
+      const uint32_t next = Rotl32(w[(i + 13) & 15][l] ^ w[(i + 8) & 15][l] ^
+                                       w[(i + 2) & 15][l] ^ w[i & 15][l],
+                                   1);
+      w[i & 15][l] = next;
+      wi[l] = next;
+    }
+  };
+  auto round = [&](uint32_t k) {
+    for (size_t l = 0; l < L; ++l) {
+      const uint32_t tmp = Rotl32(a[l], 5) + f[l] + e[l] + k + wi[l];
+      e[l] = d[l];
+      d[l] = c[l];
+      c[l] = Rotl32(b[l], 30);
+      b[l] = a[l];
+      a[l] = tmp;
+    }
+  };
+  auto ch = [&] {
+    for (size_t l = 0; l < L; ++l) f[l] = d[l] ^ (b[l] & (c[l] ^ d[l]));
+  };
+  auto parity = [&] {
+    for (size_t l = 0; l < L; ++l) f[l] = b[l] ^ c[l] ^ d[l];
+  };
+  auto maj = [&] {
+    for (size_t l = 0; l < L; ++l) {
+      f[l] = (b[l] & c[l]) | (d[l] & (b[l] | c[l]));
+    }
+  };
+  for (size_t i = 0; i < 16; ++i) {
+    take(i);
+    ch();
+    round(0x5A827999);
+  }
+  for (size_t i = 16; i < 20; ++i) {
+    schedule(i);
+    ch();
+    round(0x5A827999);
+  }
+  for (size_t i = 20; i < 40; ++i) {
+    schedule(i);
+    parity();
+    round(0x6ED9EBA1);
+  }
+  for (size_t i = 40; i < 60; ++i) {
+    schedule(i);
+    maj();
+    round(0x8F1BBCDC);
+  }
+  for (size_t i = 60; i < 80; ++i) {
+    schedule(i);
+    parity();
+    round(0xCA62C1D6);
+  }
+  for (size_t l = 0; l < L; ++l) {
+    h[0 * L + l] += a[l];
+    h[1 * L + l] += b[l];
+    h[2 * L + l] += c[l];
+    h[3 * L + l] += d[l];
+    h[4 * L + l] += e[l];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 4-lane kernel (x86-64 baseline, no extra compile flags needed).
+// One 32-bit element per message; same phase structure as the scalar
+// compress in sha1.cc.
+// ---------------------------------------------------------------------------
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+inline __m128i RotlV(__m128i x, int k) {
+  return _mm_or_si128(_mm_slli_epi32(x, k), _mm_srli_epi32(x, 32 - k));
+}
+
+void CompressLanes4Sse2(uint32_t* h, const uint8_t* const* blocks) {
+  __m128i w[16];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = _mm_set_epi32(static_cast<int>(LoadBe32(blocks[3] + 4 * i)),
+                         static_cast<int>(LoadBe32(blocks[2] + 4 * i)),
+                         static_cast<int>(LoadBe32(blocks[1] + 4 * i)),
+                         static_cast<int>(LoadBe32(blocks[0] + 4 * i)));
+  }
+  __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + 0));
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + 4));
+  __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + 8));
+  __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + 12));
+  __m128i e = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + 16));
+  const __m128i a0 = a, b0 = b, c0 = c, d0 = d, e0 = e;
+
+  auto schedule = [&w](int i) {
+    const __m128i next =
+        RotlV(_mm_xor_si128(_mm_xor_si128(w[(i + 13) & 15], w[(i + 8) & 15]),
+                            _mm_xor_si128(w[(i + 2) & 15], w[i & 15])),
+              1);
+    w[i & 15] = next;
+    return next;
+  };
+  auto round = [&](__m128i f, uint32_t k, __m128i wi) {
+    const __m128i tmp = _mm_add_epi32(
+        _mm_add_epi32(RotlV(a, 5), f),
+        _mm_add_epi32(_mm_add_epi32(e, wi),
+                      _mm_set1_epi32(static_cast<int>(k))));
+    e = d;
+    d = c;
+    c = RotlV(b, 30);
+    b = a;
+    a = tmp;
+  };
+  auto ch = [&] { return _mm_xor_si128(d, _mm_and_si128(b, _mm_xor_si128(c, d))); };
+  auto parity = [&] { return _mm_xor_si128(b, _mm_xor_si128(c, d)); };
+  auto maj = [&] {
+    return _mm_or_si128(_mm_and_si128(b, c),
+                        _mm_and_si128(d, _mm_or_si128(b, c)));
+  };
+  for (int i = 0; i < 16; ++i) round(ch(), 0x5A827999, w[i]);
+  for (int i = 16; i < 20; ++i) round(ch(), 0x5A827999, schedule(i));
+  for (int i = 20; i < 40; ++i) round(parity(), 0x6ED9EBA1, schedule(i));
+  for (int i = 40; i < 60; ++i) round(maj(), 0x8F1BBCDC, schedule(i));
+  for (int i = 60; i < 80; ++i) round(parity(), 0xCA62C1D6, schedule(i));
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(h + 0), _mm_add_epi32(a0, a));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(h + 4), _mm_add_epi32(b0, b));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(h + 8), _mm_add_epi32(c0, c));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(h + 12), _mm_add_epi32(d0, d));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(h + 16), _mm_add_epi32(e0, e));
+}
+
+#endif  // x86-64
+
+// ---------------------------------------------------------------------------
+// NEON 4-lane kernel (AArch64 baseline).
+// ---------------------------------------------------------------------------
+
+#if defined(__aarch64__)
+
+template <int K>
+inline uint32x4_t RotlN(uint32x4_t x) {
+  return vorrq_u32(vshlq_n_u32(x, K), vshrq_n_u32(x, 32 - K));
+}
+
+void CompressLanes4Neon(uint32_t* h, const uint8_t* const* blocks) {
+  uint32x4_t w[16];
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t words[4] = {
+        LoadBe32(blocks[0] + 4 * i), LoadBe32(blocks[1] + 4 * i),
+        LoadBe32(blocks[2] + 4 * i), LoadBe32(blocks[3] + 4 * i)};
+    w[i] = vld1q_u32(words);
+  }
+  uint32x4_t a = vld1q_u32(h + 0);
+  uint32x4_t b = vld1q_u32(h + 4);
+  uint32x4_t c = vld1q_u32(h + 8);
+  uint32x4_t d = vld1q_u32(h + 12);
+  uint32x4_t e = vld1q_u32(h + 16);
+  const uint32x4_t a0 = a, b0 = b, c0 = c, d0 = d, e0 = e;
+
+  auto schedule = [&w](int i) {
+    const uint32x4_t next = RotlN<1>(
+        veorq_u32(veorq_u32(w[(i + 13) & 15], w[(i + 8) & 15]),
+                  veorq_u32(w[(i + 2) & 15], w[i & 15])));
+    w[i & 15] = next;
+    return next;
+  };
+  auto round = [&](uint32x4_t f, uint32_t k, uint32x4_t wi) {
+    const uint32x4_t tmp = vaddq_u32(
+        vaddq_u32(RotlN<5>(a), f),
+        vaddq_u32(vaddq_u32(e, wi), vdupq_n_u32(k)));
+    e = d;
+    d = c;
+    c = RotlN<30>(b);
+    b = a;
+    a = tmp;
+  };
+  auto ch = [&] { return veorq_u32(d, vandq_u32(b, veorq_u32(c, d))); };
+  auto parity = [&] { return veorq_u32(b, veorq_u32(c, d)); };
+  auto maj = [&] {
+    return vorrq_u32(vandq_u32(b, c), vandq_u32(d, vorrq_u32(b, c)));
+  };
+  for (int i = 0; i < 16; ++i) round(ch(), 0x5A827999, w[i]);
+  for (int i = 16; i < 20; ++i) round(ch(), 0x5A827999, schedule(i));
+  for (int i = 20; i < 40; ++i) round(parity(), 0x6ED9EBA1, schedule(i));
+  for (int i = 40; i < 60; ++i) round(maj(), 0x8F1BBCDC, schedule(i));
+  for (int i = 60; i < 80; ++i) round(parity(), 0xCA62C1D6, schedule(i));
+
+  vst1q_u32(h + 0, vaddq_u32(a0, a));
+  vst1q_u32(h + 4, vaddq_u32(b0, b));
+  vst1q_u32(h + 8, vaddq_u32(c0, c));
+  vst1q_u32(h + 12, vaddq_u32(d0, d));
+  vst1q_u32(h + 16, vaddq_u32(e0, e));
+}
+
+#endif  // __aarch64__
+
+// ---------------------------------------------------------------------------
+// Dispatch + mixed-length block scheduling.
+// ---------------------------------------------------------------------------
+
+struct BackendImpl {
+  const char* name;
+  size_t lanes;
+  void (*compress)(uint32_t* h, const uint8_t* const* blocks);
+};
+
+constexpr BackendImpl kPortable = {"portable", 4, &CompressLanesPortable<4>};
+#if defined(__x86_64__) || defined(_M_X64)
+constexpr BackendImpl kSse2 = {"sse2", 4, &CompressLanes4Sse2};
+constexpr BackendImpl kAvx2 = {"avx2", 8,
+                               &crypto_internal::Sha1CompressLanes8Avx2};
+#endif
+#if defined(__aarch64__)
+constexpr BackendImpl kNeon = {"neon", 4, &CompressLanes4Neon};
+#endif
+
+const BackendImpl* DetectBackend() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (crypto_internal::Sha1Avx2Compiled() && __builtin_cpu_supports("avx2")) {
+    return &kAvx2;
+  }
+  return &kSse2;
+#elif defined(__aarch64__)
+  return &kNeon;
+#else
+  return &kPortable;
+#endif
+}
+
+std::atomic<const BackendImpl*> g_backend{nullptr};
+
+const BackendImpl* ActiveImpl() {
+  const BackendImpl* impl = g_backend.load(std::memory_order_acquire);
+  if (impl == nullptr) {
+    impl = DetectBackend();
+    g_backend.store(impl, std::memory_order_release);
+  }
+  return impl;
+}
+
+// SHA-1 message occupies nblocks 64-byte blocks once padded: the 0x80
+// terminator plus the 8-byte bit length must fit after the message.
+inline size_t NumBlocks(size_t len) { return (len + 8) / 64 + 1; }
+
+// Returns the b'th block of a padded message: full in-message blocks come
+// straight from the message bytes (zero copy); boundary/padding blocks are
+// materialized into the caller's 64-byte scratch.
+const uint8_t* BlockPtr(std::string_view m, size_t b, size_t nblocks,
+                        uint8_t* scratch) {
+  const size_t off = b * 64;
+  if (off + 64 <= m.size()) {
+    return reinterpret_cast<const uint8_t*>(m.data()) + off;
+  }
+  std::memset(scratch, 0, 64);
+  if (off < m.size()) {
+    std::memcpy(scratch, m.data() + off, m.size() - off);
+  }
+  if (m.size() >= off && m.size() - off < 64) {
+    scratch[m.size() - off] = 0x80;
+  }
+  if (b + 1 == nblocks) {
+    const uint64_t bit_len = static_cast<uint64_t>(m.size()) * 8;
+    for (int i = 0; i < 8; ++i) {
+      scratch[56 + i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+    }
+  }
+  return scratch;
+}
+
+// Hashes exactly `L` messages (L == impl.lanes) of arbitrary mixed lengths.
+// Blocks advance in lock-step while every lane still has one; lanes whose
+// shorter messages have run out drop to the scalar compress on their strided
+// slice of the state, so mixed lengths stay byte-identical to Sha1::Hash.
+void HashGroup(const BackendImpl& impl, const std::string_view* msgs,
+               uint8_t* out) {
+  const size_t L = impl.lanes;
+  size_t nblocks[Sha1MultiBuffer::kMaxLanes];
+  size_t max_blocks = 0;
+  for (size_t l = 0; l < L; ++l) {
+    nblocks[l] = NumBlocks(msgs[l].size());
+    if (nblocks[l] > max_blocks) max_blocks = nblocks[l];
+  }
+  uint32_t h[5 * Sha1MultiBuffer::kMaxLanes];
+  for (size_t word = 0; word < 5; ++word) {
+    for (size_t l = 0; l < L; ++l) {
+      h[word * L + l] = crypto_internal::kSha1Init[word];
+    }
+  }
+  uint8_t scratch[Sha1MultiBuffer::kMaxLanes][64];
+  const uint8_t* blocks[Sha1MultiBuffer::kMaxLanes];
+  for (size_t b = 0; b < max_blocks; ++b) {
+    size_t active = 0;
+    for (size_t l = 0; l < L; ++l) {
+      if (nblocks[l] > b) ++active;
+    }
+    if (active == L) {
+      for (size_t l = 0; l < L; ++l) {
+        blocks[l] = BlockPtr(msgs[l], b, nblocks[l], scratch[l]);
+      }
+      impl.compress(h, blocks);
+    } else {
+      for (size_t l = 0; l < L; ++l) {
+        if (nblocks[l] <= b) continue;
+        uint32_t lane_h[5];
+        for (size_t word = 0; word < 5; ++word) lane_h[word] = h[word * L + l];
+        crypto_internal::Sha1Compress(
+            lane_h, BlockPtr(msgs[l], b, nblocks[l], scratch[l]));
+        for (size_t word = 0; word < 5; ++word) h[word * L + l] = lane_h[word];
+      }
+    }
+  }
+  for (size_t l = 0; l < L; ++l) {
+    uint8_t* digest = out + Sha1MultiBuffer::kDigestSize * l;
+    for (size_t word = 0; word < 5; ++word) {
+      const uint32_t v = h[word * L + l];
+      digest[4 * word + 0] = static_cast<uint8_t>(v >> 24);
+      digest[4 * word + 1] = static_cast<uint8_t>(v >> 16);
+      digest[4 * word + 2] = static_cast<uint8_t>(v >> 8);
+      digest[4 * word + 3] = static_cast<uint8_t>(v);
+    }
+  }
+}
+
+}  // namespace
+
+const char* Sha1MultiBuffer::Backend() { return ActiveImpl()->name; }
+
+size_t Sha1MultiBuffer::PreferredLanes() { return ActiveImpl()->lanes; }
+
+void Sha1MultiBuffer::Hash(const std::string_view* messages, size_t n,
+                           uint8_t* out) {
+  const BackendImpl* impl = ActiveImpl();
+  const size_t L = impl->lanes;
+  size_t i = 0;
+  for (; i + L <= n; i += L) {
+    HashGroup(*impl, messages + i, out + kDigestSize * i);
+  }
+  const size_t tail = n - i;
+  if (tail >= 2) {
+    // A partial group still beats hashing its messages one by one: pad the
+    // unused lanes with empty messages (one compress each, in lock-step
+    // with everyone's final block) and discard their digests. Only a
+    // single-message tail falls back to the scalar hasher.
+    std::string_view padded[kMaxLanes];
+    for (size_t j = 0; j < tail; ++j) padded[j] = messages[i + j];
+    for (size_t j = tail; j < L; ++j) padded[j] = std::string_view();
+    uint8_t digests[kMaxLanes * kDigestSize];
+    HashGroup(*impl, padded, digests);
+    std::memcpy(out + kDigestSize * i, digests, tail * kDigestSize);
+  } else if (tail == 1) {
+    Sha1 hasher;
+    hasher.Update(messages[i]);
+    hasher.FinishInto(out + kDigestSize * i);
+  }
+}
+
+std::vector<const char*> Sha1MultiBuffer::AvailableBackends() {
+  std::vector<const char*> names;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (crypto_internal::Sha1Avx2Compiled() && __builtin_cpu_supports("avx2")) {
+    names.push_back(kAvx2.name);
+  }
+  names.push_back(kSse2.name);
+#endif
+#if defined(__aarch64__)
+  names.push_back(kNeon.name);
+#endif
+  names.push_back(kPortable.name);
+  return names;
+}
+
+bool Sha1MultiBuffer::ForceBackend(const char* name) {
+  if (name == nullptr || std::strcmp(name, "auto") == 0) {
+    g_backend.store(DetectBackend(), std::memory_order_release);
+    return true;
+  }
+  for (const char* available : AvailableBackends()) {
+    if (std::strcmp(name, available) == 0) {
+      const BackendImpl* impl = &kPortable;
+#if defined(__x86_64__) || defined(_M_X64)
+      if (std::strcmp(name, kAvx2.name) == 0) impl = &kAvx2;
+      if (std::strcmp(name, kSse2.name) == 0) impl = &kSse2;
+#endif
+#if defined(__aarch64__)
+      if (std::strcmp(name, kNeon.name) == 0) impl = &kNeon;
+#endif
+      g_backend.store(impl, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace privmark

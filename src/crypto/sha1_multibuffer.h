@@ -1,0 +1,66 @@
+// Multi-buffer SHA-1: batched hashing of independent short messages.
+//
+// The watermarking hot loops (Eq. (5) tuple selection, Fig. 9 position
+// hashing, registry-scale fingerprint tallies) hash millions of *independent*
+// few-dozen-byte messages. A single SHA-1 compression is latency-bound — its
+// 80 rounds form one dependency chain — so hashing messages one at a time
+// leaves most of the core idle. This kernel compresses 4–8 messages in
+// interleaved lanes instead: the portable backend is a plain ILP-friendly
+// unrolled 4-lane loop (elementwise across lanes, autovectorizable), and on
+// x86-64 runtime dispatch upgrades to explicit SSE2 4-lane or AVX2 8-lane
+// vector code (one 32-bit lane element per message). AArch64 gets a NEON
+// 4-lane backend. Lane loads go through memcpy — no type-punned casts — so
+// the kernel is exactly as alignment-clean as the scalar path (UBSan-checked
+// in CI).
+//
+// Digests are byte-identical to Sha1::Hash for every backend, lane count,
+// and message length (including empty and multi-block messages): batching
+// changes throughput only, never values. The boundary suite in
+// tests/crypto/sha1_multibuffer_test.cc pins that down per backend.
+
+#ifndef PRIVMARK_CRYPTO_SHA1_MULTIBUFFER_H_
+#define PRIVMARK_CRYPTO_SHA1_MULTIBUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace privmark {
+
+/// \brief Batched SHA-1 over independent messages.
+class Sha1MultiBuffer {
+ public:
+  /// Widest lane count any backend uses (AVX2).
+  static constexpr size_t kMaxLanes = 8;
+  static constexpr size_t kDigestSize = 20;
+
+  /// \brief Name of the active backend: "avx2", "sse2", "neon", or
+  /// "portable".
+  static const char* Backend();
+
+  /// \brief Lane width of the active backend (8 for AVX2, else 4).
+  /// Callers that size their own batches get full lanes by using a
+  /// multiple of this.
+  static size_t PreferredLanes();
+
+  /// \brief Hashes `n` independent messages of arbitrary (and mixed)
+  /// lengths; writes message i's 20-byte digest at out + kDigestSize * i.
+  /// Internally processes full lane groups through the active backend and
+  /// any tail scalarly. Byte-identical to Sha1::Hash per message.
+  static void Hash(const std::string_view* messages, size_t n, uint8_t* out);
+
+  /// \brief Backends compiled into this binary and usable on this CPU, in
+  /// preference order (the first is the auto-selected one).
+  static std::vector<const char*> AvailableBackends();
+
+  /// \brief Test/bench hook: pins the backend by name until the next call.
+  /// nullptr or "auto" restores automatic selection. Returns false (and
+  /// changes nothing) for an unknown or unavailable name. Not meant for
+  /// concurrent use with in-flight Hash() calls.
+  static bool ForceBackend(const char* name);
+};
+
+}  // namespace privmark
+
+#endif  // PRIVMARK_CRYPTO_SHA1_MULTIBUFFER_H_

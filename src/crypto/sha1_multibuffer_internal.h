@@ -1,0 +1,29 @@
+// Internal seam between sha1_multibuffer.cc (dispatch + block scheduling)
+// and sha1_multibuffer_avx2.cc (the 8-lane kernel, which must live in its
+// own translation unit compiled with -mavx2: only that TU may contain AVX2
+// intrinsics, and the dispatcher itself must stay runnable on SSE2-only
+// CPUs). Not part of the public crypto API.
+
+#ifndef PRIVMARK_CRYPTO_SHA1_MULTIBUFFER_INTERNAL_H_
+#define PRIVMARK_CRYPTO_SHA1_MULTIBUFFER_INTERNAL_H_
+
+#include <cstdint>
+
+namespace privmark {
+namespace crypto_internal {
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// \brief True when the binary carries a real AVX2 kernel (the AVX2 TU was
+/// compiled with -mavx2). Callers must still check the CPU at runtime.
+bool Sha1Avx2Compiled();
+
+/// \brief Eight-lane SHA-1 compression. `h` is word-major chaining state
+/// (h[word * 8 + lane]); blocks[lane] points at lane's 64-byte block. Must
+/// only be called when Sha1Avx2Compiled() and the CPU supports AVX2.
+void Sha1CompressLanes8Avx2(uint32_t* h, const uint8_t* const* blocks);
+#endif
+
+}  // namespace crypto_internal
+}  // namespace privmark
+
+#endif  // PRIVMARK_CRYPTO_SHA1_MULTIBUFFER_INTERNAL_H_

@@ -79,27 +79,173 @@ Result<DetectIndex> BuildIndexImpl(const Table& table, size_t ident_column,
   return index;
 }
 
-// The keyed inner loop shared by TallyDetect and MultiKeyTally: replays
-// selection and position hashing over [begin, end), reading slot votes
-// from the index. Mirrors the fused Detect() loop statement for
-// statement, so counters and tallies come out identical.
+// The keyed inner loop of TallyDetect: replays selection and position
+// hashing over [begin, end), reading slot votes from the index. Row
+// blocks batch both hash kinds through the multi-buffer kernel (identifier
+// views come straight from the index, position messages from a per-block
+// arena), so values, counters, and tallies come out identical to the fused
+// Detect() — only the hashing schedule differs.
 void TallyRows(const DetectIndex& index, WatermarkHasher* hasher,
                size_t wmd_size, size_t begin, size_t end, VoteShard* shard) {
   const size_t num_cols = index.num_columns();
-  for (size_t r = begin; r < end; ++r) {
-    const std::string_view ident = index.ident(r);
-    if (!hasher->TupleSelected(ident)) continue;
-    ++shard->tuples_selected;
-    for (size_t c = 0; c < num_cols; ++c) {
-      const SlotVote vote = index.slots[r * num_cols + c];
-      if (vote == SlotVote::kSkip) {
-        ++shard->slots_skipped;
-        continue;
+  constexpr size_t kRows = WatermarkHasher::kBlockRows;
+  std::string_view idents[kRows];
+  uint8_t selected[kRows];
+  std::string arena;
+  std::vector<size_t> msg_ends;
+  std::vector<uint8_t> vote_ones;
+  std::vector<std::string_view> messages;
+  std::vector<size_t> positions;
+  for (size_t b = begin; b < end; b += kRows) {
+    const size_t n = std::min(kRows, end - b);
+    for (size_t i = 0; i < n; ++i) idents[i] = index.ident(b + i);
+    hasher->SelectBlock(idents, n, selected);
+    arena.clear();
+    msg_ends.clear();
+    vote_ones.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (selected[i] == 0) continue;
+      ++shard->tuples_selected;
+      const size_t r = b + i;
+      for (size_t c = 0; c < num_cols; ++c) {
+        const SlotVote vote = index.slots[r * num_cols + c];
+        if (vote == SlotVote::kSkip) {
+          ++shard->slots_skipped;
+          continue;
+        }
+        WatermarkHasher::AppendPositionMessage(idents[i],
+                                               index.column_names[c], &arena);
+        msg_ends.push_back(arena.size());
+        vote_ones.push_back(vote == SlotVote::kOne ? 1 : 0);
       }
-      const size_t pos =
-          hasher->WmdPosition(ident, index.column_names[c], wmd_size);
-      (vote == SlotVote::kOne ? shard->ones[pos] : shard->zeros[pos]) += 1.0;
+    }
+    messages.resize(msg_ends.size());
+    positions.resize(msg_ends.size());
+    size_t start = 0;
+    for (size_t j = 0; j < msg_ends.size(); ++j) {
+      messages[j] = std::string_view(arena).substr(start, msg_ends[j] - start);
+      start = msg_ends[j];
+    }
+    hasher->PositionBlock(messages.data(), messages.size(), wmd_size,
+                          positions.data());
+    for (size_t j = 0; j < msg_ends.size(); ++j) {
+      (vote_ones[j] != 0 ? shard->ones[positions[j]]
+                         : shard->zeros[positions[j]]) += 1.0;
       ++shard->slots_read;
+    }
+  }
+}
+
+// Keys per multi-key tally group: one AVX2 lane group's worth, so even a
+// single row's position message fills the widest kernel when all group
+// keys select it.
+constexpr size_t kKeyLanes = 8;
+
+// The multi-key twin of TallyRows: tallies rows [begin, end) for
+// `num_keys` (<= kKeyLanes) keys at once into shards[0..num_keys).
+// Amortizes per-row work across the whole group — identifier views are
+// gathered once, selection hashes for all (key, row) pairs of a block go
+// through one batched call, and each voting (row, column) position message
+// is assembled once and then hashed per selecting key. Per key the values,
+// counters, and tallies are identical to a single-key TallyRows pass.
+void TallyRowsMultiKey(const DetectIndex& index, const WatermarkKey* keys,
+                       size_t num_keys, HashAlgorithm algo, size_t wmd_size,
+                       size_t begin, size_t end, VoteShard* shards) {
+  const size_t num_cols = index.num_columns();
+  constexpr size_t kRows = WatermarkHasher::kBlockRows;
+  std::string_view idents[kRows];
+  std::vector<KeyedHashInput> sel_inputs;
+  std::vector<uint64_t> sel_hashes;
+  std::vector<uint8_t> selected;  // [key * kRows + row-in-block]
+  std::string arena;
+  std::vector<size_t> msg_ends;
+  std::vector<int> msg_idx;  // [row-in-block * num_cols], -1 = no message
+  std::vector<std::string_view> messages;
+  std::vector<KeyedHashInput> pos_inputs;
+  std::vector<uint64_t> pos_hashes;
+  struct PendingVote {
+    uint32_t key;
+    uint8_t one;
+  };
+  std::vector<PendingVote> pending;
+  for (size_t b = begin; b < end; b += kRows) {
+    const size_t n = std::min(kRows, end - b);
+    for (size_t i = 0; i < n; ++i) idents[i] = index.ident(b + i);
+
+    // Selection for every (key, row) pair in one batch.
+    sel_inputs.clear();
+    for (size_t k = 0; k < num_keys; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        sel_inputs.push_back({keys[k].k1, idents[i]});
+      }
+    }
+    sel_hashes.resize(sel_inputs.size());
+    KeyedHash64Batch(algo, sel_inputs.data(), sel_inputs.size(),
+                     sel_hashes.data());
+    selected.assign(num_keys * kRows, 0);
+    for (size_t k = 0; k < num_keys; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        selected[k * kRows + i] =
+            sel_hashes[k * n + i] % keys[k].eta == 0 ? 1 : 0;
+      }
+    }
+
+    // Assemble each voting (row, column) message once — for rows any key
+    // selected — then hash it once per selecting key below.
+    arena.clear();
+    msg_ends.clear();
+    msg_idx.assign(n * num_cols, -1);
+    for (size_t i = 0; i < n; ++i) {
+      bool any = false;
+      for (size_t k = 0; k < num_keys && !any; ++k) {
+        any = selected[k * kRows + i] != 0;
+      }
+      if (!any) continue;
+      const size_t r = b + i;
+      for (size_t c = 0; c < num_cols; ++c) {
+        if (index.slots[r * num_cols + c] == SlotVote::kSkip) continue;
+        msg_idx[i * num_cols + c] = static_cast<int>(msg_ends.size());
+        WatermarkHasher::AppendPositionMessage(idents[i],
+                                               index.column_names[c], &arena);
+        msg_ends.push_back(arena.size());
+      }
+    }
+    messages.resize(msg_ends.size());
+    size_t start = 0;
+    for (size_t j = 0; j < msg_ends.size(); ++j) {
+      messages[j] = std::string_view(arena).substr(start, msg_ends[j] - start);
+      start = msg_ends[j];
+    }
+
+    pos_inputs.clear();
+    pending.clear();
+    for (size_t k = 0; k < num_keys; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        if (selected[k * kRows + i] == 0) continue;
+        ++shards[k].tuples_selected;
+        const size_t r = b + i;
+        for (size_t c = 0; c < num_cols; ++c) {
+          const SlotVote vote = index.slots[r * num_cols + c];
+          if (vote == SlotVote::kSkip) {
+            ++shards[k].slots_skipped;
+            continue;
+          }
+          pos_inputs.push_back(
+              {keys[k].k2, messages[msg_idx[i * num_cols + c]]});
+          pending.push_back({static_cast<uint32_t>(k),
+                             vote == SlotVote::kOne ? uint8_t{1}
+                                                    : uint8_t{0}});
+        }
+      }
+    }
+    pos_hashes.resize(pos_inputs.size());
+    KeyedHash64Batch(algo, pos_inputs.data(), pos_inputs.size(),
+                     pos_hashes.data());
+    for (size_t j = 0; j < pending.size(); ++j) {
+      const size_t pos = static_cast<size_t>(pos_hashes[j] % wmd_size);
+      VoteShard& shard = shards[pending[j].key];
+      (pending[j].one != 0 ? shard.ones[pos] : shard.zeros[pos]) += 1.0;
+      ++shard.slots_read;
     }
   }
 }
@@ -197,41 +343,54 @@ Result<std::vector<DetectReport>> MultiKeyTally(
     return reports;
   }
 
-  // Keys are processed in blocks so live VoteShards stay O(threads), not
-  // O(K) — a thousands-of-keys scan must not hold thousands of wmd-sized
-  // tallies at once. Each block flattens into one (key x shard) fork-join
-  // batch with ~4 tasks per worker; within a block, task t owns cell
-  // cells[t] and nothing else, and each key's cells merge in shard order.
+  // Keys tally in lane groups of kKeyLanes: a (group x shard) task walks
+  // its rows once for all group keys (TallyRowsMultiKey), amortizing ident
+  // gathering and position-message assembly K-fold. Groups are processed
+  // in blocks so live VoteShards stay O(threads x kKeyLanes), not O(K) — a
+  // thousands-of-keys scan must not hold thousands of wmd-sized tallies at
+  // once. Within a block, task t owns its kKeyLanes-cell stripe and
+  // nothing else, and each key's cells merge in shard order.
   const size_t num_threads = pool == nullptr ? 1 : pool->num_threads();
-  const size_t block =
+  const size_t num_groups = (keys.size() + kKeyLanes - 1) / kKeyLanes;
+  const size_t group_block =
       pool == nullptr
           ? 1
           : std::max<size_t>(1, (4 * num_threads + num_shards - 1) /
                                     num_shards);
   std::vector<VoteShard> cells;
-  for (size_t k0 = 0; k0 < keys.size(); k0 += block) {
-    const size_t block_keys = std::min(keys.size() - k0, block);
-    cells.assign(block_keys * num_shards, VoteShard(wmd_size));
+  for (size_t g0 = 0; g0 < num_groups; g0 += group_block) {
+    const size_t block_groups = std::min(num_groups - g0, group_block);
+    // Layout: cells[(gi * num_shards + s) * kKeyLanes + lane]; tail groups
+    // leave their unused lane cells empty.
+    cells.assign(block_groups * num_shards * kKeyLanes, VoteShard(wmd_size));
     const auto task = [&](size_t t) {
-      const size_t ki = t / num_shards;
+      const size_t gi = t / num_shards;
       const size_t s = t % num_shards;
-      WatermarkHasher hasher(keys[k0 + ki], algo);
-      TallyRows(index, &hasher, wmd_size, shards[s].begin, shards[s].end,
-                &cells[t]);
+      const size_t k0 = (g0 + gi) * kKeyLanes;
+      const size_t group_keys = std::min(keys.size() - k0, kKeyLanes);
+      TallyRowsMultiKey(index, keys.data() + k0, group_keys, algo, wmd_size,
+                        shards[s].begin, shards[s].end,
+                        &cells[(gi * num_shards + s) * kKeyLanes]);
     };
     if (pool == nullptr) {
-      for (size_t t = 0; t < block_keys * num_shards; ++t) task(t);
+      for (size_t t = 0; t < block_groups * num_shards; ++t) task(t);
     } else {
-      pool->Run(block_keys * num_shards, task);
+      pool->Run(block_groups * num_shards, task);
     }
-    for (size_t ki = 0; ki < block_keys; ++ki) {
-      VoteShard votes(wmd_size);
-      for (size_t s = 0; s < num_shards; ++s) {
-        MergeVotes(&votes, std::move(cells[ki * num_shards + s]));
+    for (size_t gi = 0; gi < block_groups; ++gi) {
+      const size_t k0 = (g0 + gi) * kKeyLanes;
+      const size_t group_keys = std::min(keys.size() - k0, kKeyLanes);
+      for (size_t lane = 0; lane < group_keys; ++lane) {
+        VoteShard votes(wmd_size);
+        for (size_t s = 0; s < num_shards; ++s) {
+          MergeVotes(&votes,
+                     std::move(cells[(gi * num_shards + s) * kKeyLanes +
+                                     lane]));
+        }
+        DetectReport report;
+        FoldVotes(votes, wm_size, wmd_size, &report);
+        reports.push_back(std::move(report));
       }
-      DetectReport report;
-      FoldVotes(votes, wm_size, wmd_size, &report);
-      reports.push_back(std::move(report));
     }
   }
   return reports;

@@ -19,7 +19,9 @@
 #include <utility>
 #include <vector>
 
+#include "relation/table.h"
 #include "relation/value.h"
+#include "watermark/watermark_key.h"
 
 namespace privmark {
 namespace watermark_internal {
@@ -32,6 +34,37 @@ inline std::string_view IdentText(const Value& cell, std::string* scratch) {
   *scratch = cell.ToString();
   return *scratch;
 }
+
+/// \brief One row block's identifier texts plus their batched Eq. (5)
+/// selection bits. Every row scan (bandwidth pre-pass, embed resolve,
+/// detect) walks blocks of kRows rows through Load() so selection hashes
+/// go through the multi-buffer kernel in full lane groups instead of one
+/// KeyedHash64 per tuple. Values are identical to per-row TupleSelected.
+class IdentBlock {
+ public:
+  static constexpr size_t kRows = WatermarkHasher::kBlockRows;
+
+  /// \brief Gathers idents for rows [begin, begin + n) (n <= kRows) and
+  /// runs one batched selection. Views stay valid until the next Load().
+  void Load(const Table& table, size_t ident_column, size_t begin, size_t n,
+            WatermarkHasher* hasher) {
+    n_ = n;
+    for (size_t i = 0; i < n; ++i) {
+      idents_[i] = IdentText(table.at(begin + i, ident_column), &scratch_[i]);
+    }
+    hasher->SelectBlock(idents_, n, selected_);
+  }
+
+  size_t size() const { return n_; }
+  std::string_view ident(size_t i) const { return idents_[i]; }
+  bool selected(size_t i) const { return selected_[i] != 0; }
+
+ private:
+  size_t n_ = 0;
+  std::string_view idents_[kRows];
+  uint8_t selected_[kRows];
+  std::string scratch_[kRows];  // backing for non-string identifier cells
+};
 
 /// \brief One selected tuple with its slots as a [slot_begin, slot_end)
 /// range into the embedder's flat slot vector. The identifier is copied
@@ -51,9 +84,21 @@ template <typename SlotT>
 struct ResolvedShard {
   std::vector<SelectedTuple> tuples;
   std::vector<SlotT> slots;
+  /// Position-hash messages ("pos:" ident ":" column), one per slot,
+  /// appended back to back: slot i's bytes are
+  /// pos_bytes[(i == 0 ? 0 : pos_ends[i-1]) .. pos_ends[i]). Assembled
+  /// once in the resolve pass so the write pass batch-hashes whole shards
+  /// of slots without re-concatenating per slot.
+  std::string pos_bytes;
+  std::vector<size_t> pos_ends;
   size_t tuples_selected = 0;
   size_t slots_skipped_no_gap = 0;
   size_t bandwidth = 0;
+
+  std::string_view pos_msg(size_t slot) const {
+    const size_t begin = slot == 0 ? 0 : pos_ends[slot - 1];
+    return std::string_view(pos_bytes).substr(begin, pos_ends[slot] - begin);
+  }
 };
 
 /// \brief Shard-order merge for ResolvedShard: rebases the incoming slot
@@ -71,6 +116,14 @@ void MergeResolve(ResolvedShard<SlotT>* acc, ResolvedShard<SlotT>&& shard) {
   acc->slots.insert(acc->slots.end(),
                     std::make_move_iterator(shard.slots.begin()),
                     std::make_move_iterator(shard.slots.end()));
+  // Concatenating the arenas keeps the pos_msg invariant: the incoming
+  // shard's first message starts exactly where the accumulated bytes end.
+  const size_t byte_offset = acc->pos_bytes.size();
+  acc->pos_bytes += shard.pos_bytes;
+  acc->pos_ends.reserve(acc->pos_ends.size() + shard.pos_ends.size());
+  for (size_t end : shard.pos_ends) {
+    acc->pos_ends.push_back(end + byte_offset);
+  }
   acc->tuples_selected += shard.tuples_selected;
   acc->slots_skipped_no_gap += shard.slots_skipped_no_gap;
   acc->bandwidth += shard.bandwidth;

@@ -1,5 +1,6 @@
 #include "watermark/hierarchical.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -11,7 +12,7 @@ namespace privmark {
 
 namespace {
 
-using watermark_internal::IdentText;
+using watermark_internal::IdentBlock;
 using watermark_internal::MergeResolve;
 using watermark_internal::ResolvedShard;
 using watermark_internal::SelectedTuple;
@@ -110,21 +111,24 @@ Result<size_t> HierarchicalWatermarker::EstimateBandwidth(
       pool, table.num_rows(), size_t{0},
       [&](size_t, size_t begin, size_t end) -> Result<size_t> {
         WatermarkHasher hasher(key_, options_.hash);
-        std::string scratch;
+        IdentBlock block;
         size_t slots = 0;
-        for (size_t r = begin; r < end; ++r) {
-          const std::string_view ident =
-              IdentText(table.at(r, ident_column_), &scratch);
-          if (!hasher.TupleSelected(ident)) continue;
-          for (size_t c = 0; c < qi_columns_.size(); ++c) {
-            const Value& cell = table.at(r, qi_columns_[c]);
-            auto node = cell.type() == ValueType::kString
-                            ? ultimate_[c].NodeForLabel(cell.AsString())
-                            : ultimate_[c].NodeForLabel(cell.ToString());
-            if (!node.ok()) continue;
-            const NodeId max_node = MaximalAbove(c, *node);
-            if (max_node == kInvalidNode || max_node == *node) continue;
-            ++slots;
+        for (size_t b = begin; b < end; b += IdentBlock::kRows) {
+          const size_t n = std::min(IdentBlock::kRows, end - b);
+          block.Load(table, ident_column_, b, n, &hasher);
+          for (size_t i = 0; i < n; ++i) {
+            if (!block.selected(i)) continue;
+            const size_t r = b + i;
+            for (size_t c = 0; c < qi_columns_.size(); ++c) {
+              const Value& cell = table.at(r, qi_columns_[c]);
+              auto node = cell.type() == ValueType::kString
+                              ? ultimate_[c].NodeForLabel(cell.AsString())
+                              : ultimate_[c].NodeForLabel(cell.ToString());
+              if (!node.ok()) continue;
+              const NodeId max_node = MaximalAbove(c, *node);
+              if (max_node == kInvalidNode || max_node == *node) continue;
+              ++slots;
+            }
           }
         }
         return slots;
@@ -156,34 +160,44 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
           [&](size_t, size_t begin, size_t end) -> Result<Resolved> {
             Resolved shard;
             WatermarkHasher hasher(key_, options_.hash);
-            std::string scratch;
-            for (size_t r = begin; r < end; ++r) {
-              const std::string_view ident =
-                  IdentText(table->at(r, ident_column_), &scratch);
-              if (!hasher.TupleSelected(ident)) continue;
-              ++shard.tuples_selected;
-              SelectedTuple tuple{r, std::string(ident), shard.slots.size(),
-                                  shard.slots.size()};
-              for (size_t c = 0; c < qi_columns_.size(); ++c) {
-                const Value& cell = table->at(r, qi_columns_[c]);
-                PRIVMARK_ASSIGN_OR_RETURN(
-                    NodeId node,
-                    cell.type() == ValueType::kString
-                        ? ultimate_[c].NodeForLabel(cell.AsString())
-                        : ultimate_[c].NodeForLabel(cell.ToString()));
-                const NodeId max_node = MaximalAbove(c, node);
-                if (max_node == kInvalidNode || max_node == node) {
-                  // Zero-gap special case (Sec. 5.2): permutation here
-                  // would exceed the usage metrics, so the slot carries no
-                  // bit.
-                  ++shard.slots_skipped_no_gap;
-                  continue;
+            IdentBlock block;
+            for (size_t b = begin; b < end; b += IdentBlock::kRows) {
+              const size_t n = std::min(IdentBlock::kRows, end - b);
+              block.Load(*table, ident_column_, b, n, &hasher);
+              for (size_t i = 0; i < n; ++i) {
+                if (!block.selected(i)) continue;
+                const size_t r = b + i;
+                const std::string_view ident = block.ident(i);
+                ++shard.tuples_selected;
+                SelectedTuple tuple{r, std::string(ident),
+                                    shard.slots.size(), shard.slots.size()};
+                for (size_t c = 0; c < qi_columns_.size(); ++c) {
+                  const Value& cell = table->at(r, qi_columns_[c]);
+                  PRIVMARK_ASSIGN_OR_RETURN(
+                      NodeId node,
+                      cell.type() == ValueType::kString
+                          ? ultimate_[c].NodeForLabel(cell.AsString())
+                          : ultimate_[c].NodeForLabel(cell.ToString()));
+                  const NodeId max_node = MaximalAbove(c, node);
+                  if (max_node == kInvalidNode || max_node == node) {
+                    // Zero-gap special case (Sec. 5.2): permutation here
+                    // would exceed the usage metrics, so the slot carries
+                    // no bit.
+                    ++shard.slots_skipped_no_gap;
+                    continue;
+                  }
+                  shard.slots.push_back(EmbedSlot{c, node, max_node});
+                  // Assemble the slot's position message now so the write
+                  // pass can batch-hash whole shards of slots.
+                  WatermarkHasher::AppendPositionMessage(
+                      ident, table->schema().column(qi_columns_[c]).name,
+                      &shard.pos_bytes);
+                  shard.pos_ends.push_back(shard.pos_bytes.size());
+                  ++shard.bandwidth;
                 }
-                shard.slots.push_back(EmbedSlot{c, node, max_node});
-                ++shard.bandwidth;
+                tuple.slot_end = shard.slots.size();
+                shard.tuples.push_back(std::move(tuple));
               }
-              tuple.slot_end = shard.slots.size();
-              shard.tuples.push_back(std::move(tuple));
             }
             return shard;
           },
@@ -211,7 +225,21 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
           [&](size_t, size_t begin,
               size_t end) -> Result<watermark_internal::WriteTally> {
             watermark_internal::WriteTally shard;
+            if (begin == end) return shard;
             WatermarkHasher hasher(key_, options_.hash);
+            // The shard's slots form one contiguous range; batch-hash all
+            // their (pre-assembled) position messages up front. The
+            // permutation walk below stays scalar: each step depends on
+            // the node the previous one landed on.
+            const size_t slot0 = resolved.tuples[begin].slot_begin;
+            const size_t slot1 = resolved.tuples[end - 1].slot_end;
+            std::vector<std::string_view> messages(slot1 - slot0);
+            std::vector<size_t> positions(slot1 - slot0);
+            for (size_t i = slot0; i < slot1; ++i) {
+              messages[i - slot0] = resolved.pos_msg(i);
+            }
+            hasher.PositionBlock(messages.data(), messages.size(),
+                                 wmd.size(), positions.data());
             for (size_t t = begin; t < end; ++t) {
               const SelectedTuple& tuple = resolved.tuples[t];
               for (size_t i = tuple.slot_begin; i < tuple.slot_end; ++i) {
@@ -221,8 +249,7 @@ Result<EmbedReport> HierarchicalWatermarker::Embed(Table* table,
                     table->schema().column(col).name;
                 const DomainHierarchy& tree = *ultimate_[slot.col_idx].tree();
 
-                const bool bit = wmd.Get(
-                    hasher.WmdPosition(tuple.ident, column_name, wmd.size()));
+                const bool bit = wmd.Get(positions[i - slot0]);
                 NodeId cur = slot.max_node;
                 bool encoded_any = false;
                 while (!ultimate_[slot.col_idx].Contains(cur)) {
@@ -284,28 +311,57 @@ Result<DetectReport> HierarchicalWatermarker::Detect(const Table& table,
           [&](size_t, size_t begin, size_t end) -> Result<VoteShard> {
             VoteShard shard(wmd_size);
             WatermarkHasher hasher(key_, options_.hash);
-            std::string scratch;
+            IdentBlock block;
             std::vector<std::pair<bool, int>> level_bits;  // (bit, depth)
-            for (size_t r = begin; r < end; ++r) {
-              const std::string_view ident =
-                  IdentText(table.at(r, ident_column_), &scratch);
-              if (!hasher.TupleSelected(ident)) continue;
-              ++shard.tuples_selected;
-
-              for (size_t c = 0; c < qi_columns_.size(); ++c) {
-                const size_t col = qi_columns_[c];
-                const std::string& column_name =
-                    table.schema().column(col).name;
-                const SlotVote vote =
-                    ReadSlot(c, table.at(r, col), &level_bits);
-                if (vote == SlotVote::kSkip) {
-                  ++shard.slots_skipped;
-                  continue;
+            // Per block: read every voting slot first, appending its
+            // position message to the arena, then batch-hash all positions
+            // once the arena is stable (views into a growing string would
+            // dangle) and apply the votes. Vote values and counters are
+            // identical to the per-slot order — tallies are commutative
+            // integer-valued sums.
+            std::string arena;
+            std::vector<size_t> msg_ends;
+            std::vector<uint8_t> vote_ones;
+            std::vector<std::string_view> messages;
+            std::vector<size_t> positions;
+            for (size_t b = begin; b < end; b += IdentBlock::kRows) {
+              const size_t n = std::min(IdentBlock::kRows, end - b);
+              block.Load(table, ident_column_, b, n, &hasher);
+              arena.clear();
+              msg_ends.clear();
+              vote_ones.clear();
+              for (size_t i = 0; i < n; ++i) {
+                if (!block.selected(i)) continue;
+                const size_t r = b + i;
+                ++shard.tuples_selected;
+                for (size_t c = 0; c < qi_columns_.size(); ++c) {
+                  const size_t col = qi_columns_[c];
+                  const SlotVote vote =
+                      ReadSlot(c, table.at(r, col), &level_bits);
+                  if (vote == SlotVote::kSkip) {
+                    ++shard.slots_skipped;
+                    continue;
+                  }
+                  WatermarkHasher::AppendPositionMessage(
+                      block.ident(i), table.schema().column(col).name,
+                      &arena);
+                  msg_ends.push_back(arena.size());
+                  vote_ones.push_back(vote == SlotVote::kOne ? 1 : 0);
                 }
-                const size_t pos =
-                    hasher.WmdPosition(ident, column_name, wmd_size);
-                (vote == SlotVote::kOne ? shard.ones[pos]
-                                        : shard.zeros[pos]) += 1.0;
+              }
+              messages.resize(msg_ends.size());
+              positions.resize(msg_ends.size());
+              size_t start = 0;
+              for (size_t j = 0; j < msg_ends.size(); ++j) {
+                messages[j] = std::string_view(arena).substr(
+                    start, msg_ends[j] - start);
+                start = msg_ends[j];
+              }
+              hasher.PositionBlock(messages.data(), messages.size(),
+                                   wmd_size, positions.data());
+              for (size_t j = 0; j < msg_ends.size(); ++j) {
+                (vote_ones[j] != 0 ? shard.ones[positions[j]]
+                                   : shard.zeros[positions[j]]) += 1.0;
                 ++shard.slots_read;
               }
             }

@@ -10,10 +10,7 @@ namespace {
 void BuildPositionMessage(std::string_view ident, std::string_view column,
                           std::string* buf) {
   buf->clear();
-  buf->append("pos:");
-  buf->append(ident.data(), ident.size());
-  buf->push_back(':');
-  buf->append(column.data(), column.size());
+  WatermarkHasher::AppendPositionMessage(ident, column, buf);
 }
 
 // Assembles "perm:" ident ":" column ":" depth into `buf`.
@@ -52,6 +49,39 @@ size_t PermutationIndex(const WatermarkKey& key, HashAlgorithm algo,
   std::string msg;
   BuildPermutationMessage(ident, column, depth, &msg);
   return static_cast<size_t>(KeyedHash64(algo, key.k2, msg) % set_size);
+}
+
+void WatermarkHasher::AppendPositionMessage(std::string_view ident,
+                                            std::string_view column,
+                                            std::string* arena) {
+  arena->append("pos:");
+  arena->append(ident.data(), ident.size());
+  arena->push_back(':');
+  arena->append(column.data(), column.size());
+}
+
+void WatermarkHasher::SelectBlock(const std::string_view* idents, size_t n,
+                                  uint8_t* selected) {
+  assert(key_->eta > 0);
+  assert(n <= kBlockRows);
+  uint64_t hashes[kBlockRows];
+  KeyedHash64Batch(algo_, key_->k1, idents, n, hashes);
+  for (size_t i = 0; i < n; ++i) {
+    selected[i] = hashes[i] % key_->eta == 0 ? 1 : 0;
+  }
+}
+
+void WatermarkHasher::PositionBlock(const std::string_view* messages,
+                                    size_t n, size_t wmd_size, size_t* out) {
+  assert(wmd_size > 0);
+  uint64_t hashes[kBlockRows];
+  for (size_t base = 0; base < n; base += kBlockRows) {
+    const size_t m = n - base < kBlockRows ? n - base : kBlockRows;
+    KeyedHash64Batch(algo_, key_->k2, messages + base, m, hashes);
+    for (size_t i = 0; i < m; ++i) {
+      out[base + i] = static_cast<size_t>(hashes[i] % wmd_size);
+    }
+  }
 }
 
 bool WatermarkHasher::TupleSelected(std::string_view ident) {

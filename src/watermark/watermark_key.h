@@ -85,6 +85,11 @@ size_t PermutationIndex(const WatermarkKey& key, HashAlgorithm algo,
 /// of one per (tuple, pass).
 class WatermarkHasher {
  public:
+  /// Row-block granularity the batched callers below are designed around:
+  /// a multiple of every multi-buffer lane width (4 and 8), small enough
+  /// that per-block gather state lives on the stack.
+  static constexpr size_t kBlockRows = 64;
+
   WatermarkHasher(const WatermarkKey& key, HashAlgorithm algo)
       : key_(&key), algo_(algo) {}
 
@@ -92,9 +97,32 @@ class WatermarkHasher {
   /// reuse the cached hash.
   bool TupleSelected(std::string_view ident);
 
+  /// \brief Batched Eq. (5): selected[i] = TupleSelected(idents[i]) for a
+  /// whole block at once (`n` <= kBlockRows), value-identical to the scalar
+  /// call. The selection hashes flow through the multi-buffer SHA-1 kernel,
+  /// so a row scan pays a fraction of the per-tuple hash cost.
+  void SelectBlock(const std::string_view* idents, size_t n,
+                   uint8_t* selected);
+
   /// \brief Same as the free WmdPosition, reusing the message buffer.
   size_t WmdPosition(std::string_view ident, std::string_view column,
                      size_t wmd_size);
+
+  /// \brief Batched WmdPosition over pre-assembled "pos:..." messages
+  /// (see AppendPositionMessage); any `n`. out[i] is the wmd position for
+  /// messages[i], value-identical to the scalar WmdPosition that would
+  /// have assembled the same message.
+  void PositionBlock(const std::string_view* messages, size_t n,
+                     size_t wmd_size, size_t* out);
+
+  /// \brief Appends the exact bytes WmdPosition hashes — "pos:" ident ":"
+  /// column — to `arena` without clearing it. Callers batch slots by
+  /// appending each slot's message and recording [start, end) offsets,
+  /// then hand views into the arena to PositionBlock once the arena stops
+  /// growing.
+  static void AppendPositionMessage(std::string_view ident,
+                                    std::string_view column,
+                                    std::string* arena);
 
   /// \brief Same as the free PermutationIndex, reusing the message buffer.
   size_t PermutationIndex(std::string_view ident, std::string_view column,

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/sha1_multibuffer.h"
 
 namespace privmark {
 namespace {
@@ -72,6 +76,125 @@ TEST(KeyedHashTest, OutputsSpreadAcrossRange) {
     top_bytes.insert(static_cast<uint8_t>(h >> 56));
   }
   EXPECT_GT(top_bytes.size(), 200u);
+}
+
+// --- KeyedHash64Batch equivalence -----------------------------------------
+//
+// The batch entry points route through Sha1MultiBuffer and the stack-buffer
+// assembly paths; every one of them must produce exactly the values the
+// scalar KeyedHash64 produces, for every batch size (full lane groups plus
+// every tail remainder) and for messages past the 192-byte stack threshold.
+
+std::string BatchMessage(size_t i, size_t len) {
+  std::string msg = "msg-" + std::to_string(i) + "-";
+  while (msg.size() < len) {
+    msg.push_back(static_cast<char>('A' + (msg.size() + i) % 26));
+  }
+  msg.resize(len);
+  return msg;
+}
+
+TEST(KeyedHashBatchTest, SingleKeyMatchesScalarAcrossBatchSizes) {
+  // 0..40 covers the empty batch, partial groups, full 8/16-lane groups,
+  // and every tail remainder past them.
+  for (size_t n = 0; n <= 40; ++n) {
+    std::vector<std::string> storage;
+    std::vector<std::string_view> messages;
+    for (size_t i = 0; i < n; ++i) {
+      storage.push_back(BatchMessage(i, 8 + (i * 13) % 48));
+    }
+    for (const std::string& s : storage) messages.push_back(s);
+    std::vector<uint64_t> out(n, 0);
+    KeyedHash64Batch(HashAlgorithm::kSha1, "batch-key", messages.data(), n,
+                     out.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], KeyedHash64(HashAlgorithm::kSha1, "batch-key",
+                                    messages[i]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KeyedHashBatchTest, MixedKeyPairsMatchScalar) {
+  // The general (key, message) pair form with a different key per element,
+  // as MultiKeyTally issues it.
+  constexpr size_t kN = 37;
+  std::vector<std::string> keys;
+  std::vector<std::string> msgs;
+  for (size_t i = 0; i < kN; ++i) {
+    keys.push_back("key-" + std::to_string(i % 5));
+    msgs.push_back(BatchMessage(i, 4 + (i * 7) % 60));
+  }
+  std::vector<KeyedHashInput> inputs;
+  for (size_t i = 0; i < kN; ++i) {
+    inputs.push_back({keys[i], msgs[i]});
+  }
+  std::vector<uint64_t> out(kN, 0);
+  KeyedHash64Batch(HashAlgorithm::kSha1, inputs.data(), kN, out.data());
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i], KeyedHash64(HashAlgorithm::kSha1, keys[i], msgs[i]))
+        << "i=" << i;
+  }
+}
+
+TEST(KeyedHashBatchTest, LongMessagesUseHeapAssemblyAndStillMatch) {
+  // key + separator + message beyond the 192-byte stack assembly buffer
+  // forces the std::string overflow path inside the batch.
+  const size_t lengths[] = {150, 191, 192, 193, 400, 5000};
+  std::vector<std::string> storage;
+  std::vector<std::string_view> messages;
+  for (size_t i = 0; i < 6; ++i) {
+    storage.push_back(BatchMessage(i, lengths[i]));
+  }
+  for (const std::string& s : storage) messages.push_back(s);
+  std::vector<uint64_t> out(6, 0);
+  KeyedHash64Batch(HashAlgorithm::kSha1, "long-key", messages.data(), 6,
+                   out.data());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[i],
+              KeyedHash64(HashAlgorithm::kSha1, "long-key", messages[i]))
+        << "len=" << lengths[i];
+  }
+}
+
+TEST(KeyedHashBatchTest, Md5FallbackMatchesScalar) {
+  // MD5 has no multi-buffer kernel; the batch must still give exact scalar
+  // values through its fallback loop.
+  std::vector<std::string> storage;
+  std::vector<std::string_view> messages;
+  for (size_t i = 0; i < 11; ++i) {
+    storage.push_back(BatchMessage(i, 3 + i * 20));
+  }
+  for (const std::string& s : storage) messages.push_back(s);
+  std::vector<uint64_t> out(11, 0);
+  KeyedHash64Batch(HashAlgorithm::kMd5, "md5-key", messages.data(), 11,
+                   out.data());
+  for (size_t i = 0; i < 11; ++i) {
+    EXPECT_EQ(out[i], KeyedHash64(HashAlgorithm::kMd5, "md5-key", messages[i]))
+        << "i=" << i;
+  }
+}
+
+TEST(KeyedHashBatchTest, IdenticalAcrossBackends) {
+  // Forcing each compiled SHA-1 backend must not change a single value.
+  std::vector<std::string> storage;
+  std::vector<std::string_view> messages;
+  for (size_t i = 0; i < 23; ++i) {
+    storage.push_back(BatchMessage(i, 10 + (i * 17) % 220));
+  }
+  for (const std::string& s : storage) messages.push_back(s);
+  std::vector<uint64_t> reference(23, 0);
+  for (size_t i = 0; i < 23; ++i) {
+    reference[i] = KeyedHash64(HashAlgorithm::kSha1, "bk", messages[i]);
+  }
+  for (const char* backend : Sha1MultiBuffer::AvailableBackends()) {
+    ASSERT_TRUE(Sha1MultiBuffer::ForceBackend(backend));
+    std::vector<uint64_t> out(23, 0);
+    KeyedHash64Batch(HashAlgorithm::kSha1, "bk", messages.data(), 23,
+                     out.data());
+    EXPECT_EQ(out, reference) << "backend=" << backend;
+  }
+  Sha1MultiBuffer::ForceBackend("auto");
 }
 
 TEST(HashAlgorithmTest, Names) {

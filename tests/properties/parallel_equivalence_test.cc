@@ -17,6 +17,7 @@
 #include "attack/attacks.h"
 #include "binning/binning_engine.h"
 #include "common/random.h"
+#include "crypto/sha1_multibuffer.h"
 #include "datagen/medical_data.h"
 #include "metrics/usage_metrics.h"
 #include "relation/csv.h"
@@ -392,6 +393,78 @@ TEST(ParallelEquivalenceTest, SmallTablesAndErrorsIdenticalAcrossThreads) {
         ExpectDetectReportsEqual(*serial_detect, *parallel_detect, t);
       }
     }
+  }
+}
+
+TEST(ParallelEquivalenceTest, Sha1BackendsProduceIdenticalMarksAndMargins) {
+  // The multi-buffer SHA-1 kernel is pure throughput: forcing each
+  // compiled backend (portable ILP, SSE2, AVX2 where present) must leave
+  // the marked table and every vote margin byte-identical.
+  Fixture& f = SharedFixture();
+  ASSERT_TRUE(Sha1MultiBuffer::ForceBackend("auto"));
+  const HierarchicalWatermarker wm = MakeHierarchical(f, 2);
+  Table auto_marked = f.baseline.binned.Clone();
+  const auto auto_embed = wm.Embed(&auto_marked, f.mark);
+  ASSERT_TRUE(auto_embed.ok());
+  const std::string auto_csv = TableToCsv(auto_marked);
+  const auto auto_detect =
+      wm.Detect(auto_marked, f.mark.size(), auto_embed->wmd_size);
+  ASSERT_TRUE(auto_detect.ok());
+
+  for (const char* backend : Sha1MultiBuffer::AvailableBackends()) {
+    ASSERT_TRUE(Sha1MultiBuffer::ForceBackend(backend)) << backend;
+    Table marked = f.baseline.binned.Clone();
+    const auto embed = wm.Embed(&marked, f.mark);
+    ASSERT_TRUE(embed.ok()) << backend;
+    EXPECT_EQ(TableToCsv(marked), auto_csv)
+        << "marked table diverged with backend " << backend;
+    ExpectEmbedReportsEqual(*auto_embed, *embed, 2);
+    const auto detect = wm.Detect(marked, f.mark.size(), embed->wmd_size);
+    ASSERT_TRUE(detect.ok()) << backend;
+    ExpectDetectReportsEqual(*auto_detect, *detect, 2);
+  }
+  Sha1MultiBuffer::ForceBackend("auto");
+}
+
+TEST(ParallelEquivalenceTest, RemainderRowsNotDivisibleByLaneWidth) {
+  // 677 rows leaves 37 rows in the final 64-row selection block, and odd
+  // shard splits leave every small remainder mod the 4- and 8-lane kernel
+  // widths — the batched-hash tails and scalar stragglers all fire, and
+  // must change nothing.
+  Fixture& f = SharedFixture();
+  SmallCase sc = MakeSmallCase(677);
+  BinningAgent serial_agent(sc.metrics, f.binning_config);
+  const auto binned = serial_agent.Run(sc.table);
+  ASSERT_TRUE(binned.ok()) << binned.status().ToString();
+  const size_t ident = *binned->binned.schema().IdentifyingColumn();
+
+  const HierarchicalWatermarker serial(
+      binned->qi_columns, ident, sc.metrics.maximal, binned->ultimate, f.key,
+      WatermarkOptions());
+  Table serial_marked = binned->binned.Clone();
+  const auto serial_embed = serial.Embed(&serial_marked, f.mark);
+  ASSERT_TRUE(serial_embed.ok());
+  const std::string serial_csv = TableToCsv(serial_marked);
+  const auto serial_detect =
+      serial.Detect(serial_marked, f.mark.size(), serial_embed->wmd_size);
+  ASSERT_TRUE(serial_detect.ok());
+
+  for (size_t t : ThreadCounts()) {
+    WatermarkOptions options;
+    options.num_threads = t;
+    const HierarchicalWatermarker parallel(
+        binned->qi_columns, ident, sc.metrics.maximal, binned->ultimate,
+        f.key, options);
+    Table marked = binned->binned.Clone();
+    const auto embed = parallel.Embed(&marked, f.mark);
+    ASSERT_TRUE(embed.ok());
+    EXPECT_EQ(TableToCsv(marked), serial_csv)
+        << "marked table diverged with num_threads = " << t;
+    ExpectEmbedReportsEqual(*serial_embed, *embed, t);
+    const auto detect =
+        parallel.Detect(marked, f.mark.size(), embed->wmd_size);
+    ASSERT_TRUE(detect.ok());
+    ExpectDetectReportsEqual(*serial_detect, *detect, t);
   }
 }
 
