@@ -445,6 +445,97 @@ BENCHMARK(BM_ServiceThroughputLoopback)
     ->Iterations(2)
     ->Unit(benchmark::kMillisecond);
 
+void BM_StreamedFingerprintLoopback(benchmark::State& state) {
+  // Protocol-v2 streamed fingerprint over a real loopback socket: one
+  // connection, one protected epoch, a registry of `keys` candidates,
+  // and each iteration drains every kPartial shard before the terminal
+  // response. The delta against an in-process scan is the v2 streaming
+  // overhead — per-shard framing, CRCs, and the client's demux path.
+  SharedState& s = State();
+  const size_t num_keys = static_cast<size_t>(state.range(0));
+
+  DaemonConfig daemon_config;
+  daemon_config.service.thread_cap = 4;
+  daemon_config.schema = s.env.original().schema();
+  daemon_config.metrics_for_config =
+      [&s](const FrameworkConfig&) -> Result<UsageMetrics> {
+    return s.env.metrics;
+  };
+  PrivmarkDaemon daemon(std::move(daemon_config));
+  CheckOk(daemon.Start(0), "daemon start");
+  DaemonClient client(s.env.original().schema());
+  CheckOk(client.Connect("127.0.0.1", daemon.port()), "connect");
+
+  WireRequest open;
+  open.type = WireFrameType::kOpen;
+  open.session = "audit";
+  open.open.k = 20;
+  open.open.enforce_joint = false;
+  open.open.passphrase = "bench-owner-passphrase";
+  open.open.k1 = "bench-k1";
+  open.open.k2 = "bench-k2";
+  open.open.eta = 75;
+  open.open.num_threads = 0;  // scan with the whole cap
+  auto opened = client.Call(open);
+  CheckOk(opened.status(), "open transport");
+  CheckOk(opened->status, "open session");
+
+  WireRequest ingest;
+  ingest.type = WireFrameType::kIngest;
+  ingest.session = "audit";
+  ingest.table = s.env.original().Slice(0, 2000);
+  auto ingested = client.Call(ingest);
+  CheckOk(ingested.status(), "ingest transport");
+  CheckOk(ingested->status, "ingest");
+  WireRequest flush;
+  flush.type = WireFrameType::kFlush;
+  flush.session = "audit";
+  auto flushed = client.Call(flush);
+  CheckOk(flushed.status(), "flush transport");
+  CheckOk(flushed->status, "flush");
+  const Table suspect = flushed->flush.emitted.Clone();
+
+  KeyRegistry registry;
+  CheckOk(registry.Add(NamedKey{"owner", {"bench-k1", "bench-k2", 75}}),
+          "owner key");
+  Random keygen(2005);
+  for (size_t i = 1; i < num_keys; ++i) {
+    CheckOk(registry.Add(GenerateKey("k" + std::to_string(i), 75, &keygen)),
+            "decoy key");
+  }
+
+  WireRequest scan;
+  scan.type = WireFrameType::kFingerprint;
+  scan.session = "audit";
+  scan.registry_text = registry.Serialize();
+  scan.stream = true;
+  size_t keys_scanned = 0;
+  for (auto _ : state) {
+    scan.table = suspect.Clone();
+    auto pending = client.CallAsync(scan);
+    CheckOk(pending.status(), "scan send");
+    WireFingerprintShard shard;
+    while (true) {
+      auto more = pending->NextShard(&shard);
+      CheckOk(more.status(), "shard");
+      if (!*more) break;
+      benchmark::DoNotOptimize(shard.verdicts.data());
+    }
+    auto scanned = pending->Wait();
+    CheckOk(scanned.status(), "scan transport");
+    CheckOk(scanned->status, "scan");
+    keys_scanned += num_keys;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(keys_scanned));
+  CheckOk(daemon.Shutdown(), "daemon shutdown");
+}
+BENCHMARK(BM_StreamedFingerprintLoopback)
+    ->ArgNames({"keys"})
+    ->Arg(32)
+    ->Arg(128)
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EncodeView20k(benchmark::State& state) {
   // Cost of the dictionary-encoding pass itself: resolving every QI cell
   // of the 20k table to its leaf NodeId once. This is what each pipeline

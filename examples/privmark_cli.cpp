@@ -106,12 +106,16 @@
 //       (<manifest.out>.epochN for N > 0).
 //       With --connect=host:port the same script drives a running
 //       privmark_cli daemon instead of an in-process service: each
-//       stream gets its own connection (requests on one stream are
-//       synchronous; concurrency comes from the daemon's thread per
-//       connection), --journal-dir/--cap are the daemon's to decide,
-//       and close writes the manifests the daemon serialized — byte-
-//       identical to a local run's. Script lines gain an optional
-//       --deadline-ms=N per request (absent = the daemon's default).
+//       stream gets its own connection (script lines run one at a time;
+//       concurrency comes from the daemon's thread per connection),
+//       --journal-dir/--cap are the daemon's to decide, and close
+//       writes the manifests the daemon serialized — byte-identical to
+//       a local run's. Script lines gain an optional --deadline-ms=N
+//       per request (absent = the daemon's default), and `fingerprint`
+//       gains --stream: under protocol v2 the daemon streams each
+//       key-shard's verdicts as a partial frame, printed as they land,
+//       before the terminal ranking (byte-identical to the one-shot
+//       report).
 //
 // --threads=N runs the row-sharded pipeline stages on N workers (0 = one
 // per hardware thread); outputs are byte-identical for every N, so the
@@ -759,11 +763,11 @@ bool RemoteCall(const std::string& name, RemoteStream* stream,
     std::fprintf(stderr, "error: [%s] %s: %s\n", name.c_str(),
                  WireFrameTypeToString(request.type),
                  response.status.ToString().c_str());
-    if (response.retry_after_ms >= 0) {
+    if (response.status.retry_after_ms() >= 0) {
       std::fprintf(stderr, "error: [%s] daemon shed the request; retry in "
                    "%lld ms\n",
                    name.c_str(),
-                   static_cast<long long>(response.retry_after_ms));
+                   static_cast<long long>(response.status.retry_after_ms()));
     }
     return false;
   }
@@ -876,7 +880,69 @@ bool RemoteCall(const std::string& name, RemoteStream* stream,
       break;
     }
     case WireFrameType::kResponse:
+    case WireFrameType::kPartial:
       break;  // unreachable: Call validated the echoed kind
+  }
+  return true;
+}
+
+// Streamed fingerprint (v2 only): prints each key-shard's verdicts as
+// its kPartial frame arrives, then the terminal ranking — which Wait()
+// validated against the very shards just printed.
+bool RemoteFingerprintStreamed(const std::string& name, RemoteStream* stream,
+                               WireRequest request) {
+  request.stream = true;
+  Result<DaemonClient::PendingCall> call =
+      stream->client->CallAsync(request);
+  if (!call.ok()) {
+    std::fprintf(stderr, "error: [%s] fingerprint --stream: %s\n",
+                 name.c_str(), call.status().ToString().c_str());
+    return false;
+  }
+  WireFingerprintShard shard;
+  for (;;) {
+    Result<bool> more = call->NextShard(&shard);
+    if (!more.ok()) {
+      std::fprintf(stderr, "error: [%s] fingerprint --stream: %s\n",
+                   name.c_str(), more.status().ToString().c_str());
+      return false;
+    }
+    if (!*more) break;
+    size_t detected = 0;
+    for (const KeyVerdict& v : shard.verdicts) detected += v.detected ? 1 : 0;
+    std::printf("[%s] shard (epoch %llu, #%llu, keys %llu..%llu): "
+                "%zu/%zu detected\n",
+                name.c_str(), static_cast<unsigned long long>(shard.epoch),
+                static_cast<unsigned long long>(shard.shard),
+                static_cast<unsigned long long>(shard.first_key),
+                static_cast<unsigned long long>(shard.first_key +
+                                                shard.verdicts.size()) -
+                    1,
+                detected, shard.verdicts.size());
+  }
+  Result<WireResponse> result = call->Wait();
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: [%s] fingerprint --stream: %s\n",
+                 name.c_str(), result.status().ToString().c_str());
+    return false;
+  }
+  if (!result->status.ok()) {
+    std::fprintf(stderr, "error: [%s] fingerprint: %s\n", name.c_str(),
+                 result->status.ToString().c_str());
+    return false;
+  }
+  for (const FingerprintReport& report : result->fingerprints) {
+    std::printf("[%s] fingerprint: %zu/%zu key(s) detected%s "
+                "(%llu threads)\n",
+                name.c_str(), report.keys_detected, report.verdicts.size(),
+                report.collusion ? " COLLUSION" : "",
+                static_cast<unsigned long long>(result->threads_granted));
+    for (size_t i = 0; i < report.ranking.size(); ++i) {
+      const KeyVerdict& v = report.verdicts[report.ranking[i]];
+      std::printf("[%s]   %2zu. %-24s score %.6f  %s\n", name.c_str(), i + 1,
+                  v.key_name.c_str(), v.score,
+                  v.detected ? "DETECTED" : "clear");
+    }
   }
   return true;
 }
@@ -993,7 +1059,8 @@ int ServeRemote(const Args& args, std::istream& script,
                           : stream.emitted.Clone();
     } else if (verb == "fingerprint") {
       if (cmd.positional.size() != 3 && cmd.positional.size() != 4) {
-        return bad_line("fingerprint <session> <registry> [<table.csv>]");
+        return bad_line(
+            "fingerprint <session> <registry> [<table.csv>] [--stream]");
       }
       request.type = WireFrameType::kFingerprint;
       request.registry_text =
@@ -1002,6 +1069,16 @@ int ServeRemote(const Args& args, std::istream& script,
                           ? Must(ReadTableCsv(cmd.positional[3],
                                               MedicalSchema()))
                           : stream.emitted.Clone();
+      if (cmd.flags.count("stream") > 0) {
+        if (stream.client->protocol_version() < kWireProtocolV2) {
+          return bad_line(
+              "--stream needs a v2 daemon (this one negotiated v1)");
+        }
+        if (!RemoteFingerprintStreamed(name, &stream, std::move(request))) {
+          return 1;
+        }
+        continue;
+      }
     } else if (verb == "close") {
       request.type = WireFrameType::kClose;
     } else {

@@ -41,11 +41,14 @@ import sys
 # sessions against the host scheduler — on a shared CI runner its
 # variance swamps any threshold — and the prefix also covers
 # BM_ServiceThroughputLoopback, which adds real loopback sockets (and so
-# the kernel's network stack) on top. BM_GenerateDataset measures the
-# RNG/allocator, not a protected-pipeline hot path. None of these
-# calibrate the machine-speed median: only gated benchmarks do.
+# the kernel's network stack) on top. BM_StreamedFingerprintLoopback is
+# loopback-bound the same way (v2 streamed shards over real sockets).
+# BM_GenerateDataset measures the RNG/allocator, not a protected-pipeline
+# hot path. None of these calibrate the machine-speed median: only gated
+# benchmarks do.
 UNGATED_PATTERNS = [
     r"^BM_ServiceThroughput",
+    r"^BM_StreamedFingerprintLoopback",
     r"^BM_GenerateDataset",
 ]
 

@@ -67,6 +67,10 @@ cmake --build build-tsan -j "${JOBS}"
 ./build-tsan/tests/properties_streaming_equivalence_test \
   --gtest_filter='*AcrossThreads*:*JointParallel*'
 ./build-tsan/tests/integration_daemon_soak_test
+# The v2 multiplex soak is the client demux path's race test: many
+# threads pipelining sessions over ONE connection, streamed fingerprint
+# shards interleaving with other sessions' responses.
+./build-tsan/tests/integration_daemon_multiplex_soak_test
 
 echo "=== Release ==="
 # PRIVMARK_FAILPOINTS=ON keeps the crash-recovery acceptance suite alive in

@@ -37,8 +37,8 @@ enum class StatusCode {
   kVerificationFailed,
   /// An operation's deadline expired before it completed.
   kDeadlineExceeded,
-  /// The system is over capacity; retry later (message carries a
-  /// retry_after_ms hint when the admission layer can estimate one).
+  /// The system is over capacity; retry later (retry_after_ms() carries
+  /// a typed hint when the admission layer can estimate one).
   kResourceExhausted,
 };
 
@@ -94,16 +94,32 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// \brief Typed backpressure hint: milliseconds to wait before
+  /// retrying the failed operation. -1 = no hint. Shedding paths
+  /// (queue depth, admission waiters) attach it to ResourceExhausted
+  /// statuses via WithRetryAfterMs; callers must never parse message
+  /// text for it.
+  int64_t retry_after_ms() const { return retry_after_ms_; }
+
+  /// \brief Returns a copy of this status carrying the hint.
+  Status WithRetryAfterMs(int64_t retry_after_ms) const {
+    Status status = *this;
+    status.retry_after_ms_ = retry_after_ms;
+    return status;
+  }
+
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
+    return code_ == other.code_ && message_ == other.message_ &&
+           retry_after_ms_ == other.retry_after_ms_;
   }
 
  private:
   StatusCode code_;
   std::string message_;
+  int64_t retry_after_ms_ = -1;
 };
 
 /// \brief Value-or-Status. Access the value only after checking ok().

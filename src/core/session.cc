@@ -686,6 +686,13 @@ Result<std::vector<DetectReport>> ProtectionSession::DetectAcrossEpochs(
 Result<std::vector<FingerprintReport>> ProtectionSession::
     FingerprintAcrossEpochs(const Table& concatenated,
                             const KeyRegistry& registry) const {
+  return FingerprintAcrossEpochsStreamed(concatenated, registry, nullptr);
+}
+
+Result<std::vector<FingerprintReport>> ProtectionSession::
+    FingerprintAcrossEpochsStreamed(const Table& concatenated,
+                                    const KeyRegistry& registry,
+                                    const FingerprintShardSink& sink) const {
   size_t total = 0;
   for (const EpochRecord& rec : epochs_) total += rec.rows_emitted;
   if (concatenated.num_rows() != total) {
@@ -697,7 +704,8 @@ Result<std::vector<FingerprintReport>> ProtectionSession::
   std::vector<FingerprintReport> reports;
   reports.reserve(epochs_.size());
   size_t offset = 0;
-  for (const EpochRecord& rec : epochs_) {
+  for (size_t e = 0; e < epochs_.size(); ++e) {
+    const EpochRecord& rec = epochs_[e];
     Table segment(concatenated.schema());
     for (size_t r = offset; r < offset + rec.rows_emitted; ++r) {
       PRIVMARK_RETURN_NOT_OK(segment.AppendRow(concatenated.row(r)));
@@ -710,7 +718,8 @@ Result<std::vector<FingerprintReport>> ProtectionSession::
     scan.expected_mark = rec.mark;
     PRIVMARK_ASSIGN_OR_RETURN(
         FingerprintReport report,
-        ScanForFingerprints(watermarker, segment, registry, scan));
+        ScanForFingerprintsStreamed(watermarker, segment, registry, scan,
+                                    sink, /*epoch=*/e));
     reports.push_back(std::move(report));
   }
   return reports;

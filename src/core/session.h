@@ -235,6 +235,18 @@ class ProtectionSession {
   Result<std::vector<FingerprintReport>> FingerprintAcrossEpochs(
       const Table& concatenated, const KeyRegistry& registry) const;
 
+  /// \brief Streaming form of FingerprintAcrossEpochs: per-key-shard
+  /// verdicts are delivered through `sink` as each epoch's scan
+  /// completes them, stamped with the epoch index, in (epoch, shard)
+  /// order, before the call returns. The returned reports are identical
+  /// to the one-shot overload's (which is this function with a null
+  /// sink), and the concatenation of each epoch's streamed shard
+  /// verdicts is byte-identical to that epoch's report.verdicts — see
+  /// ScanIndexForFingerprintsStreamed.
+  Result<std::vector<FingerprintReport>> FingerprintAcrossEpochsStreamed(
+      const Table& concatenated, const KeyRegistry& registry,
+      const FingerprintShardSink& sink) const;
+
   /// \brief The watermarker for one epoch's output (detection tooling).
   HierarchicalWatermarker MakeEpochWatermarker(const EpochRecord& rec) const;
 

@@ -17,20 +17,7 @@ size_t NormalizeCapacity(size_t capacity) {
 }  // namespace
 
 int64_t RetryAfterMsFromStatus(const Status& status) {
-  if (status.code() != StatusCode::kResourceExhausted) return -1;
-  static constexpr char kHint[] = "retry_after_ms=";
-  const size_t at = status.message().find(kHint);
-  if (at == std::string::npos) return -1;
-  int64_t value = 0;
-  bool any = false;
-  for (size_t i = at + sizeof(kHint) - 1; i < status.message().size(); ++i) {
-    const char c = status.message()[i];
-    if (c < '0' || c > '9') break;
-    if (value > (INT64_MAX - (c - '0')) / 10) return -1;
-    value = value * 10 + (c - '0');
-    any = true;
-  }
-  return any ? value : -1;
+  return status.retry_after_ms();
 }
 
 AdmissionController::AdmissionController(size_t capacity)
@@ -66,9 +53,9 @@ Result<size_t> AdmissionController::AcquireWithin(size_t ask,
     // holds its grant for ~50ms. Clients treat it as advice, not truth.
     const int64_t retry_after_ms = 50 * static_cast<int64_t>(waiters_ + 1);
     return Status::ResourceExhausted(
-        "admission queue full: " + std::to_string(waiters_) +
-        " request(s) already waiting for threads; retry_after_ms=" +
-        std::to_string(retry_after_ms));
+               "admission queue full: " + std::to_string(waiters_) +
+               " request(s) already waiting for threads")
+        .WithRetryAfterMs(retry_after_ms);
   }
   const uint64_t ticket = next_ticket_++;
   const auto admitted = [&] {

@@ -38,11 +38,11 @@
 
 namespace privmark {
 
-/// \brief Extracts the `retry_after_ms=N` backpressure hint a shedding
-/// path (queue-depth or admission-waiter overload) embedded in a
-/// ResourceExhausted status's message. Returns -1 when the status
-/// carries no hint. The wire protocol surfaces this as a typed field so
-/// remote clients never parse message text.
+/// \brief The backpressure hint a shedding path (queue-depth or
+/// admission-waiter overload) attached to a ResourceExhausted status.
+/// -1 when the status carries no hint. Now a thin alias for the typed
+/// Status::retry_after_ms() field — in-process and wire callers read
+/// the same typed hint; nobody parses message text.
 int64_t RetryAfterMsFromStatus(const Status& status);
 
 /// \brief FIFO, work-conserving thread-budget controller.
@@ -67,8 +67,8 @@ class AdmissionController {
   ///
   /// Behaves like Acquire() (FIFO ticket, work-conserving grant) except:
   ///   - if `max_waiters` > 0 and that many callers are already waiting
-  ///     for admission, fails immediately with ResourceExhausted (a
-  ///     `retry_after_ms=N` hint is embedded in the message) instead of
+  ///     for admission, fails immediately with ResourceExhausted (the
+  ///     status carries a typed retry_after_ms() hint) instead of
   ///     joining the queue;
   ///   - if `timeout_ms` >= 0 and the caller's turn has not come (or no
   ///     capacity has freed) within that many milliseconds, fails with

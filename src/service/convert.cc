@@ -1,0 +1,149 @@
+#include "service/convert.h"
+
+#include <memory>
+#include <utility>
+
+#include "watermark/key_registry.h"
+
+namespace privmark {
+
+Result<RequestKind> RequestKindForFrame(WireFrameType type) {
+  switch (type) {
+    case WireFrameType::kIngest:
+      return RequestKind::kProtectBatch;
+    case WireFrameType::kFlush:
+      return RequestKind::kFlush;
+    case WireFrameType::kDetect:
+      return RequestKind::kDetect;
+    case WireFrameType::kFingerprint:
+      return RequestKind::kDetectFingerprint;
+    case WireFrameType::kClose:
+      return RequestKind::kCloseSession;
+    case WireFrameType::kOpen:      // registry bookkeeping, not strand work
+    case WireFrameType::kResponse:
+    case WireFrameType::kPartial:
+      break;
+  }
+  return Status::InvalidArgument(std::string("a ") +
+                                 WireFrameTypeToString(type) +
+                                 " frame has no service-request shape");
+}
+
+WireFrameType FrameForRequestKind(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kProtectBatch:
+      return WireFrameType::kIngest;
+    case RequestKind::kFlush:
+      return WireFrameType::kFlush;
+    case RequestKind::kDetect:
+      return WireFrameType::kDetect;
+    case RequestKind::kDetectFingerprint:
+      return WireFrameType::kFingerprint;
+    case RequestKind::kCloseSession:
+      return WireFrameType::kClose;
+  }
+  return WireFrameType::kClose;
+}
+
+Result<ServiceRequest> ToServiceRequest(const WireRequest& request) {
+  ServiceRequest service_request;
+  PRIVMARK_ASSIGN_OR_RETURN(service_request.kind,
+                            RequestKindForFrame(request.type));
+  service_request.session = request.session;
+  service_request.table = request.table;
+  service_request.num_threads = static_cast<size_t>(request.ask);
+  service_request.deadline_ms = request.deadline_ms;
+  if (request.type == WireFrameType::kFingerprint) {
+    PRIVMARK_ASSIGN_OR_RETURN(KeyRegistry registry,
+                              KeyRegistry::Parse(request.registry_text));
+    service_request.registry =
+        std::make_shared<const KeyRegistry>(std::move(registry));
+  }
+  return service_request;
+}
+
+WireRequest ToWireRequest(const ServiceRequest& request) {
+  WireRequest wire_request;
+  wire_request.type = FrameForRequestKind(request.kind);
+  wire_request.session = request.session;
+  wire_request.ask = static_cast<uint64_t>(request.num_threads);
+  wire_request.deadline_ms = request.deadline_ms;
+  wire_request.table = request.table;
+  if (request.kind == RequestKind::kDetectFingerprint) {
+    if (request.registry != nullptr) {
+      wire_request.registry_text = request.registry->Serialize();
+    }
+    wire_request.stream = request.fingerprint_sink != nullptr;
+  }
+  return wire_request;
+}
+
+WireResponse ToWireResponse(WireFrameType kind, Result<ServiceResponse> result,
+                            const EpochManifestFn& manifest_fn) {
+  WireResponse response;
+  response.kind = kind;
+  if (!result.ok()) {
+    // The fully-defined non-OK envelope: nothing granted, the stream's
+    // durability barrier not implicated, the retry hint on the status.
+    response.status = result.status();
+    response.threads_granted = 0;
+    return response;
+  }
+  ServiceResponse& executed = *result;
+  response.journal_status = executed.journal_status;
+  response.threads_granted = executed.threads_granted;
+  switch (kind) {
+    case WireFrameType::kIngest:
+      response.ingest.epoch = executed.ingest.epoch;
+      response.ingest.flushed = executed.ingest.flushed;
+      response.ingest.rows_emitted = executed.ingest.rows_emitted;
+      response.ingest.rows_suppressed = executed.ingest.rows_suppressed;
+      response.ingest.rows_buffered = executed.ingest.rows_buffered;
+      response.ingest.emitted = std::move(executed.ingest.emitted);
+      break;
+    case WireFrameType::kFlush:
+      response.flush.epoch = executed.epoch.epoch;
+      response.flush.identifier_statistic =
+          executed.epoch.outcome.identifier_statistic;
+      response.flush.emitted = std::move(executed.epoch.outcome.watermarked);
+      break;
+    case WireFrameType::kDetect:
+      response.reports = std::move(executed.reports);
+      break;
+    case WireFrameType::kFingerprint:
+      response.fingerprints = std::move(executed.fingerprints);
+      break;
+    case WireFrameType::kClose:
+      response.close.rows_ingested = executed.stats.rows_ingested;
+      response.close.rows_emitted = executed.stats.rows_emitted;
+      response.close.rows_suppressed = executed.stats.rows_suppressed;
+      for (const EpochRecord& epoch : executed.stats.epochs) {
+        WireEpochSummary summary;
+        summary.epoch = epoch.epoch;
+        summary.rows_emitted = epoch.rows_emitted;
+        summary.rows_suppressed = epoch.rows_suppressed;
+        summary.wmd_size = epoch.wmd_size;
+        summary.identifier_statistic = epoch.identifier_statistic;
+        if (manifest_fn != nullptr) {
+          Result<std::string> manifest = manifest_fn(epoch);
+          if (!manifest.ok()) {
+            response = WireResponse();
+            response.kind = kind;
+            response.status = manifest.status();
+            response.threads_granted = 0;
+            return response;
+          }
+          summary.manifest_text = *std::move(manifest);
+        }
+        response.close.epochs.push_back(std::move(summary));
+      }
+      break;
+    case WireFrameType::kOpen:
+    case WireFrameType::kResponse:
+    case WireFrameType::kPartial:
+      break;  // kOpen is built by the daemon's open path, not here
+  }
+  return response;
+}
+
+}  // namespace privmark

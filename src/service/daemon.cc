@@ -5,12 +5,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <utility>
 
 #include "core/manifest.h"
+#include "service/convert.h"
 #include "watermark/key_registry.h"
 
 namespace privmark {
@@ -19,16 +23,6 @@ namespace {
 
 Status SocketError(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
-}
-
-RequestKind RequestKindForFrame(WireFrameType type) {
-  switch (type) {
-    case WireFrameType::kIngest: return RequestKind::kProtectBatch;
-    case WireFrameType::kFlush: return RequestKind::kFlush;
-    case WireFrameType::kDetect: return RequestKind::kDetect;
-    case WireFrameType::kFingerprint: return RequestKind::kDetectFingerprint;
-    default: return RequestKind::kCloseSession;
-  }
 }
 
 }  // namespace
@@ -100,16 +94,29 @@ void PrivmarkDaemon::AcceptLoop() {
 }
 
 void PrivmarkDaemon::ServeConnection(int fd) {
-  // Handshake: expect the client's magic, echo it back. Mismatch =
-  // wrong protocol or version; hang up without guessing.
+  // Handshake: read the client's magic, negotiate down to the lower of
+  // the two maxima, echo the negotiated magic. An unknown magic = wrong
+  // protocol; hang up without guessing.
   char magic[kWireMagicSize];
+  char echo[kWireMagicSize];
+  uint8_t version = 0;
   if (!ReadFullySocket(fd, magic, sizeof(magic)) ||
-      std::memcmp(magic, kWireMagic, kWireMagicSize) != 0 ||
-      !WriteFullySocket(fd, kWireMagic, kWireMagicSize)) {
+      (version = std::min(WireMagicVersion(magic),
+                          config_.max_protocol_version)) == 0 ||
+      !WireMagicFor(version, echo) ||
+      !WriteFullySocket(fd, echo, kWireMagicSize)) {
     ::shutdown(fd, SHUT_RDWR);
     return;
   }
+  if (version == kWireProtocolV1) {
+    ServeLockStep(fd);
+  } else {
+    ServeMultiplexed(fd);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+}
 
+void PrivmarkDaemon::ServeLockStep(int fd) {
   // Per-connection codec state; see wire.h on dictionary scoping.
   WireTableEncoder encoder;
   WireTableDecoder decoder(config_.schema);
@@ -134,7 +141,176 @@ void PrivmarkDaemon::ServeConnection(int fd) {
                                               payload);
     if (!out.ok() || !WriteFullySocket(fd, out->data(), out->size())) break;
   }
-  ::shutdown(fd, SHUT_RDWR);
+}
+
+void PrivmarkDaemon::WriteResponseV2(MuxConnection* mux, uint64_t request_id,
+                                     const WireResponse& response,
+                                     bool streamed) {
+  std::lock_guard<std::mutex> lock(mux->write_mu);
+  if (mux->broken) return;
+  WireFrame frame;
+  frame.type = WireFrameType::kResponse;
+  frame.request_id = request_id;
+  frame.final_frame = true;
+  frame.streamed = streamed;
+  // Encode under write_mu: the encoder's dictionary mutations must land
+  // on the wire in the order they happened.
+  frame.payload = streamed ? EncodeWireResponseStreamedTails(response)
+                           : EncodeWireResponse(response, &mux->encoder);
+  Result<std::string> encoded = EncodeWireFrame(frame, kWireProtocolV2);
+  if (!encoded.ok() ||
+      !WriteFullySocket(mux->fd, encoded->data(), encoded->size())) {
+    // An unencodable frame also breaks the connection: the dictionary
+    // already advanced for bytes that never left.
+    mux->broken = true;
+  }
+}
+
+void PrivmarkDaemon::WritePartialV2(MuxConnection* mux, uint64_t request_id,
+                                    const FingerprintShard& shard) {
+  std::lock_guard<std::mutex> lock(mux->write_mu);
+  if (mux->broken) return;
+  WireFrame frame;
+  frame.type = WireFrameType::kPartial;
+  frame.request_id = request_id;
+  frame.final_frame = false;
+  frame.streamed = true;
+  frame.payload = EncodeWireFingerprintShard(shard);
+  Result<std::string> encoded = EncodeWireFrame(frame, kWireProtocolV2);
+  if (!encoded.ok() ||
+      !WriteFullySocket(mux->fd, encoded->data(), encoded->size())) {
+    mux->broken = true;
+  }
+}
+
+void PrivmarkDaemon::ServeMultiplexed(int fd) {
+  MuxConnection mux;
+  mux.fd = fd;
+  WireTableDecoder decoder(config_.schema);
+
+  // One queued unit of writer work: a dispatched request whose future
+  // the writer completes and answers.
+  struct Pending {
+    uint64_t request_id = 0;
+    WireFrameType type = WireFrameType::kClose;
+    std::string session;
+    ServiceFuture future;
+    bool streamed = false;
+  };
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<Pending> queue;   // guarded by queue_mu
+  size_t busy = 0;             // guarded by queue_mu
+  bool closed = false;         // guarded by queue_mu
+  std::vector<std::thread> writers;
+
+  const size_t cap = std::max<size_t>(1, config_.max_inflight_per_connection);
+  auto writer_loop = [&] {
+    std::unique_lock<std::mutex> lock(queue_mu);
+    for (;;) {
+      queue_cv.wait(lock, [&] { return closed || !queue.empty(); });
+      if (queue.empty()) return;  // closed and drained
+      Pending pending = std::move(queue.front());
+      queue.pop_front();
+      ++busy;
+      lock.unlock();
+      // Completing the future happens-after every partial the strand
+      // streamed for this request, so the terminal frame always trails
+      // its partials on the wire.
+      WireResponse response = FinishResponse(pending.type, pending.session,
+                                             pending.future.get());
+      response.request_id = pending.request_id;
+      WriteResponseV2(&mux, pending.request_id, response, pending.streamed);
+      lock.lock();
+      --busy;
+      queue_cv.notify_all();  // the reader may be parked at the cap
+    }
+  };
+
+  for (;;) {
+    char header[kWireFrameHeaderBytes];
+    if (!ReadFullySocket(fd, header, sizeof(header))) break;
+    Result<size_t> body_length = WireFrameBodyLength(header, kWireProtocolV2);
+    if (!body_length.ok()) break;
+    std::string body(*body_length, '\0');
+    if (!ReadFullySocket(fd, body.data(), body.size())) break;
+    Result<WireFrame> frame =
+        DecodeWireFrameBody(header, body.data(), body.size(), kWireProtocolV2);
+    // Clients send single-frame request types only; the streamed flag is
+    // only meaningful on a fingerprint request (asking for a streamed
+    // response).
+    if (!frame.ok() || frame->type == WireFrameType::kResponse ||
+        frame->type == WireFrameType::kPartial || !frame->final_frame ||
+        (frame->streamed && frame->type != WireFrameType::kFingerprint)) {
+      break;
+    }
+    Result<WireRequest> request =
+        DecodeWireRequest(frame->type, frame->payload, &decoder);
+    if (!request.ok()) break;  // codec state unknowable: hang up
+    request->stream = frame->streamed;
+
+    if (frame->type == WireFrameType::kOpen) {
+      // Inline on the reader: the open must complete before any later
+      // pipelined request for the new session is submitted.
+      WireResponse response = ExecuteOpen(*request);
+      response.request_id = frame->request_id;
+      WriteResponseV2(&mux, frame->request_id, response, false);
+    } else {
+      Result<ServiceRequest> service_request = ToServiceRequest(*request);
+      if (!service_request.ok()) {
+        // Conversion failures (e.g. an unparsable registry) are
+        // service-level: answer, keep the connection.
+        WireResponse response = ToWireResponse(
+            frame->type, Result<ServiceResponse>(service_request.status()));
+        response.request_id = frame->request_id;
+        WriteResponseV2(&mux, frame->request_id, response, false);
+      } else {
+        if (request->stream) {
+          const uint64_t request_id = frame->request_id;
+          MuxConnection* mux_ptr = &mux;
+          service_request->fingerprint_sink =
+              [this, mux_ptr, request_id](const FingerprintShard& shard) {
+                WritePartialV2(mux_ptr, request_id, shard);
+              };
+        }
+        Pending pending;
+        pending.request_id = frame->request_id;
+        pending.type = frame->type;
+        pending.session = request->session;
+        pending.streamed = request->stream;
+        {
+          // Backpressure: stop reading at the inflight cap.
+          std::unique_lock<std::mutex> lock(queue_mu);
+          queue_cv.wait(lock, [&] { return queue.size() + busy < cap; });
+        }
+        // Submit on the reader so same-session submission order equals
+        // frame arrival order (the strand executes in that order).
+        pending.future = service_.Submit(*std::move(service_request));
+        {
+          std::lock_guard<std::mutex> lock(queue_mu);
+          queue.push_back(std::move(pending));
+          if (writers.size() < cap && writers.size() < queue.size() + busy) {
+            writers.emplace_back(writer_loop);
+          }
+        }
+        queue_cv.notify_one();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mux.write_mu);
+      if (mux.broken) break;
+    }
+  }
+
+  // Teardown: stop reading, let the writers drain every dispatched
+  // future (accepted work always executes — and its partials/responses
+  // simply fail to write if the socket is gone), then hang up.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu);
+    closed = true;
+  }
+  queue_cv.notify_all();
+  for (std::thread& writer : writers) writer.join();
 }
 
 WireResponse PrivmarkDaemon::ExecuteOpen(const WireRequest& request) {
@@ -192,104 +368,54 @@ WireResponse PrivmarkDaemon::ExecuteOpen(const WireRequest& request) {
 WireResponse PrivmarkDaemon::Execute(const WireRequest& request) {
   if (request.type == WireFrameType::kOpen) return ExecuteOpen(request);
 
-  WireResponse response;
-  response.kind = request.type;
+  Result<ServiceRequest> service_request = ToServiceRequest(request);
+  if (!service_request.ok()) {
+    return ToWireResponse(request.type,
+                          Result<ServiceResponse>(service_request.status()));
+  }
+  return FinishResponse(request.type, request.session,
+                        service_.Submit(*std::move(service_request)).get());
+}
 
-  ServiceRequest service_request;
-  service_request.kind = RequestKindForFrame(request.type);
-  service_request.session = request.session;
-  service_request.table = request.table;
-  service_request.num_threads = static_cast<size_t>(request.ask);
-  service_request.deadline_ms = request.deadline_ms;
-  if (request.type == WireFrameType::kFingerprint) {
-    Result<KeyRegistry> registry = KeyRegistry::Parse(request.registry_text);
-    if (!registry.ok()) {
-      response.status = registry.status();
+WireResponse PrivmarkDaemon::FinishResponse(WireFrameType type,
+                                            const std::string& session,
+                                            Result<ServiceResponse> result) {
+  EpochManifestFn manifest_fn;
+  if (type == WireFrameType::kClose && result.ok()) {
+    std::shared_ptr<SessionContext> context;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = sessions_.find(session);
+      if (it != sessions_.end()) {
+        context = it->second;
+        sessions_.erase(it);
+      }
+    }
+    if (context == nullptr) {
+      // The service closed a session this daemon never opened — only
+      // possible if open raced shutdown; without its config the
+      // manifests cannot be rebuilt.
+      WireResponse response;
+      response.kind = type;
+      response.status = Status::InvalidArgument(
+          "daemon lost the session context for '" + session + "'");
+      response.threads_granted = 0;
       return response;
     }
-    service_request.registry =
-        std::make_shared<const KeyRegistry>(*std::move(registry));
+    // Serialize server-side: EpochRecord holds tree-pointer state that
+    // cannot cross the wire, but its manifest text can — and
+    // SerializeManifest is deterministic, so the client's file is
+    // byte-identical to a local run's.
+    manifest_fn = [this, context](
+                      const EpochRecord& epoch) -> Result<std::string> {
+      PRIVMARK_ASSIGN_OR_RETURN(
+          ProtectionManifest manifest,
+          ManifestFromEpoch(epoch, config_.schema, context->metrics,
+                            context->config));
+      return SerializeManifest(manifest);
+    };
   }
-
-  Result<ServiceResponse> result =
-      service_.Submit(std::move(service_request)).get();
-  if (!result.ok()) {
-    response.status = result.status();
-    response.retry_after_ms = RetryAfterMsFromStatus(response.status);
-    return response;
-  }
-  ServiceResponse& executed = *result;
-  response.journal_status = executed.journal_status;
-  response.threads_granted = executed.threads_granted;
-
-  switch (request.type) {
-    case WireFrameType::kIngest:
-      response.ingest.epoch = executed.ingest.epoch;
-      response.ingest.flushed = executed.ingest.flushed;
-      response.ingest.rows_emitted = executed.ingest.rows_emitted;
-      response.ingest.rows_suppressed = executed.ingest.rows_suppressed;
-      response.ingest.rows_buffered = executed.ingest.rows_buffered;
-      response.ingest.emitted = std::move(executed.ingest.emitted);
-      break;
-    case WireFrameType::kFlush:
-      response.flush.epoch = executed.epoch.epoch;
-      response.flush.identifier_statistic =
-          executed.epoch.outcome.identifier_statistic;
-      response.flush.emitted = std::move(executed.epoch.outcome.watermarked);
-      break;
-    case WireFrameType::kDetect:
-      response.reports = std::move(executed.reports);
-      break;
-    case WireFrameType::kFingerprint:
-      response.fingerprints = std::move(executed.fingerprints);
-      break;
-    case WireFrameType::kClose: {
-      std::shared_ptr<SessionContext> context;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = sessions_.find(request.session);
-        if (it != sessions_.end()) {
-          context = it->second;
-          sessions_.erase(it);
-        }
-      }
-      if (context == nullptr) {
-        // The service closed a session this daemon never opened — only
-        // possible if open raced shutdown; without its config the
-        // manifests cannot be rebuilt.
-        response.status = Status::InvalidArgument(
-            "daemon lost the session context for '" + request.session + "'");
-        return response;
-      }
-      response.close.rows_ingested = executed.stats.rows_ingested;
-      response.close.rows_emitted = executed.stats.rows_emitted;
-      response.close.rows_suppressed = executed.stats.rows_suppressed;
-      for (const EpochRecord& epoch : executed.stats.epochs) {
-        WireEpochSummary summary;
-        summary.epoch = epoch.epoch;
-        summary.rows_emitted = epoch.rows_emitted;
-        summary.rows_suppressed = epoch.rows_suppressed;
-        summary.wmd_size = epoch.wmd_size;
-        summary.identifier_statistic = epoch.identifier_statistic;
-        // Serialize server-side: EpochRecord holds tree-pointer state
-        // that cannot cross the wire, but its manifest text can — and
-        // SerializeManifest is deterministic, so the client's file is
-        // byte-identical to a local run's.
-        Result<ProtectionManifest> manifest = ManifestFromEpoch(
-            epoch, config_.schema, context->metrics, context->config);
-        if (!manifest.ok()) {
-          response.status = manifest.status();
-          return response;
-        }
-        summary.manifest_text = SerializeManifest(*manifest);
-        response.close.epochs.push_back(std::move(summary));
-      }
-      break;
-    }
-    default:
-      break;
-  }
-  return response;
+  return ToWireResponse(type, std::move(result), manifest_fn);
 }
 
 Status PrivmarkDaemon::Shutdown(int64_t deadline_ms) {

@@ -2,22 +2,37 @@
 // the wire protocol of service/wire.h so remote hospital streams reach
 // the service without linking it in-process.
 //
-// Execution model: one accept-loop thread, one thread per connection
-// (no event loop, no new dependencies). Each connection is handled
-// strictly synchronously — read a request frame, execute it against the
-// service, write the response — because same-session requests serialize
-// inside the service anyway; concurrency across hospitals comes from
-// many connections, each its own strand of the shared service. That
-// also keeps the per-connection table-codec dictionaries trivially in
-// sync: frames on one connection are totally ordered.
+// Execution model: one accept-loop thread, one reader thread per
+// connection (no event loop, no new dependencies). The handshake
+// negotiates the protocol version down to the lower of the two peers'
+// maxima:
 //
-// Protocol errors (bad magic, malformed frame, undecodable payload) are
+//  - v1 (lock-step): the reader serves strictly synchronously — read a
+//    request frame, execute it against the service, write the response.
+//  - v2 (multiplexed): the reader decodes and submits pipelined
+//    requests as they arrive (same-session order = submission order =
+//    the strand's execution order) and a small lazily-grown writer pool
+//    completes their futures and writes responses as they finish, in
+//    any order, demultiplexed by the echoed request_id. A streamed
+//    kFingerprint request's verdict shards are written as kPartial
+//    frames from the executing strand, before its terminal response.
+//    max_inflight_per_connection bounds dispatched-but-unanswered
+//    requests; at the cap the reader stops reading (TCP backpressure).
+//
+// All writes on a v2 connection — partials from strand threads,
+// responses from writer threads, inline open responses from the reader
+// — serialize on one write mutex, and response payloads are ENCODED
+// under that mutex too, so the table codec's dictionary mutation order
+// always equals the wire order the client's decoder replays.
+//
+// Protocol errors (bad magic, malformed frame, unknown v2 flags, a
+// kPartial/kResponse frame from a client, undecodable payload) are
 // fatal to the offending connection only: the codec's dictionary state
 // is unknowable after a framing error, so the daemon closes that socket
 // and keeps serving everyone else. Service-level errors (unknown
 // session, shed load, deadline) travel back as normal responses with a
-// non-OK status — and, for ResourceExhausted, the typed retry_after_ms
-// backpressure hint.
+// non-OK status whose typed retry_after_ms() carries the backpressure
+// hint.
 //
 // Shutdown(deadline_ms) closes the listener, shuts down live
 // connections' sockets, joins every connection thread, then drains the
@@ -55,6 +70,14 @@ struct DaemonConfig {
   Schema schema;
   std::function<Result<UsageMetrics>(const FrameworkConfig&)>
       metrics_for_config;
+  /// Highest wire protocol version this daemon speaks; the handshake
+  /// negotiates min(client's, this). Pin to kWireProtocolV1 to force
+  /// every connection onto the lock-step path.
+  uint8_t max_protocol_version = kWireProtocolMax;
+  /// v2 connections: cap on requests dispatched but not yet answered on
+  /// one connection — also the writer-pool bound. At the cap the reader
+  /// stops reading until a response drains. Clamped to >= 1.
+  size_t max_inflight_per_connection = 32;
 };
 
 /// \brief TCP daemon on 127.0.0.1 (loopback only until TLS lands; see
@@ -100,12 +123,37 @@ class PrivmarkDaemon {
     std::thread thread;
   };
 
+  // Shared write-side state of one v2 connection: every frame write —
+  // and every response-payload ENCODE, so dictionary order equals wire
+  // order — happens under write_mu. `broken` latches the first write
+  // failure; later writes become no-ops (the reader tears down).
+  struct MuxConnection {
+    int fd = -1;
+    std::mutex write_mu;
+    WireTableEncoder encoder;      // guarded by write_mu
+    bool broken = false;           // guarded by write_mu
+  };
+
   void AcceptLoop();
   void ServeConnection(int fd);
-  // Executes one decoded request; the returned response is ready to
-  // encode. Never fails — errors travel inside the response's status.
+  void ServeLockStep(int fd);      // v1
+  void ServeMultiplexed(int fd);   // v2
+  // Executes one decoded request synchronously (the v1 path); the
+  // returned response is ready to encode. Never fails — errors travel
+  // inside the response's status.
   WireResponse Execute(const WireRequest& request);
   WireResponse ExecuteOpen(const WireRequest& request);
+  // Builds the wire response for a completed service future: the
+  // convert-layer mapping plus the daemon's close-path manifest
+  // building (which consumes the SessionContext on success).
+  WireResponse FinishResponse(WireFrameType type, const std::string& session,
+                              Result<ServiceResponse> result);
+  // v2 writes: encode + write under mux->write_mu. `streamed` selects
+  // the tails-only terminal payload of a streamed response.
+  void WriteResponseV2(MuxConnection* mux, uint64_t request_id,
+                       const WireResponse& response, bool streamed);
+  void WritePartialV2(MuxConnection* mux, uint64_t request_id,
+                      const FingerprintShard& shard);
 
   const DaemonConfig config_;
   PrivmarkService service_;

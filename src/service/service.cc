@@ -232,12 +232,13 @@ ServiceFuture PrivmarkService::Submit(ServiceRequest request) {
   if (!closes && config_.max_queue_depth > 0) {
     const size_t depth = strand->queue.size();
     if (depth >= config_.max_queue_depth) {
-      // Crude service-time guess (~50ms/request) for the hint.
+      // Crude service-time guess (~50ms/request) for the typed hint.
       const int64_t retry_after_ms = 50 * static_cast<int64_t>(depth);
-      return FailedFuture(Status::ResourceExhausted(
-          "Submit: session '" + request.session + "' queue is full (" +
-          std::to_string(depth) + " pending); retry_after_ms=" +
-          std::to_string(retry_after_ms)));
+      return FailedFuture(
+          Status::ResourceExhausted("Submit: session '" + request.session +
+                                    "' queue is full (" +
+                                    std::to_string(depth) + " pending)")
+              .WithRetryAfterMs(retry_after_ms));
     }
   }
   const int64_t deadline_ms = request.deadline_ms == kDeadlineFromConfig
@@ -302,6 +303,20 @@ ServiceFuture PrivmarkService::DetectFingerprint(
   request.session = session;
   request.table = std::move(concatenated);
   request.registry = std::move(registry);
+  request.num_threads = num_threads;
+  return Submit(std::move(request));
+}
+
+ServiceFuture PrivmarkService::DetectFingerprintStreamed(
+    const std::string& session, Table concatenated,
+    std::shared_ptr<const KeyRegistry> registry, FingerprintShardSink sink,
+    size_t num_threads) {
+  ServiceRequest request;
+  request.kind = RequestKind::kDetectFingerprint;
+  request.session = session;
+  request.table = std::move(concatenated);
+  request.registry = std::move(registry);
+  request.fingerprint_sink = std::move(sink);
   request.num_threads = num_threads;
   return Submit(std::move(request));
 }
@@ -414,8 +429,9 @@ Result<ServiceResponse> PrivmarkService::Execute(Strand* strand,
         }
         PRIVMARK_ASSIGN_OR_RETURN(
             response.fingerprints,
-            strand->session->FingerprintAcrossEpochs(request->table,
-                                                     *request->registry));
+            strand->session->FingerprintAcrossEpochsStreamed(
+                request->table, *request->registry,
+                request->fingerprint_sink));
         break;
       }
       case RequestKind::kCloseSession:

@@ -56,8 +56,9 @@
 // Overload control: per-request deadlines (deadline_ms, counted from
 // Submit) fail still-queued or admission-starved requests with
 // DeadlineExceeded instead of letting them camp; queue-depth and
-// admission-waiter caps shed new load with ResourceExhausted (message
-// carries a `retry_after_ms=N` hint) instead of growing unbounded.
+// admission-waiter caps shed new load with ResourceExhausted (the
+// Status carries a typed retry_after_ms() hint) instead of growing
+// unbounded.
 
 #ifndef PRIVMARK_SERVICE_SERVICE_H_
 #define PRIVMARK_SERVICE_SERVICE_H_
@@ -118,6 +119,14 @@ struct ServiceRequest {
   /// audit typically scans many suspect tables against the same one;
   /// callers must not mutate it after submitting.
   std::shared_ptr<const KeyRegistry> registry;
+  /// kDetectFingerprint only: when non-null, per-key-shard verdicts are
+  /// streamed through this sink as each epoch's scan completes them, in
+  /// deterministic (epoch, shard) order, BEFORE the request's future
+  /// completes. The sink runs on the session's strand thread, so it must
+  /// not block on the request's own future. The concatenation of the
+  /// streamed shard verdicts is byte-identical to the final response's
+  /// per-epoch FingerprintReport verdicts (fingerprint.h contract).
+  FingerprintShardSink fingerprint_sink;
   /// Admission ask for this request; kSessionThreads = the session
   /// config's own num_threads knobs. 0 = the whole thread cap.
   size_t num_threads = kSessionThreads;
@@ -289,6 +298,14 @@ class PrivmarkService {
                                   Table concatenated,
                                   std::shared_ptr<const KeyRegistry> registry,
                                   size_t num_threads = kSessionThreads);
+  /// \brief Streaming fingerprint scan: `sink` receives per-key-shard
+  /// verdicts in deterministic (epoch, shard) order on the strand
+  /// thread, all before the returned future completes with the same
+  /// one-shot response DetectFingerprint would have produced.
+  ServiceFuture DetectFingerprintStreamed(
+      const std::string& session, Table concatenated,
+      std::shared_ptr<const KeyRegistry> registry, FingerprintShardSink sink,
+      size_t num_threads = kSessionThreads);
   ServiceFuture CloseSession(const std::string& session);
 
   /// \brief Closes intake on every session, drains every queue, joins

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <cstring>
 #include <utility>
 
 #include "common/failpoint.h"
@@ -25,6 +26,7 @@ Status Truncated(const char* what) {
 void AppendStatus(std::string* out, const Status& status) {
   AppendLe32(out, static_cast<uint32_t>(status.code()));
   AppendLengthPrefixed(out, status.message());
+  AppendLe64(out, static_cast<uint64_t>(status.retry_after_ms()));
 }
 
 // Out-param rather than Result<Status>: Result<T> cannot hold a Status
@@ -32,15 +34,18 @@ void AppendStatus(std::string* out, const Status& status) {
 Status ReadStatus(BinReader* reader, const char* what, Status* out) {
   uint32_t code = 0;
   std::string message;
+  uint64_t retry_bits = 0;
   if (!reader->ReadU32(&code) ||
-      !reader->ReadLengthPrefixed(&message, kMaxTextBytes)) {
+      !reader->ReadLengthPrefixed(&message, kMaxTextBytes) ||
+      !reader->ReadU64(&retry_bits)) {
     return Truncated(what);
   }
   if (code > static_cast<uint32_t>(StatusCode::kResourceExhausted)) {
     return Status::InvalidArgument("wire: unknown status code " +
                                    std::to_string(code));
   }
-  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  *out = Status(static_cast<StatusCode>(code), std::move(message))
+             .WithRetryAfterMs(static_cast<int64_t>(retry_bits));
   return Status::OK();
 }
 
@@ -105,24 +110,80 @@ Result<DetectReport> ReadDetectReport(BinReader* reader) {
   return report;
 }
 
-void AppendFingerprintReport(std::string* out,
-                             const FingerprintReport& report) {
-  AppendLe32(out, static_cast<uint32_t>(report.verdicts.size()));
-  for (const KeyVerdict& verdict : report.verdicts) {
-    AppendLengthPrefixed(out, verdict.key_name);
-    AppendDetectReport(out, verdict.detection);
-    AppendDoubleBits(out, verdict.margin_ratio);
-    AppendDoubleBits(out, verdict.mark_match);
-    AppendDoubleBits(out, verdict.p_value);
-    AppendDoubleBits(out, verdict.score);
-    out->push_back(verdict.detected ? 1 : 0);
+void AppendKeyVerdict(std::string* out, const KeyVerdict& verdict) {
+  AppendLengthPrefixed(out, verdict.key_name);
+  AppendDetectReport(out, verdict.detection);
+  AppendDoubleBits(out, verdict.margin_ratio);
+  AppendDoubleBits(out, verdict.mark_match);
+  AppendDoubleBits(out, verdict.p_value);
+  AppendDoubleBits(out, verdict.score);
+  out->push_back(verdict.detected ? 1 : 0);
+}
+
+Result<KeyVerdict> ReadKeyVerdict(BinReader* reader) {
+  KeyVerdict verdict;
+  if (!reader->ReadLengthPrefixed(&verdict.key_name, kMaxNameBytes)) {
+    return Truncated("verdict key name");
   }
+  PRIVMARK_ASSIGN_OR_RETURN(verdict.detection, ReadDetectReport(reader));
+  uint8_t detected = 0;
+  if (!reader->ReadDoubleBits(&verdict.margin_ratio) ||
+      !reader->ReadDoubleBits(&verdict.mark_match) ||
+      !reader->ReadDoubleBits(&verdict.p_value) ||
+      !reader->ReadDoubleBits(&verdict.score) ||
+      !reader->ReadU8(&detected)) {
+    return Truncated("verdict");
+  }
+  verdict.detected = detected != 0;
+  return verdict;
+}
+
+// The ranking + keys_detected + collusion tail of a report — the part a
+// streamed terminal frame carries after the verdicts went out as shards.
+void AppendFingerprintTail(std::string* out, const FingerprintReport& report) {
   AppendLe32(out, static_cast<uint32_t>(report.ranking.size()));
   for (size_t index : report.ranking) {
     AppendLe32(out, static_cast<uint32_t>(index));
   }
   AppendLe64(out, report.keys_detected);
   out->push_back(report.collusion ? 1 : 0);
+}
+
+// Reads the tail. A ranking is always a permutation of all verdict
+// indices, so its length IS the verdict count — callers holding the
+// verdicts separately compare against report->ranking.size().
+Status ReadFingerprintTail(BinReader* reader, FingerprintReport* report) {
+  uint32_t ranked = 0;
+  if (!reader->ReadU32(&ranked)) return Truncated("ranking");
+  const uint32_t verdicts = ranked;
+  if (reader->remaining() / 4 < ranked) return Truncated("ranking");
+  report->ranking.reserve(ranked);
+  for (uint32_t i = 0; i < ranked; ++i) {
+    uint32_t index = 0;
+    if (!reader->ReadU32(&index)) return Truncated("ranking");
+    if (index >= verdicts) {
+      return Status::InvalidArgument(
+          "wire: fingerprint ranking index out of range");
+    }
+    report->ranking.push_back(index);
+  }
+  uint64_t detected = 0;
+  uint8_t collusion = 0;
+  if (!reader->ReadU64(&detected) || !reader->ReadU8(&collusion)) {
+    return Truncated("fingerprint report");
+  }
+  report->keys_detected = detected;
+  report->collusion = collusion != 0;
+  return Status::OK();
+}
+
+void AppendFingerprintReport(std::string* out,
+                             const FingerprintReport& report) {
+  AppendLe32(out, static_cast<uint32_t>(report.verdicts.size()));
+  for (const KeyVerdict& verdict : report.verdicts) {
+    AppendKeyVerdict(out, verdict);
+  }
+  AppendFingerprintTail(out, report);
 }
 
 Result<FingerprintReport> ReadFingerprintReport(BinReader* reader) {
@@ -133,45 +194,14 @@ Result<FingerprintReport> ReadFingerprintReport(BinReader* reader) {
   if (reader->remaining() / 8 < verdicts) return Truncated("verdicts");
   report.verdicts.reserve(verdicts);
   for (uint32_t i = 0; i < verdicts; ++i) {
-    KeyVerdict verdict;
-    if (!reader->ReadLengthPrefixed(&verdict.key_name, kMaxNameBytes)) {
-      return Truncated("verdict key name");
-    }
-    PRIVMARK_ASSIGN_OR_RETURN(verdict.detection, ReadDetectReport(reader));
-    uint8_t detected = 0;
-    if (!reader->ReadDoubleBits(&verdict.margin_ratio) ||
-        !reader->ReadDoubleBits(&verdict.mark_match) ||
-        !reader->ReadDoubleBits(&verdict.p_value) ||
-        !reader->ReadDoubleBits(&verdict.score) ||
-        !reader->ReadU8(&detected)) {
-      return Truncated("verdict");
-    }
-    verdict.detected = detected != 0;
+    PRIVMARK_ASSIGN_OR_RETURN(KeyVerdict verdict, ReadKeyVerdict(reader));
     report.verdicts.push_back(std::move(verdict));
   }
-  uint32_t ranked = 0;
-  if (!reader->ReadU32(&ranked)) return Truncated("ranking");
-  if (ranked != verdicts) {
+  PRIVMARK_RETURN_NOT_OK(ReadFingerprintTail(reader, &report));
+  if (report.ranking.size() != report.verdicts.size()) {
     return Status::InvalidArgument(
         "wire: fingerprint ranking length differs from verdict count");
   }
-  report.ranking.reserve(ranked);
-  for (uint32_t i = 0; i < ranked; ++i) {
-    uint32_t index = 0;
-    if (!reader->ReadU32(&index)) return Truncated("ranking");
-    if (index >= verdicts) {
-      return Status::InvalidArgument(
-          "wire: fingerprint ranking index out of range");
-    }
-    report.ranking.push_back(index);
-  }
-  uint64_t detected = 0;
-  uint8_t collusion = 0;
-  if (!reader->ReadU64(&detected) || !reader->ReadU8(&collusion)) {
-    return Truncated("fingerprint report");
-  }
-  report.keys_detected = detected;
-  report.collusion = collusion != 0;
   return report;
 }
 
@@ -208,58 +238,129 @@ const char* WireFrameTypeToString(WireFrameType type) {
     case WireFrameType::kFingerprint: return "fingerprint";
     case WireFrameType::kClose: return "close";
     case WireFrameType::kResponse: return "response";
+    case WireFrameType::kPartial: return "partial";
   }
   return "unknown";
 }
 
-Result<std::string> EncodeWireFrame(WireFrameType type,
-                                    const std::string& payload) {
-  if (payload.size() > kMaxWireFrameBytes) {
-    return Status::InvalidArgument("wire: frame payload of " +
-                                   std::to_string(payload.size()) +
-                                   " bytes exceeds the frame size cap");
+uint8_t WireMagicVersion(const char* magic) {
+  if (std::memcmp(magic, kWireMagic, kWireMagicSize) == 0) {
+    return kWireProtocolV1;
   }
-  std::string crc_input;
-  crc_input.reserve(1 + payload.size());
-  crc_input.push_back(static_cast<char>(type));
-  crc_input.append(payload);
-
-  std::string frame;
-  frame.reserve(kWireFrameHeaderBytes + crc_input.size());
-  AppendLe32(&frame, static_cast<uint32_t>(payload.size()));
-  AppendLe32(&frame, JournalCrc32(crc_input.data(), crc_input.size()));
-  frame.append(crc_input);
-  return frame;
+  if (std::memcmp(magic, kWireMagicV2, kWireMagicSize) == 0) {
+    return kWireProtocolV2;
+  }
+  return 0;
 }
 
-Result<size_t> WireFrameBodyLength(const char* header) {
+bool WireMagicFor(uint8_t version, char* out) {
+  if (version == kWireProtocolV1) {
+    std::memcpy(out, kWireMagic, kWireMagicSize);
+    return true;
+  }
+  if (version == kWireProtocolV2) {
+    std::memcpy(out, kWireMagicV2, kWireMagicSize);
+    return true;
+  }
+  return false;
+}
+
+Result<std::string> EncodeWireFrame(const WireFrame& frame, uint8_t version) {
+  if (version != kWireProtocolV1 && version != kWireProtocolV2) {
+    return Status::InvalidArgument("wire: unknown protocol version " +
+                                   std::to_string(version));
+  }
+  if (frame.payload.size() > kMaxWireFrameBytes) {
+    return Status::InvalidArgument("wire: frame payload of " +
+                                   std::to_string(frame.payload.size()) +
+                                   " bytes exceeds the frame size cap");
+  }
+  if (version == kWireProtocolV1 &&
+      (frame.request_id != 0 || !frame.final_frame || frame.streamed ||
+       frame.type == WireFrameType::kPartial)) {
+    return Status::InvalidArgument(
+        "wire: v1 frames carry no request id, flags, or continuations");
+  }
+  if (frame.type == WireFrameType::kPartial && frame.final_frame) {
+    return Status::InvalidArgument(
+        "wire: a partial frame cannot be final");
+  }
+  std::string crc_input;
+  crc_input.reserve(1 + kWireV2EnvelopeBytes + frame.payload.size());
+  crc_input.push_back(static_cast<char>(frame.type));
+  if (version == kWireProtocolV2) {
+    AppendLe64(&crc_input, frame.request_id);
+    uint8_t flags = 0;
+    if (frame.final_frame) flags |= kWireFlagFinal;
+    if (frame.streamed) flags |= kWireFlagStreamed;
+    crc_input.push_back(static_cast<char>(flags));
+  }
+  crc_input.append(frame.payload);
+
+  std::string encoded;
+  encoded.reserve(kWireFrameHeaderBytes + crc_input.size());
+  AppendLe32(&encoded, static_cast<uint32_t>(frame.payload.size()));
+  AppendLe32(&encoded, JournalCrc32(crc_input.data(), crc_input.size()));
+  encoded.append(crc_input);
+  return encoded;
+}
+
+Result<std::string> EncodeWireFrame(WireFrameType type,
+                                    const std::string& payload) {
+  WireFrame frame;
+  frame.type = type;
+  frame.payload = payload;
+  return EncodeWireFrame(frame, kWireProtocolV1);
+}
+
+Result<size_t> WireFrameBodyLength(const char* header, uint8_t version) {
   const uint32_t length = ReadLe32(header);
   if (length > kMaxWireFrameBytes) {
     return Status::InvalidArgument("wire: frame length " +
                                    std::to_string(length) +
                                    " exceeds the frame size cap");
   }
-  return static_cast<size_t>(length) + 1;  // + the type byte
+  // + the type byte (+ the v2 envelope).
+  const size_t envelope =
+      version == kWireProtocolV2 ? 1 + kWireV2EnvelopeBytes : 1;
+  return static_cast<size_t>(length) + envelope;
 }
 
 Result<WireFrame> DecodeWireFrameBody(const char* header, const char* body,
-                                      size_t body_length) {
-  if (body_length == 0) {
-    return Status::InvalidArgument("wire: empty frame body");
+                                      size_t body_length, uint8_t version) {
+  const size_t envelope =
+      version == kWireProtocolV2 ? 1 + kWireV2EnvelopeBytes : 1;
+  if (body_length < envelope) {
+    return Status::InvalidArgument("wire: truncated frame body");
   }
   const uint32_t expected_crc = ReadLe32(header + 4);
   if (JournalCrc32(body, body_length) != expected_crc) {
     return Status::InvalidArgument("wire: frame checksum mismatch");
   }
   const uint8_t type = static_cast<uint8_t>(*body);
-  if (type < static_cast<uint8_t>(WireFrameType::kOpen) ||
-      type > static_cast<uint8_t>(WireFrameType::kResponse)) {
+  const uint8_t max_type = version == kWireProtocolV2
+                               ? static_cast<uint8_t>(WireFrameType::kPartial)
+                               : static_cast<uint8_t>(WireFrameType::kResponse);
+  if (type < static_cast<uint8_t>(WireFrameType::kOpen) || type > max_type) {
     return Status::InvalidArgument("wire: unknown frame type " +
                                    std::to_string(type));
   }
   WireFrame frame;
   frame.type = static_cast<WireFrameType>(type);
-  frame.payload.assign(body + 1, body_length - 1);
+  if (version == kWireProtocolV2) {
+    frame.request_id = ReadLe64(body + 1);
+    const uint8_t flags = static_cast<uint8_t>(body[9]);
+    if ((flags & ~kWireFlagMask) != 0) {
+      return Status::InvalidArgument("wire: unknown frame flags " +
+                                     std::to_string(flags));
+    }
+    frame.final_frame = (flags & kWireFlagFinal) != 0;
+    frame.streamed = (flags & kWireFlagStreamed) != 0;
+    if (frame.type == WireFrameType::kPartial && frame.final_frame) {
+      return Status::InvalidArgument("wire: a partial frame cannot be final");
+    }
+  }
+  frame.payload.assign(body + envelope, body_length - envelope);
   return frame;
 }
 
@@ -535,7 +636,6 @@ std::string EncodeWireResponse(const WireResponse& response,
   std::string out;
   out.push_back(static_cast<char>(response.kind));
   AppendStatus(&out, response.status);
-  AppendLe64(&out, static_cast<uint64_t>(response.retry_after_ms));
   AppendStatus(&out, response.journal_status);
   AppendLe64(&out, response.threads_granted);
   if (!response.status.ok()) return out;
@@ -582,6 +682,7 @@ std::string EncodeWireResponse(const WireResponse& response,
       }
       break;
     case WireFrameType::kResponse:
+    case WireFrameType::kPartial:
       break;  // unreachable: kind always echoes a request type
   }
   return out;
@@ -601,9 +702,6 @@ Result<WireResponse> DecodeWireResponse(const std::string& payload,
   response.kind = static_cast<WireFrameType>(kind);
   PRIVMARK_RETURN_NOT_OK(
       ReadStatus(&reader, "response status", &response.status));
-  uint64_t retry_bits = 0;
-  if (!reader.ReadU64(&retry_bits)) return Truncated("response");
-  response.retry_after_ms = static_cast<int64_t>(retry_bits);
   PRIVMARK_RETURN_NOT_OK(
       ReadStatus(&reader, "journal status", &response.journal_status));
   if (!reader.ReadU64(&response.threads_granted)) return Truncated("response");
@@ -697,11 +795,114 @@ Result<WireResponse> DecodeWireResponse(const std::string& payload,
         break;
       }
       case WireFrameType::kResponse:
+      case WireFrameType::kPartial:
         break;
     }
   }
   if (!reader.Exhausted()) {
     return Status::InvalidArgument("wire: response has trailing bytes");
+  }
+  return response;
+}
+
+// ---- streamed fingerprint responses (v2) ---------------------------------
+
+namespace {
+
+// Shared by both shard shapes (they differ only in integer widths).
+template <typename Shard>
+std::string EncodeShardImpl(const Shard& shard) {
+  std::string out;
+  AppendLe64(&out, static_cast<uint64_t>(shard.epoch));
+  AppendLe64(&out, static_cast<uint64_t>(shard.shard));
+  AppendLe64(&out, static_cast<uint64_t>(shard.first_key));
+  AppendLe32(&out, static_cast<uint32_t>(shard.verdicts.size()));
+  for (const KeyVerdict& verdict : shard.verdicts) {
+    AppendKeyVerdict(&out, verdict);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeWireFingerprintShard(const WireFingerprintShard& shard) {
+  return EncodeShardImpl(shard);
+}
+
+std::string EncodeWireFingerprintShard(const FingerprintShard& shard) {
+  return EncodeShardImpl(shard);
+}
+
+Result<WireFingerprintShard> DecodeWireFingerprintShard(
+    const std::string& payload) {
+  WireFingerprintShard shard;
+  BinReader reader(payload);
+  uint32_t verdicts = 0;
+  if (!reader.ReadU64(&shard.epoch) || !reader.ReadU64(&shard.shard) ||
+      !reader.ReadU64(&shard.first_key) || !reader.ReadU32(&verdicts)) {
+    return Truncated("fingerprint shard");
+  }
+  if (reader.remaining() / 8 < verdicts) return Truncated("shard verdicts");
+  shard.verdicts.reserve(verdicts);
+  for (uint32_t i = 0; i < verdicts; ++i) {
+    PRIVMARK_ASSIGN_OR_RETURN(KeyVerdict verdict, ReadKeyVerdict(&reader));
+    shard.verdicts.push_back(std::move(verdict));
+  }
+  if (!reader.Exhausted()) {
+    return Status::InvalidArgument(
+        "wire: fingerprint shard has trailing bytes");
+  }
+  return shard;
+}
+
+std::string EncodeWireResponseStreamedTails(const WireResponse& response) {
+  std::string out;
+  out.push_back(static_cast<char>(response.kind));
+  AppendStatus(&out, response.status);
+  AppendStatus(&out, response.journal_status);
+  AppendLe64(&out, response.threads_granted);
+  if (!response.status.ok()) return out;
+  AppendLe32(&out, static_cast<uint32_t>(response.fingerprints.size()));
+  for (const FingerprintReport& report : response.fingerprints) {
+    AppendFingerprintTail(&out, report);
+  }
+  return out;
+}
+
+Result<WireResponse> DecodeWireResponseStreamedTails(
+    const std::string& payload) {
+  WireResponse response;
+  BinReader reader(payload);
+  uint8_t kind = 0;
+  if (!reader.ReadU8(&kind)) return Truncated("streamed response");
+  if (kind != static_cast<uint8_t>(WireFrameType::kFingerprint)) {
+    return Status::InvalidArgument(
+        "wire: streamed terminal echoes non-fingerprint kind " +
+        std::to_string(kind));
+  }
+  response.kind = static_cast<WireFrameType>(kind);
+  PRIVMARK_RETURN_NOT_OK(
+      ReadStatus(&reader, "response status", &response.status));
+  PRIVMARK_RETURN_NOT_OK(
+      ReadStatus(&reader, "journal status", &response.journal_status));
+  if (!reader.ReadU64(&response.threads_granted)) {
+    return Truncated("streamed response");
+  }
+  if (response.status.ok()) {
+    uint32_t epochs = 0;
+    if (!reader.ReadU32(&epochs)) return Truncated("streamed response");
+    if (reader.remaining() / 4 < epochs) return Truncated("streamed response");
+    response.fingerprints.resize(epochs);
+    for (uint32_t e = 0; e < epochs; ++e) {
+      // The tail's ranking length is the epoch's verdict count; the
+      // caller checks its reassembled shard verdicts against it.
+      PRIVMARK_RETURN_NOT_OK(
+          ReadFingerprintTail(&reader, &response.fingerprints[e]));
+    }
+  }
+  if (!reader.Exhausted()) {
+    return Status::InvalidArgument(
+        "wire: streamed response has trailing bytes");
   }
   return response;
 }

@@ -3,21 +3,45 @@
 // (open / ingest / flush / detect / fingerprint / close) so remote
 // hospital streams can reach a PrivmarkService over a socket.
 //
-// Connection handshake: the client sends the 8-byte magic "PRVMNET1"
-// (protocol version 1 is the trailing byte); the server validates it
-// and echoes it back. A magic mismatch in either direction is fatal to
-// the connection — versions never mix mid-stream.
+// Connection handshake: the client sends an 8-byte magic "PRVMNET<v>"
+// (the trailing byte is the highest protocol version it speaks, '1' or
+// '2'); the server echoes the magic of min(client version, its own
+// max). Both sides then speak the echoed version for the connection's
+// lifetime — versions never mix mid-stream. An unknown magic prefix in
+// either direction is fatal to the connection.
 //
-// Frames (both directions) reuse the journal's record shape:
+// Version 1 frames (both directions) reuse the journal's record shape:
 //
 //   [u32 payload length][u32 crc32][u8 type][payload bytes]
 //
-// little-endian, CRC-32 (IEEE) over type + payload, payloads capped at
-// kMaxWireFrameBytes so a corrupt length can never drive a huge
-// allocation. Unlike the torn-tail-tolerant journal reader, a socket
-// peer is live: any malformed frame (bad CRC, unknown type, oversized
-// length, truncated payload) is a protocol error and the connection is
-// closed — there is no resynchronization point inside a byte stream.
+// and the connection is LOCK-STEP: one request, one response, in order.
+//
+// Version 2 widens the body into a multiplexing envelope:
+//
+//   [u32 payload length][u32 crc32]
+//   [u8 type][u64 request_id][u8 flags][payload bytes]
+//
+// request_id is client-assigned and echoed on every frame of the
+// response; a client may pipeline any number of requests and the server
+// may answer them out of order (same-session requests still execute in
+// submission order — the strand guarantee — but their responses
+// interleave freely with other sessions'). `flags` bit 0 (kWireFlagFinal)
+// marks the last frame of a logical message; bit 1 (kWireFlagStreamed)
+// marks frames of a streamed response. A streamed response is an ordered
+// sequence of kPartial frames (final=0, streamed=1) closed by one
+// kResponse frame (final=1, streamed=1) carrying the response minus what
+// already crossed in the partials. Unknown flag bits are a protocol
+// error. Requests are always single-frame (final=1).
+//
+// Both versions: little-endian, CRC-32 (IEEE) over the whole body
+// (type byte through payload), payloads capped at kMaxWireFrameBytes so
+// a corrupt length can never drive a huge allocation. Unlike the
+// torn-tail-tolerant journal reader, a socket peer is live: any
+// malformed frame (bad CRC, unknown type or flag, oversized length,
+// truncated payload) is a protocol error and the connection is closed —
+// there is no resynchronization point inside a byte stream. Payload
+// encodings are IDENTICAL across versions; v2 changes only the envelope
+// and the frame flow.
 //
 // Table batches travel in a columnar encoding over the same lossless
 // cell shapes as SessionJournal::EncodeBatch: int64 and double columns
@@ -33,10 +57,9 @@
 // strings), which is what lets a remote client byte-compare its
 // stream's output against serial in-process replay.
 //
-// Responses carry the service Status (code + message), the session's
-// sticky journal status, the admission grant, and — on
-// ResourceExhausted — a *typed* retry_after_ms backpressure hint
-// (clients must not parse message text).
+// Responses carry the service Status (code + message + the typed
+// retry_after_ms backpressure hint — clients must not parse message
+// text), the session's sticky journal status, and the admission grant.
 
 #ifndef PRIVMARK_SERVICE_WIRE_H_
 #define PRIVMARK_SERVICE_WIRE_H_
@@ -57,9 +80,27 @@
 namespace privmark {
 
 /// \brief Connection preamble: protocol name + version in 8 bytes.
+/// kWireMagic is the version-1 magic (kept under its historical name —
+/// existing lock-step code paths are all v1).
 inline constexpr char kWireMagic[8] = {'P', 'R', 'V', 'M',
                                        'N', 'E', 'T', '1'};
+inline constexpr char kWireMagicV2[8] = {'P', 'R', 'V', 'M',
+                                         'N', 'E', 'T', '2'};
 inline constexpr size_t kWireMagicSize = sizeof(kWireMagic);
+
+/// \brief Protocol versions. V1 = lock-step request/response; V2 =
+/// multiplexed request ids + streamed responses.
+inline constexpr uint8_t kWireProtocolV1 = 1;
+inline constexpr uint8_t kWireProtocolV2 = 2;
+inline constexpr uint8_t kWireProtocolMax = kWireProtocolV2;
+
+/// \brief Version carried by an 8-byte magic; 0 when the bytes are not
+/// a known privmark magic.
+uint8_t WireMagicVersion(const char* magic);
+
+/// \brief Writes the 8-byte magic for `version` into `out`; false for
+/// an unknown version (out untouched).
+bool WireMagicFor(uint8_t version, char* out);
 
 /// \brief Frame payloads larger than this are refused on both encode
 /// and decode (matches SessionJournal::kMaxRecordBytes).
@@ -70,7 +111,9 @@ inline constexpr size_t kMaxWireFrameBytes = size_t{256} * 1024 * 1024;
 inline constexpr size_t kWireFrameHeaderBytes = 8;
 
 /// \brief Frame types. 1–6 are requests (client → server) mirroring
-/// the serve grammar; kResponse carries every server reply.
+/// the serve grammar; kResponse carries (or, streamed, closes) every
+/// server reply; kPartial (v2 only) carries one continuation slice of a
+/// streamed response.
 enum class WireFrameType : uint8_t {
   kOpen = 1,
   kIngest = 2,
@@ -79,31 +122,57 @@ enum class WireFrameType : uint8_t {
   kFingerprint = 5,
   kClose = 6,
   kResponse = 7,
+  kPartial = 8,
 };
 
 const char* WireFrameTypeToString(WireFrameType type);
 
-/// \brief One decoded frame.
+/// \brief v2 envelope flag bits.
+inline constexpr uint8_t kWireFlagFinal = 0x1;
+inline constexpr uint8_t kWireFlagStreamed = 0x2;
+inline constexpr uint8_t kWireFlagMask = kWireFlagFinal | kWireFlagStreamed;
+
+/// \brief Fixed v2 envelope overhead past the type byte:
+/// u64 request_id + u8 flags.
+inline constexpr size_t kWireV2EnvelopeBytes = 9;
+
+/// \brief One decoded frame. Under v1 the envelope fields keep their
+/// defaults (no request ids, every frame final, nothing streamed).
 struct WireFrame {
   WireFrameType type = WireFrameType::kResponse;
+  /// v2: client-assigned id echoed on every frame of the response.
+  uint64_t request_id = 0;
+  /// v2: kWireFlagFinal — last frame of its logical message.
+  bool final_frame = true;
+  /// v2: kWireFlagStreamed — part of a streamed response.
+  bool streamed = false;
   std::string payload;
 };
 
-/// \brief Encodes a complete frame (header + type + payload).
-/// InvalidArgument when the payload exceeds kMaxWireFrameBytes.
+/// \brief Encodes a complete frame (header + body) under `version`.
+/// Under v1 the envelope fields must be at their defaults (a v1 frame
+/// cannot carry an id or a continuation). InvalidArgument when the
+/// payload exceeds kMaxWireFrameBytes.
+Result<std::string> EncodeWireFrame(const WireFrame& frame, uint8_t version);
+
+/// \brief v1 convenience overload (type + payload only).
 Result<std::string> EncodeWireFrame(WireFrameType type,
                                     const std::string& payload);
 
 /// \brief Validates a frame header (first kWireFrameHeaderBytes bytes
-/// off the socket) and returns the body length still to read
-/// (1 type byte + payload). InvalidArgument on an oversized length.
-Result<size_t> WireFrameBodyLength(const char* header);
+/// off the socket) and returns the body length still to read (type byte
+/// + v2 envelope + payload). InvalidArgument on an oversized length.
+Result<size_t> WireFrameBodyLength(const char* header,
+                                   uint8_t version = kWireProtocolV1);
 
-/// \brief Validates CRC and type of a frame body read after
-/// WireFrameBodyLength and splits it into a WireFrame.
-/// InvalidArgument on CRC mismatch or an unknown type.
+/// \brief Validates CRC, type, and (v2) envelope flags of a frame body
+/// read after WireFrameBodyLength and splits it into a WireFrame.
+/// InvalidArgument on CRC mismatch, an unknown type for the version
+/// (kPartial is v2-only), unknown flag bits, or a kPartial frame
+/// claiming to be final.
 Result<WireFrame> DecodeWireFrameBody(const char* header, const char* body,
-                                      size_t body_length);
+                                      size_t body_length,
+                                      uint8_t version = kWireProtocolV1);
 
 // ---- columnar table codec ------------------------------------------------
 
@@ -191,6 +260,10 @@ struct WireRequest {
   uint64_t ask = UINT64_MAX;
   /// Per-request deadline; -1 = the daemon's default_deadline_ms.
   int64_t deadline_ms = -1;
+  /// v2 kFingerprint only: ask for a streamed response (travels as the
+  /// request frame's kWireFlagStreamed envelope bit, NOT in the payload
+  /// — v1 payload bytes are unchanged by it).
+  bool stream = false;
   WireOpenRequest open;
   Table table;
   std::string registry_text;
@@ -260,14 +333,18 @@ struct WireCloseResult {
 
 /// \brief Every server reply. `kind` echoes the request's frame type
 /// and selects which body member is meaningful; a non-OK `status`
-/// carries no body.
+/// carries no body but a fully defined envelope (threads_granted = 0,
+/// journal_status OK unless the session's is known, the retry hint on
+/// `status` itself, and — v2 — the request_id echoed).
 struct WireResponse {
   WireFrameType kind = WireFrameType::kOpen;
-  /// The service-level outcome, reconstructed code + message.
+  /// v2 envelope only (set from the frame, never encoded in the
+  /// payload): the id of the request this response answers.
+  uint64_t request_id = 0;
+  /// The service-level outcome, reconstructed code + message + the
+  /// typed retry_after_ms() backpressure hint (clients must never
+  /// parse message text).
   Status status;
-  /// Typed backpressure hint: milliseconds to wait before retrying a
-  /// ResourceExhausted request. -1 = no hint. Never parse message text.
-  int64_t retry_after_ms = -1;
   /// The session's sticky journal status as of this request.
   Status journal_status;
   uint64_t threads_granted = 1;
@@ -288,6 +365,42 @@ std::string EncodeWireResponse(const WireResponse& response,
 /// \brief Decodes a response frame's payload (client side).
 Result<WireResponse> DecodeWireResponse(const std::string& payload,
                                         WireTableDecoder* tables);
+
+// ---- streamed fingerprint responses (v2) ---------------------------------
+
+/// \brief One kPartial frame's payload: a FingerprintShard as it left
+/// the scan — the verdicts for a contiguous registry-order key run of
+/// one epoch's scan. Shards carry no table blocks, so they never touch
+/// the connection's dictionary state.
+struct WireFingerprintShard {
+  uint64_t epoch = 0;
+  uint64_t shard = 0;
+  uint64_t first_key = 0;
+  std::vector<KeyVerdict> verdicts;
+};
+
+std::string EncodeWireFingerprintShard(const WireFingerprintShard& shard);
+/// \brief Overload straight off the scan's shard type — what the
+/// daemon's streaming sink encodes, copy-free.
+std::string EncodeWireFingerprintShard(const FingerprintShard& shard);
+Result<WireFingerprintShard> DecodeWireFingerprintShard(
+    const std::string& payload);
+
+/// \brief Encodes the terminal kResponse payload of a streamed
+/// fingerprint response: the envelope plus, per epoch, the report MINUS
+/// its verdicts (they already crossed as kPartial shards) — ranking,
+/// keys_detected, collusion. ranking.size() doubles as the epoch's
+/// verdict count, which is how the receiver validates its reassembly.
+/// `response.kind` must be kFingerprint; a non-OK status carries no
+/// tails (same convention as EncodeWireResponse).
+std::string EncodeWireResponseStreamedTails(const WireResponse& response);
+
+/// \brief Decodes a streamed-terminal payload: the returned response's
+/// fingerprints have ranking / keys_detected / collusion set and EMPTY
+/// verdicts — the caller reattaches the shard verdicts it buffered,
+/// checking each epoch's count against ranking.size().
+Result<WireResponse> DecodeWireResponseStreamedTails(
+    const std::string& payload);
 
 // ---- socket I/O ----------------------------------------------------------
 

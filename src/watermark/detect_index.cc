@@ -325,20 +325,25 @@ Result<DetectReport> TallyDetect(const DetectIndex& index,
 
 Result<std::vector<DetectReport>> MultiKeyTally(
     const DetectIndex& index, const std::vector<WatermarkKey>& keys,
-    HashAlgorithm algo, size_t wm_size, size_t wmd_size, ThreadPool* pool) {
+    HashAlgorithm algo, size_t wm_size, size_t wmd_size, ThreadPool* pool,
+    const MultiKeyTallySink& sink) {
   PRIVMARK_RETURN_NOT_OK(ValidateSizes(wm_size, wmd_size));
   std::vector<DetectReport> reports;
-  reports.reserve(keys.size());
+  if (sink == nullptr) reports.reserve(keys.size());
 
   const std::vector<ShardRange> shards =
       ShardRanges(index.num_rows, pool == nullptr ? 1 : pool->num_threads());
   const size_t num_shards = shards.size();
   if (num_shards == 0) {
-    // Empty table: every key folds an empty tally.
+    // Empty table: every key folds an empty tally (one block).
     for (size_t k = 0; k < keys.size(); ++k) {
       DetectReport report;
       FoldVotes(VoteShard(wmd_size), wm_size, wmd_size, &report);
       reports.push_back(std::move(report));
+    }
+    if (sink != nullptr && !reports.empty()) {
+      sink(0, std::move(reports));
+      reports.clear();
     }
     return reports;
   }
@@ -377,6 +382,8 @@ Result<std::vector<DetectReport>> MultiKeyTally(
     } else {
       pool->Run(block_groups * num_shards, task);
     }
+    std::vector<DetectReport> block_reports;
+    std::vector<DetectReport>& out = sink == nullptr ? reports : block_reports;
     for (size_t gi = 0; gi < block_groups; ++gi) {
       const size_t k0 = (g0 + gi) * kKeyLanes;
       const size_t group_keys = std::min(keys.size() - k0, kKeyLanes);
@@ -389,9 +396,12 @@ Result<std::vector<DetectReport>> MultiKeyTally(
         }
         DetectReport report;
         FoldVotes(votes, wm_size, wmd_size, &report);
-        reports.push_back(std::move(report));
+        out.push_back(std::move(report));
       }
     }
+    // Stream the whole block at once: it is the unit already bounded for
+    // memory, and its keys are contiguous from g0 * kKeyLanes.
+    if (sink != nullptr) sink(g0 * kKeyLanes, std::move(block_reports));
   }
   return reports;
 }

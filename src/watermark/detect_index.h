@@ -24,6 +24,7 @@
 #define PRIVMARK_WATERMARK_DETECT_INDEX_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -81,15 +82,34 @@ Result<DetectReport> TallyDetect(const DetectIndex& index,
                                  size_t wm_size, size_t wmd_size,
                                  ThreadPool* pool);
 
+/// \brief Streaming consumer of MultiKeyTally's per-block results:
+/// invoked once per completed key block, in key order, on the calling
+/// thread, with the block's first key index and its reports (a
+/// contiguous key-order slice starting at `first_key`). Blocks are the
+/// tally engine's existing memory-bounding unit, so streaming adds no
+/// extra synchronization — each block is complete (merged across all
+/// row shards) before the sink sees it.
+using MultiKeyTallySink =
+    std::function<void(size_t first_key, std::vector<DetectReport> block)>;
+
 /// \brief TallyDetect for every key, sharded across the flattened
 /// (key x row-shard) grid — with T workers and K keys, all T stay busy
 /// even when K row-shards alone would not saturate them. Keys are
 /// processed in bounded blocks so memory stays O(threads x wmd), not
 /// O(K x wmd); reports come back in key order, each byte-identical to a
 /// serial single-key TallyDetect.
+///
+/// With a `sink`, every block's reports are handed to it as soon as the
+/// block completes and the returned vector is EMPTY — the sink owns the
+/// reports, so a registry-scale caller never holds all K at once. The
+/// concatenation of sink deliveries is element-identical to the no-sink
+/// return value for the same thread count (same blocks, same order);
+/// report *contents* are byte-identical across all thread counts either
+/// way, only the block boundaries move.
 Result<std::vector<DetectReport>> MultiKeyTally(
     const DetectIndex& index, const std::vector<WatermarkKey>& keys,
-    HashAlgorithm algo, size_t wm_size, size_t wmd_size, ThreadPool* pool);
+    HashAlgorithm algo, size_t wm_size, size_t wmd_size, ThreadPool* pool,
+    const MultiKeyTallySink& sink = nullptr);
 
 /// \brief Folds per-wmd-position vote tallies down to the wm-bit report
 /// fields (copy t of bit j lives at j + t * wm_size). Shared by the fused

@@ -25,6 +25,8 @@
 #ifndef PRIVMARK_WATERMARK_FINGERPRINT_H_
 #define PRIVMARK_WATERMARK_FINGERPRINT_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -84,11 +86,47 @@ struct FingerprintReport {
   bool collusion = false;
 };
 
+/// \brief One streamed slice of a scan: the verdicts for a contiguous
+/// registry-order run of keys, complete and final the moment they are
+/// emitted (per-key verdicts depend only on that key's tally, never on
+/// the rest of the registry — only the report-level ranking and
+/// collusion flag need the whole scan).
+struct FingerprintShard {
+  /// Caller-supplied stamp identifying which scan of a multi-scan run
+  /// (e.g. which session epoch) this shard belongs to.
+  size_t epoch = 0;
+  /// Ordinal of this shard within its scan, counting from 0.
+  size_t shard = 0;
+  /// Registry index of verdicts.front(); the slice covers
+  /// [first_key, first_key + verdicts.size()).
+  size_t first_key = 0;
+  std::vector<KeyVerdict> verdicts;
+};
+
+/// \brief Consumer of streamed shards. Invoked on the scanning thread,
+/// in (epoch, shard) order; the shard is borrowed for the duration of
+/// the call (the scan keeps the verdicts for its final report).
+using FingerprintShardSink = std::function<void(const FingerprintShard&)>;
+
 /// \brief Scans a prebuilt index against every registry key. `pool` may
 /// be null (serial).
 Result<FingerprintReport> ScanIndexForFingerprints(
     const DetectIndex& index, HashAlgorithm algo, const KeyRegistry& registry,
     const FingerprintConfig& config, ThreadPool* pool);
+
+/// \brief Streaming form: delivers verdicts through `sink` per key
+/// block as the tally engine completes them, then returns the same
+/// one-shot report. The one-shot overload IS this function with a null
+/// sink, so the concatenation of streamed shard verdicts is
+/// byte-identical to the returned report's verdict vector by
+/// construction — ranking, margins, and the collusion flag are
+/// finalized over exactly the streamed verdicts. `epoch` is stamped
+/// into every emitted shard; shard boundaries depend on the thread
+/// count, verdict bytes do not.
+Result<FingerprintReport> ScanIndexForFingerprintsStreamed(
+    const DetectIndex& index, HashAlgorithm algo, const KeyRegistry& registry,
+    const FingerprintConfig& config, ThreadPool* pool,
+    const FingerprintShardSink& sink, size_t epoch = 0);
 
 /// \brief Convenience: builds the index from the watermarker's structure
 /// (its key material is NOT used — only the registry's candidate keys
@@ -99,6 +137,17 @@ Result<FingerprintReport> ScanForFingerprints(
 Result<FingerprintReport> ScanForFingerprints(
     const SingleLevelWatermarker& watermarker, const Table& suspect,
     const KeyRegistry& registry, const FingerprintConfig& config);
+
+/// \brief Streaming convenience overloads (see
+/// ScanIndexForFingerprintsStreamed for the equivalence contract).
+Result<FingerprintReport> ScanForFingerprintsStreamed(
+    const HierarchicalWatermarker& watermarker, const Table& suspect,
+    const KeyRegistry& registry, const FingerprintConfig& config,
+    const FingerprintShardSink& sink, size_t epoch = 0);
+Result<FingerprintReport> ScanForFingerprintsStreamed(
+    const SingleLevelWatermarker& watermarker, const Table& suspect,
+    const KeyRegistry& registry, const FingerprintConfig& config,
+    const FingerprintShardSink& sink, size_t epoch = 0);
 
 }  // namespace privmark
 

@@ -1,0 +1,254 @@
+// The conversion-seam suite (service/convert.h): one round-trip per
+// RequestKind through ToWireRequest -> ToServiceRequest, the frame/kind
+// bijection, and the non-OK response envelope that ToWireResponse pins
+// down (threads_granted = 0, journal_status OK, retry hint on the
+// status). A field added to either request surface must fail here, not
+// silently drop in a hand-copy.
+
+#include "service/convert.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "relation/schema.h"
+#include "relation/table.h"
+#include "watermark/key_registry.h"
+
+namespace privmark {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ColumnRole::kIdentifying, ValueType::kString},
+                 {"age", ColumnRole::kQuasiNumeric, ValueType::kInt64}});
+}
+
+Table TestTable() {
+  Table table(TestSchema());
+  EXPECT_TRUE(table.AppendRow({Value::String("s-1"), Value::Int64(41)}).ok());
+  EXPECT_TRUE(table.AppendRow({Value::String("s-2"), Value::Int64(17)}).ok());
+  return table;
+}
+
+std::shared_ptr<const KeyRegistry> TestRegistry() {
+  KeyRegistry registry;
+  Random rng(77);
+  EXPECT_TRUE(registry.Add(GenerateKey("recipient-a", 10, &rng)).ok());
+  EXPECT_TRUE(registry.Add(GenerateKey("recipient-b", 10, &rng)).ok());
+  return std::make_shared<const KeyRegistry>(std::move(registry));
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.at(r, c), b.at(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+// ---- kind <-> frame bijection ---------------------------------------------
+
+constexpr RequestKind kAllKinds[] = {
+    RequestKind::kProtectBatch, RequestKind::kFlush, RequestKind::kDetect,
+    RequestKind::kDetectFingerprint, RequestKind::kCloseSession};
+
+TEST(ConvertKindTest, EveryKindRoundTripsThroughItsFrame) {
+  for (const RequestKind kind : kAllKinds) {
+    auto back = RequestKindForFrame(FrameForRequestKind(kind));
+    ASSERT_TRUE(back.ok()) << RequestKindToString(kind);
+    EXPECT_EQ(*back, kind) << RequestKindToString(kind);
+  }
+}
+
+TEST(ConvertKindTest, NonRequestFramesHaveNoKind) {
+  for (const WireFrameType type :
+       {WireFrameType::kOpen, WireFrameType::kResponse,
+        WireFrameType::kPartial}) {
+    auto kind = RequestKindForFrame(type);
+    ASSERT_FALSE(kind.ok()) << WireFrameTypeToString(type);
+    EXPECT_EQ(kind.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---- per-kind request round-trips -----------------------------------------
+
+// Sends `request` through ToWireRequest -> ToServiceRequest and checks
+// the shared fields; returns the round-tripped request for kind-specific
+// assertions.
+ServiceRequest RoundTrip(const ServiceRequest& request) {
+  const WireRequest wire = ToWireRequest(request);
+  EXPECT_EQ(wire.type, FrameForRequestKind(request.kind));
+  auto back = ToServiceRequest(wire);
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->kind, request.kind);
+  EXPECT_EQ(back->session, request.session);
+  EXPECT_EQ(back->num_threads, request.num_threads);
+  EXPECT_EQ(back->deadline_ms, request.deadline_ms);
+  return *std::move(back);
+}
+
+TEST(ConvertRequestTest, ProtectBatchRoundTripsTable) {
+  ServiceRequest request;
+  request.kind = RequestKind::kProtectBatch;
+  request.session = "ward-a";
+  request.table = TestTable();
+  request.num_threads = 4;
+  request.deadline_ms = 2500;
+  const ServiceRequest back = RoundTrip(request);
+  ExpectTablesEqual(request.table, back.table);
+}
+
+TEST(ConvertRequestTest, FlushRoundTripsSessionThreadsSentinel) {
+  ServiceRequest request;
+  request.kind = RequestKind::kFlush;
+  request.session = "ward-b";
+  // The defaults themselves must survive: kSessionThreads is a
+  // sentinel, not a count, and must come back as exactly that value.
+  const ServiceRequest back = RoundTrip(request);
+  EXPECT_EQ(back.num_threads, kSessionThreads);
+  EXPECT_EQ(back.deadline_ms, kDeadlineFromConfig);
+}
+
+TEST(ConvertRequestTest, DetectRoundTripsTable) {
+  ServiceRequest request;
+  request.kind = RequestKind::kDetect;
+  request.session = "ward-c";
+  request.table = TestTable();
+  const ServiceRequest back = RoundTrip(request);
+  ExpectTablesEqual(request.table, back.table);
+}
+
+TEST(ConvertRequestTest, FingerprintRoundTripsRegistryLosslessly) {
+  ServiceRequest request;
+  request.kind = RequestKind::kDetectFingerprint;
+  request.session = "audit";
+  request.table = TestTable();
+  request.registry = TestRegistry();
+  const ServiceRequest back = RoundTrip(request);
+  ASSERT_NE(back.registry, nullptr);
+  // Serialize/Parse is the wire's registry transport; the round-tripped
+  // registry must be byte-identical under re-serialization (names,
+  // order, key material, eta — everything).
+  EXPECT_EQ(back.registry->Serialize(), request.registry->Serialize());
+  // No sink crossed the seam: a sink is transport-local.
+  EXPECT_EQ(back.fingerprint_sink, nullptr);
+}
+
+TEST(ConvertRequestTest, FingerprintSinkBecomesTheStreamFlag) {
+  ServiceRequest request;
+  request.kind = RequestKind::kDetectFingerprint;
+  request.session = "audit";
+  request.registry = TestRegistry();
+  EXPECT_FALSE(ToWireRequest(request).stream);
+  request.fingerprint_sink = [](const FingerprintShard&) {};
+  EXPECT_TRUE(ToWireRequest(request).stream);
+  // The flag is fingerprint-only: other kinds never set it.
+  ServiceRequest flush;
+  flush.kind = RequestKind::kFlush;
+  EXPECT_FALSE(ToWireRequest(flush).stream);
+}
+
+TEST(ConvertRequestTest, CloseRoundTrips) {
+  ServiceRequest request;
+  request.kind = RequestKind::kCloseSession;
+  request.session = "done";
+  RoundTrip(request);
+}
+
+TEST(ConvertRequestTest, MalformedRegistryTextRejected) {
+  WireRequest wire;
+  wire.type = WireFrameType::kFingerprint;
+  wire.session = "audit";
+  wire.registry_text = "not a registry";
+  auto request = ToServiceRequest(wire);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- response envelope ----------------------------------------------------
+
+TEST(ConvertResponseTest, NonOkResultPinsDownTheEnvelope) {
+  const Status shed =
+      Status::ResourceExhausted("queue full").WithRetryAfterMs(120);
+  const WireResponse response = ToWireResponse(
+      WireFrameType::kIngest, Result<ServiceResponse>(shed));
+  EXPECT_EQ(response.kind, WireFrameType::kIngest);
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(response.status.retry_after_ms(), 120);
+  EXPECT_EQ(response.threads_granted, 0u);
+  EXPECT_TRUE(response.journal_status.ok());
+}
+
+TEST(ConvertResponseTest, IngestResultCopiesEveryField) {
+  ServiceResponse executed;
+  executed.kind = RequestKind::kProtectBatch;
+  executed.threads_granted = 3;
+  executed.journal_status = Status::IOError("barrier degraded");
+  executed.ingest.epoch = 2;
+  executed.ingest.flushed = true;
+  executed.ingest.rows_emitted = 10;
+  executed.ingest.rows_suppressed = 1;
+  executed.ingest.rows_buffered = 4;
+  executed.ingest.emitted = TestTable();
+  const WireResponse response = ToWireResponse(
+      WireFrameType::kIngest, Result<ServiceResponse>(std::move(executed)));
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_EQ(response.threads_granted, 3u);
+  EXPECT_EQ(response.journal_status.code(), StatusCode::kIOError);
+  EXPECT_EQ(response.ingest.epoch, 2u);
+  EXPECT_TRUE(response.ingest.flushed);
+  EXPECT_EQ(response.ingest.rows_emitted, 10u);
+  EXPECT_EQ(response.ingest.rows_suppressed, 1u);
+  EXPECT_EQ(response.ingest.rows_buffered, 4u);
+  EXPECT_EQ(response.ingest.emitted.num_rows(), 2u);
+}
+
+TEST(ConvertResponseTest, CloseRunsTheManifestFnPerEpoch) {
+  ServiceResponse executed;
+  executed.kind = RequestKind::kCloseSession;
+  executed.stats.rows_ingested = 30;
+  executed.stats.rows_emitted = 28;
+  executed.stats.rows_suppressed = 2;
+  EpochRecord epoch;
+  epoch.epoch = 1;
+  epoch.rows_emitted = 28;
+  executed.stats.epochs.push_back(epoch);
+  std::vector<uint64_t> seen;
+  const WireResponse response = ToWireResponse(
+      WireFrameType::kClose, Result<ServiceResponse>(std::move(executed)),
+      [&seen](const EpochRecord& record) -> Result<std::string> {
+        seen.push_back(record.epoch);
+        return "manifest-for-" + std::to_string(record.epoch);
+      });
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(seen, (std::vector<uint64_t>{1}));
+  ASSERT_EQ(response.close.epochs.size(), 1u);
+  EXPECT_EQ(response.close.epochs[0].manifest_text, "manifest-for-1");
+  EXPECT_EQ(response.close.rows_ingested, 30u);
+}
+
+TEST(ConvertResponseTest, ManifestFailureBecomesAnErrorEnvelope) {
+  ServiceResponse executed;
+  executed.kind = RequestKind::kCloseSession;
+  executed.threads_granted = 1;
+  EpochRecord epoch;
+  epoch.epoch = 0;
+  executed.stats.epochs.push_back(epoch);
+  const WireResponse response = ToWireResponse(
+      WireFrameType::kClose, Result<ServiceResponse>(std::move(executed)),
+      [](const EpochRecord&) -> Result<std::string> {
+        return Status::IOError("manifest build failed");
+      });
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.threads_granted, 0u);
+  EXPECT_TRUE(response.close.epochs.empty());
+}
+
+}  // namespace
+}  // namespace privmark

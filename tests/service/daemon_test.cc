@@ -365,7 +365,7 @@ TEST(DaemonTest, ShedRequestsCarryTypedRetryAfterMs) {
           return;
         }
         if (response->status.code() == StatusCode::kResourceExhausted) {
-          shed_hint.store(response->retry_after_ms);
+          shed_hint.store(response->status.retry_after_ms());
           shed_seen.store(true);
           return;
         }
@@ -384,6 +384,173 @@ TEST(DaemonTest, ShedRequestsCarryTypedRetryAfterMs) {
   auto closed = owner.Call(close);
   ASSERT_TRUE(closed.ok());
   EXPECT_TRUE(closed->status.ok());  // close is exempt from shedding
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+// ---- version negotiation ---------------------------------------------------
+
+// Runs one full session lifecycle over `client` and checks the daemon
+// answers correctly — the body is version-agnostic on purpose: the same
+// exchanges must work over v1 lock-step and v2 multiplexing.
+void ExpectLifecycleWorks(DaemonClient* client, const Table& rows,
+                          const std::string& session) {
+  auto open = client->Call(OpenRequest(session));
+  ASSERT_TRUE(open.ok()) << open.status().ToString();
+  ASSERT_TRUE(open->status.ok()) << open->status.ToString();
+  WireRequest ingest;
+  ingest.type = WireFrameType::kIngest;
+  ingest.session = session;
+  ingest.table = rows.Clone();
+  auto ingested = client->Call(ingest);
+  ASSERT_TRUE(ingested.ok()) << ingested.status().ToString();
+  ASSERT_TRUE(ingested->status.ok()) << ingested->status.ToString();
+  WireRequest close;
+  close.type = WireFrameType::kClose;
+  close.session = session;
+  auto closed = client->Call(close);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  ASSERT_TRUE(closed->status.ok()) << closed->status.ToString();
+  EXPECT_EQ(closed->close.rows_ingested, rows.num_rows());
+}
+
+TEST(DaemonNegotiationTest, V2PeersNegotiateV2) {
+  Env env = StartDaemon();
+  DaemonClient client(MedicalSchema());
+  ASSERT_TRUE(client.Connect("127.0.0.1", env.daemon->port()).ok());
+  EXPECT_EQ(client.protocol_version(), kWireProtocolV2);
+  ExpectLifecycleWorks(&client, env.dataset->table, "v2v2");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonNegotiationTest, V1ClientAgainstV2ServerStaysLockStep) {
+  Env env = StartDaemon();
+  DaemonClient client(MedicalSchema(), kWireProtocolV1);
+  ASSERT_TRUE(client.Connect("127.0.0.1", env.daemon->port()).ok());
+  EXPECT_EQ(client.protocol_version(), kWireProtocolV1);
+  ExpectLifecycleWorks(&client, env.dataset->table, "v1v2");
+  // CallAsync is a v2 surface; a v1 connection refuses it rather than
+  // desynchronizing the lock-step exchange.
+  EXPECT_FALSE(client.CallAsync(OpenRequest("nope")).ok());
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonNegotiationTest, V2ClientAgainstV1PinnedServerDowngrades) {
+  Env env;
+  MedicalDataSpec spec;
+  spec.num_rows = kRows;
+  spec.seed = 515151;
+  env.dataset = std::make_unique<MedicalDataset>(
+      std::move(GenerateMedicalDataset(spec)).ValueOrDie());
+  MedicalDataset* ontologies = env.dataset.get();
+  DaemonConfig config;
+  config.schema = MedicalSchema();
+  config.max_protocol_version = kWireProtocolV1;  // a pre-v2 daemon
+  config.metrics_for_config =
+      [ontologies](const FrameworkConfig& fc) -> Result<UsageMetrics> {
+    if (fc.binning.enforce_joint) {
+      return UnconstrainedMetrics(ontologies->trees());
+    }
+    return MetricsFromDepthCuts(ontologies->trees(), {2, 1, 2, 1, 1});
+  };
+  env.daemon = std::make_unique<PrivmarkDaemon>(std::move(config));
+  ASSERT_TRUE(env.daemon->Start(0).ok());
+
+  DaemonClient client(MedicalSchema());  // offers v2
+  ASSERT_TRUE(client.Connect("127.0.0.1", env.daemon->port()).ok());
+  EXPECT_EQ(client.protocol_version(), kWireProtocolV1);
+  ExpectLifecycleWorks(&client, env.dataset->table, "v2v1");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonNegotiationTest, MixedMagicIsFatal) {
+  Env env = StartDaemon();
+  // Right prefix, unknown version byte: the daemon must hang up without
+  // echoing anything (there is no version to agree on).
+  const int fd = RawConnect(env.daemon->port());
+  ASSERT_GE(fd, 0);
+  ExpectDisconnectAfter(fd, "PRVMNET9", /*expect_back=*/0);
+  ExpectStillServing(env.daemon.get(), "after-mixed-magic");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonNegotiationTest, UnknownFrameTypeUnderV2ClosesConnection) {
+  Env env = StartDaemon();
+  const int fd = RawConnect(env.daemon->port());
+  ASSERT_GE(fd, 0);
+  char magic[kWireMagicSize];
+  ASSERT_TRUE(WireMagicFor(kWireProtocolV2, magic));
+  std::string bytes(magic, kWireMagicSize);
+  WireFrame frame;
+  frame.type = static_cast<WireFrameType>(0x2a);
+  frame.request_id = 1;
+  frame.payload = "payload";
+  auto encoded = EncodeWireFrame(frame, kWireProtocolV2);
+  ASSERT_TRUE(encoded.ok());  // encode is by-construction trusted
+  bytes += *encoded;
+  ExpectDisconnectAfter(fd, bytes, /*expect_back=*/kWireMagicSize);
+  ExpectStillServing(env.daemon.get(), "after-v2-unknown-tag");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+TEST(DaemonNegotiationTest, ResponseTypedFrameFromClientIsFatal) {
+  Env env = StartDaemon();
+  const int fd = RawConnect(env.daemon->port());
+  ASSERT_GE(fd, 0);
+  char magic[kWireMagicSize];
+  ASSERT_TRUE(WireMagicFor(kWireProtocolV2, magic));
+  std::string bytes(magic, kWireMagicSize);
+  WireFrame frame;
+  frame.type = WireFrameType::kResponse;  // clients never send this
+  frame.request_id = 1;
+  auto encoded = EncodeWireFrame(frame, kWireProtocolV2);
+  ASSERT_TRUE(encoded.ok());
+  bytes += *encoded;
+  ExpectDisconnectAfter(fd, bytes, /*expect_back=*/kWireMagicSize);
+  ExpectStillServing(env.daemon.get(), "after-response-frame");
+  EXPECT_TRUE(env.daemon->Shutdown().ok());
+}
+
+// ---- multiplexing ----------------------------------------------------------
+
+TEST(DaemonMultiplexTest, PipelinedCallsCompleteAndMatchTheirIds) {
+  Env env = StartDaemon();
+  DaemonClient client(MedicalSchema());
+  ASSERT_TRUE(client.Connect("127.0.0.1", env.daemon->port()).ok());
+  ASSERT_EQ(client.protocol_version(), kWireProtocolV2);
+
+  // Pipeline open + ingest + flush + close on one session without
+  // waiting in between: same-session order is FIFO by send order, so
+  // the whole batch must succeed exactly as a lock-step run would.
+  std::vector<DaemonClient::PendingCall> calls;
+  auto push = [&calls, &client](const WireRequest& request) {
+    auto call = client.CallAsync(request);
+    ASSERT_TRUE(call.ok()) << call.status().ToString();
+    calls.push_back(*std::move(call));
+  };
+  push(OpenRequest("pipe"));
+  WireRequest ingest;
+  ingest.type = WireFrameType::kIngest;
+  ingest.session = "pipe";
+  ingest.table = env.dataset->table.Clone();
+  push(ingest);
+  WireRequest flush;
+  flush.type = WireFrameType::kFlush;
+  flush.session = "pipe";
+  push(flush);
+  WireRequest close;
+  close.type = WireFrameType::kClose;
+  close.session = "pipe";
+  push(close);
+
+  // Wait in reverse order: the demux must route each response to its
+  // id no matter which future the caller collects first.
+  for (size_t i = calls.size(); i-- > 0;) {
+    auto response = calls[i].Wait();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->status.ok())
+        << "call " << i << ": " << response->status.ToString();
+    EXPECT_EQ(response->request_id, calls[i].request_id());
+  }
   EXPECT_TRUE(env.daemon->Shutdown().ok());
 }
 

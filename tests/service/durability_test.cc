@@ -125,8 +125,8 @@ TEST(AdmissionTimeoutTest, ShedsBehindTooManyWaiters) {
                                       /*max_waiters=*/1);
   ASSERT_FALSE(shed.ok());
   EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_NE(shed.status().message().find("retry_after_ms="),
-            std::string::npos);
+  EXPECT_GT(shed.status().retry_after_ms(), 0)
+      << "shed status lacked the typed backpressure hint";
   admission.Release(held);
   waiter.join();
   EXPECT_TRUE(granted.load());
@@ -270,8 +270,8 @@ TEST(ServiceSheddingTest, FullQueueShedsWithRetryHintButCloseStillLands) {
     extras.push_back(std::move(future));
   }
   ASSERT_FALSE(shed_status.ok()) << "queue never filled";
-  EXPECT_NE(shed_status.message().find("retry_after_ms="),
-            std::string::npos);
+  EXPECT_GT(shed_status.retry_after_ms(), 0)
+      << "shed status lacked the typed backpressure hint";
 
   // CloseSession is exempt from shedding: an overloaded session must
   // still be closable.

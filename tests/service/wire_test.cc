@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/journal.h"
 #include "relation/schema.h"
 #include "relation/table.h"
 #include "service/admission.h"
@@ -136,7 +137,7 @@ TEST(WireFrameTest, CrcDamageDetected) {
 }
 
 TEST(WireFrameTest, UnknownTypeTagRefused) {
-  for (const uint8_t tag : {uint8_t{0}, uint8_t{8}, uint8_t{255}}) {
+  for (const uint8_t tag : {uint8_t{0}, uint8_t{255}}) {
     auto frame = EncodeWireFrame(static_cast<WireFrameType>(tag), "x");
     ASSERT_TRUE(frame.ok());  // encode is by-construction trusted
     auto body_length = WireFrameBodyLength(frame->data());
@@ -145,6 +146,125 @@ TEST(WireFrameTest, UnknownTypeTagRefused) {
         frame->data(), frame->data() + kWireFrameHeaderBytes, *body_length);
     EXPECT_FALSE(decoded.ok()) << "tag " << int{tag};
   }
+  // kPartial (tag 8) is a v2-only continuation: a v1 peer neither
+  // encodes nor accepts it.
+  auto partial = EncodeWireFrame(WireFrameType::kPartial, "x");
+  EXPECT_FALSE(partial.ok());
+}
+
+// ---- v2 framing ----------------------------------------------------------
+
+TEST(WireFrameV2Test, EnvelopeRoundTripsIdAndFlags) {
+  WireFrame frame;
+  frame.type = WireFrameType::kFingerprint;
+  frame.request_id = 0x0123456789abcdefULL;
+  frame.final_frame = true;
+  frame.streamed = true;
+  frame.payload = "payload";
+  auto encoded = EncodeWireFrame(frame, kWireProtocolV2);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto body_length = WireFrameBodyLength(encoded->data(), kWireProtocolV2);
+  ASSERT_TRUE(body_length.ok());
+  EXPECT_EQ(*body_length, encoded->size() - kWireFrameHeaderBytes);
+  auto decoded = DecodeWireFrameBody(encoded->data(),
+                                     encoded->data() + kWireFrameHeaderBytes,
+                                     *body_length, kWireProtocolV2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, WireFrameType::kFingerprint);
+  EXPECT_EQ(decoded->request_id, 0x0123456789abcdefULL);
+  EXPECT_TRUE(decoded->final_frame);
+  EXPECT_TRUE(decoded->streamed);
+  EXPECT_EQ(decoded->payload, "payload");
+}
+
+TEST(WireFrameV2Test, PartialFrameRoundTrips) {
+  WireFrame frame;
+  frame.type = WireFrameType::kPartial;
+  frame.request_id = 7;
+  frame.final_frame = false;
+  frame.streamed = true;
+  frame.payload = "shard";
+  auto encoded = EncodeWireFrame(frame, kWireProtocolV2);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto body_length = WireFrameBodyLength(encoded->data(), kWireProtocolV2);
+  ASSERT_TRUE(body_length.ok());
+  auto decoded = DecodeWireFrameBody(encoded->data(),
+                                     encoded->data() + kWireFrameHeaderBytes,
+                                     *body_length, kWireProtocolV2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, WireFrameType::kPartial);
+  EXPECT_EQ(decoded->request_id, 7u);
+  EXPECT_FALSE(decoded->final_frame);
+  EXPECT_TRUE(decoded->streamed);
+}
+
+TEST(WireFrameV2Test, FinalPartialRefusedAtBothEnds) {
+  WireFrame frame;
+  frame.type = WireFrameType::kPartial;
+  frame.final_frame = true;
+  frame.streamed = true;
+  EXPECT_FALSE(EncodeWireFrame(frame, kWireProtocolV2).ok());
+  // Hand-craft the same contradiction for the decoder: splice the
+  // kFinal bit into a legally encoded partial.
+  frame.final_frame = false;
+  auto encoded = EncodeWireFrame(frame, kWireProtocolV2);
+  ASSERT_TRUE(encoded.ok());
+  std::string bent = *encoded;
+  bent[kWireFrameHeaderBytes + 9] |= static_cast<char>(kWireFlagFinal);
+  // Re-stamp the CRC over the bent body.
+  const uint32_t crc = JournalCrc32(bent.data() + kWireFrameHeaderBytes,
+                                    bent.size() - kWireFrameHeaderBytes);
+  std::memcpy(bent.data() + 4, &crc, sizeof(crc));
+  auto body_length = WireFrameBodyLength(bent.data(), kWireProtocolV2);
+  ASSERT_TRUE(body_length.ok());
+  auto decoded = DecodeWireFrameBody(bent.data(),
+                                     bent.data() + kWireFrameHeaderBytes,
+                                     *body_length, kWireProtocolV2);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireFrameV2Test, UnknownFlagBitsRefused) {
+  WireFrame frame;
+  frame.type = WireFrameType::kIngest;
+  frame.request_id = 3;
+  frame.payload = "x";
+  auto encoded = EncodeWireFrame(frame, kWireProtocolV2);
+  ASSERT_TRUE(encoded.ok());
+  std::string bent = *encoded;
+  bent[kWireFrameHeaderBytes + 9] |= 0x40;  // a flag v2 never defined
+  const uint32_t crc = JournalCrc32(bent.data() + kWireFrameHeaderBytes,
+                                    bent.size() - kWireFrameHeaderBytes);
+  std::memcpy(bent.data() + 4, &crc, sizeof(crc));
+  auto body_length = WireFrameBodyLength(bent.data(), kWireProtocolV2);
+  ASSERT_TRUE(body_length.ok());
+  auto decoded = DecodeWireFrameBody(bent.data(),
+                                     bent.data() + kWireFrameHeaderBytes,
+                                     *body_length, kWireProtocolV2);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireFrameV2Test, V1EncoderRefusesV2Envelope) {
+  WireFrame frame;
+  frame.type = WireFrameType::kIngest;
+  frame.payload = "x";
+  frame.request_id = 1;  // v1 has nowhere to put this
+  EXPECT_FALSE(EncodeWireFrame(frame, kWireProtocolV1).ok());
+  frame.request_id = 0;
+  frame.streamed = true;
+  EXPECT_FALSE(EncodeWireFrame(frame, kWireProtocolV1).ok());
+}
+
+TEST(WireMagicTest, VersionParseAndFormat) {
+  char magic[kWireMagicSize];
+  ASSERT_TRUE(WireMagicFor(kWireProtocolV1, magic));
+  EXPECT_EQ(WireMagicVersion(magic), kWireProtocolV1);
+  ASSERT_TRUE(WireMagicFor(kWireProtocolV2, magic));
+  EXPECT_EQ(WireMagicVersion(magic), kWireProtocolV2);
+  EXPECT_FALSE(WireMagicFor(0, magic));
+  EXPECT_FALSE(WireMagicFor(3, magic));
+  // A foreign magic (wrong prefix or unknown version byte) parses as 0.
+  EXPECT_EQ(WireMagicVersion("NOTMAGIC"), 0);
+  EXPECT_EQ(WireMagicVersion("PRVMNET9"), 0);
 }
 
 // ---- table codec ---------------------------------------------------------
@@ -352,10 +472,14 @@ TEST(WireRequestTest, TruncationAtEveryByteRefused) {
 }
 
 TEST(WireResponseTest, ErrorResponseCarriesStatusAndRetryHint) {
+  // The shed-response envelope contract: the status (with its typed
+  // retry hint) travels; threads_granted is pinned to 0; the journal
+  // status stays OK.
   WireResponse response;
   response.kind = WireFrameType::kIngest;
-  response.status = Status::ResourceExhausted("queue full");
-  response.retry_after_ms = 250;
+  response.status =
+      Status::ResourceExhausted("queue full").WithRetryAfterMs(250);
+  response.threads_granted = 0;  // the non-OK envelope convention
   WireTableEncoder encoder;
   WireTableDecoder decoder(TestSchema());
   auto decoded =
@@ -364,7 +488,30 @@ TEST(WireResponseTest, ErrorResponseCarriesStatusAndRetryHint) {
   EXPECT_EQ(decoded->kind, WireFrameType::kIngest);
   EXPECT_EQ(decoded->status.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(decoded->status.message(), "queue full");
-  EXPECT_EQ(decoded->retry_after_ms, 250);
+  EXPECT_EQ(decoded->status.retry_after_ms(), 250);
+  EXPECT_EQ(decoded->threads_granted, 0u);
+  EXPECT_TRUE(decoded->journal_status.ok());
+}
+
+TEST(WireResponseTest, ShedResponseRoundTripsThreadsGranted) {
+  // A shed response never granted threads; a served one reports its
+  // grant. Both values must survive the wire exactly.
+  for (const uint64_t granted : {uint64_t{0}, uint64_t{3}}) {
+    WireResponse response;
+    response.kind = WireFrameType::kFlush;
+    response.threads_granted = granted;
+    if (granted == 0) {
+      response.status =
+          Status::ResourceExhausted("shed").WithRetryAfterMs(40);
+    }
+    WireTableEncoder encoder;
+    WireTableDecoder decoder(TestSchema());
+    auto decoded =
+        DecodeWireResponse(EncodeWireResponse(response, &encoder), &decoder);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->threads_granted, granted);
+    EXPECT_EQ(decoded->status.retry_after_ms(), granted == 0 ? 40 : -1);
+  }
 }
 
 TEST(WireResponseTest, IngestRoundTrip) {
@@ -460,29 +607,134 @@ TEST(WireResponseTest, TruncationAtEveryByteRefused) {
 
 // ---- typed backpressure hint ---------------------------------------------
 
-TEST(RetryAfterTest, ExtractsTypedHint) {
-  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted(
-                "queue full; retry_after_ms=350")),
-            350);
-  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted(
-                "retry_after_ms=0 trailing words")),
+TEST(RetryAfterTest, TypedHintTravelsOnTheStatus) {
+  const Status shed =
+      Status::ResourceExhausted("queue full").WithRetryAfterMs(350);
+  EXPECT_EQ(shed.retry_after_ms(), 350);
+  EXPECT_EQ(RetryAfterMsFromStatus(shed), 350);
+  EXPECT_EQ(RetryAfterMsFromStatus(
+                Status::ResourceExhausted("shed now").WithRetryAfterMs(0)),
             0);
+  // The hint participates in equality: two otherwise-identical statuses
+  // with different hints are different.
+  EXPECT_FALSE(shed == Status::ResourceExhausted("queue full"));
 }
 
-TEST(RetryAfterTest, AbsentOrForeignHintsYieldMinusOne) {
+TEST(RetryAfterTest, AbsentHintYieldsMinusOne) {
   EXPECT_EQ(RetryAfterMsFromStatus(Status::OK()), -1);
   EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted("no hint")), -1);
-  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted(
-                "retry_after_ms=")),
-            -1);
-  // Only ResourceExhausted carries the hint; other codes never do.
+  // Message text mentioning the old convention is just text now.
   EXPECT_EQ(RetryAfterMsFromStatus(
-                Status::InvalidArgument("retry_after_ms=10")),
+                Status::ResourceExhausted("retry_after_ms=10")),
             -1);
-  // Overflowing digits are not a hint.
-  EXPECT_EQ(RetryAfterMsFromStatus(Status::ResourceExhausted(
-                "retry_after_ms=99999999999999999999999")),
-            -1);
+}
+
+// ---- streamed fingerprint frames -----------------------------------------
+
+FingerprintShard TestShard() {
+  FingerprintShard shard;
+  shard.epoch = 1;
+  shard.shard = 4;
+  shard.first_key = 96;
+  KeyVerdict a;
+  a.key_name = "recipient-a";
+  a.detected = true;
+  a.score = 0.875;
+  a.margin_ratio = 1.5;
+  a.mark_match = 0.5;
+  a.p_value = 1e-9;
+  KeyVerdict b;
+  b.key_name = "recipient-b";
+  b.detected = false;
+  b.score = -0.0;  // sign bit must survive
+  shard.verdicts = {a, b};
+  return shard;
+}
+
+TEST(WireFingerprintShardTest, RoundTripsEveryField) {
+  const FingerprintShard shard = TestShard();
+  auto decoded = DecodeWireFingerprintShard(EncodeWireFingerprintShard(shard));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, 1u);
+  EXPECT_EQ(decoded->shard, 4u);
+  EXPECT_EQ(decoded->first_key, 96u);
+  ASSERT_EQ(decoded->verdicts.size(), 2u);
+  EXPECT_EQ(decoded->verdicts[0].key_name, "recipient-a");
+  EXPECT_TRUE(decoded->verdicts[0].detected);
+  EXPECT_EQ(decoded->verdicts[0].score, 0.875);
+  EXPECT_EQ(decoded->verdicts[0].margin_ratio, 1.5);
+  EXPECT_EQ(decoded->verdicts[0].mark_match, 0.5);
+  EXPECT_EQ(decoded->verdicts[0].p_value, 1e-9);
+  EXPECT_EQ(decoded->verdicts[1].key_name, "recipient-b");
+  EXPECT_TRUE(std::signbit(decoded->verdicts[1].score));
+}
+
+TEST(WireFingerprintShardTest, TruncationAtEveryByteRefused) {
+  const std::string payload = EncodeWireFingerprintShard(TestShard());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeWireFingerprintShard(payload.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(DecodeWireFingerprintShard(payload + "x").ok());
+}
+
+// Builds a small fingerprint response whose verdicts are consistent
+// with its ranking (the tails codec leans on that invariant).
+WireResponse TestFingerprintResponse() {
+  WireResponse response;
+  response.kind = WireFrameType::kFingerprint;
+  response.threads_granted = 2;
+  FingerprintReport report;
+  for (int i = 0; i < 3; ++i) {
+    KeyVerdict v;
+    v.key_name = "key-" + std::to_string(i);
+    v.detected = i == 1;
+    v.score = 0.25 * i;
+    report.verdicts.push_back(v);
+  }
+  report.ranking = {1, 2, 0};
+  report.keys_detected = 1;
+  report.collusion = false;
+  response.fingerprints.push_back(report);
+  return response;
+}
+
+TEST(WireStreamedTailsTest, TailsRoundTripWithoutVerdicts) {
+  const WireResponse response = TestFingerprintResponse();
+  auto decoded =
+      DecodeWireResponseStreamedTails(EncodeWireResponseStreamedTails(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, WireFrameType::kFingerprint);
+  EXPECT_EQ(decoded->threads_granted, 2u);
+  ASSERT_EQ(decoded->fingerprints.size(), 1u);
+  const FingerprintReport& tail = decoded->fingerprints[0];
+  // The tails deliberately omit the verdicts (they crossed in the
+  // partial frames); the ranking still states how many there were.
+  EXPECT_TRUE(tail.verdicts.empty());
+  EXPECT_EQ(tail.ranking, (std::vector<size_t>{1, 2, 0}));
+  EXPECT_EQ(tail.keys_detected, 1u);
+  EXPECT_FALSE(tail.collusion);
+}
+
+TEST(WireStreamedTailsTest, ErrorTailsCarryStatus) {
+  WireResponse response;
+  response.kind = WireFrameType::kFingerprint;
+  response.status = Status::InvalidArgument("bad registry");
+  auto decoded =
+      DecodeWireResponseStreamedTails(EncodeWireResponseStreamedTails(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(decoded->fingerprints.empty());
+}
+
+TEST(WireStreamedTailsTest, TruncationAtEveryByteRefused) {
+  const std::string payload =
+      EncodeWireResponseStreamedTails(TestFingerprintResponse());
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeWireResponseStreamedTails(payload.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(DecodeWireResponseStreamedTails(payload + "x").ok());
 }
 
 }  // namespace
